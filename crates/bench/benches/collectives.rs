@@ -1,0 +1,70 @@
+//! Criterion microbenches: real in-process collectives — baseline per-row
+//! AllReduce vs packed vs hierarchical, on an 8-rank world.
+//!
+//! Wall-clock here measures the *runtime's* overhead (rendezvous, copies),
+//! not network time; the interesting outcome is that packing reduces
+//! rendezvous count exactly as it reduces collective count at scale.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use qp_mpi::hierarchical::hierarchical_allreduce;
+use qp_mpi::packed::PackedAllReduce;
+use qp_mpi::{run_spmd, ReduceOp};
+
+const ROWS: usize = 64;
+const ROW_LEN: usize = 256;
+
+fn bench_collectives(c: &mut Criterion) {
+    let mut group = c.benchmark_group("collectives-8rank");
+    group.sample_size(10);
+
+    group.bench_function("per-row allreduce", |b| {
+        b.iter(|| {
+            run_spmd(8, 4, |comm| {
+                let mut acc = 0.0;
+                for r in 0..ROWS {
+                    let data = vec![(comm.rank() + r) as f64; ROW_LEN];
+                    acc += comm.allreduce(ReduceOp::Sum, &data)?[0];
+                }
+                Ok(acc)
+            })
+            .unwrap()
+        })
+    });
+
+    group.bench_function("packed allreduce", |b| {
+        b.iter(|| {
+            run_spmd(8, 4, |comm| {
+                let mut packer = PackedAllReduce::new(comm, ReduceOp::Sum);
+                for r in 0..ROWS {
+                    let data = vec![(comm.rank() + r) as f64; ROW_LEN];
+                    packer.push(&format!("r{r}"), data)?;
+                }
+                packer.flush()?;
+                let mut acc = 0.0;
+                for r in 0..ROWS {
+                    acc += packer.take(&format!("r{r}")).expect("flushed")[0];
+                }
+                Ok(acc)
+            })
+            .unwrap()
+        })
+    });
+
+    group.bench_function("packed hierarchical", |b| {
+        b.iter(|| {
+            run_spmd(8, 4, |comm| {
+                let data: Vec<f64> = (0..ROWS * ROW_LEN)
+                    .map(|i| (comm.rank() * 7 + i) as f64)
+                    .collect();
+                let out = hierarchical_allreduce(comm, "bench", ReduceOp::Sum, &data)?;
+                Ok(out[0])
+            })
+            .unwrap()
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_collectives);
+criterion_main!(benches);

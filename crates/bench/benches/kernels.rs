@@ -1,0 +1,38 @@
+//! Criterion microbenches: the instrumented DFPT kernels on real water
+//! batches — dense-local vs sparse-global matrix access (the Fig. 9b effect
+//! observable directly in host wall-clock).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use qp_chem::basis::BasisSettings;
+use qp_chem::grids::GridSettings;
+use qp_chem::structures::water;
+use qp_core::kernels::{h_phase, sumup_phase, MatrixAccess};
+use qp_core::system::System;
+use qp_linalg::DMatrix;
+
+fn bench_kernels(c: &mut Criterion) {
+    let mut gs = GridSettings::light();
+    gs.n_radial = 24;
+    gs.max_angular = 26;
+    let sys = System::build(water(), BasisSettings::Light, &gs, 150, 2);
+    let queue = qp_cl::CommandQueue::new(qp_cl::device::gcn_gpu());
+    let nb = sys.n_basis();
+    let mut p = DMatrix::from_fn(nb, nb, |i, j| 0.05 * ((i + 2 * j) as f64).sin());
+    p.symmetrize();
+    let v1: Vec<f64> = (0..sys.n_points()).map(|i| (i as f64 * 0.001).sin()).collect();
+
+    let mut group = c.benchmark_group("dfpt-kernels-water");
+    group.bench_function("sumup dense-local", |b| {
+        b.iter(|| sumup_phase(&queue, &sys, std::hint::black_box(&p), MatrixAccess::DenseLocal))
+    });
+    group.bench_function("sumup sparse-global", |b| {
+        b.iter(|| sumup_phase(&queue, &sys, std::hint::black_box(&p), MatrixAccess::SparseGlobal))
+    });
+    group.bench_function("h1 dense-local", |b| {
+        b.iter(|| h_phase(&queue, &sys, std::hint::black_box(&v1), MatrixAccess::DenseLocal))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernels);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Criterion microbenches: the two §3.1 task-mapping strategies.
+//!
+//! Algorithm 1 is O(M log M log N); the baseline least-loaded scan is
+//! O(M·N). At production batch/rank counts the bisection is also *faster to
+//! compute*, besides producing better locality.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qp_bench::workloads;
+use qp_grid::mapping::{LoadBalancingMapping, LocalityEnhancingMapping, TaskMapping};
+
+fn bench_mappings(c: &mut Criterion) {
+    let w = workloads::polymer(3_002);
+    let (_grid, batches) = workloads::stats_batches(&w.structure, 100);
+    let mut group = c.benchmark_group("task-mapping");
+    for n_procs in [64usize, 256] {
+        group.bench_with_input(
+            BenchmarkId::new("load-balancing", n_procs),
+            &n_procs,
+            |b, &p| b.iter(|| LoadBalancingMapping.assign(std::hint::black_box(&batches), p)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("locality-enhancing", n_procs),
+            &n_procs,
+            |b, &p| b.iter(|| LocalityEnhancingMapping.assign(std::hint::black_box(&batches), p)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_mappings);
+criterion_main!(benches);

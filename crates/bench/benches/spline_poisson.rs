@@ -1,0 +1,54 @@
+//! Criterion microbenches: the response-potential building blocks — cubic
+//! spline construction/evaluation and the multipole Poisson solve.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use qp_chem::grids::{GridSettings, IntegrationGrid};
+use qp_chem::multipole::{adams_moulton_cumulative, solve_poisson, MultipoleMoments};
+use qp_chem::spline::CubicSpline;
+use qp_chem::structures::water;
+
+fn bench_spline(c: &mut Criterion) {
+    let x: Vec<f64> = (0..311).map(|i| 0.01 * 1.03f64.powi(i)).collect();
+    let y: Vec<f64> = x.iter().map(|t| (t * 0.3).sin() / (1.0 + t)).collect();
+    let mut group = c.benchmark_group("spline");
+    group.bench_function("construct-311", |b| {
+        b.iter(|| CubicSpline::natural(std::hint::black_box(x.clone()), y.clone()))
+    });
+    let s = CubicSpline::natural(x.clone(), y);
+    group.bench_function("eval-311", |b| {
+        b.iter(|| s.eval(std::hint::black_box(1.234)))
+    });
+    group.bench_function("adams-moulton-311", |b| {
+        let f: Vec<f64> = (0..311).map(|i| (i as f64 * 0.02).cos()).collect();
+        b.iter(|| adams_moulton_cumulative(0.02, std::hint::black_box(&f)))
+    });
+    group.finish();
+}
+
+fn bench_poisson(c: &mut Criterion) {
+    let w = water();
+    let mut gs = GridSettings::light();
+    gs.n_radial = 24;
+    gs.max_angular = 26;
+    let grid = IntegrationGrid::build(&w, &gs);
+    let density: Vec<f64> = grid
+        .points
+        .iter()
+        .map(|p| {
+            let r2: f64 = p.position.iter().map(|x| x * x).sum();
+            (-r2).exp()
+        })
+        .collect();
+    let mut group = c.benchmark_group("poisson");
+    group.bench_function("moments-lmax4", |b| {
+        b.iter(|| MultipoleMoments::compute(&w, &grid, std::hint::black_box(&density), 4))
+    });
+    let moments = MultipoleMoments::compute(&w, &grid, &density, 4);
+    group.bench_function("radial-solve-lmax4", |b| {
+        b.iter(|| solve_poisson(&w, &grid, std::hint::black_box(&moments)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_spline, bench_poisson);
+criterion_main!(benches);

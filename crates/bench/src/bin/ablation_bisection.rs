@@ -1,0 +1,117 @@
+//! Ablation: the dimension-selection rule of Algorithm 1.
+//!
+//! Line 7 of Algorithm 1 picks, at every bisection level, the dimension on
+//! which the batch projections spread the largest range. This ablation
+//! compares that rule against always cutting the same fixed axis, measuring
+//! per-rank dense-Hamiltonian footprints and spline-atom counts on both a
+//! quasi-1D polymer and the 3-D RBD blob.
+
+use qp_bench::table;
+use qp_bench::workloads;
+use qp_chem::basis::BasisSettings;
+use qp_grid::batch::Batch;
+use qp_grid::footprint::{analyze, per_atom_basis, per_atom_cutoff};
+use qp_grid::mapping::{LocalityEnhancingMapping, MortonMapping, TaskMapping};
+
+/// Recursive bisection that always cuts a fixed dimension (the ablated
+/// variant of Algorithm 1).
+struct FixedAxisMapping(usize);
+
+impl TaskMapping for FixedAxisMapping {
+    fn assign(&self, batches: &[Batch], n_procs: usize) -> Vec<usize> {
+        let mut assignment = vec![usize::MAX; batches.len()];
+        let mut idx: Vec<usize> = (0..batches.len()).collect();
+        self.recurse(batches, &mut idx, 0, n_procs, &mut assignment);
+        assignment
+    }
+
+    fn name(&self) -> &'static str {
+        "fixed-axis-bisection"
+    }
+}
+
+impl FixedAxisMapping {
+    fn recurse(
+        &self,
+        batches: &[Batch],
+        idx: &mut [usize],
+        base: usize,
+        n: usize,
+        out: &mut [usize],
+    ) {
+        if n == 1 {
+            for &i in idx.iter() {
+                out[i] = base;
+            }
+            return;
+        }
+        let dim = self.0;
+        idx.sort_by(|&a, &b| {
+            batches[a].center[dim]
+                .partial_cmp(&batches[b].center[dim])
+                .expect("finite")
+        });
+        let n_left = n.div_ceil(2);
+        let total: usize = idx.iter().map(|&i| batches[i].len()).sum();
+        let pivot = (total as f64 * n_left as f64 / n as f64) as usize;
+        let mut acc = 0;
+        let mut split = 0;
+        for (pos, &i) in idx.iter().enumerate() {
+            if acc + batches[i].len() > pivot {
+                split = pos;
+                break;
+            }
+            acc += batches[i].len();
+            split = pos + 1;
+        }
+        split = split.clamp(1, idx.len() - 1);
+        let (l, r) = idx.split_at_mut(split);
+        self.recurse(batches, l, base, n_left, out);
+        self.recurse(batches, r, base + n_left, n - n_left, out);
+    }
+}
+
+fn main() {
+    println!("Ablation: Algorithm 1's largest-spread dimension rule vs fixed axes\n");
+    let n_procs = 64;
+    let widths = [26, 22, 16, 14];
+    table::header(
+        &["workload", "strategy", "dense mean", "spline mean"],
+        &widths,
+    );
+    for (wname, structure) in [
+        ("polymer 3002 atoms", workloads::polymer(3_002).structure),
+        ("helix 3000 atoms", qp_chem::structures::helix(500)),
+        ("RBD blob 3006 atoms", workloads::rbd().structure),
+    ] {
+        let (_grid, batches) = workloads::stats_batches(&structure, 100);
+        let basis = per_atom_basis(&structure, BasisSettings::Light);
+        let cutoffs = per_atom_cutoff(&structure);
+        let strategies: Vec<(String, Vec<usize>)> = vec![
+            (
+                "largest-spread (Alg.1)".into(),
+                LocalityEnhancingMapping.assign(&batches, n_procs),
+            ),
+            ("fixed x".into(), FixedAxisMapping(0).assign(&batches, n_procs)),
+            ("fixed y".into(), FixedAxisMapping(1).assign(&batches, n_procs)),
+            ("fixed z".into(), FixedAxisMapping(2).assign(&batches, n_procs)),
+            ("morton curve".into(), MortonMapping.assign(&batches, n_procs)),
+        ];
+        for (sname, assignment) in strategies {
+            let r = analyze(
+                &structure, &batches, &assignment, n_procs, &basis, &cutoffs, 8.0,
+            );
+            table::row(
+                &[
+                    wname.to_string(),
+                    sname,
+                    table::fmt_bytes(r.mean_dense_bytes() as usize),
+                    format!("{:.0}", r.mean_spline_atoms()),
+                ],
+                &widths,
+            );
+        }
+    }
+    println!("\nexpected: for the x-extended polymer, fixed-y/z cuts destroy locality;");
+    println!("Algorithm 1 matches the best fixed axis without knowing the geometry");
+}

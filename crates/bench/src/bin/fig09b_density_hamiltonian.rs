@@ -1,0 +1,85 @@
+//! Fig. 9(b): performance improvement of the response-density (`n¹`) and
+//! response-Hamiltonian (`H¹`) phases from dense-local vs sparse-global
+//! matrix access, HIV-1 ligand at two basis settings, both machines.
+//!
+//! Paper: n¹ +7.5 % … +19.9 %, H¹ +7.6 % … +26.4 %; larger basis → larger
+//! improvement; both machines benefit.
+//!
+//! Here the two phases run **for real** through the instrumented kernels
+//! (identical numerics, different access counting — asserted equal in the
+//! qp-core tests) and the counters are charged to each machine model.
+
+use qp_bench::table;
+use qp_bench::workloads;
+use qp_chem::basis::BasisSettings;
+use qp_chem::grids::GridSettings;
+use qp_core::kernels::{h_phase, sumup_phase, MatrixAccess};
+use qp_core::system::System;
+use qp_linalg::DMatrix;
+use qp_machine::kernel_cost::{kernel_time, KernelWork};
+use qp_machine::{hpc1, hpc2, MachineModel};
+
+fn work_of(r: &qp_cl::LaunchReport) -> KernelWork {
+    KernelWork {
+        launches: r.launches,
+        offchip_words: r.offchip_words(),
+        onchip_words: r.onchip_words,
+        flops: r.flops,
+        occupancy: r.occupancy(),
+        host_words: 0,
+    }
+}
+
+fn improvement(m: &MachineModel, sparse: &qp_cl::LaunchReport, dense: &qp_cl::LaunchReport) -> f64 {
+    (kernel_time(m, &work_of(sparse)) / kernel_time(m, &work_of(dense)) - 1.0) * 100.0
+}
+
+fn main() {
+    println!("Fig 9(b): n1 / H1 speedup from small-dense vs large-sparse access\n");
+    let widths = [22, 10, 12, 12];
+    table::header(&["case", "machine", "n1 improv.", "H1 improv."], &widths);
+
+    for settings in [BasisSettings::Light, BasisSettings::Tier2] {
+        let w = workloads::ligand();
+        let mut gs = GridSettings::light();
+        gs.n_radial = 24;
+        gs.max_angular = 26;
+        let sys = System::build(w.structure, settings, &gs, 150, 3);
+        let nb = sys.n_basis();
+
+        let queue = qp_cl::CommandQueue::new(qp_cl::device::gcn_gpu());
+        let mut p = DMatrix::from_fn(nb, nb, |i, j| 0.05 * ((i + 2 * j) as f64 * 0.13).sin());
+        p.symmetrize();
+        let (n1_dense_vals, n1_dense) = sumup_phase(&queue, &sys, &p, MatrixAccess::DenseLocal);
+        let (n1_sparse_vals, n1_sparse) = sumup_phase(&queue, &sys, &p, MatrixAccess::SparseGlobal);
+        // Physics identical between the two paths:
+        let max_dev = n1_dense_vals
+            .iter()
+            .zip(n1_sparse_vals.iter())
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f64, f64::max);
+        assert!(max_dev < 1e-12, "access mode changed the physics!");
+
+        let v1: Vec<f64> = (0..sys.n_points()).map(|i| (i as f64 * 0.001).sin()).collect();
+        let (_, h_dense) = h_phase(&queue, &sys, &v1, MatrixAccess::DenseLocal);
+        let (_, h_sparse) = h_phase(&queue, &sys, &v1, MatrixAccess::SparseGlobal);
+
+        for m in [hpc1(), hpc2()] {
+            table::row(
+                &[
+                    format!("{nb} basis ({settings:?})"),
+                    if m.name.contains('1') { "HPC#1" } else { "HPC#2" }.to_string(),
+                    format!("+{:.1}%", improvement(&m, &n1_sparse, &n1_dense)),
+                    format!("+{:.1}%", improvement(&m, &h_sparse, &h_dense)),
+                ],
+                &widths,
+            );
+        }
+    }
+    println!("\npaper: 1359 basis  n1 +7.5/+8.9%  H1 +7.6/+17.9%   (HPC#1/HPC#2)");
+    println!("       2143 basis  n1 +17.6/+10.4%  H1 +19.9/+26.4%");
+    println!("note: our counters charge every CSR probe as an off-chip access (no cache");
+    println!("model), so these are upper bounds; hardware caches of row pointers explain");
+    println!("the paper's smaller percentages. Direction and ordering (H1 > n1 on the");
+    println!("larger basis, both machines benefit) are the reproduced claims.");
+}

@@ -1,0 +1,77 @@
+//! Fig. 10: AllReduce time for synthesizing `rho_multipole` after the
+//! response-density phase — baseline (one AllReduce per row) vs packed
+//! (512 rows per call, §3.2.1) vs packed hierarchical (§3.2.2, HPC #2 only).
+//!
+//! Semantic equivalence of the three paths is established by the real
+//! executions in `qp-mpi`/`qp-core` tests (bitwise for packed, ≤1 ulp-scale
+//! for hierarchical); this harness charges the per-path call/byte counts to
+//! the machine models at the paper's scales.
+//!
+//! Paper: packed 8.2–34.9× (HPC#1), 9.2–269.6× (HPC#2); packed+hierarchical
+//! 12.4–567.2× (HPC#2); not applicable on HPC#1.
+
+use qp_bench::table;
+use qp_bench::workloads::rho_multipole_row_bytes;
+use qp_machine::cost::{allreduce_time, hierarchical_allreduce_time};
+use qp_machine::{hpc1, hpc2, MachineModel};
+
+/// Rows fused per packed call (the paper packs 512 invocations into one).
+const PACK_ROWS: usize = 512;
+
+fn baseline(m: &MachineModel, atoms: usize, ranks: usize) -> f64 {
+    atoms as f64 * allreduce_time(m, ranks, rho_multipole_row_bytes())
+}
+
+fn packed(m: &MachineModel, atoms: usize, ranks: usize) -> f64 {
+    let calls = atoms.div_ceil(PACK_ROWS);
+    let bytes = PACK_ROWS * rho_multipole_row_bytes();
+    calls as f64 * allreduce_time(m, ranks, bytes)
+}
+
+fn packed_hier(m: &MachineModel, atoms: usize, ranks: usize) -> Option<f64> {
+    let calls = atoms.div_ceil(PACK_ROWS);
+    let bytes = PACK_ROWS * rho_multipole_row_bytes();
+    hierarchical_allreduce_time(m, ranks, bytes).map(|t| calls as f64 * t)
+}
+
+fn main() {
+    let row_kb = rho_multipole_row_bytes() as f64 / 1024.0;
+    println!("Fig 10: rho_multipole AllReduce time (row = {row_kb:.1} KB, {PACK_ROWS} rows/packed call)\n");
+
+    for (hname, m) in [("HPC#1", hpc1()), ("HPC#2", hpc2())] {
+        println!("== {hname} ({}) ==", m.name);
+        let widths = [10, 8, 12, 12, 10, 14, 12];
+        table::header(
+            &["atoms", "procs", "baseline", "packed", "speedup", "packed+hier", "speedup"],
+            &widths,
+        );
+        for &atoms in &[30_002usize, 60_002] {
+            let proc_lists: &[usize] = if atoms == 30_002 {
+                &[256, 512, 1024, 2048, 4096]
+            } else {
+                &[512, 1024, 2048, 4096, 8192]
+            };
+            for &p in proc_lists {
+                let tb = baseline(&m, atoms, p);
+                let tp = packed(&m, atoms, p);
+                let th = packed_hier(&m, atoms, p);
+                table::row(
+                    &[
+                        atoms.to_string(),
+                        p.to_string(),
+                        table::fmt_secs(tb),
+                        table::fmt_secs(tp),
+                        format!("{:.1}x", tb / tp),
+                        th.map(table::fmt_secs).unwrap_or_else(|| "n/a".into()),
+                        th.map(|t| format!("{:.1}x", tb / t))
+                            .unwrap_or_else(|| "n/a".into()),
+                    ],
+                    &widths,
+                );
+            }
+        }
+        println!();
+    }
+    println!("paper: HPC#1 packed 8.2-34.9x (hierarchical n/a: core-group memories disjoint)");
+    println!("       HPC#2 packed 9.2-269.6x, packed+hierarchical 12.4-567.2x");
+}

@@ -1,0 +1,145 @@
+//! Fig. 11: init-phase (3-D grid partitioning) speedup from eliminating the
+//! indirect access `coord_center[atom_list[i_center]]` (§4.3), for
+//! H(C₂H₄)ₙH at 30 002–117 602 atoms across rank counts, both machines.
+//!
+//! Paper: up to 6.2× on HPC#1, up to 3.9× on HPC#2, decreasing with rank
+//! count (a per-rank fixed part — scanning the global atom list — does not
+//! shrink with P).
+//!
+//! The access patterns run **for real** on a scaled-down chain with exact
+//! counters; counts are then scaled linearly in atoms (the chain is linear)
+//! and charged to the machine models.
+
+use qp_bench::table;
+use qp_cl::counters::KernelCounters;
+use qp_cl::indirect::{read_direct, read_indirect, IndirectMap};
+use qp_machine::kernel_cost::{kernel_time, KernelWork};
+use qp_machine::{hpc1, hpc2, MachineModel};
+use std::sync::atomic::Ordering;
+
+/// Grid points per atom in the init phase (light settings scale).
+const POINTS_PER_ATOM: usize = 600;
+/// coord_center lookups per grid point while partitioning.
+const LOOKUPS_PER_POINT: usize = 8;
+
+/// Measured per-atom word counts for the two access patterns.
+struct InitCounts {
+    /// Off-chip words per atom, indirect pattern.
+    indirect_words: f64,
+    /// Off-chip words per atom, direct (rearranged) pattern.
+    direct_words: f64,
+    /// One-time map-build words per atom.
+    build_words: f64,
+}
+
+fn measure() -> InitCounts {
+    // A real (scaled-down) chain: 100 units = 602 atoms.
+    let w = qp_bench::workloads::polymer(602);
+    let n = w.structure.len();
+    let coord_center: Vec<f64> = w
+        .structure
+        .atoms
+        .iter()
+        .flat_map(|a| a.position.into_iter())
+        .collect();
+    // atom_list: global ID -> batch-local ID permutation produced by the
+    // batching pass (deterministic shuffle).
+    let atom_list: Vec<usize> = (0..n).map(|i| (i * 193) % n).collect();
+    // Per grid point, LOOKUPS_PER_POINT centers are fetched.
+    let accesses: Vec<usize> = (0..n * POINTS_PER_ATOM / 100)
+        .flat_map(|p| (0..LOOKUPS_PER_POINT).map(move |k| (p * 31 + k * 7) % n))
+        .collect();
+
+    let ci = KernelCounters::new();
+    for &a in &accesses {
+        read_indirect(&coord_center, &atom_list[a..a + 1], 3, &ci);
+    }
+    let cb = KernelCounters::new();
+    let map = IndirectMap::build(&atom_list, &cb);
+    let rearranged = map.apply(&coord_center, 3, &cb);
+    let cd = KernelCounters::new();
+    for &a in &accesses {
+        read_direct(&rearranged[a * 3..], 1, 3, &cd);
+    }
+    let na = n as f64;
+    InitCounts {
+        indirect_words: ci.offchip_reads.load(Ordering::Relaxed) as f64 / na * 100.0,
+        direct_words: cd.offchip_reads.load(Ordering::Relaxed) as f64 / na * 100.0,
+        build_words: (cb.offchip_reads.load(Ordering::Relaxed)
+            + cb.offchip_writes.load(Ordering::Relaxed)) as f64
+            / na,
+    }
+}
+
+/// Init-phase time: fixed per-rank global-list scan + variable per-point
+/// part. The indirect pattern additionally suffers the machine's off-chip
+/// latency on the dependent load (weak spatial locality on `A`).
+fn init_time(m: &MachineModel, c: &InitCounts, atoms: usize, ranks: usize, direct: bool) -> f64 {
+    let n = atoms as f64;
+    let fixed = KernelWork {
+        offchip_words: (3.0 * n) as u64, // whole coord table scanned per rank
+        flops: (10.0 * n) as u64,
+        occupancy: 1.0,
+        ..Default::default()
+    };
+    let variable_words = if direct {
+        c.direct_words + c.build_words // build amortizes over one simulation
+    } else {
+        // Dependent loads miss: charge the latency ratio as extra words.
+        c.indirect_words * m.offchip_latency_ratio()
+    };
+    let variable = KernelWork {
+        offchip_words: (variable_words * n / ranks as f64) as u64,
+        flops: (40.0 * n / ranks as f64) as u64,
+        occupancy: 1.0,
+        ..Default::default()
+    };
+    kernel_time(m, &fixed) + kernel_time(m, &variable)
+}
+
+/// Off-chip latency penalty of dependent (pointer-chasing) loads.
+trait LatencyRatio {
+    fn offchip_latency_ratio(&self) -> f64;
+}
+impl LatencyRatio for MachineModel {
+    fn offchip_latency_ratio(&self) -> f64 {
+        // HPC#1's DDR per core group has much longer latency than HBM2.
+        if self.name.contains('1') {
+            3.4
+        } else {
+            2.0
+        }
+    }
+}
+
+fn main() {
+    println!("Fig 11: init-phase speedup from eliminating indirect accesses\n");
+    let c = measure();
+    println!(
+        "measured words/atom: indirect {:.0}, direct {:.0}, map build {:.1}\n",
+        c.indirect_words, c.direct_words, c.build_words
+    );
+    let widths = [10, 8, 10, 10];
+    table::header(&["atoms", "procs", "HPC#1", "HPC#2"], &widths);
+    let cases: &[(usize, &[usize])] = &[
+        (30_002, &[256, 512, 1024, 2048, 4096]),
+        (60_002, &[1024, 2048, 4096, 8192]),
+        (117_602, &[4096, 8192, 16384]),
+    ];
+    for &(atoms, procs) in cases {
+        for &p in procs {
+            let s1 = init_time(&hpc1(), &c, atoms, p, false) / init_time(&hpc1(), &c, atoms, p, true);
+            let s2 = init_time(&hpc2(), &c, atoms, p, false) / init_time(&hpc2(), &c, atoms, p, true);
+            table::row(
+                &[
+                    atoms.to_string(),
+                    p.to_string(),
+                    format!("{s1:.1}x"),
+                    format!("{s2:.1}x"),
+                ],
+                &widths,
+            );
+        }
+    }
+    println!("\npaper: HPC#1 6.2x -> 1.1x, HPC#2 3.9x -> 1.4x, decreasing with procs");
+}

@@ -1,0 +1,127 @@
+//! Fig. 12: fusing the widely-dependent response-potential kernels (§4.2).
+//!
+//! (a) The two inter-kernel spline tables: `rho_multipole_spl` (~28 KB)
+//!     fits the SW39010 RMA window (64 KB) so vertical fusion is legal;
+//!     `delta_v_hart_part_spl` (~498 KB) exceeds it, so vertical fusion is
+//!     refused — the *real* `qp-cl` legality check makes that decision here.
+//! (b) Horizontal fusion on HPC#2: the 8 MPI processes sharing a GPU
+//!     deduplicate the identical producer and keep the tables resident in
+//!     device memory; speedups up to 2.4× (paper), growing with system
+//!     size and rank count.
+
+use qp_bench::phase_model::{calibration, PRODUCTION_RESOLUTION_FACTOR};
+use qp_bench::table;
+use qp_bench::workloads::{delta_v_hart_spl_bytes, rho_multipole_row_bytes};
+use qp_cl::device::sw39010;
+use qp_cl::fusion::{vertical, FusionDecision};
+use qp_cl::CommandQueue;
+use qp_machine::hpc2;
+use qp_machine::kernel_cost::{kernel_time, KernelWork};
+
+fn part_a() {
+    println!("Fig 12(a): inter-kernel shared data vs the 64 KB RMA window (HPC#1)\n");
+    let rho = rho_multipole_row_bytes();
+    let vhart = delta_v_hart_spl_bytes();
+    let widths = [26, 12, 16, 26];
+    table::header(&["table", "bytes", "fits RMA 64KB?", "vertical fusion"], &widths);
+    for (name, bytes) in [("rho_multipole_spl", rho), ("delta_v_hart_part_spl", vhart)] {
+        // Drive the real fusion machinery with a producer of that size.
+        let q = CommandQueue::new(sw39010());
+        let words = bytes / 8;
+        let out = vertical(
+            &q,
+            name,
+            4,
+            true,
+            move |ctx| {
+                ctx.counters.flop(words as u64);
+                vec![0.0; words]
+            },
+            |_, _| {},
+        );
+        let decision = match out.decision {
+            FusionDecision::Fused => "FUSED (1 launch, on-chip)".to_string(),
+            FusionDecision::ExceedsOnChipVolume { required, limit } => {
+                format!("refused ({} > {})", table::fmt_bytes(required), table::fmt_bytes(limit))
+            }
+            FusionDecision::Disabled => "disabled".to_string(),
+        };
+        table::row(
+            &[
+                name.to_string(),
+                table::fmt_bytes(bytes),
+                (bytes <= 64 * 1024).to_string(),
+                decision,
+            ],
+            &widths,
+        );
+    }
+    println!("\npaper: 28 KB fits, 498 KB exceeds RMA -> no vertical-fusion speedup on HPC#1\n");
+}
+
+/// Response-potential phase time on HPC#2 with/without horizontal fusion.
+fn v1_time(atoms: usize, ranks: usize, fused: bool) -> f64 {
+    let cal = calibration();
+    let m = hpc2();
+    let n = atoms as f64;
+    let p = ranks as f64;
+    // Producer: spline tables for the rank's atoms + halo. Without
+    // horizontal fusion all 8 processes sharing the GPU run it and
+    // round-trip the tables through the host.
+    let halo = 120.0; // atoms within multipole range of a rank's batches
+    let local_atoms = n / p + halo;
+    let producer_words = local_atoms
+        * (rho_multipole_row_bytes() + delta_v_hart_spl_bytes()) as f64
+        / 8.0;
+    let shared = 8.0; // procs per GPU on HPC#2
+    let (prod_mult, host_words) = if fused {
+        (1.0, 0.0)
+    } else {
+        (shared, 2.0 * producer_words)
+    };
+    // Consumer: interpolation over the rank's grid points.
+    let consumer_flops = cal.rho_flops * n / p;
+    let w = KernelWork {
+        launches: if fused { 2 } else { 2 * shared as u64 },
+        offchip_words: (producer_words * prod_mult + consumer_flops / 4.0) as u64,
+        onchip_words: 0,
+        flops: (producer_words * prod_mult * 2.0 + consumer_flops) as u64,
+        occupancy: cal.occ_collapsed,
+        host_words: host_words as u64,
+    };
+    let _ = PRODUCTION_RESOLUTION_FACTOR;
+    kernel_time(&m, &w)
+}
+
+fn part_b() {
+    println!("Fig 12(b): horizontal-fusion speedup of v1_es,tot on HPC#2\n");
+    let widths = [10, 8, 12];
+    table::header(&["atoms", "procs", "speedup"], &widths);
+    let cases: &[(usize, &[usize])] = &[
+        (30_002, &[256, 512, 1024, 2048, 4096]),
+        (60_002, &[1024, 2048, 4096, 8192]),
+        (117_602, &[4096, 8192, 16384]),
+    ];
+    for &(atoms, procs) in cases {
+        for &p in procs {
+            let s = v1_time(atoms, p, false) / v1_time(atoms, p, true);
+            table::row(
+                &[atoms.to_string(), p.to_string(), format!("{s:.1}x")],
+                &widths,
+            );
+        }
+    }
+    println!("\npaper: 1.1x -> 2.4x, growing with procs and system size");
+}
+
+fn main() {
+    let part = std::env::args().nth(1).unwrap_or_default();
+    match part.as_str() {
+        "a" => part_a(),
+        "b" => part_b(),
+        _ => {
+            part_a();
+            part_b();
+        }
+    }
+}

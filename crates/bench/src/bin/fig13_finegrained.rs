@@ -1,0 +1,78 @@
+//! Fig. 13: fine-grained parallelism (§4.4) — speedup of the
+//! response-potential phase from collapsing the dependent `(p, m)`
+//! Adams–Moulton loop, H(C₂H₄)ₙH on HPC#2.
+//!
+//! Paper: 1.01× at 128 procs up to 1.34× at 65 536 procs — the speedup
+//! *grows with rank count* because per-rank interpolation work shrinks while
+//! the per-atom integrator loop (with its halo floor) does not, so the
+//! badly-occupied loop's share of the phase grows.
+//!
+//! The two loop forms execute for real (`qp-cl::collapse`; identical results
+//! asserted in qp-core tests); their measured occupancies feed the cost
+//! model.
+
+use qp_bench::phase_model::calibration;
+use qp_bench::table;
+use qp_machine::hpc2;
+use qp_machine::kernel_cost::{kernel_time, KernelWork};
+
+/// Response-potential phase time with the chosen integrator-loop form.
+fn v1_time(atoms: usize, ranks: usize, collapsed: bool) -> f64 {
+    let cal = calibration();
+    let m = hpc2();
+    let n = atoms as f64;
+    let p = ranks as f64;
+    // Interpolation part: scales with the rank's grid points, fully occupied.
+    let interp = KernelWork {
+        launches: 1,
+        offchip_words: (cal.rho_words * n / p) as u64,
+        flops: (cal.rho_flops * n / p) as u64,
+        occupancy: 1.0,
+        ..Default::default()
+    };
+    // Integrator part: per (local atom + halo) x (l,m) channel; occupancy
+    // is the measured lane occupancy of the loop form.
+    let halo = 120.0;
+    let local_atoms = n / p + halo;
+    let integ_flops = local_atoms * cal.splines_per_atom * 4_000.0;
+    let integ = KernelWork {
+        launches: 1,
+        offchip_words: (integ_flops / 8.0) as u64,
+        flops: integ_flops as u64,
+        occupancy: if collapsed {
+            cal.occ_collapsed
+        } else {
+            cal.occ_nested
+        },
+        ..Default::default()
+    };
+    kernel_time(&m, &interp) + kernel_time(&m, &integ)
+}
+
+fn main() {
+    println!("Fig 13: fine-grained-parallelism speedup of v1_es,tot on HPC#2\n");
+    let cal = calibration();
+    println!(
+        "measured integrator occupancy: nested {:.3}, collapsed {:.3}\n",
+        cal.occ_nested, cal.occ_collapsed
+    );
+    let widths = [10, 8, 12];
+    table::header(&["atoms", "procs", "speedup"], &widths);
+    let cases: &[(usize, &[usize])] = &[
+        (15_002, &[128, 256, 512, 1024, 2048]),
+        (30_002, &[256, 512, 1024, 2048, 4096]),
+        (60_002, &[1024, 2048, 4096, 8192]),
+        (117_602, &[4096, 8192, 16384, 32768, 65536]),
+        (200_002, &[16384, 32768]),
+    ];
+    for &(atoms, procs) in cases {
+        for &p in procs {
+            let s = v1_time(atoms, p, false) / v1_time(atoms, p, true);
+            table::row(
+                &[atoms.to_string(), p.to_string(), format!("{s:.2}x")],
+                &widths,
+            );
+        }
+    }
+    println!("\npaper: 1.01x (15002@128) ... 1.34x (117602@65536); grows with procs");
+}

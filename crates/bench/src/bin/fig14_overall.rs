@@ -1,0 +1,106 @@
+//! Fig. 14: overall per-phase impact of all innovations across typical
+//! cases, before vs after optimization.
+//!
+//! Paper highlights: 36.5× for DM (RBD @ 64 tasks, HPC#1), 6.47× for
+//! v¹_es,tot (Poly-30 002 @ 2 048, HPC#2), communication −90.7 %
+//! (Poly @ 2 048, HPC#2), overall up to 11.1×.
+//!
+//! Phase times come from the calibrated phase model (per-atom constants
+//! measured from the real instrumented ligand run; optimization factors are
+//! the *measured* CSR/dense ratios, fusion outcomes and loop occupancies).
+
+use qp_bench::phase_model::{calibration, cycle_time, PhaseTimes};
+use qp_bench::table;
+use qp_machine::{hpc1, hpc2, MachineModel};
+
+struct Case {
+    name: &'static str,
+    atoms: usize,
+    ranks: usize,
+    machine: MachineModel,
+}
+
+fn print_case(c: &Case) {
+    let cal = calibration();
+    let before = cycle_time(cal, &c.machine, c.atoms, c.ranks, false);
+    let after = cycle_time(cal, &c.machine, c.atoms, c.ranks, true);
+    println!(
+        "case: {} — {} atoms, {} tasks, {}",
+        c.name, c.atoms, c.ranks, c.machine.name
+    );
+    let widths = [10, 12, 12, 10];
+    table::header(&["phase", "before", "after", "speedup"], &widths);
+    type PhaseGetter = fn(&PhaseTimes) -> f64;
+    let rows: [(&str, PhaseGetter); 5] = [
+        ("DM", |t| t.dm),
+        ("Sumup", |t| t.sumup),
+        ("Rho(v1)", |t| t.rho),
+        ("H1", |t| t.h),
+        ("Comm", |t| t.comm),
+    ];
+    for (name, get) in rows {
+        let b = get(&before);
+        let a = get(&after);
+        table::row(
+            &[
+                name.to_string(),
+                table::fmt_secs(b),
+                table::fmt_secs(a),
+                format!("{:.2}x", b / a),
+            ],
+            &widths,
+        );
+    }
+    let comm_cut = (1.0 - after.comm / before.comm) * 100.0;
+    table::row(
+        &[
+            "TOTAL".to_string(),
+            table::fmt_secs(before.total()),
+            table::fmt_secs(after.total()),
+            format!("{:.2}x", before.total() / after.total()),
+        ],
+        &widths,
+    );
+    println!("communication reduced by {comm_cut:.1}%\n");
+}
+
+fn main() {
+    println!("Fig 14: per-phase execution time before/after all optimizations\n");
+    let cases = [
+        Case {
+            name: "RBD",
+            atoms: 3_006,
+            ranks: 64,
+            machine: hpc1(),
+        },
+        Case {
+            name: "RBD",
+            atoms: 3_006,
+            ranks: 512,
+            machine: hpc2(),
+        },
+        Case {
+            name: "Poly (H(C2H4)5000H)",
+            atoms: 30_002,
+            ranks: 4_096,
+            machine: hpc1(),
+        },
+        Case {
+            name: "Poly (H(C2H4)5000H)",
+            atoms: 30_002,
+            ranks: 2_048,
+            machine: hpc2(),
+        },
+        Case {
+            name: "HIV-1 ligand",
+            atoms: 49,
+            ranks: 8,
+            machine: hpc2(),
+        },
+    ];
+    for c in &cases {
+        print_case(c);
+    }
+    println!("paper: DM up to 36.5x (RBD@64, HPC#1), v1 6.47x (Poly@2048, HPC#2),");
+    println!("       comm -90.7% (Poly@2048, HPC#2), overall up to 11.1x");
+}

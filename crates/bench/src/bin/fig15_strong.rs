@@ -1,0 +1,104 @@
+//! Fig. 15: strong scaling.
+//!
+//! (a) Speedups for the 60 002-atom H(C₂H₄)₁₀₀₀₀H system:
+//!     HPC#1 5 000→40 000 procs (paper: 1.85×/2.81×/4.88× vs 5 000,
+//!     92.6 % efficiency at 10 000); HPC#2 CPU-only 1 024→8 192
+//!     (1.86×/3.10×/6.08×) and GPU-accelerated (slightly less, DM-phase
+//!     communication share growing 22.5 % → 39.1 %).
+//! (b) Time to solution per DFPT cycle per phase on HPC#2 (GPU) for all
+//!     five polymer systems — 200 002 atoms within one minute per cycle.
+
+use qp_bench::phase_model::{calibration, cycle_time};
+use qp_bench::table;
+use qp_machine::machine::{hpc1, hpc2, hpc2_cpu_only, MachineModel};
+
+fn scaling_series(name: &str, m: &MachineModel, atoms: usize, procs: &[usize]) {
+    let cal = calibration();
+    println!("-- {name}: {atoms} atoms --");
+    let widths = [8, 12, 10, 12, 12];
+    table::header(&["procs", "t/cycle", "speedup", "ideal", "efficiency"], &widths);
+    let t0 = cycle_time(cal, m, atoms, procs[0], true).total();
+    for &p in procs {
+        let t = cycle_time(cal, m, atoms, p, true).total();
+        let speedup = t0 / t;
+        let ideal = p as f64 / procs[0] as f64;
+        table::row(
+            &[
+                p.to_string(),
+                table::fmt_secs(t),
+                format!("{speedup:.2}x"),
+                format!("{ideal:.0}x"),
+                format!("{:.1}%", speedup / ideal * 100.0),
+            ],
+            &widths,
+        );
+    }
+    println!();
+}
+
+fn dm_comm_share(m: &MachineModel, atoms: usize, procs: &[usize]) {
+    let cal = calibration();
+    println!("-- DM-phase (+comm) share on {} --", m.name);
+    for &p in procs {
+        let t = cycle_time(cal, m, atoms, p, true);
+        let share = (t.dm + t.comm) / t.total() * 100.0;
+        println!("  {p:>6} procs: {share:.1}% (paper: 22.5/28.6/38.9/39.1%)");
+    }
+    println!();
+}
+
+fn tts() {
+    let cal = calibration();
+    let m = hpc2();
+    println!("Fig 15(b): time to solution per DFPT cycle on HPC#2 (GPU)\n");
+    let widths = [10, 8, 10, 10, 10, 10, 10, 12];
+    table::header(
+        &["atoms", "procs", "DM", "Sumup", "Rho", "H1", "Comm", "total"],
+        &widths,
+    );
+    for &(atoms, procs) in &[
+        (15_002usize, 1_024usize),
+        (30_002, 2_048),
+        (60_002, 4_096),
+        (117_602, 8_192),
+        (200_002, 16_384),
+    ] {
+        let t = cycle_time(cal, &m, atoms, procs, true);
+        table::row(
+            &[
+                atoms.to_string(),
+                procs.to_string(),
+                table::fmt_secs(t.dm),
+                table::fmt_secs(t.sumup),
+                table::fmt_secs(t.rho),
+                table::fmt_secs(t.h),
+                table::fmt_secs(t.comm),
+                table::fmt_secs(t.total()),
+            ],
+            &widths,
+        );
+    }
+    println!("\npaper: 200 002 atoms complete one DFPT cycle within 1 minute");
+}
+
+fn main() {
+    let arg = std::env::args().nth(1).unwrap_or_default();
+    if arg == "--tts" {
+        tts();
+        return;
+    }
+    println!("Fig 15(a): strong scaling, 60 002 atoms\n");
+    scaling_series("HPC#1", &hpc1(), 60_002, &[5_000, 10_000, 20_000, 40_000]);
+    scaling_series(
+        "HPC#2 (CPU only)",
+        &hpc2_cpu_only(),
+        60_002,
+        &[1_024, 2_048, 4_096, 8_192],
+    );
+    scaling_series("HPC#2 (with GPUs)", &hpc2(), 60_002, &[1_024, 2_048, 4_096, 8_192]);
+    dm_comm_share(&hpc2(), 60_002, &[1_024, 2_048, 4_096, 8_192]);
+    println!("paper: HPC#1 1.85/2.81/4.88x (92.6% at 10k), HPC#2-CPU 1.86/3.10/6.08x,");
+    println!("       HPC#2-GPU slightly lower from DM communication share");
+    println!();
+    tts();
+}

@@ -1,0 +1,68 @@
+//! Fig. 16: weak scaling, 30 002 → 200 012 atoms with fixed atoms/rank.
+//!
+//! Paper: parallel efficiencies 76.7 % (HPC#1), 75.3 % (HPC#2 CPU-only),
+//! 74.1 % (HPC#2 GPU) at 200 012 atoms; efficiency falls because the
+//! response-potential work grows O(N^1.7) while the rest stays O(N^1.2)/O(N).
+
+use qp_bench::phase_model::{calibration, cycle_time};
+use qp_bench::table;
+use qp_machine::machine::{hpc1, hpc2, hpc2_cpu_only, MachineModel};
+
+fn series(name: &str, m: &MachineModel, points: &[(usize, usize)]) {
+    let cal = calibration();
+    println!("-- {name} --");
+    let widths = [10, 8, 12, 12, 12];
+    table::header(&["atoms", "procs", "t/cycle", "efficiency", "rho share"], &widths);
+    let t0 = cycle_time(cal, m, points[0].0, points[0].1, true).total();
+    for &(atoms, procs) in points {
+        let t = cycle_time(cal, m, atoms, procs, true);
+        let eff = t0 / t.total() * 100.0;
+        table::row(
+            &[
+                atoms.to_string(),
+                procs.to_string(),
+                table::fmt_secs(t.total()),
+                format!("{eff:.1}%"),
+                format!("{:.1}%", t.rho / t.total() * 100.0),
+            ],
+            &widths,
+        );
+    }
+    println!();
+}
+
+fn main() {
+    println!("Fig 16: weak scaling H(C2H4)nH, fixed atoms/rank\n");
+    series(
+        "HPC#1",
+        &hpc1(),
+        &[
+            (30_002, 2_500),
+            (60_002, 5_000),
+            (117_602, 10_000),
+            (200_012, 20_480),
+        ],
+    );
+    series(
+        "HPC#2 (CPU only)",
+        &hpc2_cpu_only(),
+        &[
+            (30_002, 2_048),
+            (60_002, 4_096),
+            (117_602, 8_192),
+            (200_012, 16_384),
+        ],
+    );
+    series(
+        "HPC#2 (with GPUs)",
+        &hpc2(),
+        &[
+            (30_002, 2_048),
+            (60_002, 4_096),
+            (117_602, 8_192),
+            (200_012, 16_384),
+        ],
+    );
+    println!("paper: 76.7% / 75.3% / 74.1% efficiency at 200 012 atoms;");
+    println!("       response-potential share grows with N (O(N^1.2) -> O(N^1.7))");
+}

@@ -1,0 +1,6 @@
+//! Debug utility: print the measured per-atom calibration constants.
+use qp_bench::phase_model::calibration;
+
+fn main() {
+    println!("{:#?}", calibration());
+}

@@ -1,0 +1,42 @@
+//! Debug probe: polarizability of rotated water.
+use qp_chem::basis::BasisSettings;
+use qp_chem::geometry::{Atom, Structure};
+use qp_chem::grids::GridSettings;
+use qp_core::{dfpt, scf, DfptOptions, ScfOptions, System};
+
+fn main() {
+    let theta = 35.0f64.to_radians();
+    let (c, s) = (theta.cos(), theta.sin());
+    let rotate = |p: [f64; 3]| [c * p[0] - s * p[1], s * p[0] + c * p[1], p[2]];
+    let base = qp_chem::structures::water();
+    let rotated = Structure::new(
+        base.atoms
+            .iter()
+            .map(|a| Atom::new(a.element, rotate(a.position)))
+            .collect(),
+    );
+    for (setting, min_ang, max_ang, nrad) in [
+        ("coarse-ang", 6, 26, 24),
+        ("full-50-ang", 50, 50, 40),
+    ] {
+        println!("== {setting} ==");
+        let mut gs = GridSettings::light();
+        gs.n_radial = nrad;
+        gs.min_angular = min_ang;
+        gs.max_angular = max_ang;
+        for (name, st) in [("base", base.clone()), ("rotated", rotated.clone())] {
+            let sys = System::build(st, BasisSettings::Light, &gs, 150, 2);
+            let ground = scf(&sys, &ScfOptions::default()).unwrap();
+            let r = dfpt(&sys, &ground, &DfptOptions::default()).unwrap();
+            println!("{name}: E = {:.6}", ground.energy);
+            for i in 0..3 {
+                println!(
+                    "  [{:9.4} {:9.4} {:9.4}]",
+                    r.polarizability[(i, 0)],
+                    r.polarizability[(i, 1)],
+                    r.polarizability[(i, 2)]
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,61 @@
+//! Diagnostic: overlap-matrix conditioning and SCF residual trajectory for
+//! a chosen workload. Useful when a new system refuses to converge.
+//!
+//! ```text
+//! cargo run --release -p qp-bench --bin scf_diagnose [water|ligand|polymer]
+//! ```
+
+use qp_chem::basis::BasisSettings;
+use qp_chem::grids::GridSettings;
+use qp_core::operators;
+use qp_core::system::System;
+use qp_linalg::symmetric_eigen;
+
+fn main() {
+    let which = std::env::args().nth(1).unwrap_or_else(|| "ligand".into());
+    let structure = match which.as_str() {
+        "water" => qp_chem::structures::water(),
+        "polymer" => qp_chem::structures::polyethylene(8),
+        _ => qp_chem::structures::ligand49(),
+    };
+    let mut gs = GridSettings::light();
+    gs.n_radial = 20;
+    gs.max_angular = 14;
+    let system = System::build(structure, BasisSettings::Light, &gs, 150, 2);
+    println!(
+        "{} atoms, {} basis, {} points",
+        system.structure.len(),
+        system.n_basis(),
+        system.n_points()
+    );
+
+    let s = operators::overlap(&system);
+    let dec = symmetric_eigen(&s).expect("S spectrum");
+    let min = dec.eigenvalues.first().unwrap();
+    let max = dec.eigenvalues.last().unwrap();
+    println!(
+        "overlap spectrum: min {min:.3e}, max {max:.3e}, condition {:.3e}",
+        max / min
+    );
+    let near_singular = dec.eigenvalues.iter().filter(|&&e| e < 1e-4).count();
+    println!("eigenvalues < 1e-4: {near_singular}");
+
+    // Watch the SCF residual for a few different mixings.
+    for (mixing, smearing) in [(0.3, None), (0.1, Some(0.02)), (0.05, Some(0.05))] {
+        let opts = qp_core::ScfOptions {
+            max_iter: 60,
+            tol: 1e-7,
+            mixing,
+            field: None,
+            smearing,
+            pulay: Some(6),
+        };
+        match qp_core::scf(&system, &opts) {
+            Ok(r) => println!(
+                "mixing {mixing}, smearing {smearing:?}: converged in {} iters, E = {:.4}",
+                r.iterations, r.energy
+            ),
+            Err(e) => println!("mixing {mixing}, smearing {smearing:?}: {e}"),
+        }
+    }
+}

@@ -1,0 +1,66 @@
+//! Minimal fixed-width table printing for the figure harnesses.
+
+/// Print a header row followed by a separator.
+pub fn header(cols: &[&str], widths: &[usize]) {
+    let mut line = String::new();
+    for (c, w) in cols.iter().zip(widths.iter()) {
+        line.push_str(&format!("{c:>w$}  ", w = w));
+    }
+    println!("{line}");
+    println!("{}", "-".repeat(line.len().min(120)));
+}
+
+/// Print one data row (already formatted cells).
+pub fn row(cells: &[String], widths: &[usize]) {
+    let mut line = String::new();
+    for (c, w) in cells.iter().zip(widths.iter()) {
+        line.push_str(&format!("{c:>w$}  ", w = w));
+    }
+    println!("{line}");
+}
+
+/// Engineering-format a number of bytes.
+pub fn fmt_bytes(b: usize) -> String {
+    if b >= 1 << 30 {
+        format!("{:.1} GB", b as f64 / (1u64 << 30) as f64)
+    } else if b >= 1 << 20 {
+        format!("{:.1} MB", b as f64 / (1 << 20) as f64)
+    } else if b >= 1 << 10 {
+        format!("{:.1} KB", b as f64 / 1024.0)
+    } else {
+        format!("{b} B")
+    }
+}
+
+/// Format seconds with an adaptive unit.
+pub fn fmt_secs(s: f64) -> String {
+    if s >= 100.0 {
+        format!("{s:.0} s")
+    } else if s >= 1.0 {
+        format!("{s:.2} s")
+    } else if s >= 1e-3 {
+        format!("{:.2} ms", s * 1e3)
+    } else {
+        format!("{:.2} µs", s * 1e6)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn byte_formatting() {
+        assert_eq!(fmt_bytes(512), "512 B");
+        assert_eq!(fmt_bytes(2048), "2.0 KB");
+        assert_eq!(fmt_bytes(21373 * 1024), "20.9 MB");
+    }
+
+    #[test]
+    fn second_formatting() {
+        assert_eq!(fmt_secs(123.4), "123 s");
+        assert_eq!(fmt_secs(1.5), "1.50 s");
+        assert_eq!(fmt_secs(0.0123), "12.30 ms");
+        assert_eq!(fmt_secs(3.3e-6), "3.30 µs");
+    }
+}

@@ -1,0 +1,82 @@
+//! # qp-core
+//!
+//! The paper's primary contribution: all-electron density-functional
+//! perturbation theory (DFPT) for homogeneous electric fields, in the
+//! numeric-atomic-orbital full-potential framework, restructured for
+//! heterogeneous machines.
+//!
+//! The crate implements the full Fig. 1 pipeline:
+//!
+//! 1. Ground-state DFT ([`scf`]): assemble `S`, `H` on the integration grid,
+//!    solve `H C = ε S C` (Eq. 5), iterate to self-consistency (Eqs. 1–6).
+//! 2. The DFPT self-consistency cycle ([`dfpt`]), per field direction:
+//!    response density matrix `P¹` (Eq. 7, phase **DM**), response density
+//!    `n¹(r)` (Eq. 8, phase **Sumup**), response electrostatic potential via
+//!    multipole Poisson (Eq. 9, phase **Rho**), response Hamiltonian `H¹`
+//!    (Eqs. 10–12, phase **H**), Sternheimer update of `C¹`, repeat until
+//!    `‖ΔP¹‖` is below threshold.
+//! 3. Polarizability `α_IJ = ∂μ_I/∂ξ_J` (Eq. 13).
+//!
+//! [`kernels`] expresses the four accelerated phases through the `qp-cl`
+//! runtime (counters feed the paper's figure harnesses), and [`parallel`]
+//! distributes the cycle over `qp-mpi` ranks with either §3.1 task mapping.
+
+// `for d in 0..3` indexing several parallel arrays at once is the clearest
+// form for Cartesian components; the iterator rewrite obscures it.
+#![allow(clippy::needless_range_loop)]
+
+pub mod dfpt;
+pub mod dist;
+pub mod kernels;
+pub mod operators;
+pub mod parallel;
+pub mod properties;
+pub mod scf;
+pub mod system;
+
+pub use dfpt::{dfpt, DfptOptions, DfptResult};
+pub use scf::{scf, ScfOptions, ScfResult};
+pub use system::System;
+
+/// Errors from the physics engine.
+#[derive(Debug)]
+pub enum CoreError {
+    /// The SCF or DFPT cycle failed to converge.
+    NoConvergence {
+        /// Which cycle.
+        what: &'static str,
+        /// Iterations performed.
+        iterations: usize,
+        /// Last residual.
+        residual: f64,
+    },
+    /// Linear algebra failed underneath.
+    Linalg(qp_linalg::LinalgError),
+}
+
+impl From<qp_linalg::LinalgError> for CoreError {
+    fn from(e: qp_linalg::LinalgError) -> Self {
+        CoreError::Linalg(e)
+    }
+}
+
+impl std::fmt::Display for CoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CoreError::NoConvergence {
+                what,
+                iterations,
+                residual,
+            } => write!(
+                f,
+                "{what} did not converge after {iterations} iterations (residual {residual:.3e})"
+            ),
+            CoreError::Linalg(e) => write!(f, "linear algebra error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, CoreError>;

@@ -1,0 +1,348 @@
+//! Operator-matrix assembly on the integration grid.
+//!
+//! All matrices are grid quadratures over the batch tables:
+//!
+//! * overlap       `S_μν  = Σ_p w_p χ_μ(p) χ_ν(p)`
+//! * kinetic       `T_μν  = ½ Σ_p w_p ∇χ_μ(p)·∇χ_ν(p)`  (by parts)
+//! * potential     `V_μν  = Σ_p w_p v(p) χ_μ(p) χ_ν(p)` for any local `v`
+//! * dipole        `D^I_μν = Σ_p w_p r_I(p) χ_μ(p) χ_ν(p)`
+//!
+//! The same `accumulate_potential` path assembles both the ground-state
+//! Hamiltonian and the DFPT response Hamiltonian `H¹` (phase **H**).
+
+use crate::system::System;
+use qp_linalg::DMatrix;
+use rayon::prelude::*;
+
+/// Assemble the overlap matrix.
+pub fn overlap(system: &System) -> DMatrix {
+    weighted_product(system, |_| 1.0)
+}
+
+/// Assemble a local-potential matrix for `v` given *at grid points*
+/// (slice parallel to `system.grid.points`).
+pub fn potential_matrix(system: &System, v: &[f64]) -> DMatrix {
+    assert_eq!(v.len(), system.n_points());
+    weighted_product(system, |gi| v[gi])
+}
+
+/// Assemble the dipole matrix for Cartesian direction `dir`
+/// (`D_μν = ∫ χ_μ r_dir χ_ν`).
+pub fn dipole_matrix(system: &System, dir: usize) -> DMatrix {
+    let coords: Vec<f64> = system
+        .grid
+        .points
+        .iter()
+        .map(|p| p.position[dir])
+        .collect();
+    potential_matrix(system, &coords)
+}
+
+/// Shared quadrature core: `M_μν = Σ_p w_p f(p) χ_μ(p) χ_ν(p)`.
+fn weighted_product(system: &System, f: impl Fn(usize) -> f64 + Sync) -> DMatrix {
+    let nb = system.n_basis();
+    let partials: Vec<DMatrix> = system
+        .batches
+        .par_iter()
+        .zip(system.tables.par_iter())
+        .map(|(batch, table)| {
+            let nf = table.fn_indices.len();
+            let mut block = DMatrix::zeros(nf, nf);
+            for (pi, pt) in batch.points.iter().enumerate() {
+                let w = system.grid.points[pt.grid_index as usize].weight
+                    * f(pt.grid_index as usize);
+                if w == 0.0 {
+                    continue;
+                }
+                let row = &table.values[pi * nf..(pi + 1) * nf];
+                for a in 0..nf {
+                    let va = row[a];
+                    if va == 0.0 {
+                        continue;
+                    }
+                    let wa = w * va;
+                    for b in a..nf {
+                        block[(a, b)] += wa * row[b];
+                    }
+                }
+            }
+            block
+        })
+        .collect();
+
+    let mut m = DMatrix::zeros(nb, nb);
+    for (table, block) in system.tables.iter().zip(partials.iter()) {
+        for (a, &fa) in table.fn_indices.iter().enumerate() {
+            for (b, &fb) in table.fn_indices.iter().enumerate().skip(a) {
+                m[(fa, fb)] += block[(a, b)];
+            }
+        }
+    }
+    // Mirror the upper triangle.
+    for i in 0..nb {
+        for j in (i + 1)..nb {
+            m[(j, i)] = m[(i, j)];
+        }
+    }
+    m
+}
+
+/// Assemble the kinetic-energy matrix `T_μν = ½ ∫ ∇χ_μ·∇χ_ν`.
+pub fn kinetic(system: &System) -> DMatrix {
+    let nb = system.n_basis();
+    let partials: Vec<DMatrix> = system
+        .batches
+        .par_iter()
+        .zip(system.tables.par_iter())
+        .map(|(batch, table)| {
+            let nf = table.fn_indices.len();
+            let mut block = DMatrix::zeros(nf, nf);
+            for (pi, pt) in batch.points.iter().enumerate() {
+                let w = 0.5 * system.grid.points[pt.grid_index as usize].weight;
+                for a in 0..nf {
+                    let ga = table.gradient(pi, a);
+                    if ga == [0.0; 3] {
+                        continue;
+                    }
+                    for b in a..nf {
+                        let gb = table.gradient(pi, b);
+                        block[(a, b)] += w * (ga[0] * gb[0] + ga[1] * gb[1] + ga[2] * gb[2]);
+                    }
+                }
+            }
+            block
+        })
+        .collect();
+
+    let mut m = DMatrix::zeros(nb, nb);
+    for (table, block) in system.tables.iter().zip(partials.iter()) {
+        for (a, &fa) in table.fn_indices.iter().enumerate() {
+            for (b, &fb) in table.fn_indices.iter().enumerate().skip(a) {
+                m[(fa, fb)] += block[(a, b)];
+            }
+        }
+    }
+    for i in 0..nb {
+        for j in (i + 1)..nb {
+            m[(j, i)] = m[(i, j)];
+        }
+    }
+    m
+}
+
+/// The external (nuclear-attraction) potential at every grid point:
+/// `v_ext(p) = −Σ_I Z_I / |p − R_I|`.
+pub fn external_potential(system: &System) -> Vec<f64> {
+    system
+        .grid
+        .points
+        .par_iter()
+        .map(|p| {
+            let mut v = 0.0;
+            for atom in &system.structure.atoms {
+                let d = qp_linalg::vecops::dist3(p.position, atom.position);
+                v -= atom.element.z() as f64 / d.max(1e-10);
+            }
+            v
+        })
+        .collect()
+}
+
+/// Closed-shell density matrix from occupied orbitals:
+/// `P_μν = Σ_i f_i C_μi C_νi`, `f_i = 2` (Eq. 6).
+pub fn density_matrix(orbitals: &DMatrix, n_occ: usize) -> DMatrix {
+    let occ = vec![2.0; n_occ];
+    density_matrix_occ(orbitals, &occ)
+}
+
+/// Density matrix with explicit (possibly fractional) occupations
+/// (Eq. 6 with Fermi–Dirac `f_i`, Eq. 3).
+pub fn density_matrix_occ(orbitals: &DMatrix, occupations: &[f64]) -> DMatrix {
+    let nb = orbitals.rows();
+    let mut p = DMatrix::zeros(nb, nb);
+    for (i, &f) in occupations.iter().enumerate() {
+        if f == 0.0 {
+            continue;
+        }
+        for mu in 0..nb {
+            let c_mu = orbitals[(mu, i)];
+            if c_mu == 0.0 {
+                continue;
+            }
+            for nu in 0..nb {
+                p[(mu, nu)] += f * c_mu * orbitals[(nu, i)];
+            }
+        }
+    }
+    p
+}
+
+/// Fermi–Dirac occupations (Eq. 3): `f_i = 2/(1 + exp((ε_i − μ)/kT))` with
+/// the chemical potential `μ` bisected so `Σ f_i = n_electrons`.
+pub fn fermi_occupations(eigenvalues: &[f64], n_electrons: f64, kt: f64) -> Vec<f64> {
+    assert!(kt > 0.0);
+    let f_of = |mu: f64| -> Vec<f64> {
+        eigenvalues
+            .iter()
+            .map(|&e| 2.0 / (1.0 + ((e - mu) / kt).clamp(-500.0, 500.0).exp()))
+            .collect()
+    };
+    let total = |mu: f64| f_of(mu).iter().sum::<f64>();
+    let mut lo = eigenvalues.first().copied().unwrap_or(0.0) - 10.0;
+    let mut hi = eigenvalues.last().copied().unwrap_or(0.0) + 10.0;
+    for _ in 0..200 {
+        let mid = 0.5 * (lo + hi);
+        if total(mid) < n_electrons {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    f_of(0.5 * (lo + hi))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qp_chem::basis::BasisSettings;
+    use qp_chem::grids::GridSettings;
+    use qp_chem::structures::water;
+
+    fn sys() -> System {
+        let mut gs = GridSettings::light();
+        gs.n_radial = 30;
+        gs.max_angular = 38;
+        System::build(water(), BasisSettings::Light, &gs, 150, 2)
+    }
+
+    #[test]
+    fn overlap_diagonal_near_one() {
+        let s = sys();
+        let ov = overlap(&s);
+        for i in 0..s.n_basis() {
+            assert!(
+                (ov[(i, i)] - 1.0).abs() < 0.05,
+                "S[{i},{i}] = {}",
+                ov[(i, i)]
+            );
+        }
+    }
+
+    #[test]
+    fn overlap_symmetric_with_bounded_offdiagonals() {
+        let s = sys();
+        let ov = overlap(&s);
+        for i in 0..s.n_basis() {
+            for j in 0..s.n_basis() {
+                assert_eq!(ov[(i, j)], ov[(j, i)]);
+                // Cauchy-Schwarz bounds |S_ij| by 1 analytically; allow the
+                // ~2% quadrature error of the 26-point angular grids.
+                assert!(ov[(i, j)].abs() < 1.05, "S[{i},{j}] = {}", ov[(i, j)]);
+            }
+        }
+        // S must remain positive definite despite quadrature error.
+        assert!(qp_linalg::Cholesky::new(&ov).is_ok());
+    }
+
+    #[test]
+    fn kinetic_is_positive_definite_symmetric() {
+        let s = sys();
+        let t = kinetic(&s);
+        for i in 0..s.n_basis() {
+            assert!(t[(i, i)] > 0.0, "T[{i},{i}] = {}", t[(i, i)]);
+        }
+        // Positive definite: Cholesky succeeds.
+        assert!(qp_linalg::Cholesky::new(&t).is_ok());
+    }
+
+    #[test]
+    fn external_potential_is_negative_everywhere() {
+        let s = sys();
+        let v = external_potential(&s);
+        assert!(v.iter().all(|&x| x < 0.0));
+    }
+
+    #[test]
+    fn dipole_matrices_are_symmetric() {
+        let s = sys();
+        for dir in 0..3 {
+            let d = dipole_matrix(&s, dir);
+            assert!(
+                d.max_abs_diff(&d.transpose()) < 1e-12,
+                "dipole {dir} asymmetric"
+            );
+        }
+    }
+
+    #[test]
+    fn density_matrix_trace_counts_electrons() {
+        // Tr[P S] = N_electrons for S-orthonormal orbitals.
+        let s = sys();
+        let ov = overlap(&s);
+        let t = kinetic(&s);
+        // Use eigenvectors of (T, S) as a stand-in orthonormal set.
+        let dec = qp_linalg::generalized_symmetric_eigen(&t, &ov).unwrap();
+        let p = density_matrix(&dec.eigenvectors, s.n_occupied());
+        let tr_ps = p.trace_product(&ov).unwrap();
+        assert!(
+            (tr_ps - s.n_electrons() as f64).abs() < 1e-8,
+            "Tr[PS] = {tr_ps}"
+        );
+    }
+
+    #[test]
+    fn potential_matrix_of_one_is_overlap() {
+        let s = sys();
+        let ones = vec![1.0; s.n_points()];
+        let v = potential_matrix(&s, &ones);
+        let ov = overlap(&s);
+        assert!(v.max_abs_diff(&ov) < 1e-12);
+    }
+}
+
+#[cfg(test)]
+mod fermi_tests {
+    use super::*;
+
+    #[test]
+    fn fermi_conserves_electron_count() {
+        let eigs = vec![-2.0, -1.0, -0.5, -0.45, 0.3, 1.0];
+        for kt in [0.001, 0.01, 0.1] {
+            let f = fermi_occupations(&eigs, 7.0, kt);
+            let total: f64 = f.iter().sum();
+            assert!((total - 7.0).abs() < 1e-9, "kT = {kt}: Σf = {total}");
+            assert!(f.iter().all(|&x| (0.0..=2.0).contains(&x)));
+            // Occupations decrease with energy.
+            for w in f.windows(2) {
+                assert!(w[0] >= w[1] - 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn cold_limit_reproduces_aufbau() {
+        let eigs = vec![-2.0, -1.0, 0.5, 1.0];
+        let f = fermi_occupations(&eigs, 4.0, 1e-6);
+        assert!((f[0] - 2.0).abs() < 1e-9);
+        assert!((f[1] - 2.0).abs() < 1e-9);
+        assert!(f[2].abs() < 1e-9);
+        assert!(f[3].abs() < 1e-9);
+    }
+
+    #[test]
+    fn degenerate_frontier_shared_equally() {
+        // Two degenerate levels sharing two electrons: f = 1 each.
+        let eigs = vec![-2.0, -0.5, -0.5, 1.0];
+        let f = fermi_occupations(&eigs, 4.0, 0.01);
+        assert!((f[1] - 1.0).abs() < 1e-6);
+        assert!((f[2] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn density_matrix_occ_matches_integer_path() {
+        let c = DMatrix::from_fn(5, 5, |i, j| ((i * 5 + j) as f64 * 0.3).sin());
+        let p_int = density_matrix(&c, 2);
+        let p_occ = density_matrix_occ(&c, &[2.0, 2.0, 0.0, 0.0, 0.0]);
+        assert!(p_int.max_abs_diff(&p_occ) < 1e-15);
+    }
+}

@@ -1,0 +1,254 @@
+//! The assembled simulation system: structure + basis + grid + batches +
+//! tabulated basis values.
+//!
+//! Basis values (and gradients) at grid points are tabulated once, batch by
+//! batch with cutoff pruning — the "two-level fine-grained parallelism,
+//! across batches and grid points" data layout of §4.1.
+
+use qp_chem::basis::{BasisSet, BasisSettings};
+use qp_chem::geometry::Structure;
+use qp_chem::grids::{GridSettings, IntegrationGrid};
+use qp_grid::batch::{batches_from_grid, Batch};
+use qp_linalg::vecops::dist3;
+use rayon::prelude::*;
+
+/// Per-batch table of basis-function values at the batch's grid points.
+#[derive(Debug, Clone)]
+pub struct BatchBasisTable {
+    /// Global indices of the basis functions that reach this batch.
+    pub fn_indices: Vec<usize>,
+    /// `values[p * fn_indices.len() + k]` = χ of function `k` at point `p`
+    /// (points in batch order).
+    pub values: Vec<f64>,
+    /// Gradients, same layout × 3 (x, y, z fastest).
+    pub gradients: Vec<f64>,
+}
+
+impl BatchBasisTable {
+    /// Value of pruned function `k` at batch point `p`.
+    #[inline]
+    pub fn value(&self, p: usize, k: usize) -> f64 {
+        self.values[p * self.fn_indices.len() + k]
+    }
+
+    /// Gradient of pruned function `k` at batch point `p`.
+    #[inline]
+    pub fn gradient(&self, p: usize, k: usize) -> [f64; 3] {
+        let base = (p * self.fn_indices.len() + k) * 3;
+        [
+            self.gradients[base],
+            self.gradients[base + 1],
+            self.gradients[base + 2],
+        ]
+    }
+}
+
+/// A ready-to-run simulation system.
+pub struct System {
+    /// The molecular structure.
+    pub structure: Structure,
+    /// The NAO basis.
+    pub basis: BasisSet,
+    /// The integration grid.
+    pub grid: IntegrationGrid,
+    /// The grid's batches (grid-adapted cut-plane method).
+    pub batches: Vec<Batch>,
+    /// Per-batch basis tables.
+    pub tables: Vec<BatchBasisTable>,
+    /// Multipole expansion order used by the Poisson solver.
+    pub lmax: usize,
+}
+
+impl System {
+    /// Build a system with explicit settings.
+    pub fn build(
+        structure: Structure,
+        basis_settings: BasisSettings,
+        grid_settings: &GridSettings,
+        max_batch: usize,
+        lmax: usize,
+    ) -> Self {
+        let basis = BasisSet::build(&structure, basis_settings);
+        let grid = IntegrationGrid::build(&structure, grid_settings);
+        let batches = batches_from_grid(&grid, max_batch);
+        let tables: Vec<BatchBasisTable> = batches
+            .par_iter()
+            .map(|b| Self::tabulate_batch(&basis, b))
+            .collect();
+        System {
+            structure,
+            basis,
+            grid,
+            batches,
+            tables,
+            lmax,
+        }
+    }
+
+    /// Convenience: light basis, light grid, paper-typical batch size.
+    pub fn light(structure: Structure) -> Self {
+        System::build(
+            structure,
+            BasisSettings::Light,
+            &GridSettings::light(),
+            200,
+            4,
+        )
+    }
+
+    fn tabulate_batch(basis: &BasisSet, batch: &Batch) -> BatchBasisTable {
+        // Prune: functions whose support reaches any point of the batch.
+        let radius = batch
+            .points
+            .iter()
+            .map(|p| dist3(p.position, batch.center))
+            .fold(0.0, f64::max);
+        let fn_indices = basis.functions_near(batch.center, radius);
+        let nf = fn_indices.len();
+        let np = batch.points.len();
+        let mut values = vec![0.0; np * nf];
+        let mut gradients = vec![0.0; np * nf * 3];
+        for (pi, pt) in batch.points.iter().enumerate() {
+            for (ki, &fi) in fn_indices.iter().enumerate() {
+                let f = &basis.functions[fi];
+                let v = f.eval(pt.position);
+                values[pi * nf + ki] = v;
+                if v != 0.0 {
+                    let g = f.eval_grad(pt.position);
+                    let base = (pi * nf + ki) * 3;
+                    gradients[base] = g[0];
+                    gradients[base + 1] = g[1];
+                    gradients[base + 2] = g[2];
+                }
+            }
+        }
+        BatchBasisTable {
+            fn_indices,
+            values,
+            gradients,
+        }
+    }
+
+    /// Number of basis functions.
+    pub fn n_basis(&self) -> usize {
+        self.basis.len()
+    }
+
+    /// Number of grid points.
+    pub fn n_points(&self) -> usize {
+        self.grid.len()
+    }
+
+    /// Number of electrons.
+    pub fn n_electrons(&self) -> u32 {
+        self.structure.num_electrons()
+    }
+
+    /// Number of occupied orbitals (closed shell).
+    pub fn n_occupied(&self) -> usize {
+        (self.n_electrons() as usize).div_ceil(2)
+    }
+
+    /// Evaluate the density at every grid point from a density matrix
+    /// (batch-local, pruned): `n(p) = Σ_{μν} P_{μν} χ_μ(p) χ_ν(p)`.
+    ///
+    /// This is the same contraction as the Sumup phase; this uninstrumented
+    /// version is used by the SCF loop.
+    pub fn density_on_grid(&self, p_mat: &qp_linalg::DMatrix) -> Vec<f64> {
+        let mut density = vec![0.0; self.grid.len()];
+        let per_batch: Vec<(usize, Vec<f64>)> = self
+            .batches
+            .par_iter()
+            .zip(self.tables.par_iter())
+            .map(|(batch, table)| {
+                let nf = table.fn_indices.len();
+                let mut local = vec![0.0; batch.points.len()];
+                for (pi, local_n) in local.iter_mut().enumerate() {
+                    let row = &table.values[pi * nf..(pi + 1) * nf];
+                    let mut acc = 0.0;
+                    for (a, &fa) in table.fn_indices.iter().enumerate() {
+                        let va = row[a];
+                        if va == 0.0 {
+                            continue;
+                        }
+                        for (b, &fb) in table.fn_indices.iter().enumerate() {
+                            let vb = row[b];
+                            if vb != 0.0 {
+                                acc += p_mat[(fa, fb)] * va * vb;
+                            }
+                        }
+                    }
+                    *local_n = acc;
+                }
+                (batch.id, local)
+            })
+            .collect();
+        for (bid, local) in per_batch {
+            let batch = &self.batches[bid];
+            for (pi, &v) in local.iter().enumerate() {
+                density[batch.points[pi].grid_index as usize] = v;
+            }
+        }
+        density
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qp_chem::structures::water;
+    use qp_linalg::DMatrix;
+
+    fn small_system() -> System {
+        let mut gs = GridSettings::light();
+        gs.n_radial = 24;
+        gs.max_angular = 26;
+        System::build(water(), BasisSettings::Light, &gs, 150, 2)
+    }
+
+    #[test]
+    fn tables_cover_all_batches() {
+        let s = small_system();
+        assert_eq!(s.tables.len(), s.batches.len());
+        for (b, t) in s.batches.iter().zip(s.tables.iter()) {
+            assert_eq!(t.values.len(), b.points.len() * t.fn_indices.len());
+            assert!(!t.fn_indices.is_empty(), "water batches see some functions");
+        }
+    }
+
+    #[test]
+    fn tabulated_values_match_direct_evaluation() {
+        let s = small_system();
+        let b = &s.batches[0];
+        let t = &s.tables[0];
+        for (pi, pt) in b.points.iter().enumerate().take(5) {
+            for (ki, &fi) in t.fn_indices.iter().enumerate() {
+                let direct = s.basis.functions[fi].eval(pt.position);
+                assert!((t.value(pi, ki) - direct).abs() < 1e-14);
+            }
+        }
+    }
+
+    #[test]
+    fn occupied_count_closed_shell() {
+        let s = small_system();
+        assert_eq!(s.n_electrons(), 10);
+        assert_eq!(s.n_occupied(), 5);
+    }
+
+    #[test]
+    fn density_from_identity_matrix_is_sum_of_squares() {
+        let s = small_system();
+        let p = DMatrix::identity(s.n_basis());
+        let n = s.density_on_grid(&p);
+        // At each point, n = Σ_μ χ_μ² >= 0.
+        assert!(n.iter().all(|&v| v >= -1e-14));
+        // Integrates to the number of basis functions (each normalized).
+        let total = s.grid.integrate_values(&n);
+        assert!(
+            (total - s.n_basis() as f64).abs() < 0.15,
+            "∫Σχ² = {total} vs {}",
+            s.n_basis()
+        );
+    }
+}

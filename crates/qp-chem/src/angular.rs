@@ -1,0 +1,265 @@
+//! Lebedev-style angular quadrature grids.
+//!
+//! The paper's grids follow Lebedev (refs [21, 22]): each radial shell of an
+//! atom carries a spherical point set whose order grows with radius. We
+//! implement the five smallest octahedrally-symmetric Lebedev rules (6, 14,
+//! 26, 38 and 50 points), exact for spherical polynomials of degree 3, 5, 7,
+//! 9 and 11 respectively — enough for the `pmax ≤ 9` multipole machinery.
+//!
+//! Weights are normalized so `Σ wᵢ = 1`; a surface integral is
+//! `∫ f dΩ ≈ 4π Σ wᵢ f(nᵢ)`.
+
+/// One angular quadrature point: unit direction and normalized weight.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AngularPoint {
+    /// Unit direction.
+    pub dir: [f64; 3],
+    /// Weight, with `Σ w = 1` over the grid.
+    pub weight: f64,
+}
+
+/// An angular (Lebedev) grid.
+#[derive(Debug, Clone)]
+pub struct AngularGrid {
+    points: Vec<AngularPoint>,
+    degree: usize,
+}
+
+/// Available grid sizes.
+pub const AVAILABLE_ORDERS: [usize; 5] = [6, 14, 26, 38, 50];
+
+fn push_octahedron(points: &mut Vec<AngularPoint>, w: f64) {
+    for d in 0..3 {
+        for s in [1.0, -1.0] {
+            let mut dir = [0.0; 3];
+            dir[d] = s;
+            points.push(AngularPoint { dir, weight: w });
+        }
+    }
+}
+
+fn push_cube_corners(points: &mut Vec<AngularPoint>, w: f64) {
+    let a = 1.0 / 3.0f64.sqrt();
+    for sx in [1.0, -1.0] {
+        for sy in [1.0, -1.0] {
+            for sz in [1.0, -1.0] {
+                points.push(AngularPoint {
+                    dir: [sx * a, sy * a, sz * a],
+                    weight: w,
+                });
+            }
+        }
+    }
+}
+
+fn push_edge_midpoints(points: &mut Vec<AngularPoint>, w: f64) {
+    let a = 1.0 / 2.0f64.sqrt();
+    // 12 points of the form (±a, ±a, 0) and permutations.
+    let axes = [(0usize, 1usize), (0, 2), (1, 2)];
+    for &(i, j) in &axes {
+        for si in [1.0, -1.0] {
+            for sj in [1.0, -1.0] {
+                let mut dir = [0.0; 3];
+                dir[i] = si * a;
+                dir[j] = sj * a;
+                points.push(AngularPoint { dir, weight: w });
+            }
+        }
+    }
+}
+
+/// 24 points of the form (±p, ±q, 0) and all permutations (p ≠ q).
+fn push_pq0(points: &mut Vec<AngularPoint>, p: f64, q: f64, w: f64) {
+    let perms = [(0usize, 1usize), (1, 0), (0, 2), (2, 0), (1, 2), (2, 1)];
+    for &(i, j) in &perms {
+        for si in [1.0, -1.0] {
+            for sj in [1.0, -1.0] {
+                let mut dir = [0.0; 3];
+                dir[i] = si * p;
+                dir[j] = sj * q;
+                points.push(AngularPoint { dir, weight: w });
+            }
+        }
+    }
+}
+
+/// 24 points of the form (±l, ±l, ±m) and permutations (2 equal coords).
+fn push_llm(points: &mut Vec<AngularPoint>, l: f64, m: f64, w: f64) {
+    // The distinct position of the m coordinate: 3 choices, signs: 8.
+    for mpos in 0..3usize {
+        for s0 in [1.0, -1.0] {
+            for s1 in [1.0, -1.0] {
+                for s2 in [1.0, -1.0] {
+                    let signs = [s0, s1, s2];
+                    let mut dir = [0.0; 3];
+                    for d in 0..3 {
+                        dir[d] = if d == mpos { signs[d] * m } else { signs[d] * l };
+                    }
+                    points.push(AngularPoint { dir, weight: w });
+                }
+            }
+        }
+    }
+}
+
+impl AngularGrid {
+    /// Build the Lebedev rule with exactly `order` points
+    /// (order ∈ {6, 14, 26, 38, 50}).
+    pub fn lebedev(order: usize) -> Self {
+        let mut points = Vec::with_capacity(order);
+        let degree = match order {
+            6 => {
+                push_octahedron(&mut points, 1.0 / 6.0);
+                3
+            }
+            14 => {
+                push_octahedron(&mut points, 1.0 / 15.0);
+                push_cube_corners(&mut points, 3.0 / 40.0);
+                5
+            }
+            26 => {
+                push_octahedron(&mut points, 1.0 / 21.0);
+                push_edge_midpoints(&mut points, 4.0 / 105.0);
+                push_cube_corners(&mut points, 9.0 / 280.0);
+                7
+            }
+            38 => {
+                push_octahedron(&mut points, 1.0 / 105.0);
+                push_cube_corners(&mut points, 9.0 / 280.0);
+                let p = 0.888_073_833_977_115_3;
+                let q = 0.459_700_843_380_983_1;
+                push_pq0(&mut points, p, q, 1.0 / 35.0);
+                9
+            }
+            50 => {
+                push_octahedron(&mut points, 4.0 / 315.0);
+                push_edge_midpoints(&mut points, 64.0 / 2835.0);
+                push_cube_corners(&mut points, 27.0 / 1280.0);
+                let l = 1.0 / 11.0f64.sqrt();
+                let m = 3.0 / 11.0f64.sqrt();
+                push_llm(&mut points, l, m, 14641.0 / 725760.0);
+                11
+            }
+            _ => panic!("unsupported Lebedev order {order}; available: {AVAILABLE_ORDERS:?}"),
+        };
+        debug_assert_eq!(points.len(), order);
+        AngularGrid { points, degree }
+    }
+
+    /// Smallest available rule exact to the given polynomial degree.
+    pub fn for_degree(degree: usize) -> Self {
+        let order = match degree {
+            0..=3 => 6,
+            4..=5 => 14,
+            6..=7 => 26,
+            8..=9 => 38,
+            _ => 50,
+        };
+        AngularGrid::lebedev(order)
+    }
+
+    /// Quadrature points.
+    pub fn points(&self) -> &[AngularPoint] {
+        &self.points
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True when empty (never for a constructed grid).
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Algebraic degree of exactness.
+    pub fn degree(&self) -> usize {
+        self.degree
+    }
+
+    /// Integrate a function over the unit sphere: `4π Σ wᵢ f(nᵢ)`.
+    pub fn integrate(&self, f: impl Fn([f64; 3]) -> f64) -> f64 {
+        4.0 * std::f64::consts::PI
+            * self
+                .points
+                .iter()
+                .map(|p| p.weight * f(p.dir))
+                .sum::<f64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harmonics::{lm_index, num_harmonics, ylm_vec};
+
+    #[test]
+    fn weights_sum_to_one_and_points_unit() {
+        for order in AVAILABLE_ORDERS {
+            let g = AngularGrid::lebedev(order);
+            assert_eq!(g.len(), order);
+            let ws: f64 = g.points().iter().map(|p| p.weight).sum();
+            assert!((ws - 1.0).abs() < 1e-12, "order {order}: Σw = {ws}");
+            for p in g.points() {
+                let r = (p.dir[0].powi(2) + p.dir[1].powi(2) + p.dir[2].powi(2)).sqrt();
+                assert!((r - 1.0).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn integrates_constant_to_4pi() {
+        for order in AVAILABLE_ORDERS {
+            let g = AngularGrid::lebedev(order);
+            assert!((g.integrate(|_| 1.0) - 4.0 * std::f64::consts::PI).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn exact_for_low_harmonics() {
+        // ∫ Y_lm dΩ = 0 for l > 0; ∫ Y_00 dΩ = sqrt(4π).
+        for order in AVAILABLE_ORDERS {
+            let g = AngularGrid::lebedev(order);
+            let lmax = g.degree() / 2; // products integrate exactly to 2*lmax
+            for l in 1..=lmax {
+                for m in -(l as i64)..=(l as i64) {
+                    let v = g.integrate(|d| ylm_vec(l, d)[lm_index(l, m)]);
+                    assert!(v.abs() < 1e-10, "order {order}, Y_{l}{m}: {v}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn harmonic_orthonormality_within_degree() {
+        // ∫ Y_a Y_b dΩ = δ_ab exactly when l_a + l_b <= degree.
+        let g = AngularGrid::lebedev(50);
+        let lmax = 5; // 5 + 5 = 10 <= 11
+        let nh = num_harmonics(lmax);
+        for a in 0..nh {
+            for b in a..nh {
+                let v = g.integrate(|d| {
+                    let y = ylm_vec(lmax, d);
+                    y[a] * y[b]
+                });
+                let expect = if a == b { 1.0 } else { 0.0 };
+                assert!((v - expect).abs() < 1e-9, "({a},{b}): {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn degree_selection() {
+        assert_eq!(AngularGrid::for_degree(3).len(), 6);
+        assert_eq!(AngularGrid::for_degree(5).len(), 14);
+        assert_eq!(AngularGrid::for_degree(9).len(), 38);
+        assert_eq!(AngularGrid::for_degree(20).len(), 50);
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported Lebedev order")]
+    fn unsupported_order_panics() {
+        let _ = AngularGrid::lebedev(7);
+    }
+}

@@ -1,0 +1,266 @@
+//! Chemical elements and their per-element numerical settings.
+//!
+//! The paper's workloads contain H, C, N, O and S (biomolecules). Each
+//! element carries the data an all-electron NAO code needs: nuclear charge,
+//! covalent radius (neighbour detection and structure generation), the
+//! confinement radius of its basis functions (the origin of Hamiltonian
+//! sparsity) and its shell structure for the two basis settings.
+
+/// A chemical element appearing in the paper's biomolecular systems.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Element {
+    /// Hydrogen (Z = 1).
+    H,
+    /// Carbon (Z = 6).
+    C,
+    /// Nitrogen (Z = 7).
+    N,
+    /// Oxygen (Z = 8).
+    O,
+    /// Phosphorus (Z = 15).
+    P,
+    /// Sulfur (Z = 16).
+    S,
+    /// Chlorine (Z = 17).
+    Cl,
+}
+
+/// One shell of numeric atomic orbitals: principal quantum number `n`,
+/// angular momentum `l`, and the Slater exponent of the underlying radial
+/// function.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Shell {
+    /// Principal quantum number.
+    pub n: u8,
+    /// Angular momentum (0 = s, 1 = p, 2 = d).
+    pub l: u8,
+    /// Slater exponent ζ of the radial function `r^(n-1) e^(-ζ r)`.
+    pub zeta: f64,
+}
+
+impl Shell {
+    /// Number of basis functions contributed: `2l + 1`.
+    pub fn num_functions(&self) -> usize {
+        2 * self.l as usize + 1
+    }
+}
+
+impl Element {
+    /// All supported elements.
+    pub const ALL: [Element; 7] = [
+        Element::H,
+        Element::C,
+        Element::N,
+        Element::O,
+        Element::P,
+        Element::S,
+        Element::Cl,
+    ];
+
+    /// Nuclear charge.
+    pub fn z(self) -> u32 {
+        match self {
+            Element::H => 1,
+            Element::C => 6,
+            Element::N => 7,
+            Element::O => 8,
+            Element::P => 15,
+            Element::S => 16,
+            Element::Cl => 17,
+        }
+    }
+
+    /// Element symbol.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            Element::H => "H",
+            Element::C => "C",
+            Element::N => "N",
+            Element::O => "O",
+            Element::P => "P",
+            Element::S => "S",
+            Element::Cl => "Cl",
+        }
+    }
+
+    /// Parse a symbol.
+    pub fn from_symbol(s: &str) -> Option<Element> {
+        match s {
+            "H" => Some(Element::H),
+            "C" => Some(Element::C),
+            "N" => Some(Element::N),
+            "O" => Some(Element::O),
+            "P" => Some(Element::P),
+            "S" => Some(Element::S),
+            "Cl" => Some(Element::Cl),
+            _ => None,
+        }
+    }
+
+    /// Covalent radius in Bohr (from Cordero et al., converted).
+    pub fn covalent_radius(self) -> f64 {
+        match self {
+            Element::H => 0.59,
+            Element::C => 1.44,
+            Element::N => 1.34,
+            Element::O => 1.25,
+            Element::P => 2.02,
+            Element::S => 1.98,
+            Element::Cl => 1.93,
+        }
+    }
+
+    /// Basis-function confinement (cutoff) radius in Bohr; FHI-aims "light"
+    /// settings confine NAOs to ~5 Å ≈ 9.4 Bohr, scaled mildly per element.
+    pub fn cutoff_radius(self) -> f64 {
+        match self {
+            Element::H => 7.0,
+            Element::C => 9.0,
+            Element::N => 9.0,
+            Element::O => 9.0,
+            Element::P => 10.0,
+            Element::S => 10.0,
+            Element::Cl => 10.0,
+        }
+    }
+
+    /// Number of electrons (= Z for neutral atoms).
+    pub fn num_electrons(self) -> u32 {
+        self.z()
+    }
+
+    /// All-electron shells at "light" settings: the occupied atomic shells.
+    ///
+    /// Slater exponents follow Slater's screening rules; these are the
+    /// radial functions an all-electron minimal NAO basis tabulates.
+    pub fn shells_light(self) -> Vec<Shell> {
+        match self {
+            Element::H => vec![Shell { n: 1, l: 0, zeta: 1.0 }],
+            Element::C => vec![
+                Shell { n: 1, l: 0, zeta: 5.70 },
+                Shell { n: 2, l: 0, zeta: 1.625 },
+                Shell { n: 2, l: 1, zeta: 1.625 },
+            ],
+            Element::N => vec![
+                Shell { n: 1, l: 0, zeta: 6.70 },
+                Shell { n: 2, l: 0, zeta: 1.95 },
+                Shell { n: 2, l: 1, zeta: 1.95 },
+            ],
+            Element::O => vec![
+                Shell { n: 1, l: 0, zeta: 7.70 },
+                Shell { n: 2, l: 0, zeta: 2.275 },
+                Shell { n: 2, l: 1, zeta: 2.275 },
+            ],
+            Element::P => vec![
+                Shell { n: 1, l: 0, zeta: 14.70 },
+                Shell { n: 2, l: 0, zeta: 4.95 },
+                Shell { n: 2, l: 1, zeta: 4.95 },
+                Shell { n: 3, l: 0, zeta: 1.88 },
+                Shell { n: 3, l: 1, zeta: 1.88 },
+            ],
+            Element::S => vec![
+                Shell { n: 1, l: 0, zeta: 15.70 },
+                Shell { n: 2, l: 0, zeta: 5.425 },
+                Shell { n: 2, l: 1, zeta: 5.425 },
+                Shell { n: 3, l: 0, zeta: 2.05 },
+                Shell { n: 3, l: 1, zeta: 2.05 },
+            ],
+            Element::Cl => vec![
+                Shell { n: 1, l: 0, zeta: 16.70 },
+                Shell { n: 2, l: 0, zeta: 5.90 },
+                Shell { n: 2, l: 1, zeta: 5.90 },
+                Shell { n: 3, l: 0, zeta: 2.217 },
+                Shell { n: 3, l: 1, zeta: 2.217 },
+            ],
+        }
+    }
+
+    /// "tier2"-like settings: light + one polarization shell. Mirrors the
+    /// paper's second basis setting (2 143 vs 1 359 functions for the
+    /// HIV-1 ligand).
+    pub fn shells_tier2(self) -> Vec<Shell> {
+        let mut shells = self.shells_light();
+        match self {
+            Element::H => shells.push(Shell { n: 2, l: 1, zeta: 1.3 }),
+            Element::C | Element::N | Element::O => {
+                shells.push(Shell { n: 3, l: 2, zeta: 2.0 })
+            }
+            Element::P | Element::S | Element::Cl => {
+                shells.push(Shell { n: 3, l: 2, zeta: 2.2 })
+            }
+        }
+        shells
+    }
+
+    /// Number of basis functions at light settings.
+    pub fn num_basis_light(self) -> usize {
+        self.shells_light().iter().map(Shell::num_functions).sum()
+    }
+
+    /// Number of basis functions at tier2 settings.
+    pub fn num_basis_tier2(self) -> usize {
+        self.shells_tier2().iter().map(Shell::num_functions).sum()
+    }
+
+    /// Shell occupations for the neutral ground-state atom, as
+    /// `(shell_index_in_light, electrons)` — used to seed the initial density.
+    pub fn shell_occupations(self) -> Vec<(usize, f64)> {
+        match self {
+            Element::H => vec![(0, 1.0)],
+            Element::C => vec![(0, 2.0), (1, 2.0), (2, 2.0)],
+            Element::N => vec![(0, 2.0), (1, 2.0), (2, 3.0)],
+            Element::O => vec![(0, 2.0), (1, 2.0), (2, 4.0)],
+            Element::P => vec![(0, 2.0), (1, 2.0), (2, 6.0), (3, 2.0), (4, 3.0)],
+            Element::S => vec![(0, 2.0), (1, 2.0), (2, 6.0), (3, 2.0), (4, 4.0)],
+            Element::Cl => vec![(0, 2.0), (1, 2.0), (2, 6.0), (3, 2.0), (4, 5.0)],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn z_and_symbols_round_trip() {
+        for e in Element::ALL {
+            assert_eq!(Element::from_symbol(e.symbol()), Some(e));
+        }
+        assert_eq!(Element::from_symbol("Xx"), None);
+    }
+
+    #[test]
+    fn light_basis_counts() {
+        // H: 1s -> 1 fn; C/N/O: 1s,2s,2p -> 1+1+3 = 5 fns.
+        assert_eq!(Element::H.num_basis_light(), 1);
+        assert_eq!(Element::C.num_basis_light(), 5);
+        assert_eq!(Element::O.num_basis_light(), 5);
+        // S: 1s,2s,2p,3s,3p -> 1+1+3+1+3 = 9.
+        assert_eq!(Element::S.num_basis_light(), 9);
+    }
+
+    #[test]
+    fn tier2_adds_polarization() {
+        assert_eq!(Element::H.num_basis_tier2(), 1 + 3); // + 2p
+        assert_eq!(Element::C.num_basis_tier2(), 5 + 5); // + 3d
+    }
+
+    #[test]
+    fn occupations_sum_to_electron_count() {
+        for e in Element::ALL {
+            let total: f64 = e.shell_occupations().iter().map(|&(_, occ)| occ).sum();
+            assert_eq!(total as u32, e.num_electrons(), "element {e:?}");
+        }
+    }
+
+    #[test]
+    fn occupations_fit_shell_capacity() {
+        for e in Element::ALL {
+            let shells = e.shells_light();
+            for (idx, occ) in e.shell_occupations() {
+                let cap = 2.0 * (2 * shells[idx].l as u32 + 1) as f64;
+                assert!(occ <= cap, "shell {idx} of {e:?} overfilled");
+            }
+        }
+    }
+}

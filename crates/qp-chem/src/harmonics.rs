@@ -1,0 +1,208 @@
+//! Real spherical harmonics.
+//!
+//! The multipole machinery of the response-potential phase expands densities
+//! and potentials in real spherical harmonics up to `l = pmax ≤ 9` (§4.4 of
+//! the paper — the Adams-Moulton loop iterates over exactly the `(p, m)`
+//! pairs these functions index). We implement the standard orthonormal real
+//! harmonics via associated-Legendre recursion.
+
+/// Maximum angular momentum supported (paper: pmax ≤ 9; we leave headroom).
+pub const LMAX_SUPPORTED: usize = 12;
+
+/// Number of real harmonics with `l ≤ lmax`: `(lmax+1)²`.
+pub fn num_harmonics(lmax: usize) -> usize {
+    (lmax + 1) * (lmax + 1)
+}
+
+/// Flattened index of `(l, m)` with `-l ≤ m ≤ l`: `l² + l + m`.
+///
+/// This is the same `idx = p² + p + m` linearization the paper's §4.4
+/// loop-collapse example uses.
+#[inline]
+pub fn lm_index(l: usize, m: i64) -> usize {
+    debug_assert!(m.unsigned_abs() as usize <= l);
+    (l * l) + (l as i64 + m) as usize
+}
+
+/// Inverse of [`lm_index`]: recover `(l, m)` from the flattened index —
+/// `l = isqrt(idx)`, `m = idx - l² - l` (the collapsed-loop body of §4.4).
+#[inline]
+pub fn lm_from_index(idx: usize) -> (usize, i64) {
+    let l = idx.isqrt();
+    let m = idx as i64 - (l * l) as i64 - l as i64;
+    (l, m)
+}
+
+/// Evaluate all associated Legendre polynomials `P_l^m(x)` for
+/// `0 ≤ m ≤ l ≤ lmax` into `plm[l*(l+1)/2 + m]`, including the
+/// Condon–Shortley phase.
+fn assoc_legendre_all(lmax: usize, x: f64, plm: &mut [f64]) {
+    let idx = |l: usize, m: usize| l * (l + 1) / 2 + m;
+    let somx2 = ((1.0 - x) * (1.0 + x)).max(0.0).sqrt();
+    plm[idx(0, 0)] = 1.0;
+    // Diagonal recursion: P_m^m = -(2m-1) sqrt(1-x^2) P_{m-1}^{m-1}.
+    for m in 1..=lmax {
+        plm[idx(m, m)] = -((2 * m - 1) as f64) * somx2 * plm[idx(m - 1, m - 1)];
+    }
+    // First off-diagonal: P_{m+1}^m = (2m+1) x P_m^m.
+    for m in 0..lmax {
+        plm[idx(m + 1, m)] = (2 * m + 1) as f64 * x * plm[idx(m, m)];
+    }
+    // Upward recursion in l.
+    for m in 0..=lmax {
+        for l in (m + 2)..=lmax {
+            plm[idx(l, m)] = (((2 * l - 1) as f64) * x * plm[idx(l - 1, m)]
+                - ((l + m - 1) as f64) * plm[idx(l - 2, m)])
+                / ((l - m) as f64);
+        }
+    }
+}
+
+/// Evaluate all real spherical harmonics `Y_lm` with `l ≤ lmax` at the unit
+/// direction `(x, y, z)` (not necessarily normalized; it is normalized
+/// internally). Output is indexed by [`lm_index`]; length `(lmax+1)²`.
+///
+/// Normalization: `∫ Y_lm Y_l'm' dΩ = δ δ`.
+pub fn real_spherical_harmonics(lmax: usize, dir: [f64; 3], out: &mut [f64]) {
+    assert!(lmax <= LMAX_SUPPORTED);
+    assert!(out.len() >= num_harmonics(lmax));
+    let r = (dir[0] * dir[0] + dir[1] * dir[1] + dir[2] * dir[2]).sqrt();
+    let (x, y, z) = if r > 0.0 {
+        (dir[0] / r, dir[1] / r, dir[2] / r)
+    } else {
+        (0.0, 0.0, 1.0)
+    };
+    let cos_theta = z;
+
+    let mut plm = vec![0.0; (lmax + 1) * (lmax + 2) / 2];
+    assoc_legendre_all(lmax, cos_theta, &mut plm);
+    let pidx = |l: usize, m: usize| l * (l + 1) / 2 + m;
+
+    // cos(m φ), sin(m φ) via the recurrence on (x, y) = (sinθ cosφ, sinθ sinφ):
+    // c_m = sinθ^m cos(mφ), s_m = sinθ^m sin(mφ) are polynomial in (x, y),
+    // but we need plain cos(mφ)/sin(mφ); compute φ from atan2 — clearer and
+    // these evaluations are not on the hot path of the kernels (those use
+    // tabulated values).
+    let phi = y.atan2(x);
+
+    let fourpi = 4.0 * std::f64::consts::PI;
+    for l in 0..=lmax {
+        // m = 0.
+        let n0 = ((2 * l + 1) as f64 / fourpi).sqrt();
+        out[lm_index(l, 0)] = n0 * plm[pidx(l, 0)];
+        // m > 0.
+        let mut fact_ratio = 1.0; // (l-m)!/(l+m)!
+        let mut cs_sign = 1.0; // (-1)^m cancels the Condon-Shortley phase
+        for m in 1..=l {
+            fact_ratio /= ((l + m) * (l - m + 1)) as f64;
+            cs_sign = -cs_sign;
+            let nm = cs_sign
+                * ((2 * l + 1) as f64 / fourpi * fact_ratio).sqrt()
+                * std::f64::consts::SQRT_2;
+            let p = plm[pidx(l, m)];
+            let mm = m as f64;
+            out[lm_index(l, m as i64)] = nm * p * (mm * phi).cos();
+            out[lm_index(l, -(m as i64))] = nm * p * (mm * phi).sin();
+        }
+    }
+}
+
+/// Convenience: allocate and return the harmonics vector.
+pub fn ylm_vec(lmax: usize, dir: [f64; 3]) -> Vec<f64> {
+    let mut out = vec![0.0; num_harmonics(lmax)];
+    real_spherical_harmonics(lmax, dir, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lm_index_round_trip() {
+        for l in 0..=9usize {
+            for m in -(l as i64)..=(l as i64) {
+                let idx = lm_index(l, m);
+                assert_eq!(lm_from_index(idx), (l, m));
+            }
+        }
+        assert_eq!(num_harmonics(9), 100);
+    }
+
+    #[test]
+    fn y00_is_constant() {
+        let v = ylm_vec(0, [0.3, -0.2, 0.9]);
+        let expect = 0.5 / std::f64::consts::PI.sqrt();
+        assert!((v[0] - expect).abs() < 1e-14);
+    }
+
+    #[test]
+    fn y1m_matches_cartesian_forms() {
+        // Y_1,-1 = sqrt(3/4π) y; Y_1,0 = sqrt(3/4π) z; Y_1,1 = sqrt(3/4π) x.
+        let dir = [0.48, -0.6, 0.64];
+        let c = (3.0 / (4.0 * std::f64::consts::PI)).sqrt();
+        let v = ylm_vec(1, dir);
+        assert!((v[lm_index(1, -1)] - c * dir[1]).abs() < 1e-12);
+        assert!((v[lm_index(1, 0)] - c * dir[2]).abs() < 1e-12);
+        assert!((v[lm_index(1, 1)] - c * dir[0]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn y2m_known_value_on_axis() {
+        // On the z axis, only m = 0 harmonics are nonzero and
+        // Y_l0(z=1) = sqrt((2l+1)/4π).
+        let v = ylm_vec(4, [0.0, 0.0, 1.0]);
+        for l in 0..=4usize {
+            let expect = ((2 * l + 1) as f64 / (4.0 * std::f64::consts::PI)).sqrt();
+            assert!((v[lm_index(l, 0)] - expect).abs() < 1e-12, "l = {l}");
+            for m in 1..=(l as i64) {
+                assert!(v[lm_index(l, m)].abs() < 1e-12);
+                assert!(v[lm_index(l, -m)].abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn orthonormality_via_dense_quadrature() {
+        // Gauss-free check: uniform theta-phi product grid converges slowly
+        // but 200x400 is plenty for l <= 4 at 1e-6.
+        let lmax = 4;
+        let nh = num_harmonics(lmax);
+        let ntheta = 200;
+        let nphi = 400;
+        let mut gram = vec![0.0; nh * nh];
+        let mut buf = vec![0.0; nh];
+        for it in 0..ntheta {
+            let theta = (it as f64 + 0.5) / ntheta as f64 * std::f64::consts::PI;
+            let wt = theta.sin() * std::f64::consts::PI / ntheta as f64 * 2.0
+                * std::f64::consts::PI
+                / nphi as f64;
+            for ip in 0..nphi {
+                let phi = ip as f64 / nphi as f64 * 2.0 * std::f64::consts::PI;
+                let dir = [theta.sin() * phi.cos(), theta.sin() * phi.sin(), theta.cos()];
+                real_spherical_harmonics(lmax, dir, &mut buf);
+                for a in 0..nh {
+                    for b in a..nh {
+                        gram[a * nh + b] += wt * buf[a] * buf[b];
+                    }
+                }
+            }
+        }
+        for a in 0..nh {
+            for b in a..nh {
+                let expect = if a == b { 1.0 } else { 0.0 };
+                assert!(
+                    (gram[a * nh + b] - expect).abs() < 1e-4,
+                    "gram[{a},{b}] = {}",
+                    gram[a * nh + b]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn zero_direction_does_not_panic() {
+        let v = ylm_vec(2, [0.0, 0.0, 0.0]);
+        assert!(v.iter().all(|x| x.is_finite()));
+    }
+}

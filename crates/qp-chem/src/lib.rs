@@ -1,0 +1,51 @@
+//! # qp-chem
+//!
+//! Quantum-chemistry substrate for the `qperturb` workspace — everything the
+//! SC '23 paper's DFPT code inherits from FHI-aims and that has no Rust
+//! ecosystem equivalent, built from scratch:
+//!
+//! * [`elements`] — chemical elements, nuclear charges, covalent radii and
+//!   per-element numeric-atomic-orbital (NAO) basis definitions at two
+//!   accuracy settings ("light" and "tier2", mirroring the paper's
+//!   1 359-basis vs 2 143-basis HIV-ligand runs).
+//! * [`geometry`] — atoms, molecular structures, neighbour search.
+//! * [`structures`] — deterministic generators for the paper's three
+//!   biomolecular workloads: H(C₂H₄)ₙH polyethylene chains, a 49-atom
+//!   HIV-1-protease-ligand-like molecule, and an RBD-like pseudo-protein.
+//! * [`spline`] — cubic splines; the objects counted in Fig. 9(c).
+//! * [`radial`] — logarithmic radial grids for all-electron atoms.
+//! * [`angular`] — Lebedev-style angular quadrature grids.
+//! * [`harmonics`] — real spherical harmonics up to `l = 9`
+//!   (`pmax ≤ 9` in §4.4 of the paper).
+//! * [`basis`] — the NAO basis set: splined radial parts × spherical
+//!   harmonics, with finite support (cutoff radii) — the origin of
+//!   Hamiltonian sparsity.
+//! * [`xc`] — LDA exchange-correlation (Perdew-Zunger '81): `εxc`, `vxc`,
+//!   and the kernel `fxc = ∂vxc/∂n` needed by Eq. 12.
+//! * [`grids`] — atom-centered integration grids with Becke partition
+//!   weights; the non-uniform grid points of Fig. 2.
+//! * [`multipole`] — multipole expansion of densities and the radial Poisson
+//!   solver (Adams–Moulton multistep integration, §4.4) producing the
+//!   `rho_multipole_spl` / `delta_v_hart_part_spl` tables of §4.2.
+
+// `for d in 0..3` indexing several parallel arrays at once is the clearest
+// form for Cartesian components; the iterator rewrite obscures it.
+#![allow(clippy::needless_range_loop)]
+
+pub mod angular;
+pub mod basis;
+pub mod elements;
+pub mod geometry;
+pub mod grids;
+pub mod harmonics;
+pub mod io;
+pub mod multipole;
+pub mod radial;
+pub mod spline;
+pub mod structures;
+pub mod xc;
+
+pub use basis::{BasisFunction, BasisSet, BasisSettings};
+pub use elements::Element;
+pub use geometry::{Atom, Structure};
+pub use spline::CubicSpline;

@@ -1,0 +1,397 @@
+//! Multipole expansion of densities and the radial Poisson solver.
+//!
+//! This is the machinery behind the paper's response-potential phase
+//! (`v¹_es,tot(r)`, Eq. 9): every atom's partitioned density is expanded in
+//! real spherical harmonics on its radial shells (`rho_multipole`), the
+//! radial Poisson equation is integrated per `(atom, l, m)` channel with an
+//! Adams–Moulton linear multistep integrator (§4.4), and the resulting
+//! partitioned Hartree potential is stored as cubic-spline tables
+//! (`delta_v_hart_part_spl`, §4.2) that are then interpolated at every grid
+//! point.
+
+use crate::geometry::Structure;
+use crate::grids::IntegrationGrid;
+use crate::harmonics::{num_harmonics, real_spherical_harmonics};
+use crate::spline::CubicSpline;
+
+/// Cumulative integral `I_k = ∫_{x_0}^{x_k} f dx` on a uniformly spaced grid
+/// (spacing `h`) using the 3rd-order Adams–Moulton corrector
+/// `I_k = I_{k-1} + h/12 · (5 f_k + 8 f_{k-1} − f_{k-2})`, with a trapezoid
+/// first step. `I_0 = 0`.
+pub fn adams_moulton_cumulative(h: f64, f: &[f64]) -> Vec<f64> {
+    let n = f.len();
+    let mut out = vec![0.0; n];
+    if n == 2 {
+        out[1] = 0.5 * h * (f[0] + f[1]);
+    } else if n >= 3 {
+        // 3rd-order starting step (exact for quadratics, like the corrector).
+        out[1] = h / 12.0 * (5.0 * f[0] + 8.0 * f[1] - f[2]);
+    }
+    for k in 2..n {
+        out[k] = out[k - 1] + h / 12.0 * (5.0 * f[k] + 8.0 * f[k - 1] - f[k - 2]);
+    }
+    out
+}
+
+/// Multipole moments of a (partitioned) density:
+/// `rho_multipole[atom][shell * n_lm + lm] = ∫ Y_lm n_atom(r_shell, Ω) dΩ`.
+#[derive(Debug, Clone)]
+pub struct MultipoleMoments {
+    /// Expansion order.
+    pub lmax: usize,
+    /// `moments[atom][shell * n_lm + lm]`.
+    pub moments: Vec<Vec<f64>>,
+    /// Number of `(l, m)` channels: `(lmax+1)²`.
+    pub n_lm: usize,
+}
+
+impl MultipoleMoments {
+    /// Compute the per-atom multipole moments of the density tabulated at
+    /// every grid point (`density` parallel to `grid.points`).
+    ///
+    /// This is the `rho_multipole` array the paper's packed AllReduce
+    /// synthesizes row-by-row (§3.2.1).
+    pub fn compute(
+        structure: &Structure,
+        grid: &IntegrationGrid,
+        density: &[f64],
+        lmax: usize,
+    ) -> Self {
+        assert_eq!(density.len(), grid.points.len());
+        let n_lm = num_harmonics(lmax);
+        let n_shells = grid.radial.len();
+        let fourpi = 4.0 * std::f64::consts::PI;
+        let mut moments = vec![vec![0.0; n_shells * n_lm]; structure.len()];
+        let mut ylm = vec![0.0; n_lm];
+        for (p, &n_val) in grid.points.iter().zip(density.iter()) {
+            let ia = p.atom as usize;
+            let center = structure.atoms[ia].position;
+            let dir = [
+                p.position[0] - center[0],
+                p.position[1] - center[1],
+                p.position[2] - center[2],
+            ];
+            real_spherical_harmonics(lmax, dir, &mut ylm);
+            let base = p.shell as usize * n_lm;
+            // n_atom = partition * n;  ∫ dΩ ≈ 4π Σ w_ang.
+            let f = fourpi * p.w_angular * p.partition * n_val;
+            let row = &mut moments[ia][base..base + n_lm];
+            for (m, y) in row.iter_mut().zip(ylm.iter()) {
+                *m += f * y;
+            }
+        }
+        MultipoleMoments {
+            lmax,
+            moments,
+            n_lm,
+        }
+    }
+
+    /// Size in bytes of one atom's moment table (one "row" of
+    /// `rho_multipole` in the paper's AllReduce packing discussion).
+    pub fn row_bytes(&self) -> usize {
+        self.moments
+            .first()
+            .map(|m| m.len() * std::mem::size_of::<f64>())
+            .unwrap_or(0)
+    }
+}
+
+/// The partitioned Hartree potential: per `(atom, lm)` a radial spline plus
+/// the analytic far-field multipole tail.
+#[derive(Debug)]
+pub struct HartreeSolution {
+    /// Expansion order.
+    pub lmax: usize,
+    /// Number of `(l, m)` channels.
+    pub n_lm: usize,
+    /// Atom centers.
+    pub centers: Vec<[f64; 3]>,
+    /// `splines[atom][lm]`: `v_lm(r)` for `r ≤ r_outer`.
+    pub splines: Vec<Vec<CubicSpline>>,
+    /// `tails[atom][lm]`: far-field coefficient `q_lm` with
+    /// `v_lm(r > r_outer) = 4π/(2l+1) · q_lm / r^{l+1}`.
+    pub tails: Vec<Vec<f64>>,
+    /// Outermost tabulated radius.
+    pub r_outer: f64,
+}
+
+/// Solve the (response) Poisson equation for a density given on the grid,
+/// via per-atom multipole expansion and radial Adams–Moulton integration.
+pub fn solve_poisson(
+    structure: &Structure,
+    grid: &IntegrationGrid,
+    moments: &MultipoleMoments,
+) -> HartreeSolution {
+    let lmax = moments.lmax;
+    let n_lm = moments.n_lm;
+    let radii = grid.radial.radii();
+    let n_r = radii.len();
+    let h = (radii[n_r - 1] / radii[0]).ln() / (n_r - 1) as f64;
+    let fourpi = 4.0 * std::f64::consts::PI;
+
+    let mut splines = Vec::with_capacity(structure.len());
+    let mut tails = Vec::with_capacity(structure.len());
+    for mom in moments.moments.iter() {
+        let mut atom_splines = Vec::with_capacity(n_lm);
+        let mut atom_tails = Vec::with_capacity(n_lm);
+        for lm in 0..n_lm {
+            let (l, _m) = crate::harmonics::lm_from_index(lm);
+            let li = l as i32;
+            // rho_lm(r_k).
+            let rho: Vec<f64> = (0..n_r).map(|k| mom[k * n_lm + lm]).collect();
+            // Inner integral ∫_0^r s^{l+2} rho ds; log-measure ds = s·h·di.
+            let f_in: Vec<f64> = (0..n_r)
+                .map(|k| radii[k].powi(li + 3) * rho[k])
+                .collect();
+            let mut inner = adams_moulton_cumulative(h, &f_in);
+            // Add the [0, r_0] head assuming rho constant there.
+            let head = rho[0] * radii[0].powi(li + 3) / (li + 3) as f64;
+            for v in inner.iter_mut() {
+                *v += head;
+            }
+            // Outer integral ∫_r^{rmax} s^{1-l} rho ds (reverse cumulative).
+            let f_out: Vec<f64> = (0..n_r)
+                .map(|k| radii[k].powi(2 - li) * rho[k])
+                .collect();
+            let cum = adams_moulton_cumulative(h, &f_out);
+            let total = cum[n_r - 1];
+            let outer: Vec<f64> = cum.iter().map(|c| total - c).collect();
+
+            let pref = fourpi / (2.0 * l as f64 + 1.0);
+            let v: Vec<f64> = (0..n_r)
+                .map(|k| {
+                    pref * (inner[k] / radii[k].powi(li + 1) + radii[k].powi(li) * outer[k])
+                })
+                .collect();
+            atom_tails.push(inner[n_r - 1]);
+            atom_splines.push(CubicSpline::natural(radii.to_vec(), v));
+        }
+        splines.push(atom_splines);
+        tails.push(atom_tails);
+    }
+    HartreeSolution {
+        lmax,
+        n_lm,
+        centers: structure.atoms.iter().map(|a| a.position).collect(),
+        splines,
+        tails,
+        r_outer: radii[n_r - 1],
+    }
+}
+
+impl HartreeSolution {
+    /// Evaluate the potential at `p`, summing the contribution of the listed
+    /// atoms (callers prune by distance; pass `0..natoms` for all).
+    pub fn eval_atoms(&self, p: [f64; 3], atoms: impl IntoIterator<Item = usize>) -> f64 {
+        let fourpi = 4.0 * std::f64::consts::PI;
+        let mut ylm = vec![0.0; self.n_lm];
+        let mut v = 0.0;
+        for ia in atoms {
+            let c = self.centers[ia];
+            let d = [p[0] - c[0], p[1] - c[1], p[2] - c[2]];
+            let r = (d[0] * d[0] + d[1] * d[1] + d[2] * d[2]).sqrt();
+            real_spherical_harmonics(self.lmax, d, &mut ylm);
+            if r <= self.r_outer {
+                for lm in 0..self.n_lm {
+                    v += self.splines[ia][lm].eval(r.max(1e-6)) * ylm[lm];
+                }
+            } else {
+                for lm in 0..self.n_lm {
+                    let (l, _) = crate::harmonics::lm_from_index(lm);
+                    let pref = fourpi / (2.0 * l as f64 + 1.0);
+                    v += pref * self.tails[ia][lm] / r.powi(l as i32 + 1) * ylm[lm];
+                }
+            }
+        }
+        v
+    }
+
+    /// Evaluate summing all atoms.
+    pub fn eval(&self, p: [f64; 3]) -> f64 {
+        self.eval_atoms(p, 0..self.centers.len())
+    }
+
+    /// Total bytes of all spline tables — the `delta_v_hart_part_spl`
+    /// volume of Fig. 12(a).
+    pub fn spline_table_bytes(&self) -> usize {
+        self.splines
+            .iter()
+            .flat_map(|per_atom| per_atom.iter().map(|s| s.memory_bytes()))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::elements::Element;
+    use crate::geometry::Atom;
+    use crate::grids::GridSettings;
+    use qp_linalg::vecops::dist3;
+
+    fn single_atom() -> Structure {
+        Structure::new(vec![Atom::new(Element::O, [0.0; 3])])
+    }
+
+    #[test]
+    fn adams_moulton_integrates_polynomial_exactly() {
+        // 3rd-order AM is exact for quadratics: ∫ x² = x³/3.
+        let h = 0.1;
+        let xs: Vec<f64> = (0..50).map(|i| i as f64 * h).collect();
+        let f: Vec<f64> = xs.iter().map(|x| x * x).collect();
+        let cum = adams_moulton_cumulative(h, &f);
+        for (k, x) in xs.iter().enumerate().skip(2) {
+            assert!(
+                (cum[k] - x * x * x / 3.0).abs() < 1e-10,
+                "k = {k}: {} vs {}",
+                cum[k],
+                x * x * x / 3.0
+            );
+        }
+    }
+
+    #[test]
+    fn adams_moulton_sine() {
+        let h = 0.01;
+        let f: Vec<f64> = (0..314).map(|i| (i as f64 * h).sin()).collect();
+        let cum = adams_moulton_cumulative(h, &f);
+        let x_end = 313.0 * h;
+        assert!((cum[313] - (1.0 - x_end.cos())).abs() < 1e-8);
+    }
+
+    fn gaussian_density(grid: &IntegrationGrid, center: [f64; 3], alpha: f64, q: f64) -> Vec<f64> {
+        let norm = q * (alpha / std::f64::consts::PI).powf(1.5);
+        grid.points
+            .iter()
+            .map(|p| {
+                let r = dist3(p.position, center);
+                norm * (-alpha * r * r).exp()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn monopole_moment_recovers_charge() {
+        let s = single_atom();
+        let grid = IntegrationGrid::build(&s, &GridSettings::light());
+        let n = gaussian_density(&grid, [0.0; 3], 1.2, 3.0);
+        let mom = MultipoleMoments::compute(&s, &grid, &n, 2);
+        // Q = ∫ n = Σ_k w_rad_k · sqrt(4π) · rho_00(r_k).
+        let q: f64 = grid
+            .radial
+            .weights()
+            .iter()
+            .enumerate()
+            .map(|(k, w)| w * mom.moments[0][k * mom.n_lm] * (4.0 * std::f64::consts::PI).sqrt())
+            .sum();
+        assert!((q - 3.0).abs() < 0.01, "recovered charge {q}");
+    }
+
+    #[test]
+    fn spherical_density_has_no_higher_moments() {
+        let s = single_atom();
+        let grid = IntegrationGrid::build(&s, &GridSettings::light());
+        let n = gaussian_density(&grid, [0.0; 3], 1.0, 1.0);
+        let mom = MultipoleMoments::compute(&s, &grid, &n, 3);
+        for k in 0..grid.radial.len() {
+            for lm in 1..mom.n_lm {
+                assert!(
+                    mom.moments[0][k * mom.n_lm + lm].abs() < 1e-8,
+                    "shell {k}, lm {lm}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn hartree_of_gaussian_matches_erf() {
+        // v(r) = Q erf(sqrt(α) r)/r for a normalized Gaussian charge.
+        let s = single_atom();
+        let grid = IntegrationGrid::build(&s, &GridSettings::light());
+        let alpha = 1.0;
+        let q = 2.0;
+        let n = gaussian_density(&grid, [0.0; 3], alpha, q);
+        let mom = MultipoleMoments::compute(&s, &grid, &n, 2);
+        let sol = solve_poisson(&s, &grid, &mom);
+        let erf = |x: f64| {
+            // Abramowitz-Stegun 7.1.26, |err| < 1.5e-7.
+            let t = 1.0 / (1.0 + 0.3275911 * x);
+            1.0 - (((((1.061405429 * t - 1.453152027) * t) + 1.421413741) * t - 0.284496736)
+                * t
+                + 0.254829592)
+                * t
+                * (-x * x).exp()
+        };
+        for &r in &[0.5, 1.0, 2.0, 4.0, 7.0] {
+            let v = sol.eval([r, 0.0, 0.0]);
+            let expect = q * erf(alpha.sqrt() * r) / r;
+            assert!(
+                (v - expect).abs() < 0.01 * expect.abs().max(0.1),
+                "r = {r}: {v} vs {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn far_field_is_q_over_r() {
+        let s = single_atom();
+        let grid = IntegrationGrid::build(&s, &GridSettings::light());
+        let n = gaussian_density(&grid, [0.0; 3], 2.0, 5.0);
+        let mom = MultipoleMoments::compute(&s, &grid, &n, 2);
+        let sol = solve_poisson(&s, &grid, &mom);
+        let r = sol.r_outer * 2.0;
+        let v = sol.eval([0.0, 0.0, r]);
+        assert!((v - 5.0 / r).abs() < 1e-3, "v = {v}, Q/r = {}", 5.0 / r);
+    }
+
+    #[test]
+    fn off_center_gaussian_monopole_tail() {
+        // Density centered on the atom but evaluated far away must still
+        // look like Q/|r| — exercises the full lm machinery.
+        let s = single_atom();
+        let grid = IntegrationGrid::build(&s, &GridSettings::light());
+        let n = gaussian_density(&grid, [0.3, -0.2, 0.1], 2.0, 1.0);
+        let mom = MultipoleMoments::compute(&s, &grid, &n, 4);
+        let sol = solve_poisson(&s, &grid, &mom);
+        let p = [12.0, 5.0, -8.0];
+        let d = dist3(p, [0.3, -0.2, 0.1]);
+        let v = sol.eval(p);
+        assert!((v - 1.0 / d).abs() < 5e-3, "v = {v} vs {}", 1.0 / d);
+    }
+
+    #[test]
+    fn two_center_potential_superposes() {
+        // Two atoms, each with a Gaussian blob on its own grid: the total
+        // potential is the sum of the two single-center potentials.
+        let s2 = Structure::new(vec![
+            Atom::new(Element::O, [0.0; 3]),
+            Atom::new(Element::O, [4.0, 0.0, 0.0]),
+        ]);
+        let grid = IntegrationGrid::build(&s2, &GridSettings::light());
+        let n: Vec<f64> = grid
+            .points
+            .iter()
+            .map(|p| {
+                let r1 = dist3(p.position, [0.0; 3]);
+                let r2 = dist3(p.position, [4.0, 0.0, 0.0]);
+                (1.5f64 / std::f64::consts::PI).powf(1.5)
+                    * ((-1.5 * r1 * r1).exp() + (-1.5 * r2 * r2).exp())
+            })
+            .collect();
+        let mom = MultipoleMoments::compute(&s2, &grid, &n, 4);
+        let sol = solve_poisson(&s2, &grid, &mom);
+        // At the midpoint, each unit charge contributes erf-screened ~1/2.
+        let v = sol.eval([2.0, 0.0, 0.0]);
+        assert!((v - 1.0).abs() < 0.02, "midpoint potential {v}");
+    }
+
+    #[test]
+    fn row_bytes_matches_layout() {
+        let s = single_atom();
+        let grid = IntegrationGrid::build(&s, &GridSettings::coarse());
+        let n = vec![0.0; grid.len()];
+        let mom = MultipoleMoments::compute(&s, &grid, &n, 3);
+        assert_eq!(mom.row_bytes(), grid.radial.len() * 16 * 8);
+    }
+}

@@ -1,0 +1,106 @@
+//! Logarithmic radial grids.
+//!
+//! All-electron NAO codes tabulate radial functions on logarithmic grids so
+//! that the nuclear-cusp region is resolved; the paper's "non-uniform radial
+//! spherical grid points centered on the geometric coordinates of the
+//! nucleus" (§3.1) are the product of these shells with the angular grids.
+
+/// A logarithmic radial grid `r_i = r_min (r_max/r_min)^(i/(N-1))`.
+#[derive(Debug, Clone)]
+pub struct RadialGrid {
+    r: Vec<f64>,
+    /// Integration weights including the `r²` Jacobian:
+    /// `∫ f(r) r² dr ≈ Σ w_i f(r_i)`.
+    w: Vec<f64>,
+}
+
+impl RadialGrid {
+    /// Build a grid of `n` shells from `r_min` to `r_max` (Bohr).
+    pub fn logarithmic(r_min: f64, r_max: f64, n: usize) -> Self {
+        assert!(n >= 2 && r_min > 0.0 && r_max > r_min);
+        let h = (r_max / r_min).ln() / (n - 1) as f64;
+        let r: Vec<f64> = (0..n).map(|i| r_min * (h * i as f64).exp()).collect();
+        // Trapezoid in log space: dr = r h, plus the r^2 Jacobian.
+        let mut w: Vec<f64> = r.iter().map(|&ri| ri * ri * ri * h).collect();
+        w[0] *= 0.5;
+        w[n - 1] *= 0.5;
+        RadialGrid { r, w }
+    }
+
+    /// Shell radii.
+    pub fn radii(&self) -> &[f64] {
+        &self.r
+    }
+
+    /// Integration weights (with `r²` Jacobian).
+    pub fn weights(&self) -> &[f64] {
+        &self.w
+    }
+
+    /// Number of shells.
+    pub fn len(&self) -> usize {
+        self.r.len()
+    }
+
+    /// True when the grid has no shells.
+    pub fn is_empty(&self) -> bool {
+        self.r.is_empty()
+    }
+
+    /// Integrate `Σ w_i f(r_i)` — i.e. `∫ f(r) r² dr`.
+    pub fn integrate(&self, f: impl Fn(f64) -> f64) -> f64 {
+        self.r
+            .iter()
+            .zip(self.w.iter())
+            .map(|(&ri, &wi)| wi * f(ri))
+            .sum()
+    }
+
+    /// Integrate tabulated values `Σ w_i f_i`.
+    pub fn integrate_values(&self, f: &[f64]) -> f64 {
+        assert_eq!(f.len(), self.r.len());
+        self.w.iter().zip(f.iter()).map(|(w, f)| w * f).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn radii_monotone_and_bounded() {
+        let g = RadialGrid::logarithmic(1e-4, 10.0, 100);
+        assert_eq!(g.len(), 100);
+        assert!((g.radii()[0] - 1e-4).abs() < 1e-12);
+        assert!((g.radii()[99] - 10.0).abs() < 1e-9);
+        for w in g.radii().windows(2) {
+            assert!(w[1] > w[0]);
+        }
+    }
+
+    #[test]
+    fn integrates_exponential_norm() {
+        // ∫ e^{-2r} r² dr = 2/8 = 0.25 over [0, ∞).
+        let g = RadialGrid::logarithmic(1e-6, 40.0, 600);
+        let v = g.integrate(|r| (-2.0 * r).exp());
+        assert!((v - 0.25).abs() < 1e-5, "got {v}");
+    }
+
+    #[test]
+    fn integrates_gaussian() {
+        // ∫ e^{-r²} r² dr = sqrt(pi)/4.
+        let g = RadialGrid::logarithmic(1e-6, 12.0, 500);
+        let v = g.integrate(|r| (-r * r).exp());
+        let expect = std::f64::consts::PI.sqrt() / 4.0;
+        assert!((v - expect).abs() < 1e-5, "got {v}, expected {expect}");
+    }
+
+    #[test]
+    fn integrate_values_matches_closure() {
+        let g = RadialGrid::logarithmic(0.01, 5.0, 50);
+        let tab: Vec<f64> = g.radii().iter().map(|&r| r.sin()).collect();
+        let a = g.integrate_values(&tab);
+        let b = g.integrate(|r| r.sin());
+        assert!((a - b).abs() < 1e-14);
+    }
+}

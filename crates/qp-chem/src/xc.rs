@@ -1,0 +1,205 @@
+//! LDA exchange-correlation (Perdew–Zunger 1981 parameterization of the
+//! Ceperley–Alder electron gas).
+//!
+//! The paper's calculations "use light settings and the LDA functional"
+//! (§5.1). The DFPT phase needs not only `v_xc[n]` but the kernel
+//! `f_xc = ∂v_xc/∂n` (Eq. 12:
+//! `v¹_xc = (∂v_xc/∂n) n¹(r)`), so all three derivatives of the
+//! exchange-correlation energy density are implemented analytically.
+
+/// Exchange energy per particle `ε_x(n)` (Hartree).
+pub fn epsilon_x(n: f64) -> f64 {
+    if n <= 0.0 {
+        return 0.0;
+    }
+    let cx = -0.75 * (3.0 / std::f64::consts::PI).cbrt();
+    cx * n.cbrt()
+}
+
+/// Exchange potential `v_x = d(n ε_x)/dn = (4/3) ε_x`.
+pub fn v_x(n: f64) -> f64 {
+    4.0 / 3.0 * epsilon_x(n)
+}
+
+/// Exchange kernel `f_x = dv_x/dn = (4/9) ε_x / n`.
+pub fn f_x(n: f64) -> f64 {
+    if n <= 0.0 {
+        return 0.0;
+    }
+    4.0 / 9.0 * epsilon_x(n) / n
+}
+
+/// Wigner–Seitz radius `r_s = (3/(4π n))^(1/3)`.
+pub fn rs_of_n(n: f64) -> f64 {
+    (3.0 / (4.0 * std::f64::consts::PI * n)).cbrt()
+}
+
+// PZ81 constants (unpolarized).
+const A: f64 = 0.0311;
+const B: f64 = -0.048;
+const C: f64 = 0.0020;
+const D: f64 = -0.0116;
+const GAMMA: f64 = -0.1423;
+const BETA1: f64 = 1.0529;
+const BETA2: f64 = 0.3334;
+
+/// Correlation energy per particle `ε_c(r_s)` and its first two `r_s`
+/// derivatives.
+fn ec_and_derivs(rs: f64) -> (f64, f64, f64) {
+    if rs < 1.0 {
+        let ln = rs.ln();
+        let ec = A * ln + B + C * rs * ln + D * rs;
+        let d1 = A / rs + C * (ln + 1.0) + D;
+        let d2 = -A / (rs * rs) + C / rs;
+        (ec, d1, d2)
+    } else {
+        let sq = rs.sqrt();
+        let den = 1.0 + BETA1 * sq + BETA2 * rs;
+        let ec = GAMMA / den;
+        let dden = 0.5 * BETA1 / sq + BETA2;
+        let d2den = -0.25 * BETA1 / (sq * rs);
+        let d1 = -GAMMA * dden / (den * den);
+        let d2 = GAMMA * (2.0 * dden * dden / den.powi(3) - d2den / (den * den));
+        (ec, d1, d2)
+    }
+}
+
+/// Correlation energy per particle.
+pub fn epsilon_c(n: f64) -> f64 {
+    if n <= 0.0 {
+        return 0.0;
+    }
+    ec_and_derivs(rs_of_n(n)).0
+}
+
+/// Correlation potential `v_c = ε_c − (r_s/3) dε_c/dr_s`.
+pub fn v_c(n: f64) -> f64 {
+    if n <= 0.0 {
+        return 0.0;
+    }
+    let rs = rs_of_n(n);
+    let (ec, d1, _) = ec_and_derivs(rs);
+    ec - rs / 3.0 * d1
+}
+
+/// Correlation kernel `f_c = dv_c/dn`.
+///
+/// With `dr_s/dn = −r_s/(3n)`:
+/// `dv_c/dr_s = (2/3) ε_c' − (r_s/3) ε_c''`, so
+/// `f_c = −(r_s/(3n)) [(2/3) ε_c' − (r_s/3) ε_c'']`.
+pub fn f_c(n: f64) -> f64 {
+    if n <= 0.0 {
+        return 0.0;
+    }
+    let rs = rs_of_n(n);
+    let (_, d1, d2) = ec_and_derivs(rs);
+    let dvc_drs = 2.0 / 3.0 * d1 - rs / 3.0 * d2;
+    -(rs / (3.0 * n)) * dvc_drs
+}
+
+/// Total exchange-correlation energy per particle.
+pub fn epsilon_xc(n: f64) -> f64 {
+    epsilon_x(n) + epsilon_c(n)
+}
+
+/// Total exchange-correlation potential `v_xc`.
+pub fn v_xc(n: f64) -> f64 {
+    v_x(n) + v_c(n)
+}
+
+/// Total kernel `f_xc = ∂v_xc/∂n` — the factor multiplying `n¹(r)` in Eq. 12.
+pub fn f_xc(n: f64) -> f64 {
+    f_x(n) + f_c(n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fd(f: impl Fn(f64) -> f64, x: f64) -> f64 {
+        let h = x * 1e-6;
+        (f(x + h) - f(x - h)) / (2.0 * h)
+    }
+
+    #[test]
+    fn vx_is_derivative_of_exchange_energy_density() {
+        for &n in &[1e-4, 0.01, 0.3, 2.0, 50.0] {
+            let analytic = v_x(n);
+            let numeric = fd(|m| m * epsilon_x(m), n);
+            assert!((analytic - numeric).abs() < 1e-6 * analytic.abs().max(1e-8));
+        }
+    }
+
+    #[test]
+    fn vc_is_derivative_of_correlation_energy_density() {
+        // Both branches of PZ81: rs < 1 (high density) and rs > 1.
+        for &n in &[1e-4, 0.002, 0.05, 0.239, 0.3, 5.0] {
+            let analytic = v_c(n);
+            let numeric = fd(|m| m * epsilon_c(m), n);
+            assert!(
+                (analytic - numeric).abs() < 1e-6,
+                "n = {n}: {analytic} vs {numeric}"
+            );
+        }
+    }
+
+    #[test]
+    fn fx_is_derivative_of_vx() {
+        for &n in &[0.01, 0.3, 2.0] {
+            let analytic = f_x(n);
+            let numeric = fd(v_x, n);
+            assert!((analytic - numeric).abs() < 1e-6 * analytic.abs());
+        }
+    }
+
+    #[test]
+    fn fc_is_derivative_of_vc() {
+        for &n in &[1e-3, 0.01, 0.239, 0.5, 5.0] {
+            let analytic = f_c(n);
+            let numeric = fd(v_c, n);
+            assert!(
+                (analytic - numeric).abs() < 1e-5 * analytic.abs().max(1e-6),
+                "n = {n}: {analytic} vs {numeric}"
+            );
+        }
+    }
+
+    #[test]
+    fn known_uniform_gas_value() {
+        // At rs = 1 (n = 3/4π): εx = -0.75 (3/π)^(1/3) * (3/4π)^(1/3)
+        //                           = -(3/4)(9/(4π²))^(1/3) ≈ -0.45817 Ha.
+        let n = 3.0 / (4.0 * std::f64::consts::PI);
+        assert!((rs_of_n(n) - 1.0).abs() < 1e-12);
+        assert!((epsilon_x(n) + 0.45817).abs() < 1e-4);
+        // PZ81 correlation at rs = 1 from the low-density branch:
+        // γ/(1+β1+β2) = -0.1423/2.3863 ≈ -0.05963.
+        assert!((epsilon_c(n) + 0.05963).abs() < 1e-4);
+    }
+
+    #[test]
+    fn zero_density_is_safe() {
+        assert_eq!(epsilon_xc(0.0), 0.0);
+        assert_eq!(v_xc(0.0), 0.0);
+        assert_eq!(f_xc(0.0), 0.0);
+        assert_eq!(v_xc(-1e-10), 0.0);
+    }
+
+    #[test]
+    fn branch_continuity_at_rs_one() {
+        // PZ81 is constructed continuous at rs = 1 (value; small kinks in
+        // derivatives are a known property of the parameterization).
+        // PZ81's two branches differ by ~3e-5 Ha at the seam — a documented
+        // property of the parameterization, not a bug.
+        let n1 = 3.0 / (4.0 * std::f64::consts::PI) * 1.000001;
+        let n2 = 3.0 / (4.0 * std::f64::consts::PI) * 0.999999;
+        assert!((epsilon_c(n1) - epsilon_c(n2)).abs() < 1e-4);
+    }
+
+    #[test]
+    fn potentials_negative_for_physical_densities() {
+        for &n in &[1e-3, 0.1, 1.0, 10.0] {
+            assert!(v_xc(n) < 0.0);
+            assert!(epsilon_xc(n) < 0.0);
+        }
+    }
+}

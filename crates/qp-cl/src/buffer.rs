@@ -1,0 +1,178 @@
+//! Buffers and address spaces (§4.1 "Data").
+//!
+//! "Arrays required or produced by each OpenCL kernel are stored using
+//! buffers residing in the `__global` address space, mapped onto the
+//! accelerator's off-chip memory. For those arrays that are reused several
+//! times, `__local` address space is exploited, to place array elements
+//! reused in a long distance into the accelerator's on-chip memory, reducing
+//! costly data round trip to off-chip memory."
+//!
+//! A [`Buffer`] owns its data plus the address space it lives in; reads and
+//! writes are metered onto a [`KernelCounters`] at the traffic class of that
+//! space, so a kernel rewritten to stage a hot array into `Local` shows the
+//! exact off-chip-traffic reduction the paper's optimization delivers.
+
+use crate::counters::KernelCounters;
+
+/// Where a buffer's bytes live.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AddressSpace {
+    /// Off-chip device memory (`__global`).
+    Global,
+    /// On-chip scratch (`__local` / LDM / LDS).
+    Local,
+    /// Host memory (transfers to/from the device cross PCIe on HPC #2).
+    Host,
+}
+
+/// A metered array of `f64`.
+#[derive(Debug, Clone)]
+pub struct Buffer {
+    data: Vec<f64>,
+    space: AddressSpace,
+}
+
+impl Buffer {
+    /// Allocate a zeroed buffer in a space.
+    pub fn zeros(len: usize, space: AddressSpace) -> Self {
+        Buffer {
+            data: vec![0.0; len],
+            space,
+        }
+    }
+
+    /// Wrap existing data.
+    pub fn from_vec(data: Vec<f64>, space: AddressSpace) -> Self {
+        Buffer { data, space }
+    }
+
+    /// Length in elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// The buffer's address space.
+    pub fn space(&self) -> AddressSpace {
+        self.space
+    }
+
+    /// Metered element read.
+    #[inline]
+    pub fn read(&self, i: usize, counters: &KernelCounters) -> f64 {
+        self.meter_access(1, counters, false);
+        self.data[i]
+    }
+
+    /// Metered element write.
+    #[inline]
+    pub fn write(&mut self, i: usize, v: f64, counters: &KernelCounters) {
+        self.meter_access(1, counters, true);
+        self.data[i] = v;
+    }
+
+    /// Metered contiguous slice read.
+    pub fn read_slice(&self, range: std::ops::Range<usize>, counters: &KernelCounters) -> &[f64] {
+        self.meter_access((range.end - range.start) as u64, counters, false);
+        &self.data[range]
+    }
+
+    /// Unmetered access for verification code (not kernel paths).
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    fn meter_access(&self, n: u64, counters: &KernelCounters, write: bool) {
+        match self.space {
+            AddressSpace::Global | AddressSpace::Host => {
+                if write {
+                    counters.write_offchip(n)
+                } else {
+                    counters.read_offchip(n)
+                }
+            }
+            AddressSpace::Local => counters.move_onchip(n),
+        }
+    }
+
+    /// Stage this buffer into another address space (the explicit data
+    /// movement of a `__global`→`__local` copy or a host↔device transfer).
+    /// The copy itself is metered: source-space reads + dest-space writes.
+    pub fn stage_to(&self, space: AddressSpace, counters: &KernelCounters) -> Buffer {
+        self.meter_access(self.data.len() as u64, counters, false);
+        let staged = Buffer {
+            data: self.data.clone(),
+            space,
+        };
+        staged.meter_access(self.data.len() as u64, counters, true);
+        staged
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::Ordering;
+
+    #[test]
+    fn global_reads_count_offchip() {
+        let c = KernelCounters::new();
+        let b = Buffer::from_vec(vec![1.0, 2.0, 3.0], AddressSpace::Global);
+        assert_eq!(b.read(1, &c), 2.0);
+        b.read_slice(0..3, &c);
+        assert_eq!(c.offchip_reads.load(Ordering::Relaxed), 4);
+        assert_eq!(c.onchip_words.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn local_traffic_counts_onchip() {
+        let c = KernelCounters::new();
+        let mut b = Buffer::zeros(8, AddressSpace::Local);
+        b.write(0, 5.0, &c);
+        assert_eq!(b.read(0, &c), 5.0);
+        assert_eq!(c.onchip_words.load(Ordering::Relaxed), 2);
+        assert_eq!(c.offchip_reads.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn staging_reduces_repeated_offchip_traffic() {
+        // The paper's __local optimization: an array read R times from
+        // off-chip vs staged once then read R times on-chip.
+        let reps = 100u64;
+        let n = 64usize;
+
+        let unstaged = KernelCounters::new();
+        let g = Buffer::from_vec(vec![1.0; n], AddressSpace::Global);
+        for _ in 0..reps {
+            g.read_slice(0..n, &unstaged);
+        }
+
+        let staged_counters = KernelCounters::new();
+        let l = g.stage_to(AddressSpace::Local, &staged_counters);
+        for _ in 0..reps {
+            l.read_slice(0..n, &staged_counters);
+        }
+
+        let off_unstaged = unstaged.offchip_reads.load(Ordering::Relaxed);
+        let off_staged = staged_counters.offchip_reads.load(Ordering::Relaxed);
+        assert_eq!(off_unstaged, reps * n as u64);
+        assert_eq!(off_staged, n as u64, "one off-chip pass to stage");
+        assert_eq!(
+            staged_counters.onchip_words.load(Ordering::Relaxed),
+            n as u64 + reps * n as u64
+        );
+    }
+
+    #[test]
+    fn stage_preserves_contents() {
+        let c = KernelCounters::new();
+        let g = Buffer::from_vec((0..10).map(|i| i as f64).collect(), AddressSpace::Global);
+        let l = g.stage_to(AddressSpace::Local, &c);
+        assert_eq!(l.as_slice(), g.as_slice());
+        assert_eq!(l.space(), AddressSpace::Local);
+    }
+}

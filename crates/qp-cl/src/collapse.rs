@@ -1,0 +1,138 @@
+//! Fine-grained parallelization by loop collapse (§4.4).
+//!
+//! The Adams–Moulton stage of the response-potential phase iterates the
+//! triangular angular-momentum loop
+//!
+//! ```text
+//! for (p = 0; p <= pmax; p++)
+//!   for (m = -p; m <= p; m++) { idx = p² + m + p; A[idx] = func(p, m); }
+//! ```
+//!
+//! whose inner bound depends on the outer variable, capping SIMT parallelism
+//! at `pmax + 1 ≤ 10` threads. The collapsed form iterates
+//! `idx ∈ [0, (pmax+1)²)` with `p = isqrt(idx)`, `m = idx − p² − p`,
+//! exposing `(pmax+1)²` independent iterations.
+
+use crate::counters::KernelCounters;
+
+/// Run the *nested* (dependent) form: `f(p, m, idx)` for the triangular
+/// iteration space. Occupancy is recorded as if each `p` row were a
+/// wavefront-scheduled batch of `2p+1` items padded to `wavefront`.
+pub fn run_nested<F: FnMut(usize, i64, usize)>(
+    pmax: usize,
+    wavefront: usize,
+    counters: &KernelCounters,
+    mut f: F,
+) {
+    for p in 0..=pmax {
+        let items = 2 * p + 1;
+        let slots = items.div_ceil(wavefront).max(1) * wavefront;
+        counters.occupy(items as u64, slots as u64);
+        for m in -(p as i64)..=(p as i64) {
+            let idx = p * p + (m + p as i64) as usize;
+            f(p, m, idx);
+        }
+    }
+}
+
+/// Run the *collapsed* (independent) form over the same space. All
+/// `(pmax+1)²` iterations are schedulable at once; occupancy is one padded
+/// batch.
+pub fn run_collapsed<F: FnMut(usize, i64, usize)>(
+    pmax: usize,
+    wavefront: usize,
+    counters: &KernelCounters,
+    mut f: F,
+) {
+    let total = (pmax + 1) * (pmax + 1);
+    let slots = total.div_ceil(wavefront).max(1) * wavefront;
+    counters.occupy(total as u64, slots as u64);
+    for idx in 0..total {
+        let p = idx.isqrt();
+        let m = idx as i64 - (p * p) as i64 - p as i64;
+        f(p, m, idx);
+    }
+}
+
+/// Parallel width of the nested form (what limits it to `pmax + 1 ≤ 10`).
+pub fn nested_parallel_width(pmax: usize) -> usize {
+    pmax + 1
+}
+
+/// Parallel width of the collapsed form.
+pub fn collapsed_parallel_width(pmax: usize) -> usize {
+    (pmax + 1) * (pmax + 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn both_forms_cover_identical_index_space() {
+        for pmax in [0usize, 1, 3, 9] {
+            let c = KernelCounters::new();
+            let mut nested = BTreeSet::new();
+            run_nested(pmax, 64, &c, |p, m, idx| {
+                assert!(nested.insert((p, m, idx)), "duplicate in nested");
+            });
+            let mut collapsed = BTreeSet::new();
+            run_collapsed(pmax, 64, &c, |p, m, idx| {
+                assert!(collapsed.insert((p, m, idx)), "duplicate in collapsed");
+            });
+            assert_eq!(nested, collapsed, "pmax = {pmax}");
+            assert_eq!(nested.len(), (pmax + 1) * (pmax + 1));
+        }
+    }
+
+    #[test]
+    fn collapsed_index_arithmetic_matches_paper() {
+        // idx = p² + p + m and its inverse p = isqrt(idx), m = idx - p² - p.
+        let c = KernelCounters::new();
+        run_collapsed(9, 64, &c, |p, m, idx| {
+            assert_eq!(idx, p * p + (p as i64 + m) as usize);
+            assert!(m.unsigned_abs() as usize <= p);
+        });
+    }
+
+    #[test]
+    fn collapsed_occupancy_is_higher() {
+        let pmax = 9; // the paper's maximum angular momentum
+        let w = 64; // GCN wavefront
+        let cn = KernelCounters::new();
+        run_nested(pmax, w, &cn, |_, _, _| {});
+        let cc = KernelCounters::new();
+        run_collapsed(pmax, w, &cc, |_, _, _| {});
+        let on = cn.report("n", 1).occupancy();
+        let oc = cc.report("c", 1).occupancy();
+        assert!(
+            oc > 2.0 * on,
+            "collapsed occupancy {oc} should dwarf nested {on}"
+        );
+        // Nested: 100 items over 10 wavefronts of 64 slots = 100/640.
+        assert!((on - 100.0 / 640.0).abs() < 1e-12);
+        // Collapsed: 100 items over 2 wavefronts = 100/128.
+        assert!((oc - 100.0 / 128.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn widths_match_formulas() {
+        assert_eq!(nested_parallel_width(9), 10);
+        assert_eq!(collapsed_parallel_width(9), 100);
+    }
+
+    #[test]
+    fn results_identical_between_forms() {
+        // Fill A[idx] = func(p, m) both ways and compare.
+        let pmax = 7;
+        let func = |p: usize, m: i64| (p as f64) * 10.0 + m as f64;
+        let n = (pmax + 1) * (pmax + 1);
+        let c = KernelCounters::new();
+        let mut a1 = vec![0.0; n];
+        run_nested(pmax, 64, &c, |p, m, idx| a1[idx] = func(p, m));
+        let mut a2 = vec![0.0; n];
+        run_collapsed(pmax, 64, &c, |p, m, idx| a2[idx] = func(p, m));
+        assert_eq!(a1, a2);
+    }
+}

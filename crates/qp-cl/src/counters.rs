@@ -1,0 +1,166 @@
+//! Kernel execution counters.
+//!
+//! Every launch reports exactly the quantities the paper's optimizations
+//! trade against each other: off-chip words moved (what fusion and
+//! indirect-access elimination reduce), on-chip words (what fusion adds in
+//! exchange), floating-point operations (what horizontal fusion
+//! deduplicates), kernel launches (what packing/fusion amortize), and lane
+//! occupancy (what the §4.4 loop collapse improves).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Mutable counter set a kernel body updates while it runs.
+#[derive(Debug, Default)]
+pub struct KernelCounters {
+    /// Words (f64) read from off-chip/global memory.
+    pub offchip_reads: AtomicU64,
+    /// Words written to off-chip/global memory.
+    pub offchip_writes: AtomicU64,
+    /// Words moved through on-chip storage (LDM/LDS/RMA).
+    pub onchip_words: AtomicU64,
+    /// Floating-point operations executed.
+    pub flops: AtomicU64,
+    /// Work-items that did useful work.
+    pub active_items: AtomicU64,
+    /// Lane-slots occupied (items rounded up to wavefront granularity).
+    pub lane_slots: AtomicU64,
+}
+
+impl KernelCounters {
+    /// Fresh zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record `n` off-chip reads.
+    #[inline]
+    pub fn read_offchip(&self, n: u64) {
+        self.offchip_reads.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Record `n` off-chip writes.
+    #[inline]
+    pub fn write_offchip(&self, n: u64) {
+        self.offchip_writes.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Record `n` on-chip word movements.
+    #[inline]
+    pub fn move_onchip(&self, n: u64) {
+        self.onchip_words.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Record `n` floating-point operations.
+    #[inline]
+    pub fn flop(&self, n: u64) {
+        self.flops.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Record occupancy: `active` useful items padded to `slots` lanes.
+    #[inline]
+    pub fn occupy(&self, active: u64, slots: u64) {
+        self.active_items.fetch_add(active, Ordering::Relaxed);
+        self.lane_slots.fetch_add(slots, Ordering::Relaxed);
+    }
+
+    /// Snapshot into an immutable report.
+    pub fn report(&self, name: &str, launches: u64) -> LaunchReport {
+        LaunchReport {
+            name: name.to_string(),
+            launches,
+            offchip_reads: self.offchip_reads.load(Ordering::Relaxed),
+            offchip_writes: self.offchip_writes.load(Ordering::Relaxed),
+            onchip_words: self.onchip_words.load(Ordering::Relaxed),
+            flops: self.flops.load(Ordering::Relaxed),
+            active_items: self.active_items.load(Ordering::Relaxed),
+            lane_slots: self.lane_slots.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Immutable record of one (or several aggregated) kernel launches.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LaunchReport {
+    /// Kernel name.
+    pub name: String,
+    /// Number of launches aggregated here.
+    pub launches: u64,
+    /// Off-chip words read.
+    pub offchip_reads: u64,
+    /// Off-chip words written.
+    pub offchip_writes: u64,
+    /// On-chip words moved.
+    pub onchip_words: u64,
+    /// Floating-point operations.
+    pub flops: u64,
+    /// Useful work-items.
+    pub active_items: u64,
+    /// Lane slots consumed.
+    pub lane_slots: u64,
+}
+
+impl LaunchReport {
+    /// Total off-chip traffic in words.
+    pub fn offchip_words(&self) -> u64 {
+        self.offchip_reads + self.offchip_writes
+    }
+
+    /// Lane occupancy in `[0, 1]` — the fine-grained-parallelism metric of
+    /// §4.4 (1.0 = every lane slot did useful work).
+    pub fn occupancy(&self) -> f64 {
+        if self.lane_slots == 0 {
+            return 1.0;
+        }
+        self.active_items as f64 / self.lane_slots as f64
+    }
+
+    /// Merge another report into this one (same logical kernel).
+    pub fn merge(&mut self, other: &LaunchReport) {
+        self.launches += other.launches;
+        self.offchip_reads += other.offchip_reads;
+        self.offchip_writes += other.offchip_writes;
+        self.onchip_words += other.onchip_words;
+        self.flops += other.flops;
+        self.active_items += other.active_items;
+        self.lane_slots += other.lane_slots;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_report() {
+        let c = KernelCounters::new();
+        c.read_offchip(10);
+        c.write_offchip(5);
+        c.move_onchip(7);
+        c.flop(100);
+        c.occupy(30, 64);
+        let r = c.report("k", 1);
+        assert_eq!(r.offchip_words(), 15);
+        assert_eq!(r.onchip_words, 7);
+        assert_eq!(r.flops, 100);
+        assert!((r.occupancy() - 30.0 / 64.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_adds_fields() {
+        let c = KernelCounters::new();
+        c.read_offchip(1);
+        c.occupy(2, 4);
+        let mut a = c.report("k", 1);
+        let b = c.report("k", 2);
+        a.merge(&b);
+        assert_eq!(a.launches, 3);
+        assert_eq!(a.offchip_reads, 2);
+        assert_eq!(a.active_items, 4);
+    }
+
+    #[test]
+    fn zero_slots_means_full_occupancy() {
+        let c = KernelCounters::new();
+        assert_eq!(c.report("k", 0).occupancy(), 1.0);
+    }
+}

@@ -1,0 +1,137 @@
+//! Device profiles.
+//!
+//! The paper validates its OpenCL implementation on "two accelerators with
+//! diverse architecture (i.e., SW39010 and AMD GCN GPU)" (§4.1). A profile
+//! captures exactly the architectural facts the §4 optimizations depend on.
+
+/// The accelerator family a profile describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeviceKind {
+    /// Sunway SW39010 heterogeneous CPU: 384 accelerating cores in
+    /// core-groups, on-chip LDM exchanged via RMA (≤ 64 KB), no persistent
+    /// device buffers across kernel launches.
+    Sw39010,
+    /// AMD GCN-class GPU (MI50/MI60): 64-lane wavefronts, 64 CUs, device
+    /// memory persists across launches, shared by several MPI processes.
+    GcnGpu,
+    /// Plain host CPU (the fallback OpenCL platform).
+    HostCpu,
+}
+
+/// An accelerator profile.
+#[derive(Debug, Clone, Copy)]
+pub struct DeviceProfile {
+    /// Marketing-free name.
+    pub name: &'static str,
+    /// Family.
+    pub kind: DeviceKind,
+    /// Compute units (core groups / CUs).
+    pub compute_units: usize,
+    /// SIMT lanes (work-items that execute in lock-step) per compute unit.
+    pub lanes_per_cu: usize,
+    /// On-chip scratch (LDM / LDS) per compute unit, bytes.
+    pub on_chip_bytes: usize,
+    /// Maximum volume transferable through the on-chip exchange mechanism
+    /// in one shot (`Some(64 KB)` RMA limit on SW39010 — the Fig. 12a
+    /// constraint); `None` when the device has no such mechanism.
+    pub rma_max_bytes: Option<usize>,
+    /// Whether device buffers persist across kernel launches (GPUs: yes;
+    /// SW39010 core groups: no).
+    pub persistent_buffers: bool,
+    /// Off-chip memory access latency relative to HPC #2's GPU HBM
+    /// (Fig. 11: "greater improvements on HPC #1 due to longer off-chip
+    /// memory access latency").
+    pub offchip_latency_ratio: f64,
+    /// MPI processes that share one device (8 on HPC #2: 32 cores / 4 GPUs).
+    pub procs_per_device: usize,
+}
+
+/// The SW39010 profile (HPC #1).
+pub fn sw39010() -> DeviceProfile {
+    DeviceProfile {
+        name: "SW39010",
+        kind: DeviceKind::Sw39010,
+        compute_units: 6,     // core groups
+        lanes_per_cu: 64,     // accelerating cores per group
+        on_chip_bytes: 256 * 1024,
+        rma_max_bytes: Some(64 * 1024),
+        persistent_buffers: false,
+        offchip_latency_ratio: 2.2,
+        procs_per_device: 1,
+    }
+}
+
+/// The GCN GPU profile (HPC #2): MI50-class with 64 CUs.
+pub fn gcn_gpu() -> DeviceProfile {
+    DeviceProfile {
+        name: "AMD GCN GPU",
+        kind: DeviceKind::GcnGpu,
+        compute_units: 64,
+        lanes_per_cu: 64,
+        on_chip_bytes: 64 * 1024,
+        rma_max_bytes: None,
+        persistent_buffers: true,
+        offchip_latency_ratio: 1.0,
+        procs_per_device: 8, // 32-core CPU node / 4 GPUs
+    }
+}
+
+/// A host-CPU profile (functional-portability fallback).
+pub fn host_cpu() -> DeviceProfile {
+    DeviceProfile {
+        name: "host CPU",
+        kind: DeviceKind::HostCpu,
+        compute_units: 32,
+        lanes_per_cu: 4, // SIMD width in doubles
+        on_chip_bytes: 1024 * 1024,
+        rma_max_bytes: None,
+        persistent_buffers: true,
+        offchip_latency_ratio: 1.4,
+        procs_per_device: 1,
+    }
+}
+
+impl DeviceProfile {
+    /// Total SIMT lanes.
+    pub fn total_lanes(&self) -> usize {
+        self.compute_units * self.lanes_per_cu
+    }
+
+    /// Can a producer→consumer intermediate of `bytes` stay on-chip through
+    /// the device's exchange mechanism (vertical-fusion legality, §4.2.1)?
+    pub fn fits_on_chip_exchange(&self, bytes: usize) -> bool {
+        match self.rma_max_bytes {
+            Some(limit) => bytes <= limit,
+            None => self.persistent_buffers, // GPU: data stays in device memory
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sw_rma_limit_is_64kb() {
+        let d = sw39010();
+        assert!(d.fits_on_chip_exchange(28 * 1024), "rho_multipole_spl fits");
+        assert!(
+            !d.fits_on_chip_exchange(498 * 1024),
+            "delta_v_hart_part_spl exceeds the RMA volume (Fig. 12a)"
+        );
+    }
+
+    #[test]
+    fn gpu_keeps_anything_in_device_memory() {
+        let d = gcn_gpu();
+        assert!(d.fits_on_chip_exchange(498 * 1024));
+        assert_eq!(d.total_lanes(), 64 * 64);
+        assert_eq!(d.procs_per_device, 8);
+    }
+
+    #[test]
+    fn profiles_have_distinct_kinds() {
+        assert_ne!(sw39010().kind, gcn_gpu().kind);
+        assert_ne!(gcn_gpu().kind, host_cpu().kind);
+    }
+}

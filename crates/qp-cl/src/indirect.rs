@@ -1,0 +1,152 @@
+//! Eliminating indirect memory accesses (§4.3).
+//!
+//! Patterns of the form `A[B[i]]` cost two dependent loads and exhibit weak
+//! spatial locality on `A`. The paper's fix: build a mapping `f` with
+//! `C = f(A)` such that `C[i] = A[B[i]]`, once, and replace the indirect
+//! access with the direct `C[i]` in every subsequent simulation.
+//!
+//! The paper's concrete instance: `coord_center[atom_list[i_center]]` in the
+//! grid-partitioning initialization — `coord_center` indexed by batch-local
+//! atom ID, `atom_list` translating global to local IDs. The rearrangement
+//! makes `coord_center` directly indexable by global atom ID.
+
+use crate::counters::KernelCounters;
+
+/// A reusable rearrangement map: `C[i] = A[B[i]]`.
+///
+/// "This mapping … is only required when simulating a system for the first
+/// time" — build once, [`IndirectMap::apply`] many times.
+#[derive(Debug, Clone)]
+pub struct IndirectMap {
+    perm: Vec<usize>,
+}
+
+impl IndirectMap {
+    /// Build from the index array `B`. Cost: one pass over `B` (recorded as
+    /// `B.len()` off-chip reads on `counters`).
+    pub fn build(b: &[usize], counters: &KernelCounters) -> Self {
+        counters.read_offchip(b.len() as u64);
+        IndirectMap { perm: b.to_vec() }
+    }
+
+    /// Number of mapped elements.
+    pub fn len(&self) -> usize {
+        self.perm.len()
+    }
+
+    /// True when the map is empty.
+    pub fn is_empty(&self) -> bool {
+        self.perm.is_empty()
+    }
+
+    /// Materialize `C = f(A)` — `stride` consecutive words per logical
+    /// element (3 for coordinates). Counted as one gather pass.
+    pub fn apply(&self, a: &[f64], stride: usize, counters: &KernelCounters) -> Vec<f64> {
+        let mut c = Vec::with_capacity(self.perm.len() * stride);
+        for &src in &self.perm {
+            counters.read_offchip(stride as u64);
+            counters.write_offchip(stride as u64);
+            c.extend_from_slice(&a[src * stride..(src + 1) * stride]);
+        }
+        c
+    }
+}
+
+/// Read all elements through the *indirect* pattern `A[B[i]]`, counting the
+/// two dependent loads per element (plus the stride words of `A`).
+pub fn read_indirect(
+    a: &[f64],
+    b: &[usize],
+    stride: usize,
+    counters: &KernelCounters,
+) -> Vec<f64> {
+    let mut out = Vec::with_capacity(b.len() * stride);
+    for &idx in b {
+        // Load B[i], then the dependent A words.
+        counters.read_offchip(1 + stride as u64);
+        out.extend_from_slice(&a[idx * stride..(idx + 1) * stride]);
+    }
+    out
+}
+
+/// Read all elements through the *direct* pattern `C[i]`.
+pub fn read_direct(c: &[f64], n: usize, stride: usize, counters: &KernelCounters) -> Vec<f64> {
+    counters.read_offchip((n * stride) as u64);
+    c[..n * stride].to_vec()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::Ordering;
+
+    fn coords(n: usize) -> Vec<f64> {
+        (0..n * 3).map(|i| i as f64 * 0.5).collect()
+    }
+
+    #[test]
+    fn direct_equals_indirect_values() {
+        let a = coords(10);
+        let b = vec![3usize, 1, 4, 1, 5, 9, 2, 6];
+        let c = KernelCounters::new();
+        let map = IndirectMap::build(&b, &c);
+        let rearranged = map.apply(&a, 3, &c);
+        let via_indirect = read_indirect(&a, &b, 3, &c);
+        let via_direct = read_direct(&rearranged, b.len(), 3, &c);
+        assert_eq!(via_indirect, via_direct);
+    }
+
+    #[test]
+    fn indirect_costs_more_loads_per_access() {
+        let a = coords(100);
+        let b: Vec<usize> = (0..100).rev().collect();
+        let ci = KernelCounters::new();
+        read_indirect(&a, &b, 3, &ci);
+        let cd = KernelCounters::new();
+        let cm = KernelCounters::new();
+        let map = IndirectMap::build(&b, &cm);
+        let c = map.apply(&a, 3, &cm);
+        read_direct(&c, 100, 3, &cd);
+        let indirect_reads = ci.offchip_reads.load(Ordering::Relaxed);
+        let direct_reads = cd.offchip_reads.load(Ordering::Relaxed);
+        assert_eq!(indirect_reads, 100 * 4);
+        assert_eq!(direct_reads, 100 * 3);
+        assert!(indirect_reads > direct_reads);
+    }
+
+    #[test]
+    fn build_cost_amortizes_over_reuses() {
+        // One build + k direct passes beats k indirect passes for modest k.
+        let n = 1000;
+        let a = coords(n);
+        let b: Vec<usize> = (0..n).map(|i| (i * 7) % n).collect();
+
+        let build = KernelCounters::new();
+        let map = IndirectMap::build(&b, &build);
+        let c = map.apply(&a, 3, &build);
+        let build_cost = build.offchip_reads.load(Ordering::Relaxed)
+            + build.offchip_writes.load(Ordering::Relaxed);
+
+        let per_direct = {
+            let k = KernelCounters::new();
+            read_direct(&c, n, 3, &k);
+            k.offchip_reads.load(Ordering::Relaxed)
+        };
+        let per_indirect = {
+            let k = KernelCounters::new();
+            read_indirect(&a, &b, 3, &k);
+            k.offchip_reads.load(Ordering::Relaxed)
+        };
+        // After `reuses` passes the rearranged layout wins.
+        let reuses = 10u64;
+        assert!(build_cost + reuses * per_direct < reuses * per_indirect);
+    }
+
+    #[test]
+    fn empty_map() {
+        let c = KernelCounters::new();
+        let map = IndirectMap::build(&[], &c);
+        assert!(map.is_empty());
+        assert_eq!(map.apply(&[], 3, &c), Vec::<f64>::new());
+    }
+}

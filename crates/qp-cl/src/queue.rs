@@ -1,0 +1,188 @@
+//! The command queue: counter-instrumented NDRange kernel launches.
+//!
+//! Mirrors the paper's execution model (§4.1): a launch enumerates
+//! work-groups (one per batch); the body processes one work-group's items
+//! and records its memory traffic on the shared [`KernelCounters`].
+//! Work-groups run in parallel on the rayon pool — data-parallel exactly
+//! like OpenCL work-groups, with Rust's data-race freedom standing in for
+//! the "only intra-work-group synchronization" rule (a kernel that needs a
+//! global barrier must split into two launches, as in the paper).
+
+use crate::counters::{KernelCounters, LaunchReport};
+use crate::device::DeviceProfile;
+use parking_lot::Mutex;
+use rayon::prelude::*;
+
+/// A queue bound to one device profile, aggregating launch statistics.
+pub struct CommandQueue {
+    device: DeviceProfile,
+    reports: Mutex<Vec<LaunchReport>>,
+}
+
+/// Per-work-group context handed to the kernel body.
+pub struct GroupCtx<'a> {
+    /// Work-group (batch) index within the NDRange.
+    pub group_id: usize,
+    /// Counters to record traffic on.
+    pub counters: &'a KernelCounters,
+    /// The device the kernel runs on (for wavefront-granularity occupancy).
+    pub device: &'a DeviceProfile,
+}
+
+impl GroupCtx<'_> {
+    /// Record occupancy for a group that ran `items` work-items: slots are
+    /// padded to the device's wavefront width.
+    pub fn occupy_items(&self, items: usize) {
+        let w = self.device.lanes_per_cu as u64;
+        let slots = (items as u64).div_ceil(w) * w;
+        self.counters.occupy(items as u64, slots);
+    }
+}
+
+impl CommandQueue {
+    /// New queue on a device.
+    pub fn new(device: DeviceProfile) -> Self {
+        CommandQueue {
+            device,
+            reports: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// The device profile.
+    pub fn device(&self) -> &DeviceProfile {
+        &self.device
+    }
+
+    /// Launch a kernel over `n_groups` work-groups. The body runs once per
+    /// group (in parallel), recording its traffic; the queue aggregates one
+    /// [`LaunchReport`].
+    pub fn launch<F>(&self, name: &str, n_groups: usize, body: F) -> LaunchReport
+    where
+        F: Fn(&GroupCtx<'_>) + Sync,
+    {
+        let counters = KernelCounters::new();
+        (0..n_groups).into_par_iter().for_each(|group_id| {
+            let ctx = GroupCtx {
+                group_id,
+                counters: &counters,
+                device: &self.device,
+            };
+            body(&ctx);
+        });
+        let report = counters.report(name, 1);
+        self.reports.lock().push(report.clone());
+        report
+    }
+
+    /// Launch returning per-group values (parallel map), plus the report.
+    pub fn launch_map<F, T>(&self, name: &str, n_groups: usize, body: F) -> (Vec<T>, LaunchReport)
+    where
+        F: Fn(&GroupCtx<'_>) -> T + Sync,
+        T: Send,
+    {
+        let counters = KernelCounters::new();
+        let out: Vec<T> = (0..n_groups)
+            .into_par_iter()
+            .map(|group_id| {
+                let ctx = GroupCtx {
+                    group_id,
+                    counters: &counters,
+                    device: &self.device,
+                };
+                body(&ctx)
+            })
+            .collect();
+        let report = counters.report(name, 1);
+        self.reports.lock().push(report.clone());
+        (out, report)
+    }
+
+    /// All launch reports so far, in launch order.
+    pub fn reports(&self) -> Vec<LaunchReport> {
+        self.reports.lock().clone()
+    }
+
+    /// Total number of launches.
+    pub fn launches(&self) -> usize {
+        self.reports.lock().len()
+    }
+
+    /// Aggregate all reports for kernels whose name matches `prefix`.
+    pub fn aggregate(&self, prefix: &str) -> LaunchReport {
+        let reports = self.reports.lock();
+        let mut agg = LaunchReport {
+            name: prefix.to_string(),
+            launches: 0,
+            offchip_reads: 0,
+            offchip_writes: 0,
+            onchip_words: 0,
+            flops: 0,
+            active_items: 0,
+            lane_slots: 0,
+        };
+        for r in reports.iter().filter(|r| r.name.starts_with(prefix)) {
+            agg.merge(r);
+        }
+        agg
+    }
+
+    /// Forget all reports.
+    pub fn reset(&self) {
+        self.reports.lock().clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::{gcn_gpu, host_cpu};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn launch_runs_every_group_once() {
+        let q = CommandQueue::new(host_cpu());
+        let hits = AtomicU64::new(0);
+        let r = q.launch("k", 100, |ctx| {
+            hits.fetch_add(1, Ordering::Relaxed);
+            ctx.counters.flop(ctx.group_id as u64);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 100);
+        assert_eq!(r.flops, (0..100u64).sum());
+        assert_eq!(q.launches(), 1);
+    }
+
+    #[test]
+    fn launch_map_returns_group_results_in_order() {
+        let q = CommandQueue::new(gcn_gpu());
+        let (vals, _) = q.launch_map("m", 16, |ctx| ctx.group_id * 2);
+        assert_eq!(vals, (0..16).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn occupancy_padded_to_wavefront() {
+        let q = CommandQueue::new(gcn_gpu()); // 64-lane wavefronts
+        let r = q.launch("occ", 1, |ctx| ctx.occupy_items(10));
+        assert_eq!(r.active_items, 10);
+        assert_eq!(r.lane_slots, 64);
+        assert!((r.occupancy() - 10.0 / 64.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn aggregate_by_prefix() {
+        let q = CommandQueue::new(host_cpu());
+        q.launch("rho:producer", 2, |ctx| ctx.counters.flop(1));
+        q.launch("rho:consumer", 2, |ctx| ctx.counters.flop(10));
+        q.launch("other", 1, |ctx| ctx.counters.flop(100));
+        let agg = q.aggregate("rho:");
+        assert_eq!(agg.launches, 2);
+        assert_eq!(agg.flops, 2 + 20);
+    }
+
+    #[test]
+    fn reset_clears_reports() {
+        let q = CommandQueue::new(host_cpu());
+        q.launch("k", 1, |_| {});
+        q.reset();
+        assert_eq!(q.launches(), 0);
+    }
+}

@@ -1,0 +1,180 @@
+//! `control.in` parsing — the FHI-aims run-control file the paper's
+//! artifact consumes next to `geometry.in`.
+//!
+//! We honor the keywords that map onto this reproduction's options and
+//! report (but tolerate) the rest, so existing FHI-aims decks drive
+//! `qperturb` unchanged:
+//!
+//! ```text
+//! xc            pw-lda          # only LDA is implemented (the paper's choice)
+//! sc_accuracy_rho   1e-6        # SCF density tolerance
+//! mixer         linear          # linear | pulay
+//! charge_mix_param  0.2         # mixing factor
+//! occupation_type   gaussian 0.01   # smearing width (Ha)
+//! DFPT          polarizability  # run the DFPT phase
+//! dfpt_sc_accuracy  1e-7
+//! ```
+
+use qp_core::{DfptOptions, ScfOptions};
+
+/// Parsed control settings.
+#[derive(Debug, Clone)]
+pub struct Control {
+    /// SCF options assembled from the deck.
+    pub scf: ScfOptions,
+    /// DFPT options.
+    pub dfpt: DfptOptions,
+    /// Whether a `DFPT` keyword requested the response calculation.
+    pub run_dfpt: bool,
+    /// Keywords we recognized but do not implement (reported to the user).
+    pub ignored: Vec<String>,
+}
+
+/// Errors from control parsing.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ControlError {
+    /// Unsupported functional (only LDA variants are implemented).
+    UnsupportedXc(String),
+    /// Malformed line.
+    Malformed(usize, String),
+}
+
+impl std::fmt::Display for ControlError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ControlError::UnsupportedXc(xc) => {
+                write!(f, "unsupported xc '{xc}' (this reproduction implements LDA)")
+            }
+            ControlError::Malformed(line, what) => write!(f, "control.in line {line}: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ControlError {}
+
+/// Parse `control.in` text into run options.
+pub fn parse_control(text: &str) -> Result<Control, ControlError> {
+    let mut ctl = Control {
+        scf: ScfOptions::default(),
+        dfpt: DfptOptions::default(),
+        run_dfpt: false,
+        ignored: Vec::new(),
+    };
+    for (idx, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let keyword = parts.next().unwrap_or("");
+        let args: Vec<&str> = parts.collect();
+        let num = |k: usize| -> Result<f64, ControlError> {
+            args.get(k)
+                .and_then(|t| t.parse().ok())
+                .ok_or_else(|| ControlError::Malformed(idx + 1, format!("bad value in '{line}'")))
+        };
+        match keyword {
+            "xc" => {
+                let xc = args.first().copied().unwrap_or("");
+                if !matches!(xc, "pw-lda" | "pz-lda" | "lda") {
+                    return Err(ControlError::UnsupportedXc(xc.to_string()));
+                }
+            }
+            "sc_accuracy_rho" => ctl.scf.tol = num(0)?,
+            "sc_iter_limit" => ctl.scf.max_iter = num(0)? as usize,
+            "charge_mix_param" => ctl.scf.mixing = num(0)?,
+            "mixer" => match args.first().copied().unwrap_or("") {
+                "linear" => ctl.scf.pulay = None,
+                "pulay" => {
+                    ctl.scf.pulay = Some(args.get(1).and_then(|t| t.parse().ok()).unwrap_or(6))
+                }
+                other => {
+                    return Err(ControlError::Malformed(
+                        idx + 1,
+                        format!("unknown mixer '{other}'"),
+                    ))
+                }
+            },
+            "occupation_type" => {
+                // "occupation_type gaussian 0.01" — any smearing flavour is
+                // mapped onto Fermi-Dirac of the same width.
+                ctl.scf.smearing = Some(num(1)?);
+            }
+            "DFPT" => {
+                ctl.run_dfpt = true;
+                if args.first() != Some(&"polarizability") {
+                    ctl.ignored
+                        .push(format!("DFPT {}", args.join(" ")));
+                }
+            }
+            "dfpt_sc_accuracy" => ctl.dfpt.tol = num(0)?,
+            "dfpt_mixing" => ctl.dfpt.mixing = num(0)?,
+            // Recognized FHI-aims keywords without an equivalent here.
+            "relativistic" | "spin" | "k_grid" | "output" | "basis_threshold"
+            | "sc_accuracy_eev" | "sc_accuracy_etot" => {
+                ctl.ignored.push(line.to_string());
+            }
+            other => ctl.ignored.push(format!("(unknown) {other}")),
+        }
+    }
+    Ok(ctl)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_paper_style_deck() {
+        let deck = "\
+# DFPT polarizability run, light settings
+xc                pw-lda
+sc_accuracy_rho   1e-6
+sc_iter_limit     200
+charge_mix_param  0.2
+occupation_type   gaussian 0.01
+mixer             pulay 8
+DFPT              polarizability
+dfpt_sc_accuracy  1e-6
+relativistic      atomic_zora scalar
+";
+        let ctl = parse_control(deck).unwrap();
+        assert!(ctl.run_dfpt);
+        assert_eq!(ctl.scf.tol, 1e-6);
+        assert_eq!(ctl.scf.max_iter, 200);
+        assert_eq!(ctl.scf.mixing, 0.2);
+        assert_eq!(ctl.scf.smearing, Some(0.01));
+        assert_eq!(ctl.scf.pulay, Some(8));
+        assert_eq!(ctl.dfpt.tol, 1e-6);
+        assert_eq!(ctl.ignored, vec!["relativistic      atomic_zora scalar"]);
+    }
+
+    #[test]
+    fn rejects_non_lda() {
+        match parse_control("xc pbe\n") {
+            Err(ControlError::UnsupportedXc(xc)) => assert_eq!(xc, "pbe"),
+            other => panic!("expected UnsupportedXc, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn linear_mixer_disables_pulay() {
+        let ctl = parse_control("mixer linear\n").unwrap();
+        assert_eq!(ctl.scf.pulay, None);
+    }
+
+    #[test]
+    fn malformed_values_reported_with_line() {
+        match parse_control("xc lda\nsc_accuracy_rho not_a_number\n") {
+            Err(ControlError::Malformed(2, _)) => {}
+            other => panic!("expected Malformed(2), got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn defaults_without_dfpt_keyword() {
+        let ctl = parse_control("xc lda\n").unwrap();
+        assert!(!ctl.run_dfpt);
+        assert_eq!(ctl.scf.tol, ScfOptions::default().tol);
+    }
+}

@@ -1,0 +1,254 @@
+//! `qperturb` — command-line all-electron DFPT, the analog of the paper's
+//! `aims.191127.scalapack.mpi.x` workflow: read a geometry, run the DFT
+//! phase, run the DFPT phase, report polarizability and derived properties.
+//!
+//! ```text
+//! qperturb geometry.in                 # FHI-aims format (Å)
+//! qperturb molecule.xyz --basis tier2  # XYZ format
+//! qperturb --builtin water --dfpt-tol 1e-8
+//! ```
+
+mod control;
+
+use qp_chem::basis::BasisSettings;
+use qp_chem::grids::GridSettings;
+use qp_core::{dfpt, properties, scf, DfptOptions, ScfOptions, System};
+use std::process::ExitCode;
+
+struct Args {
+    input: Option<String>,
+    control: Option<String>,
+    builtin: Option<String>,
+    basis: BasisSettings,
+    grid: GridSettings,
+    scf: ScfOptions,
+    dfpt_opts: DfptOptions,
+    skip_dfpt: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: qperturb <geometry.in|molecule.xyz> [options]
+       qperturb --builtin <water|ligand|polymer:N|helix:N> [options]
+
+options:
+  --control <control.in>   FHI-aims control deck (xc, tolerances, mixer,
+                           occupation_type, DFPT keyword)
+  --basis <light|tier2>    NAO basis setting          (default light)
+  --grid <light|coarse>    integration grid           (default light)
+  --scf-tol <x>            SCF density tolerance      (default 1e-8)
+  --scf-mixing <x>         SCF linear-mixing factor   (default 0.35)
+  --smearing <kT>          Fermi-Dirac smearing, Ha   (default off)
+  --no-pulay               disable DIIS acceleration
+  --dfpt-tol <x>           DFPT tolerance             (default 1e-7)
+  --dfpt-mixing <x>        DFPT mixing                (default 0.6)
+  --no-dfpt                stop after the ground state"
+    );
+    std::process::exit(2)
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        input: None,
+        control: None,
+        builtin: None,
+        basis: BasisSettings::Light,
+        grid: GridSettings::light(),
+        scf: ScfOptions::default(),
+        dfpt_opts: DfptOptions::default(),
+        skip_dfpt: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| -> String {
+            it.next().unwrap_or_else(|| {
+                eprintln!("missing value for {name}");
+                usage()
+            })
+        };
+        match arg.as_str() {
+            "--builtin" => args.builtin = Some(value("--builtin")),
+            "--control" => args.control = Some(value("--control")),
+            "--basis" => {
+                args.basis = match value("--basis").as_str() {
+                    "light" => BasisSettings::Light,
+                    "tier2" => BasisSettings::Tier2,
+                    other => {
+                        eprintln!("unknown basis '{other}'");
+                        usage()
+                    }
+                }
+            }
+            "--grid" => {
+                args.grid = match value("--grid").as_str() {
+                    "light" => GridSettings::light(),
+                    "coarse" => GridSettings::coarse(),
+                    other => {
+                        eprintln!("unknown grid '{other}'");
+                        usage()
+                    }
+                }
+            }
+            "--scf-tol" => args.scf.tol = value("--scf-tol").parse().unwrap_or_else(|_| usage()),
+            "--scf-mixing" => {
+                args.scf.mixing = value("--scf-mixing").parse().unwrap_or_else(|_| usage())
+            }
+            "--smearing" => {
+                args.scf.smearing =
+                    Some(value("--smearing").parse().unwrap_or_else(|_| usage()))
+            }
+            "--no-pulay" => args.scf.pulay = None,
+            "--dfpt-tol" => {
+                args.dfpt_opts.tol = value("--dfpt-tol").parse().unwrap_or_else(|_| usage())
+            }
+            "--dfpt-mixing" => {
+                args.dfpt_opts.mixing =
+                    value("--dfpt-mixing").parse().unwrap_or_else(|_| usage())
+            }
+            "--no-dfpt" => args.skip_dfpt = true,
+            "--help" | "-h" => usage(),
+            other if other.starts_with('-') => {
+                eprintln!("unknown option '{other}'");
+                usage()
+            }
+            path => args.input = Some(path.to_string()),
+        }
+    }
+    if args.input.is_none() && args.builtin.is_none() {
+        usage()
+    }
+    args
+}
+
+fn load_structure(args: &Args) -> Result<qp_chem::geometry::Structure, String> {
+    if let Some(b) = &args.builtin {
+        let (name, param) = match b.split_once(':') {
+            Some((n, p)) => (n, Some(p)),
+            None => (b.as_str(), None),
+        };
+        return match name {
+            "water" => Ok(qp_chem::structures::water()),
+            "ligand" => Ok(qp_chem::structures::ligand49()),
+            "polymer" => {
+                let n: usize = param.unwrap_or("10").parse().map_err(|e| format!("{e}"))?;
+                Ok(qp_chem::structures::polyethylene(n))
+            }
+            "helix" => {
+                let n: usize = param.unwrap_or("10").parse().map_err(|e| format!("{e}"))?;
+                Ok(qp_chem::structures::helix(n))
+            }
+            other => Err(format!("unknown builtin '{other}'")),
+        };
+    }
+    let path = args.input.as_ref().expect("input or builtin");
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    if path.ends_with(".xyz") {
+        qp_chem::io::parse_xyz(&text).map_err(|e| format!("{path}: {e}"))
+    } else {
+        qp_chem::io::parse_geometry_in(&text).map_err(|e| format!("{path}: {e}"))
+    }
+}
+
+fn main() -> ExitCode {
+    let mut args = parse_args();
+    if let Some(path) = args.control.clone() {
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("error: {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        match control::parse_control(&text) {
+            Ok(ctl) => {
+                args.scf = ctl.scf;
+                args.dfpt_opts = ctl.dfpt;
+                args.skip_dfpt = !ctl.run_dfpt;
+                for line in &ctl.ignored {
+                    eprintln!("control.in: ignoring '{line}'");
+                }
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let structure = match load_structure(&args) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("qperturb — all-electron DFPT");
+    println!(
+        "structure: {} atoms, {} electrons",
+        structure.len(),
+        structure.num_electrons()
+    );
+    let t0 = std::time::Instant::now();
+    let system = System::build(structure, args.basis, &args.grid, 200, 4);
+    println!(
+        "system: {} basis functions, {} grid points, {} batches  [{:.1?}]",
+        system.n_basis(),
+        system.n_points(),
+        system.batches.len(),
+        t0.elapsed()
+    );
+
+    let t1 = std::time::Instant::now();
+    let ground = match scf(&system, &args.scf) {
+        Ok(g) => g,
+        Err(e) => {
+            eprintln!("SCF failed: {e}");
+            eprintln!("hint: try --smearing 0.02 and/or a smaller --scf-mixing");
+            return ExitCode::FAILURE;
+        }
+    };
+    let n_occ = system.n_occupied();
+    println!(
+        "SCF: {} iterations, E = {:.6} Ha, HOMO {:.4}, LUMO {:.4}  [{:.1?}]",
+        ground.iterations,
+        ground.energy,
+        ground.eigenvalues[n_occ - 1],
+        ground.eigenvalues[n_occ],
+        t1.elapsed()
+    );
+    let mu = properties::dipole_moment(&system, &ground);
+    println!("dipole: [{:.4}, {:.4}, {:.4}] a.u.", mu[0], mu[1], mu[2]);
+
+    if args.skip_dfpt {
+        return ExitCode::SUCCESS;
+    }
+
+    let t2 = std::time::Instant::now();
+    let resp = match dfpt(&system, &ground, &args.dfpt_opts) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("DFPT failed: {e}");
+            eprintln!("hint: near-metallic systems need a smaller --dfpt-mixing");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "DFPT: {:?} iterations per direction  [{:.1?}]",
+        resp.iterations,
+        t2.elapsed()
+    );
+    println!("polarizability tensor (Bohr^3):");
+    for i in 0..3 {
+        println!(
+            "  [ {:10.4} {:10.4} {:10.4} ]",
+            resp.polarizability[(i, 0)],
+            resp.polarizability[(i, 1)],
+            resp.polarizability[(i, 2)]
+        );
+    }
+    println!(
+        "isotropic: {:.4} Bohr^3, anisotropy: {:.4} Bohr^3",
+        properties::isotropic_polarizability(&resp.polarizability),
+        properties::polarizability_anisotropy(&resp.polarizability)
+    );
+    ExitCode::SUCCESS
+}

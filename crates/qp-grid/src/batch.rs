@@ -1,0 +1,290 @@
+//! Grid batches and the grid-adapted cut-plane batching method.
+//!
+//! "All points in those discretized grids are further divided into disjoint
+//! batches based on their spatial locations, with each batch formed with a
+//! grid-adapted cut-plane method and then mapped to a certain MPI process"
+//! (§3.1). Batches typically hold 100–300 grid points (§3.1.1).
+
+use qp_chem::grids::IntegrationGrid;
+
+/// A compact grid point inside a batch: position plus owning atom.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BatchPoint {
+    /// Cartesian position (Bohr).
+    pub position: [f64; 3],
+    /// Global ID of the atom whose radial grid generated this point.
+    pub atom: u32,
+    /// Index of the point in the originating integration grid
+    /// (`u32::MAX` when the batch was built from bare points).
+    pub grid_index: u32,
+}
+
+/// A disjoint batch of grid points.
+#[derive(Debug, Clone)]
+pub struct Batch {
+    /// Stable batch ID (creation order).
+    pub id: usize,
+    /// The points.
+    pub points: Vec<BatchPoint>,
+    /// The batch location: the coordinate averaged over all its grid points
+    /// (exactly the definition used by Algorithm 1, line 8 commentary).
+    pub center: [f64; 3],
+}
+
+impl Batch {
+    fn from_points(id: usize, points: Vec<BatchPoint>) -> Self {
+        let mut c = [0.0; 3];
+        for p in &points {
+            for d in 0..3 {
+                c[d] += p.position[d];
+            }
+        }
+        let n = points.len().max(1) as f64;
+        Batch {
+            id,
+            points,
+            center: [c[0] / n, c[1] / n, c[2] / n],
+        }
+    }
+
+    /// Number of grid points (`batch.points` in Algorithm 1's pivot sum).
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True when the batch holds no points.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Distinct atoms whose grid points this batch holds.
+    pub fn atoms(&self) -> Vec<u32> {
+        let mut a: Vec<u32> = self.points.iter().map(|p| p.atom).collect();
+        a.sort_unstable();
+        a.dedup();
+        a
+    }
+}
+
+/// Split grid points into disjoint spatial batches of at most
+/// `max_batch_size` points with the grid-adapted cut-plane method:
+/// recursively bisect the point cloud with axis-aligned cut planes
+/// perpendicular to the dimension of largest spread, at the median point.
+pub fn make_batches(mut points: Vec<BatchPoint>, max_batch_size: usize) -> Vec<Batch> {
+    assert!(max_batch_size >= 1);
+    let mut out = Vec::new();
+    let mut next_id = 0usize;
+    cut_plane(&mut points, max_batch_size, &mut out, &mut next_id);
+    out
+}
+
+fn cut_plane(
+    points: &mut [BatchPoint],
+    max_batch_size: usize,
+    out: &mut Vec<Batch>,
+    next_id: &mut usize,
+) {
+    if points.len() <= max_batch_size {
+        if !points.is_empty() {
+            let b = Batch::from_points(*next_id, points.to_vec());
+            *next_id += 1;
+            out.push(b);
+        }
+        return;
+    }
+    // Dimension of largest spread.
+    let mut lo = [f64::INFINITY; 3];
+    let mut hi = [f64::NEG_INFINITY; 3];
+    for p in points.iter() {
+        for d in 0..3 {
+            lo[d] = lo[d].min(p.position[d]);
+            hi[d] = hi[d].max(p.position[d]);
+        }
+    }
+    let dim = (0..3)
+        .max_by(|&a, &b| {
+            (hi[a] - lo[a])
+                .partial_cmp(&(hi[b] - lo[b]))
+                .expect("finite extents")
+        })
+        .expect("three dims");
+    // Median split (cut plane through the median point).
+    let mid = points.len() / 2;
+    points.select_nth_unstable_by(mid, |a, b| {
+        a.position[dim]
+            .partial_cmp(&b.position[dim])
+            .expect("finite coordinates")
+    });
+    let (left, right) = points.split_at_mut(mid);
+    cut_plane(left, max_batch_size, out, next_id);
+    cut_plane(right, max_batch_size, out, next_id);
+}
+
+/// Build batches straight from an integration grid.
+pub fn batches_from_grid(grid: &IntegrationGrid, max_batch_size: usize) -> Vec<Batch> {
+    let points: Vec<BatchPoint> = grid
+        .points
+        .iter()
+        .enumerate()
+        .map(|(i, p)| BatchPoint {
+            position: p.position,
+            atom: p.atom,
+            grid_index: i as u32,
+        })
+        .collect();
+    make_batches(points, max_batch_size)
+}
+
+/// Total number of grid points across batches.
+pub fn total_points(batches: &[Batch]) -> usize {
+    batches.iter().map(Batch::len).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qp_chem::grids::{GridSettings, IntegrationGrid};
+    use qp_chem::structures::{polyethylene, water};
+
+    fn cloud(n: usize) -> Vec<BatchPoint> {
+        // Deterministic pseudo-random cloud.
+        let mut seed = 7u64;
+        let mut r = move || {
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (seed >> 11) as f64 / (1u64 << 53) as f64
+        };
+        (0..n)
+            .map(|i| BatchPoint {
+                position: [r() * 10.0, r() * 4.0, r() * 2.0],
+                atom: (i % 17) as u32,
+                grid_index: i as u32,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn batches_partition_the_points() {
+        let pts = cloud(5000);
+        let batches = make_batches(pts.clone(), 256);
+        assert_eq!(total_points(&batches), 5000);
+        // Every original index appears exactly once.
+        let mut seen = vec![false; 5000];
+        for b in &batches {
+            for p in &b.points {
+                assert!(!seen[p.grid_index as usize], "duplicate point");
+                seen[p.grid_index as usize] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn batches_respect_max_size() {
+        let batches = make_batches(cloud(5000), 256);
+        for b in &batches {
+            assert!(b.len() <= 256);
+            assert!(!b.is_empty());
+        }
+    }
+
+    #[test]
+    fn batches_are_balanced_within_factor_two() {
+        // Median splits guarantee sizes within [max/2, max] except tiny tails.
+        let batches = make_batches(cloud(10_000), 200);
+        let min = batches.iter().map(Batch::len).min().unwrap();
+        assert!(min >= 78, "smallest batch {min}"); // 10000/2^7 = 78.1
+    }
+
+    #[test]
+    fn batch_center_is_mean_of_points() {
+        let pts = cloud(300);
+        let batches = make_batches(pts, 1000);
+        assert_eq!(batches.len(), 1);
+        let b = &batches[0];
+        let mut mean = [0.0; 3];
+        for p in &b.points {
+            for d in 0..3 {
+                mean[d] += p.position[d] / 300.0;
+            }
+        }
+        for d in 0..3 {
+            assert!((b.center[d] - mean[d]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn batches_are_spatially_compact() {
+        // A batch's extent should be far smaller than the cloud's extent.
+        let pts = cloud(20_000);
+        let batches = make_batches(pts, 150);
+        let mut max_extent: f64 = 0.0;
+        for b in &batches {
+            let mut lo = [f64::INFINITY; 3];
+            let mut hi = [f64::NEG_INFINITY; 3];
+            for p in &b.points {
+                for d in 0..3 {
+                    lo[d] = lo[d].min(p.position[d]);
+                    hi[d] = hi[d].max(p.position[d]);
+                }
+            }
+            max_extent = max_extent.max(hi[0] - lo[0]);
+        }
+        assert!(max_extent < 5.0, "batches not compact: {max_extent}");
+    }
+
+    #[test]
+    fn batches_from_water_grid() {
+        let w = water();
+        let grid = IntegrationGrid::build(&w, &GridSettings::coarse());
+        let batches = batches_from_grid(&grid, 200);
+        assert_eq!(total_points(&batches), grid.len());
+        // Every point's atom annotation survives.
+        for b in &batches {
+            for p in &b.points {
+                assert_eq!(
+                    grid.points[p.grid_index as usize].atom,
+                    p.atom,
+                    "atom id mismatch"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn polyethylene_batches_split_along_chain() {
+        // The chain extends along x, so batch centers must spread mostly in x.
+        let p = polyethylene(40);
+        let grid = IntegrationGrid::build(&p, &GridSettings::coarse());
+        let batches = batches_from_grid(&grid, 200);
+        let xs: Vec<f64> = batches.iter().map(|b| b.center[0]).collect();
+        let zs: Vec<f64> = batches.iter().map(|b| b.center[2]).collect();
+        let spread = |v: &[f64]| {
+            v.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+                - v.iter().cloned().fold(f64::INFINITY, f64::min)
+        };
+        assert!(spread(&xs) > 10.0 * spread(&zs));
+    }
+
+    #[test]
+    fn single_point_single_batch() {
+        let pts = vec![BatchPoint {
+            position: [1.0, 2.0, 3.0],
+            atom: 0,
+            grid_index: 0,
+        }];
+        let batches = make_batches(pts, 100);
+        assert_eq!(batches.len(), 1);
+        assert_eq!(batches[0].center, [1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn batch_atoms_deduplicated_sorted() {
+        let pts = cloud(100);
+        let batches = make_batches(pts, 1000);
+        let atoms = batches[0].atoms();
+        assert!(atoms.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(atoms.len(), 17);
+    }
+}

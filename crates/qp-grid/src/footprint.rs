@@ -1,0 +1,387 @@
+//! Per-rank footprint analysis: the memory and redundancy consequences of a
+//! task mapping.
+//!
+//! This module quantifies exactly what Fig. 3 and Fig. 9(a,c) of the paper
+//! compare:
+//!
+//! * Under the **existing** mapping each rank touches delocalized atoms, so
+//!   it must keep the *global sparse* Hamiltonian (CSR) — size independent of
+//!   the rank count ([`FootprintReport::global_csr_bytes`]).
+//! * Under the **proposed** mapping each rank touches a compact atom cluster
+//!   and keeps only a *small dense* block
+//!   ([`RankFootprint::dense_bytes`]).
+//! * The number of per-atom cubic-spline tables the response-potential phase
+//!   constructs on a rank equals the number of distinct atoms within
+//!   multipole range of the rank's grid points
+//!   ([`RankFootprint::spline_atoms`], Fig. 9c).
+
+use crate::batch::Batch;
+use qp_chem::basis::BasisSettings;
+use qp_chem::geometry::Structure;
+use qp_linalg::vecops::dist3;
+use std::collections::{BTreeSet, HashMap};
+
+/// Per-atom basis-function counts for a structure at given settings.
+pub fn per_atom_basis(structure: &Structure, settings: BasisSettings) -> Vec<usize> {
+    structure
+        .atoms
+        .iter()
+        .map(|a| match settings {
+            BasisSettings::Light => a.element.num_basis_light(),
+            BasisSettings::Tier2 => a.element.num_basis_tier2(),
+        })
+        .collect()
+}
+
+/// Per-atom basis cutoff radii.
+pub fn per_atom_cutoff(structure: &Structure) -> Vec<f64> {
+    structure
+        .atoms
+        .iter()
+        .map(|a| a.element.cutoff_radius())
+        .collect()
+}
+
+/// Uniform cell list over atom positions for point-to-atom range queries.
+pub struct AtomCells {
+    cell: f64,
+    origin: [f64; 3],
+    bins: HashMap<(i64, i64, i64), Vec<u32>>,
+    positions: Vec<[f64; 3]>,
+}
+
+impl AtomCells {
+    /// Build with the given cell edge (should be ≥ the largest query radius
+    /// divided by ~2; queries scan the ±⌈r/cell⌉ neighbourhood).
+    pub fn build(structure: &Structure, cell: f64) -> Self {
+        let (lo, _) = structure.bounding_box();
+        let mut bins: HashMap<(i64, i64, i64), Vec<u32>> = HashMap::new();
+        for (i, a) in structure.atoms.iter().enumerate() {
+            let k = (
+                ((a.position[0] - lo[0]) / cell).floor() as i64,
+                ((a.position[1] - lo[1]) / cell).floor() as i64,
+                ((a.position[2] - lo[2]) / cell).floor() as i64,
+            );
+            bins.entry(k).or_default().push(i as u32);
+        }
+        AtomCells {
+            cell,
+            origin: lo,
+            bins,
+            positions: structure.atoms.iter().map(|a| a.position).collect(),
+        }
+    }
+
+    /// Atoms within `radius` of `p`.
+    pub fn atoms_within(&self, p: [f64; 3], radius: f64) -> Vec<u32> {
+        let reach = (radius / self.cell).ceil() as i64;
+        let kx = ((p[0] - self.origin[0]) / self.cell).floor() as i64;
+        let ky = ((p[1] - self.origin[1]) / self.cell).floor() as i64;
+        let kz = ((p[2] - self.origin[2]) / self.cell).floor() as i64;
+        let mut out = Vec::new();
+        for dx in -reach..=reach {
+            for dy in -reach..=reach {
+                for dz in -reach..=reach {
+                    if let Some(v) = self.bins.get(&(kx + dx, ky + dy, kz + dz)) {
+                        for &ia in v {
+                            if dist3(p, self.positions[ia as usize]) <= radius {
+                                out.push(ia);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+}
+
+/// What one rank holds under a mapping.
+#[derive(Debug, Clone)]
+pub struct RankFootprint {
+    /// Rank index.
+    pub rank: usize,
+    /// Grid points held.
+    pub n_points: usize,
+    /// Batches held.
+    pub n_batches: usize,
+    /// Atoms within basis range of any held point (the atoms whose basis
+    /// functions the rank's Hamiltonian block involves).
+    pub relevant_atoms: Vec<u32>,
+    /// Total basis functions of the relevant atoms (`N_b` local).
+    pub local_basis: usize,
+    /// Bytes of the small dense local Hamiltonian: `local_basis² × 8`.
+    pub dense_bytes: usize,
+    /// Distinct atoms needing cubic-spline tables on this rank during the
+    /// response-potential phase (atoms within multipole range of any point).
+    pub spline_atoms: usize,
+}
+
+/// Full report for one mapping of one system.
+#[derive(Debug, Clone)]
+pub struct FootprintReport {
+    /// Per-rank footprints.
+    pub per_rank: Vec<RankFootprint>,
+    /// Bytes of the global sparse Hamiltonian in CSR — what the *existing*
+    /// strategy stores on every rank (§3.1.1).
+    pub global_csr_bytes: usize,
+    /// Total basis functions of the system.
+    pub global_basis: usize,
+}
+
+impl FootprintReport {
+    /// Mean dense bytes across ranks.
+    pub fn mean_dense_bytes(&self) -> f64 {
+        if self.per_rank.is_empty() {
+            return 0.0;
+        }
+        self.per_rank.iter().map(|r| r.dense_bytes as f64).sum::<f64>()
+            / self.per_rank.len() as f64
+    }
+
+    /// Maximum dense bytes across ranks.
+    pub fn max_dense_bytes(&self) -> usize {
+        self.per_rank.iter().map(|r| r.dense_bytes).max().unwrap_or(0)
+    }
+
+    /// Mean spline-atom count across ranks.
+    pub fn mean_spline_atoms(&self) -> f64 {
+        if self.per_rank.is_empty() {
+            return 0.0;
+        }
+        self.per_rank.iter().map(|r| r.spline_atoms as f64).sum::<f64>()
+            / self.per_rank.len() as f64
+    }
+}
+
+/// Exact byte count of the global sparse Hamiltonian in CSR format:
+/// `H_{μν} ≠ 0` whenever the basis supports of the centering atoms overlap
+/// (`|R_I − R_J| < cut_I + cut_J`).
+pub fn global_csr_bytes(structure: &Structure, basis: &[usize], cutoffs: &[f64]) -> usize {
+    let max_cut = cutoffs.iter().cloned().fold(0.0, f64::max);
+    let neighbours = structure.neighbours_within(2.0 * max_cut);
+    let mut nnz: u128 = 0;
+    for (i, neigh) in neighbours.iter().enumerate() {
+        nnz += (basis[i] * basis[i]) as u128; // diagonal atom block
+        for &j in neigh {
+            let d = dist3(structure.atoms[i].position, structure.atoms[j].position);
+            if d < cutoffs[i] + cutoffs[j] {
+                nnz += (basis[i] * basis[j]) as u128;
+            }
+        }
+    }
+    let nb: usize = basis.iter().sum();
+    // values (f64) + col indices (usize) + row pointers (usize).
+    (nnz * 16) as usize + (nb + 1) * 8
+}
+
+/// Analyze a mapping: per-rank footprints plus the global-CSR alternative.
+///
+/// * `basis`, `cutoffs` — per-atom basis sizes and basis cutoff radii.
+/// * `spline_range` — multipole interpolation range (the `r_outer` of the
+///   Hartree solver); atoms within this range of a rank's points need their
+///   spline tables on that rank.
+pub fn analyze(
+    structure: &Structure,
+    batches: &[Batch],
+    assignment: &[usize],
+    n_procs: usize,
+    basis: &[usize],
+    cutoffs: &[f64],
+    spline_range: f64,
+) -> FootprintReport {
+    assert_eq!(batches.len(), assignment.len());
+    let max_cut = cutoffs.iter().cloned().fold(0.0, f64::max);
+    let cells = AtomCells::build(structure, max_cut.max(spline_range).max(1.0));
+
+    let mut relevant: Vec<BTreeSet<u32>> = vec![BTreeSet::new(); n_procs];
+    let mut spline: Vec<BTreeSet<u32>> = vec![BTreeSet::new(); n_procs];
+    let mut n_points = vec![0usize; n_procs];
+    let mut n_batches = vec![0usize; n_procs];
+
+    for (b, &rank) in batches.iter().zip(assignment.iter()) {
+        n_points[rank] += b.len();
+        n_batches[rank] += 1;
+        // Query once per batch using center + batch radius (cheap, exact
+        // superset; per-point refinement below).
+        let radius = b
+            .points
+            .iter()
+            .map(|p| dist3(p.position, b.center))
+            .fold(0.0, f64::max);
+        for ia in cells.atoms_within(b.center, radius + max_cut) {
+            // Refine: keep the atom if any point is within its own cutoff.
+            let pos = structure.atoms[ia as usize].position;
+            let cut = cutoffs[ia as usize];
+            if b.points.iter().any(|p| dist3(p.position, pos) < cut) {
+                relevant[rank].insert(ia);
+            }
+        }
+        for ia in cells.atoms_within(b.center, radius + spline_range) {
+            let pos = structure.atoms[ia as usize].position;
+            if b.points.iter().any(|p| dist3(p.position, pos) < spline_range) {
+                spline[rank].insert(ia);
+            }
+        }
+    }
+
+    let per_rank = (0..n_procs)
+        .map(|rank| {
+            let atoms: Vec<u32> = relevant[rank].iter().copied().collect();
+            let local_basis: usize = atoms.iter().map(|&a| basis[a as usize]).sum();
+            RankFootprint {
+                rank,
+                n_points: n_points[rank],
+                n_batches: n_batches[rank],
+                dense_bytes: local_basis * local_basis * 8,
+                local_basis,
+                relevant_atoms: atoms,
+                spline_atoms: spline[rank].len(),
+            }
+        })
+        .collect();
+
+    FootprintReport {
+        per_rank,
+        global_csr_bytes: global_csr_bytes(structure, basis, cutoffs),
+        global_basis: basis.iter().sum(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::batch::batches_from_grid;
+    use crate::mapping::{LoadBalancingMapping, LocalityEnhancingMapping, TaskMapping};
+    use qp_chem::grids::{GridSettings, IntegrationGrid};
+    use qp_chem::structures::{polyethylene, water};
+
+    fn setup(n_units: usize, n_procs: usize) -> (Structure, Vec<Batch>, Vec<usize>, Vec<usize>) {
+        let s = polyethylene(n_units);
+        let grid = IntegrationGrid::build(&s, &GridSettings::coarse());
+        let batches = batches_from_grid(&grid, 200);
+        let base = LoadBalancingMapping.assign(&batches, n_procs);
+        let prop = LocalityEnhancingMapping.assign(&batches, n_procs);
+        (s, batches, base, prop)
+    }
+
+    #[test]
+    fn atom_cells_match_brute_force() {
+        let s = polyethylene(10);
+        let cells = AtomCells::build(&s, 3.0);
+        let p = [5.0, 1.0, 0.5];
+        for radius in [2.0, 5.0, 9.0] {
+            let fast = cells.atoms_within(p, radius);
+            let brute: Vec<u32> = s
+                .atoms
+                .iter()
+                .enumerate()
+                .filter(|(_, a)| dist3(p, a.position) <= radius)
+                .map(|(i, _)| i as u32)
+                .collect();
+            assert_eq!(fast, brute, "radius {radius}");
+        }
+    }
+
+    #[test]
+    fn dense_footprint_much_smaller_than_global_csr() {
+        // The Fig. 9(a) claim: 2 orders of magnitude.
+        let (s, batches, _, prop) = setup(120, 32);
+        let basis = per_atom_basis(&s, BasisSettings::Light);
+        let cutoffs = per_atom_cutoff(&s);
+        let report = analyze(&s, &batches, &prop, 32, &basis, &cutoffs, 8.0);
+        assert!(report.global_csr_bytes > 0);
+        assert!(
+            (report.mean_dense_bytes() as usize) * 10 < report.global_csr_bytes,
+            "dense {} vs csr {}",
+            report.mean_dense_bytes(),
+            report.global_csr_bytes
+        );
+    }
+
+    #[test]
+    fn locality_shrinks_dense_blocks() {
+        let (s, batches, base, prop) = setup(120, 32);
+        let basis = per_atom_basis(&s, BasisSettings::Light);
+        let cutoffs = per_atom_cutoff(&s);
+        let rb = analyze(&s, &batches, &base, 32, &basis, &cutoffs, 8.0);
+        let rp = analyze(&s, &batches, &prop, 32, &basis, &cutoffs, 8.0);
+        assert!(
+            rp.mean_dense_bytes() * 3.0 < rb.mean_dense_bytes(),
+            "proposed {} vs baseline {}",
+            rp.mean_dense_bytes(),
+            rb.mean_dense_bytes()
+        );
+    }
+
+    #[test]
+    fn locality_shrinks_spline_counts() {
+        // Fig. 9(c): fewer cubic splines per rank under the proposed mapping.
+        let (s, batches, base, prop) = setup(120, 32);
+        let basis = per_atom_basis(&s, BasisSettings::Light);
+        let cutoffs = per_atom_cutoff(&s);
+        let rb = analyze(&s, &batches, &base, 32, &basis, &cutoffs, 8.0);
+        let rp = analyze(&s, &batches, &prop, 32, &basis, &cutoffs, 8.0);
+        assert!(
+            rp.mean_spline_atoms() * 2.0 < rb.mean_spline_atoms(),
+            "proposed {} vs baseline {}",
+            rp.mean_spline_atoms(),
+            rb.mean_spline_atoms()
+        );
+    }
+
+    #[test]
+    fn more_ranks_shrink_proposed_but_not_csr() {
+        // Fig. 9(a)'s x axis: the proposed footprint falls with rank count,
+        // the existing (global CSR) one is flat.
+        let s = polyethylene(120);
+        let grid = IntegrationGrid::build(&s, &GridSettings::coarse());
+        let batches = batches_from_grid(&grid, 200);
+        let basis = per_atom_basis(&s, BasisSettings::Light);
+        let cutoffs = per_atom_cutoff(&s);
+        let mut prev_dense = f64::INFINITY;
+        let mut csr = Vec::new();
+        for n_procs in [8, 16, 32, 64] {
+            let a = LocalityEnhancingMapping.assign(&batches, n_procs);
+            let r = analyze(&s, &batches, &a, n_procs, &basis, &cutoffs, 8.0);
+            assert!(
+                r.mean_dense_bytes() <= prev_dense,
+                "dense bytes grew at {n_procs} ranks"
+            );
+            prev_dense = r.mean_dense_bytes();
+            csr.push(r.global_csr_bytes);
+        }
+        assert!(csr.windows(2).all(|w| w[0] == w[1]));
+    }
+
+    #[test]
+    fn global_basis_counts() {
+        let w = water();
+        let basis = per_atom_basis(&w, BasisSettings::Light);
+        assert_eq!(basis, vec![5, 1, 1]);
+        let grid = IntegrationGrid::build(&w, &GridSettings::coarse());
+        let batches = batches_from_grid(&grid, 100);
+        let a = LocalityEnhancingMapping.assign(&batches, 2);
+        let cutoffs = per_atom_cutoff(&w);
+        let r = analyze(&w, &batches, &a, 2, &basis, &cutoffs, 8.0);
+        assert_eq!(r.global_basis, 7);
+        // Water is tiny: every rank sees all three atoms.
+        for rf in &r.per_rank {
+            assert_eq!(rf.local_basis, 7);
+            assert_eq!(rf.dense_bytes, 7 * 7 * 8);
+        }
+    }
+
+    #[test]
+    fn csr_bytes_scale_linearly_in_chain_length() {
+        let basis_of = |s: &Structure| per_atom_basis(s, BasisSettings::Light);
+        let s1 = polyethylene(50);
+        let s2 = polyethylene(100);
+        let b1 = global_csr_bytes(&s1, &basis_of(&s1), &per_atom_cutoff(&s1));
+        let b2 = global_csr_bytes(&s2, &basis_of(&s2), &per_atom_cutoff(&s2));
+        let ratio = b2 as f64 / b1 as f64;
+        assert!((ratio - 2.0).abs() < 0.15, "ratio {ratio}");
+    }
+}

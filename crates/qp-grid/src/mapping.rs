@@ -1,0 +1,461 @@
+//! Task mapping: assigning batches to MPI processes.
+//!
+//! Two strategies, exactly as contrasted in Fig. 3 of the paper:
+//!
+//! * [`LoadBalancingMapping`] — the *existing* strategy (§3.1.1): assign each
+//!   new batch to the process that currently owns the fewest grid points,
+//!   "without checking to which atoms the grid points in the new batch
+//!   belong". Grid points of one atom end up scattered over many processes.
+//! * [`LocalityEnhancingMapping`] — the paper's Algorithm 1 (§3.1.3):
+//!   recursively bisect the batch set, projecting batch centers onto the
+//!   dimension of largest spread and splitting at half the total grid
+//!   points, so that neighbouring atoms land on the same process.
+
+use crate::batch::Batch;
+
+/// A strategy that maps batches onto `n_procs` ranks.
+pub trait TaskMapping {
+    /// Return `assignment[batch_index] = rank`.
+    fn assign(&self, batches: &[Batch], n_procs: usize) -> Vec<usize>;
+
+    /// Human-readable name for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// The baseline least-loaded ("existing") strategy of §3.1.1.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LoadBalancingMapping;
+
+impl TaskMapping for LoadBalancingMapping {
+    fn assign(&self, batches: &[Batch], n_procs: usize) -> Vec<usize> {
+        assert!(n_procs >= 1);
+        let mut load = vec![0usize; n_procs];
+        let mut assignment = Vec::with_capacity(batches.len());
+        for b in batches {
+            // The process that currently owns the least grid points; ties
+            // break towards the lowest rank (deterministic).
+            let rank = (0..n_procs)
+                .min_by_key(|&r| (load[r], r))
+                .expect("n_procs >= 1");
+            load[rank] += b.len();
+            assignment.push(rank);
+        }
+        assignment
+    }
+
+    fn name(&self) -> &'static str {
+        "existing-load-balancing"
+    }
+}
+
+/// The paper's locality-enhancing recursive bisection (Algorithm 1).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LocalityEnhancingMapping;
+
+impl TaskMapping for LocalityEnhancingMapping {
+    fn assign(&self, batches: &[Batch], n_procs: usize) -> Vec<usize> {
+        assert!(n_procs >= 1);
+        let mut assignment = vec![usize::MAX; batches.len()];
+        let mut indices: Vec<usize> = (0..batches.len()).collect();
+        locality_enhancing_mapping(batches, &mut indices, 0, n_procs, &mut assignment);
+        debug_assert!(assignment.iter().all(|&r| r != usize::MAX));
+        assignment
+    }
+
+    fn name(&self) -> &'static str {
+        "proposed-locality-enhancing"
+    }
+}
+
+/// Algorithm 1, lines 1–15. `procs` is the contiguous rank range
+/// `[proc_base, proc_base + n_procs)`; `indices` the current batch subset B.
+fn locality_enhancing_mapping(
+    batches: &[Batch],
+    indices: &mut [usize],
+    proc_base: usize,
+    n_procs: usize,
+    assignment: &mut [usize],
+) {
+    // Line 2-3: single process -> map the whole set to it.
+    if n_procs == 1 {
+        for &i in indices.iter() {
+            assignment[i] = proc_base;
+        }
+        return;
+    }
+    // Lines 5-6: split P into P_l (first ceil(n/2)) and P_r.
+    let n_left = n_procs.div_ceil(2);
+    let n_right = n_procs - n_left;
+
+    // Line 7: the dimension on which the projected batch coordinates spread
+    // the largest range.
+    let mut lo = [f64::INFINITY; 3];
+    let mut hi = [f64::NEG_INFINITY; 3];
+    for &i in indices.iter() {
+        for d in 0..3 {
+            lo[d] = lo[d].min(batches[i].center[d]);
+            hi[d] = hi[d].max(batches[i].center[d]);
+        }
+    }
+    let dim = (0..3)
+        .max_by(|&a, &b| {
+            (hi[a] - lo[a])
+                .partial_cmp(&(hi[b] - lo[b]))
+                .expect("finite spreads")
+        })
+        .expect("three dims");
+
+    // Line 8: sort batches by their projection on dim (non-decreasing).
+    indices.sort_by(|&a, &b| {
+        batches[a].center[dim]
+            .partial_cmp(&batches[b].center[dim])
+            .expect("finite centers")
+    });
+
+    // Lines 9-11: pivot at half the total grid points, weighted by the
+    // process split so uneven P halves receive proportional work.
+    let total: usize = indices.iter().map(|&i| batches[i].len()).sum();
+    let pivot = (total as f64 * n_left as f64 / n_procs as f64) as usize;
+    let mut acc = 0usize;
+    let mut split = 0usize;
+    for (pos, &i) in indices.iter().enumerate() {
+        if acc + batches[i].len() > pivot {
+            split = pos;
+            break;
+        }
+        acc += batches[i].len();
+        split = pos + 1;
+    }
+    // Guarantee both sides non-empty when possible (each process half must
+    // receive at least one batch if batches remain).
+    split = split.clamp(
+        if indices.len() >= n_procs { 1 } else { 0 },
+        indices.len().saturating_sub(if indices.len() >= n_procs { 1 } else { 0 }),
+    );
+
+    let (left, right) = indices.split_at_mut(split);
+    // Lines 12-13: recurse.
+    locality_enhancing_mapping(batches, left, proc_base, n_left, assignment);
+    locality_enhancing_mapping(batches, right, proc_base + n_left, n_right, assignment);
+}
+
+/// Per-rank grid-point loads under an assignment.
+pub fn rank_loads(batches: &[Batch], assignment: &[usize], n_procs: usize) -> Vec<usize> {
+    let mut load = vec![0usize; n_procs];
+    for (b, &r) in batches.iter().zip(assignment.iter()) {
+        load[r] += b.len();
+    }
+    load
+}
+
+/// Number of distinct ranks that hold at least one grid point of `atom` —
+/// the "scattered to a large set of processes" metric of Fig. 3(a), row 1.
+pub fn ranks_holding_atom(
+    batches: &[Batch],
+    assignment: &[usize],
+    atom: u32,
+) -> usize {
+    let mut ranks: Vec<usize> = batches
+        .iter()
+        .zip(assignment.iter())
+        .filter(|(b, _)| b.points.iter().any(|p| p.atom == atom))
+        .map(|(_, &r)| r)
+        .collect();
+    ranks.sort_unstable();
+    ranks.dedup();
+    ranks.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::batch::{batches_from_grid, make_batches, BatchPoint};
+    use qp_chem::grids::{GridSettings, IntegrationGrid};
+    use qp_chem::structures::polyethylene;
+
+    fn chain_batches(n_units: usize) -> Vec<Batch> {
+        let s = polyethylene(n_units);
+        let grid = IntegrationGrid::build(&s, &GridSettings::coarse());
+        batches_from_grid(&grid, 200)
+    }
+
+    #[test]
+    fn both_strategies_assign_every_batch() {
+        let batches = chain_batches(30);
+        for strategy in [
+            &LoadBalancingMapping as &dyn TaskMapping,
+            &LocalityEnhancingMapping as &dyn TaskMapping,
+        ] {
+            let a = strategy.assign(&batches, 8);
+            assert_eq!(a.len(), batches.len());
+            assert!(a.iter().all(|&r| r < 8), "{}", strategy.name());
+            // All ranks used.
+            let loads = rank_loads(&batches, &a, 8);
+            assert!(loads.iter().all(|&l| l > 0), "{}: {loads:?}", strategy.name());
+        }
+    }
+
+    #[test]
+    fn load_balancing_balances_points() {
+        let batches = chain_batches(40);
+        let a = LoadBalancingMapping.assign(&batches, 16);
+        let loads = rank_loads(&batches, &a, 16);
+        let max = *loads.iter().max().unwrap() as f64;
+        let min = *loads.iter().min().unwrap() as f64;
+        assert!(max / min < 1.3, "imbalance {max}/{min}");
+    }
+
+    #[test]
+    fn locality_mapping_balances_points_too() {
+        // Algorithm 1 splits at half the grid points, so loads stay balanced.
+        let batches = chain_batches(40);
+        let a = LocalityEnhancingMapping.assign(&batches, 16);
+        let loads = rank_loads(&batches, &a, 16);
+        let max = *loads.iter().max().unwrap() as f64;
+        let min = *loads.iter().min().unwrap() as f64;
+        assert!(max / min < 1.6, "imbalance {max}/{min}: {loads:?}");
+    }
+
+    #[test]
+    fn locality_mapping_keeps_ranks_spatially_contiguous() {
+        // For a linear chain, each rank's batch centers must occupy a
+        // contiguous x interval, disjoint from other ranks' intervals.
+        let batches = chain_batches(60);
+        let n_procs = 8;
+        let a = LocalityEnhancingMapping.assign(&batches, n_procs);
+        let mut ranges = vec![(f64::INFINITY, f64::NEG_INFINITY); n_procs];
+        for (b, &r) in batches.iter().zip(a.iter()) {
+            ranges[r].0 = ranges[r].0.min(b.center[0]);
+            ranges[r].1 = ranges[r].1.max(b.center[0]);
+        }
+        let mut sorted = ranges.clone();
+        sorted.sort_by(|p, q| p.0.partial_cmp(&q.0).unwrap());
+        for w in sorted.windows(2) {
+            assert!(
+                w[0].1 <= w[1].0 + 1e-9,
+                "rank x-ranges overlap: {:?} vs {:?}",
+                w[0],
+                w[1]
+            );
+        }
+    }
+
+    #[test]
+    fn locality_reduces_atom_scatter() {
+        // The headline claim of §3.1: under the baseline strategy an atom's
+        // grid points land on many ranks; under Algorithm 1 on few.
+        let batches = chain_batches(60);
+        let n_procs = 16;
+        let base = LoadBalancingMapping.assign(&batches, n_procs);
+        let prop = LocalityEnhancingMapping.assign(&batches, n_procs);
+        let atoms: Vec<u32> = (0..20).map(|i| i * 17).collect();
+        let scatter = |a: &[usize]| -> f64 {
+            atoms
+                .iter()
+                .map(|&at| ranks_holding_atom(&batches, a, at) as f64)
+                .sum::<f64>()
+                / atoms.len() as f64
+        };
+        let s_base = scatter(&base);
+        let s_prop = scatter(&prop);
+        assert!(
+            s_prop * 2.0 < s_base,
+            "scatter not reduced: baseline {s_base}, proposed {s_prop}"
+        );
+    }
+
+    #[test]
+    fn locality_reduces_atoms_per_rank() {
+        // Fig. 3 row 2: each rank sees few, localized atoms.
+        let batches = chain_batches(60);
+        let n_procs = 16;
+        let base = LoadBalancingMapping.assign(&batches, n_procs);
+        let prop = LocalityEnhancingMapping.assign(&batches, n_procs);
+        let atoms_per_rank = |a: &[usize]| -> f64 {
+            let mut sets = vec![std::collections::BTreeSet::new(); n_procs];
+            for (b, &r) in batches.iter().zip(a.iter()) {
+                for p in &b.points {
+                    sets[r].insert(p.atom);
+                }
+            }
+            sets.iter().map(|s| s.len() as f64).sum::<f64>() / n_procs as f64
+        };
+        let apr_base = atoms_per_rank(&base);
+        let apr_prop = atoms_per_rank(&prop);
+        assert!(
+            apr_prop * 2.0 < apr_base,
+            "atoms/rank not reduced: {apr_base} vs {apr_prop}"
+        );
+    }
+
+    #[test]
+    fn single_proc_gets_everything() {
+        let batches = chain_batches(5);
+        for strategy in [
+            &LoadBalancingMapping as &dyn TaskMapping,
+            &LocalityEnhancingMapping as &dyn TaskMapping,
+        ] {
+            let a = strategy.assign(&batches, 1);
+            assert!(a.iter().all(|&r| r == 0));
+        }
+    }
+
+    #[test]
+    fn more_procs_than_batches_is_handled() {
+        let pts: Vec<BatchPoint> = (0..10)
+            .map(|i| BatchPoint {
+                position: [i as f64, 0.0, 0.0],
+                atom: i as u32,
+                grid_index: i as u32,
+            })
+            .collect();
+        let batches = make_batches(pts, 2); // 5+ batches
+        let nb = batches.len();
+        let a = LocalityEnhancingMapping.assign(&batches, nb + 3);
+        assert_eq!(a.len(), nb);
+        assert!(a.iter().all(|&r| r < nb + 3));
+    }
+
+    #[test]
+    fn non_power_of_two_procs() {
+        let batches = chain_batches(30);
+        let a = LocalityEnhancingMapping.assign(&batches, 7);
+        let loads = rank_loads(&batches, &a, 7);
+        assert!(loads.iter().all(|&l| l > 0), "{loads:?}");
+        let max = *loads.iter().max().unwrap() as f64;
+        let min = *loads.iter().min().unwrap() as f64;
+        assert!(max / min < 2.0, "{loads:?}");
+    }
+}
+
+/// Space-filling-curve (Morton / Z-order) mapping: quantize batch centers to
+/// a 1024³ lattice, sort by interleaved-bit key, and split the curve into
+/// `n_procs` contiguous segments of equal grid-point counts.
+///
+/// Production grid codes often use Hilbert/Morton orders instead of
+/// recursive bisection; the batching ablation compares the two. Morton
+/// preserves locality well in the bulk but can split across curve
+/// discontinuities, which is exactly the trade-off visible in the footprint
+/// numbers.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MortonMapping;
+
+/// Interleave the low 10 bits of (x, y, z) into a 30-bit Morton key.
+fn morton_key(q: [u32; 3]) -> u64 {
+    fn spread(mut v: u64) -> u64 {
+        // Spread 10 bits out to every 3rd position.
+        v &= 0x3ff;
+        v = (v | (v << 16)) & 0x030000ff;
+        v = (v | (v << 8)) & 0x0300f00f;
+        v = (v | (v << 4)) & 0x030c30c3;
+        v = (v | (v << 2)) & 0x09249249;
+        v
+    }
+    spread(q[0] as u64) | (spread(q[1] as u64) << 1) | (spread(q[2] as u64) << 2)
+}
+
+impl TaskMapping for MortonMapping {
+    fn assign(&self, batches: &[Batch], n_procs: usize) -> Vec<usize> {
+        assert!(n_procs >= 1);
+        if batches.is_empty() {
+            return Vec::new();
+        }
+        // Bounding box for quantization.
+        let mut lo = [f64::INFINITY; 3];
+        let mut hi = [f64::NEG_INFINITY; 3];
+        for b in batches {
+            for d in 0..3 {
+                lo[d] = lo[d].min(b.center[d]);
+                hi[d] = hi[d].max(b.center[d]);
+            }
+        }
+        let mut order: Vec<usize> = (0..batches.len()).collect();
+        let key_of = |b: &Batch| -> u64 {
+            let mut q = [0u32; 3];
+            for d in 0..3 {
+                let span = (hi[d] - lo[d]).max(1e-12);
+                q[d] = (((b.center[d] - lo[d]) / span) * 1023.0).round() as u32;
+            }
+            morton_key(q)
+        };
+        order.sort_by_key(|&i| key_of(&batches[i]));
+        // Split the curve into equal-point segments.
+        let total: usize = batches.iter().map(Batch::len).sum();
+        let mut assignment = vec![0usize; batches.len()];
+        let mut acc = 0usize;
+        for &i in &order {
+            let rank = ((acc as f64 / total as f64) * n_procs as f64) as usize;
+            assignment[i] = rank.min(n_procs - 1);
+            acc += batches[i].len();
+        }
+        assignment
+    }
+
+    fn name(&self) -> &'static str {
+        "morton-curve"
+    }
+}
+
+#[cfg(test)]
+mod morton_tests {
+    use super::*;
+    use crate::batch::batches_from_grid;
+    use qp_chem::grids::{GridSettings, IntegrationGrid};
+    use qp_chem::structures::polyethylene;
+
+    fn chain_batches(n_units: usize) -> Vec<Batch> {
+        let s = polyethylene(n_units);
+        let grid = IntegrationGrid::build(&s, &GridSettings::coarse());
+        batches_from_grid(&grid, 200)
+    }
+
+    #[test]
+    fn morton_assigns_all_batches_and_balances() {
+        let batches = chain_batches(40);
+        let a = MortonMapping.assign(&batches, 16);
+        assert_eq!(a.len(), batches.len());
+        let loads = rank_loads(&batches, &a, 16);
+        assert!(loads.iter().all(|&l| l > 0), "{loads:?}");
+        let max = *loads.iter().max().unwrap() as f64;
+        let min = *loads.iter().min().unwrap() as f64;
+        assert!(max / min < 1.6, "{loads:?}");
+    }
+
+    #[test]
+    fn morton_reduces_atom_scatter_like_bisection() {
+        let batches = chain_batches(60);
+        let n_procs = 16;
+        let base = LoadBalancingMapping.assign(&batches, n_procs);
+        let morton = MortonMapping.assign(&batches, n_procs);
+        let atoms: Vec<u32> = (0..20).map(|i| i * 17).collect();
+        let scatter = |a: &[usize]| -> f64 {
+            atoms
+                .iter()
+                .map(|&at| ranks_holding_atom(&batches, a, at) as f64)
+                .sum::<f64>()
+                / atoms.len() as f64
+        };
+        assert!(
+            scatter(&morton) * 2.0 < scatter(&base),
+            "morton {} vs baseline {}",
+            scatter(&morton),
+            scatter(&base)
+        );
+    }
+
+    #[test]
+    fn morton_key_orders_neighbours_near() {
+        // Nearby quantized cells share key prefixes: the key of (1,1,1) is
+        // closer to (2,2,2) than to (512,512,512).
+        let near = morton_key([1, 1, 1]).abs_diff(morton_key([2, 2, 2]));
+        let far = morton_key([1, 1, 1]).abs_diff(morton_key([512, 512, 512]));
+        assert!(near < far);
+    }
+
+    #[test]
+    fn morton_single_rank() {
+        let batches = chain_batches(5);
+        let a = MortonMapping.assign(&batches, 1);
+        assert!(a.iter().all(|&r| r == 0));
+    }
+}

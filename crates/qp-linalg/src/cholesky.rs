@@ -1,0 +1,187 @@
+//! Cholesky factorization and triangular solves.
+//!
+//! Used to reduce the generalized eigenproblem `H C = ε S C` (Eq. 5 of the
+//! paper) to standard form: with `S = L Lᵀ`, solve
+//! `(L⁻¹ H L⁻ᵀ) y = ε y`, then back-transform `C = L⁻ᵀ y`.
+
+use crate::dense::DMatrix;
+use crate::{LinalgError, Result};
+
+/// Lower-triangular Cholesky factor `L` with `A = L Lᵀ`.
+#[derive(Debug, Clone)]
+pub struct Cholesky {
+    l: DMatrix,
+}
+
+impl Cholesky {
+    /// Factor a symmetric positive-definite matrix.
+    pub fn new(a: &DMatrix) -> Result<Self> {
+        if !a.is_square() {
+            return Err(LinalgError::DimensionMismatch {
+                op: "cholesky",
+                dims: vec![a.rows(), a.cols()],
+            });
+        }
+        let n = a.rows();
+        let mut l = DMatrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..=i {
+                let mut sum = a[(i, j)];
+                for k in 0..j {
+                    sum -= l[(i, k)] * l[(j, k)];
+                }
+                if i == j {
+                    if sum <= 0.0 {
+                        return Err(LinalgError::NotPositiveDefinite { pivot: i });
+                    }
+                    l[(i, j)] = sum.sqrt();
+                } else {
+                    l[(i, j)] = sum / l[(j, j)];
+                }
+            }
+        }
+        Ok(Cholesky { l })
+    }
+
+    /// The lower-triangular factor.
+    pub fn l(&self) -> &DMatrix {
+        &self.l
+    }
+
+    /// Solve `L x = b` (forward substitution).
+    pub fn solve_lower(&self, b: &[f64]) -> Vec<f64> {
+        let n = self.l.rows();
+        assert_eq!(b.len(), n);
+        let mut x = b.to_vec();
+        for i in 0..n {
+            for k in 0..i {
+                let lik = self.l[(i, k)];
+                x[i] -= lik * x[k];
+            }
+            x[i] /= self.l[(i, i)];
+        }
+        x
+    }
+
+    /// Solve `Lᵀ x = b` (backward substitution).
+    pub fn solve_lower_transpose(&self, b: &[f64]) -> Vec<f64> {
+        let n = self.l.rows();
+        assert_eq!(b.len(), n);
+        let mut x = b.to_vec();
+        for i in (0..n).rev() {
+            for k in (i + 1)..n {
+                let lki = self.l[(k, i)];
+                x[i] -= lki * x[k];
+            }
+            x[i] /= self.l[(i, i)];
+        }
+        x
+    }
+
+    /// Solve `A x = b` via the two triangular solves.
+    pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        let y = self.solve_lower(b);
+        self.solve_lower_transpose(&y)
+    }
+
+    /// Compute `L⁻¹ M` column-by-column.
+    pub fn solve_lower_matrix(&self, m: &DMatrix) -> DMatrix {
+        let n = self.l.rows();
+        assert_eq!(m.rows(), n);
+        let mut out = DMatrix::zeros(n, m.cols());
+        for j in 0..m.cols() {
+            let col: Vec<f64> = (0..n).map(|i| m[(i, j)]).collect();
+            let x = self.solve_lower(&col);
+            for i in 0..n {
+                out[(i, j)] = x[i];
+            }
+        }
+        out
+    }
+
+    /// Compute `L⁻ᵀ M` column-by-column.
+    pub fn solve_lower_transpose_matrix(&self, m: &DMatrix) -> DMatrix {
+        let n = self.l.rows();
+        assert_eq!(m.rows(), n);
+        let mut out = DMatrix::zeros(n, m.cols());
+        for j in 0..m.cols() {
+            let col: Vec<f64> = (0..n).map(|i| m[(i, j)]).collect();
+            let x = self.solve_lower_transpose(&col);
+            for i in 0..n {
+                out[(i, j)] = x[i];
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spd3() -> DMatrix {
+        DMatrix::from_vec(
+            3,
+            3,
+            vec![4.0, 12.0, -16.0, 12.0, 37.0, -43.0, -16.0, -43.0, 98.0],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn factor_known_matrix() {
+        // Classic example: L = [[2,0,0],[6,1,0],[-8,5,3]].
+        let c = Cholesky::new(&spd3()).unwrap();
+        let l = c.l();
+        assert!((l[(0, 0)] - 2.0).abs() < 1e-12);
+        assert!((l[(1, 0)] - 6.0).abs() < 1e-12);
+        assert!((l[(1, 1)] - 1.0).abs() < 1e-12);
+        assert!((l[(2, 0)] + 8.0).abs() < 1e-12);
+        assert!((l[(2, 1)] - 5.0).abs() < 1e-12);
+        assert!((l[(2, 2)] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reconstruction() {
+        let a = spd3();
+        let c = Cholesky::new(&a).unwrap();
+        let llt = c.l().matmul(&c.l().transpose()).unwrap();
+        assert!(llt.max_abs_diff(&a) < 1e-10);
+    }
+
+    #[test]
+    fn solve_recovers_rhs() {
+        let a = spd3();
+        let c = Cholesky::new(&a).unwrap();
+        let x_true = vec![1.0, -2.0, 0.5];
+        let b = a.matvec(&x_true).unwrap();
+        let x = c.solve(&b);
+        for (xi, ti) in x.iter().zip(x_true.iter()) {
+            assert!((xi - ti).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn indefinite_matrix_rejected() {
+        let m = DMatrix::from_vec(2, 2, vec![1.0, 2.0, 2.0, 1.0]).unwrap();
+        assert!(matches!(
+            Cholesky::new(&m),
+            Err(LinalgError::NotPositiveDefinite { .. })
+        ));
+    }
+
+    #[test]
+    fn matrix_solves_match_vector_solves() {
+        let a = spd3();
+        let c = Cholesky::new(&a).unwrap();
+        let m = DMatrix::from_fn(3, 2, |i, j| (i + j) as f64 + 1.0);
+        let linv_m = c.solve_lower_matrix(&m);
+        for j in 0..2 {
+            let col: Vec<f64> = (0..3).map(|i| m[(i, j)]).collect();
+            let x = c.solve_lower(&col);
+            for i in 0..3 {
+                assert!((linv_m[(i, j)] - x[i]).abs() < 1e-12);
+            }
+        }
+    }
+}

@@ -1,0 +1,275 @@
+//! Compressed sparse row matrices.
+//!
+//! §3.1.1 of the paper identifies the *large sparse Hamiltonian in CSR
+//! format* as the memory-explosion obstacle of the baseline load-balancing
+//! task mapping: fetching one element `H(φi, φj)` needs at least three
+//! memory accesses (`row`, `col`, `val`).  This type reproduces that storage
+//! scheme faithfully, including the per-element access-count bookkeeping that
+//! the Fig. 9(b) experiment relies on.
+
+use crate::dense::DMatrix;
+use crate::{LinalgError, Result};
+
+/// CSR sparse matrix (`f64` values, `usize` indices like the Fortran original
+/// uses default integers).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsrMatrix {
+    rows: usize,
+    cols: usize,
+    /// `row_ptr[i]..row_ptr[i+1]` indexes the entries of row `i`.
+    row_ptr: Vec<usize>,
+    /// Column index of each stored entry.
+    col_idx: Vec<usize>,
+    /// Stored values.
+    values: Vec<f64>,
+}
+
+impl CsrMatrix {
+    /// Build from unordered `(row, col, value)` triplets; duplicate entries
+    /// are summed (the natural semantics for grid-batch accumulation).
+    pub fn from_triplets(
+        rows: usize,
+        cols: usize,
+        triplets: impl IntoIterator<Item = (usize, usize, f64)>,
+    ) -> Result<Self> {
+        let mut by_row: Vec<Vec<(usize, f64)>> = vec![Vec::new(); rows];
+        for (r, c, v) in triplets {
+            if r >= rows || c >= cols {
+                return Err(LinalgError::DimensionMismatch {
+                    op: "CsrMatrix::from_triplets",
+                    dims: vec![rows, cols, r, c],
+                });
+            }
+            by_row[r].push((c, v));
+        }
+        let mut row_ptr = Vec::with_capacity(rows + 1);
+        let mut col_idx = Vec::new();
+        let mut values = Vec::new();
+        row_ptr.push(0);
+        for row in by_row.iter_mut() {
+            row.sort_by_key(|&(c, _)| c);
+            let mut last_col = usize::MAX;
+            for &(c, v) in row.iter() {
+                if c == last_col {
+                    *values.last_mut().expect("entry exists") += v;
+                } else {
+                    col_idx.push(c);
+                    values.push(v);
+                    last_col = c;
+                }
+            }
+            row_ptr.push(col_idx.len());
+        }
+        Ok(CsrMatrix {
+            rows,
+            cols,
+            row_ptr,
+            col_idx,
+            values,
+        })
+    }
+
+    /// Convert a dense matrix, dropping entries with `|v| <= threshold`.
+    pub fn from_dense(m: &DMatrix, threshold: f64) -> Self {
+        let triplets = (0..m.rows()).flat_map(|i| {
+            (0..m.cols()).filter_map(move |j| {
+                let v = m[(i, j)];
+                (v.abs() > threshold).then_some((i, j, v))
+            })
+        });
+        CsrMatrix::from_triplets(m.rows(), m.cols(), triplets)
+            .expect("dense dims are consistent")
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored (structural) non-zeros.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Fill fraction `nnz / (rows*cols)`.
+    pub fn density(&self) -> f64 {
+        if self.rows == 0 || self.cols == 0 {
+            return 0.0;
+        }
+        self.nnz() as f64 / (self.rows as f64 * self.cols as f64)
+    }
+
+    /// Exact heap footprint in bytes: `row_ptr` + `col_idx` + `values`.
+    ///
+    /// This is the quantity that explodes in Fig. 9(a) under the baseline
+    /// mapping (21 373 KB per process for the 9 210-basis RBD system).
+    pub fn memory_bytes(&self) -> usize {
+        self.row_ptr.len() * std::mem::size_of::<usize>()
+            + self.col_idx.len() * std::mem::size_of::<usize>()
+            + self.values.len() * std::mem::size_of::<f64>()
+    }
+
+    /// Fetch element `(i, j)`, performing the CSR walk.  Returns the value
+    /// and the number of memory accesses the walk needed (≥ 3 for a hit, as
+    /// the paper's Fig. 3(a) annotation states).
+    pub fn get_counted(&self, i: usize, j: usize) -> (f64, usize) {
+        // 1 access for row_ptr[i], 1 for row_ptr[i+1].
+        let mut accesses = 2usize;
+        let lo = self.row_ptr[i];
+        let hi = self.row_ptr[i + 1];
+        let slice = &self.col_idx[lo..hi];
+        // Binary search over col_idx: each probe is one memory access.
+        let mut left = 0usize;
+        let mut right = slice.len();
+        while left < right {
+            let mid = (left + right) / 2;
+            accesses += 1;
+            match slice[mid].cmp(&j) {
+                std::cmp::Ordering::Equal => {
+                    accesses += 1; // the value load
+                    return (self.values[lo + mid], accesses);
+                }
+                std::cmp::Ordering::Less => left = mid + 1,
+                std::cmp::Ordering::Greater => right = mid,
+            }
+        }
+        (0.0, accesses)
+    }
+
+    /// Fetch element `(i, j)` without instrumentation.
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        self.get_counted(i, j).0
+    }
+
+    /// Sparse matrix–vector product.
+    pub fn spmv(&self, x: &[f64]) -> Result<Vec<f64>> {
+        if x.len() != self.cols {
+            return Err(LinalgError::DimensionMismatch {
+                op: "spmv",
+                dims: vec![self.rows, self.cols, x.len()],
+            });
+        }
+        let mut y = vec![0.0; self.rows];
+        for (i, yi) in y.iter_mut().enumerate() {
+            let mut acc = 0.0;
+            for k in self.row_ptr[i]..self.row_ptr[i + 1] {
+                acc += self.values[k] * x[self.col_idx[k]];
+            }
+            *yi = acc;
+        }
+        Ok(y)
+    }
+
+    /// Expand back to dense storage.
+    pub fn to_dense(&self) -> DMatrix {
+        let mut m = DMatrix::zeros(self.rows, self.cols);
+        for i in 0..self.rows {
+            for k in self.row_ptr[i]..self.row_ptr[i + 1] {
+                m[(i, self.col_idx[k])] = self.values[k];
+            }
+        }
+        m
+    }
+
+    /// Iterate over stored entries as `(row, col, value)`.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, usize, f64)> + '_ {
+        (0..self.rows).flat_map(move |i| {
+            (self.row_ptr[i]..self.row_ptr[i + 1])
+                .map(move |k| (i, self.col_idx[k], self.values[k]))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CsrMatrix {
+        CsrMatrix::from_triplets(
+            3,
+            4,
+            vec![(0, 1, 2.0), (0, 3, 4.0), (1, 0, -1.0), (2, 2, 5.0)],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn get_returns_stored_and_zero() {
+        let m = sample();
+        assert_eq!(m.get(0, 1), 2.0);
+        assert_eq!(m.get(0, 3), 4.0);
+        assert_eq!(m.get(0, 0), 0.0);
+        assert_eq!(m.get(2, 2), 5.0);
+    }
+
+    #[test]
+    fn duplicates_are_summed() {
+        let m =
+            CsrMatrix::from_triplets(2, 2, vec![(0, 0, 1.0), (0, 0, 2.5), (1, 1, 1.0)]).unwrap();
+        assert_eq!(m.get(0, 0), 3.5);
+        assert_eq!(m.nnz(), 2);
+    }
+
+    #[test]
+    fn get_counted_needs_at_least_three_accesses() {
+        let m = sample();
+        let (v, acc) = m.get_counted(0, 1);
+        assert_eq!(v, 2.0);
+        assert!(acc >= 3, "CSR hit should cost >= 3 accesses, got {acc}");
+    }
+
+    #[test]
+    fn dense_round_trip() {
+        let m = sample();
+        let d = m.to_dense();
+        let back = CsrMatrix::from_dense(&d, 0.0);
+        assert_eq!(m, back);
+    }
+
+    #[test]
+    fn spmv_matches_dense_matvec() {
+        let m = sample();
+        let x = vec![1.0, 2.0, 3.0, 4.0];
+        let sparse = m.spmv(&x).unwrap();
+        let dense = m.to_dense().matvec(&x).unwrap();
+        for (a, b) in sparse.iter().zip(dense.iter()) {
+            assert!((a - b).abs() < 1e-14);
+        }
+    }
+
+    #[test]
+    fn memory_accounting() {
+        let m = sample();
+        // row_ptr: 4 usize, col_idx: 4 usize, values: 4 f64.
+        assert_eq!(m.memory_bytes(), 4 * 8 + 4 * 8 + 4 * 8);
+    }
+
+    #[test]
+    fn density_fraction() {
+        let m = sample();
+        assert!((m.density() - 4.0 / 12.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn out_of_bounds_triplet_rejected() {
+        assert!(CsrMatrix::from_triplets(2, 2, vec![(2, 0, 1.0)]).is_err());
+    }
+
+    #[test]
+    fn iter_yields_all_entries_in_row_order() {
+        let m = sample();
+        let entries: Vec<_> = m.iter().collect();
+        assert_eq!(
+            entries,
+            vec![(0, 1, 2.0), (0, 3, 4.0), (1, 0, -1.0), (2, 2, 5.0)]
+        );
+    }
+}

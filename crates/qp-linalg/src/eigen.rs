@@ -1,0 +1,370 @@
+//! Dense symmetric eigensolvers.
+//!
+//! The Kohn-Sham equations in a finite basis (Eq. 5 of the paper) are a
+//! generalized symmetric eigenproblem `H C = ε S C`, solved in the original
+//! code by ScaLAPACK. Here we implement the classic dense path:
+//! Householder tridiagonalization followed by implicit-shift QL iteration,
+//! with the generalized problem reduced to standard form via Cholesky.
+
+use crate::cholesky::Cholesky;
+use crate::dense::DMatrix;
+use crate::{LinalgError, Result};
+
+/// Eigenvalues (ascending) and eigenvectors (columns) of a symmetric matrix.
+#[derive(Debug, Clone)]
+pub struct EigenDecomposition {
+    /// Eigenvalues in ascending order.
+    pub eigenvalues: Vec<f64>,
+    /// `eigenvectors.col(k)` is the eigenvector of `eigenvalues[k]`.
+    pub eigenvectors: DMatrix,
+}
+
+/// Householder reduction of a symmetric matrix to tridiagonal form.
+///
+/// Returns `(d, e, q)` where `d` is the diagonal, `e` the sub-diagonal
+/// (`e[0]` unused) and `q` the accumulated orthogonal transform such that
+/// `qᵀ a q = tridiag(d, e)`.
+fn tridiagonalize(a: &DMatrix) -> (Vec<f64>, Vec<f64>, DMatrix) {
+    let n = a.rows();
+    let mut v = a.clone();
+    let mut d = vec![0.0; n];
+    let mut e = vec![0.0; n];
+
+    // Householder reduction (numerical-recipes style `tred2`).
+    for i in (1..n).rev() {
+        let l = i - 1;
+        let mut h = 0.0;
+        if l > 0 {
+            let scale: f64 = (0..=l).map(|k| v[(i, k)].abs()).sum();
+            if scale == 0.0 {
+                e[i] = v[(i, l)];
+            } else {
+                for k in 0..=l {
+                    v[(i, k)] /= scale;
+                    h += v[(i, k)] * v[(i, k)];
+                }
+                let f = v[(i, l)];
+                let g = if f >= 0.0 { -h.sqrt() } else { h.sqrt() };
+                e[i] = scale * g;
+                h -= f * g;
+                v[(i, l)] = f - g;
+                let mut tau = 0.0;
+                for j in 0..=l {
+                    v[(j, i)] = v[(i, j)] / h;
+                    let mut g = 0.0;
+                    for k in 0..=j {
+                        g += v[(j, k)] * v[(i, k)];
+                    }
+                    for k in (j + 1)..=l {
+                        g += v[(k, j)] * v[(i, k)];
+                    }
+                    e[j] = g / h;
+                    tau += e[j] * v[(i, j)];
+                }
+                let hh = tau / (h + h);
+                for j in 0..=l {
+                    let f = v[(i, j)];
+                    let g = e[j] - hh * f;
+                    e[j] = g;
+                    for k in 0..=j {
+                        let val = f * e[k] + g * v[(i, k)];
+                        v[(j, k)] -= val;
+                    }
+                }
+            }
+        } else {
+            e[i] = v[(i, l)];
+        }
+        d[i] = h;
+    }
+
+    d[0] = 0.0;
+    e[0] = 0.0;
+    for i in 0..n {
+        if d[i] != 0.0 {
+            for j in 0..i {
+                let mut g = 0.0;
+                for k in 0..i {
+                    g += v[(i, k)] * v[(k, j)];
+                }
+                for k in 0..i {
+                    let val = g * v[(k, i)];
+                    v[(k, j)] -= val;
+                }
+            }
+        }
+        d[i] = v[(i, i)];
+        v[(i, i)] = 1.0;
+        for j in 0..i {
+            v[(j, i)] = 0.0;
+            v[(i, j)] = 0.0;
+        }
+    }
+    (d, e, v)
+}
+
+/// Implicit-shift QL iteration on a tridiagonal matrix, accumulating the
+/// rotations into `z` (numerical-recipes style `tqli`).
+fn tql_implicit(d: &mut [f64], e: &mut [f64], z: &mut DMatrix) -> Result<()> {
+    let n = d.len();
+    if n == 0 {
+        return Ok(());
+    }
+    for i in 1..n {
+        e[i - 1] = e[i];
+    }
+    e[n - 1] = 0.0;
+
+    const MAX_ITER: usize = 64;
+    for l in 0..n {
+        let mut iter = 0;
+        loop {
+            // Find a small sub-diagonal element to split the matrix.
+            let mut m = l;
+            while m + 1 < n {
+                let dd = d[m].abs() + d[m + 1].abs();
+                if e[m].abs() <= f64::EPSILON * dd {
+                    break;
+                }
+                m += 1;
+            }
+            if m == l {
+                break;
+            }
+            iter += 1;
+            if iter > MAX_ITER {
+                return Err(LinalgError::NoConvergence {
+                    what: "tridiagonal QL",
+                    iterations: MAX_ITER,
+                });
+            }
+            let mut g = (d[l + 1] - d[l]) / (2.0 * e[l]);
+            let mut r = g.hypot(1.0);
+            g = d[m] - d[l] + e[l] / (g + r.copysign(g));
+            let (mut s, mut c) = (1.0, 1.0);
+            let mut p = 0.0;
+            let mut i = m - 1;
+            loop {
+                let mut f = s * e[i];
+                let b = c * e[i];
+                r = f.hypot(g);
+                e[i + 1] = r;
+                if r == 0.0 {
+                    d[i + 1] -= p;
+                    e[m] = 0.0;
+                    break;
+                }
+                s = f / r;
+                c = g / r;
+                g = d[i + 1] - p;
+                r = (d[i] - g) * s + 2.0 * c * b;
+                p = s * r;
+                d[i + 1] = g + p;
+                g = c * r - b;
+                // Accumulate the rotation into the eigenvector matrix.
+                for k in 0..n {
+                    f = z[(k, i + 1)];
+                    z[(k, i + 1)] = s * z[(k, i)] + c * f;
+                    z[(k, i)] = c * z[(k, i)] - s * f;
+                }
+                if i == l {
+                    break;
+                }
+                i -= 1;
+            }
+            if r == 0.0 && m > l + 1 {
+                continue;
+            }
+            d[l] -= p;
+            e[l] = g;
+            e[m] = 0.0;
+        }
+    }
+    Ok(())
+}
+
+/// Full eigendecomposition of a symmetric matrix.
+///
+/// The input is symmetrized defensively (`(A + Aᵀ)/2` is implied by reading
+/// only the lower triangle) — grid-integrated operators are symmetric only to
+/// integration tolerance.
+pub fn symmetric_eigen(a: &DMatrix) -> Result<EigenDecomposition> {
+    if !a.is_square() {
+        return Err(LinalgError::DimensionMismatch {
+            op: "symmetric_eigen",
+            dims: vec![a.rows(), a.cols()],
+        });
+    }
+    let mut sym = a.clone();
+    sym.symmetrize();
+    let (mut d, mut e, mut z) = tridiagonalize(&sym);
+    tql_implicit(&mut d, &mut e, &mut z)?;
+
+    // Sort ascending, permuting eigenvector columns accordingly.
+    let n = d.len();
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&i, &j| d[i].partial_cmp(&d[j]).expect("finite eigenvalues"));
+    let eigenvalues: Vec<f64> = order.iter().map(|&k| d[k]).collect();
+    let eigenvectors = DMatrix::from_fn(n, n, |i, j| z[(i, order[j])]);
+    Ok(EigenDecomposition {
+        eigenvalues,
+        eigenvectors,
+    })
+}
+
+/// Generalized symmetric eigenproblem `A x = λ B x` with `B` positive
+/// definite (for us: `H C = ε S C`, Eq. 5).
+///
+/// Reduction: `B = L Lᵀ`, solve `(L⁻¹ A L⁻ᵀ) y = λ y`, back-transform
+/// `x = L⁻ᵀ y`.  Returned eigenvectors are `B`-orthonormal
+/// (`xᵢᵀ B xⱼ = δᵢⱼ`), exactly the normalization the density matrix (Eq. 6)
+/// assumes.
+pub fn generalized_symmetric_eigen(a: &DMatrix, b: &DMatrix) -> Result<EigenDecomposition> {
+    if a.rows() != b.rows() || a.cols() != b.cols() || !a.is_square() {
+        return Err(LinalgError::DimensionMismatch {
+            op: "generalized_symmetric_eigen",
+            dims: vec![a.rows(), a.cols(), b.rows(), b.cols()],
+        });
+    }
+    let chol = Cholesky::new(b)?;
+    // C = L^-1 A L^-T  (apply L^-1 on the left, then L^-1 on the left of the
+    // transpose — legal because A is symmetric).
+    let linv_a = chol.solve_lower_matrix(a);
+    let linv_a_t = linv_a.transpose();
+    let mut c = chol.solve_lower_matrix(&linv_a_t);
+    c.symmetrize();
+    let std = symmetric_eigen(&c)?;
+    let x = chol.solve_lower_transpose_matrix(&std.eigenvectors);
+    Ok(EigenDecomposition {
+        eigenvalues: std.eigenvalues,
+        eigenvectors: x,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_eigen(a: &DMatrix, dec: &EigenDecomposition, tol: f64) {
+        let n = a.rows();
+        for k in 0..n {
+            let x = dec.eigenvectors.col(k);
+            let ax = a.matvec(&x).unwrap();
+            for i in 0..n {
+                assert!(
+                    (ax[i] - dec.eigenvalues[k] * x[i]).abs() < tol,
+                    "residual too large for eigenpair {k}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn two_by_two_known() {
+        let a = DMatrix::from_vec(2, 2, vec![2.0, 1.0, 1.0, 2.0]).unwrap();
+        let dec = symmetric_eigen(&a).unwrap();
+        assert!((dec.eigenvalues[0] - 1.0).abs() < 1e-12);
+        assert!((dec.eigenvalues[1] - 3.0).abs() < 1e-12);
+        check_eigen(&a, &dec, 1e-10);
+    }
+
+    #[test]
+    fn diagonal_matrix_eigenvalues_sorted() {
+        let a = DMatrix::from_vec(3, 3, vec![5.0, 0.0, 0.0, 0.0, -1.0, 0.0, 0.0, 0.0, 2.0])
+            .unwrap();
+        let dec = symmetric_eigen(&a).unwrap();
+        assert_eq!(dec.eigenvalues.len(), 3);
+        assert!((dec.eigenvalues[0] + 1.0).abs() < 1e-12);
+        assert!((dec.eigenvalues[1] - 2.0).abs() < 1e-12);
+        assert!((dec.eigenvalues[2] - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn random_symmetric_residuals_small() {
+        // Deterministic pseudo-random symmetric matrix.
+        let n = 12;
+        let mut seed = 42u64;
+        let mut rand = || {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((seed >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        };
+        let mut a = DMatrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..=i {
+                let v = rand();
+                a[(i, j)] = v;
+                a[(j, i)] = v;
+            }
+        }
+        let dec = symmetric_eigen(&a).unwrap();
+        check_eigen(&a, &dec, 1e-8);
+        // Eigenvectors orthonormal.
+        let vt_v = dec
+            .eigenvectors
+            .transpose()
+            .matmul(&dec.eigenvectors)
+            .unwrap();
+        assert!(vt_v.max_abs_diff(&DMatrix::identity(n)) < 1e-8);
+        // Trace preserved.
+        let tr: f64 = dec.eigenvalues.iter().sum();
+        assert!((tr - a.trace()).abs() < 1e-8);
+    }
+
+    #[test]
+    fn generalized_reduces_to_standard_for_identity_b() {
+        let a = DMatrix::from_vec(2, 2, vec![2.0, 1.0, 1.0, 2.0]).unwrap();
+        let b = DMatrix::identity(2);
+        let dec = generalized_symmetric_eigen(&a, &b).unwrap();
+        assert!((dec.eigenvalues[0] - 1.0).abs() < 1e-10);
+        assert!((dec.eigenvalues[1] - 3.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn generalized_b_orthonormality() {
+        let n = 6;
+        let mut a = DMatrix::zeros(n, n);
+        let mut b = DMatrix::identity(n);
+        for i in 0..n {
+            a[(i, i)] = (i as f64) - 2.0;
+            if i + 1 < n {
+                a[(i, i + 1)] = 0.5;
+                a[(i + 1, i)] = 0.5;
+                b[(i, i + 1)] = 0.2;
+                b[(i + 1, i)] = 0.2;
+            }
+        }
+        let dec = generalized_symmetric_eigen(&a, &b).unwrap();
+        // Check A x = lambda B x.
+        for k in 0..n {
+            let x = dec.eigenvectors.col(k);
+            let ax = a.matvec(&x).unwrap();
+            let bx = b.matvec(&x).unwrap();
+            for i in 0..n {
+                assert!((ax[i] - dec.eigenvalues[k] * bx[i]).abs() < 1e-9);
+            }
+        }
+        // Check x_i^T B x_j = delta_ij.
+        for i in 0..n {
+            for j in 0..n {
+                let xi = dec.eigenvectors.col(i);
+                let bxj = b.matvec(&dec.eigenvectors.col(j)).unwrap();
+                let dot: f64 = xi.iter().zip(bxj.iter()).map(|(p, q)| p * q).sum();
+                let expect = if i == j { 1.0 } else { 0.0 };
+                assert!((dot - expect).abs() < 1e-9, "B-orthonormality ({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn one_by_one() {
+        let a = DMatrix::from_vec(1, 1, vec![7.0]).unwrap();
+        let dec = symmetric_eigen(&a).unwrap();
+        assert_eq!(dec.eigenvalues, vec![7.0]);
+    }
+
+    #[test]
+    fn non_square_rejected() {
+        let a = DMatrix::zeros(2, 3);
+        assert!(symmetric_eigen(&a).is_err());
+    }
+}

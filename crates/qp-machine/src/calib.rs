@@ -1,0 +1,70 @@
+//! Calibration constants — chosen once from public hardware characteristics
+//! and the magnitudes reported in the paper, then **never tuned per figure**.
+//!
+//! Sources of the orders of magnitude:
+//! * InfiniBand EDR/HDR small-message latency ≈ 1–2 µs; large-message
+//!   bandwidth ≈ 10–12 GB/s (HPC #2).
+//! * The Sunway custom network is reported in the HPCG/Sunway literature at
+//!   slightly higher latency and lower per-link bandwidth than IB HDR.
+//! * MI50 HBM2 ≈ 1 TB/s; SW39010 core-group DDR bandwidth is an order of
+//!   magnitude lower, consistent with Fig. 11's larger speedups on HPC #1
+//!   ("longer off-chip memory access latency").
+//! * Kernel-launch overhead on ROCm-class stacks ≈ 10 µs; Sunway athread
+//!   spawn ≈ 5 µs.
+
+/// Inter-node latency (s), HPC #1 (Sunway custom network).
+pub const HPC1_NET_LATENCY: f64 = 3.0e-6;
+/// Inter-node per-rank bandwidth (bytes/s), HPC #1.
+pub const HPC1_NET_BANDWIDTH: f64 = 6.0e9;
+/// Inter-node latency (s), HPC #2 (InfiniBand).
+pub const HPC2_NET_LATENCY: f64 = 1.5e-6;
+/// Inter-node per-rank bandwidth (bytes/s), HPC #2.
+pub const HPC2_NET_BANDWIDTH: f64 = 10.0e9;
+
+/// Intra-node (shared-memory) synchronization latency (s), HPC #2.
+pub const HPC2_SHM_LATENCY: f64 = 2.0e-7;
+/// Intra-node copy bandwidth (bytes/s), HPC #2.
+pub const HPC2_SHM_BANDWIDTH: f64 = 40.0e9;
+
+/// Off-chip memory bandwidth (words/s of f64), HPC #1 accelerator.
+pub const HPC1_OFFCHIP_WPS: f64 = 6.0e9; // ~48 GB/s DDR per core group share
+/// Off-chip memory bandwidth (words/s), HPC #2 GPU (HBM2).
+pub const HPC2_OFFCHIP_WPS: f64 = 1.0e11; // ~800 GB/s effective
+/// On-chip (LDM/LDS/RMA) bandwidth (words/s), both machines.
+pub const ONCHIP_WPS: f64 = 1.0e12;
+
+/// Accelerator flop rate (flop/s) per process share, HPC #1.
+pub const HPC1_FLOPS: f64 = 3.0e10;
+/// Accelerator flop rate per process share, HPC #2 (MI50 fp64 / 8 procs).
+pub const HPC2_FLOPS: f64 = 8.0e11;
+
+/// Kernel launch overhead (s), HPC #1 (athread spawn).
+pub const HPC1_LAUNCH_OVERHEAD: f64 = 5.0e-6;
+/// Kernel launch overhead (s), HPC #2 (ROCm dispatch, shared GPU queue).
+pub const HPC2_LAUNCH_OVERHEAD: f64 = 1.2e-5;
+
+/// Host↔device transfer bandwidth (words/s), HPC #2 PCIe 3 x16 shared.
+pub const HPC2_HOST_XFER_WPS: f64 = 1.2e9;
+
+/// Per-rank software/injection overhead of a collective (s·rank⁻¹), HPC #1.
+/// Large-scale AllReduce departs from the ideal Rabenseifner model through
+/// per-participant software costs and network-injection serialization; this
+/// linear term captures that departure (measured MPI AllReduce scaling
+/// studies put it at tens of ns per rank).
+pub const HPC1_PER_RANK_OVERHEAD: f64 = 2.0e-7;
+/// Per-rank collective overhead (s·rank⁻¹), HPC #2.
+pub const HPC2_PER_RANK_OVERHEAD: f64 = 1.0e-7;
+
+/// NIC-contention factor of a *flat* AllReduce: with every rank of a node
+/// participating, the node's network link is shared and measured large-
+/// message AllReduce bandwidth degrades vs. one-flow-per-node. Leaders-only
+/// (hierarchical) collectives run at contention 1.
+pub const HPC1_NIC_CONTENTION: f64 = 1.6; // 6 ranks/node
+/// NIC-contention factor, HPC #2 (32 ranks/node).
+pub const HPC2_NIC_CONTENTION: f64 = 2.2;
+
+/// Per-process memory budget (bytes), HPC #2 (the "4 GB per process" of
+/// §5.3.3's memory-explosion discussion).
+pub const HPC2_MEM_PER_PROC: usize = 4 << 30;
+/// Per-process memory budget (bytes), HPC #1.
+pub const HPC1_MEM_PER_PROC: usize = 3 << 30;

@@ -1,0 +1,175 @@
+//! Collective-communication cost model.
+//!
+//! Standard latency–bandwidth (Hockney/LogP-style) forms, the same family
+//! MPI performance models use:
+//!
+//! * AllReduce over `N` ranks, `s` bytes per rank (Rabenseifner):
+//!   `t = 2·⌈log₂N⌉·α + 2·(N−1)/N · s/β`
+//! * Hierarchical AllReduce (§3.2.2): `m` chunked local phases at SHM cost,
+//!   a leaders-only AllReduce over `N/m` ranks, and an SHM read-back.
+//!
+//! The Fig. 10 harness feeds these functions the *measured* traffic records
+//! of real executions.
+
+use crate::machine::MachineModel;
+
+/// Flat AllReduce time over `ranks` ranks with `bytes` per rank, at the
+/// given NIC-contention factor (flat collectives: `m.nic_contention`;
+/// leaders-only stages: 1.0).
+pub fn allreduce_time_with_contention(
+    m: &MachineModel,
+    ranks: usize,
+    bytes: usize,
+    contention: f64,
+) -> f64 {
+    if ranks <= 1 {
+        return 0.0;
+    }
+    let n = ranks as f64;
+    let log_n = (ranks as f64).log2().ceil();
+    2.0 * log_n * m.net_latency
+        + 2.0 * (n - 1.0) / n * bytes as f64 * contention / m.net_bandwidth
+        + n * m.per_rank_overhead
+}
+
+/// Flat AllReduce time over `ranks` ranks with `bytes` per rank.
+pub fn allreduce_time(m: &MachineModel, ranks: usize, bytes: usize) -> f64 {
+    allreduce_time_with_contention(m, ranks, bytes, m.nic_contention)
+}
+
+/// Barrier time over `ranks` ranks (dissemination barrier).
+pub fn barrier_time(m: &MachineModel, ranks: usize) -> f64 {
+    if ranks <= 1 {
+        return 0.0;
+    }
+    (ranks as f64).log2().ceil() * m.net_latency
+}
+
+/// Node-local barrier time over `ranks` node ranks.
+pub fn local_barrier_time(m: &MachineModel, ranks: usize) -> f64 {
+    if ranks <= 1 {
+        return 0.0;
+    }
+    (ranks as f64).log2().ceil() * m.shm_latency
+}
+
+/// Broadcast time (binomial tree).
+pub fn broadcast_time(m: &MachineModel, ranks: usize, bytes: usize) -> f64 {
+    if ranks <= 1 {
+        return 0.0;
+    }
+    (ranks as f64).log2().ceil() * (m.net_latency + bytes as f64 / m.net_bandwidth)
+}
+
+/// Time of the §3.2.2 hierarchical AllReduce: chunked intra-node
+/// accumulation (local barriers + SHM traffic), leaders-only inter-node
+/// AllReduce over `ranks / m` participants, and intra-node read-back.
+///
+/// Returns `None` when the machine cannot share memory between node ranks
+/// (HPC #1 — the paper: "this is not applicable to HPC #1").
+pub fn hierarchical_allreduce_time(
+    m: &MachineModel,
+    ranks: usize,
+    bytes: usize,
+) -> Option<f64> {
+    if !m.shm_capable {
+        return None;
+    }
+    let width = m.procs_per_node.min(ranks).max(1);
+    let n_leaders = ranks.div_ceil(width);
+    // Each rank writes its full buffer into the shared copy across `width`
+    // phases, each phase ending in a local barrier.
+    let local_update = bytes as f64 / m.shm_bandwidth
+        + width as f64 * local_barrier_time(m, width);
+    // Leaders reduce across nodes: one flow per NIC, no contention.
+    let inter = allreduce_time_with_contention(m, n_leaders, bytes, 1.0);
+    // Read-back of the result from the shared copy.
+    let read_back = bytes as f64 / m.shm_bandwidth + local_barrier_time(m, width);
+    Some(local_update + inter + read_back)
+}
+
+/// Time of a packed sequence: `calls` invocations carrying `total_bytes`
+/// altogether (vs. the baseline's per-invocation latency).
+pub fn packed_sequence_time(
+    m: &MachineModel,
+    ranks: usize,
+    calls: usize,
+    total_bytes: usize,
+) -> f64 {
+    if calls == 0 {
+        return 0.0;
+    }
+    let per_call_bytes = total_bytes / calls;
+    calls as f64 * allreduce_time(m, ranks, per_call_bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::{hpc1, hpc2};
+
+    #[test]
+    fn allreduce_grows_with_ranks_and_bytes() {
+        let m = hpc2();
+        let t1 = allreduce_time(&m, 256, 1 << 20);
+        let t2 = allreduce_time(&m, 8192, 1 << 20);
+        let t3 = allreduce_time(&m, 256, 16 << 20);
+        assert!(t2 > t1, "more ranks cost more latency");
+        assert!(t3 > t1, "more bytes cost more bandwidth");
+        assert_eq!(allreduce_time(&m, 1, 1 << 20), 0.0);
+    }
+
+    #[test]
+    fn packing_beats_many_small_calls() {
+        // 512 calls of 8 KB vs 1 call of 4 MB: packing amortizes latency.
+        let m = hpc2();
+        let ranks = 4096;
+        let small = 8 * 1024;
+        let many: f64 = (0..512).map(|_| allreduce_time(&m, ranks, small)).sum();
+        let one = allreduce_time(&m, ranks, 512 * small);
+        assert!(
+            one < many / 5.0,
+            "packed {one} should be >5x cheaper than {many}"
+        );
+    }
+
+    #[test]
+    fn hierarchy_narrows_the_expensive_collective() {
+        let m = hpc2();
+        let ranks = 8192;
+        let bytes = 4 << 20;
+        let flat = allreduce_time(&m, ranks, bytes);
+        let hier = hierarchical_allreduce_time(&m, ranks, bytes).unwrap();
+        assert!(
+            hier < flat,
+            "hierarchical {hier} should beat flat {flat} at scale"
+        );
+    }
+
+    #[test]
+    fn hierarchy_unavailable_on_hpc1() {
+        // §5.2.2: "this is not applicable to HPC #1, since MPI processes
+        // mapping to the same node are executed on cores with their memories
+        // physically dis-connected."
+        assert!(hierarchical_allreduce_time(&hpc1(), 4096, 1 << 20).is_none());
+    }
+
+    #[test]
+    fn packed_sequence_accounts_calls() {
+        let m = hpc1();
+        let t_many = packed_sequence_time(&m, 1024, 512, 512 * 8192);
+        let t_one = packed_sequence_time(&m, 1024, 1, 512 * 8192);
+        assert!(t_one < t_many);
+        assert_eq!(packed_sequence_time(&m, 1024, 0, 0), 0.0);
+    }
+
+    #[test]
+    fn barrier_and_broadcast_scale_logarithmically() {
+        let m = hpc2();
+        let b256 = barrier_time(&m, 256);
+        let b65536 = barrier_time(&m, 65536);
+        assert!((b65536 / b256 - 2.0).abs() < 1e-9, "log2 ratio 16/8");
+        assert!(broadcast_time(&m, 1024, 1 << 20) > 0.0);
+        assert_eq!(local_barrier_time(&m, 1), 0.0);
+    }
+}

@@ -1,0 +1,126 @@
+//! Kernel execution cost model: `qp-cl` launch reports → seconds.
+//!
+//! `t = launches·overhead + offchip/bw_off + onchip/bw_on
+//!      + flops/(rate·occupancy) + host_words/bw_xfer`
+//!
+//! The occupancy divisor is what makes the §4.4 loop collapse pay off: the
+//! same flops at 16 % lane occupancy take ~6× the time they take at 78 %.
+
+use crate::machine::MachineModel;
+
+/// A device-side launch summary (mirror of `qp_cl::LaunchReport`'s numeric
+/// fields, kept dependency-free so qp-machine stays a leaf crate).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct KernelWork {
+    /// Number of kernel launches.
+    pub launches: u64,
+    /// Off-chip words moved (reads + writes).
+    pub offchip_words: u64,
+    /// On-chip words moved.
+    pub onchip_words: u64,
+    /// Floating-point operations.
+    pub flops: u64,
+    /// Lane occupancy in `(0, 1]`.
+    pub occupancy: f64,
+    /// Host↔device transfer words.
+    pub host_words: u64,
+}
+
+/// Time for one kernel work summary on a machine.
+pub fn kernel_time(m: &MachineModel, w: &KernelWork) -> f64 {
+    let occ = if w.occupancy > 0.0 { w.occupancy.min(1.0) } else { 1.0 };
+    w.launches as f64 * m.launch_overhead
+        + w.offchip_words as f64 / m.offchip_wps
+        + w.onchip_words as f64 / m.onchip_wps
+        + w.flops as f64 / (m.flop_rate * occ)
+        + if m.host_xfer_wps.is_finite() {
+            w.host_words as f64 / m.host_xfer_wps
+        } else {
+            0.0
+        }
+}
+
+/// Speedup of work `b` relative to work `a` on machine `m` (time(a)/time(b)).
+pub fn speedup(m: &MachineModel, a: &KernelWork, b: &KernelWork) -> f64 {
+    kernel_time(m, a) / kernel_time(m, b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::{hpc1, hpc2};
+
+    fn base() -> KernelWork {
+        KernelWork {
+            launches: 10,
+            offchip_words: 1_000_000,
+            onchip_words: 0,
+            flops: 50_000_000,
+            occupancy: 1.0,
+            host_words: 0,
+        }
+    }
+
+    #[test]
+    fn occupancy_degrades_compute() {
+        let m = hpc2();
+        let full = base();
+        let mut idle = base();
+        idle.occupancy = 0.15625; // 10/64 lanes
+        assert!(kernel_time(&m, &idle) > kernel_time(&m, &full));
+    }
+
+    #[test]
+    fn onchip_cheaper_than_offchip() {
+        let m = hpc1();
+        let mut off = base();
+        off.flops = 0;
+        off.launches = 0;
+        let mut on = off;
+        on.onchip_words = on.offchip_words;
+        on.offchip_words = 0;
+        assert!(kernel_time(&m, &on) < kernel_time(&m, &off) / 10.0);
+    }
+
+    #[test]
+    fn offchip_relatively_more_expensive_on_hpc1() {
+        // Fig. 11: indirect-access elimination helps HPC #1 more because its
+        // off-chip latency is longer relative to compute.
+        let mut traffic_only = base();
+        traffic_only.flops = 0;
+        traffic_only.launches = 0;
+        let t1 = kernel_time(&hpc1(), &traffic_only);
+        let t2 = kernel_time(&hpc2(), &traffic_only);
+        assert!(t1 > 5.0 * t2);
+    }
+
+    #[test]
+    fn host_transfers_cost_only_where_finite() {
+        let mut w = base();
+        w.host_words = 10_000_000;
+        let with = kernel_time(&hpc2(), &w);
+        let without = kernel_time(&hpc2(), &base());
+        assert!(with > without);
+        // HPC #1 has no PCIe hop.
+        assert_eq!(kernel_time(&hpc1(), &w), kernel_time(&hpc1(), &base()));
+    }
+
+    #[test]
+    fn speedup_ratio() {
+        let m = hpc2();
+        let a = base();
+        let mut b = base();
+        b.offchip_words /= 2;
+        b.flops /= 2;
+        let s = speedup(&m, &a, &b);
+        assert!(s > 1.0 && s < 3.0);
+    }
+
+    #[test]
+    fn zero_occupancy_treated_as_full() {
+        let m = hpc2();
+        let mut w = base();
+        w.occupancy = 0.0;
+        assert!(kernel_time(&m, &w).is_finite());
+    }
+}

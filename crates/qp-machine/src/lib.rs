@@ -1,0 +1,26 @@
+//! # qp-machine
+//!
+//! Machine models of the paper's two evaluation systems and the
+//! deterministic cost model that converts *measured* counters (from `qp-mpi`
+//! traffic records and `qp-cl` launch reports) into simulated seconds.
+//!
+//! We cannot run 40 000 MPI processes on SW39010 core groups; what we *can*
+//! do — and what this workspace does — is execute the true algorithms at
+//! truth-preserving scales, collect exact operation/byte counts, and charge
+//! them to a calibrated analytic model of each machine. The calibration
+//! constants live in [`calib`] and are fixed once; no per-figure tuning.
+//!
+//! * [`machine`] — [`machine::MachineModel`]: node shape, memory budget,
+//!   network α/β, accelerator rates for **HPC #1** (Sunway, SW39010) and
+//!   **HPC #2** (AMD-GPU cluster).
+//! * [`cost`] — collective-communication times (flat, packed, hierarchical
+//!   AllReduce) from traffic records.
+//! * [`kernel_cost`] — kernel execution time from launch reports
+//!   (launch overhead + off-chip traffic + occupancy-degraded compute).
+
+pub mod calib;
+pub mod cost;
+pub mod kernel_cost;
+pub mod machine;
+
+pub use machine::{hpc1, hpc2, MachineModel};

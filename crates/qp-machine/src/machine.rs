@@ -1,0 +1,145 @@
+//! The machine models.
+
+use crate::calib;
+
+/// A supercomputer model: everything the cost functions need.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MachineModel {
+    /// Display name.
+    pub name: &'static str,
+    /// MPI processes per shared-memory node.
+    pub procs_per_node: usize,
+    /// Whether intra-node ranks can share one memory copy (MPI SHM). False
+    /// on HPC #1: "MPI processes mapping to the same node are executed on
+    /// cores with their memories physically dis-connected" (§5.2.2).
+    pub shm_capable: bool,
+    /// Per-process memory budget (bytes).
+    pub mem_per_proc: usize,
+    /// Inter-node collective latency α (s).
+    pub net_latency: f64,
+    /// Inter-node bandwidth β (bytes/s per rank).
+    pub net_bandwidth: f64,
+    /// Intra-node synchronization latency (s).
+    pub shm_latency: f64,
+    /// Intra-node copy bandwidth (bytes/s).
+    pub shm_bandwidth: f64,
+    /// Accelerator off-chip bandwidth (f64 words/s per process share).
+    pub offchip_wps: f64,
+    /// On-chip bandwidth (words/s).
+    pub onchip_wps: f64,
+    /// Accelerator flop rate per process share (flop/s).
+    pub flop_rate: f64,
+    /// Kernel launch overhead (s).
+    pub launch_overhead: f64,
+    /// Per-rank collective software/injection overhead (s per participating
+    /// rank) — the linear departure from ideal AllReduce scaling.
+    pub per_rank_overhead: f64,
+    /// Bandwidth degradation of a flat (all-ranks) collective from NIC
+    /// sharing within a node; hierarchical leader stages run at 1.0.
+    pub nic_contention: f64,
+    /// Host↔device transfer bandwidth (words/s); `f64::INFINITY` when the
+    /// accelerator shares the host memory (HPC #1).
+    pub host_xfer_wps: f64,
+}
+
+/// HPC #1: the new-generation Sunway (SW39010 nodes, custom network).
+pub fn hpc1() -> MachineModel {
+    MachineModel {
+        name: "HPC#1 (Sunway SW39010)",
+        procs_per_node: 6, // one process per core group
+        shm_capable: false,
+        mem_per_proc: calib::HPC1_MEM_PER_PROC,
+        net_latency: calib::HPC1_NET_LATENCY,
+        net_bandwidth: calib::HPC1_NET_BANDWIDTH,
+        shm_latency: calib::HPC2_SHM_LATENCY, // unused (shm_capable = false)
+        shm_bandwidth: calib::HPC2_SHM_BANDWIDTH,
+        offchip_wps: calib::HPC1_OFFCHIP_WPS,
+        onchip_wps: calib::ONCHIP_WPS,
+        flop_rate: calib::HPC1_FLOPS,
+        launch_overhead: calib::HPC1_LAUNCH_OVERHEAD,
+        per_rank_overhead: calib::HPC1_PER_RANK_OVERHEAD,
+        nic_contention: calib::HPC1_NIC_CONTENTION,
+        host_xfer_wps: f64::INFINITY,
+    }
+}
+
+/// HPC #2: the AMD-GPU-accelerated cluster (32-core x86 + 4 MI50-class GPUs
+/// per node, InfiniBand).
+pub fn hpc2() -> MachineModel {
+    MachineModel {
+        name: "HPC#2 (AMD GPU cluster)",
+        procs_per_node: 32,
+        shm_capable: true,
+        mem_per_proc: calib::HPC2_MEM_PER_PROC,
+        net_latency: calib::HPC2_NET_LATENCY,
+        net_bandwidth: calib::HPC2_NET_BANDWIDTH,
+        shm_latency: calib::HPC2_SHM_LATENCY,
+        shm_bandwidth: calib::HPC2_SHM_BANDWIDTH,
+        offchip_wps: calib::HPC2_OFFCHIP_WPS,
+        onchip_wps: calib::ONCHIP_WPS,
+        flop_rate: calib::HPC2_FLOPS,
+        launch_overhead: calib::HPC2_LAUNCH_OVERHEAD,
+        per_rank_overhead: calib::HPC2_PER_RANK_OVERHEAD,
+        nic_contention: calib::HPC2_NIC_CONTENTION,
+        host_xfer_wps: calib::HPC2_HOST_XFER_WPS,
+    }
+}
+
+/// HPC #2 with GPUs disabled (the "CPU only" series of Figs. 15–16):
+/// compute runs at CPU rates, no launch overhead, no host transfers.
+pub fn hpc2_cpu_only() -> MachineModel {
+    MachineModel {
+        name: "HPC#2 (CPU only)",
+        flop_rate: 4.0e10,     // 2.5 GHz x86 core with AVX2 fp64
+        offchip_wps: 2.5e9,    // DDR4 share per rank
+        launch_overhead: 0.0,
+        host_xfer_wps: f64::INFINITY,
+        ..hpc2()
+    }
+}
+
+impl MachineModel {
+    /// Does a per-process allocation fit the memory budget?
+    pub fn fits_memory(&self, bytes: usize) -> bool {
+        bytes <= self.mem_per_proc
+    }
+
+    /// Number of nodes hosting `ranks` processes.
+    pub fn nodes_for(&self, ranks: usize) -> usize {
+        ranks.div_ceil(self.procs_per_node)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn models_are_distinct() {
+        assert_ne!(hpc1().name, hpc2().name);
+        assert!(!hpc1().shm_capable, "Sunway core groups have disjoint memories");
+        assert!(hpc2().shm_capable);
+    }
+
+    #[test]
+    fn memory_budget() {
+        let m = hpc2();
+        assert!(m.fits_memory(1 << 30));
+        // The §5.3.3 example: a 50 000-atom Hamiltonian at ~16 GB does not
+        // fit the 4 GB per-process budget.
+        assert!(!m.fits_memory(16 << 30));
+    }
+
+    #[test]
+    fn node_counting() {
+        assert_eq!(hpc2().nodes_for(8192), 256);
+        assert_eq!(hpc1().nodes_for(40000), 6667);
+        assert_eq!(hpc2().nodes_for(1), 1);
+    }
+
+    #[test]
+    fn cpu_only_variant_slower_per_rank() {
+        assert!(hpc2_cpu_only().flop_rate < hpc2().flop_rate);
+        assert_eq!(hpc2_cpu_only().procs_per_node, 32);
+    }
+}

@@ -1,0 +1,486 @@
+//! Communicators and the SPMD runtime.
+//!
+//! Ranks are OS threads sharing one [`CommCore`]. Every collective is built
+//! on one primitive, [`Comm::exchange`]: all ranks of a *group* deposit their
+//! payload, the last arrival publishes the full ordered contribution table,
+//! and every rank receives it. Reductions then fold that table in fixed rank
+//! order — deterministic and bitwise reproducible regardless of thread
+//! scheduling, which is what lets the test suite assert that the packed and
+//! hierarchical §3.2 paths produce *identical* results to the baseline.
+
+use crate::traffic::{CollectiveKind, TrafficLog};
+use parking_lot::{Condvar, Mutex};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// Errors surfaced by the runtime.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CommError {
+    /// A rank panicked or aborted; every blocked collective unblocks with
+    /// this error (MPI fatal-error semantics, §failure injection).
+    RankFailed,
+    /// A collective was called with inconsistent arguments across ranks.
+    Mismatch(&'static str),
+}
+
+impl std::fmt::Display for CommError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CommError::RankFailed => write!(f, "a participating rank failed"),
+            CommError::Mismatch(what) => write!(f, "collective argument mismatch: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for CommError {}
+
+enum Phase {
+    Collecting,
+    Distributing,
+}
+
+struct RvState {
+    phase: Phase,
+    generation: u64,
+    contributions: Vec<Option<Vec<f64>>>,
+    arrived: usize,
+    consumed: usize,
+    published: Option<Arc<Vec<Vec<f64>>>>,
+}
+
+/// One reusable rendezvous point for a fixed-size group.
+struct Rendezvous {
+    state: Mutex<RvState>,
+    cond: Condvar,
+    size: usize,
+}
+
+impl Rendezvous {
+    fn new(size: usize) -> Self {
+        Rendezvous {
+            state: Mutex::new(RvState {
+                phase: Phase::Collecting,
+                generation: 0,
+                contributions: (0..size).map(|_| None).collect(),
+                arrived: 0,
+                consumed: 0,
+                published: None,
+            }),
+            cond: Condvar::new(),
+            size,
+        }
+    }
+
+    /// Deposit `data` at `index`, wait for the full table.
+    fn exchange(
+        &self,
+        index: usize,
+        data: Vec<f64>,
+        poisoned: &AtomicBool,
+    ) -> Result<Arc<Vec<Vec<f64>>>, CommError> {
+        let mut st = self.state.lock();
+        // Wait out a previous generation still distributing.
+        while matches!(st.phase, Phase::Distributing) {
+            if poisoned.load(Ordering::SeqCst) {
+                return Err(CommError::RankFailed);
+            }
+            self.cond.wait(&mut st);
+        }
+        let my_gen = st.generation;
+        if st.contributions[index].is_some() {
+            return Err(CommError::Mismatch("double entry at same rendezvous"));
+        }
+        st.contributions[index] = Some(data);
+        st.arrived += 1;
+        if st.arrived == self.size {
+            let table: Vec<Vec<f64>> = st
+                .contributions
+                .iter_mut()
+                .map(|c| c.take().expect("all arrived"))
+                .collect();
+            st.published = Some(Arc::new(table));
+            st.phase = Phase::Distributing;
+            self.cond.notify_all();
+        } else {
+            while !(matches!(st.phase, Phase::Distributing) && st.generation == my_gen) {
+                if poisoned.load(Ordering::SeqCst) {
+                    return Err(CommError::RankFailed);
+                }
+                self.cond.wait(&mut st);
+            }
+        }
+        if poisoned.load(Ordering::SeqCst) {
+            return Err(CommError::RankFailed);
+        }
+        let table = st.published.as_ref().expect("published").clone();
+        st.consumed += 1;
+        if st.consumed == self.size {
+            // Reset for the next generation.
+            st.phase = Phase::Collecting;
+            st.generation += 1;
+            st.arrived = 0;
+            st.consumed = 0;
+            st.published = None;
+            self.cond.notify_all();
+        }
+        Ok(table)
+    }
+}
+
+/// Shared node-local window (the MPI-3 SHM copy of §3.2.2), sliced into
+/// lockable chunks so the m-phase rotation is conflict-free.
+pub struct NodeWindow {
+    /// The chunks; `chunks.len()` = the hierarchy width `m` (or fewer when
+    /// the buffer is short).
+    pub chunks: Vec<Mutex<Vec<f64>>>,
+    /// Total length of the logical buffer.
+    pub len: usize,
+}
+
+impl NodeWindow {
+    fn new(len: usize, n_chunks: usize) -> Self {
+        let n_chunks = n_chunks.max(1).min(len.max(1));
+        let base = len / n_chunks;
+        let rem = len % n_chunks;
+        let chunks = (0..n_chunks)
+            .map(|c| {
+                let sz = base + usize::from(c < rem);
+                Mutex::new(vec![0.0; sz])
+            })
+            .collect();
+        NodeWindow { chunks, len }
+    }
+
+    /// The element range of chunk `c`.
+    pub fn chunk_range(&self, c: usize) -> std::ops::Range<usize> {
+        let n_chunks = self.chunks.len();
+        let base = self.len / n_chunks;
+        let rem = self.len % n_chunks;
+        let start = c * base + c.min(rem);
+        let sz = base + usize::from(c < rem);
+        start..start + sz
+    }
+
+    /// Copy the whole logical buffer out (caller must hold no chunk locks).
+    pub fn snapshot(&self) -> Vec<f64> {
+        let mut out = Vec::with_capacity(self.len);
+        for ch in &self.chunks {
+            out.extend_from_slice(&ch.lock());
+        }
+        out
+    }
+
+    /// Zero all chunks.
+    pub fn clear(&self) {
+        for ch in &self.chunks {
+            for v in ch.lock().iter_mut() {
+                *v = 0.0;
+            }
+        }
+    }
+}
+
+/// State shared by all ranks.
+pub struct CommCore {
+    size: usize,
+    ranks_per_node: usize,
+    rendezvous: Mutex<HashMap<String, Arc<Rendezvous>>>,
+    windows: Mutex<HashMap<String, Arc<NodeWindow>>>,
+    mailboxes: Arc<crate::p2p::Mailboxes>,
+    poisoned: AtomicBool,
+    /// Metered collective traffic.
+    pub traffic: TrafficLog,
+}
+
+impl CommCore {
+    fn rendezvous(&self, key: &str, size: usize) -> Arc<Rendezvous> {
+        let mut map = self.rendezvous.lock();
+        map.entry(key.to_string())
+            .or_insert_with(|| Arc::new(Rendezvous::new(size)))
+            .clone()
+    }
+
+    fn poison(&self) {
+        self.poisoned.store(true, Ordering::SeqCst);
+        // Wake every sleeper on every rendezvous and every pending recv.
+        for rv in self.rendezvous.lock().values() {
+            rv.cond.notify_all();
+        }
+        self.mailboxes.notify_all();
+    }
+}
+
+/// A rank's handle to the communicator.
+#[derive(Clone)]
+pub struct Comm {
+    rank: usize,
+    core: Arc<CommCore>,
+}
+
+impl Comm {
+    /// This rank's index.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// World size.
+    pub fn size(&self) -> usize {
+        self.core.size
+    }
+
+    /// Ranks per shared-memory node (`m` of §3.2.2).
+    pub fn ranks_per_node(&self) -> usize {
+        self.core.ranks_per_node
+    }
+
+    /// This rank's node index.
+    pub fn node(&self) -> usize {
+        self.rank / self.core.ranks_per_node
+    }
+
+    /// This rank's index within its node.
+    pub fn local_rank(&self) -> usize {
+        self.rank % self.core.ranks_per_node
+    }
+
+    /// Number of nodes (last one may be partial).
+    pub fn n_nodes(&self) -> usize {
+        self.core.size.div_ceil(self.core.ranks_per_node)
+    }
+
+    /// Number of ranks on this rank's node.
+    pub fn node_size(&self) -> usize {
+        let first = self.node() * self.core.ranks_per_node;
+        (self.core.size - first).min(self.core.ranks_per_node)
+    }
+
+    /// The traffic log.
+    pub fn traffic(&self) -> &TrafficLog {
+        &self.core.traffic
+    }
+
+    /// Low-level group exchange: every rank of the group identified by `key`
+    /// deposits `data` at `index`; all receive the ordered table.
+    pub fn exchange(
+        &self,
+        key: &str,
+        group_size: usize,
+        index: usize,
+        data: Vec<f64>,
+    ) -> Result<Arc<Vec<Vec<f64>>>, CommError> {
+        let rv = self.core.rendezvous(key, group_size);
+        if rv.size != group_size {
+            return Err(CommError::Mismatch("group size changed for key"));
+        }
+        rv.exchange(index, data, &self.core.poisoned)
+    }
+
+    /// Get (or lazily create) this node's shared window under `key`.
+    pub fn node_window(&self, key: &str, len: usize, n_chunks: usize) -> Arc<NodeWindow> {
+        let full_key = format!("{key}@node{}", self.node());
+        let mut map = self.core.windows.lock();
+        map.entry(full_key)
+            .or_insert_with(|| Arc::new(NodeWindow::new(len, n_chunks)))
+            .clone()
+    }
+
+    /// Drop a node window so a later call recreates it fresh.
+    pub fn drop_node_window(&self, key: &str) {
+        let full_key = format!("{key}@node{}", self.node());
+        self.core.windows.lock().remove(&full_key);
+    }
+
+    /// Mark this rank as failed: every rank blocked (or subsequently
+    /// blocking) on a collective gets [`CommError::RankFailed`].
+    pub fn inject_failure(&self) {
+        self.core.poison();
+    }
+
+    pub(crate) fn record(&self, kind: CollectiveKind, ranks: usize, bytes_per_rank: usize) {
+        self.core.traffic.record(kind, ranks, bytes_per_rank);
+    }
+
+    pub(crate) fn mailboxes(&self) -> &crate::p2p::Mailboxes {
+        &self.core.mailboxes
+    }
+
+    pub(crate) fn poison_flag(&self) -> &AtomicBool {
+        &self.core.poisoned
+    }
+}
+
+/// Run `f` as an SPMD program over `n_ranks` threads grouped into nodes of
+/// `ranks_per_node`. Returns each rank's result, rank-ordered.
+///
+/// A panicking rank poisons the world: surviving ranks' collectives return
+/// [`CommError::RankFailed`], and `run_spmd` reports the panic.
+pub fn run_spmd<T, F>(
+    n_ranks: usize,
+    ranks_per_node: usize,
+    f: F,
+) -> Result<Vec<T>, CommError>
+where
+    T: Send,
+    F: Fn(&Comm) -> Result<T, CommError> + Sync,
+{
+    assert!(n_ranks >= 1 && ranks_per_node >= 1);
+    let core = Arc::new(CommCore {
+        size: n_ranks,
+        ranks_per_node,
+        rendezvous: Mutex::new(HashMap::new()),
+        windows: Mutex::new(HashMap::new()),
+        mailboxes: crate::p2p::Mailboxes::new(),
+        poisoned: AtomicBool::new(false),
+        traffic: TrafficLog::new(),
+    });
+
+    let mut results: Vec<Option<Result<T, CommError>>> = (0..n_ranks).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(n_ranks);
+        for rank in 0..n_ranks {
+            let core = core.clone();
+            let f = &f;
+            let builder = std::thread::Builder::new()
+                .name(format!("rank-{rank}"))
+                .stack_size(1 << 20);
+            let handle = builder
+                .spawn_scoped(scope, move || {
+                    let comm = Comm { rank, core: core.clone() };
+                    let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&comm)));
+                    match out {
+                        Ok(r) => r,
+                        Err(_) => {
+                            core.poison();
+                            Err(CommError::RankFailed)
+                        }
+                    }
+                })
+                .expect("spawn rank thread");
+            handles.push(handle);
+        }
+        for (rank, h) in handles.into_iter().enumerate() {
+            results[rank] = Some(h.join().unwrap_or(Err(CommError::RankFailed)));
+        }
+    });
+
+    results
+        .into_iter()
+        .map(|r| r.expect("every rank joined"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranks_see_their_ids() {
+        let out = run_spmd(8, 4, |c| Ok((c.rank(), c.node(), c.local_rank()))).unwrap();
+        for (r, &(rank, node, local)) in out.iter().enumerate() {
+            assert_eq!(rank, r);
+            assert_eq!(node, r / 4);
+            assert_eq!(local, r % 4);
+        }
+    }
+
+    #[test]
+    fn exchange_delivers_ordered_table() {
+        let out = run_spmd(6, 2, |c| {
+            let table = c.exchange("t", 6, c.rank(), vec![c.rank() as f64])?;
+            Ok(table.iter().map(|v| v[0]).collect::<Vec<f64>>())
+        })
+        .unwrap();
+        for row in out {
+            assert_eq!(row, vec![0.0, 1.0, 2.0, 3.0, 4.0, 5.0]);
+        }
+    }
+
+    #[test]
+    fn exchange_is_reusable_across_generations() {
+        let out = run_spmd(4, 2, |c| {
+            let mut acc = 0.0;
+            for round in 0..50 {
+                let t = c.exchange("gen", 4, c.rank(), vec![(c.rank() * round) as f64])?;
+                acc += t.iter().map(|v| v[0]).sum::<f64>();
+            }
+            Ok(acc)
+        })
+        .unwrap();
+        let expect: f64 = (0..50).map(|r| (0 + 1 + 2 + 3) as f64 * r as f64).sum();
+        for v in out {
+            assert_eq!(v, expect);
+        }
+    }
+
+    #[test]
+    fn node_window_shared_within_node_only() {
+        let out = run_spmd(4, 2, |c| {
+            let w = c.node_window("w", 8, 2);
+            let ptr = Arc::as_ptr(&w) as usize;
+            Ok((c.node(), ptr))
+        })
+        .unwrap();
+        assert_eq!(out[0].1, out[1].1, "node 0 shares");
+        assert_eq!(out[2].1, out[3].1, "node 1 shares");
+        assert_ne!(out[0].1, out[2].1, "nodes distinct");
+    }
+
+    #[test]
+    fn window_chunk_ranges_tile_buffer() {
+        let w = NodeWindow::new(10, 3);
+        let mut covered = vec![false; 10];
+        for c in 0..w.chunks.len() {
+            for i in w.chunk_range(c) {
+                assert!(!covered[i]);
+                covered[i] = true;
+            }
+            assert_eq!(w.chunk_range(c).len(), w.chunks[c].lock().len());
+        }
+        assert!(covered.iter().all(|&c| c));
+    }
+
+    #[test]
+    fn failure_unblocks_collectives() {
+        let out = run_spmd(3, 3, |c| {
+            if c.rank() == 2 {
+                c.inject_failure();
+                return Err(CommError::RankFailed);
+            }
+            // Ranks 0 and 1 block on a 3-way exchange that can never
+            // complete; poisoning must unblock them.
+            c.exchange("dead", 3, c.rank(), vec![0.0])?;
+            Ok(())
+        });
+        assert_eq!(out, Err(CommError::RankFailed));
+    }
+
+    #[test]
+    fn panic_in_rank_poisons_world() {
+        let out = run_spmd(2, 2, |c| {
+            if c.rank() == 1 {
+                panic!("simulated crash");
+            }
+            c.exchange("x", 2, c.rank(), vec![1.0])?;
+            Ok(c.rank())
+        });
+        assert!(matches!(out, Err(CommError::RankFailed)) || out.is_err());
+    }
+
+    #[test]
+    fn single_rank_world() {
+        let out = run_spmd(1, 1, |c| {
+            let t = c.exchange("solo", 1, 0, vec![42.0])?;
+            Ok(t[0][0])
+        })
+        .unwrap();
+        assert_eq!(out, vec![42.0]);
+    }
+
+    #[test]
+    fn partial_last_node_sizes() {
+        let out = run_spmd(5, 2, |c| Ok((c.n_nodes(), c.node_size()))).unwrap();
+        assert_eq!(out[0], (3, 2));
+        assert_eq!(out[4], (3, 1)); // last node has a single rank
+    }
+}

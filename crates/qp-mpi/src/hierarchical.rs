@@ -1,0 +1,209 @@
+//! Hierarchical collective communication (§3.2.2, Fig. 6).
+//!
+//! An N-rank AllReduce is broken into:
+//!
+//! 1. **Intra-node synthesis** — the m ranks of each node accumulate their
+//!    contributions into one node-shared copy via the conflict-free chunk
+//!    rotation sequenced by local barriers ([`crate::shm::node_accumulate`]).
+//! 2. **Inter-node collective** — only the `N/m` node leaders AllReduce the
+//!    node-local sums.
+//! 3. **Intra-node distribution** — the leader writes the global result back
+//!    into the shared window; all node ranks read it after a local barrier.
+//!
+//! Memory drops from N data copies to `N/m`, and the expensive collective
+//! narrows from N ranks to `N/m` — exactly the Fig. 6 transformation.
+
+use crate::comm::{Comm, CommError};
+use crate::shm::node_accumulate_fresh;
+use crate::ReduceOp;
+
+/// Hierarchical AllReduce of `data` (sum-like ops only make sense here, but
+/// any [`ReduceOp`] works since the fold order stays node-major rank order).
+///
+/// Returns the reduced buffer on every rank.
+///
+/// Note on determinism: contributions fold *within* each node first, then
+/// across nodes. For [`ReduceOp::Sum`] on doubles this grouping is the same
+/// rank order as the flat fold (ranks are node-contiguous), but partial sums
+/// associate differently, so results can differ from the flat AllReduce in
+/// the last ulps — the same caveat real hierarchical MPI implementations
+/// carry. The test suite pins the tolerance.
+pub fn hierarchical_allreduce(
+    comm: &Comm,
+    key: &str,
+    op: ReduceOp,
+    data: &[f64],
+) -> Result<Vec<f64>, CommError> {
+    let m = comm.ranks_per_node();
+    let window = comm.node_window(key, data.len(), m);
+
+    match op {
+        ReduceOp::Sum => {
+            // Stage 1: chunked intra-node accumulation.
+            node_accumulate_fresh(comm, &window, data)?;
+        }
+        ReduceOp::Max | ReduceOp::Min => {
+            // Rotation with max/min merge: initialize with the leader's copy
+            // then merge others chunk-by-chunk under the chunk mutex.
+            if comm.local_rank() == 0 {
+                let mut off = 0;
+                for ch in &window.chunks {
+                    let mut g = ch.lock();
+                    let len = g.len();
+                    g.copy_from_slice(&data[off..off + len]);
+                    off += len;
+                }
+            }
+            comm.node_barrier()?;
+            if comm.local_rank() != 0 {
+                let nchunks = window.chunks.len();
+                for phase in 0..nchunks {
+                    let chunk = (comm.local_rank() + phase) % nchunks;
+                    let range = window.chunk_range(chunk);
+                    let mut g = window.chunks[chunk].lock();
+                    for (o, &v) in g.iter_mut().zip(data[range].iter()) {
+                        *o = op.apply(*o, v);
+                    }
+                }
+            }
+            comm.node_barrier()?;
+        }
+    }
+    comm.node_barrier()?;
+
+    // Stage 2: leaders reduce the node sums across nodes.
+    let node_sum = if comm.local_rank() == 0 {
+        window.snapshot()
+    } else {
+        Vec::new()
+    };
+    let global = comm.leader_allreduce(op, &node_sum)?;
+
+    // Stage 3: leader publishes, everyone reads.
+    if comm.local_rank() == 0 {
+        let mut off = 0;
+        for ch in &window.chunks {
+            let mut g = ch.lock();
+            let len = g.len();
+            g.copy_from_slice(&global[off..off + len]);
+            off += len;
+        }
+    }
+    comm.node_barrier()?;
+    let result = window.snapshot();
+    comm.node_barrier()?;
+    Ok(result)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::comm::run_spmd;
+
+    #[test]
+    fn matches_flat_allreduce_sum() {
+        let out = run_spmd(8, 4, |c| {
+            let data: Vec<f64> = (0..20)
+                .map(|i| (c.rank() + 1) as f64 * 0.125 + i as f64)
+                .collect();
+            let flat = c.allreduce(ReduceOp::Sum, &data)?;
+            let hier = hierarchical_allreduce(c, "h", ReduceOp::Sum, &data)?;
+            let max_diff = flat
+                .iter()
+                .zip(hier.iter())
+                .map(|(a, b)| (a - b).abs())
+                .fold(0.0, f64::max);
+            Ok(max_diff)
+        })
+        .unwrap();
+        for d in out {
+            assert!(d < 1e-12, "hierarchical deviates by {d}");
+        }
+    }
+
+    #[test]
+    fn exact_for_integer_valued_sums() {
+        let out = run_spmd(6, 3, |c| {
+            let data = vec![(c.rank() + 1) as f64; 7];
+            hierarchical_allreduce(c, "int", ReduceOp::Sum, &data)
+        })
+        .unwrap();
+        for v in out {
+            assert_eq!(v, vec![21.0; 7]);
+        }
+    }
+
+    #[test]
+    fn max_reduction() {
+        let out = run_spmd(8, 4, |c| {
+            let data = vec![c.rank() as f64, -(c.rank() as f64)];
+            hierarchical_allreduce(c, "mx", ReduceOp::Max, &data)
+        })
+        .unwrap();
+        for v in out {
+            assert_eq!(v, vec![7.0, 0.0]);
+        }
+    }
+
+    #[test]
+    fn narrows_expensive_collective_to_leaders() {
+        run_spmd(8, 4, |c| {
+            hierarchical_allreduce(c, "n", ReduceOp::Sum, &[1.0; 100])?;
+            c.barrier()?;
+            if c.rank() == 0 {
+                let log = c.traffic();
+                // One leaders-only AllReduce across 2 nodes, zero flat ones.
+                assert_eq!(log.calls_of(crate::CollectiveKind::LeaderAllReduce), 1);
+                assert_eq!(log.calls_of(crate::CollectiveKind::AllReduce), 0);
+                let snap = log.snapshot();
+                let leader = snap
+                    .iter()
+                    .find(|r| r.kind == crate::CollectiveKind::LeaderAllReduce)
+                    .unwrap();
+                assert_eq!(leader.ranks, 2, "narrowed from 8 ranks to 2 leaders");
+            }
+            Ok(())
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn repeated_calls_with_same_key() {
+        let out = run_spmd(4, 2, |c| {
+            let mut acc = 0.0;
+            for round in 1..=5 {
+                let v =
+                    hierarchical_allreduce(c, "rep", ReduceOp::Sum, &[round as f64])?;
+                acc += v[0];
+            }
+            Ok(acc)
+        })
+        .unwrap();
+        // Each round sums 4 ranks x round: 4+8+12+16+20 = 60.
+        for v in out {
+            assert_eq!(v, 60.0);
+        }
+    }
+
+    #[test]
+    fn single_node_degenerates_to_local() {
+        let out = run_spmd(4, 4, |c| {
+            hierarchical_allreduce(c, "solo", ReduceOp::Sum, &[2.0, 3.0])
+        })
+        .unwrap();
+        for v in out {
+            assert_eq!(v, vec![8.0, 12.0]);
+        }
+    }
+
+    #[test]
+    fn uneven_last_node() {
+        let out = run_spmd(5, 2, |c| {
+            hierarchical_allreduce(c, "odd", ReduceOp::Sum, &[1.0])
+        })
+        .unwrap();
+        for v in out {
+            assert_eq!(v, vec![5.0]);
+        }
+    }
+}

@@ -1,0 +1,193 @@
+//! Point-to-point messaging: `send`/`recv` with tag matching.
+//!
+//! The collectives cover the DFPT hot paths; point-to-point is the substrate
+//! the distributed dense-linear-algebra layer (`qp-core::dist`, the
+//! ScaLAPACK stand-in) uses for panel shifts. Semantics follow MPI:
+//! `send` is asynchronous (buffered), `recv` blocks until a matching
+//! `(source, tag)` message arrives; messages between one (source, dest, tag)
+//! triple are non-overtaking (FIFO).
+
+use crate::comm::{Comm, CommError};
+use parking_lot::{Condvar, Mutex};
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+/// One mailbox per (source, dest, tag).
+type Key = (usize, usize, u64);
+
+#[derive(Default)]
+pub(crate) struct Mailboxes {
+    state: Mutex<HashMap<Key, VecDeque<Vec<f64>>>>,
+    cond: Condvar,
+}
+
+impl Mailboxes {
+    pub(crate) fn new() -> Arc<Self> {
+        Arc::new(Mailboxes::default())
+    }
+
+    fn post(&self, key: Key, payload: Vec<f64>) {
+        self.state.lock().entry(key).or_default().push_back(payload);
+        self.cond.notify_all();
+    }
+
+    fn take(
+        &self,
+        key: Key,
+        poisoned: &std::sync::atomic::AtomicBool,
+    ) -> Result<Vec<f64>, CommError> {
+        let mut st = self.state.lock();
+        loop {
+            if let Some(queue) = st.get_mut(&key) {
+                if let Some(payload) = queue.pop_front() {
+                    return Ok(payload);
+                }
+            }
+            if poisoned.load(Ordering::SeqCst) {
+                return Err(CommError::RankFailed);
+            }
+            self.cond.wait(&mut st);
+        }
+    }
+
+    pub(crate) fn notify_all(&self) {
+        self.cond.notify_all();
+    }
+}
+
+impl Comm {
+    /// Send `data` to `dest` with `tag` (asynchronous, buffered).
+    pub fn send(&self, dest: usize, tag: u64, data: Vec<f64>) -> Result<(), CommError> {
+        if dest >= self.size() {
+            return Err(CommError::Mismatch("send destination out of range"));
+        }
+        self.mailboxes().post((self.rank(), dest, tag), data);
+        Ok(())
+    }
+
+    /// Receive the next message from `source` with `tag` (blocking).
+    pub fn recv(&self, source: usize, tag: u64) -> Result<Vec<f64>, CommError> {
+        if source >= self.size() {
+            return Err(CommError::Mismatch("recv source out of range"));
+        }
+        self.mailboxes()
+            .take((source, self.rank(), tag), self.poison_flag())
+    }
+
+    /// Combined exchange with a partner (deadlock-free: send is buffered).
+    pub fn sendrecv(
+        &self,
+        partner: usize,
+        tag: u64,
+        data: Vec<f64>,
+    ) -> Result<Vec<f64>, CommError> {
+        self.send(partner, tag, data)?;
+        self.recv(partner, tag)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::comm::run_spmd;
+
+    #[test]
+    fn ping_pong() {
+        let out = run_spmd(2, 2, |c| {
+            if c.rank() == 0 {
+                c.send(1, 7, vec![1.0, 2.0, 3.0])?;
+                c.recv(1, 8)
+            } else {
+                let got = c.recv(0, 7)?;
+                c.send(0, 8, got.iter().map(|x| x * 10.0).collect())?;
+                Ok(vec![])
+            }
+        })
+        .unwrap();
+        assert_eq!(out[0], vec![10.0, 20.0, 30.0]);
+    }
+
+    #[test]
+    fn messages_are_fifo_per_channel() {
+        let out = run_spmd(2, 2, |c| {
+            if c.rank() == 0 {
+                for i in 0..20 {
+                    c.send(1, 1, vec![i as f64])?;
+                }
+                Ok(vec![])
+            } else {
+                let mut got = Vec::new();
+                for _ in 0..20 {
+                    got.push(c.recv(0, 1)?[0]);
+                }
+                Ok(got)
+            }
+        })
+        .unwrap();
+        assert_eq!(out[1], (0..20).map(|i| i as f64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn tags_do_not_cross() {
+        let out = run_spmd(2, 2, |c| {
+            if c.rank() == 0 {
+                c.send(1, 5, vec![5.0])?;
+                c.send(1, 6, vec![6.0])?;
+                Ok(0.0)
+            } else {
+                // Receive in reverse tag order.
+                let six = c.recv(0, 6)?[0];
+                let five = c.recv(0, 5)?[0];
+                Ok(six * 10.0 + five)
+            }
+        })
+        .unwrap();
+        assert_eq!(out[1], 65.0);
+    }
+
+    #[test]
+    fn ring_shift() {
+        let n = 5;
+        let out = run_spmd(n, 5, move |c| {
+            let next = (c.rank() + 1) % n;
+            let prev = (c.rank() + n - 1) % n;
+            c.send(next, 0, vec![c.rank() as f64])?;
+            let got = c.recv(prev, 0)?;
+            Ok(got[0])
+        })
+        .unwrap();
+        for (rank, v) in out.iter().enumerate() {
+            assert_eq!(*v, ((rank + n - 1) % n) as f64);
+        }
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        let out = run_spmd(2, 2, |c| {
+            if c.rank() == 0 {
+                assert!(matches!(
+                    c.send(9, 0, vec![]),
+                    Err(CommError::Mismatch(_))
+                ));
+                assert!(matches!(c.recv(9, 0), Err(CommError::Mismatch(_))));
+            }
+            Ok(())
+        });
+        out.unwrap();
+    }
+
+    #[test]
+    fn failure_unblocks_recv() {
+        let out = run_spmd(2, 2, |c| {
+            if c.rank() == 1 {
+                c.inject_failure();
+                return Err(CommError::RankFailed);
+            }
+            // Rank 0 blocks on a message that never comes.
+            c.recv(1, 99)?;
+            Ok(())
+        });
+        assert_eq!(out, Err(CommError::RankFailed));
+    }
+}

@@ -1,0 +1,257 @@
+//! Packed collective communication (§3.2.1).
+//!
+//! "The idea is to fuse several invocations of the same MPI collective
+//! function into one invocation, which packs together all data previously to
+//! be synthesized in those invocations. […] we have used a simple heuristic
+//! to choose a proper c, so that Σ sizeᵢ requires a memory space no more
+//! than 30 MB."
+//!
+//! The canonical use in the paper: synthesizing `rho_multipole` row-by-row
+//! after the response-density phase — hundreds of small AllReduce calls
+//! packed into a handful of large ones.
+
+use crate::comm::{Comm, CommError};
+use crate::traffic::CollectiveKind;
+use crate::ReduceOp;
+use std::collections::HashMap;
+
+/// The paper's packing budget: 30 MB.
+pub const DEFAULT_BUDGET_BYTES: usize = 30 * 1024 * 1024;
+
+/// A packer that fuses successive AllReduce payloads into bounded batches.
+///
+/// All ranks must `push` the same keys with the same lengths in the same
+/// order (SPMD discipline, exactly like MPI's matching rules); the budget
+/// check is a deterministic function of those sizes, so all ranks flush at
+/// the same points.
+pub struct PackedAllReduce<'a> {
+    comm: &'a Comm,
+    op: ReduceOp,
+    budget_bytes: usize,
+    pending: Vec<(String, Vec<f64>)>,
+    pending_elems: usize,
+    results: HashMap<String, Vec<f64>>,
+    flushes: usize,
+    pushes: usize,
+}
+
+impl<'a> PackedAllReduce<'a> {
+    /// Create a packer with the paper's 30 MB budget.
+    pub fn new(comm: &'a Comm, op: ReduceOp) -> Self {
+        Self::with_budget(comm, op, DEFAULT_BUDGET_BYTES)
+    }
+
+    /// Create a packer with a custom budget (the ablation bench sweeps
+    /// this).
+    pub fn with_budget(comm: &'a Comm, op: ReduceOp, budget_bytes: usize) -> Self {
+        PackedAllReduce {
+            comm,
+            op,
+            budget_bytes,
+            pending: Vec::new(),
+            pending_elems: 0,
+            results: HashMap::new(),
+            flushes: 0,
+            pushes: 0,
+        }
+    }
+
+    /// Queue one logical AllReduce. Flushes automatically when adding the
+    /// payload would exceed the budget.
+    pub fn push(&mut self, key: &str, data: Vec<f64>) -> Result<(), CommError> {
+        let incoming = data.len() * 8;
+        if incoming > self.budget_bytes {
+            return Err(CommError::Mismatch("single payload exceeds packing budget"));
+        }
+        if (self.pending_elems + data.len()) * 8 > self.budget_bytes {
+            self.flush()?;
+        }
+        self.pending_elems += data.len();
+        self.pending.push((key.to_string(), data));
+        self.pushes += 1;
+        Ok(())
+    }
+
+    /// Perform the one packed AllReduce over everything queued.
+    pub fn flush(&mut self) -> Result<(), CommError> {
+        if self.pending.is_empty() {
+            return Ok(());
+        }
+        // Concatenate in push order (identical on all ranks).
+        let mut packed = Vec::with_capacity(self.pending_elems);
+        for (_, data) in &self.pending {
+            packed.extend_from_slice(data);
+        }
+        let reduced = {
+            let table = self.comm.exchange(
+                "packed_allreduce",
+                self.comm.size(),
+                self.comm.rank(),
+                packed,
+            )?;
+            let len = table[0].len();
+            if table.iter().any(|v| v.len() != len) {
+                return Err(CommError::Mismatch("packed buffer lengths differ"));
+            }
+            let mut out = table[0].clone();
+            for row in &table[1..] {
+                for (o, &v) in out.iter_mut().zip(row.iter()) {
+                    *o = self.op.apply(*o, v);
+                }
+            }
+            out
+        };
+        if self.comm.rank() == 0 {
+            self.comm.record(
+                CollectiveKind::PackedAllReduce,
+                self.comm.size(),
+                self.pending_elems * 8,
+            );
+        }
+        // Unpack.
+        let mut offset = 0;
+        for (key, data) in self.pending.drain(..) {
+            let slice = reduced[offset..offset + data.len()].to_vec();
+            offset += data.len();
+            self.results.insert(key, slice);
+        }
+        self.pending_elems = 0;
+        self.flushes += 1;
+        Ok(())
+    }
+
+    /// Retrieve (and remove) a reduced payload. The caller must have
+    /// flushed (explicitly or via budget) since pushing `key`.
+    pub fn take(&mut self, key: &str) -> Option<Vec<f64>> {
+        self.results.remove(key)
+    }
+
+    /// Number of packed AllReduce calls performed so far.
+    pub fn flushes(&self) -> usize {
+        self.flushes
+    }
+
+    /// Number of logical AllReduce invocations absorbed so far.
+    pub fn pushes(&self) -> usize {
+        self.pushes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::comm::run_spmd;
+
+    #[test]
+    fn packed_equals_sequential_allreduce_bitwise() {
+        let n = 8;
+        let out = run_spmd(n, 4, move |c| {
+            // Sequential reference.
+            let mut reference = Vec::new();
+            for row in 0..10 {
+                let data: Vec<f64> =
+                    (0..32).map(|i| (c.rank() + 1) as f64 * 0.1 + (row * i) as f64).collect();
+                reference.push(c.allreduce(ReduceOp::Sum, &data)?);
+            }
+            // Packed path.
+            let mut packer = PackedAllReduce::new(c, ReduceOp::Sum);
+            for row in 0..10 {
+                let data: Vec<f64> =
+                    (0..32).map(|i| (c.rank() + 1) as f64 * 0.1 + (row * i) as f64).collect();
+                packer.push(&format!("row{row}"), data)?;
+            }
+            packer.flush()?;
+            let mut same = true;
+            for (row, reference_row) in reference.iter().enumerate() {
+                let packed = packer.take(&format!("row{row}")).expect("present");
+                same &= packed
+                    .iter()
+                    .zip(reference_row.iter())
+                    .all(|(a, b)| a.to_bits() == b.to_bits());
+            }
+            Ok(same)
+        })
+        .unwrap();
+        assert!(out.into_iter().all(|b| b));
+    }
+
+    #[test]
+    fn budget_triggers_automatic_flush() {
+        let out = run_spmd(4, 4, |c| {
+            // Budget of 100 elements (800 bytes); rows of 40 elements.
+            let mut packer = PackedAllReduce::with_budget(c, ReduceOp::Sum, 800);
+            for row in 0..5 {
+                packer.push(&format!("r{row}"), vec![1.0; 40])?;
+            }
+            packer.flush()?;
+            // 5 rows x 40 = 200 elems at 100-elem budget: rows pack in pairs
+            // -> flushes at push 3 and 5, plus the final explicit flush.
+            Ok((packer.flushes(), packer.pushes()))
+        })
+        .unwrap();
+        for (flushes, pushes) in out {
+            assert_eq!(pushes, 5);
+            assert_eq!(flushes, 3, "2+2+1 rows per packed call");
+        }
+    }
+
+    #[test]
+    fn oversized_payload_rejected() {
+        let out = run_spmd(2, 2, |c| {
+            let mut packer = PackedAllReduce::with_budget(c, ReduceOp::Sum, 64);
+            match packer.push("big", vec![0.0; 100]) {
+                Err(CommError::Mismatch(_)) => Ok(true),
+                _ => Ok(false),
+            }
+        })
+        .unwrap();
+        assert!(out.into_iter().all(|b| b));
+    }
+
+    #[test]
+    fn collective_call_count_reduced() {
+        // The headline effect: c logical reductions become 1 packed call.
+        run_spmd(4, 2, |c| {
+            let mut packer = PackedAllReduce::new(c, ReduceOp::Sum);
+            for row in 0..512 {
+                packer.push(&format!("row{row}"), vec![1.0; 100])?;
+            }
+            packer.flush()?;
+            assert_eq!(packer.flushes(), 1, "512 rows fit in 30 MB");
+            if c.rank() == 0 {
+                assert_eq!(c.traffic().calls_of(CollectiveKind::PackedAllReduce), 1);
+                assert_eq!(c.traffic().calls_of(CollectiveKind::AllReduce), 0);
+            }
+            Ok(())
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn take_before_flush_returns_none() {
+        run_spmd(2, 2, |c| {
+            let mut packer = PackedAllReduce::new(c, ReduceOp::Sum);
+            packer.push("x", vec![1.0])?;
+            assert!(packer.take("x").is_none());
+            packer.flush()?;
+            assert_eq!(packer.take("x"), Some(vec![2.0]));
+            assert!(packer.take("x").is_none(), "take removes");
+            Ok(())
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn max_reduction_supported() {
+        let out = run_spmd(3, 3, |c| {
+            let mut packer = PackedAllReduce::new(c, ReduceOp::Max);
+            packer.push("m", vec![c.rank() as f64, -(c.rank() as f64)])?;
+            packer.flush()?;
+            Ok(packer.take("m").unwrap())
+        })
+        .unwrap();
+        for v in out {
+            assert_eq!(v, vec![2.0, 0.0]);
+        }
+    }
+}

@@ -1,0 +1,131 @@
+//! Collective-traffic metering.
+//!
+//! The Fig. 10 experiments compare AllReduce *time* across implementations
+//! and rank counts; on this substrate the time is produced by the
+//! `qp-machine` cost model from exactly these records: which collective ran,
+//! over how many ranks, with how many bytes per rank.
+
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// The collective operations the runtime meters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CollectiveKind {
+    /// Plain N-rank AllReduce.
+    AllReduce,
+    /// One packed AllReduce carrying several fused payloads (§3.2.1).
+    PackedAllReduce,
+    /// The inter-node (leaders-only) AllReduce of the hierarchical scheme.
+    LeaderAllReduce,
+    /// A node-local barrier (§3.2.2's "light-weight local synchronizations").
+    LocalBarrier,
+    /// Broadcast.
+    Broadcast,
+    /// AllGather.
+    AllGather,
+    /// World barrier.
+    Barrier,
+}
+
+/// One metered collective call.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrafficRecord {
+    /// What ran.
+    pub kind: CollectiveKind,
+    /// How many ranks participated.
+    pub ranks: usize,
+    /// Payload bytes contributed per rank.
+    pub bytes_per_rank: usize,
+}
+
+/// Aggregated, thread-safe traffic log.
+pub struct TrafficLog {
+    records: Mutex<Vec<TrafficRecord>>,
+    total_calls: AtomicU64,
+    total_bytes: AtomicU64,
+}
+
+impl TrafficLog {
+    /// Fresh empty log.
+    pub fn new() -> Self {
+        TrafficLog {
+            records: Mutex::new(Vec::new()),
+            total_calls: AtomicU64::new(0),
+            total_bytes: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one collective (called once per collective, by the completing
+    /// rank).
+    pub fn record(&self, kind: CollectiveKind, ranks: usize, bytes_per_rank: usize) {
+        self.records.lock().push(TrafficRecord {
+            kind,
+            ranks,
+            bytes_per_rank,
+        });
+        self.total_calls.fetch_add(1, Ordering::Relaxed);
+        self.total_bytes
+            .fetch_add(bytes_per_rank as u64, Ordering::Relaxed);
+    }
+
+    /// Snapshot all records.
+    pub fn snapshot(&self) -> Vec<TrafficRecord> {
+        self.records.lock().clone()
+    }
+
+    /// Total collective calls.
+    pub fn calls(&self) -> u64 {
+        self.total_calls.load(Ordering::Relaxed)
+    }
+
+    /// Total per-rank payload bytes across calls.
+    pub fn bytes(&self) -> u64 {
+        self.total_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Calls of one kind.
+    pub fn calls_of(&self, kind: CollectiveKind) -> usize {
+        self.records.lock().iter().filter(|r| r.kind == kind).count()
+    }
+
+    /// Clear everything.
+    pub fn reset(&self) {
+        self.records.lock().clear();
+        self.total_calls.store(0, Ordering::Relaxed);
+        self.total_bytes.store(0, Ordering::Relaxed);
+    }
+}
+
+impl Default for TrafficLog {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_accumulate() {
+        let log = TrafficLog::new();
+        log.record(CollectiveKind::AllReduce, 8, 1024);
+        log.record(CollectiveKind::LocalBarrier, 4, 0);
+        assert_eq!(log.calls(), 2);
+        assert_eq!(log.bytes(), 1024);
+        assert_eq!(log.calls_of(CollectiveKind::AllReduce), 1);
+        let snap = log.snapshot();
+        assert_eq!(snap.len(), 2);
+        assert_eq!(snap[0].ranks, 8);
+    }
+
+    #[test]
+    fn reset_clears() {
+        let log = TrafficLog::new();
+        log.record(CollectiveKind::Broadcast, 2, 16);
+        log.reset();
+        assert_eq!(log.calls(), 0);
+        assert_eq!(log.bytes(), 0);
+        assert!(log.snapshot().is_empty());
+    }
+}

@@ -1,0 +1,59 @@
+//! Distributed DFPT: the full response cycle over in-process MPI ranks,
+//! comparing the baseline per-row collectives against the paper's packed and
+//! packed+hierarchical schemes — identical physics, fewer collectives.
+//!
+//! ```text
+//! cargo run --release -p qp-core --example parallel_dfpt
+//! ```
+
+use qp_core::dfpt::DfptOptions;
+use qp_core::parallel::{
+    parallel_dfpt_direction, CollectiveScheme, MappingKind, ParallelConfig,
+};
+use qp_core::{scf, ScfOptions, System};
+use qp_mpi::CollectiveKind;
+
+fn main() {
+    let system = System::light(qp_chem::structures::water());
+    let ground = scf(&system, &ScfOptions::default()).expect("SCF");
+    println!(
+        "water ground state ready ({} iterations); running DFPT(z) on 8 ranks / 2 nodes\n",
+        ground.iterations
+    );
+
+    let opts = DfptOptions::default();
+    let mut reference: Option<qp_linalg::DMatrix> = None;
+    for scheme in [
+        CollectiveScheme::PerRow,
+        CollectiveScheme::Packed,
+        CollectiveScheme::PackedHierarchical,
+    ] {
+        let cfg = ParallelConfig {
+            n_ranks: 8,
+            ranks_per_node: 4,
+            mapping: MappingKind::LocalityEnhancing,
+            collectives: scheme,
+        };
+        let out = parallel_dfpt_direction(&system, &ground, 2, &opts, &cfg)
+            .expect("parallel DFPT converges");
+        let count = |k: CollectiveKind| out.traffic.iter().filter(|r| r.kind == k).count();
+        println!(
+            "{scheme:?}: {} iterations, AllReduce {}, Packed {}, LeaderAllReduce {}, LocalBarrier {}",
+            out.iterations,
+            count(CollectiveKind::AllReduce),
+            count(CollectiveKind::PackedAllReduce),
+            count(CollectiveKind::LeaderAllReduce),
+            count(CollectiveKind::LocalBarrier),
+        );
+        match &reference {
+            None => reference = Some(out.p1),
+            Some(r) => {
+                let dev = out.p1.max_abs_diff(r);
+                println!("  response matrix deviation vs baseline: {dev:.2e}");
+                assert!(dev < 1e-8, "schemes must agree");
+            }
+        }
+    }
+    println!("\nall three schemes produced the same converged response — only the");
+    println!("collective pattern changed (the §3.2 claim, executed for real)");
+}

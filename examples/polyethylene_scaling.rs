@@ -1,0 +1,69 @@
+//! The scaling workload: H(C₂H₄)ₙH polyethylene chains — batching, the two
+//! task mappings, per-rank Hamiltonian footprints and the modelled
+//! communication cost, from 602 up to 30 002 atoms.
+//!
+//! ```text
+//! cargo run --release -p qp-core --example polyethylene_scaling
+//! ```
+
+use qp_chem::basis::BasisSettings;
+use qp_chem::grids::{GridSettings, IntegrationGrid};
+use qp_grid::batch::batches_from_grid;
+use qp_grid::footprint::{analyze, per_atom_basis, per_atom_cutoff};
+use qp_grid::mapping::{LoadBalancingMapping, LocalityEnhancingMapping, TaskMapping};
+use std::time::Instant;
+
+fn main() {
+    let stats = GridSettings {
+        n_radial: 4,
+        r_min: 0.1,
+        r_max: 6.0,
+        max_angular: 6,
+        min_angular: 6,
+        partition_cutoff: 6.0,
+    };
+    println!("polyethylene scaling sweep (statistics grid, 64 ranks)\n");
+    println!(
+        "{:>8} {:>9} {:>9} {:>14} {:>14} {:>12}",
+        "atoms", "points", "batches", "CSR (global)", "dense (mean)", "build time"
+    );
+    for n_units in [100usize, 500, 1000, 5000] {
+        let t0 = Instant::now();
+        let structure = qp_chem::structures::polyethylene(n_units);
+        let atoms = structure.len();
+        let grid = IntegrationGrid::build(&structure, &stats);
+        let batches = batches_from_grid(&grid, 100);
+        let basis = per_atom_basis(&structure, BasisSettings::Light);
+        let cutoffs = per_atom_cutoff(&structure);
+        let n_procs = 64;
+        let prop = LocalityEnhancingMapping.assign(&batches, n_procs);
+        let report = analyze(&structure, &batches, &prop, n_procs, &basis, &cutoffs, 8.0);
+        println!(
+            "{:>8} {:>9} {:>9} {:>11.1} MB {:>11.1} KB {:>11.1?}",
+            atoms,
+            grid.len(),
+            batches.len(),
+            report.global_csr_bytes as f64 / (1 << 20) as f64,
+            report.mean_dense_bytes() / 1024.0,
+            t0.elapsed()
+        );
+    }
+
+    // Atom scatter: the Fig. 3 contrast at one size.
+    let structure = qp_chem::structures::polyethylene(1000);
+    let grid = IntegrationGrid::build(&structure, &stats);
+    let batches = batches_from_grid(&grid, 100);
+    let base = LoadBalancingMapping.assign(&batches, 64);
+    let prop = LocalityEnhancingMapping.assign(&batches, 64);
+    let scatter = |a: &[usize]| -> f64 {
+        let atoms: Vec<u32> = (0..40).map(|i| i * 150).collect();
+        atoms
+            .iter()
+            .map(|&at| qp_grid::mapping::ranks_holding_atom(&batches, a, at) as f64)
+            .sum::<f64>()
+            / atoms.len() as f64
+    };
+    println!("\natom scatter at 6 002 atoms / 64 ranks (ranks holding one atom's points):");
+    println!("  existing load-balancing : {:.1} ranks/atom", scatter(&base));
+    println!("  locality-enhancing      : {:.1} ranks/atom", scatter(&prop));
+}

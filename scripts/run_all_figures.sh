@@ -1,0 +1,13 @@
+#!/usr/bin/env bash
+# Regenerate every paper figure + ablation into results/.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+mkdir -p results
+cargo build --release -p qp-bench --bins
+for fig in fig09a_memory fig09b_density_hamiltonian fig09c_splines \
+           fig10_allreduce fig11_indirect fig12_fusion fig13_finegrained \
+           fig14_overall fig15_strong fig16_weak \
+           ablation_packing_budget ablation_bisection ablation_hierarchy_width; do
+  echo "== $fig =="
+  ./target/release/$fig | tee "results/$fig.txt"
+done

@@ -1,0 +1,125 @@
+//! Integration: the §3.2 collective schemes on larger, irregular payloads —
+//! baseline vs packed vs hierarchical must agree to floating-point fidelity
+//! while the traffic records show the claimed call-count reductions.
+
+use qp_mpi::hierarchical::hierarchical_allreduce;
+use qp_mpi::packed::PackedAllReduce;
+use qp_mpi::{run_spmd, CollectiveKind, CommError, ReduceOp};
+
+/// Deterministic pseudo-random payload per (rank, row).
+fn payload(rank: usize, row: usize, len: usize) -> Vec<f64> {
+    let mut seed = (rank as u64 + 1).wrapping_mul(row as u64 + 17);
+    (0..len)
+        .map(|_| {
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((seed >> 11) as f64 / (1u64 << 53) as f64) - 0.5
+        })
+        .collect()
+}
+
+#[test]
+fn packed_is_bitwise_identical_to_per_row() {
+    let rows = 40;
+    let lens: Vec<usize> = (0..rows).map(|r| 16 + (r * 13) % 120).collect();
+    let out = run_spmd(12, 4, |c| {
+        let mut reference = Vec::new();
+        for (r, &len) in lens.iter().enumerate() {
+            reference.push(c.allreduce(ReduceOp::Sum, &payload(c.rank(), r, len))?);
+        }
+        let mut packer = PackedAllReduce::new(c, ReduceOp::Sum);
+        for (r, &len) in lens.iter().enumerate() {
+            packer.push(&format!("row{r}"), payload(c.rank(), r, len))?;
+        }
+        packer.flush()?;
+        for (r, reference_row) in reference.iter().enumerate() {
+            let packed = packer.take(&format!("row{r}")).expect("flushed");
+            for (a, b) in packed.iter().zip(reference_row.iter()) {
+                if a.to_bits() != b.to_bits() {
+                    return Err(CommError::Mismatch("bitwise divergence"));
+                }
+            }
+        }
+        Ok(true)
+    })
+    .expect("spmd run");
+    assert!(out.into_iter().all(|b| b));
+}
+
+#[test]
+fn hierarchical_matches_flat_within_ulps() {
+    let out = run_spmd(12, 4, |c| {
+        let data = payload(c.rank(), 7, 500);
+        let flat = c.allreduce(ReduceOp::Sum, &data)?;
+        let hier = hierarchical_allreduce(c, "big", ReduceOp::Sum, &data)?;
+        let max_rel = flat
+            .iter()
+            .zip(hier.iter())
+            .map(|(a, b)| (a - b).abs() / a.abs().max(1e-30))
+            .fold(0.0f64, f64::max);
+        Ok(max_rel)
+    })
+    .expect("spmd run");
+    for dev in out {
+        assert!(dev < 1e-12, "hierarchical deviates {dev}");
+    }
+}
+
+#[test]
+fn call_counts_match_the_paper_arithmetic() {
+    // 512 rows packed at the 30 MB budget -> 1 packed call (the paper's
+    // "packing every 512 MPIAllReduce invocations into one").
+    run_spmd(8, 4, |c| {
+        let mut packer = PackedAllReduce::new(c, ReduceOp::Sum);
+        for r in 0..512 {
+            packer.push(&format!("r{r}"), vec![1.0; 4000])?; // 32 KB rows
+        }
+        packer.flush()?;
+        assert_eq!(packer.flushes(), 1);
+        c.barrier()?;
+        if c.rank() == 0 {
+            let log = c.traffic();
+            assert_eq!(log.calls_of(CollectiveKind::PackedAllReduce), 1);
+            let packed_bytes = log
+                .snapshot()
+                .iter()
+                .find(|r| r.kind == CollectiveKind::PackedAllReduce)
+                .unwrap()
+                .bytes_per_rank;
+            assert_eq!(packed_bytes, 512 * 4000 * 8);
+        }
+        Ok(())
+    })
+    .expect("spmd run");
+}
+
+#[test]
+fn failure_during_packed_flush_propagates() {
+    let out = run_spmd(4, 2, |c| {
+        let mut packer = PackedAllReduce::new(c, ReduceOp::Sum);
+        packer.push("x", vec![1.0; 8])?;
+        if c.rank() == 3 {
+            c.inject_failure();
+            return Err(CommError::RankFailed);
+        }
+        packer.flush()?;
+        Ok(())
+    });
+    assert_eq!(out, Err(CommError::RankFailed));
+}
+
+#[test]
+fn oversubscribed_world_works() {
+    // 64 ranks on one core: collectives must still terminate and agree.
+    let out = run_spmd(64, 8, |c| {
+        let v = c.allreduce(ReduceOp::Sum, &[1.0])?;
+        let h = hierarchical_allreduce(c, "o", ReduceOp::Sum, &[1.0])?;
+        Ok((v[0], h[0]))
+    })
+    .expect("spmd run");
+    for (v, h) in out {
+        assert_eq!(v, 64.0);
+        assert_eq!(h, 64.0);
+    }
+}

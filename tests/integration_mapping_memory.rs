@@ -1,0 +1,112 @@
+//! Integration: the §3.1 memory claims measured across qp-chem → qp-grid →
+//! qp-machine on the paper's workload family.
+
+use qp_chem::basis::BasisSettings;
+use qp_chem::grids::{GridSettings, IntegrationGrid};
+use qp_chem::structures::{polyethylene, rbd_like};
+use qp_grid::batch::batches_from_grid;
+use qp_grid::footprint::{analyze, global_csr_bytes, per_atom_basis, per_atom_cutoff};
+use qp_grid::mapping::{LoadBalancingMapping, LocalityEnhancingMapping, TaskMapping};
+
+fn stats_grid() -> GridSettings {
+    GridSettings {
+        n_radial: 4,
+        r_min: 0.1,
+        r_max: 6.0,
+        max_angular: 6,
+        min_angular: 6,
+        partition_cutoff: 6.0,
+    }
+}
+
+#[test]
+fn memory_explosion_scenario_of_section_533() {
+    // §5.3.3: "the Hamiltonian matrix for 50000 atoms requires approximately
+    // 16 GB memory (assume two basis functions per atom and 10% sparsity),
+    // exceeding typical per-process memory capacity (e.g., 4GB on HPC #2)."
+    // Exactly that arithmetic: (2 x 50000)^2 x 10% x 16 B = 16 GB.
+    let nb: u128 = 2 * 50_000;
+    let csr_bytes = nb * nb / 10 * 16;
+    // "approximately 16 GB": 1.6e10 bytes on the nose.
+    assert_eq!(csr_bytes, 16_000_000_000);
+    let m = qp_machine::hpc2();
+    assert!(!m.fits_memory(csr_bytes as usize), "must exceed 4 GB/process");
+}
+
+#[test]
+fn locality_mapping_fits_memory_where_baseline_does_not() {
+    // A 6 002-atom chain at 64 ranks: the per-rank dense block fits any
+    // budget; the global CSR is orders of magnitude larger.
+    let s = polyethylene(1000);
+    let grid = IntegrationGrid::build(&s, &stats_grid());
+    let batches = batches_from_grid(&grid, 100);
+    let basis = per_atom_basis(&s, BasisSettings::Light);
+    let cutoffs = per_atom_cutoff(&s);
+    let a = LocalityEnhancingMapping.assign(&batches, 64);
+    let report = analyze(&s, &batches, &a, 64, &basis, &cutoffs, 8.0);
+    assert!(report.global_csr_bytes > 30 * report.max_dense_bytes());
+}
+
+#[test]
+fn csr_footprint_grows_linearly_dense_blocks_stay_flat() {
+    // Weak-scaling memory behaviour: CSR grows with the system; per-rank
+    // dense blocks stay constant when atoms/rank is fixed.
+    let mut dense = Vec::new();
+    let mut csr = Vec::new();
+    for (units, ranks) in [(500usize, 32usize), (1000, 64), (2000, 128)] {
+        let s = polyethylene(units);
+        let grid = IntegrationGrid::build(&s, &stats_grid());
+        let batches = batches_from_grid(&grid, 100);
+        let basis = per_atom_basis(&s, BasisSettings::Light);
+        let cutoffs = per_atom_cutoff(&s);
+        let a = LocalityEnhancingMapping.assign(&batches, ranks);
+        let report = analyze(&s, &batches, &a, ranks, &basis, &cutoffs, 8.0);
+        dense.push(report.mean_dense_bytes());
+        csr.push(report.global_csr_bytes as f64);
+    }
+    // CSR roughly doubles each step.
+    assert!(csr[1] / csr[0] > 1.7 && csr[2] / csr[1] > 1.7, "{csr:?}");
+    // Dense per-rank footprint varies little (halo effects only).
+    assert!(
+        dense[2] / dense[0] < 1.5,
+        "dense blocks should stay ~flat: {dense:?}"
+    );
+}
+
+#[test]
+fn blob_and_chain_both_benefit_from_algorithm_1() {
+    for s in [polyethylene(500), rbd_like(1500)] {
+        let grid = IntegrationGrid::build(&s, &stats_grid());
+        let batches = batches_from_grid(&grid, 100);
+        let basis = per_atom_basis(&s, BasisSettings::Light);
+        let cutoffs = per_atom_cutoff(&s);
+        let base = LoadBalancingMapping.assign(&batches, 32);
+        let prop = LocalityEnhancingMapping.assign(&batches, 32);
+        let rb = analyze(&s, &batches, &base, 32, &basis, &cutoffs, 8.0);
+        let rp = analyze(&s, &batches, &prop, 32, &basis, &cutoffs, 8.0);
+        assert!(
+            rp.mean_dense_bytes() < rb.mean_dense_bytes(),
+            "locality must shrink footprints for {} atoms",
+            s.len()
+        );
+    }
+}
+
+#[test]
+fn fig9a_ratio_reaches_two_orders_of_magnitude() {
+    // The headline Fig. 9(a) contrast on a production-shaped chain.
+    let s = polyethylene(2000);
+    let grid = IntegrationGrid::build(&s, &stats_grid());
+    let batches = batches_from_grid(&grid, 100);
+    let basis = per_atom_basis(&s, BasisSettings::Light);
+    let cutoffs = per_atom_cutoff(&s);
+    let prop = LocalityEnhancingMapping.assign(&batches, 256);
+    let report = analyze(&s, &batches, &prop, 256, &basis, &cutoffs, 8.0);
+    let ratio = report.global_csr_bytes as f64 / report.mean_dense_bytes();
+    assert!(ratio > 100.0, "ratio {ratio} should exceed 2 orders of magnitude");
+    // And the raw CSR builder agrees with the report.
+    assert_eq!(
+        report.global_csr_bytes,
+        global_csr_bytes(&s, &basis, &cutoffs)
+    );
+}

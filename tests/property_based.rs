@@ -1,0 +1,221 @@
+//! Property-based tests (proptest) on the workspace's core data structures
+//! and invariants.
+
+use proptest::prelude::*;
+use qp_chem::harmonics::{lm_from_index, lm_index};
+use qp_chem::multipole::adams_moulton_cumulative;
+use qp_chem::spline::CubicSpline;
+use qp_grid::batch::{make_batches, total_points, BatchPoint};
+use qp_grid::mapping::{rank_loads, LoadBalancingMapping, LocalityEnhancingMapping, TaskMapping};
+use qp_linalg::{CsrMatrix, DMatrix};
+use qp_mpi::packed::PackedAllReduce;
+use qp_mpi::{run_spmd, ReduceOp};
+
+fn arb_points(max: usize) -> impl Strategy<Value = Vec<BatchPoint>> {
+    prop::collection::vec(
+        (
+            -100.0f64..100.0,
+            -100.0f64..100.0,
+            -100.0f64..100.0,
+            0u32..64,
+        ),
+        1..max,
+    )
+    .prop_map(|v| {
+        v.into_iter()
+            .enumerate()
+            .map(|(i, (x, y, z, atom))| BatchPoint {
+                position: [x, y, z],
+                atom,
+                grid_index: i as u32,
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn batching_partitions_points(points in arb_points(800), max_batch in 1usize..200) {
+        let n = points.len();
+        let batches = make_batches(points, max_batch);
+        prop_assert_eq!(total_points(&batches), n);
+        let mut seen = vec![false; n];
+        for b in &batches {
+            prop_assert!(b.len() <= max_batch);
+            for p in &b.points {
+                prop_assert!(!seen[p.grid_index as usize]);
+                seen[p.grid_index as usize] = true;
+            }
+        }
+        prop_assert!(seen.into_iter().all(|s| s));
+    }
+
+    #[test]
+    fn mappings_assign_every_batch_to_valid_rank(
+        points in arb_points(600),
+        max_batch in 5usize..100,
+        n_procs in 1usize..17,
+    ) {
+        let batches = make_batches(points, max_batch);
+        for strategy in [
+            &LoadBalancingMapping as &dyn TaskMapping,
+            &LocalityEnhancingMapping as &dyn TaskMapping,
+        ] {
+            let a = strategy.assign(&batches, n_procs);
+            prop_assert_eq!(a.len(), batches.len());
+            prop_assert!(a.iter().all(|&r| r < n_procs));
+            let loads = rank_loads(&batches, &a, n_procs);
+            prop_assert_eq!(loads.iter().sum::<usize>(), total_points(&batches));
+        }
+    }
+
+    #[test]
+    fn locality_mapping_balances_when_batches_abound(
+        points in arb_points(2000),
+        n_procs in 2usize..9,
+    ) {
+        let batches = make_batches(points, 40);
+        prop_assume!(batches.len() >= 4 * n_procs);
+        let a = LocalityEnhancingMapping.assign(&batches, n_procs);
+        let loads = rank_loads(&batches, &a, n_procs);
+        let max = *loads.iter().max().unwrap() as f64;
+        let min = *loads.iter().min().unwrap() as f64;
+        prop_assert!(min > 0.0);
+        prop_assert!(max / min < 3.0, "imbalance {}/{}", max, min);
+    }
+
+    #[test]
+    fn lm_index_bijection(idx in 0usize..1000) {
+        let (l, m) = lm_from_index(idx);
+        prop_assert_eq!(lm_index(l, m), idx);
+        prop_assert!(m.unsigned_abs() as usize <= l);
+    }
+
+    #[test]
+    fn spline_interpolates_random_knots(
+        ys in prop::collection::vec(-50.0f64..50.0, 4..40),
+    ) {
+        let xs: Vec<f64> = (0..ys.len()).map(|i| i as f64 * 0.5).collect();
+        let s = CubicSpline::natural(xs.clone(), ys.clone());
+        for (x, y) in xs.iter().zip(ys.iter()) {
+            prop_assert!((s.eval(*x) - y).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn adams_moulton_exact_for_quadratics(
+        a in -3.0f64..3.0, b in -3.0f64..3.0, c in -3.0f64..3.0,
+        n in 4usize..60,
+    ) {
+        let h = 0.1;
+        let f: Vec<f64> = (0..n).map(|k| {
+            let x = k as f64 * h;
+            a * x * x + b * x + c
+        }).collect();
+        let cum = adams_moulton_cumulative(h, &f);
+        for k in 0..n {
+            let x = k as f64 * h;
+            let exact = a * x * x * x / 3.0 + b * x * x / 2.0 + c * x;
+            prop_assert!((cum[k] - exact).abs() < 1e-9, "k = {}", k);
+        }
+    }
+
+    #[test]
+    fn csr_dense_round_trip(
+        entries in prop::collection::vec(
+            (0usize..12, 0usize..12, -10.0f64..10.0), 0..50,
+        ),
+    ) {
+        // Deduplicate positions (CSR sums duplicates; dense assignment
+        // overwrites, so feed unique coordinates).
+        let mut map = std::collections::BTreeMap::new();
+        for (r, c, v) in entries {
+            map.insert((r, c), v);
+        }
+        let mut dense = DMatrix::zeros(12, 12);
+        for (&(r, c), &v) in &map {
+            dense[(r, c)] = v;
+        }
+        let csr = CsrMatrix::from_dense(&dense, 0.0);
+        prop_assert_eq!(csr.to_dense(), dense);
+    }
+
+    #[test]
+    fn spmv_matches_dense_matvec(
+        entries in prop::collection::vec(
+            (0usize..8, 0usize..8, -5.0f64..5.0), 1..30,
+        ),
+        x in prop::collection::vec(-2.0f64..2.0, 8),
+    ) {
+        let csr = CsrMatrix::from_triplets(8, 8, entries).unwrap();
+        let sparse = csr.spmv(&x).unwrap();
+        let dense = csr.to_dense().matvec(&x).unwrap();
+        for (a, b) in sparse.iter().zip(dense.iter()) {
+            prop_assert!((a - b).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn eigen_reconstructs_random_symmetric(vals in prop::collection::vec(-5.0f64..5.0, 10)) {
+        // Build a symmetric 4x4 from 10 free entries.
+        let mut m = DMatrix::zeros(4, 4);
+        let mut it = vals.into_iter();
+        for i in 0..4 {
+            for j in i..4 {
+                let v = it.next().unwrap();
+                m[(i, j)] = v;
+                m[(j, i)] = v;
+            }
+        }
+        let dec = qp_linalg::symmetric_eigen(&m).unwrap();
+        // Trace and Frobenius norm preserved by the spectrum.
+        let tr: f64 = dec.eigenvalues.iter().sum();
+        prop_assert!((tr - m.trace()).abs() < 1e-8);
+        let fro2: f64 = dec.eigenvalues.iter().map(|e| e * e).sum();
+        let fro_m = m.frobenius_norm();
+        prop_assert!((fro2.sqrt() - fro_m).abs() < 1e-8);
+    }
+}
+
+// Packed-collective equivalence over random row structures: run fewer cases
+// (each spawns threads).
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn packed_allreduce_equals_sequential_for_random_rows(
+        lens in prop::collection::vec(1usize..64, 1..20),
+        budget_rows in 1usize..8,
+    ) {
+        let budget = budget_rows * 64 * 8;
+        let lens2 = lens.clone();
+        let out = run_spmd(4, 2, move |c| {
+            let mut reference = Vec::new();
+            for (r, &len) in lens2.iter().enumerate() {
+                let data: Vec<f64> =
+                    (0..len).map(|i| (c.rank() * 31 + r * 7 + i) as f64 * 0.01).collect();
+                reference.push(c.allreduce(ReduceOp::Sum, &data)?);
+            }
+            let mut packer = PackedAllReduce::with_budget(c, ReduceOp::Sum, budget);
+            for (r, &len) in lens2.iter().enumerate() {
+                let data: Vec<f64> =
+                    (0..len).map(|i| (c.rank() * 31 + r * 7 + i) as f64 * 0.01).collect();
+                packer.push(&format!("r{r}"), data)?;
+            }
+            packer.flush()?;
+            let mut ok = true;
+            for (r, reference_row) in reference.iter().enumerate() {
+                let p = packer.take(&format!("r{r}")).expect("flushed");
+                ok &= p
+                    .iter()
+                    .zip(reference_row.iter())
+                    .all(|(a, b)| a.to_bits() == b.to_bits());
+            }
+            Ok(ok)
+        })
+        .expect("spmd");
+        prop_assert!(out.into_iter().all(|b| b));
+    }
+}
