@@ -19,17 +19,40 @@ fn bench_kernels(c: &mut Criterion) {
     let nb = sys.n_basis();
     let mut p = DMatrix::from_fn(nb, nb, |i, j| 0.05 * ((i + 2 * j) as f64).sin());
     p.symmetrize();
-    let v1: Vec<f64> = (0..sys.n_points()).map(|i| (i as f64 * 0.001).sin()).collect();
+    let v1: Vec<f64> = (0..sys.n_points())
+        .map(|i| (i as f64 * 0.001).sin())
+        .collect();
 
     let mut group = c.benchmark_group("dfpt-kernels-water");
     group.bench_function("sumup dense-local", |b| {
-        b.iter(|| sumup_phase(&queue, &sys, std::hint::black_box(&p), MatrixAccess::DenseLocal))
+        b.iter(|| {
+            sumup_phase(
+                &queue,
+                &sys,
+                std::hint::black_box(&p),
+                MatrixAccess::DenseLocal,
+            )
+        })
     });
     group.bench_function("sumup sparse-global", |b| {
-        b.iter(|| sumup_phase(&queue, &sys, std::hint::black_box(&p), MatrixAccess::SparseGlobal))
+        b.iter(|| {
+            sumup_phase(
+                &queue,
+                &sys,
+                std::hint::black_box(&p),
+                MatrixAccess::SparseGlobal,
+            )
+        })
     });
     group.bench_function("h1 dense-local", |b| {
-        b.iter(|| h_phase(&queue, &sys, std::hint::black_box(&v1), MatrixAccess::DenseLocal))
+        b.iter(|| {
+            h_phase(
+                &queue,
+                &sys,
+                std::hint::black_box(&v1),
+                MatrixAccess::DenseLocal,
+            )
+        })
     });
     group.finish();
 }

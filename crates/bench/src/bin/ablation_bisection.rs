@@ -72,6 +72,7 @@ impl FixedAxisMapping {
 }
 
 fn main() {
+    qp_bench::trace_hook::init();
     println!("Ablation: Algorithm 1's largest-spread dimension rule vs fixed axes\n");
     let n_procs = 64;
     let widths = [26, 22, 16, 14];
@@ -92,14 +93,32 @@ fn main() {
                 "largest-spread (Alg.1)".into(),
                 LocalityEnhancingMapping.assign(&batches, n_procs),
             ),
-            ("fixed x".into(), FixedAxisMapping(0).assign(&batches, n_procs)),
-            ("fixed y".into(), FixedAxisMapping(1).assign(&batches, n_procs)),
-            ("fixed z".into(), FixedAxisMapping(2).assign(&batches, n_procs)),
-            ("morton curve".into(), MortonMapping.assign(&batches, n_procs)),
+            (
+                "fixed x".into(),
+                FixedAxisMapping(0).assign(&batches, n_procs),
+            ),
+            (
+                "fixed y".into(),
+                FixedAxisMapping(1).assign(&batches, n_procs),
+            ),
+            (
+                "fixed z".into(),
+                FixedAxisMapping(2).assign(&batches, n_procs),
+            ),
+            (
+                "morton curve".into(),
+                MortonMapping.assign(&batches, n_procs),
+            ),
         ];
         for (sname, assignment) in strategies {
             let r = analyze(
-                &structure, &batches, &assignment, n_procs, &basis, &cutoffs, 8.0,
+                &structure,
+                &batches,
+                &assignment,
+                n_procs,
+                &basis,
+                &cutoffs,
+                8.0,
             );
             table::row(
                 &[
@@ -114,4 +133,5 @@ fn main() {
     }
     println!("\nexpected: for the x-extended polymer, fixed-y/z cuts destroy locality;");
     println!("Algorithm 1 matches the best fixed axis without knowing the geometry");
+    qp_bench::trace_hook::finish();
 }

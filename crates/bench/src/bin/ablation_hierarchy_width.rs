@@ -16,7 +16,10 @@ use qp_mpi::hierarchical::hierarchical_allreduce;
 use qp_mpi::{run_spmd, ReduceOp};
 
 fn main() {
-    println!("Ablation: hierarchical-collective width m (HPC#2, 8 192 ranks, packed 16 MB calls)\n");
+    qp_bench::trace_hook::init();
+    println!(
+        "Ablation: hierarchical-collective width m (HPC#2, 8 192 ranks, packed 16 MB calls)\n"
+    );
     let m = hpc2();
     let ranks = 8192usize;
     let bytes = 512 * rho_multipole_row_bytes();
@@ -68,4 +71,5 @@ fn main() {
         );
     }
     println!("\nm = 32 (full node) minimizes time and memory on HPC#2 — the paper's choice");
+    qp_bench::trace_hook::finish();
 }

@@ -17,6 +17,7 @@ use qp_mpi::packed::PackedAllReduce;
 use qp_mpi::{run_spmd, ReduceOp};
 
 fn main() {
+    qp_bench::trace_hook::init();
     println!("Ablation: packing budget sweep (rho_multipole sync, 30 002 atoms, 4 096 ranks)\n");
     let atoms = 30_002usize;
     let ranks = 4096;
@@ -24,7 +25,10 @@ fn main() {
     let m = hpc2();
 
     let widths = [12, 12, 14, 16];
-    table::header(&["budget", "calls", "AllReduce time", "extra memory"], &widths);
+    table::header(
+        &["budget", "calls", "AllReduce time", "extra memory"],
+        &widths,
+    );
     for budget_mb in [0.25f64, 1.0, 4.0, 8.0, 16.0, 30.0, 60.0, 120.0, 480.0] {
         let budget = (budget_mb * 1024.0 * 1024.0) as usize;
         // Real packing pass on a small world: how many calls does this
@@ -36,8 +40,7 @@ fn main() {
             // pattern is exact: row bytes scaled by 1/64 to keep the test
             // world fast, budget scaled identically.
             let scale = 64;
-            let mut packer_small =
-                PackedAllReduce::with_budget(c, ReduceOp::Sum, budget / scale);
+            let mut packer_small = PackedAllReduce::with_budget(c, ReduceOp::Sum, budget / scale);
             for i in 0..atoms.min(2048) {
                 packer_small.push(&format!("r{i}"), vec![0.0; row / 8 / scale])?;
             }
@@ -64,4 +67,5 @@ fn main() {
         );
     }
     println!("\nthe knee sits near the paper's 30 MB heuristic: bigger budgets stop helping");
+    qp_bench::trace_hook::finish();
 }

@@ -12,6 +12,7 @@ use qp_grid::footprint::{analyze, per_atom_basis, per_atom_cutoff};
 use qp_grid::mapping::{LoadBalancingMapping, LocalityEnhancingMapping, TaskMapping};
 
 fn main() {
+    qp_bench::trace_hook::init();
     let w = workloads::rbd();
     let nb = workloads::total_basis(&w.structure, BasisSettings::Light);
     println!("Fig 9(a): Hamiltonian memory per process — {}", w.name);
@@ -29,15 +30,37 @@ fn main() {
 
     let widths = [8, 18, 18, 18, 10];
     table::header(
-        &["procs", "existing (CSR)", "proposed mean", "proposed max", "ratio"],
+        &[
+            "procs",
+            "existing (CSR)",
+            "proposed mean",
+            "proposed max",
+            "ratio",
+        ],
         &widths,
     );
     for n_procs in [64usize, 128, 256, 512] {
         let base = LoadBalancingMapping.assign(&batches, n_procs);
         let prop = LocalityEnhancingMapping.assign(&batches, n_procs);
         // Existing: every rank must keep the global sparse Hamiltonian.
-        let rb = analyze(&w.structure, &batches, &base, n_procs, &basis, &cutoffs, 8.0);
-        let rp = analyze(&w.structure, &batches, &prop, n_procs, &basis, &cutoffs, 8.0);
+        let rb = analyze(
+            &w.structure,
+            &batches,
+            &base,
+            n_procs,
+            &basis,
+            &cutoffs,
+            8.0,
+        );
+        let rp = analyze(
+            &w.structure,
+            &batches,
+            &prop,
+            n_procs,
+            &basis,
+            &cutoffs,
+            8.0,
+        );
         let ratio = rb.global_csr_bytes as f64 / rp.mean_dense_bytes().max(1.0);
         table::row(
             &[
@@ -51,4 +74,5 @@ fn main() {
         );
     }
     println!("\npaper: existing 21373 KB (flat), proposed 58-455 KB mean -> ~2 orders of magnitude saved");
+    qp_bench::trace_hook::finish();
 }

@@ -35,6 +35,7 @@ fn improvement(m: &MachineModel, sparse: &qp_cl::LaunchReport, dense: &qp_cl::La
 }
 
 fn main() {
+    qp_bench::trace_hook::init();
     println!("Fig 9(b): n1 / H1 speedup from small-dense vs large-sparse access\n");
     let widths = [22, 10, 12, 12];
     table::header(&["case", "machine", "n1 improv.", "H1 improv."], &widths);
@@ -60,7 +61,9 @@ fn main() {
             .fold(0.0f64, f64::max);
         assert!(max_dev < 1e-12, "access mode changed the physics!");
 
-        let v1: Vec<f64> = (0..sys.n_points()).map(|i| (i as f64 * 0.001).sin()).collect();
+        let v1: Vec<f64> = (0..sys.n_points())
+            .map(|i| (i as f64 * 0.001).sin())
+            .collect();
         let (_, h_dense) = h_phase(&queue, &sys, &v1, MatrixAccess::DenseLocal);
         let (_, h_sparse) = h_phase(&queue, &sys, &v1, MatrixAccess::SparseGlobal);
 
@@ -68,7 +71,12 @@ fn main() {
             table::row(
                 &[
                     format!("{nb} basis ({settings:?})"),
-                    if m.name.contains('1') { "HPC#1" } else { "HPC#2" }.to_string(),
+                    if m.name.contains('1') {
+                        "HPC#1"
+                    } else {
+                        "HPC#2"
+                    }
+                    .to_string(),
                     format!("+{:.1}%", improvement(&m, &n1_sparse, &n1_dense)),
                     format!("+{:.1}%", improvement(&m, &h_sparse, &h_dense)),
                 ],
@@ -82,4 +90,5 @@ fn main() {
     println!("model), so these are upper bounds; hardware caches of row pointers explain");
     println!("the paper's smaller percentages. Direction and ordering (H1 > n1 on the");
     println!("larger basis, both machines benefit) are the reproduced claims.");
+    qp_bench::trace_hook::finish();
 }

@@ -18,6 +18,7 @@ fn percentile(sorted: &[u64], p: f64) -> u64 {
 }
 
 fn main() {
+    qp_bench::trace_hook::init();
     let w = workloads::rbd();
     let n_procs = 512;
     println!(
@@ -38,10 +39,7 @@ fn main() {
     let widths = [24, 12, 12, 12, 12];
     table::header(&["strategy", "min", "median", "mean", "max"], &widths);
     for (name, assignment) in [
-        (
-            "existing",
-            LoadBalancingMapping.assign(&batches, n_procs),
-        ),
+        ("existing", LoadBalancingMapping.assign(&batches, n_procs)),
         (
             "proposed",
             LocalityEnhancingMapping.assign(&batches, n_procs),
@@ -76,4 +74,5 @@ fn main() {
     }
     println!("\npaper: existing ~32768 splines/proc (flat), proposed 1-4096 (locality-dependent),");
     println!("       9.5% response-potential speedup on HPC#1");
+    qp_bench::trace_hook::finish();
 }

@@ -35,6 +35,7 @@ fn packed_hier(m: &MachineModel, atoms: usize, ranks: usize) -> Option<f64> {
 }
 
 fn main() {
+    qp_bench::trace_hook::init();
     let row_kb = rho_multipole_row_bytes() as f64 / 1024.0;
     println!("Fig 10: rho_multipole AllReduce time (row = {row_kb:.1} KB, {PACK_ROWS} rows/packed call)\n");
 
@@ -42,7 +43,15 @@ fn main() {
         println!("== {hname} ({}) ==", m.name);
         let widths = [10, 8, 12, 12, 10, 14, 12];
         table::header(
-            &["atoms", "procs", "baseline", "packed", "speedup", "packed+hier", "speedup"],
+            &[
+                "atoms",
+                "procs",
+                "baseline",
+                "packed",
+                "speedup",
+                "packed+hier",
+                "speedup",
+            ],
             &widths,
         );
         for &atoms in &[30_002usize, 60_002] {
@@ -74,4 +83,5 @@ fn main() {
     }
     println!("paper: HPC#1 packed 8.2-34.9x (hierarchical n/a: core-group memories disjoint)");
     println!("       HPC#2 packed 9.2-269.6x, packed+hierarchical 12.4-567.2x");
+    qp_bench::trace_hook::finish();
 }

@@ -113,6 +113,7 @@ impl LatencyRatio for MachineModel {
 }
 
 fn main() {
+    qp_bench::trace_hook::init();
     println!("Fig 11: init-phase speedup from eliminating indirect accesses\n");
     let c = measure();
     println!(
@@ -128,8 +129,10 @@ fn main() {
     ];
     for &(atoms, procs) in cases {
         for &p in procs {
-            let s1 = init_time(&hpc1(), &c, atoms, p, false) / init_time(&hpc1(), &c, atoms, p, true);
-            let s2 = init_time(&hpc2(), &c, atoms, p, false) / init_time(&hpc2(), &c, atoms, p, true);
+            let s1 =
+                init_time(&hpc1(), &c, atoms, p, false) / init_time(&hpc1(), &c, atoms, p, true);
+            let s2 =
+                init_time(&hpc2(), &c, atoms, p, false) / init_time(&hpc2(), &c, atoms, p, true);
             table::row(
                 &[
                     atoms.to_string(),
@@ -142,4 +145,5 @@ fn main() {
         }
     }
     println!("\npaper: HPC#1 6.2x -> 1.1x, HPC#2 3.9x -> 1.4x, decreasing with procs");
+    qp_bench::trace_hook::finish();
 }

@@ -23,7 +23,10 @@ fn part_a() {
     let rho = rho_multipole_row_bytes();
     let vhart = delta_v_hart_spl_bytes();
     let widths = [26, 12, 16, 26];
-    table::header(&["table", "bytes", "fits RMA 64KB?", "vertical fusion"], &widths);
+    table::header(
+        &["table", "bytes", "fits RMA 64KB?", "vertical fusion"],
+        &widths,
+    );
     for (name, bytes) in [("rho_multipole_spl", rho), ("delta_v_hart_part_spl", vhart)] {
         // Drive the real fusion machinery with a producer of that size.
         let q = CommandQueue::new(sw39010());
@@ -42,7 +45,11 @@ fn part_a() {
         let decision = match out.decision {
             FusionDecision::Fused => "FUSED (1 launch, on-chip)".to_string(),
             FusionDecision::ExceedsOnChipVolume { required, limit } => {
-                format!("refused ({} > {})", table::fmt_bytes(required), table::fmt_bytes(limit))
+                format!(
+                    "refused ({} > {})",
+                    table::fmt_bytes(required),
+                    table::fmt_bytes(limit)
+                )
             }
             FusionDecision::Disabled => "disabled".to_string(),
         };
@@ -70,9 +77,8 @@ fn v1_time(atoms: usize, ranks: usize, fused: bool) -> f64 {
     // round-trip the tables through the host.
     let halo = 120.0; // atoms within multipole range of a rank's batches
     let local_atoms = n / p + halo;
-    let producer_words = local_atoms
-        * (rho_multipole_row_bytes() + delta_v_hart_spl_bytes()) as f64
-        / 8.0;
+    let producer_words =
+        local_atoms * (rho_multipole_row_bytes() + delta_v_hart_spl_bytes()) as f64 / 8.0;
     let shared = 8.0; // procs per GPU on HPC#2
     let (prod_mult, host_words) = if fused {
         (1.0, 0.0)
@@ -115,6 +121,7 @@ fn part_b() {
 }
 
 fn main() {
+    qp_bench::trace_hook::init();
     let part = std::env::args().nth(1).unwrap_or_default();
     match part.as_str() {
         "a" => part_a(),
@@ -124,4 +131,5 @@ fn main() {
             part_b();
         }
     }
+    qp_bench::trace_hook::finish();
 }

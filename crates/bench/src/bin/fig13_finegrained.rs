@@ -50,6 +50,7 @@ fn v1_time(atoms: usize, ranks: usize, collapsed: bool) -> f64 {
 }
 
 fn main() {
+    qp_bench::trace_hook::init();
     println!("Fig 13: fine-grained-parallelism speedup of v1_es,tot on HPC#2\n");
     let cal = calibration();
     println!(
@@ -75,4 +76,5 @@ fn main() {
         }
     }
     println!("\npaper: 1.01x (15002@128) ... 1.34x (117602@65536); grows with procs");
+    qp_bench::trace_hook::finish();
 }

@@ -10,7 +10,7 @@
 //! the *measured* CSR/dense ratios, fusion outcomes and loop occupancies).
 
 use qp_bench::phase_model::{calibration, cycle_time, PhaseTimes};
-use qp_bench::table;
+use qp_bench::{table, trace_hook};
 use qp_machine::{hpc1, hpc2, MachineModel};
 
 struct Case {
@@ -20,10 +20,13 @@ struct Case {
     machine: MachineModel,
 }
 
-fn print_case(c: &Case) {
+/// Returns the simulated-timeline offset for the next case.
+fn print_case(c: &Case, trace_offset_s: f64) -> f64 {
     let cal = calibration();
     let before = cycle_time(cal, &c.machine, c.atoms, c.ranks, false);
     let after = cycle_time(cal, &c.machine, c.atoms, c.ranks, true);
+    let next_offset =
+        trace_hook::emit_case_timeline(&c.machine, c.name, &after, c.ranks, trace_offset_s);
     println!(
         "case: {} — {} atoms, {} tasks, {}",
         c.name, c.atoms, c.ranks, c.machine.name
@@ -62,9 +65,11 @@ fn print_case(c: &Case) {
         &widths,
     );
     println!("communication reduced by {comm_cut:.1}%\n");
+    next_offset
 }
 
 fn main() {
+    trace_hook::init();
     println!("Fig 14: per-phase execution time before/after all optimizations\n");
     let cases = [
         Case {
@@ -98,9 +103,12 @@ fn main() {
             machine: hpc2(),
         },
     ];
+    let mut offset = 0.0;
     for c in &cases {
-        print_case(c);
+        offset = print_case(c, offset);
     }
+    trace_hook::emit_host_collectives();
     println!("paper: DM up to 36.5x (RBD@64, HPC#1), v1 6.47x (Poly@2048, HPC#2),");
     println!("       comm -90.7% (Poly@2048, HPC#2), overall up to 11.1x");
+    trace_hook::finish();
 }

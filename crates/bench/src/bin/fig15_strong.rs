@@ -16,7 +16,10 @@ fn scaling_series(name: &str, m: &MachineModel, atoms: usize, procs: &[usize]) {
     let cal = calibration();
     println!("-- {name}: {atoms} atoms --");
     let widths = [8, 12, 10, 12, 12];
-    table::header(&["procs", "t/cycle", "speedup", "ideal", "efficiency"], &widths);
+    table::header(
+        &["procs", "t/cycle", "speedup", "ideal", "efficiency"],
+        &widths,
+    );
     let t0 = cycle_time(cal, m, atoms, procs[0], true).total();
     for &p in procs {
         let t = cycle_time(cal, m, atoms, p, true).total();
@@ -53,7 +56,9 @@ fn tts() {
     println!("Fig 15(b): time to solution per DFPT cycle on HPC#2 (GPU)\n");
     let widths = [10, 8, 10, 10, 10, 10, 10, 12];
     table::header(
-        &["atoms", "procs", "DM", "Sumup", "Rho", "H1", "Comm", "total"],
+        &[
+            "atoms", "procs", "DM", "Sumup", "Rho", "H1", "Comm", "total",
+        ],
         &widths,
     );
     for &(atoms, procs) in &[
@@ -82,6 +87,7 @@ fn tts() {
 }
 
 fn main() {
+    qp_bench::trace_hook::init();
     let arg = std::env::args().nth(1).unwrap_or_default();
     if arg == "--tts" {
         tts();
@@ -95,10 +101,16 @@ fn main() {
         60_002,
         &[1_024, 2_048, 4_096, 8_192],
     );
-    scaling_series("HPC#2 (with GPUs)", &hpc2(), 60_002, &[1_024, 2_048, 4_096, 8_192]);
+    scaling_series(
+        "HPC#2 (with GPUs)",
+        &hpc2(),
+        60_002,
+        &[1_024, 2_048, 4_096, 8_192],
+    );
     dm_comm_share(&hpc2(), 60_002, &[1_024, 2_048, 4_096, 8_192]);
     println!("paper: HPC#1 1.85/2.81/4.88x (92.6% at 10k), HPC#2-CPU 1.86/3.10/6.08x,");
     println!("       HPC#2-GPU slightly lower from DM communication share");
     println!();
     tts();
+    qp_bench::trace_hook::finish();
 }

@@ -12,7 +12,10 @@ fn series(name: &str, m: &MachineModel, points: &[(usize, usize)]) {
     let cal = calibration();
     println!("-- {name} --");
     let widths = [10, 8, 12, 12, 12];
-    table::header(&["atoms", "procs", "t/cycle", "efficiency", "rho share"], &widths);
+    table::header(
+        &["atoms", "procs", "t/cycle", "efficiency", "rho share"],
+        &widths,
+    );
     let t0 = cycle_time(cal, m, points[0].0, points[0].1, true).total();
     for &(atoms, procs) in points {
         let t = cycle_time(cal, m, atoms, procs, true);
@@ -32,6 +35,7 @@ fn series(name: &str, m: &MachineModel, points: &[(usize, usize)]) {
 }
 
 fn main() {
+    qp_bench::trace_hook::init();
     println!("Fig 16: weak scaling H(C2H4)nH, fixed atoms/rank\n");
     series(
         "HPC#1",
@@ -65,4 +69,5 @@ fn main() {
     );
     println!("paper: 76.7% / 75.3% / 74.1% efficiency at 200 012 atoms;");
     println!("       response-potential share grows with N (O(N^1.2) -> O(N^1.7))");
+    qp_bench::trace_hook::finish();
 }

@@ -15,10 +15,9 @@ fn main() {
             .map(|a| Atom::new(a.element, rotate(a.position)))
             .collect(),
     );
-    for (setting, min_ang, max_ang, nrad) in [
-        ("coarse-ang", 6, 26, 24),
-        ("full-50-ang", 50, 50, 40),
-    ] {
+    for (setting, min_ang, max_ang, nrad) in
+        [("coarse-ang", 6, 26, 24), ("full-50-ang", 50, 50, 40)]
+    {
         println!("== {setting} ==");
         let mut gs = GridSettings::light();
         gs.n_radial = nrad;

@@ -13,4 +13,5 @@
 
 pub mod phase_model;
 pub mod table;
+pub mod trace_hook;
 pub mod workloads;

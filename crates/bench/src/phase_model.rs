@@ -19,9 +19,9 @@ use qp_chem::basis::BasisSettings;
 use qp_chem::grids::GridSettings;
 use qp_core::kernels::{dm_phase, h_phase, rho_phase, sumup_phase, MatrixAccess};
 use qp_core::system::System;
+use qp_linalg::DMatrix;
 use qp_machine::kernel_cost::{kernel_time, KernelWork};
 use qp_machine::{cost, MachineModel};
-use qp_linalg::DMatrix;
 use std::sync::OnceLock;
 
 /// Ligand atom count (the calibration reference `N₀`).
@@ -131,13 +131,20 @@ pub fn calibration() -> &'static Calibration {
 
         let (_, sd) = sumup_phase(&queue, &sys, &p, MatrixAccess::DenseLocal);
         let (_, ss) = sumup_phase(&queue, &sys, &p, MatrixAccess::SparseGlobal);
-        let v1: Vec<f64> = (0..sys.n_points()).map(|i| (i as f64 * 0.001).sin()).collect();
+        let v1: Vec<f64> = (0..sys.n_points())
+            .map(|i| (i as f64 * 0.001).sin())
+            .collect();
         let (_, hd) = h_phase(&queue, &sys, &v1, MatrixAccess::DenseLocal);
         let (_, hs) = h_phase(&queue, &sys, &v1, MatrixAccess::SparseGlobal);
         let c = DMatrix::identity(nb);
         let c1 = DMatrix::from_fn(nb, sys.n_occupied(), |i, j| 1e-3 * (i + j) as f64);
         let (_, dm) = dm_phase(&queue, &c, &c1, sys.n_occupied());
-        let n1: Vec<f64> = sys.grid.points.iter().map(|p| p.position[0] * 1e-3).collect();
+        let n1: Vec<f64> = sys
+            .grid
+            .points
+            .iter()
+            .map(|p| p.position[0] * 1e-3)
+            .collect();
         let rn = rho_phase(&queue, &sys, &n1, false);
         let rc = rho_phase(&queue, &sys, &n1, true);
 
@@ -199,7 +206,11 @@ pub fn cycle_time(
     let scale_dm = (n / N0).powf(DM_EXPONENT) * N0;
 
     // --- DM ---
-    let dm_penalty = if optimized { 1.0 } else { DM_BASELINE_HOST_PENALTY };
+    let dm_penalty = if optimized {
+        1.0
+    } else {
+        DM_BASELINE_HOST_PENALTY
+    };
     let dm_work = KernelWork {
         launches: 1,
         offchip_words: (cal.dm_flops * scale_dm / 4.0 / p) as u64,
@@ -211,8 +222,7 @@ pub fn cycle_time(
     let dm = kernel_time(machine, &dm_work);
 
     // --- Sumup ---
-    let sumup_words = cal.sumup_words_dense
-        * if optimized { 1.0 } else { cal.csr_read_ratio };
+    let sumup_words = cal.sumup_words_dense * if optimized { 1.0 } else { cal.csr_read_ratio };
     let sumup_work = KernelWork {
         launches: 2, // the artifact's two Sumup kernels
         offchip_words: (sumup_words * n / p) as u64,
@@ -224,7 +234,12 @@ pub fn cycle_time(
     let sumup = kernel_time(machine, &sumup_work);
 
     // --- H ---
-    let h_words = cal.h_words_dense * if optimized { 1.0 } else { cal.sparse_write_ratio };
+    let h_words = cal.h_words_dense
+        * if optimized {
+            1.0
+        } else {
+            cal.sparse_write_ratio
+        };
     let h_work = KernelWork {
         launches: 1,
         offchip_words: (h_words * n / p) as u64,
@@ -239,11 +254,14 @@ pub fn cycle_time(
     // Producer redundancy: without horizontal fusion every process sharing a
     // GPU runs the identical spline producer (×8 on HPC #2) and round-trips
     // the tables through the host.
-    let shared_procs = if machine.host_xfer_wps.is_finite() { 8.0 } else { 1.0 };
+    let shared_procs = if machine.host_xfer_wps.is_finite() {
+        8.0
+    } else {
+        1.0
+    };
     let producer_mult = if optimized { 1.0 } else { shared_procs };
     let spline_words =
-        cal.splines_per_atom * n / p * (workloads::rho_multipole_row_bytes() as f64 / 8.0)
-            / 100.0; // per-channel share of the row
+        cal.splines_per_atom * n / p * (workloads::rho_multipole_row_bytes() as f64 / 8.0) / 100.0; // per-channel share of the row
     let host_words = if optimized {
         0.0
     } else {
@@ -256,11 +274,14 @@ pub fn cycle_time(
         + RHO_FARFIELD_FRACTION * n * (n / RHO_FARFIELD_NREF).powf(RHO_EXPONENT - 1.0);
     let rho_work = KernelWork {
         launches: 2,
-        offchip_words: ((cal.rho_words * rho_scale / p)
-            + spline_words * producer_mult) as u64,
+        offchip_words: ((cal.rho_words * rho_scale / p) + spline_words * producer_mult) as u64,
         onchip_words: 0,
         flops: (cal.rho_flops * rho_scale / p * if optimized { 1.0 } else { 1.15 }) as u64,
-        occupancy: if optimized { cal.occ_collapsed } else { cal.occ_nested },
+        occupancy: if optimized {
+            cal.occ_collapsed
+        } else {
+            cal.occ_nested
+        },
         host_words: host_words as u64,
     };
     let rho = kernel_time(machine, &rho_work);
@@ -289,8 +310,7 @@ pub fn cycle_time(
     // rank spread over log2(P) panel rounds.
     let rounds = p.log2().ceil().max(1.0);
     let dm_bytes = DM_COMM_BYTES * n / p.sqrt();
-    let comm_dm = rounds
-        * cost::allreduce_time(machine, ranks, (dm_bytes / rounds) as usize);
+    let comm_dm = rounds * cost::allreduce_time(machine, ranks, (dm_bytes / rounds) as usize);
     let comm = comm_rho + comm_dm;
 
     PhaseTimes {
@@ -311,7 +331,11 @@ mod tests {
     fn calibration_is_sane() {
         let c = calibration();
         assert!(c.sumup_flops > 0.0);
-        assert!(c.csr_read_ratio > 1.5, "CSR must cost more: {}", c.csr_read_ratio);
+        assert!(
+            c.csr_read_ratio > 1.5,
+            "CSR must cost more: {}",
+            c.csr_read_ratio
+        );
         assert!(c.sparse_write_ratio > 2.0);
         assert!(c.occ_collapsed > c.occ_nested);
         assert!(c.splines_per_atom >= 1.0);

@@ -1,0 +1,82 @@
+//! `QP_TRACE` hook for the figure harnesses.
+//!
+//! Every fig binary models per-rank, per-phase execution times; this module
+//! turns those modeled times into spans on the **simulated** timeline of the
+//! trace (pid "simulated machine"), one track per rank, so a Perfetto load
+//! of `QP_TRACE=out.json cargo run --bin figN` shows the phase structure the
+//! paper's figures summarize. Host-side spans (real collectives, kernel
+//! launches) land on the host timeline as usual.
+
+use crate::phase_model::PhaseTimes;
+use qp_machine::MachineModel;
+use qp_trace::{qp_info, Phase};
+
+/// Cap on how many simulated rank tracks one case emits: enough to read the
+/// timeline, without a 30k-track trace for the Poly cases.
+pub const MAX_TRACKS: usize = 64;
+
+/// Enable tracing if `QP_TRACE` / `QP_METRICS` are set. Returns whether the
+/// trace is live so harnesses can skip timeline synthesis otherwise.
+pub fn init() -> bool {
+    qp_trace::init_from_env()
+}
+
+/// Emit one case's simulated timeline: each rank runs DM → Sumup → Rho(v1)
+/// → H1 back-to-back, then the cycle's collective (`Comm`) — the bulk
+/// synchronous structure of the DFPT cycle (§3.1). Spans start at
+/// `offset_s` (simulated seconds) so successive cases stack end-to-end on
+/// the shared timeline; returns the offset where the next case should
+/// start.
+pub fn emit_case_timeline(
+    machine: &MachineModel,
+    case: &str,
+    times: &PhaseTimes,
+    ranks: usize,
+    offset_s: f64,
+) -> f64 {
+    if !qp_trace::enabled() {
+        return offset_s;
+    }
+    let shown = ranks.min(MAX_TRACKS);
+    if shown < ranks {
+        qp_info!("trace: {case}: showing {shown} of {ranks} simulated rank tracks");
+    }
+    let phases: [(Phase, &str, f64); 5] = [
+        (Phase::Dm, "DM", times.dm),
+        (Phase::Sumup, "Sumup", times.sumup),
+        (Phase::Rho, "Rho(v1)", times.rho),
+        (Phase::H, "H1", times.h),
+        (Phase::Comm, "AllReduce", times.comm),
+    ];
+    for rank in 0..shown {
+        let mut t = offset_s;
+        for (phase, name, dur) in phases {
+            machine.sim_span(rank, phase, format!("{case}: {name}"), t, dur);
+            t += dur;
+        }
+    }
+    offset_s + times.total()
+}
+
+/// Run a small real SPMD exchange so the host timeline carries genuine
+/// collective spans (one per rank) next to the simulated tracks.
+pub fn emit_host_collectives() {
+    if !qp_trace::enabled() {
+        return;
+    }
+    let sums = qp_mpi::run_spmd(8, 4, |comm| {
+        let data = vec![comm.rank() as f64; 128];
+        comm.allreduce(qp_mpi::ReduceOp::Sum, &data)
+    })
+    .expect("spmd trace probe");
+    debug_assert!(sums.iter().all(|s| (s[0] - 28.0).abs() < 1e-12));
+}
+
+/// Write the scheduled trace/metrics files, reporting where they landed.
+pub fn finish() {
+    match qp_trace::finish() {
+        Ok(Some(path)) => qp_info!("trace written to {path}"),
+        Ok(None) => {}
+        Err(e) => qp_trace::qp_warn!("failed to write trace/metrics: {e}"),
+    }
+}

@@ -145,40 +145,72 @@ pub fn dfpt_direction(
     let eps = &ground.eigenvalues;
     let _ = n_occ;
 
+    let mut dir_span = qp_trace::SpanGuard::begin(
+        qp_trace::thread_rank(),
+        qp_trace::Phase::Dfpt,
+        "dfpt.direction",
+    );
+    if dir_span.is_recording() {
+        dir_span.arg("dir", dir).arg("basis", nb);
+    }
+    let dir_label = ["x", "y", "z"][dir.min(2)];
+    let residual_gauge = qp_trace::global_metrics().gauge("dfpt.residual", &[("dir", dir_label)]);
+
     let mut p1 = DMatrix::zeros(nb, nb);
     let mut residual = f64::INFINITY;
 
     for iter in 1..=opts.max_iter {
+        let mut iter_span =
+            qp_trace::SpanGuard::begin(qp_trace::thread_rank(), qp_trace::Phase::Dfpt, "dfpt.iter");
+        if iter_span.is_recording() {
+            iter_span.arg("iter", iter);
+        }
         // Sumup: response density on the grid (Eq. 8).
-        let n1 = system.density_on_grid(&p1);
+        let n1 = {
+            let _s = crate::phase_span(qp_trace::Phase::Sumup, "sumup.n1");
+            system.density_on_grid(&p1)
+        };
 
         // Rho: response electrostatic potential (Eq. 9) + xc kernel (Eq. 12).
-        let moments =
-            MultipoleMoments::compute(&system.structure, &system.grid, &n1, system.lmax);
-        let hartree = solve_poisson(&system.structure, &system.grid, &moments);
-        let natoms = system.structure.len();
-        let v1: Vec<f64> = system
-            .grid
-            .points
-            .iter()
-            .zip(n1.iter().zip(fxc.iter()))
-            .map(|(p, (&dn, &fx))| hartree.eval_atoms(p.position, 0..natoms) + fx * dn)
-            .collect();
+        let v1: Vec<f64> = {
+            let _s = crate::phase_span(qp_trace::Phase::Rho, "rho.v1");
+            let moments =
+                MultipoleMoments::compute(&system.structure, &system.grid, &n1, system.lmax);
+            let hartree = solve_poisson(&system.structure, &system.grid, &moments);
+            let natoms = system.structure.len();
+            system
+                .grid
+                .points
+                .iter()
+                .zip(n1.iter().zip(fxc.iter()))
+                .map(|(p, (&dn, &fx))| hartree.eval_atoms(p.position, 0..natoms) + fx * dn)
+                .collect()
+        };
 
         // H: response Hamiltonian (Eqs. 10-11): induced part − r_J.
-        let mut h1 = operators::potential_matrix(system, &v1);
+        let mut h1 = {
+            let _s = crate::phase_span(qp_trace::Phase::H, "h1.integrate");
+            operators::potential_matrix(system, &v1)
+        };
         h1.axpy(-1.0, &dip)?;
 
         // Sternheimer update in the MO basis (occupation-aware pair form —
         // handles both integer and Fermi-Dirac ground states).
-        let h1_mo = c.transpose().matmul(&h1)?.matmul(c)?;
-        let p1_target = sternheimer_response(c, eps, &ground.occupations, &h1_mo);
+        let p1_target = {
+            let _s = crate::phase_span(qp_trace::Phase::Sternheimer, "sternheimer");
+            let h1_mo = c.transpose().matmul(&h1)?.matmul(c)?;
+            sternheimer_response(c, eps, &ground.occupations, &h1_mo)
+        };
 
         // Mix P¹ (DM phase).
         let mut p1_new = p1.clone();
         p1_new.scale(1.0 - opts.mixing);
         p1_new.axpy(opts.mixing, &p1_target)?;
         residual = p1_new.max_abs_diff(&p1);
+        residual_gauge.set(residual);
+        if iter_span.is_recording() {
+            iter_span.arg("residual", residual);
+        }
         p1 = p1_new;
 
         if residual < opts.tol {
@@ -204,7 +236,9 @@ pub fn dfpt(system: &System, ground: &ScfResult, opts: &DfptOptions) -> Result<D
     let mut iterations = [0usize; 3];
 
     // Pre-build the three dipole matrices for the α contraction.
-    let dips: Vec<DMatrix> = (0..3).map(|d| operators::dipole_matrix(system, d)).collect();
+    let dips: Vec<DMatrix> = (0..3)
+        .map(|d| operators::dipole_matrix(system, d))
+        .collect();
 
     for j in 0..3 {
         let resp = dfpt_direction(system, ground, j, opts)?;

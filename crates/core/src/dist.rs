@@ -78,12 +78,8 @@ impl BlockCyclicMatrix {
         f: impl Fn(usize, usize) -> f64,
     ) -> Self {
         let my = grid.coords(comm.rank());
-        let local_rows: Vec<usize> = (0..rows)
-            .filter(|i| (i / nb) % grid.pr == my.0)
-            .collect();
-        let local_cols: Vec<usize> = (0..cols)
-            .filter(|j| (j / nb) % grid.pc == my.1)
-            .collect();
+        let local_rows: Vec<usize> = (0..rows).filter(|i| (i / nb) % grid.pr == my.0).collect();
+        let local_cols: Vec<usize> = (0..cols).filter(|j| (j / nb) % grid.pc == my.1).collect();
         let local = DMatrix::from_fn(local_rows.len(), local_cols.len(), |a, b| {
             f(local_rows[a], local_cols[b])
         });
@@ -140,14 +136,7 @@ impl BlockCyclicMatrix {
         assert_eq!(self.nb, other.nb, "block size mismatch");
         let grid = self.grid;
         let nb = self.nb;
-        let mut c = BlockCyclicMatrix::from_fn(
-            comm,
-            grid,
-            self.rows,
-            other.cols,
-            nb,
-            |_, _| 0.0,
-        );
+        let mut c = BlockCyclicMatrix::from_fn(comm, grid, self.rows, other.cols, nb, |_, _| 0.0);
 
         let n_steps = self.cols.div_ceil(nb);
         for k in 0..n_steps {

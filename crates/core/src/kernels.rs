@@ -45,10 +45,8 @@ pub fn sumup_phase(
         MatrixAccess::SparseGlobal => Some(CsrMatrix::from_dense(p_dense, 1e-14)),
         MatrixAccess::DenseLocal => None,
     };
-    let (per_batch, report) = queue.launch_map(
-        &format!("sumup[{mode:?}]"),
-        system.batches.len(),
-        |ctx| {
+    let (per_batch, report) =
+        queue.launch_map(&format!("sumup[{mode:?}]"), system.batches.len(), |ctx| {
             let batch = &system.batches[ctx.group_id];
             let table = &system.tables[ctx.group_id];
             let nf = table.fn_indices.len();
@@ -88,8 +86,7 @@ pub fn sumup_phase(
                 ctx.counters.write_offchip(1);
             }
             (ctx.group_id, local)
-        },
-    );
+        });
 
     let mut n1 = vec![0.0; system.n_points()];
     for (bid, local) in per_batch {
@@ -111,10 +108,8 @@ pub fn h_phase(
 ) -> (DMatrix, LaunchReport) {
     assert_eq!(v1.len(), system.n_points());
     let nb = system.n_basis();
-    let (blocks, report) = queue.launch_map(
-        &format!("h1[{mode:?}]"),
-        system.batches.len(),
-        |ctx| {
+    let (blocks, report) =
+        queue.launch_map(&format!("h1[{mode:?}]"), system.batches.len(), |ctx| {
             let batch = &system.batches[ctx.group_id];
             let table = &system.tables[ctx.group_id];
             let nf = table.fn_indices.len();
@@ -146,8 +141,7 @@ pub fn h_phase(
                 }
             }
             (ctx.group_id, block)
-        },
-    );
+        });
 
     let mut h1 = DMatrix::zeros(nb, nb);
     for (bid, block) in blocks {

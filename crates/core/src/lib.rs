@@ -38,6 +38,12 @@ pub use dfpt::{dfpt, DfptOptions, DfptResult};
 pub use scf::{scf, ScfOptions, ScfResult};
 pub use system::System;
 
+/// Open a host-track span for one of the pipeline phases on the calling
+/// rank's timeline (no-op unless tracing is enabled).
+pub(crate) fn phase_span(phase: qp_trace::Phase, name: &str) -> qp_trace::SpanGuard {
+    qp_trace::SpanGuard::begin(qp_trace::thread_rank(), phase, name)
+}
+
 /// Errors from the physics engine.
 #[derive(Debug)]
 pub enum CoreError {

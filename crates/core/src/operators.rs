@@ -29,12 +29,7 @@ pub fn potential_matrix(system: &System, v: &[f64]) -> DMatrix {
 /// Assemble the dipole matrix for Cartesian direction `dir`
 /// (`D_μν = ∫ χ_μ r_dir χ_ν`).
 pub fn dipole_matrix(system: &System, dir: usize) -> DMatrix {
-    let coords: Vec<f64> = system
-        .grid
-        .points
-        .iter()
-        .map(|p| p.position[dir])
-        .collect();
+    let coords: Vec<f64> = system.grid.points.iter().map(|p| p.position[dir]).collect();
     potential_matrix(system, &coords)
 }
 
@@ -49,8 +44,8 @@ fn weighted_product(system: &System, f: impl Fn(usize) -> f64 + Sync) -> DMatrix
             let nf = table.fn_indices.len();
             let mut block = DMatrix::zeros(nf, nf);
             for (pi, pt) in batch.points.iter().enumerate() {
-                let w = system.grid.points[pt.grid_index as usize].weight
-                    * f(pt.grid_index as usize);
+                let w =
+                    system.grid.points[pt.grid_index as usize].weight * f(pt.grid_index as usize);
                 if w == 0.0 {
                     continue;
                 }

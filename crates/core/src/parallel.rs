@@ -102,7 +102,11 @@ pub fn parallel_dfpt_direction(
     let natoms = system.structure.len();
 
     let dip = operators::dipole_matrix(system, dir);
-    let fxc: Vec<f64> = ground.density.iter().map(|&n| xc::f_xc(n.max(0.0))).collect();
+    let fxc: Vec<f64> = ground
+        .density
+        .iter()
+        .map(|&n| xc::f_xc(n.max(0.0)))
+        .collect();
     let c = &ground.orbitals;
     let eps = &ground.eigenvalues;
 
@@ -123,7 +127,13 @@ pub fn parallel_dfpt_direction(
 
         for iter in 1..=opts.max_iter {
             iterations = iter;
+            let mut iter_span =
+                qp_trace::SpanGuard::begin(rank, qp_trace::Phase::Dfpt, "dfpt.iter");
+            if iter_span.is_recording() {
+                iter_span.arg("iter", iter).arg("dir", dir);
+            }
             // ---- Sumup on own batches ----
+            let sumup_span = crate::phase_span(qp_trace::Phase::Sumup, "sumup.local_n1");
             let mut local_n1: Vec<Vec<f64>> = Vec::with_capacity(my_batches.len());
             for &b in &my_batches {
                 let batch = &system.batches[b];
@@ -146,7 +156,10 @@ pub fn parallel_dfpt_direction(
                 local_n1.push(vals);
             }
 
+            drop(sumup_span);
+
             // ---- Partial rho_multipole rows from own points ----
+            let rho_span = crate::phase_span(qp_trace::Phase::Rho, "rho.partial_rows");
             let mut rows = vec![vec![0.0; row_len]; natoms];
             let mut ylm = vec![0.0; n_lm];
             let fourpi = 4.0 * std::f64::consts::PI;
@@ -170,7 +183,10 @@ pub fn parallel_dfpt_direction(
                 }
             }
 
+            drop(rho_span);
+
             // ---- Synthesize rho_multipole across ranks ----
+            let synth_span = crate::phase_span(qp_trace::Phase::Rho, "rho.synthesize");
             let reduced_rows: Vec<Vec<f64>> = match cfg.collectives {
                 CollectiveScheme::PerRow => {
                     let mut out = Vec::with_capacity(natoms);
@@ -194,8 +210,7 @@ pub fn parallel_dfpt_direction(
                         .collect::<std::result::Result<_, _>>()?
                 }
                 CollectiveScheme::PackedHierarchical => {
-                    let packed: Vec<f64> =
-                        rows.iter().flat_map(|r| r.iter().copied()).collect();
+                    let packed: Vec<f64> = rows.iter().flat_map(|r| r.iter().copied()).collect();
                     let reduced = qp_mpi::hierarchical::hierarchical_allreduce(
                         comm,
                         "rho_multipole",
@@ -206,15 +221,20 @@ pub fn parallel_dfpt_direction(
                 }
             };
 
+            drop(synth_span);
+
             // ---- Redundant Poisson solve (producer) on every rank ----
+            let poisson_span = crate::phase_span(qp_trace::Phase::Rho, "rho.poisson");
             let moments = MultipoleMoments {
                 lmax: system.lmax,
                 n_lm,
                 moments: reduced_rows,
             };
             let hartree = solve_poisson(&system.structure, &system.grid, &moments);
+            drop(poisson_span);
 
             // ---- Partial H1 from own batches ----
+            let h_span = crate::phase_span(qp_trace::Phase::H, "h1.partial");
             let mut h1_partial = DMatrix::zeros(nb, nb);
             for (bi, &b) in my_batches.iter().enumerate() {
                 let batch = &system.batches[b];
@@ -223,8 +243,8 @@ pub fn parallel_dfpt_direction(
                 for (pi, pt) in batch.points.iter().enumerate() {
                     let gi = pt.grid_index as usize;
                     let gp = &system.grid.points[gi];
-                    let v1 = hartree.eval_atoms(gp.position, 0..natoms)
-                        + fxc[gi] * local_n1[bi][pi];
+                    let v1 =
+                        hartree.eval_atoms(gp.position, 0..natoms) + fxc[gi] * local_n1[bi][pi];
                     let w = gp.weight * v1;
                     if w == 0.0 {
                         continue;
@@ -245,8 +265,10 @@ pub fn parallel_dfpt_direction(
             let h1_flat = comm.allreduce(ReduceOp::Sum, h1_partial.as_slice())?;
             let mut h1 = DMatrix::from_vec(nb, nb, h1_flat).expect("nb x nb");
             h1.axpy(-1.0, &dip).expect("same dims");
+            drop(h_span);
 
             // ---- Replicated Sternheimer update ----
+            let stern_span = crate::phase_span(qp_trace::Phase::Sternheimer, "sternheimer");
             let h1_mo = c
                 .transpose()
                 .matmul(&h1)
@@ -265,9 +287,15 @@ pub fn parallel_dfpt_direction(
             mixed.scale(1.0 - opts.mixing);
             mixed.axpy(opts.mixing, &c1_new).expect("same dims");
             c1 = mixed;
+            drop(stern_span);
+            let dm_span = crate::phase_span(qp_trace::Phase::Dm, "dm.p1");
             let p1_new = response_density_matrix(c, &c1, n_occ);
             let residual = p1_new.max_abs_diff(&p1);
+            drop(dm_span);
             p1 = p1_new;
+            if iter_span.is_recording() {
+                iter_span.arg("residual", residual);
+            }
             if residual < opts.tol {
                 converged = true;
                 break;
@@ -369,7 +397,10 @@ mod tests {
             &cfg(MappingKind::LocalityEnhancing, CollectiveScheme::PerRow),
         )
         .unwrap();
-        for scheme in [CollectiveScheme::Packed, CollectiveScheme::PackedHierarchical] {
+        for scheme in [
+            CollectiveScheme::Packed,
+            CollectiveScheme::PackedHierarchical,
+        ] {
             let out = parallel_dfpt_direction(
                 &sys,
                 &ground,
@@ -406,9 +437,8 @@ mod tests {
             &cfg(MappingKind::LocalityEnhancing, CollectiveScheme::Packed),
         )
         .unwrap();
-        let count = |t: &[TrafficRecord], k: CollectiveKind| {
-            t.iter().filter(|r| r.kind == k).count()
-        };
+        let count =
+            |t: &[TrafficRecord], k: CollectiveKind| t.iter().filter(|r| r.kind == k).count();
         // Baseline: natoms AllReduce per iteration for rho_multipole (plus
         // one for H1). Packed: 1 PackedAllReduce per iteration.
         let baseline_all = count(&per_row.traffic, CollectiveKind::AllReduce);

@@ -73,11 +73,7 @@ pub struct ScfResult {
 /// Pulay/DIIS step: find `c` minimizing `‖Σ cᵢ Rᵢ‖` with `Σ cᵢ = 1`, then
 /// return `Σ cᵢ (Pᵢ + damping·Rᵢ)`. Returns `None` when the DIIS system is
 /// numerically singular (caller restarts the history).
-fn pulay_extrapolate(
-    p_in: &[DMatrix],
-    residuals: &[DMatrix],
-    damping: f64,
-) -> Option<DMatrix> {
+fn pulay_extrapolate(p_in: &[DMatrix], residuals: &[DMatrix], damping: f64) -> Option<DMatrix> {
     let m = p_in.len();
     // KKT system: [[B, 1], [1ᵀ, 0]] [c; λ] = [0; 1].
     let mut kkt = DMatrix::zeros(m + 1, m + 1);
@@ -123,6 +119,15 @@ pub fn electronic_dipole(system: &System, density: &[f64]) -> [f64; 3] {
 
 /// Run the ground-state SCF.
 pub fn scf(system: &System, opts: &ScfOptions) -> Result<ScfResult> {
+    let mut scf_span =
+        qp_trace::SpanGuard::begin(qp_trace::thread_rank(), qp_trace::Phase::Scf, "scf");
+    if scf_span.is_recording() {
+        scf_span
+            .arg("atoms", system.structure.len())
+            .arg("basis", system.n_basis());
+    }
+    let residual_gauge = qp_trace::global_metrics().gauge("scf.residual", &[]);
+    let energy_gauge = qp_trace::global_metrics().gauge("scf.energy", &[]);
     let s_mat = operators::overlap(system);
     let t_mat = operators::kinetic(system);
     let v_ext = operators::external_potential(system);
@@ -163,6 +168,11 @@ pub fn scf(system: &System, opts: &ScfOptions) -> Result<ScfResult> {
     let mut diis_in: Vec<DMatrix> = Vec::new();
     let mut diis_res: Vec<DMatrix> = Vec::new();
     for iter in 1..=opts.max_iter {
+        let mut iter_span =
+            qp_trace::SpanGuard::begin(qp_trace::thread_rank(), qp_trace::Phase::Scf, "scf.iter");
+        if iter_span.is_recording() {
+            iter_span.arg("iter", iter);
+        }
         let density = system.density_on_grid(&p_mat);
         // Hartree potential of the electron density.
         let moments =
@@ -186,6 +196,10 @@ pub fn scf(system: &System, opts: &ScfOptions) -> Result<ScfResult> {
         let p_new = operators::density_matrix_occ(&dec.eigenvectors, &occ);
 
         residual = p_new.max_abs_diff(&p_mat);
+        residual_gauge.set(residual);
+        if iter_span.is_recording() {
+            iter_span.arg("residual", residual);
+        }
 
         // Kohn-Sham total energy: Σ f_i ε_i − ½∫n v_H − ∫n v_xc + ∫n ε_xc
         // + E_nuc-nuc.
@@ -221,6 +235,7 @@ pub fn scf(system: &System, opts: &ScfOptions) -> Result<ScfResult> {
         last = (dec, energy, density);
 
         if residual < opts.tol {
+            energy_gauge.set(energy);
             // Final density consistent with the converged orbitals.
             let density = system.density_on_grid(&p_new);
             return Ok(ScfResult {

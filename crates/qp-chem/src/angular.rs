@@ -93,7 +93,11 @@ fn push_llm(points: &mut Vec<AngularPoint>, l: f64, m: f64, w: f64) {
                     let signs = [s0, s1, s2];
                     let mut dir = [0.0; 3];
                     for d in 0..3 {
-                        dir[d] = if d == mpos { signs[d] * m } else { signs[d] * l };
+                        dir[d] = if d == mpos {
+                            signs[d] * m
+                        } else {
+                            signs[d] * l
+                        };
                     }
                     points.push(AngularPoint { dir, weight: w });
                 }
@@ -180,12 +184,7 @@ impl AngularGrid {
 
     /// Integrate a function over the unit sphere: `4π Σ wᵢ f(nᵢ)`.
     pub fn integrate(&self, f: impl Fn([f64; 3]) -> f64) -> f64 {
-        4.0 * std::f64::consts::PI
-            * self
-                .points
-                .iter()
-                .map(|p| p.weight * f(p.dir))
-                .sum::<f64>()
+        4.0 * std::f64::consts::PI * self.points.iter().map(|p| p.weight * f(p.dir)).sum::<f64>()
     }
 }
 

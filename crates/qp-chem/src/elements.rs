@@ -135,42 +135,142 @@ impl Element {
     /// radial functions an all-electron minimal NAO basis tabulates.
     pub fn shells_light(self) -> Vec<Shell> {
         match self {
-            Element::H => vec![Shell { n: 1, l: 0, zeta: 1.0 }],
+            Element::H => vec![Shell {
+                n: 1,
+                l: 0,
+                zeta: 1.0,
+            }],
             Element::C => vec![
-                Shell { n: 1, l: 0, zeta: 5.70 },
-                Shell { n: 2, l: 0, zeta: 1.625 },
-                Shell { n: 2, l: 1, zeta: 1.625 },
+                Shell {
+                    n: 1,
+                    l: 0,
+                    zeta: 5.70,
+                },
+                Shell {
+                    n: 2,
+                    l: 0,
+                    zeta: 1.625,
+                },
+                Shell {
+                    n: 2,
+                    l: 1,
+                    zeta: 1.625,
+                },
             ],
             Element::N => vec![
-                Shell { n: 1, l: 0, zeta: 6.70 },
-                Shell { n: 2, l: 0, zeta: 1.95 },
-                Shell { n: 2, l: 1, zeta: 1.95 },
+                Shell {
+                    n: 1,
+                    l: 0,
+                    zeta: 6.70,
+                },
+                Shell {
+                    n: 2,
+                    l: 0,
+                    zeta: 1.95,
+                },
+                Shell {
+                    n: 2,
+                    l: 1,
+                    zeta: 1.95,
+                },
             ],
             Element::O => vec![
-                Shell { n: 1, l: 0, zeta: 7.70 },
-                Shell { n: 2, l: 0, zeta: 2.275 },
-                Shell { n: 2, l: 1, zeta: 2.275 },
+                Shell {
+                    n: 1,
+                    l: 0,
+                    zeta: 7.70,
+                },
+                Shell {
+                    n: 2,
+                    l: 0,
+                    zeta: 2.275,
+                },
+                Shell {
+                    n: 2,
+                    l: 1,
+                    zeta: 2.275,
+                },
             ],
             Element::P => vec![
-                Shell { n: 1, l: 0, zeta: 14.70 },
-                Shell { n: 2, l: 0, zeta: 4.95 },
-                Shell { n: 2, l: 1, zeta: 4.95 },
-                Shell { n: 3, l: 0, zeta: 1.88 },
-                Shell { n: 3, l: 1, zeta: 1.88 },
+                Shell {
+                    n: 1,
+                    l: 0,
+                    zeta: 14.70,
+                },
+                Shell {
+                    n: 2,
+                    l: 0,
+                    zeta: 4.95,
+                },
+                Shell {
+                    n: 2,
+                    l: 1,
+                    zeta: 4.95,
+                },
+                Shell {
+                    n: 3,
+                    l: 0,
+                    zeta: 1.88,
+                },
+                Shell {
+                    n: 3,
+                    l: 1,
+                    zeta: 1.88,
+                },
             ],
             Element::S => vec![
-                Shell { n: 1, l: 0, zeta: 15.70 },
-                Shell { n: 2, l: 0, zeta: 5.425 },
-                Shell { n: 2, l: 1, zeta: 5.425 },
-                Shell { n: 3, l: 0, zeta: 2.05 },
-                Shell { n: 3, l: 1, zeta: 2.05 },
+                Shell {
+                    n: 1,
+                    l: 0,
+                    zeta: 15.70,
+                },
+                Shell {
+                    n: 2,
+                    l: 0,
+                    zeta: 5.425,
+                },
+                Shell {
+                    n: 2,
+                    l: 1,
+                    zeta: 5.425,
+                },
+                Shell {
+                    n: 3,
+                    l: 0,
+                    zeta: 2.05,
+                },
+                Shell {
+                    n: 3,
+                    l: 1,
+                    zeta: 2.05,
+                },
             ],
             Element::Cl => vec![
-                Shell { n: 1, l: 0, zeta: 16.70 },
-                Shell { n: 2, l: 0, zeta: 5.90 },
-                Shell { n: 2, l: 1, zeta: 5.90 },
-                Shell { n: 3, l: 0, zeta: 2.217 },
-                Shell { n: 3, l: 1, zeta: 2.217 },
+                Shell {
+                    n: 1,
+                    l: 0,
+                    zeta: 16.70,
+                },
+                Shell {
+                    n: 2,
+                    l: 0,
+                    zeta: 5.90,
+                },
+                Shell {
+                    n: 2,
+                    l: 1,
+                    zeta: 5.90,
+                },
+                Shell {
+                    n: 3,
+                    l: 0,
+                    zeta: 2.217,
+                },
+                Shell {
+                    n: 3,
+                    l: 1,
+                    zeta: 2.217,
+                },
             ],
         }
     }
@@ -181,13 +281,21 @@ impl Element {
     pub fn shells_tier2(self) -> Vec<Shell> {
         let mut shells = self.shells_light();
         match self {
-            Element::H => shells.push(Shell { n: 2, l: 1, zeta: 1.3 }),
-            Element::C | Element::N | Element::O => {
-                shells.push(Shell { n: 3, l: 2, zeta: 2.0 })
-            }
-            Element::P | Element::S | Element::Cl => {
-                shells.push(Shell { n: 3, l: 2, zeta: 2.2 })
-            }
+            Element::H => shells.push(Shell {
+                n: 2,
+                l: 1,
+                zeta: 1.3,
+            }),
+            Element::C | Element::N | Element::O => shells.push(Shell {
+                n: 3,
+                l: 2,
+                zeta: 2.0,
+            }),
+            Element::P | Element::S | Element::Cl => shells.push(Shell {
+                n: 3,
+                l: 2,
+                zeta: 2.2,
+            }),
         }
         shells
     }

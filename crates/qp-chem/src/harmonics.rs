@@ -174,12 +174,16 @@ mod tests {
         let mut buf = vec![0.0; nh];
         for it in 0..ntheta {
             let theta = (it as f64 + 0.5) / ntheta as f64 * std::f64::consts::PI;
-            let wt = theta.sin() * std::f64::consts::PI / ntheta as f64 * 2.0
-                * std::f64::consts::PI
-                / nphi as f64;
+            let wt =
+                theta.sin() * std::f64::consts::PI / ntheta as f64 * 2.0 * std::f64::consts::PI
+                    / nphi as f64;
             for ip in 0..nphi {
                 let phi = ip as f64 / nphi as f64 * 2.0 * std::f64::consts::PI;
-                let dir = [theta.sin() * phi.cos(), theta.sin() * phi.sin(), theta.cos()];
+                let dir = [
+                    theta.sin() * phi.cos(),
+                    theta.sin() * phi.sin(),
+                    theta.cos(),
+                ];
                 real_spherical_harmonics(lmax, dir, &mut buf);
                 for a in 0..nh {
                     for b in a..nh {

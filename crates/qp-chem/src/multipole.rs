@@ -141,9 +141,7 @@ pub fn solve_poisson(
             // rho_lm(r_k).
             let rho: Vec<f64> = (0..n_r).map(|k| mom[k * n_lm + lm]).collect();
             // Inner integral ∫_0^r s^{l+2} rho ds; log-measure ds = s·h·di.
-            let f_in: Vec<f64> = (0..n_r)
-                .map(|k| radii[k].powi(li + 3) * rho[k])
-                .collect();
+            let f_in: Vec<f64> = (0..n_r).map(|k| radii[k].powi(li + 3) * rho[k]).collect();
             let mut inner = adams_moulton_cumulative(h, &f_in);
             // Add the [0, r_0] head assuming rho constant there.
             let head = rho[0] * radii[0].powi(li + 3) / (li + 3) as f64;
@@ -151,18 +149,14 @@ pub fn solve_poisson(
                 *v += head;
             }
             // Outer integral ∫_r^{rmax} s^{1-l} rho ds (reverse cumulative).
-            let f_out: Vec<f64> = (0..n_r)
-                .map(|k| radii[k].powi(2 - li) * rho[k])
-                .collect();
+            let f_out: Vec<f64> = (0..n_r).map(|k| radii[k].powi(2 - li) * rho[k]).collect();
             let cum = adams_moulton_cumulative(h, &f_out);
             let total = cum[n_r - 1];
             let outer: Vec<f64> = cum.iter().map(|c| total - c).collect();
 
             let pref = fourpi / (2.0 * l as f64 + 1.0);
             let v: Vec<f64> = (0..n_r)
-                .map(|k| {
-                    pref * (inner[k] / radii[k].powi(li + 1) + radii[k].powi(li) * outer[k])
-                })
+                .map(|k| pref * (inner[k] / radii[k].powi(li + 1) + radii[k].powi(li) * outer[k]))
                 .collect();
             atom_tails.push(inner[n_r - 1]);
             atom_splines.push(CubicSpline::natural(radii.to_vec(), v));
@@ -317,8 +311,7 @@ mod tests {
         let erf = |x: f64| {
             // Abramowitz-Stegun 7.1.26, |err| < 1.5e-7.
             let t = 1.0 / (1.0 + 0.3275911 * x);
-            1.0 - (((((1.061405429 * t - 1.453152027) * t) + 1.421413741) * t - 0.284496736)
-                * t
+            1.0 - (((((1.061405429 * t - 1.453152027) * t) + 1.421413741) * t - 0.284496736) * t
                 + 0.254829592)
                 * t
                 * (-x * x).exp()

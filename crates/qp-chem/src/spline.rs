@@ -50,8 +50,7 @@ impl CubicSpline {
             let sig = (x[i] - x[i - 1]) / (x[i + 1] - x[i - 1]);
             let p = sig * y2[i - 1] + 2.0;
             y2[i] = (sig - 1.0) / p;
-            let d = (y[i + 1] - y[i]) / (x[i + 1] - x[i])
-                - (y[i] - y[i - 1]) / (x[i] - x[i - 1]);
+            let d = (y[i + 1] - y[i]) / (x[i + 1] - x[i]) - (y[i] - y[i - 1]) / (x[i] - x[i - 1]);
             u[i] = (6.0 * d / (x[i + 1] - x[i - 1]) - sig * u[i - 1]) / p;
         }
         for i in (0..n - 1).rev() {

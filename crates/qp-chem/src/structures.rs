@@ -60,11 +60,23 @@ pub fn polyethylene(n: usize) -> Structure {
     let first = [-ch * (theta / 2.0).sin(), -ch * (theta / 2.0).cos(), 0.0];
     atoms.push(Atom::new(Element::H, first));
     let lx = (ncarbon - 1) as f64 * dx;
-    let ly = if (ncarbon - 1).is_multiple_of(2) { 0.0 } else { dy };
-    let lysign = if (ncarbon - 1).is_multiple_of(2) { 1.0 } else { -1.0 };
+    let ly = if (ncarbon - 1).is_multiple_of(2) {
+        0.0
+    } else {
+        dy
+    };
+    let lysign = if (ncarbon - 1).is_multiple_of(2) {
+        1.0
+    } else {
+        -1.0
+    };
     atoms.push(Atom::new(
         Element::H,
-        [lx + ch * (theta / 2.0).sin(), ly + lysign * ch * (theta / 2.0).cos(), 0.0],
+        [
+            lx + ch * (theta / 2.0).sin(),
+            ly + lysign * ch * (theta / 2.0).cos(),
+            0.0,
+        ],
     ));
     Structure::new(atoms)
 }
@@ -102,10 +114,30 @@ pub fn ligand49() -> Structure {
     // with hydrogens up to 49 atoms (25 H): close to the real ligand's
     // composition (a glutamate-glutamate-(2-methyl)propane peptidomimetic).
     let heavy_elements = [
-        Element::C, Element::C, Element::C, Element::N, Element::C, Element::C,
-        Element::O, Element::C, Element::C, Element::N, Element::C, Element::O,
-        Element::C, Element::C, Element::C, Element::O, Element::C, Element::N,
-        Element::C, Element::C, Element::O, Element::C, Element::C, Element::C,
+        Element::C,
+        Element::C,
+        Element::C,
+        Element::N,
+        Element::C,
+        Element::C,
+        Element::O,
+        Element::C,
+        Element::C,
+        Element::N,
+        Element::C,
+        Element::O,
+        Element::C,
+        Element::C,
+        Element::C,
+        Element::O,
+        Element::C,
+        Element::N,
+        Element::C,
+        Element::C,
+        Element::O,
+        Element::C,
+        Element::C,
+        Element::C,
     ];
     let mut atoms: Vec<Atom> = Vec::with_capacity(49);
     let mut pos = [0.0f64; 3];
@@ -167,8 +199,8 @@ pub fn rbd_like(n_atoms: usize) -> Structure {
     let a = BOHR_PER_ANGSTROM;
     let mut rng = SeededRng::new(3006);
     let spacing = 1.9 * a; // mean nearest-neighbour distance ~ bonded
-    // Ball radius so the lattice ball holds n_atoms sites: volume per site
-    // = spacing^3 (simple cubic).
+                           // Ball radius so the lattice ball holds n_atoms sites: volume per site
+                           // = spacing^3 (simple cubic).
     let vol = n_atoms as f64 * spacing.powi(3);
     // 12% radius margin absorbs lattice discreteness; excess sites are
     // truncated below after sorting by distance.

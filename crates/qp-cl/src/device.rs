@@ -51,8 +51,8 @@ pub fn sw39010() -> DeviceProfile {
     DeviceProfile {
         name: "SW39010",
         kind: DeviceKind::Sw39010,
-        compute_units: 6,     // core groups
-        lanes_per_cu: 64,     // accelerating cores per group
+        compute_units: 6, // core groups
+        lanes_per_cu: 64, // accelerating cores per group
         on_chip_bytes: 256 * 1024,
         rma_max_bytes: Some(64 * 1024),
         persistent_buffers: false,

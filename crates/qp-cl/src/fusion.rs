@@ -85,12 +85,11 @@ where
 
     if !enable {
         // Baseline: two launches, intermediate through off-chip memory.
-        let (mut tables, _prod_report) =
-            queue.launch_map(&format!("{name}:producer"), 1, |ctx| {
-                let t = producer(ctx);
-                ctx.counters.write_offchip(t.len() as u64);
-                t
-            });
+        let (mut tables, _prod_report) = queue.launch_map(&format!("{name}:producer"), 1, |ctx| {
+            let t = producer(ctx);
+            ctx.counters.write_offchip(t.len() as u64);
+            t
+        });
         let table = tables.pop().expect("one producer group");
         queue.launch(&format!("{name}:consumer"), consumer_groups, |ctx| {
             ctx.counters.read_offchip(table.len() as u64);
@@ -244,7 +243,8 @@ where
                 &format!("{name}:consumer(p{proc})"),
                 groups_per_proc,
                 |ctx| {
-                    ctx.counters.read_offchip(table.len() as u64 / groups_per_proc as u64);
+                    ctx.counters
+                        .read_offchip(table.len() as u64 / groups_per_proc as u64);
                     consumer(ctx, proc, ctx.group_id, &table);
                 },
             );

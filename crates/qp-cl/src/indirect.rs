@@ -54,12 +54,7 @@ impl IndirectMap {
 
 /// Read all elements through the *indirect* pattern `A[B[i]]`, counting the
 /// two dependent loads per element (plus the stride words of `A`).
-pub fn read_indirect(
-    a: &[f64],
-    b: &[usize],
-    stride: usize,
-    counters: &KernelCounters,
-) -> Vec<f64> {
+pub fn read_indirect(a: &[f64], b: &[usize], stride: usize, counters: &KernelCounters) -> Vec<f64> {
     let mut out = Vec::with_capacity(b.len() * stride);
     for &idx in b {
         // Load B[i], then the dependent A words.

@@ -13,6 +13,32 @@ use crate::device::DeviceProfile;
 use parking_lot::Mutex;
 use rayon::prelude::*;
 
+/// Close out a kernel span with the launch's counter deltas, and mirror the
+/// totals into the global metrics registry (per-kernel labels).
+fn record_launch(span: &mut qp_trace::SpanGuard, name: &str, n_groups: usize, r: &LaunchReport) {
+    if span.is_recording() {
+        span.arg("groups", n_groups)
+            .arg("flops", r.flops)
+            .arg("offchip_reads", r.offchip_reads)
+            .arg("offchip_writes", r.offchip_writes)
+            .arg("onchip_words", r.onchip_words)
+            .arg("active_items", r.active_items)
+            .arg("lane_slots", r.lane_slots);
+    }
+    let labels = [("kernel", name)];
+    let metrics = qp_trace::global_metrics();
+    metrics.counter("cl.kernel.launches", &labels).inc();
+    metrics.counter("cl.kernel.flops", &labels).add(r.flops);
+    metrics
+        .counter("cl.kernel.offchip_words", &labels)
+        .add(r.offchip_reads + r.offchip_writes);
+    if r.lane_slots > 0 {
+        metrics
+            .gauge("cl.kernel.occupancy", &labels)
+            .set(r.occupancy());
+    }
+}
+
 /// A queue bound to one device profile, aggregating launch statistics.
 pub struct CommandQueue {
     device: DeviceProfile,
@@ -60,6 +86,8 @@ impl CommandQueue {
     where
         F: Fn(&GroupCtx<'_>) + Sync,
     {
+        let mut span =
+            qp_trace::SpanGuard::begin(qp_trace::thread_rank(), qp_trace::Phase::Kernel, name);
         let counters = KernelCounters::new();
         (0..n_groups).into_par_iter().for_each(|group_id| {
             let ctx = GroupCtx {
@@ -70,6 +98,7 @@ impl CommandQueue {
             body(&ctx);
         });
         let report = counters.report(name, 1);
+        record_launch(&mut span, name, n_groups, &report);
         self.reports.lock().push(report.clone());
         report
     }
@@ -80,6 +109,8 @@ impl CommandQueue {
         F: Fn(&GroupCtx<'_>) -> T + Sync,
         T: Send,
     {
+        let mut span =
+            qp_trace::SpanGuard::begin(qp_trace::thread_rank(), qp_trace::Phase::Kernel, name);
         let counters = KernelCounters::new();
         let out: Vec<T> = (0..n_groups)
             .into_par_iter()
@@ -93,6 +124,7 @@ impl CommandQueue {
             })
             .collect();
         let report = counters.report(name, 1);
+        record_launch(&mut span, name, n_groups, &report);
         self.reports.lock().push(report.clone());
         (out, report)
     }

@@ -43,7 +43,10 @@ impl std::fmt::Display for ControlError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ControlError::UnsupportedXc(xc) => {
-                write!(f, "unsupported xc '{xc}' (this reproduction implements LDA)")
+                write!(
+                    f,
+                    "unsupported xc '{xc}' (this reproduction implements LDA)"
+                )
             }
             ControlError::Malformed(line, what) => write!(f, "control.in line {line}: {what}"),
         }
@@ -103,8 +106,7 @@ pub fn parse_control(text: &str) -> Result<Control, ControlError> {
             "DFPT" => {
                 ctl.run_dfpt = true;
                 if args.first() != Some(&"polarizability") {
-                    ctl.ignored
-                        .push(format!("DFPT {}", args.join(" ")));
+                    ctl.ignored.push(format!("DFPT {}", args.join(" ")));
                 }
             }
             "dfpt_sc_accuracy" => ctl.dfpt.tol = num(0)?,

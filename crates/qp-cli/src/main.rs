@@ -6,13 +6,20 @@
 //! qperturb geometry.in                 # FHI-aims format (Å)
 //! qperturb molecule.xyz --basis tier2  # XYZ format
 //! qperturb --builtin water --dfpt-tol 1e-8
+//! qperturb --builtin water --trace trace.json --metrics metrics.csv
 //! ```
+//!
+//! Output verbosity follows `QP_LOG={error,warn,info,debug}` (default
+//! `info`, which matches the historical output exactly). `--trace` /
+//! `--metrics` (or the `QP_TRACE` / `QP_METRICS` environment variables)
+//! write a Chrome trace-event timeline and a metrics dump on exit.
 
 mod control;
 
 use qp_chem::basis::BasisSettings;
 use qp_chem::grids::GridSettings;
 use qp_core::{dfpt, properties, scf, DfptOptions, ScfOptions, System};
+use qp_trace::{qp_error, qp_info, qp_warn};
 use std::process::ExitCode;
 
 struct Args {
@@ -24,10 +31,12 @@ struct Args {
     scf: ScfOptions,
     dfpt_opts: DfptOptions,
     skip_dfpt: bool,
+    trace: Option<String>,
+    metrics: Option<String>,
 }
 
 fn usage() -> ! {
-    eprintln!(
+    qp_error!(
         "usage: qperturb <geometry.in|molecule.xyz> [options]
        qperturb --builtin <water|ligand|polymer:N|helix:N> [options]
 
@@ -42,7 +51,13 @@ options:
   --no-pulay               disable DIIS acceleration
   --dfpt-tol <x>           DFPT tolerance             (default 1e-7)
   --dfpt-mixing <x>        DFPT mixing                (default 0.6)
-  --no-dfpt                stop after the ground state"
+  --no-dfpt                stop after the ground state
+  --trace <out.json>       write a Chrome trace-event timeline on exit
+  --metrics <out.json|csv> write the metrics registry snapshot on exit
+
+environment:
+  QP_LOG=error|warn|info|debug   output verbosity (default info)
+  QP_TRACE=<path>, QP_METRICS=<path>   same as --trace / --metrics"
     );
     std::process::exit(2)
 }
@@ -57,12 +72,14 @@ fn parse_args() -> Args {
         scf: ScfOptions::default(),
         dfpt_opts: DfptOptions::default(),
         skip_dfpt: false,
+        trace: None,
+        metrics: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
         let mut value = |name: &str| -> String {
             it.next().unwrap_or_else(|| {
-                eprintln!("missing value for {name}");
+                qp_error!("missing value for {name}");
                 usage()
             })
         };
@@ -74,7 +91,7 @@ fn parse_args() -> Args {
                     "light" => BasisSettings::Light,
                     "tier2" => BasisSettings::Tier2,
                     other => {
-                        eprintln!("unknown basis '{other}'");
+                        qp_error!("unknown basis '{other}'");
                         usage()
                     }
                 }
@@ -84,7 +101,7 @@ fn parse_args() -> Args {
                     "light" => GridSettings::light(),
                     "coarse" => GridSettings::coarse(),
                     other => {
-                        eprintln!("unknown grid '{other}'");
+                        qp_error!("unknown grid '{other}'");
                         usage()
                     }
                 }
@@ -94,21 +111,21 @@ fn parse_args() -> Args {
                 args.scf.mixing = value("--scf-mixing").parse().unwrap_or_else(|_| usage())
             }
             "--smearing" => {
-                args.scf.smearing =
-                    Some(value("--smearing").parse().unwrap_or_else(|_| usage()))
+                args.scf.smearing = Some(value("--smearing").parse().unwrap_or_else(|_| usage()))
             }
             "--no-pulay" => args.scf.pulay = None,
             "--dfpt-tol" => {
                 args.dfpt_opts.tol = value("--dfpt-tol").parse().unwrap_or_else(|_| usage())
             }
             "--dfpt-mixing" => {
-                args.dfpt_opts.mixing =
-                    value("--dfpt-mixing").parse().unwrap_or_else(|_| usage())
+                args.dfpt_opts.mixing = value("--dfpt-mixing").parse().unwrap_or_else(|_| usage())
             }
             "--no-dfpt" => args.skip_dfpt = true,
+            "--trace" => args.trace = Some(value("--trace")),
+            "--metrics" => args.metrics = Some(value("--metrics")),
             "--help" | "-h" => usage(),
             other if other.starts_with('-') => {
-                eprintln!("unknown option '{other}'");
+                qp_error!("unknown option '{other}'");
                 usage()
             }
             path => args.input = Some(path.to_string()),
@@ -149,47 +166,32 @@ fn load_structure(args: &Args) -> Result<qp_chem::geometry::Structure, String> {
     }
 }
 
-fn main() -> ExitCode {
-    let mut args = parse_args();
-    if let Some(path) = args.control.clone() {
-        let text = match std::fs::read_to_string(&path) {
-            Ok(t) => t,
-            Err(e) => {
-                eprintln!("error: {path}: {e}");
-                return ExitCode::FAILURE;
-            }
-        };
-        match control::parse_control(&text) {
-            Ok(ctl) => {
-                args.scf = ctl.scf;
-                args.dfpt_opts = ctl.dfpt;
-                args.skip_dfpt = !ctl.run_dfpt;
-                for line in &ctl.ignored {
-                    eprintln!("control.in: ignoring '{line}'");
-                }
-            }
-            Err(e) => {
-                eprintln!("error: {e}");
-                return ExitCode::FAILURE;
-            }
-        }
+/// Flush any scheduled trace/metrics files, logging where they landed.
+fn finish_observability() {
+    match qp_trace::finish() {
+        Ok(Some(path)) => qp_info!("trace written to {path}"),
+        Ok(None) => {}
+        Err(e) => qp_warn!("failed to write trace/metrics: {e}"),
     }
-    let structure = match load_structure(&args) {
+}
+
+fn run(args: &Args) -> ExitCode {
+    let structure = match load_structure(args) {
         Ok(s) => s,
         Err(e) => {
-            eprintln!("error: {e}");
+            qp_error!("error: {e}");
             return ExitCode::FAILURE;
         }
     };
-    println!("qperturb — all-electron DFPT");
-    println!(
+    qp_info!("qperturb — all-electron DFPT");
+    qp_info!(
         "structure: {} atoms, {} electrons",
         structure.len(),
         structure.num_electrons()
     );
     let t0 = std::time::Instant::now();
     let system = System::build(structure, args.basis, &args.grid, 200, 4);
-    println!(
+    qp_info!(
         "system: {} basis functions, {} grid points, {} batches  [{:.1?}]",
         system.n_basis(),
         system.n_points(),
@@ -201,13 +203,13 @@ fn main() -> ExitCode {
     let ground = match scf(&system, &args.scf) {
         Ok(g) => g,
         Err(e) => {
-            eprintln!("SCF failed: {e}");
-            eprintln!("hint: try --smearing 0.02 and/or a smaller --scf-mixing");
+            qp_error!("SCF failed: {e}");
+            qp_error!("hint: try --smearing 0.02 and/or a smaller --scf-mixing");
             return ExitCode::FAILURE;
         }
     };
     let n_occ = system.n_occupied();
-    println!(
+    qp_info!(
         "SCF: {} iterations, E = {:.6} Ha, HOMO {:.4}, LUMO {:.4}  [{:.1?}]",
         ground.iterations,
         ground.energy,
@@ -216,7 +218,7 @@ fn main() -> ExitCode {
         t1.elapsed()
     );
     let mu = properties::dipole_moment(&system, &ground);
-    println!("dipole: [{:.4}, {:.4}, {:.4}] a.u.", mu[0], mu[1], mu[2]);
+    qp_info!("dipole: [{:.4}, {:.4}, {:.4}] a.u.", mu[0], mu[1], mu[2]);
 
     if args.skip_dfpt {
         return ExitCode::SUCCESS;
@@ -226,29 +228,68 @@ fn main() -> ExitCode {
     let resp = match dfpt(&system, &ground, &args.dfpt_opts) {
         Ok(r) => r,
         Err(e) => {
-            eprintln!("DFPT failed: {e}");
-            eprintln!("hint: near-metallic systems need a smaller --dfpt-mixing");
+            qp_error!("DFPT failed: {e}");
+            qp_error!("hint: near-metallic systems need a smaller --dfpt-mixing");
             return ExitCode::FAILURE;
         }
     };
-    println!(
+    qp_info!(
         "DFPT: {:?} iterations per direction  [{:.1?}]",
         resp.iterations,
         t2.elapsed()
     );
-    println!("polarizability tensor (Bohr^3):");
+    qp_info!("polarizability tensor (Bohr^3):");
     for i in 0..3 {
-        println!(
+        qp_info!(
             "  [ {:10.4} {:10.4} {:10.4} ]",
             resp.polarizability[(i, 0)],
             resp.polarizability[(i, 1)],
             resp.polarizability[(i, 2)]
         );
     }
-    println!(
+    qp_info!(
         "isotropic: {:.4} Bohr^3, anisotropy: {:.4} Bohr^3",
         properties::isotropic_polarizability(&resp.polarizability),
         properties::polarizability_anisotropy(&resp.polarizability)
     );
     ExitCode::SUCCESS
+}
+
+fn main() -> ExitCode {
+    let mut args = parse_args();
+    // Environment hooks first, explicit flags override.
+    qp_trace::init_from_env();
+    if let Some(path) = args.trace.clone() {
+        qp_trace::set_enabled(true);
+        qp_trace::set_trace_path(&path);
+    }
+    if let Some(path) = args.metrics.clone() {
+        qp_trace::set_metrics_path(&path);
+    }
+    if let Some(path) = args.control.clone() {
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) => {
+                qp_error!("error: {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        match control::parse_control(&text) {
+            Ok(ctl) => {
+                args.scf = ctl.scf;
+                args.dfpt_opts = ctl.dfpt;
+                args.skip_dfpt = !ctl.run_dfpt;
+                for line in &ctl.ignored {
+                    qp_warn!("control.in: ignoring '{line}'");
+                }
+            }
+            Err(e) => {
+                qp_error!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let code = run(&args);
+    finish_observability();
+    code
 }

@@ -244,8 +244,7 @@ mod tests {
         for b in &batches {
             for p in &b.points {
                 assert_eq!(
-                    grid.points[p.grid_index as usize].atom,
-                    p.atom,
+                    grid.points[p.grid_index as usize].atom, p.atom,
                     "atom id mismatch"
                 );
             }

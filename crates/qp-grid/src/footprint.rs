@@ -137,13 +137,20 @@ impl FootprintReport {
         if self.per_rank.is_empty() {
             return 0.0;
         }
-        self.per_rank.iter().map(|r| r.dense_bytes as f64).sum::<f64>()
+        self.per_rank
+            .iter()
+            .map(|r| r.dense_bytes as f64)
+            .sum::<f64>()
             / self.per_rank.len() as f64
     }
 
     /// Maximum dense bytes across ranks.
     pub fn max_dense_bytes(&self) -> usize {
-        self.per_rank.iter().map(|r| r.dense_bytes).max().unwrap_or(0)
+        self.per_rank
+            .iter()
+            .map(|r| r.dense_bytes)
+            .max()
+            .unwrap_or(0)
     }
 
     /// Mean spline-atom count across ranks.
@@ -151,7 +158,10 @@ impl FootprintReport {
         if self.per_rank.is_empty() {
             return 0.0;
         }
-        self.per_rank.iter().map(|r| r.spline_atoms as f64).sum::<f64>()
+        self.per_rank
+            .iter()
+            .map(|r| r.spline_atoms as f64)
+            .sum::<f64>()
             / self.per_rank.len() as f64
     }
 }
@@ -193,6 +203,16 @@ pub fn analyze(
     spline_range: f64,
 ) -> FootprintReport {
     assert_eq!(batches.len(), assignment.len());
+    let mut span = qp_trace::SpanGuard::begin(
+        qp_trace::thread_rank(),
+        qp_trace::Phase::Grid,
+        "footprint.analyze",
+    );
+    if span.is_recording() {
+        span.arg("atoms", structure.len())
+            .arg("batches", batches.len())
+            .arg("ranks", n_procs);
+    }
     let max_cut = cutoffs.iter().cloned().fold(0.0, f64::max);
     let cells = AtomCells::build(structure, max_cut.max(spline_range).max(1.0));
 
@@ -221,7 +241,10 @@ pub fn analyze(
         }
         for ia in cells.atoms_within(b.center, radius + spline_range) {
             let pos = structure.atoms[ia as usize].position;
-            if b.points.iter().any(|p| dist3(p.position, pos) < spline_range) {
+            if b.points
+                .iter()
+                .any(|p| dist3(p.position, pos) < spline_range)
+            {
                 spline[rank].insert(ia);
             }
         }
@@ -243,11 +266,29 @@ pub fn analyze(
         })
         .collect();
 
-    FootprintReport {
+    let report = FootprintReport {
         per_rank,
         global_csr_bytes: global_csr_bytes(structure, basis, cutoffs),
         global_basis: basis.iter().sum(),
-    }
+    };
+    // Publish the Fig. 9 quantities as labeled gauges (latest analysis wins
+    // per rank count).
+    let ranks_label = n_procs.to_string();
+    let labels = [("ranks", ranks_label.as_str())];
+    let metrics = qp_trace::global_metrics();
+    metrics
+        .gauge("grid.footprint.global_csr_bytes", &labels)
+        .set(report.global_csr_bytes as f64);
+    metrics
+        .gauge("grid.footprint.mean_dense_bytes", &labels)
+        .set(report.mean_dense_bytes());
+    metrics
+        .gauge("grid.footprint.max_dense_bytes", &labels)
+        .set(report.max_dense_bytes() as f64);
+    metrics
+        .gauge("grid.footprint.mean_spline_atoms", &labels)
+        .set(report.mean_spline_atoms());
+    report
 }
 
 #[cfg(test)]

@@ -130,7 +130,9 @@ fn locality_enhancing_mapping(
     // receive at least one batch if batches remain).
     split = split.clamp(
         if indices.len() >= n_procs { 1 } else { 0 },
-        indices.len().saturating_sub(if indices.len() >= n_procs { 1 } else { 0 }),
+        indices
+            .len()
+            .saturating_sub(if indices.len() >= n_procs { 1 } else { 0 }),
     );
 
     let (left, right) = indices.split_at_mut(split);
@@ -150,11 +152,7 @@ pub fn rank_loads(batches: &[Batch], assignment: &[usize], n_procs: usize) -> Ve
 
 /// Number of distinct ranks that hold at least one grid point of `atom` —
 /// the "scattered to a large set of processes" metric of Fig. 3(a), row 1.
-pub fn ranks_holding_atom(
-    batches: &[Batch],
-    assignment: &[usize],
-    atom: u32,
-) -> usize {
+pub fn ranks_holding_atom(batches: &[Batch], assignment: &[usize], atom: u32) -> usize {
     let mut ranks: Vec<usize> = batches
         .iter()
         .zip(assignment.iter())
@@ -191,7 +189,11 @@ mod tests {
             assert!(a.iter().all(|&r| r < 8), "{}", strategy.name());
             // All ranks used.
             let loads = rank_loads(&batches, &a, 8);
-            assert!(loads.iter().all(|&l| l > 0), "{}: {loads:?}", strategy.name());
+            assert!(
+                loads.iter().all(|&l| l > 0),
+                "{}: {loads:?}",
+                strategy.name()
+            );
         }
     }
 

@@ -27,13 +27,24 @@ pub fn make_octree_batches(points: Vec<BatchPoint>, max_batch_size: usize) -> Ve
             hi[d] = hi[d].max(p.position[d]);
         }
     }
-    let edge = (0..3).map(|d| hi[d] - lo[d]).fold(0.0f64, f64::max).max(1e-9);
+    let edge = (0..3)
+        .map(|d| hi[d] - lo[d])
+        .fold(0.0f64, f64::max)
+        .max(1e-9);
     let center = [
         0.5 * (lo[0] + hi[0]),
         0.5 * (lo[1] + hi[1]),
         0.5 * (lo[2] + hi[2]),
     ];
-    recurse(points, center, edge, max_batch_size, &mut out, &mut next_id, 0);
+    recurse(
+        points,
+        center,
+        edge,
+        max_batch_size,
+        &mut out,
+        &mut next_id,
+        0,
+    );
     out
 }
 
@@ -167,7 +178,11 @@ mod tests {
         let batches = make_octree_batches(cloud(4000), 120);
         for b in &batches {
             for d in 0..3 {
-                let lo = b.points.iter().map(|p| p.position[d]).fold(f64::INFINITY, f64::min);
+                let lo = b
+                    .points
+                    .iter()
+                    .map(|p| p.position[d])
+                    .fold(f64::INFINITY, f64::min);
                 let hi = b
                     .points
                     .iter()

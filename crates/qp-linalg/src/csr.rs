@@ -77,8 +77,7 @@ impl CsrMatrix {
                 (v.abs() > threshold).then_some((i, j, v))
             })
         });
-        CsrMatrix::from_triplets(m.rows(), m.cols(), triplets)
-            .expect("dense dims are consistent")
+        CsrMatrix::from_triplets(m.rows(), m.cols(), triplets).expect("dense dims are consistent")
     }
 
     /// Number of rows.

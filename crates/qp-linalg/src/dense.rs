@@ -472,8 +472,8 @@ mod lu_tests {
 
     #[test]
     fn solves_general_system() {
-        let a = DMatrix::from_vec(3, 3, vec![0.0, 2.0, 1.0, 1.0, -1.0, 0.5, 3.0, 0.0, -2.0])
-            .unwrap();
+        let a =
+            DMatrix::from_vec(3, 3, vec![0.0, 2.0, 1.0, 1.0, -1.0, 0.5, 3.0, 0.0, -2.0]).unwrap();
         let x_true = vec![1.5, -2.0, 0.5];
         let b = a.matvec(&x_true).unwrap();
         let x = lu_solve(&a, &b).unwrap();
@@ -485,12 +485,7 @@ mod lu_tests {
     #[test]
     fn solves_symmetric_indefinite_kkt() {
         // The DIIS shape: [[B, 1], [1, 0]].
-        let a = DMatrix::from_vec(
-            3,
-            3,
-            vec![2.0, 0.5, 1.0, 0.5, 1.0, 1.0, 1.0, 1.0, 0.0],
-        )
-        .unwrap();
+        let a = DMatrix::from_vec(3, 3, vec![2.0, 0.5, 1.0, 0.5, 1.0, 1.0, 1.0, 1.0, 0.0]).unwrap();
         let b = vec![0.0, 0.0, 1.0];
         let x = lu_solve(&a, &b).unwrap();
         let back = a.matvec(&x).unwrap();

@@ -270,8 +270,8 @@ mod tests {
 
     #[test]
     fn diagonal_matrix_eigenvalues_sorted() {
-        let a = DMatrix::from_vec(3, 3, vec![5.0, 0.0, 0.0, 0.0, -1.0, 0.0, 0.0, 0.0, 2.0])
-            .unwrap();
+        let a =
+            DMatrix::from_vec(3, 3, vec![5.0, 0.0, 0.0, 0.0, -1.0, 0.0, 0.0, 0.0, 2.0]).unwrap();
         let dec = symmetric_eigen(&a).unwrap();
         assert_eq!(dec.eigenvalues.len(), 3);
         assert!((dec.eigenvalues[0] + 1.0).abs() < 1e-12);
@@ -285,7 +285,9 @@ mod tests {
         let n = 12;
         let mut seed = 42u64;
         let mut rand = || {
-            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((seed >> 33) as f64 / (1u64 << 31) as f64) - 1.0
         };
         let mut a = DMatrix::zeros(n, n);

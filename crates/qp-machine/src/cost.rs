@@ -67,11 +67,7 @@ pub fn broadcast_time(m: &MachineModel, ranks: usize, bytes: usize) -> f64 {
 ///
 /// Returns `None` when the machine cannot share memory between node ranks
 /// (HPC #1 — the paper: "this is not applicable to HPC #1").
-pub fn hierarchical_allreduce_time(
-    m: &MachineModel,
-    ranks: usize,
-    bytes: usize,
-) -> Option<f64> {
+pub fn hierarchical_allreduce_time(m: &MachineModel, ranks: usize, bytes: usize) -> Option<f64> {
     if !m.shm_capable {
         return None;
     }
@@ -79,8 +75,7 @@ pub fn hierarchical_allreduce_time(
     let n_leaders = ranks.div_ceil(width);
     // Each rank writes its full buffer into the shared copy across `width`
     // phases, each phase ending in a local barrier.
-    let local_update = bytes as f64 / m.shm_bandwidth
-        + width as f64 * local_barrier_time(m, width);
+    let local_update = bytes as f64 / m.shm_bandwidth + width as f64 * local_barrier_time(m, width);
     // Leaders reduce across nodes: one flow per NIC, no contention.
     let inter = allreduce_time_with_contention(m, n_leaders, bytes, 1.0);
     // Read-back of the result from the shared copy.

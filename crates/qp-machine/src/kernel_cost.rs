@@ -28,7 +28,11 @@ pub struct KernelWork {
 
 /// Time for one kernel work summary on a machine.
 pub fn kernel_time(m: &MachineModel, w: &KernelWork) -> f64 {
-    let occ = if w.occupancy > 0.0 { w.occupancy.min(1.0) } else { 1.0 };
+    let occ = if w.occupancy > 0.0 {
+        w.occupancy.min(1.0)
+    } else {
+        1.0
+    };
     w.launches as f64 * m.launch_overhead
         + w.offchip_words as f64 / m.offchip_wps
         + w.onchip_words as f64 / m.onchip_wps

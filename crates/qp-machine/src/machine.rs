@@ -90,8 +90,8 @@ pub fn hpc2() -> MachineModel {
 pub fn hpc2_cpu_only() -> MachineModel {
     MachineModel {
         name: "HPC#2 (CPU only)",
-        flop_rate: 4.0e10,     // 2.5 GHz x86 core with AVX2 fp64
-        offchip_wps: 2.5e9,    // DDR4 share per rank
+        flop_rate: 4.0e10,  // 2.5 GHz x86 core with AVX2 fp64
+        offchip_wps: 2.5e9, // DDR4 share per rank
         launch_overhead: 0.0,
         host_xfer_wps: f64::INFINITY,
         ..hpc2()
@@ -108,6 +108,27 @@ impl MachineModel {
     pub fn nodes_for(&self, ranks: usize) -> usize {
         ranks.div_ceil(self.procs_per_node)
     }
+
+    /// Record a span on the **simulated** timeline of this machine:
+    /// `start_s`/`dur_s` are modeled seconds produced by the cost model, not
+    /// host time. The trace then shows host and exascale time side by side.
+    pub fn sim_span(
+        &self,
+        rank: usize,
+        phase: qp_trace::Phase,
+        name: impl Into<String>,
+        start_s: f64,
+        dur_s: f64,
+    ) {
+        qp_trace::sim_span(
+            rank,
+            phase,
+            name,
+            start_s,
+            dur_s,
+            vec![("machine", self.name.to_string())],
+        );
+    }
 }
 
 #[cfg(test)]
@@ -117,7 +138,10 @@ mod tests {
     #[test]
     fn models_are_distinct() {
         assert_ne!(hpc1().name, hpc2().name);
-        assert!(!hpc1().shm_capable, "Sunway core groups have disjoint memories");
+        assert!(
+            !hpc1().shm_capable,
+            "Sunway core groups have disjoint memories"
+        );
         assert!(hpc2().shm_capable);
     }
 

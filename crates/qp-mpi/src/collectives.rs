@@ -12,6 +12,7 @@ use crate::ReduceOp;
 impl Comm {
     /// World barrier.
     pub fn barrier(&self) -> Result<(), CommError> {
+        let _span = self.comm_span(CollectiveKind::Barrier, self.size(), 0);
         self.exchange("barrier", self.size(), self.rank(), Vec::new())?;
         if self.rank() == 0 {
             self.record(CollectiveKind::Barrier, self.size(), 0);
@@ -22,6 +23,7 @@ impl Comm {
     /// AllReduce: every rank contributes `data`, every rank receives the
     /// rank-ordered fold.
     pub fn allreduce(&self, op: ReduceOp, data: &[f64]) -> Result<Vec<f64>, CommError> {
+        let _span = self.comm_span(CollectiveKind::AllReduce, self.size(), data.len() * 8);
         let table = self.exchange("allreduce", self.size(), self.rank(), data.to_vec())?;
         let out = fold_table(op, &table)?;
         if self.rank() == 0 {
@@ -33,16 +35,26 @@ impl Comm {
     /// Broadcast `data` from `root`; other ranks pass their (ignored) buffer
     /// length via an empty vector.
     pub fn broadcast(&self, root: usize, data: Vec<f64>) -> Result<Vec<f64>, CommError> {
-        let payload = if self.rank() == root { data } else { Vec::new() };
+        let _span = self.comm_span(CollectiveKind::Broadcast, self.size(), data.len() * 8);
+        let payload = if self.rank() == root {
+            data
+        } else {
+            Vec::new()
+        };
         let table = self.exchange("broadcast", self.size(), self.rank(), payload)?;
         if self.rank() == 0 {
-            self.record(CollectiveKind::Broadcast, self.size(), table[root].len() * 8);
+            self.record(
+                CollectiveKind::Broadcast,
+                self.size(),
+                table[root].len() * 8,
+            );
         }
         Ok(table[root].clone())
     }
 
     /// AllGather: concatenation of every rank's data, rank-ordered.
     pub fn allgather(&self, data: &[f64]) -> Result<Vec<f64>, CommError> {
+        let _span = self.comm_span(CollectiveKind::AllGather, self.size(), data.len() * 8);
         let table = self.exchange("allgather", self.size(), self.rank(), data.to_vec())?;
         if self.rank() == 0 {
             self.record(CollectiveKind::AllGather, self.size(), data.len() * 8);
@@ -51,13 +63,9 @@ impl Comm {
     }
 
     /// Reduce to `root` (other ranks receive an empty vector).
-    pub fn reduce(
-        &self,
-        op: ReduceOp,
-        root: usize,
-        data: &[f64],
-    ) -> Result<Vec<f64>, CommError> {
+    pub fn reduce(&self, op: ReduceOp, root: usize, data: &[f64]) -> Result<Vec<f64>, CommError> {
         // Built on the same table exchange; only root folds.
+        let _span = self.comm_span(CollectiveKind::AllReduce, self.size(), data.len() * 8);
         let table = self.exchange("reduce", self.size(), self.rank(), data.to_vec())?;
         if self.rank() == 0 {
             self.record(CollectiveKind::AllReduce, self.size(), data.len() * 8);
@@ -72,6 +80,7 @@ impl Comm {
     /// Node-local barrier — the "light-weight local synchronization" of
     /// §3.2.2, involving only the ranks of this rank's node.
     pub fn node_barrier(&self) -> Result<(), CommError> {
+        let _span = self.comm_span(CollectiveKind::LocalBarrier, self.node_size(), 0);
         let key = format!("node_barrier@{}", self.node());
         self.exchange(&key, self.node_size(), self.local_rank(), Vec::new())?;
         if self.local_rank() == 0 {
@@ -82,18 +91,28 @@ impl Comm {
 
     /// AllReduce among node leaders only (local rank 0); non-leaders get an
     /// empty vector. Used by the hierarchical scheme's inter-node stage.
-    pub fn leader_allreduce(
-        &self,
-        op: ReduceOp,
-        data: &[f64],
-    ) -> Result<Vec<f64>, CommError> {
+    pub fn leader_allreduce(&self, op: ReduceOp, data: &[f64]) -> Result<Vec<f64>, CommError> {
         if self.local_rank() != 0 {
             return Ok(Vec::new());
         }
-        let table = self.exchange("leader_allreduce", self.n_nodes(), self.node(), data.to_vec())?;
+        let _span = self.comm_span(
+            CollectiveKind::LeaderAllReduce,
+            self.n_nodes(),
+            data.len() * 8,
+        );
+        let table = self.exchange(
+            "leader_allreduce",
+            self.n_nodes(),
+            self.node(),
+            data.to_vec(),
+        )?;
         let out = fold_table(op, &table)?;
         if self.node() == 0 {
-            self.record(CollectiveKind::LeaderAllReduce, self.n_nodes(), data.len() * 8);
+            self.record(
+                CollectiveKind::LeaderAllReduce,
+                self.n_nodes(),
+                data.len() * 8,
+            );
         }
         Ok(out)
     }
@@ -172,7 +191,11 @@ mod tests {
     #[test]
     fn broadcast_from_nonzero_root() {
         let out = run_spmd(6, 3, |c| {
-            let data = if c.rank() == 4 { vec![7.0, 8.0] } else { vec![] };
+            let data = if c.rank() == 4 {
+                vec![7.0, 8.0]
+            } else {
+                vec![]
+            };
             c.broadcast(4, data)
         })
         .unwrap();
@@ -268,6 +291,7 @@ impl Comm {
     /// `[r·(len/size) .. )` of the reduced buffer (the first `len % size`
     /// ranks get one extra element, MPI block semantics).
     pub fn reduce_scatter(&self, op: ReduceOp, data: &[f64]) -> Result<Vec<f64>, CommError> {
+        let _span = self.comm_span(CollectiveKind::AllReduce, self.size(), data.len() * 8);
         let table = self.exchange("reduce_scatter", self.size(), self.rank(), data.to_vec())?;
         let len = table[0].len();
         if table.iter().any(|v| v.len() != len) {
@@ -295,6 +319,7 @@ impl Comm {
 
     /// Inclusive prefix scan: rank `r` receives the fold of ranks `0..=r`.
     pub fn scan(&self, op: ReduceOp, data: &[f64]) -> Result<Vec<f64>, CommError> {
+        let _span = self.comm_span(CollectiveKind::AllReduce, self.size(), data.len() * 8);
         let table = self.exchange("scan", self.size(), self.rank(), data.to_vec())?;
         let len = table[0].len();
         if table.iter().any(|v| v.len() != len) {
@@ -337,7 +362,9 @@ mod extended_tests {
     fn reduce_scatter_concat_equals_allreduce() {
         let n = 6;
         let out = run_spmd(n, 3, move |c| {
-            let data: Vec<f64> = (0..13).map(|i| ((i * 7 + c.rank() * 3) % 11) as f64).collect();
+            let data: Vec<f64> = (0..13)
+                .map(|i| ((i * 7 + c.rank() * 3) % 11) as f64)
+                .collect();
             let ar = c.allreduce(ReduceOp::Sum, &data)?;
             let rs = c.reduce_scatter(ReduceOp::Sum, &data)?;
             let gathered = c.allgather(&rs)?;

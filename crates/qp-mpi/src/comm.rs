@@ -301,6 +301,24 @@ impl Comm {
         self.core.traffic.record(kind, ranks, bytes_per_rank);
     }
 
+    /// Open a comm span for a collective this rank is entering, tagged with
+    /// the collective kind, participant count and per-rank payload bytes.
+    /// Inert when tracing is disabled.
+    pub(crate) fn comm_span(
+        &self,
+        kind: CollectiveKind,
+        group_ranks: usize,
+        bytes_per_rank: usize,
+    ) -> qp_trace::SpanGuard {
+        let mut span = qp_trace::SpanGuard::begin(self.rank, qp_trace::Phase::Comm, kind.as_str());
+        if span.is_recording() {
+            span.arg("kind", kind.as_str())
+                .arg("ranks", group_ranks)
+                .arg("bytes_per_rank", bytes_per_rank);
+        }
+        span
+    }
+
     pub(crate) fn mailboxes(&self) -> &crate::p2p::Mailboxes {
         &self.core.mailboxes
     }
@@ -315,11 +333,7 @@ impl Comm {
 ///
 /// A panicking rank poisons the world: surviving ranks' collectives return
 /// [`CommError::RankFailed`], and `run_spmd` reports the panic.
-pub fn run_spmd<T, F>(
-    n_ranks: usize,
-    ranks_per_node: usize,
-    f: F,
-) -> Result<Vec<T>, CommError>
+pub fn run_spmd<T, F>(n_ranks: usize, ranks_per_node: usize, f: F) -> Result<Vec<T>, CommError>
 where
     T: Send,
     F: Fn(&Comm) -> Result<T, CommError> + Sync,
@@ -346,7 +360,13 @@ where
                 .stack_size(1 << 20);
             let handle = builder
                 .spawn_scoped(scope, move || {
-                    let comm = Comm { rank, core: core.clone() };
+                    // Tag the thread so spans opened inside rank code (kernel
+                    // launches, phase loops) attribute to the right track.
+                    qp_trace::set_thread_rank(rank);
+                    let comm = Comm {
+                        rank,
+                        core: core.clone(),
+                    };
                     let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&comm)));
                     match out {
                         Ok(r) => r,
@@ -407,7 +427,8 @@ mod tests {
             Ok(acc)
         })
         .unwrap();
-        let expect: f64 = (0..50).map(|r| (0 + 1 + 2 + 3) as f64 * r as f64).sum();
+        let rank_sum: f64 = (0..4).sum::<usize>() as f64;
+        let expect: f64 = (0..50).map(|r| rank_sum * r as f64).sum();
         for v in out {
             assert_eq!(v, expect);
         }
@@ -429,7 +450,7 @@ mod tests {
     #[test]
     fn window_chunk_ranges_tile_buffer() {
         let w = NodeWindow::new(10, 3);
-        let mut covered = vec![false; 10];
+        let mut covered = [false; 10];
         for c in 0..w.chunks.len() {
             for i in w.chunk_range(c) {
                 assert!(!covered[i]);

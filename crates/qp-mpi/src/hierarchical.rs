@@ -34,6 +34,13 @@ pub fn hierarchical_allreduce(
     op: ReduceOp,
     data: &[f64],
 ) -> Result<Vec<f64>, CommError> {
+    let mut span =
+        qp_trace::SpanGuard::begin(comm.rank(), qp_trace::Phase::Comm, "HierarchicalAllReduce");
+    if span.is_recording() {
+        span.arg("ranks", comm.size())
+            .arg("bytes_per_rank", data.len() * 8)
+            .arg("nodes", comm.n_nodes());
+    }
     let m = comm.ranks_per_node();
     let window = comm.node_window(key, data.len(), m);
 
@@ -172,8 +179,7 @@ mod tests {
         let out = run_spmd(4, 2, |c| {
             let mut acc = 0.0;
             for round in 1..=5 {
-                let v =
-                    hierarchical_allreduce(c, "rep", ReduceOp::Sum, &[round as f64])?;
+                let v = hierarchical_allreduce(c, "rep", ReduceOp::Sum, &[round as f64])?;
                 acc += v[0];
             }
             Ok(acc)

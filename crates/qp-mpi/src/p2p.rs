@@ -62,6 +62,12 @@ impl Comm {
         if dest >= self.size() {
             return Err(CommError::Mismatch("send destination out of range"));
         }
+        let mut span = qp_trace::SpanGuard::begin(self.rank(), qp_trace::Phase::Comm, "send");
+        if span.is_recording() {
+            span.arg("dest", dest)
+                .arg("tag", tag)
+                .arg("bytes", data.len() * 8);
+        }
         self.mailboxes().post((self.rank(), dest, tag), data);
         Ok(())
     }
@@ -71,8 +77,16 @@ impl Comm {
         if source >= self.size() {
             return Err(CommError::Mismatch("recv source out of range"));
         }
-        self.mailboxes()
-            .take((source, self.rank(), tag), self.poison_flag())
+        let mut span = qp_trace::SpanGuard::begin(self.rank(), qp_trace::Phase::Comm, "recv");
+        let payload = self
+            .mailboxes()
+            .take((source, self.rank(), tag), self.poison_flag())?;
+        if span.is_recording() {
+            span.arg("source", source)
+                .arg("tag", tag)
+                .arg("bytes", payload.len() * 8);
+        }
+        Ok(payload)
     }
 
     /// Combined exchange with a partner (deadlock-free: send is buffered).
@@ -166,10 +180,7 @@ mod tests {
     fn out_of_range_rejected() {
         let out = run_spmd(2, 2, |c| {
             if c.rank() == 0 {
-                assert!(matches!(
-                    c.send(9, 0, vec![]),
-                    Err(CommError::Mismatch(_))
-                ));
+                assert!(matches!(c.send(9, 0, vec![]), Err(CommError::Mismatch(_))));
                 assert!(matches!(c.recv(9, 0), Err(CommError::Mismatch(_))));
             }
             Ok(())

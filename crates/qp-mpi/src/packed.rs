@@ -56,6 +56,19 @@ impl<'a> PackedAllReduce<'a> {
         }
     }
 
+    /// Comm span for one packed flush, tagged with the fused-payload count.
+    fn comm_span(&self) -> qp_trace::SpanGuard {
+        let mut span =
+            qp_trace::SpanGuard::begin(self.comm.rank(), qp_trace::Phase::Comm, "PackedAllReduce");
+        if span.is_recording() {
+            span.arg("kind", "PackedAllReduce")
+                .arg("ranks", self.comm.size())
+                .arg("bytes_per_rank", self.pending_elems * 8)
+                .arg("fused_payloads", self.pending.len());
+        }
+        span
+    }
+
     /// Queue one logical AllReduce. Flushes automatically when adding the
     /// payload would exceed the budget.
     pub fn push(&mut self, key: &str, data: Vec<f64>) -> Result<(), CommError> {
@@ -77,6 +90,7 @@ impl<'a> PackedAllReduce<'a> {
         if self.pending.is_empty() {
             return Ok(());
         }
+        let _span = self.comm_span();
         // Concatenate in push order (identical on all ranks).
         let mut packed = Vec::with_capacity(self.pending_elems);
         for (_, data) in &self.pending {
@@ -149,15 +163,17 @@ mod tests {
             // Sequential reference.
             let mut reference = Vec::new();
             for row in 0..10 {
-                let data: Vec<f64> =
-                    (0..32).map(|i| (c.rank() + 1) as f64 * 0.1 + (row * i) as f64).collect();
+                let data: Vec<f64> = (0..32)
+                    .map(|i| (c.rank() + 1) as f64 * 0.1 + (row * i) as f64)
+                    .collect();
                 reference.push(c.allreduce(ReduceOp::Sum, &data)?);
             }
             // Packed path.
             let mut packer = PackedAllReduce::new(c, ReduceOp::Sum);
             for row in 0..10 {
-                let data: Vec<f64> =
-                    (0..32).map(|i| (c.rank() + 1) as f64 * 0.1 + (row * i) as f64).collect();
+                let data: Vec<f64> = (0..32)
+                    .map(|i| (c.rank() + 1) as f64 * 0.1 + (row * i) as f64)
+                    .collect();
                 packer.push(&format!("row{row}"), data)?;
             }
             packer.flush()?;

@@ -60,6 +60,8 @@ mod tests {
     use crate::comm::run_spmd;
 
     #[test]
+    // `i` indexes two rank snapshots at once; a range loop reads clearest.
+    #[allow(clippy::needless_range_loop)]
     fn chunked_accumulate_sums_node_contributions() {
         let n = 8;
         let m = 4;

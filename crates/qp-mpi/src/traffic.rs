@@ -27,6 +27,21 @@ pub enum CollectiveKind {
     Barrier,
 }
 
+impl CollectiveKind {
+    /// Stable name used as the `kind` metric label and span tag.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            CollectiveKind::AllReduce => "AllReduce",
+            CollectiveKind::PackedAllReduce => "PackedAllReduce",
+            CollectiveKind::LeaderAllReduce => "LeaderAllReduce",
+            CollectiveKind::LocalBarrier => "LocalBarrier",
+            CollectiveKind::Broadcast => "Broadcast",
+            CollectiveKind::AllGather => "AllGather",
+            CollectiveKind::Barrier => "Barrier",
+        }
+    }
+}
+
 /// One metered collective call.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TrafficRecord {
@@ -39,10 +54,16 @@ pub struct TrafficRecord {
 }
 
 /// Aggregated, thread-safe traffic log.
+///
+/// Every record is mirrored into an embedded [`qp_trace::MetricsRegistry`]
+/// (per-kind `mpi.collective.calls` / `mpi.collective.bytes` counters) and
+/// into the process-global registry, so the unified metrics dump carries the
+/// same per-collective totals the raw records do.
 pub struct TrafficLog {
     records: Mutex<Vec<TrafficRecord>>,
     total_calls: AtomicU64,
     total_bytes: AtomicU64,
+    metrics: qp_trace::MetricsRegistry,
 }
 
 impl TrafficLog {
@@ -52,6 +73,7 @@ impl TrafficLog {
             records: Mutex::new(Vec::new()),
             total_calls: AtomicU64::new(0),
             total_bytes: AtomicU64::new(0),
+            metrics: qp_trace::MetricsRegistry::new(),
         }
     }
 
@@ -66,6 +88,18 @@ impl TrafficLog {
         self.total_calls.fetch_add(1, Ordering::Relaxed);
         self.total_bytes
             .fetch_add(bytes_per_rank as u64, Ordering::Relaxed);
+        let labels = [("kind", kind.as_str())];
+        for reg in [&self.metrics, qp_trace::global_metrics()] {
+            reg.counter("mpi.collective.calls", &labels).inc();
+            reg.counter("mpi.collective.bytes", &labels)
+                .add(bytes_per_rank as u64);
+        }
+    }
+
+    /// The per-world metrics mirror of this log (one registry per
+    /// communicator world, unpolluted by concurrent worlds).
+    pub fn metrics(&self) -> &qp_trace::MetricsRegistry {
+        &self.metrics
     }
 
     /// Snapshot all records.
@@ -85,14 +119,20 @@ impl TrafficLog {
 
     /// Calls of one kind.
     pub fn calls_of(&self, kind: CollectiveKind) -> usize {
-        self.records.lock().iter().filter(|r| r.kind == kind).count()
+        self.records
+            .lock()
+            .iter()
+            .filter(|r| r.kind == kind)
+            .count()
     }
 
-    /// Clear everything.
+    /// Clear everything (including the embedded metrics mirror; the global
+    /// registry keeps accumulating across worlds by design).
     pub fn reset(&self) {
         self.records.lock().clear();
         self.total_calls.store(0, Ordering::Relaxed);
         self.total_bytes.store(0, Ordering::Relaxed);
+        self.metrics.clear();
     }
 }
 
@@ -127,5 +167,27 @@ mod tests {
         assert_eq!(log.calls(), 0);
         assert_eq!(log.bytes(), 0);
         assert!(log.snapshot().is_empty());
+        assert!(log.metrics().snapshot().is_empty());
+    }
+
+    #[test]
+    fn metrics_mirror_matches_records() {
+        let log = TrafficLog::new();
+        log.record(CollectiveKind::AllReduce, 8, 1024);
+        log.record(CollectiveKind::AllReduce, 8, 256);
+        log.record(CollectiveKind::Broadcast, 4, 64);
+        let m = log.metrics();
+        assert_eq!(
+            m.counter_value("mpi.collective.bytes", &[("kind", "AllReduce")]),
+            Some(1280)
+        );
+        assert_eq!(
+            m.counter_value("mpi.collective.calls", &[("kind", "AllReduce")]),
+            Some(2)
+        );
+        assert_eq!(
+            m.counter_value("mpi.collective.bytes", &[("kind", "Broadcast")]),
+            Some(64)
+        );
     }
 }

@@ -1,0 +1,439 @@
+//! Exporters: Chrome trace-event JSON (Perfetto / chrome://tracing) and
+//! flat JSON / CSV metrics dumps. JSON is emitted by hand — the crate is
+//! dependency-free — with full string escaping, plus a small validating
+//! parser used by tests (and callers who want a well-formedness check).
+
+use crate::metrics::{MetricSample, MetricValue};
+use crate::span::{SpanEvent, Track};
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+
+/// Trace `pid` for measured host time.
+const PID_HOST: u64 = 1;
+/// Trace `pid` for the machine model's simulated timeline.
+const PID_SIMULATED: u64 = 2;
+
+fn escape_json(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    escape_json(s, &mut out);
+    out.push('"');
+    out
+}
+
+/// Format an `f64` as a JSON number (JSON has no NaN/Inf; clamp to 0).
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "0".to_string()
+    }
+}
+
+fn pid_of(track: Track) -> u64 {
+    match track {
+        Track::Host => PID_HOST,
+        Track::Simulated => PID_SIMULATED,
+    }
+}
+
+fn push_meta(out: &mut Vec<String>, pid: u64, tid: Option<u64>, name: &str) {
+    let (ev, tid_field) = match tid {
+        Some(t) => ("thread_name", format!(",\"tid\":{t}")),
+        None => ("process_name", String::new()),
+    };
+    out.push(format!(
+        "{{\"name\":{},\"ph\":\"M\",\"pid\":{}{},\"args\":{{\"name\":{}}}}}",
+        json_string(ev),
+        pid,
+        tid_field,
+        json_string(name)
+    ));
+}
+
+/// Render spans as a Chrome trace-event JSON document: complete (`"X"`)
+/// events, one process per timeline (host pid 1, simulated pid 2), one
+/// thread per rank, categories/colors from [`crate::Phase`]. Load the
+/// output in Perfetto (<https://ui.perfetto.dev>) or chrome://tracing.
+pub fn chrome_trace_json(events: &[SpanEvent]) -> String {
+    let mut rows: Vec<String> = Vec::with_capacity(events.len() + 8);
+
+    // Metadata: name the processes and one thread per (track, rank).
+    let mut tracks: BTreeSet<u64> = BTreeSet::new();
+    let mut threads: BTreeSet<(u64, usize)> = BTreeSet::new();
+    for ev in events {
+        let pid = pid_of(ev.track);
+        tracks.insert(pid);
+        threads.insert((pid, ev.rank));
+    }
+    for pid in &tracks {
+        let name = if *pid == PID_HOST {
+            "host wall-clock"
+        } else {
+            "simulated machine (qp-machine)"
+        };
+        push_meta(&mut rows, *pid, None, name);
+    }
+    for (pid, rank) in &threads {
+        push_meta(&mut rows, *pid, Some(*rank as u64), &format!("rank {rank}"));
+    }
+
+    for ev in events {
+        let mut row = String::with_capacity(128);
+        let _ = write!(
+            row,
+            "{{\"name\":{},\"cat\":{},\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":{},\"tid\":{},\"cname\":{}",
+            json_string(&ev.name),
+            json_string(ev.phase.as_str()),
+            json_f64(ev.start_us),
+            json_f64(ev.dur_us),
+            pid_of(ev.track),
+            ev.rank,
+            json_string(ev.phase.color()),
+        );
+        if !ev.args.is_empty() {
+            row.push_str(",\"args\":{");
+            for (i, (k, v)) in ev.args.iter().enumerate() {
+                if i > 0 {
+                    row.push(',');
+                }
+                let _ = write!(row, "{}:{}", json_string(k), json_string(v));
+            }
+            row.push('}');
+        }
+        row.push('}');
+        rows.push(row);
+    }
+
+    let mut out = String::from("{\"traceEvents\":[\n");
+    out.push_str(&rows.join(",\n"));
+    out.push_str("\n],\"displayTimeUnit\":\"ms\"}\n");
+    out
+}
+
+fn metric_value_json(v: &MetricValue) -> String {
+    match v {
+        MetricValue::Counter(c) => format!("{{\"type\":\"counter\",\"value\":{c}}}"),
+        MetricValue::Gauge(g) => format!("{{\"type\":\"gauge\",\"value\":{}}}", json_f64(*g)),
+        MetricValue::Histogram {
+            count,
+            sum,
+            min,
+            max,
+        } => format!(
+            "{{\"type\":\"histogram\",\"count\":{},\"sum\":{},\"min\":{},\"max\":{}}}",
+            count,
+            json_f64(*sum),
+            json_f64(*min),
+            json_f64(*max)
+        ),
+    }
+}
+
+/// Render a metrics snapshot as a JSON array of
+/// `{name, labels: {..}, type, ...}` objects.
+pub fn metrics_json(samples: &[MetricSample]) -> String {
+    let mut rows = Vec::with_capacity(samples.len());
+    for s in samples {
+        let mut row = String::with_capacity(96);
+        let _ = write!(row, "{{\"name\":{},\"labels\":{{", json_string(&s.key.name));
+        for (i, (k, v)) in s.key.labels.iter().enumerate() {
+            if i > 0 {
+                row.push(',');
+            }
+            let _ = write!(row, "{}:{}", json_string(k), json_string(v));
+        }
+        // Splice the metric payload's fields into this object.
+        let payload = metric_value_json(&s.value);
+        let _ = write!(row, "}},{}", &payload[1..]);
+        rows.push(row);
+    }
+    format!("[\n{}\n]\n", rows.join(",\n"))
+}
+
+fn csv_field(s: &str) -> String {
+    if s.contains(',') || s.contains('"') || s.contains('\n') {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+/// Render a metrics snapshot as flat CSV:
+/// `name,labels,type,value,count,sum,min,max` (unused columns empty).
+pub fn metrics_csv(samples: &[MetricSample]) -> String {
+    let mut out = String::from("name,labels,type,value,count,sum,min,max\n");
+    for s in samples {
+        let labels = s
+            .key
+            .labels
+            .iter()
+            .map(|(k, v)| format!("{k}={v}"))
+            .collect::<Vec<_>>()
+            .join(";");
+        let row = match &s.value {
+            MetricValue::Counter(c) => format!("counter,{c},,,,"),
+            MetricValue::Gauge(g) => format!("gauge,{g},,,,"),
+            MetricValue::Histogram {
+                count,
+                sum,
+                min,
+                max,
+            } => format!("histogram,,{count},{sum},{min},{max}"),
+        };
+        let _ = writeln!(
+            out,
+            "{},{},{}",
+            csv_field(&s.key.name),
+            csv_field(&labels),
+            row
+        );
+    }
+    out
+}
+
+/// Minimal recursive-descent JSON well-formedness check (no data model —
+/// just syntax). Used by the exporter tests; handy for asserting that a
+/// written trace will load in Perfetto.
+pub fn validate_json(s: &str) -> Result<(), String> {
+    let bytes = s.as_bytes();
+    let mut pos = 0usize;
+    skip_ws(bytes, &mut pos);
+    parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing data at byte {pos}"));
+    }
+    Ok(())
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    match b.get(*pos) {
+        Some(b'{') => parse_object(b, pos),
+        Some(b'[') => parse_array(b, pos),
+        Some(b'"') => parse_string(b, pos),
+        Some(b't') => parse_lit(b, pos, b"true"),
+        Some(b'f') => parse_lit(b, pos, b"false"),
+        Some(b'n') => parse_lit(b, pos, b"null"),
+        Some(c) if c.is_ascii_digit() || *c == b'-' => parse_number(b, pos),
+        Some(c) => Err(format!("unexpected byte {c:?} at {pos:?}")),
+        None => Err("unexpected end of input".to_string()),
+    }
+}
+
+fn parse_lit(b: &[u8], pos: &mut usize, lit: &[u8]) -> Result<(), String> {
+    if b.len() >= *pos + lit.len() && &b[*pos..*pos + lit.len()] == lit {
+        *pos += lit.len();
+        Ok(())
+    } else {
+        Err(format!("bad literal at byte {pos:?}"))
+    }
+}
+
+fn parse_number(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    let start = *pos;
+    if b.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    let mut digits = 0;
+    while b.get(*pos).is_some_and(u8::is_ascii_digit) {
+        *pos += 1;
+        digits += 1;
+    }
+    if digits == 0 {
+        return Err(format!("bad number at byte {start}"));
+    }
+    if b.get(*pos) == Some(&b'.') {
+        *pos += 1;
+        while b.get(*pos).is_some_and(u8::is_ascii_digit) {
+            *pos += 1;
+        }
+    }
+    if matches!(b.get(*pos), Some(b'e' | b'E')) {
+        *pos += 1;
+        if matches!(b.get(*pos), Some(b'+' | b'-')) {
+            *pos += 1;
+        }
+        while b.get(*pos).is_some_and(u8::is_ascii_digit) {
+            *pos += 1;
+        }
+    }
+    Ok(())
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    debug_assert_eq!(b[*pos], b'"');
+    *pos += 1;
+    while let Some(&c) = b.get(*pos) {
+        match c {
+            b'"' => {
+                *pos += 1;
+                return Ok(());
+            }
+            b'\\' => {
+                *pos += 2;
+            }
+            _ => *pos += 1,
+        }
+    }
+    Err("unterminated string".to_string())
+}
+
+fn parse_object(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    *pos += 1; // '{'
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(());
+    }
+    loop {
+        skip_ws(b, pos);
+        if b.get(*pos) != Some(&b'"') {
+            return Err(format!("expected object key at byte {pos:?}"));
+        }
+        parse_string(b, pos)?;
+        skip_ws(b, pos);
+        if b.get(*pos) != Some(&b':') {
+            return Err(format!("expected ':' at byte {pos:?}"));
+        }
+        *pos += 1;
+        skip_ws(b, pos);
+        parse_value(b, pos)?;
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(());
+            }
+            _ => return Err(format!("expected ',' or '}}' at byte {pos:?}")),
+        }
+    }
+}
+
+fn parse_array(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    *pos += 1; // '['
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(());
+    }
+    loop {
+        skip_ws(b, pos);
+        parse_value(b, pos)?;
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(());
+            }
+            _ => return Err(format!("expected ',' or ']' at byte {pos:?}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::{MetricKey, MetricSample};
+    use crate::span::Phase;
+
+    fn event(name: &str, rank: usize, track: Track) -> SpanEvent {
+        SpanEvent {
+            name: name.to_string(),
+            phase: Phase::Dm,
+            rank,
+            track,
+            start_us: 1.0,
+            dur_us: 2.5,
+            args: vec![("bytes", "17".to_string())],
+        }
+    }
+
+    #[test]
+    fn chrome_trace_is_valid_json_with_tracks() {
+        let events = vec![
+            event("a \"quoted\"\nname", 0, Track::Host),
+            event("b", 3, Track::Simulated),
+        ];
+        let json = chrome_trace_json(&events);
+        validate_json(&json).unwrap();
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"pid\":1"));
+        assert!(json.contains("\"pid\":2"));
+        assert!(json.contains("rank 3"));
+        assert!(json.contains("a \\\"quoted\\\"\\nname"));
+    }
+
+    #[test]
+    fn empty_trace_is_valid() {
+        validate_json(&chrome_trace_json(&[])).unwrap();
+    }
+
+    fn sample(name: &str, value: MetricValue) -> MetricSample {
+        MetricSample {
+            key: MetricKey {
+                name: name.to_string(),
+                labels: vec![("kind".to_string(), "AllReduce".to_string())],
+            },
+            value,
+        }
+    }
+
+    #[test]
+    fn metrics_json_and_csv_render() {
+        let samples = vec![
+            sample("bytes", MetricValue::Counter(42)),
+            sample("residual", MetricValue::Gauge(1e-8)),
+            sample(
+                "lat,weird",
+                MetricValue::Histogram {
+                    count: 2,
+                    sum: 3.0,
+                    min: 1.0,
+                    max: 2.0,
+                },
+            ),
+        ];
+        let json = metrics_json(&samples);
+        validate_json(&json).unwrap();
+        assert!(json.contains("\"type\":\"counter\",\"value\":42"));
+        let csv = metrics_csv(&samples);
+        assert!(csv.starts_with("name,labels,type,value,count,sum,min,max\n"));
+        assert!(csv.contains("bytes,kind=AllReduce,counter,42"));
+        assert!(csv.contains("\"lat,weird\""), "comma fields must be quoted");
+    }
+
+    #[test]
+    fn validator_rejects_malformed() {
+        assert!(validate_json("{").is_err());
+        assert!(validate_json("{\"a\":}").is_err());
+        assert!(validate_json("[1,2,]").is_err());
+        assert!(validate_json("\"unterminated").is_err());
+        assert!(validate_json("{} trailing").is_err());
+        assert!(validate_json("{\"a\":[1,2.5e-3,true,null,\"s\"]}").is_ok());
+    }
+}

@@ -1,0 +1,142 @@
+//! Leveled logging controlled by `QP_LOG={error,warn,info,debug}`.
+//!
+//! The default level is `info`, and `info`/`debug` write to stdout while
+//! `warn`/`error` write to stderr — so at the default level the CLI's
+//! output is byte-identical to its historical `println!`/`eprintln!` form,
+//! and `QP_LOG=error` silences progress chatter for scripted runs.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Log severity, ordered from most to least severe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum Level {
+    /// Unrecoverable or wrong-answer conditions (stderr).
+    Error = 0,
+    /// Suspicious but non-fatal conditions (stderr).
+    Warn = 1,
+    /// Normal progress output (stdout) — the default.
+    Info = 2,
+    /// Verbose internals (stdout).
+    Debug = 3,
+}
+
+impl Level {
+    fn parse(s: &str) -> Option<Level> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "error" => Some(Level::Error),
+            "warn" | "warning" => Some(Level::Warn),
+            "info" => Some(Level::Info),
+            "debug" => Some(Level::Debug),
+            _ => None,
+        }
+    }
+}
+
+/// 4 = "uninitialized, read QP_LOG on first use".
+const UNSET: u8 = 4;
+static LEVEL: AtomicU8 = AtomicU8::new(UNSET);
+
+/// The active log level (initialized from `QP_LOG` on first call).
+pub fn level() -> Level {
+    match LEVEL.load(Ordering::Relaxed) {
+        0 => Level::Error,
+        1 => Level::Warn,
+        2 => Level::Info,
+        3 => Level::Debug,
+        _ => {
+            let lvl = std::env::var("QP_LOG")
+                .ok()
+                .and_then(|s| Level::parse(&s))
+                .unwrap_or(Level::Info);
+            LEVEL.store(lvl as u8, Ordering::Relaxed);
+            lvl
+        }
+    }
+}
+
+/// Override the log level programmatically (wins over `QP_LOG`).
+pub fn set_level(lvl: Level) {
+    LEVEL.store(lvl as u8, Ordering::Relaxed);
+}
+
+/// Would a message at `lvl` be emitted?
+#[inline]
+pub fn log_enabled(lvl: Level) -> bool {
+    lvl <= level()
+}
+
+/// Log at `error` level (stderr).
+#[macro_export]
+macro_rules! qp_error {
+    ($($arg:tt)*) => {
+        if $crate::log::log_enabled($crate::log::Level::Error) {
+            eprintln!($($arg)*);
+        }
+    };
+}
+
+/// Log at `warn` level (stderr).
+#[macro_export]
+macro_rules! qp_warn {
+    ($($arg:tt)*) => {
+        if $crate::log::log_enabled($crate::log::Level::Warn) {
+            eprintln!($($arg)*);
+        }
+    };
+}
+
+/// Log at `info` level (stdout) — the default progress stream.
+#[macro_export]
+macro_rules! qp_info {
+    ($($arg:tt)*) => {
+        if $crate::log::log_enabled($crate::log::Level::Info) {
+            println!($($arg)*);
+        }
+    };
+}
+
+/// Log at `debug` level (stdout); silent unless `QP_LOG=debug`.
+#[macro_export]
+macro_rules! qp_debug {
+    ($($arg:tt)*) => {
+        if $crate::log::log_enabled($crate::log::Level::Debug) {
+            println!($($arg)*);
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn level_ordering_matches_severity() {
+        assert!(Level::Error < Level::Warn);
+        assert!(Level::Warn < Level::Info);
+        assert!(Level::Info < Level::Debug);
+    }
+
+    #[test]
+    fn parse_accepts_known_levels() {
+        assert_eq!(Level::parse("error"), Some(Level::Error));
+        assert_eq!(Level::parse("WARN"), Some(Level::Warn));
+        assert_eq!(Level::parse("warning"), Some(Level::Warn));
+        assert_eq!(Level::parse(" info "), Some(Level::Info));
+        assert_eq!(Level::parse("debug"), Some(Level::Debug));
+        assert_eq!(Level::parse("bogus"), None);
+    }
+
+    #[test]
+    fn set_level_gates_macros() {
+        set_level(Level::Warn);
+        assert!(log_enabled(Level::Error));
+        assert!(log_enabled(Level::Warn));
+        assert!(!log_enabled(Level::Info));
+        assert!(!log_enabled(Level::Debug));
+        set_level(Level::Debug);
+        assert!(log_enabled(Level::Debug));
+        // Restore the default so other tests see stock behavior.
+        set_level(Level::Info);
+    }
+}

@@ -7,9 +7,7 @@
 //! ```
 
 use qp_core::dfpt::DfptOptions;
-use qp_core::parallel::{
-    parallel_dfpt_direction, CollectiveScheme, MappingKind, ParallelConfig,
-};
+use qp_core::parallel::{parallel_dfpt_direction, CollectiveScheme, MappingKind, ParallelConfig};
 use qp_core::{scf, ScfOptions, System};
 use qp_mpi::CollectiveKind;
 

@@ -64,6 +64,12 @@ fn main() {
             / atoms.len() as f64
     };
     println!("\natom scatter at 6 002 atoms / 64 ranks (ranks holding one atom's points):");
-    println!("  existing load-balancing : {:.1} ranks/atom", scatter(&base));
-    println!("  locality-enhancing      : {:.1} ranks/atom", scatter(&prop));
+    println!(
+        "  existing load-balancing : {:.1} ranks/atom",
+        scatter(&base)
+    );
+    println!(
+        "  locality-enhancing      : {:.1} ranks/atom",
+        scatter(&prop)
+    );
 }

@@ -38,7 +38,10 @@ fn main() {
         );
 
         // The §4.2 wide-dependence pair at the two paper table sizes.
-        for (name, words) in [("rho_multipole_spl", 3_900), ("delta_v_hart_part_spl", 62_200)] {
+        for (name, words) in [
+            ("rho_multipole_spl", 3_900),
+            ("delta_v_hart_part_spl", 62_200),
+        ] {
             let out = vertical(
                 &queue,
                 name,
@@ -57,7 +60,10 @@ fn main() {
                 }
                 FusionDecision::Disabled => "disabled",
             };
-            println!("  vertical fusion of {name} ({} KB): {verdict}", words * 8 / 1024);
+            println!(
+                "  vertical fusion of {name} ({} KB): {verdict}",
+                words * 8 / 1024
+            );
         }
         println!();
     }

@@ -50,9 +50,14 @@ fn main() {
     let iso = qp_core::properties::isotropic_polarizability(&response.polarizability);
     let aniso = qp_core::properties::polarizability_anisotropy(&response.polarizability);
     let mu = qp_core::properties::dipole_moment(&system, &ground);
-    println!("isotropic polarizability: {iso:.3} Bohr^3 (experiment ~9.8; minimal basis underestimates)");
+    println!(
+        "isotropic polarizability: {iso:.3} Bohr^3 (experiment ~9.8; minimal basis underestimates)"
+    );
     println!("polarizability anisotropy: {aniso:.3} Bohr^3");
-    println!("dipole moment: [{:.3}, {:.3}, {:.3}] a.u.", mu[0], mu[1], mu[2]);
+    println!(
+        "dipole moment: [{:.3}, {:.3}, {:.3}] a.u.",
+        mu[0], mu[1], mu[2]
+    );
     // Liquid-water electronic dielectric constant via Clausius-Mossotti at
     // the experimental number density (0.0050 molecules/Bohr^3).
     if let Some(eps) = qp_core::properties::clausius_mossotti(iso, 0.0050) {

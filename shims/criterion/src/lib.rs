@@ -1,0 +1,194 @@
+//! Offline drop-in shim for the subset of the `criterion` API this
+//! workspace's benches use: `Criterion`, `bench_function`,
+//! `benchmark_group`/`bench_with_input`, `BenchmarkId`, and the
+//! `criterion_group!`/`criterion_main!` macros.
+//!
+//! Timing is a simple wall-clock median over a fixed iteration budget — no
+//! statistics, plots, or baselines. By default each benchmark runs a quick
+//! smoke pass (handful of iterations) so accidental invocation stays cheap;
+//! set `CRITERION_FULL=1` for a larger budget.
+
+use std::time::Instant;
+
+/// Iteration budget: (warmup, measured).
+fn budget() -> (u32, u32) {
+    if std::env::var_os("CRITERION_FULL").is_some() {
+        (10, 50)
+    } else {
+        (1, 5)
+    }
+}
+
+/// Prevent the optimizer from discarding `value`.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Benchmark identifier: function name + parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `BenchmarkId::new("name", parameter)`.
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Per-benchmark timing harness handed to the closure.
+pub struct Bencher {
+    nanos_per_iter: f64,
+}
+
+impl Bencher {
+    /// Time `routine`, keeping its output alive via [`black_box`].
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        let (warmup, measured) = budget();
+        for _ in 0..warmup {
+            black_box(routine());
+        }
+        let mut samples: Vec<f64> = (0..measured)
+            .map(|_| {
+                let t = Instant::now();
+                black_box(routine());
+                t.elapsed().as_nanos() as f64
+            })
+            .collect();
+        samples.sort_by(|a, b| a.total_cmp(b));
+        self.nanos_per_iter = samples[samples.len() / 2];
+    }
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Run one named benchmark.
+    pub fn bench_function(&mut self, name: &str, f: impl FnOnce(&mut Bencher)) -> &mut Self {
+        run_one(name, f);
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            _parent: self,
+        }
+    }
+}
+
+/// A group of related benchmarks (`c.benchmark_group("...")`).
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the sample count (accepted for parity; the shim runs once).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Run one benchmark of the group with an input value.
+    pub fn bench_with_input<I>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        f: impl FnOnce(&mut Bencher, &I),
+    ) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, id), |b| f(b, input));
+        self
+    }
+
+    /// Run one named benchmark of the group.
+    pub fn bench_function(&mut self, name: &str, f: impl FnOnce(&mut Bencher)) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, name), f);
+        self
+    }
+
+    /// End the group (no-op; parity with the real API).
+    pub fn finish(self) {}
+}
+
+fn run_one(name: &str, f: impl FnOnce(&mut Bencher)) {
+    let mut b = Bencher {
+        nanos_per_iter: 0.0,
+    };
+    f(&mut b);
+    let ns = b.nanos_per_iter;
+    if ns >= 1e9 {
+        println!("{name:<50} {:>12.3} s/iter", ns / 1e9);
+    } else if ns >= 1e6 {
+        println!("{name:<50} {:>12.3} ms/iter", ns / 1e6);
+    } else if ns >= 1e3 {
+        println!("{name:<50} {:>12.3} us/iter", ns / 1e3);
+    } else {
+        println!("{name:<50} {ns:>12.1} ns/iter");
+    }
+}
+
+/// `criterion_group!(name, bench_fn, ...)`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($bench:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $bench(&mut c); )+
+        }
+    };
+}
+
+/// `criterion_main!(group, ...)`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_closure() {
+        let mut c = Criterion::default();
+        let mut ran = false;
+        c.bench_function("t", |b| {
+            b.iter(|| {
+                ran = true;
+                1 + 1
+            })
+        });
+        assert!(ran);
+    }
+
+    #[test]
+    fn group_runs_with_input() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        let mut seen = 0;
+        g.bench_with_input(BenchmarkId::new("b", 4), &4usize, |b, &n| {
+            b.iter(|| {
+                seen = n;
+                n * 2
+            })
+        });
+        g.finish();
+        assert_eq!(seen, 4);
+    }
+}

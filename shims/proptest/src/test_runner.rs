@@ -1,0 +1,127 @@
+//! Case runner: executes a test body over `cases` generated inputs.
+
+use crate::Rng;
+
+/// Run configuration (`ProptestConfig::with_cases(n)`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful cases required.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Require `cases` successful cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Why a single case did not succeed.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// Assertion failure — fails the whole test.
+    Fail(String),
+    /// `prop_assume!` rejection — the case is skipped.
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// An assertion failure.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// An assumption rejection.
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+/// Stable seed from the test name (FNV-1a) so failures reproduce.
+fn seed_from_name(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// Drive `body` until `config.cases` cases pass, a case fails, or the
+/// rejection budget (10× cases) is exhausted.
+pub fn run_cases<F>(config: &ProptestConfig, name: &str, mut body: F)
+where
+    F: FnMut(&mut Rng) -> Result<(), TestCaseError>,
+{
+    let seed = seed_from_name(name);
+    let mut passed = 0u32;
+    let mut rejected = 0u32;
+    let max_rejects = config.cases.saturating_mul(10).max(100);
+    let mut case_index = 0u64;
+    while passed < config.cases {
+        let mut rng = Rng::new(seed ^ case_index.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        match body(&mut rng) {
+            Ok(()) => passed += 1,
+            Err(TestCaseError::Reject(_)) => {
+                rejected += 1;
+                if rejected > max_rejects {
+                    panic!(
+                        "{name}: too many prop_assume! rejections \
+                         ({rejected} rejects for {passed} passes)"
+                    );
+                }
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!("{name}: case {case_index} (seed {seed:#x}) failed: {msg}");
+            }
+        }
+        case_index += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runs_requested_cases() {
+        let mut n = 0;
+        run_cases(&ProptestConfig::with_cases(17), "t", |_| {
+            n += 1;
+            Ok(())
+        });
+        assert_eq!(n, 17);
+    }
+
+    #[test]
+    #[should_panic(expected = "failed: boom")]
+    fn failure_panics() {
+        run_cases(&ProptestConfig::with_cases(5), "t", |rng| {
+            if rng.below(2) == 0 {
+                Err(TestCaseError::fail("boom"))
+            } else {
+                Ok(())
+            }
+        });
+    }
+
+    #[test]
+    fn rejects_are_skipped() {
+        let mut tried = 0u32;
+        run_cases(&ProptestConfig::with_cases(5), "t", |_| {
+            tried += 1;
+            if tried.is_multiple_of(2) {
+                Err(TestCaseError::reject("parity"))
+            } else {
+                Ok(())
+            }
+        });
+        assert!(tried >= 5);
+    }
+}

@@ -1,0 +1,105 @@
+//! Offline drop-in shim for the subset of the `rayon` API this workspace
+//! uses.
+//!
+//! The build environment has no registry access, so the real `rayon` cannot
+//! be fetched. This shim keeps the call sites unchanged (`par_iter`,
+//! `into_par_iter`, `par_chunks_mut`, …) but executes **sequentially on the
+//! calling thread**. That is semantically identical for this workspace:
+//! every parallel body is a pure data-parallel map whose results are
+//! deterministic and order-independent, and sequential execution keeps
+//! thread-local state (e.g. `qp-trace` rank attribution) on the caller.
+//!
+//! Swap the workspace dependency back to the real crate to restore host
+//! parallelism; no call site changes.
+
+pub mod prelude {
+    pub use super::{IntoParallelIterator, IntoParallelRefIterator, ParallelSliceOps};
+}
+
+/// `into_par_iter()` — sequential stand-in returning the std iterator.
+pub trait IntoParallelIterator: IntoIterator + Sized {
+    /// Returns the plain sequential iterator.
+    fn into_par_iter(self) -> Self::IntoIter {
+        self.into_iter()
+    }
+}
+
+impl<T: IntoIterator + Sized> IntoParallelIterator for T {}
+
+/// `par_iter()` on collections that iterate by reference.
+pub trait IntoParallelRefIterator<'a> {
+    /// The sequential iterator type.
+    type Iter: Iterator;
+    /// Returns the plain sequential by-reference iterator.
+    fn par_iter(&'a self) -> Self::Iter;
+}
+
+impl<'a, T: 'a> IntoParallelRefIterator<'a> for [T] {
+    type Iter = std::slice::Iter<'a, T>;
+    fn par_iter(&'a self) -> Self::Iter {
+        self.iter()
+    }
+}
+
+impl<'a, T: 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Iter = std::slice::Iter<'a, T>;
+    fn par_iter(&'a self) -> Self::Iter {
+        self.iter()
+    }
+}
+
+/// Mutable slice splitters (`par_chunks_mut`, `par_iter_mut`).
+pub trait ParallelSliceOps<T> {
+    /// Sequential stand-in for `par_chunks_mut`.
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T>;
+    /// Sequential stand-in for `par_iter_mut`.
+    fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T>;
+}
+
+impl<T> ParallelSliceOps<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T> {
+        self.chunks_mut(chunk_size)
+    }
+    fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T> {
+        self.iter_mut()
+    }
+}
+
+/// Sequential stand-in for `rayon::join`: runs `a` then `b`.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA,
+    B: FnOnce() -> RB,
+{
+    (a(), b())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn range_into_par_iter_maps() {
+        let v: Vec<usize> = (0..5).into_par_iter().map(|i| i * 2).collect();
+        assert_eq!(v, vec![0, 2, 4, 6, 8]);
+    }
+
+    #[test]
+    fn slice_par_iter_zips() {
+        let a = vec![1, 2, 3];
+        let b = vec![10, 20, 30];
+        let s: Vec<i32> = a.par_iter().zip(b.par_iter()).map(|(x, y)| x + y).collect();
+        assert_eq!(s, vec![11, 22, 33]);
+    }
+
+    #[test]
+    fn par_chunks_mut_covers_slice() {
+        let mut v = vec![0usize; 7];
+        v.par_chunks_mut(3).enumerate().for_each(|(i, chunk)| {
+            for c in chunk {
+                *c = i;
+            }
+        });
+        assert_eq!(v, vec![0, 0, 0, 1, 1, 1, 2]);
+    }
+}

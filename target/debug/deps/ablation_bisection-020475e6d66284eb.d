@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_bisection-020475e6d66284eb.d: crates/bench/src/bin/ablation_bisection.rs
+
+/root/repo/target/debug/deps/ablation_bisection-020475e6d66284eb: crates/bench/src/bin/ablation_bisection.rs
+
+crates/bench/src/bin/ablation_bisection.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_bisection-62e451ab432ecd38.d: crates/bench/src/bin/ablation_bisection.rs
+
+/root/repo/target/debug/deps/ablation_bisection-62e451ab432ecd38: crates/bench/src/bin/ablation_bisection.rs
+
+crates/bench/src/bin/ablation_bisection.rs:

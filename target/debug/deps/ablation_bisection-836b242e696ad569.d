@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_bisection-836b242e696ad569.d: crates/bench/src/bin/ablation_bisection.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_bisection-836b242e696ad569.rmeta: crates/bench/src/bin/ablation_bisection.rs Cargo.toml
+
+crates/bench/src/bin/ablation_bisection.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_hierarchy_width-8e28bfa1f12e26fc.d: crates/bench/src/bin/ablation_hierarchy_width.rs
+
+/root/repo/target/debug/deps/ablation_hierarchy_width-8e28bfa1f12e26fc: crates/bench/src/bin/ablation_hierarchy_width.rs
+
+crates/bench/src/bin/ablation_hierarchy_width.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_hierarchy_width-9117c47f34c55edd.d: crates/bench/src/bin/ablation_hierarchy_width.rs
+
+/root/repo/target/debug/deps/ablation_hierarchy_width-9117c47f34c55edd: crates/bench/src/bin/ablation_hierarchy_width.rs
+
+crates/bench/src/bin/ablation_hierarchy_width.rs:

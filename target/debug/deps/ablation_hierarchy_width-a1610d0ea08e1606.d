@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_hierarchy_width-a1610d0ea08e1606.d: crates/bench/src/bin/ablation_hierarchy_width.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_hierarchy_width-a1610d0ea08e1606.rmeta: crates/bench/src/bin/ablation_hierarchy_width.rs Cargo.toml
+
+crates/bench/src/bin/ablation_hierarchy_width.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_packing_budget-381ce04dbcdef149.d: crates/bench/src/bin/ablation_packing_budget.rs
+
+/root/repo/target/debug/deps/ablation_packing_budget-381ce04dbcdef149: crates/bench/src/bin/ablation_packing_budget.rs
+
+crates/bench/src/bin/ablation_packing_budget.rs:

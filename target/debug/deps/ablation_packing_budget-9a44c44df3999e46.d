@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_packing_budget-9a44c44df3999e46.d: crates/bench/src/bin/ablation_packing_budget.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_packing_budget-9a44c44df3999e46.rmeta: crates/bench/src/bin/ablation_packing_budget.rs Cargo.toml
+
+crates/bench/src/bin/ablation_packing_budget.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

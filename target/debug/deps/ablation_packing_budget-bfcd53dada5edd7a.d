@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_packing_budget-bfcd53dada5edd7a.d: crates/bench/src/bin/ablation_packing_budget.rs
+
+/root/repo/target/debug/deps/ablation_packing_budget-bfcd53dada5edd7a: crates/bench/src/bin/ablation_packing_budget.rs
+
+crates/bench/src/bin/ablation_packing_budget.rs:

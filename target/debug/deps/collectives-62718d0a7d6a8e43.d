@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/collectives-62718d0a7d6a8e43.d: crates/bench/benches/collectives.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcollectives-62718d0a7d6a8e43.rmeta: crates/bench/benches/collectives.rs Cargo.toml
+
+crates/bench/benches/collectives.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/criterion-b40d90550f61fc2d.d: shims/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-b40d90550f61fc2d.rlib: shims/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-b40d90550f61fc2d.rmeta: shims/criterion/src/lib.rs
+
+shims/criterion/src/lib.rs:

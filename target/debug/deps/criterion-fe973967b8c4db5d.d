@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/criterion-fe973967b8c4db5d.d: shims/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/criterion-fe973967b8c4db5d: shims/criterion/src/lib.rs
+
+shims/criterion/src/lib.rs:

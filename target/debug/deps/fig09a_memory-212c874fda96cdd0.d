@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig09a_memory-212c874fda96cdd0.d: crates/bench/src/bin/fig09a_memory.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig09a_memory-212c874fda96cdd0.rmeta: crates/bench/src/bin/fig09a_memory.rs Cargo.toml
+
+crates/bench/src/bin/fig09a_memory.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

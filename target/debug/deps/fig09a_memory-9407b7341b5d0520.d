@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig09a_memory-9407b7341b5d0520.d: crates/bench/src/bin/fig09a_memory.rs
+
+/root/repo/target/debug/deps/fig09a_memory-9407b7341b5d0520: crates/bench/src/bin/fig09a_memory.rs
+
+crates/bench/src/bin/fig09a_memory.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig09a_memory-b162d67fb7085705.d: crates/bench/src/bin/fig09a_memory.rs
+
+/root/repo/target/debug/deps/fig09a_memory-b162d67fb7085705: crates/bench/src/bin/fig09a_memory.rs
+
+crates/bench/src/bin/fig09a_memory.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig09b_density_hamiltonian-7a23eaec3115aad4.d: crates/bench/src/bin/fig09b_density_hamiltonian.rs
+
+/root/repo/target/debug/deps/fig09b_density_hamiltonian-7a23eaec3115aad4: crates/bench/src/bin/fig09b_density_hamiltonian.rs
+
+crates/bench/src/bin/fig09b_density_hamiltonian.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig09b_density_hamiltonian-8d11ce5e845cb937.d: crates/bench/src/bin/fig09b_density_hamiltonian.rs
+
+/root/repo/target/debug/deps/fig09b_density_hamiltonian-8d11ce5e845cb937: crates/bench/src/bin/fig09b_density_hamiltonian.rs
+
+crates/bench/src/bin/fig09b_density_hamiltonian.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig09b_density_hamiltonian-9a76a4f758bd1232.d: crates/bench/src/bin/fig09b_density_hamiltonian.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig09b_density_hamiltonian-9a76a4f758bd1232.rmeta: crates/bench/src/bin/fig09b_density_hamiltonian.rs Cargo.toml
+
+crates/bench/src/bin/fig09b_density_hamiltonian.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

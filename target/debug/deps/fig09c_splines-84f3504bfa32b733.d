@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig09c_splines-84f3504bfa32b733.d: crates/bench/src/bin/fig09c_splines.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig09c_splines-84f3504bfa32b733.rmeta: crates/bench/src/bin/fig09c_splines.rs Cargo.toml
+
+crates/bench/src/bin/fig09c_splines.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

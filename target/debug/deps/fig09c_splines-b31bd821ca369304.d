@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig09c_splines-b31bd821ca369304.d: crates/bench/src/bin/fig09c_splines.rs
+
+/root/repo/target/debug/deps/fig09c_splines-b31bd821ca369304: crates/bench/src/bin/fig09c_splines.rs
+
+crates/bench/src/bin/fig09c_splines.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig09c_splines-cc45efd6892024d2.d: crates/bench/src/bin/fig09c_splines.rs
+
+/root/repo/target/debug/deps/fig09c_splines-cc45efd6892024d2: crates/bench/src/bin/fig09c_splines.rs
+
+crates/bench/src/bin/fig09c_splines.rs:

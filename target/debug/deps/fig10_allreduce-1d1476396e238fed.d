@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig10_allreduce-1d1476396e238fed.d: crates/bench/src/bin/fig10_allreduce.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig10_allreduce-1d1476396e238fed.rmeta: crates/bench/src/bin/fig10_allreduce.rs Cargo.toml
+
+crates/bench/src/bin/fig10_allreduce.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

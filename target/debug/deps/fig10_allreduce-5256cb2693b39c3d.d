@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10_allreduce-5256cb2693b39c3d.d: crates/bench/src/bin/fig10_allreduce.rs
+
+/root/repo/target/debug/deps/fig10_allreduce-5256cb2693b39c3d: crates/bench/src/bin/fig10_allreduce.rs
+
+crates/bench/src/bin/fig10_allreduce.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10_allreduce-8a91e54f6ff427fc.d: crates/bench/src/bin/fig10_allreduce.rs
+
+/root/repo/target/debug/deps/fig10_allreduce-8a91e54f6ff427fc: crates/bench/src/bin/fig10_allreduce.rs
+
+crates/bench/src/bin/fig10_allreduce.rs:

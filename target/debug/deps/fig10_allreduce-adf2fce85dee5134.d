@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig10_allreduce-adf2fce85dee5134.d: crates/bench/src/bin/fig10_allreduce.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig10_allreduce-adf2fce85dee5134.rmeta: crates/bench/src/bin/fig10_allreduce.rs Cargo.toml
+
+crates/bench/src/bin/fig10_allreduce.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

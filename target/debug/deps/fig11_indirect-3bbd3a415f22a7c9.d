@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig11_indirect-3bbd3a415f22a7c9.d: crates/bench/src/bin/fig11_indirect.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig11_indirect-3bbd3a415f22a7c9.rmeta: crates/bench/src/bin/fig11_indirect.rs Cargo.toml
+
+crates/bench/src/bin/fig11_indirect.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

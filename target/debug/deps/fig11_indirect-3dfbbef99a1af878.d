@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11_indirect-3dfbbef99a1af878.d: crates/bench/src/bin/fig11_indirect.rs
+
+/root/repo/target/debug/deps/fig11_indirect-3dfbbef99a1af878: crates/bench/src/bin/fig11_indirect.rs
+
+crates/bench/src/bin/fig11_indirect.rs:

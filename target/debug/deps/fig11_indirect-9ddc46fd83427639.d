@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11_indirect-9ddc46fd83427639.d: crates/bench/src/bin/fig11_indirect.rs
+
+/root/repo/target/debug/deps/fig11_indirect-9ddc46fd83427639: crates/bench/src/bin/fig11_indirect.rs
+
+crates/bench/src/bin/fig11_indirect.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig11_indirect-c2dedd49700fe2d9.d: crates/bench/src/bin/fig11_indirect.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig11_indirect-c2dedd49700fe2d9.rmeta: crates/bench/src/bin/fig11_indirect.rs Cargo.toml
+
+crates/bench/src/bin/fig11_indirect.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig12_fusion-52fdcbcc92018d79.d: crates/bench/src/bin/fig12_fusion.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig12_fusion-52fdcbcc92018d79.rmeta: crates/bench/src/bin/fig12_fusion.rs Cargo.toml
+
+crates/bench/src/bin/fig12_fusion.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

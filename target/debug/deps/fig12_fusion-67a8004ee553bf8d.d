@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig12_fusion-67a8004ee553bf8d.d: crates/bench/src/bin/fig12_fusion.rs
+
+/root/repo/target/debug/deps/fig12_fusion-67a8004ee553bf8d: crates/bench/src/bin/fig12_fusion.rs
+
+crates/bench/src/bin/fig12_fusion.rs:

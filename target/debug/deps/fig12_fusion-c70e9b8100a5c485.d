@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig12_fusion-c70e9b8100a5c485.d: crates/bench/src/bin/fig12_fusion.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig12_fusion-c70e9b8100a5c485.rmeta: crates/bench/src/bin/fig12_fusion.rs Cargo.toml
+
+crates/bench/src/bin/fig12_fusion.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

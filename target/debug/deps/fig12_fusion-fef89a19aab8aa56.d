@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig12_fusion-fef89a19aab8aa56.d: crates/bench/src/bin/fig12_fusion.rs
+
+/root/repo/target/debug/deps/fig12_fusion-fef89a19aab8aa56: crates/bench/src/bin/fig12_fusion.rs
+
+crates/bench/src/bin/fig12_fusion.rs:

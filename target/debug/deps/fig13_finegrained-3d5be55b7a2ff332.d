@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig13_finegrained-3d5be55b7a2ff332.d: crates/bench/src/bin/fig13_finegrained.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig13_finegrained-3d5be55b7a2ff332.rmeta: crates/bench/src/bin/fig13_finegrained.rs Cargo.toml
+
+crates/bench/src/bin/fig13_finegrained.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

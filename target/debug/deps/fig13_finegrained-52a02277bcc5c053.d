@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig13_finegrained-52a02277bcc5c053.d: crates/bench/src/bin/fig13_finegrained.rs
+
+/root/repo/target/debug/deps/fig13_finegrained-52a02277bcc5c053: crates/bench/src/bin/fig13_finegrained.rs
+
+crates/bench/src/bin/fig13_finegrained.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig13_finegrained-d136ede37cbfe723.d: crates/bench/src/bin/fig13_finegrained.rs
+
+/root/repo/target/debug/deps/fig13_finegrained-d136ede37cbfe723: crates/bench/src/bin/fig13_finegrained.rs
+
+crates/bench/src/bin/fig13_finegrained.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig14_overall-2569e649fb17d824.d: crates/bench/src/bin/fig14_overall.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig14_overall-2569e649fb17d824.rmeta: crates/bench/src/bin/fig14_overall.rs Cargo.toml
+
+crates/bench/src/bin/fig14_overall.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig14_overall-b715a1ceb17594ae.d: crates/bench/src/bin/fig14_overall.rs
+
+/root/repo/target/debug/deps/fig14_overall-b715a1ceb17594ae: crates/bench/src/bin/fig14_overall.rs
+
+crates/bench/src/bin/fig14_overall.rs:

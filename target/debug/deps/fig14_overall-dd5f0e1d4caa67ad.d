@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig14_overall-dd5f0e1d4caa67ad.d: crates/bench/src/bin/fig14_overall.rs
+
+/root/repo/target/debug/deps/fig14_overall-dd5f0e1d4caa67ad: crates/bench/src/bin/fig14_overall.rs
+
+crates/bench/src/bin/fig14_overall.rs:

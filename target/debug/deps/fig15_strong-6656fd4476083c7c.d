@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig15_strong-6656fd4476083c7c.d: crates/bench/src/bin/fig15_strong.rs
+
+/root/repo/target/debug/deps/fig15_strong-6656fd4476083c7c: crates/bench/src/bin/fig15_strong.rs
+
+crates/bench/src/bin/fig15_strong.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig15_strong-81a51e832a858672.d: crates/bench/src/bin/fig15_strong.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig15_strong-81a51e832a858672.rmeta: crates/bench/src/bin/fig15_strong.rs Cargo.toml
+
+crates/bench/src/bin/fig15_strong.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig15_strong-87bdd16b33da565b.d: crates/bench/src/bin/fig15_strong.rs
+
+/root/repo/target/debug/deps/fig15_strong-87bdd16b33da565b: crates/bench/src/bin/fig15_strong.rs
+
+crates/bench/src/bin/fig15_strong.rs:

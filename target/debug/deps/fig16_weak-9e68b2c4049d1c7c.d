@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig16_weak-9e68b2c4049d1c7c.d: crates/bench/src/bin/fig16_weak.rs
+
+/root/repo/target/debug/deps/fig16_weak-9e68b2c4049d1c7c: crates/bench/src/bin/fig16_weak.rs
+
+crates/bench/src/bin/fig16_weak.rs:

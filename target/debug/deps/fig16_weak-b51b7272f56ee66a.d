@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig16_weak-b51b7272f56ee66a.d: crates/bench/src/bin/fig16_weak.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig16_weak-b51b7272f56ee66a.rmeta: crates/bench/src/bin/fig16_weak.rs Cargo.toml
+
+crates/bench/src/bin/fig16_weak.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

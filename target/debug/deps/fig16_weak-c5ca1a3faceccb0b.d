@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig16_weak-c5ca1a3faceccb0b.d: crates/bench/src/bin/fig16_weak.rs
+
+/root/repo/target/debug/deps/fig16_weak-c5ca1a3faceccb0b: crates/bench/src/bin/fig16_weak.rs
+
+crates/bench/src/bin/fig16_weak.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration_collectives-06bc17330620e1f1.d: crates/core/../../tests/integration_collectives.rs
+
+/root/repo/target/debug/deps/integration_collectives-06bc17330620e1f1: crates/core/../../tests/integration_collectives.rs
+
+crates/core/../../tests/integration_collectives.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/integration_collectives-872b8baa4543b96a.d: crates/core/../../tests/integration_collectives.rs Cargo.toml
+
+/root/repo/target/debug/deps/libintegration_collectives-872b8baa4543b96a.rmeta: crates/core/../../tests/integration_collectives.rs Cargo.toml
+
+crates/core/../../tests/integration_collectives.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration_collectives-b07782e644e4e673.d: crates/core/../../tests/integration_collectives.rs
+
+/root/repo/target/debug/deps/integration_collectives-b07782e644e4e673: crates/core/../../tests/integration_collectives.rs
+
+crates/core/../../tests/integration_collectives.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/integration_mapping_memory-3ac576616bb3764d.d: crates/core/../../tests/integration_mapping_memory.rs Cargo.toml
+
+/root/repo/target/debug/deps/libintegration_mapping_memory-3ac576616bb3764d.rmeta: crates/core/../../tests/integration_mapping_memory.rs Cargo.toml
+
+crates/core/../../tests/integration_mapping_memory.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

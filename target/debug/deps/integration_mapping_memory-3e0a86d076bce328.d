@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration_mapping_memory-3e0a86d076bce328.d: crates/core/../../tests/integration_mapping_memory.rs
+
+/root/repo/target/debug/deps/integration_mapping_memory-3e0a86d076bce328: crates/core/../../tests/integration_mapping_memory.rs
+
+crates/core/../../tests/integration_mapping_memory.rs:

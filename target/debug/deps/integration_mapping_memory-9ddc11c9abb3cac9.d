@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration_mapping_memory-9ddc11c9abb3cac9.d: crates/core/../../tests/integration_mapping_memory.rs
+
+/root/repo/target/debug/deps/integration_mapping_memory-9ddc11c9abb3cac9: crates/core/../../tests/integration_mapping_memory.rs
+
+crates/core/../../tests/integration_mapping_memory.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration_pipeline-3449e4c24aaf7b08.d: crates/core/../../tests/integration_pipeline.rs
+
+/root/repo/target/debug/deps/integration_pipeline-3449e4c24aaf7b08: crates/core/../../tests/integration_pipeline.rs
+
+crates/core/../../tests/integration_pipeline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration_pipeline-7d685beae03e177b.d: crates/core/../../tests/integration_pipeline.rs
+
+/root/repo/target/debug/deps/integration_pipeline-7d685beae03e177b: crates/core/../../tests/integration_pipeline.rs
+
+crates/core/../../tests/integration_pipeline.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/integration_pipeline-f10b72b93ee1d3e4.d: crates/core/../../tests/integration_pipeline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libintegration_pipeline-f10b72b93ee1d3e4.rmeta: crates/core/../../tests/integration_pipeline.rs Cargo.toml
+
+crates/core/../../tests/integration_pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

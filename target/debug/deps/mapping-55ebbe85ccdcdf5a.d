@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mapping-55ebbe85ccdcdf5a.d: crates/bench/benches/mapping.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmapping-55ebbe85ccdcdf5a.rmeta: crates/bench/benches/mapping.rs Cargo.toml
+
+crates/bench/benches/mapping.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

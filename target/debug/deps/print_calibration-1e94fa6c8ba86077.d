@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/print_calibration-1e94fa6c8ba86077.d: crates/bench/src/bin/print_calibration.rs
+
+/root/repo/target/debug/deps/print_calibration-1e94fa6c8ba86077: crates/bench/src/bin/print_calibration.rs
+
+crates/bench/src/bin/print_calibration.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/print_calibration-50fed44291e08982.d: crates/bench/src/bin/print_calibration.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprint_calibration-50fed44291e08982.rmeta: crates/bench/src/bin/print_calibration.rs Cargo.toml
+
+crates/bench/src/bin/print_calibration.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/print_calibration-c6333274b2434aa7.d: crates/bench/src/bin/print_calibration.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprint_calibration-c6333274b2434aa7.rmeta: crates/bench/src/bin/print_calibration.rs Cargo.toml
+
+crates/bench/src/bin/print_calibration.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

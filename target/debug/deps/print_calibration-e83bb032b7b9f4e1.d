@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/print_calibration-e83bb032b7b9f4e1.d: crates/bench/src/bin/print_calibration.rs
+
+/root/repo/target/debug/deps/print_calibration-e83bb032b7b9f4e1: crates/bench/src/bin/print_calibration.rs
+
+crates/bench/src/bin/print_calibration.rs:

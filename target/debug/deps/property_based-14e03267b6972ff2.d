@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/property_based-14e03267b6972ff2.d: crates/core/../../tests/property_based.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperty_based-14e03267b6972ff2.rmeta: crates/core/../../tests/property_based.rs Cargo.toml
+
+crates/core/../../tests/property_based.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

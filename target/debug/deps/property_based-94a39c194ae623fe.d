@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/property_based-94a39c194ae623fe.d: crates/core/../../tests/property_based.rs
+
+/root/repo/target/debug/deps/property_based-94a39c194ae623fe: crates/core/../../tests/property_based.rs
+
+crates/core/../../tests/property_based.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/property_based-e8f71eac2c5d4ce0.d: crates/core/../../tests/property_based.rs
+
+/root/repo/target/debug/deps/property_based-e8f71eac2c5d4ce0: crates/core/../../tests/property_based.rs
+
+crates/core/../../tests/property_based.rs:

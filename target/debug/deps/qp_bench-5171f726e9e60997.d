@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/qp_bench-5171f726e9e60997.d: crates/bench/src/lib.rs crates/bench/src/phase_model.rs crates/bench/src/table.rs crates/bench/src/trace_hook.rs crates/bench/src/workloads.rs
+
+/root/repo/target/debug/deps/libqp_bench-5171f726e9e60997.rlib: crates/bench/src/lib.rs crates/bench/src/phase_model.rs crates/bench/src/table.rs crates/bench/src/trace_hook.rs crates/bench/src/workloads.rs
+
+/root/repo/target/debug/deps/libqp_bench-5171f726e9e60997.rmeta: crates/bench/src/lib.rs crates/bench/src/phase_model.rs crates/bench/src/table.rs crates/bench/src/trace_hook.rs crates/bench/src/workloads.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/phase_model.rs:
+crates/bench/src/table.rs:
+crates/bench/src/trace_hook.rs:
+crates/bench/src/workloads.rs:

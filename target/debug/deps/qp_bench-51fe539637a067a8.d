@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/qp_bench-51fe539637a067a8.d: crates/bench/src/lib.rs crates/bench/src/phase_model.rs crates/bench/src/table.rs crates/bench/src/trace_hook.rs crates/bench/src/workloads.rs Cargo.toml
+
+/root/repo/target/debug/deps/libqp_bench-51fe539637a067a8.rmeta: crates/bench/src/lib.rs crates/bench/src/phase_model.rs crates/bench/src/table.rs crates/bench/src/trace_hook.rs crates/bench/src/workloads.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/phase_model.rs:
+crates/bench/src/table.rs:
+crates/bench/src/trace_hook.rs:
+crates/bench/src/workloads.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

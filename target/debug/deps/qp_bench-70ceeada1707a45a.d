@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/qp_bench-70ceeada1707a45a.d: crates/bench/src/lib.rs crates/bench/src/phase_model.rs crates/bench/src/table.rs crates/bench/src/workloads.rs
+
+/root/repo/target/debug/deps/qp_bench-70ceeada1707a45a: crates/bench/src/lib.rs crates/bench/src/phase_model.rs crates/bench/src/table.rs crates/bench/src/workloads.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/phase_model.rs:
+crates/bench/src/table.rs:
+crates/bench/src/workloads.rs:

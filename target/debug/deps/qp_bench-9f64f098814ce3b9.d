@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/qp_bench-9f64f098814ce3b9.d: crates/bench/src/lib.rs crates/bench/src/phase_model.rs crates/bench/src/table.rs crates/bench/src/workloads.rs
+
+/root/repo/target/debug/deps/libqp_bench-9f64f098814ce3b9.rlib: crates/bench/src/lib.rs crates/bench/src/phase_model.rs crates/bench/src/table.rs crates/bench/src/workloads.rs
+
+/root/repo/target/debug/deps/libqp_bench-9f64f098814ce3b9.rmeta: crates/bench/src/lib.rs crates/bench/src/phase_model.rs crates/bench/src/table.rs crates/bench/src/workloads.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/phase_model.rs:
+crates/bench/src/table.rs:
+crates/bench/src/workloads.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/qp_bench-afe99bffb643ea73.d: crates/bench/src/lib.rs crates/bench/src/phase_model.rs crates/bench/src/table.rs crates/bench/src/trace_hook.rs crates/bench/src/workloads.rs
+
+/root/repo/target/debug/deps/qp_bench-afe99bffb643ea73: crates/bench/src/lib.rs crates/bench/src/phase_model.rs crates/bench/src/table.rs crates/bench/src/trace_hook.rs crates/bench/src/workloads.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/phase_model.rs:
+crates/bench/src/table.rs:
+crates/bench/src/trace_hook.rs:
+crates/bench/src/workloads.rs:

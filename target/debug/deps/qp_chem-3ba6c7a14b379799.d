@@ -1,0 +1,21 @@
+/root/repo/target/debug/deps/qp_chem-3ba6c7a14b379799.d: crates/qp-chem/src/lib.rs crates/qp-chem/src/angular.rs crates/qp-chem/src/basis.rs crates/qp-chem/src/elements.rs crates/qp-chem/src/geometry.rs crates/qp-chem/src/grids.rs crates/qp-chem/src/harmonics.rs crates/qp-chem/src/io.rs crates/qp-chem/src/multipole.rs crates/qp-chem/src/radial.rs crates/qp-chem/src/spline.rs crates/qp-chem/src/structures.rs crates/qp-chem/src/xc.rs Cargo.toml
+
+/root/repo/target/debug/deps/libqp_chem-3ba6c7a14b379799.rmeta: crates/qp-chem/src/lib.rs crates/qp-chem/src/angular.rs crates/qp-chem/src/basis.rs crates/qp-chem/src/elements.rs crates/qp-chem/src/geometry.rs crates/qp-chem/src/grids.rs crates/qp-chem/src/harmonics.rs crates/qp-chem/src/io.rs crates/qp-chem/src/multipole.rs crates/qp-chem/src/radial.rs crates/qp-chem/src/spline.rs crates/qp-chem/src/structures.rs crates/qp-chem/src/xc.rs Cargo.toml
+
+crates/qp-chem/src/lib.rs:
+crates/qp-chem/src/angular.rs:
+crates/qp-chem/src/basis.rs:
+crates/qp-chem/src/elements.rs:
+crates/qp-chem/src/geometry.rs:
+crates/qp-chem/src/grids.rs:
+crates/qp-chem/src/harmonics.rs:
+crates/qp-chem/src/io.rs:
+crates/qp-chem/src/multipole.rs:
+crates/qp-chem/src/radial.rs:
+crates/qp-chem/src/spline.rs:
+crates/qp-chem/src/structures.rs:
+crates/qp-chem/src/xc.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/qp_chem-c02a2321216c6a5f.d: crates/qp-chem/src/lib.rs crates/qp-chem/src/angular.rs crates/qp-chem/src/basis.rs crates/qp-chem/src/elements.rs crates/qp-chem/src/geometry.rs crates/qp-chem/src/grids.rs crates/qp-chem/src/harmonics.rs crates/qp-chem/src/io.rs crates/qp-chem/src/multipole.rs crates/qp-chem/src/radial.rs crates/qp-chem/src/spline.rs crates/qp-chem/src/structures.rs crates/qp-chem/src/xc.rs
+
+/root/repo/target/debug/deps/libqp_chem-c02a2321216c6a5f.rlib: crates/qp-chem/src/lib.rs crates/qp-chem/src/angular.rs crates/qp-chem/src/basis.rs crates/qp-chem/src/elements.rs crates/qp-chem/src/geometry.rs crates/qp-chem/src/grids.rs crates/qp-chem/src/harmonics.rs crates/qp-chem/src/io.rs crates/qp-chem/src/multipole.rs crates/qp-chem/src/radial.rs crates/qp-chem/src/spline.rs crates/qp-chem/src/structures.rs crates/qp-chem/src/xc.rs
+
+/root/repo/target/debug/deps/libqp_chem-c02a2321216c6a5f.rmeta: crates/qp-chem/src/lib.rs crates/qp-chem/src/angular.rs crates/qp-chem/src/basis.rs crates/qp-chem/src/elements.rs crates/qp-chem/src/geometry.rs crates/qp-chem/src/grids.rs crates/qp-chem/src/harmonics.rs crates/qp-chem/src/io.rs crates/qp-chem/src/multipole.rs crates/qp-chem/src/radial.rs crates/qp-chem/src/spline.rs crates/qp-chem/src/structures.rs crates/qp-chem/src/xc.rs
+
+crates/qp-chem/src/lib.rs:
+crates/qp-chem/src/angular.rs:
+crates/qp-chem/src/basis.rs:
+crates/qp-chem/src/elements.rs:
+crates/qp-chem/src/geometry.rs:
+crates/qp-chem/src/grids.rs:
+crates/qp-chem/src/harmonics.rs:
+crates/qp-chem/src/io.rs:
+crates/qp-chem/src/multipole.rs:
+crates/qp-chem/src/radial.rs:
+crates/qp-chem/src/spline.rs:
+crates/qp-chem/src/structures.rs:
+crates/qp-chem/src/xc.rs:

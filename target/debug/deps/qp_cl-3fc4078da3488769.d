@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/qp_cl-3fc4078da3488769.d: crates/qp-cl/src/lib.rs crates/qp-cl/src/buffer.rs crates/qp-cl/src/collapse.rs crates/qp-cl/src/counters.rs crates/qp-cl/src/device.rs crates/qp-cl/src/fusion.rs crates/qp-cl/src/indirect.rs crates/qp-cl/src/queue.rs
+
+/root/repo/target/debug/deps/qp_cl-3fc4078da3488769: crates/qp-cl/src/lib.rs crates/qp-cl/src/buffer.rs crates/qp-cl/src/collapse.rs crates/qp-cl/src/counters.rs crates/qp-cl/src/device.rs crates/qp-cl/src/fusion.rs crates/qp-cl/src/indirect.rs crates/qp-cl/src/queue.rs
+
+crates/qp-cl/src/lib.rs:
+crates/qp-cl/src/buffer.rs:
+crates/qp-cl/src/collapse.rs:
+crates/qp-cl/src/counters.rs:
+crates/qp-cl/src/device.rs:
+crates/qp-cl/src/fusion.rs:
+crates/qp-cl/src/indirect.rs:
+crates/qp-cl/src/queue.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/qp_cl-61ae9429797301dc.d: crates/qp-cl/src/lib.rs crates/qp-cl/src/buffer.rs crates/qp-cl/src/collapse.rs crates/qp-cl/src/counters.rs crates/qp-cl/src/device.rs crates/qp-cl/src/fusion.rs crates/qp-cl/src/indirect.rs crates/qp-cl/src/queue.rs
+
+/root/repo/target/debug/deps/libqp_cl-61ae9429797301dc.rlib: crates/qp-cl/src/lib.rs crates/qp-cl/src/buffer.rs crates/qp-cl/src/collapse.rs crates/qp-cl/src/counters.rs crates/qp-cl/src/device.rs crates/qp-cl/src/fusion.rs crates/qp-cl/src/indirect.rs crates/qp-cl/src/queue.rs
+
+/root/repo/target/debug/deps/libqp_cl-61ae9429797301dc.rmeta: crates/qp-cl/src/lib.rs crates/qp-cl/src/buffer.rs crates/qp-cl/src/collapse.rs crates/qp-cl/src/counters.rs crates/qp-cl/src/device.rs crates/qp-cl/src/fusion.rs crates/qp-cl/src/indirect.rs crates/qp-cl/src/queue.rs
+
+crates/qp-cl/src/lib.rs:
+crates/qp-cl/src/buffer.rs:
+crates/qp-cl/src/collapse.rs:
+crates/qp-cl/src/counters.rs:
+crates/qp-cl/src/device.rs:
+crates/qp-cl/src/fusion.rs:
+crates/qp-cl/src/indirect.rs:
+crates/qp-cl/src/queue.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/qp_cl-faef6f666cc4a394.d: crates/qp-cl/src/lib.rs crates/qp-cl/src/buffer.rs crates/qp-cl/src/collapse.rs crates/qp-cl/src/counters.rs crates/qp-cl/src/device.rs crates/qp-cl/src/fusion.rs crates/qp-cl/src/indirect.rs crates/qp-cl/src/queue.rs Cargo.toml
+
+/root/repo/target/debug/deps/libqp_cl-faef6f666cc4a394.rmeta: crates/qp-cl/src/lib.rs crates/qp-cl/src/buffer.rs crates/qp-cl/src/collapse.rs crates/qp-cl/src/counters.rs crates/qp-cl/src/device.rs crates/qp-cl/src/fusion.rs crates/qp-cl/src/indirect.rs crates/qp-cl/src/queue.rs Cargo.toml
+
+crates/qp-cl/src/lib.rs:
+crates/qp-cl/src/buffer.rs:
+crates/qp-cl/src/collapse.rs:
+crates/qp-cl/src/counters.rs:
+crates/qp-cl/src/device.rs:
+crates/qp-cl/src/fusion.rs:
+crates/qp-cl/src/indirect.rs:
+crates/qp-cl/src/queue.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/qp_core-161bb26a1c229f3d.d: crates/core/src/lib.rs crates/core/src/dfpt.rs crates/core/src/dist.rs crates/core/src/kernels.rs crates/core/src/operators.rs crates/core/src/parallel.rs crates/core/src/properties.rs crates/core/src/scf.rs crates/core/src/system.rs
+
+/root/repo/target/debug/deps/qp_core-161bb26a1c229f3d: crates/core/src/lib.rs crates/core/src/dfpt.rs crates/core/src/dist.rs crates/core/src/kernels.rs crates/core/src/operators.rs crates/core/src/parallel.rs crates/core/src/properties.rs crates/core/src/scf.rs crates/core/src/system.rs
+
+crates/core/src/lib.rs:
+crates/core/src/dfpt.rs:
+crates/core/src/dist.rs:
+crates/core/src/kernels.rs:
+crates/core/src/operators.rs:
+crates/core/src/parallel.rs:
+crates/core/src/properties.rs:
+crates/core/src/scf.rs:
+crates/core/src/system.rs:

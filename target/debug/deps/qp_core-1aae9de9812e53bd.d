@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/qp_core-1aae9de9812e53bd.d: crates/core/src/lib.rs crates/core/src/dfpt.rs crates/core/src/dist.rs crates/core/src/kernels.rs crates/core/src/operators.rs crates/core/src/parallel.rs crates/core/src/properties.rs crates/core/src/scf.rs crates/core/src/system.rs
+
+/root/repo/target/debug/deps/libqp_core-1aae9de9812e53bd.rlib: crates/core/src/lib.rs crates/core/src/dfpt.rs crates/core/src/dist.rs crates/core/src/kernels.rs crates/core/src/operators.rs crates/core/src/parallel.rs crates/core/src/properties.rs crates/core/src/scf.rs crates/core/src/system.rs
+
+/root/repo/target/debug/deps/libqp_core-1aae9de9812e53bd.rmeta: crates/core/src/lib.rs crates/core/src/dfpt.rs crates/core/src/dist.rs crates/core/src/kernels.rs crates/core/src/operators.rs crates/core/src/parallel.rs crates/core/src/properties.rs crates/core/src/scf.rs crates/core/src/system.rs
+
+crates/core/src/lib.rs:
+crates/core/src/dfpt.rs:
+crates/core/src/dist.rs:
+crates/core/src/kernels.rs:
+crates/core/src/operators.rs:
+crates/core/src/parallel.rs:
+crates/core/src/properties.rs:
+crates/core/src/scf.rs:
+crates/core/src/system.rs:

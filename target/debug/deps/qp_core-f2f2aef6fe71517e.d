@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/qp_core-f2f2aef6fe71517e.d: crates/core/src/lib.rs crates/core/src/dfpt.rs crates/core/src/dist.rs crates/core/src/kernels.rs crates/core/src/operators.rs crates/core/src/parallel.rs crates/core/src/properties.rs crates/core/src/scf.rs crates/core/src/system.rs Cargo.toml
+
+/root/repo/target/debug/deps/libqp_core-f2f2aef6fe71517e.rmeta: crates/core/src/lib.rs crates/core/src/dfpt.rs crates/core/src/dist.rs crates/core/src/kernels.rs crates/core/src/operators.rs crates/core/src/parallel.rs crates/core/src/properties.rs crates/core/src/scf.rs crates/core/src/system.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/dfpt.rs:
+crates/core/src/dist.rs:
+crates/core/src/kernels.rs:
+crates/core/src/operators.rs:
+crates/core/src/parallel.rs:
+crates/core/src/properties.rs:
+crates/core/src/scf.rs:
+crates/core/src/system.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

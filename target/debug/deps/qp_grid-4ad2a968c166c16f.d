@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/qp_grid-4ad2a968c166c16f.d: crates/qp-grid/src/lib.rs crates/qp-grid/src/batch.rs crates/qp-grid/src/footprint.rs crates/qp-grid/src/mapping.rs crates/qp-grid/src/octree.rs
+
+/root/repo/target/debug/deps/qp_grid-4ad2a968c166c16f: crates/qp-grid/src/lib.rs crates/qp-grid/src/batch.rs crates/qp-grid/src/footprint.rs crates/qp-grid/src/mapping.rs crates/qp-grid/src/octree.rs
+
+crates/qp-grid/src/lib.rs:
+crates/qp-grid/src/batch.rs:
+crates/qp-grid/src/footprint.rs:
+crates/qp-grid/src/mapping.rs:
+crates/qp-grid/src/octree.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/qp_grid-b7c07b2ec8e4f3bc.d: crates/qp-grid/src/lib.rs crates/qp-grid/src/batch.rs crates/qp-grid/src/footprint.rs crates/qp-grid/src/mapping.rs crates/qp-grid/src/octree.rs Cargo.toml
+
+/root/repo/target/debug/deps/libqp_grid-b7c07b2ec8e4f3bc.rmeta: crates/qp-grid/src/lib.rs crates/qp-grid/src/batch.rs crates/qp-grid/src/footprint.rs crates/qp-grid/src/mapping.rs crates/qp-grid/src/octree.rs Cargo.toml
+
+crates/qp-grid/src/lib.rs:
+crates/qp-grid/src/batch.rs:
+crates/qp-grid/src/footprint.rs:
+crates/qp-grid/src/mapping.rs:
+crates/qp-grid/src/octree.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/qp_grid-ba2eee5d9e8a2fe4.d: crates/qp-grid/src/lib.rs crates/qp-grid/src/batch.rs crates/qp-grid/src/footprint.rs crates/qp-grid/src/mapping.rs crates/qp-grid/src/octree.rs
+
+/root/repo/target/debug/deps/libqp_grid-ba2eee5d9e8a2fe4.rlib: crates/qp-grid/src/lib.rs crates/qp-grid/src/batch.rs crates/qp-grid/src/footprint.rs crates/qp-grid/src/mapping.rs crates/qp-grid/src/octree.rs
+
+/root/repo/target/debug/deps/libqp_grid-ba2eee5d9e8a2fe4.rmeta: crates/qp-grid/src/lib.rs crates/qp-grid/src/batch.rs crates/qp-grid/src/footprint.rs crates/qp-grid/src/mapping.rs crates/qp-grid/src/octree.rs
+
+crates/qp-grid/src/lib.rs:
+crates/qp-grid/src/batch.rs:
+crates/qp-grid/src/footprint.rs:
+crates/qp-grid/src/mapping.rs:
+crates/qp-grid/src/octree.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/qp_grid-db9eb5969353ec9a.d: crates/qp-grid/src/lib.rs crates/qp-grid/src/batch.rs crates/qp-grid/src/footprint.rs crates/qp-grid/src/mapping.rs crates/qp-grid/src/octree.rs
+
+/root/repo/target/debug/deps/qp_grid-db9eb5969353ec9a: crates/qp-grid/src/lib.rs crates/qp-grid/src/batch.rs crates/qp-grid/src/footprint.rs crates/qp-grid/src/mapping.rs crates/qp-grid/src/octree.rs
+
+crates/qp-grid/src/lib.rs:
+crates/qp-grid/src/batch.rs:
+crates/qp-grid/src/footprint.rs:
+crates/qp-grid/src/mapping.rs:
+crates/qp-grid/src/octree.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/qp_linalg-03174e28d844c366.d: crates/qp-linalg/src/lib.rs crates/qp-linalg/src/cholesky.rs crates/qp-linalg/src/csr.rs crates/qp-linalg/src/dense.rs crates/qp-linalg/src/eigen.rs crates/qp-linalg/src/vecops.rs Cargo.toml
+
+/root/repo/target/debug/deps/libqp_linalg-03174e28d844c366.rmeta: crates/qp-linalg/src/lib.rs crates/qp-linalg/src/cholesky.rs crates/qp-linalg/src/csr.rs crates/qp-linalg/src/dense.rs crates/qp-linalg/src/eigen.rs crates/qp-linalg/src/vecops.rs Cargo.toml
+
+crates/qp-linalg/src/lib.rs:
+crates/qp-linalg/src/cholesky.rs:
+crates/qp-linalg/src/csr.rs:
+crates/qp-linalg/src/dense.rs:
+crates/qp-linalg/src/eigen.rs:
+crates/qp-linalg/src/vecops.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/qp_linalg-ba9b58ff06c8e78e.d: crates/qp-linalg/src/lib.rs crates/qp-linalg/src/cholesky.rs crates/qp-linalg/src/csr.rs crates/qp-linalg/src/dense.rs crates/qp-linalg/src/eigen.rs crates/qp-linalg/src/vecops.rs
+
+/root/repo/target/debug/deps/libqp_linalg-ba9b58ff06c8e78e.rlib: crates/qp-linalg/src/lib.rs crates/qp-linalg/src/cholesky.rs crates/qp-linalg/src/csr.rs crates/qp-linalg/src/dense.rs crates/qp-linalg/src/eigen.rs crates/qp-linalg/src/vecops.rs
+
+/root/repo/target/debug/deps/libqp_linalg-ba9b58ff06c8e78e.rmeta: crates/qp-linalg/src/lib.rs crates/qp-linalg/src/cholesky.rs crates/qp-linalg/src/csr.rs crates/qp-linalg/src/dense.rs crates/qp-linalg/src/eigen.rs crates/qp-linalg/src/vecops.rs
+
+crates/qp-linalg/src/lib.rs:
+crates/qp-linalg/src/cholesky.rs:
+crates/qp-linalg/src/csr.rs:
+crates/qp-linalg/src/dense.rs:
+crates/qp-linalg/src/eigen.rs:
+crates/qp-linalg/src/vecops.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/qp_linalg-f520c53c54bddd79.d: crates/qp-linalg/src/lib.rs crates/qp-linalg/src/cholesky.rs crates/qp-linalg/src/csr.rs crates/qp-linalg/src/dense.rs crates/qp-linalg/src/eigen.rs crates/qp-linalg/src/vecops.rs
+
+/root/repo/target/debug/deps/qp_linalg-f520c53c54bddd79: crates/qp-linalg/src/lib.rs crates/qp-linalg/src/cholesky.rs crates/qp-linalg/src/csr.rs crates/qp-linalg/src/dense.rs crates/qp-linalg/src/eigen.rs crates/qp-linalg/src/vecops.rs
+
+crates/qp-linalg/src/lib.rs:
+crates/qp-linalg/src/cholesky.rs:
+crates/qp-linalg/src/csr.rs:
+crates/qp-linalg/src/dense.rs:
+crates/qp-linalg/src/eigen.rs:
+crates/qp-linalg/src/vecops.rs:

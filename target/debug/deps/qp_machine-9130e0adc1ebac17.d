@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/qp_machine-9130e0adc1ebac17.d: crates/qp-machine/src/lib.rs crates/qp-machine/src/calib.rs crates/qp-machine/src/cost.rs crates/qp-machine/src/kernel_cost.rs crates/qp-machine/src/machine.rs
+
+/root/repo/target/debug/deps/libqp_machine-9130e0adc1ebac17.rlib: crates/qp-machine/src/lib.rs crates/qp-machine/src/calib.rs crates/qp-machine/src/cost.rs crates/qp-machine/src/kernel_cost.rs crates/qp-machine/src/machine.rs
+
+/root/repo/target/debug/deps/libqp_machine-9130e0adc1ebac17.rmeta: crates/qp-machine/src/lib.rs crates/qp-machine/src/calib.rs crates/qp-machine/src/cost.rs crates/qp-machine/src/kernel_cost.rs crates/qp-machine/src/machine.rs
+
+crates/qp-machine/src/lib.rs:
+crates/qp-machine/src/calib.rs:
+crates/qp-machine/src/cost.rs:
+crates/qp-machine/src/kernel_cost.rs:
+crates/qp-machine/src/machine.rs:

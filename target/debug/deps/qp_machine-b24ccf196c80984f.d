@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/qp_machine-b24ccf196c80984f.d: crates/qp-machine/src/lib.rs crates/qp-machine/src/calib.rs crates/qp-machine/src/cost.rs crates/qp-machine/src/kernel_cost.rs crates/qp-machine/src/machine.rs
+
+/root/repo/target/debug/deps/qp_machine-b24ccf196c80984f: crates/qp-machine/src/lib.rs crates/qp-machine/src/calib.rs crates/qp-machine/src/cost.rs crates/qp-machine/src/kernel_cost.rs crates/qp-machine/src/machine.rs
+
+crates/qp-machine/src/lib.rs:
+crates/qp-machine/src/calib.rs:
+crates/qp-machine/src/cost.rs:
+crates/qp-machine/src/kernel_cost.rs:
+crates/qp-machine/src/machine.rs:

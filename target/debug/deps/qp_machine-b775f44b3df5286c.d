@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/qp_machine-b775f44b3df5286c.d: crates/qp-machine/src/lib.rs crates/qp-machine/src/calib.rs crates/qp-machine/src/cost.rs crates/qp-machine/src/kernel_cost.rs crates/qp-machine/src/machine.rs
+
+/root/repo/target/debug/deps/qp_machine-b775f44b3df5286c: crates/qp-machine/src/lib.rs crates/qp-machine/src/calib.rs crates/qp-machine/src/cost.rs crates/qp-machine/src/kernel_cost.rs crates/qp-machine/src/machine.rs
+
+crates/qp-machine/src/lib.rs:
+crates/qp-machine/src/calib.rs:
+crates/qp-machine/src/cost.rs:
+crates/qp-machine/src/kernel_cost.rs:
+crates/qp-machine/src/machine.rs:

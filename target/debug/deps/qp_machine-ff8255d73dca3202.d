@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/qp_machine-ff8255d73dca3202.d: crates/qp-machine/src/lib.rs crates/qp-machine/src/calib.rs crates/qp-machine/src/cost.rs crates/qp-machine/src/kernel_cost.rs crates/qp-machine/src/machine.rs
+
+/root/repo/target/debug/deps/libqp_machine-ff8255d73dca3202.rlib: crates/qp-machine/src/lib.rs crates/qp-machine/src/calib.rs crates/qp-machine/src/cost.rs crates/qp-machine/src/kernel_cost.rs crates/qp-machine/src/machine.rs
+
+/root/repo/target/debug/deps/libqp_machine-ff8255d73dca3202.rmeta: crates/qp-machine/src/lib.rs crates/qp-machine/src/calib.rs crates/qp-machine/src/cost.rs crates/qp-machine/src/kernel_cost.rs crates/qp-machine/src/machine.rs
+
+crates/qp-machine/src/lib.rs:
+crates/qp-machine/src/calib.rs:
+crates/qp-machine/src/cost.rs:
+crates/qp-machine/src/kernel_cost.rs:
+crates/qp-machine/src/machine.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/qp_mpi-1a18f40eb38e613b.d: crates/qp-mpi/src/lib.rs crates/qp-mpi/src/collectives.rs crates/qp-mpi/src/comm.rs crates/qp-mpi/src/hierarchical.rs crates/qp-mpi/src/p2p.rs crates/qp-mpi/src/packed.rs crates/qp-mpi/src/shm.rs crates/qp-mpi/src/traffic.rs
+
+/root/repo/target/debug/deps/libqp_mpi-1a18f40eb38e613b.rlib: crates/qp-mpi/src/lib.rs crates/qp-mpi/src/collectives.rs crates/qp-mpi/src/comm.rs crates/qp-mpi/src/hierarchical.rs crates/qp-mpi/src/p2p.rs crates/qp-mpi/src/packed.rs crates/qp-mpi/src/shm.rs crates/qp-mpi/src/traffic.rs
+
+/root/repo/target/debug/deps/libqp_mpi-1a18f40eb38e613b.rmeta: crates/qp-mpi/src/lib.rs crates/qp-mpi/src/collectives.rs crates/qp-mpi/src/comm.rs crates/qp-mpi/src/hierarchical.rs crates/qp-mpi/src/p2p.rs crates/qp-mpi/src/packed.rs crates/qp-mpi/src/shm.rs crates/qp-mpi/src/traffic.rs
+
+crates/qp-mpi/src/lib.rs:
+crates/qp-mpi/src/collectives.rs:
+crates/qp-mpi/src/comm.rs:
+crates/qp-mpi/src/hierarchical.rs:
+crates/qp-mpi/src/p2p.rs:
+crates/qp-mpi/src/packed.rs:
+crates/qp-mpi/src/shm.rs:
+crates/qp-mpi/src/traffic.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/qp_mpi-66989f51acc4069d.d: crates/qp-mpi/src/lib.rs crates/qp-mpi/src/collectives.rs crates/qp-mpi/src/comm.rs crates/qp-mpi/src/hierarchical.rs crates/qp-mpi/src/p2p.rs crates/qp-mpi/src/packed.rs crates/qp-mpi/src/shm.rs crates/qp-mpi/src/traffic.rs
+
+/root/repo/target/debug/deps/qp_mpi-66989f51acc4069d: crates/qp-mpi/src/lib.rs crates/qp-mpi/src/collectives.rs crates/qp-mpi/src/comm.rs crates/qp-mpi/src/hierarchical.rs crates/qp-mpi/src/p2p.rs crates/qp-mpi/src/packed.rs crates/qp-mpi/src/shm.rs crates/qp-mpi/src/traffic.rs
+
+crates/qp-mpi/src/lib.rs:
+crates/qp-mpi/src/collectives.rs:
+crates/qp-mpi/src/comm.rs:
+crates/qp-mpi/src/hierarchical.rs:
+crates/qp-mpi/src/p2p.rs:
+crates/qp-mpi/src/packed.rs:
+crates/qp-mpi/src/shm.rs:
+crates/qp-mpi/src/traffic.rs:

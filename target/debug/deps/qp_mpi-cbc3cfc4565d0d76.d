@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/qp_mpi-cbc3cfc4565d0d76.d: crates/qp-mpi/src/lib.rs crates/qp-mpi/src/collectives.rs crates/qp-mpi/src/comm.rs crates/qp-mpi/src/hierarchical.rs crates/qp-mpi/src/p2p.rs crates/qp-mpi/src/packed.rs crates/qp-mpi/src/shm.rs crates/qp-mpi/src/traffic.rs Cargo.toml
+
+/root/repo/target/debug/deps/libqp_mpi-cbc3cfc4565d0d76.rmeta: crates/qp-mpi/src/lib.rs crates/qp-mpi/src/collectives.rs crates/qp-mpi/src/comm.rs crates/qp-mpi/src/hierarchical.rs crates/qp-mpi/src/p2p.rs crates/qp-mpi/src/packed.rs crates/qp-mpi/src/shm.rs crates/qp-mpi/src/traffic.rs Cargo.toml
+
+crates/qp-mpi/src/lib.rs:
+crates/qp-mpi/src/collectives.rs:
+crates/qp-mpi/src/comm.rs:
+crates/qp-mpi/src/hierarchical.rs:
+crates/qp-mpi/src/p2p.rs:
+crates/qp-mpi/src/packed.rs:
+crates/qp-mpi/src/shm.rs:
+crates/qp-mpi/src/traffic.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

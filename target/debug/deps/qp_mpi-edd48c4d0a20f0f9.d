@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/qp_mpi-edd48c4d0a20f0f9.d: crates/qp-mpi/src/lib.rs crates/qp-mpi/src/collectives.rs crates/qp-mpi/src/comm.rs crates/qp-mpi/src/hierarchical.rs crates/qp-mpi/src/p2p.rs crates/qp-mpi/src/packed.rs crates/qp-mpi/src/shm.rs crates/qp-mpi/src/traffic.rs
+
+/root/repo/target/debug/deps/qp_mpi-edd48c4d0a20f0f9: crates/qp-mpi/src/lib.rs crates/qp-mpi/src/collectives.rs crates/qp-mpi/src/comm.rs crates/qp-mpi/src/hierarchical.rs crates/qp-mpi/src/p2p.rs crates/qp-mpi/src/packed.rs crates/qp-mpi/src/shm.rs crates/qp-mpi/src/traffic.rs
+
+crates/qp-mpi/src/lib.rs:
+crates/qp-mpi/src/collectives.rs:
+crates/qp-mpi/src/comm.rs:
+crates/qp-mpi/src/hierarchical.rs:
+crates/qp-mpi/src/p2p.rs:
+crates/qp-mpi/src/packed.rs:
+crates/qp-mpi/src/shm.rs:
+crates/qp-mpi/src/traffic.rs:

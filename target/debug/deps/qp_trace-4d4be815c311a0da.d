@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/qp_trace-4d4be815c311a0da.d: crates/qp-trace/src/lib.rs crates/qp-trace/src/export.rs crates/qp-trace/src/log.rs crates/qp-trace/src/metrics.rs crates/qp-trace/src/span.rs Cargo.toml
+
+/root/repo/target/debug/deps/libqp_trace-4d4be815c311a0da.rmeta: crates/qp-trace/src/lib.rs crates/qp-trace/src/export.rs crates/qp-trace/src/log.rs crates/qp-trace/src/metrics.rs crates/qp-trace/src/span.rs Cargo.toml
+
+crates/qp-trace/src/lib.rs:
+crates/qp-trace/src/export.rs:
+crates/qp-trace/src/log.rs:
+crates/qp-trace/src/metrics.rs:
+crates/qp-trace/src/span.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

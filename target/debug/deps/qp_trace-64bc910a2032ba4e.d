@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/qp_trace-64bc910a2032ba4e.d: crates/qp-trace/src/lib.rs crates/qp-trace/src/export.rs crates/qp-trace/src/log.rs crates/qp-trace/src/metrics.rs crates/qp-trace/src/span.rs
+
+/root/repo/target/debug/deps/libqp_trace-64bc910a2032ba4e.rlib: crates/qp-trace/src/lib.rs crates/qp-trace/src/export.rs crates/qp-trace/src/log.rs crates/qp-trace/src/metrics.rs crates/qp-trace/src/span.rs
+
+/root/repo/target/debug/deps/libqp_trace-64bc910a2032ba4e.rmeta: crates/qp-trace/src/lib.rs crates/qp-trace/src/export.rs crates/qp-trace/src/log.rs crates/qp-trace/src/metrics.rs crates/qp-trace/src/span.rs
+
+crates/qp-trace/src/lib.rs:
+crates/qp-trace/src/export.rs:
+crates/qp-trace/src/log.rs:
+crates/qp-trace/src/metrics.rs:
+crates/qp-trace/src/span.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/qp_trace-67aa3da1c6873951.d: crates/qp-trace/src/lib.rs crates/qp-trace/src/export.rs crates/qp-trace/src/log.rs crates/qp-trace/src/metrics.rs crates/qp-trace/src/span.rs Cargo.toml
+
+/root/repo/target/debug/deps/libqp_trace-67aa3da1c6873951.rmeta: crates/qp-trace/src/lib.rs crates/qp-trace/src/export.rs crates/qp-trace/src/log.rs crates/qp-trace/src/metrics.rs crates/qp-trace/src/span.rs Cargo.toml
+
+crates/qp-trace/src/lib.rs:
+crates/qp-trace/src/export.rs:
+crates/qp-trace/src/log.rs:
+crates/qp-trace/src/metrics.rs:
+crates/qp-trace/src/span.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

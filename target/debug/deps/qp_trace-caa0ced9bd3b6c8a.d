@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/qp_trace-caa0ced9bd3b6c8a.d: crates/qp-trace/src/lib.rs crates/qp-trace/src/export.rs crates/qp-trace/src/log.rs crates/qp-trace/src/metrics.rs crates/qp-trace/src/span.rs
+
+/root/repo/target/debug/deps/libqp_trace-caa0ced9bd3b6c8a.rlib: crates/qp-trace/src/lib.rs crates/qp-trace/src/export.rs crates/qp-trace/src/log.rs crates/qp-trace/src/metrics.rs crates/qp-trace/src/span.rs
+
+/root/repo/target/debug/deps/libqp_trace-caa0ced9bd3b6c8a.rmeta: crates/qp-trace/src/lib.rs crates/qp-trace/src/export.rs crates/qp-trace/src/log.rs crates/qp-trace/src/metrics.rs crates/qp-trace/src/span.rs
+
+crates/qp-trace/src/lib.rs:
+crates/qp-trace/src/export.rs:
+crates/qp-trace/src/log.rs:
+crates/qp-trace/src/metrics.rs:
+crates/qp-trace/src/span.rs:

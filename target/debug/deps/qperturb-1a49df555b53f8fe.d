@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/qperturb-1a49df555b53f8fe.d: crates/qp-cli/src/main.rs crates/qp-cli/src/control.rs Cargo.toml
+
+/root/repo/target/debug/deps/libqperturb-1a49df555b53f8fe.rmeta: crates/qp-cli/src/main.rs crates/qp-cli/src/control.rs Cargo.toml
+
+crates/qp-cli/src/main.rs:
+crates/qp-cli/src/control.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

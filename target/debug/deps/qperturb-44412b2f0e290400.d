@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/qperturb-44412b2f0e290400.d: crates/qp-cli/src/main.rs crates/qp-cli/src/control.rs
+
+/root/repo/target/debug/deps/qperturb-44412b2f0e290400: crates/qp-cli/src/main.rs crates/qp-cli/src/control.rs
+
+crates/qp-cli/src/main.rs:
+crates/qp-cli/src/control.rs:

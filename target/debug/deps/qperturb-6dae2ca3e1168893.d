@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/qperturb-6dae2ca3e1168893.d: crates/qp-cli/src/main.rs crates/qp-cli/src/control.rs
+
+/root/repo/target/debug/deps/qperturb-6dae2ca3e1168893: crates/qp-cli/src/main.rs crates/qp-cli/src/control.rs
+
+crates/qp-cli/src/main.rs:
+crates/qp-cli/src/control.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/qperturb-994ae565e8482c53.d: crates/qp-cli/src/main.rs crates/qp-cli/src/control.rs
+
+/root/repo/target/debug/deps/qperturb-994ae565e8482c53: crates/qp-cli/src/main.rs crates/qp-cli/src/control.rs
+
+crates/qp-cli/src/main.rs:
+crates/qp-cli/src/control.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rayon-176b64f09774f456.d: shims/rayon/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/librayon-176b64f09774f456.rmeta: shims/rayon/src/lib.rs Cargo.toml
+
+shims/rayon/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rayon-78634757a9f32f33.d: shims/rayon/src/lib.rs
+
+/root/repo/target/debug/deps/rayon-78634757a9f32f33: shims/rayon/src/lib.rs
+
+shims/rayon/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rayon-d680071e74cdf067.d: shims/rayon/src/lib.rs
+
+/root/repo/target/debug/deps/librayon-d680071e74cdf067.rlib: shims/rayon/src/lib.rs
+
+/root/repo/target/debug/deps/librayon-d680071e74cdf067.rmeta: shims/rayon/src/lib.rs
+
+shims/rayon/src/lib.rs:

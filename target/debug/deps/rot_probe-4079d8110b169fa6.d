@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rot_probe-4079d8110b169fa6.d: crates/bench/src/bin/rot_probe.rs Cargo.toml
+
+/root/repo/target/debug/deps/librot_probe-4079d8110b169fa6.rmeta: crates/bench/src/bin/rot_probe.rs Cargo.toml
+
+crates/bench/src/bin/rot_probe.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rot_probe-8f7a21776fcbf9aa.d: crates/bench/src/bin/rot_probe.rs
+
+/root/repo/target/debug/deps/rot_probe-8f7a21776fcbf9aa: crates/bench/src/bin/rot_probe.rs
+
+crates/bench/src/bin/rot_probe.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rot_probe-f78c7ae11a85b9d3.d: crates/bench/src/bin/rot_probe.rs
+
+/root/repo/target/debug/deps/rot_probe-f78c7ae11a85b9d3: crates/bench/src/bin/rot_probe.rs
+
+crates/bench/src/bin/rot_probe.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/scf_diagnose-6a64d0116454349e.d: crates/bench/src/bin/scf_diagnose.rs
+
+/root/repo/target/debug/deps/scf_diagnose-6a64d0116454349e: crates/bench/src/bin/scf_diagnose.rs
+
+crates/bench/src/bin/scf_diagnose.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/scf_diagnose-6ef286699b2951be.d: crates/bench/src/bin/scf_diagnose.rs
+
+/root/repo/target/debug/deps/scf_diagnose-6ef286699b2951be: crates/bench/src/bin/scf_diagnose.rs
+
+crates/bench/src/bin/scf_diagnose.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/scf_diagnose-e9681c21219ca091.d: crates/bench/src/bin/scf_diagnose.rs Cargo.toml
+
+/root/repo/target/debug/deps/libscf_diagnose-e9681c21219ca091.rmeta: crates/bench/src/bin/scf_diagnose.rs Cargo.toml
+
+crates/bench/src/bin/scf_diagnose.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

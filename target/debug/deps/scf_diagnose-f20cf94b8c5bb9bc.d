@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/scf_diagnose-f20cf94b8c5bb9bc.d: crates/bench/src/bin/scf_diagnose.rs Cargo.toml
+
+/root/repo/target/debug/deps/libscf_diagnose-f20cf94b8c5bb9bc.rmeta: crates/bench/src/bin/scf_diagnose.rs Cargo.toml
+
+crates/bench/src/bin/scf_diagnose.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

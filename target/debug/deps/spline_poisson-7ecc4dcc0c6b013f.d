@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/spline_poisson-7ecc4dcc0c6b013f.d: crates/bench/benches/spline_poisson.rs Cargo.toml
+
+/root/repo/target/debug/deps/libspline_poisson-7ecc4dcc0c6b013f.rmeta: crates/bench/benches/spline_poisson.rs Cargo.toml
+
+crates/bench/benches/spline_poisson.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

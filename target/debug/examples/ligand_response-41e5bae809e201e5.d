@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/ligand_response-41e5bae809e201e5.d: crates/core/../../examples/ligand_response.rs
+
+/root/repo/target/debug/examples/ligand_response-41e5bae809e201e5: crates/core/../../examples/ligand_response.rs
+
+crates/core/../../examples/ligand_response.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/ligand_response-4fbcacb9dbd30b71.d: crates/core/../../examples/ligand_response.rs
+
+/root/repo/target/debug/examples/ligand_response-4fbcacb9dbd30b71: crates/core/../../examples/ligand_response.rs
+
+crates/core/../../examples/ligand_response.rs:

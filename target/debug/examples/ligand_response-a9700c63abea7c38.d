@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/ligand_response-a9700c63abea7c38.d: crates/core/../../examples/ligand_response.rs Cargo.toml
+
+/root/repo/target/debug/examples/libligand_response-a9700c63abea7c38.rmeta: crates/core/../../examples/ligand_response.rs Cargo.toml
+
+crates/core/../../examples/ligand_response.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

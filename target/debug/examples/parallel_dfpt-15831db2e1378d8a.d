@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/parallel_dfpt-15831db2e1378d8a.d: crates/core/../../examples/parallel_dfpt.rs
+
+/root/repo/target/debug/examples/parallel_dfpt-15831db2e1378d8a: crates/core/../../examples/parallel_dfpt.rs
+
+crates/core/../../examples/parallel_dfpt.rs:

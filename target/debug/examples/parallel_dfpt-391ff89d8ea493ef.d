@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/parallel_dfpt-391ff89d8ea493ef.d: crates/core/../../examples/parallel_dfpt.rs Cargo.toml
+
+/root/repo/target/debug/examples/libparallel_dfpt-391ff89d8ea493ef.rmeta: crates/core/../../examples/parallel_dfpt.rs Cargo.toml
+
+crates/core/../../examples/parallel_dfpt.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

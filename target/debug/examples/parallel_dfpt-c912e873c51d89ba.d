@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/parallel_dfpt-c912e873c51d89ba.d: crates/core/../../examples/parallel_dfpt.rs
+
+/root/repo/target/debug/examples/parallel_dfpt-c912e873c51d89ba: crates/core/../../examples/parallel_dfpt.rs
+
+crates/core/../../examples/parallel_dfpt.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/polyethylene_scaling-12f02ddf332530f1.d: crates/core/../../examples/polyethylene_scaling.rs
+
+/root/repo/target/debug/examples/polyethylene_scaling-12f02ddf332530f1: crates/core/../../examples/polyethylene_scaling.rs
+
+crates/core/../../examples/polyethylene_scaling.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/polyethylene_scaling-ab99da8717d46bd8.d: crates/core/../../examples/polyethylene_scaling.rs Cargo.toml
+
+/root/repo/target/debug/examples/libpolyethylene_scaling-ab99da8717d46bd8.rmeta: crates/core/../../examples/polyethylene_scaling.rs Cargo.toml
+
+crates/core/../../examples/polyethylene_scaling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/polyethylene_scaling-c6c1c77813f103e4.d: crates/core/../../examples/polyethylene_scaling.rs
+
+/root/repo/target/debug/examples/polyethylene_scaling-c6c1c77813f103e4: crates/core/../../examples/polyethylene_scaling.rs
+
+crates/core/../../examples/polyethylene_scaling.rs:

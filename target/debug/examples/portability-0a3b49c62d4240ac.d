@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/portability-0a3b49c62d4240ac.d: crates/core/../../examples/portability.rs Cargo.toml
+
+/root/repo/target/debug/examples/libportability-0a3b49c62d4240ac.rmeta: crates/core/../../examples/portability.rs Cargo.toml
+
+crates/core/../../examples/portability.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/portability-284788c1f7af9d9a.d: crates/core/../../examples/portability.rs
+
+/root/repo/target/debug/examples/portability-284788c1f7af9d9a: crates/core/../../examples/portability.rs
+
+crates/core/../../examples/portability.rs:

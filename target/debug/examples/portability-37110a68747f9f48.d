@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/portability-37110a68747f9f48.d: crates/core/../../examples/portability.rs
+
+/root/repo/target/debug/examples/portability-37110a68747f9f48: crates/core/../../examples/portability.rs
+
+crates/core/../../examples/portability.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-2d00ee287531a04e.d: crates/core/../../examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-2d00ee287531a04e: crates/core/../../examples/quickstart.rs
+
+crates/core/../../examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-ef9f92e432e696d1.d: crates/core/../../examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-ef9f92e432e696d1: crates/core/../../examples/quickstart.rs
+
+crates/core/../../examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/raman_water-0d7781847b219255.d: crates/core/../../examples/raman_water.rs
+
+/root/repo/target/debug/examples/raman_water-0d7781847b219255: crates/core/../../examples/raman_water.rs
+
+crates/core/../../examples/raman_water.rs:

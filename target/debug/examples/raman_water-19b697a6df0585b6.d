@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/raman_water-19b697a6df0585b6.d: crates/core/../../examples/raman_water.rs Cargo.toml
+
+/root/repo/target/debug/examples/libraman_water-19b697a6df0585b6.rmeta: crates/core/../../examples/raman_water.rs Cargo.toml
+
+crates/core/../../examples/raman_water.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/raman_water-b29668e237b770ef.d: crates/core/../../examples/raman_water.rs
+
+/root/repo/target/debug/examples/raman_water-b29668e237b770ef: crates/core/../../examples/raman_water.rs
+
+crates/core/../../examples/raman_water.rs:

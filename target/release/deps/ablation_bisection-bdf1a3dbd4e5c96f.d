@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_bisection-bdf1a3dbd4e5c96f.d: crates/bench/src/bin/ablation_bisection.rs
+
+/root/repo/target/release/deps/ablation_bisection-bdf1a3dbd4e5c96f: crates/bench/src/bin/ablation_bisection.rs
+
+crates/bench/src/bin/ablation_bisection.rs:

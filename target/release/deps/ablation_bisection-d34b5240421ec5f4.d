@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_bisection-d34b5240421ec5f4.d: crates/bench/src/bin/ablation_bisection.rs
+
+/root/repo/target/release/deps/ablation_bisection-d34b5240421ec5f4: crates/bench/src/bin/ablation_bisection.rs
+
+crates/bench/src/bin/ablation_bisection.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_hierarchy_width-0604875d6b3f095b.d: crates/bench/src/bin/ablation_hierarchy_width.rs
+
+/root/repo/target/release/deps/ablation_hierarchy_width-0604875d6b3f095b: crates/bench/src/bin/ablation_hierarchy_width.rs
+
+crates/bench/src/bin/ablation_hierarchy_width.rs:

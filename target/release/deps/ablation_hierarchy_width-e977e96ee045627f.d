@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_hierarchy_width-e977e96ee045627f.d: crates/bench/src/bin/ablation_hierarchy_width.rs
+
+/root/repo/target/release/deps/ablation_hierarchy_width-e977e96ee045627f: crates/bench/src/bin/ablation_hierarchy_width.rs
+
+crates/bench/src/bin/ablation_hierarchy_width.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_packing_budget-8cbbae18e3fee079.d: crates/bench/src/bin/ablation_packing_budget.rs
+
+/root/repo/target/release/deps/ablation_packing_budget-8cbbae18e3fee079: crates/bench/src/bin/ablation_packing_budget.rs
+
+crates/bench/src/bin/ablation_packing_budget.rs:

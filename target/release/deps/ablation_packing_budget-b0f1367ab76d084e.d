@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_packing_budget-b0f1367ab76d084e.d: crates/bench/src/bin/ablation_packing_budget.rs
+
+/root/repo/target/release/deps/ablation_packing_budget-b0f1367ab76d084e: crates/bench/src/bin/ablation_packing_budget.rs
+
+crates/bench/src/bin/ablation_packing_budget.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/criterion-77d2c1421f324c65.d: shims/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-77d2c1421f324c65.rlib: shims/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-77d2c1421f324c65.rmeta: shims/criterion/src/lib.rs
+
+shims/criterion/src/lib.rs:

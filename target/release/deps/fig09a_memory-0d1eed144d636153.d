@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig09a_memory-0d1eed144d636153.d: crates/bench/src/bin/fig09a_memory.rs
+
+/root/repo/target/release/deps/fig09a_memory-0d1eed144d636153: crates/bench/src/bin/fig09a_memory.rs
+
+crates/bench/src/bin/fig09a_memory.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig09a_memory-6abd99c511d7676c.d: crates/bench/src/bin/fig09a_memory.rs
+
+/root/repo/target/release/deps/fig09a_memory-6abd99c511d7676c: crates/bench/src/bin/fig09a_memory.rs
+
+crates/bench/src/bin/fig09a_memory.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig09b_density_hamiltonian-20ce109520b0c1e9.d: crates/bench/src/bin/fig09b_density_hamiltonian.rs
+
+/root/repo/target/release/deps/fig09b_density_hamiltonian-20ce109520b0c1e9: crates/bench/src/bin/fig09b_density_hamiltonian.rs
+
+crates/bench/src/bin/fig09b_density_hamiltonian.rs:

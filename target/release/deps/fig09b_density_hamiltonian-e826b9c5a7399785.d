@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig09b_density_hamiltonian-e826b9c5a7399785.d: crates/bench/src/bin/fig09b_density_hamiltonian.rs
+
+/root/repo/target/release/deps/fig09b_density_hamiltonian-e826b9c5a7399785: crates/bench/src/bin/fig09b_density_hamiltonian.rs
+
+crates/bench/src/bin/fig09b_density_hamiltonian.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig09c_splines-35b2d054d715d874.d: crates/bench/src/bin/fig09c_splines.rs
+
+/root/repo/target/release/deps/fig09c_splines-35b2d054d715d874: crates/bench/src/bin/fig09c_splines.rs
+
+crates/bench/src/bin/fig09c_splines.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig09c_splines-a37419442ed52d37.d: crates/bench/src/bin/fig09c_splines.rs
+
+/root/repo/target/release/deps/fig09c_splines-a37419442ed52d37: crates/bench/src/bin/fig09c_splines.rs
+
+crates/bench/src/bin/fig09c_splines.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig10_allreduce-1113afce4b1df963.d: crates/bench/src/bin/fig10_allreduce.rs
+
+/root/repo/target/release/deps/fig10_allreduce-1113afce4b1df963: crates/bench/src/bin/fig10_allreduce.rs
+
+crates/bench/src/bin/fig10_allreduce.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig10_allreduce-f3d0be65ba083350.d: crates/bench/src/bin/fig10_allreduce.rs
+
+/root/repo/target/release/deps/fig10_allreduce-f3d0be65ba083350: crates/bench/src/bin/fig10_allreduce.rs
+
+crates/bench/src/bin/fig10_allreduce.rs:

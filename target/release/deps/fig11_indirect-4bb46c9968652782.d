@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig11_indirect-4bb46c9968652782.d: crates/bench/src/bin/fig11_indirect.rs
+
+/root/repo/target/release/deps/fig11_indirect-4bb46c9968652782: crates/bench/src/bin/fig11_indirect.rs
+
+crates/bench/src/bin/fig11_indirect.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig11_indirect-ffe75490d5657265.d: crates/bench/src/bin/fig11_indirect.rs
+
+/root/repo/target/release/deps/fig11_indirect-ffe75490d5657265: crates/bench/src/bin/fig11_indirect.rs
+
+crates/bench/src/bin/fig11_indirect.rs:

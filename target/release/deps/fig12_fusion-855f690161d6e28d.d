@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig12_fusion-855f690161d6e28d.d: crates/bench/src/bin/fig12_fusion.rs
+
+/root/repo/target/release/deps/fig12_fusion-855f690161d6e28d: crates/bench/src/bin/fig12_fusion.rs
+
+crates/bench/src/bin/fig12_fusion.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig12_fusion-b73317581475a5c6.d: crates/bench/src/bin/fig12_fusion.rs
+
+/root/repo/target/release/deps/fig12_fusion-b73317581475a5c6: crates/bench/src/bin/fig12_fusion.rs
+
+crates/bench/src/bin/fig12_fusion.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig13_finegrained-18f4dc23263dd8f8.d: crates/bench/src/bin/fig13_finegrained.rs
+
+/root/repo/target/release/deps/fig13_finegrained-18f4dc23263dd8f8: crates/bench/src/bin/fig13_finegrained.rs
+
+crates/bench/src/bin/fig13_finegrained.rs:

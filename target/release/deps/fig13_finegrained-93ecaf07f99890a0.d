@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig13_finegrained-93ecaf07f99890a0.d: crates/bench/src/bin/fig13_finegrained.rs
+
+/root/repo/target/release/deps/fig13_finegrained-93ecaf07f99890a0: crates/bench/src/bin/fig13_finegrained.rs
+
+crates/bench/src/bin/fig13_finegrained.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig14_overall-4a97b8c9b9445dcf.d: crates/bench/src/bin/fig14_overall.rs
+
+/root/repo/target/release/deps/fig14_overall-4a97b8c9b9445dcf: crates/bench/src/bin/fig14_overall.rs
+
+crates/bench/src/bin/fig14_overall.rs:

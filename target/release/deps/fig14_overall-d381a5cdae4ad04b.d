@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig14_overall-d381a5cdae4ad04b.d: crates/bench/src/bin/fig14_overall.rs
+
+/root/repo/target/release/deps/fig14_overall-d381a5cdae4ad04b: crates/bench/src/bin/fig14_overall.rs
+
+crates/bench/src/bin/fig14_overall.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig15_strong-68f7a6323b2d2102.d: crates/bench/src/bin/fig15_strong.rs
+
+/root/repo/target/release/deps/fig15_strong-68f7a6323b2d2102: crates/bench/src/bin/fig15_strong.rs
+
+crates/bench/src/bin/fig15_strong.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig15_strong-9df81ccf88cbf5a4.d: crates/bench/src/bin/fig15_strong.rs
+
+/root/repo/target/release/deps/fig15_strong-9df81ccf88cbf5a4: crates/bench/src/bin/fig15_strong.rs
+
+crates/bench/src/bin/fig15_strong.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig16_weak-5edda8e0cf1d7e20.d: crates/bench/src/bin/fig16_weak.rs
+
+/root/repo/target/release/deps/fig16_weak-5edda8e0cf1d7e20: crates/bench/src/bin/fig16_weak.rs
+
+crates/bench/src/bin/fig16_weak.rs:

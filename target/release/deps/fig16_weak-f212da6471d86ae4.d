@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig16_weak-f212da6471d86ae4.d: crates/bench/src/bin/fig16_weak.rs
+
+/root/repo/target/release/deps/fig16_weak-f212da6471d86ae4: crates/bench/src/bin/fig16_weak.rs
+
+crates/bench/src/bin/fig16_weak.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/parking_lot-2afc396b3901ae9b.d: shims/parking_lot/src/lib.rs
+
+/root/repo/target/release/deps/libparking_lot-2afc396b3901ae9b.rlib: shims/parking_lot/src/lib.rs
+
+/root/repo/target/release/deps/libparking_lot-2afc396b3901ae9b.rmeta: shims/parking_lot/src/lib.rs
+
+shims/parking_lot/src/lib.rs:

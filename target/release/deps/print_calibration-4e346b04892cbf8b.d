@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/print_calibration-4e346b04892cbf8b.d: crates/bench/src/bin/print_calibration.rs
+
+/root/repo/target/release/deps/print_calibration-4e346b04892cbf8b: crates/bench/src/bin/print_calibration.rs
+
+crates/bench/src/bin/print_calibration.rs:

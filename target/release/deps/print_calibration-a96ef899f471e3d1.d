@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/print_calibration-a96ef899f471e3d1.d: crates/bench/src/bin/print_calibration.rs
+
+/root/repo/target/release/deps/print_calibration-a96ef899f471e3d1: crates/bench/src/bin/print_calibration.rs
+
+crates/bench/src/bin/print_calibration.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/proptest-c116fb84fa6f2de2.d: shims/proptest/src/lib.rs shims/proptest/src/strategy.rs shims/proptest/src/test_runner.rs
+
+/root/repo/target/release/deps/libproptest-c116fb84fa6f2de2.rlib: shims/proptest/src/lib.rs shims/proptest/src/strategy.rs shims/proptest/src/test_runner.rs
+
+/root/repo/target/release/deps/libproptest-c116fb84fa6f2de2.rmeta: shims/proptest/src/lib.rs shims/proptest/src/strategy.rs shims/proptest/src/test_runner.rs
+
+shims/proptest/src/lib.rs:
+shims/proptest/src/strategy.rs:
+shims/proptest/src/test_runner.rs:

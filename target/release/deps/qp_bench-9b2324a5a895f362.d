@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/qp_bench-9b2324a5a895f362.d: crates/bench/src/lib.rs crates/bench/src/phase_model.rs crates/bench/src/table.rs crates/bench/src/workloads.rs
+
+/root/repo/target/release/deps/libqp_bench-9b2324a5a895f362.rlib: crates/bench/src/lib.rs crates/bench/src/phase_model.rs crates/bench/src/table.rs crates/bench/src/workloads.rs
+
+/root/repo/target/release/deps/libqp_bench-9b2324a5a895f362.rmeta: crates/bench/src/lib.rs crates/bench/src/phase_model.rs crates/bench/src/table.rs crates/bench/src/workloads.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/phase_model.rs:
+crates/bench/src/table.rs:
+crates/bench/src/workloads.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/qp_bench-bbdb7609fb74bfd9.d: crates/bench/src/lib.rs crates/bench/src/phase_model.rs crates/bench/src/table.rs crates/bench/src/trace_hook.rs crates/bench/src/workloads.rs
+
+/root/repo/target/release/deps/libqp_bench-bbdb7609fb74bfd9.rlib: crates/bench/src/lib.rs crates/bench/src/phase_model.rs crates/bench/src/table.rs crates/bench/src/trace_hook.rs crates/bench/src/workloads.rs
+
+/root/repo/target/release/deps/libqp_bench-bbdb7609fb74bfd9.rmeta: crates/bench/src/lib.rs crates/bench/src/phase_model.rs crates/bench/src/table.rs crates/bench/src/trace_hook.rs crates/bench/src/workloads.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/phase_model.rs:
+crates/bench/src/table.rs:
+crates/bench/src/trace_hook.rs:
+crates/bench/src/workloads.rs:

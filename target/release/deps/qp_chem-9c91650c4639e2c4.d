@@ -1,0 +1,19 @@
+/root/repo/target/release/deps/qp_chem-9c91650c4639e2c4.d: crates/qp-chem/src/lib.rs crates/qp-chem/src/angular.rs crates/qp-chem/src/basis.rs crates/qp-chem/src/elements.rs crates/qp-chem/src/geometry.rs crates/qp-chem/src/grids.rs crates/qp-chem/src/harmonics.rs crates/qp-chem/src/io.rs crates/qp-chem/src/multipole.rs crates/qp-chem/src/radial.rs crates/qp-chem/src/spline.rs crates/qp-chem/src/structures.rs crates/qp-chem/src/xc.rs
+
+/root/repo/target/release/deps/libqp_chem-9c91650c4639e2c4.rlib: crates/qp-chem/src/lib.rs crates/qp-chem/src/angular.rs crates/qp-chem/src/basis.rs crates/qp-chem/src/elements.rs crates/qp-chem/src/geometry.rs crates/qp-chem/src/grids.rs crates/qp-chem/src/harmonics.rs crates/qp-chem/src/io.rs crates/qp-chem/src/multipole.rs crates/qp-chem/src/radial.rs crates/qp-chem/src/spline.rs crates/qp-chem/src/structures.rs crates/qp-chem/src/xc.rs
+
+/root/repo/target/release/deps/libqp_chem-9c91650c4639e2c4.rmeta: crates/qp-chem/src/lib.rs crates/qp-chem/src/angular.rs crates/qp-chem/src/basis.rs crates/qp-chem/src/elements.rs crates/qp-chem/src/geometry.rs crates/qp-chem/src/grids.rs crates/qp-chem/src/harmonics.rs crates/qp-chem/src/io.rs crates/qp-chem/src/multipole.rs crates/qp-chem/src/radial.rs crates/qp-chem/src/spline.rs crates/qp-chem/src/structures.rs crates/qp-chem/src/xc.rs
+
+crates/qp-chem/src/lib.rs:
+crates/qp-chem/src/angular.rs:
+crates/qp-chem/src/basis.rs:
+crates/qp-chem/src/elements.rs:
+crates/qp-chem/src/geometry.rs:
+crates/qp-chem/src/grids.rs:
+crates/qp-chem/src/harmonics.rs:
+crates/qp-chem/src/io.rs:
+crates/qp-chem/src/multipole.rs:
+crates/qp-chem/src/radial.rs:
+crates/qp-chem/src/spline.rs:
+crates/qp-chem/src/structures.rs:
+crates/qp-chem/src/xc.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/qp_cl-8121b6e5382f551a.d: crates/qp-cl/src/lib.rs crates/qp-cl/src/buffer.rs crates/qp-cl/src/collapse.rs crates/qp-cl/src/counters.rs crates/qp-cl/src/device.rs crates/qp-cl/src/fusion.rs crates/qp-cl/src/indirect.rs crates/qp-cl/src/queue.rs
+
+/root/repo/target/release/deps/libqp_cl-8121b6e5382f551a.rlib: crates/qp-cl/src/lib.rs crates/qp-cl/src/buffer.rs crates/qp-cl/src/collapse.rs crates/qp-cl/src/counters.rs crates/qp-cl/src/device.rs crates/qp-cl/src/fusion.rs crates/qp-cl/src/indirect.rs crates/qp-cl/src/queue.rs
+
+/root/repo/target/release/deps/libqp_cl-8121b6e5382f551a.rmeta: crates/qp-cl/src/lib.rs crates/qp-cl/src/buffer.rs crates/qp-cl/src/collapse.rs crates/qp-cl/src/counters.rs crates/qp-cl/src/device.rs crates/qp-cl/src/fusion.rs crates/qp-cl/src/indirect.rs crates/qp-cl/src/queue.rs
+
+crates/qp-cl/src/lib.rs:
+crates/qp-cl/src/buffer.rs:
+crates/qp-cl/src/collapse.rs:
+crates/qp-cl/src/counters.rs:
+crates/qp-cl/src/device.rs:
+crates/qp-cl/src/fusion.rs:
+crates/qp-cl/src/indirect.rs:
+crates/qp-cl/src/queue.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/qp_core-254abcf4c07ca7ae.d: crates/core/src/lib.rs crates/core/src/dfpt.rs crates/core/src/dist.rs crates/core/src/kernels.rs crates/core/src/operators.rs crates/core/src/parallel.rs crates/core/src/properties.rs crates/core/src/scf.rs crates/core/src/system.rs
+
+/root/repo/target/release/deps/libqp_core-254abcf4c07ca7ae.rlib: crates/core/src/lib.rs crates/core/src/dfpt.rs crates/core/src/dist.rs crates/core/src/kernels.rs crates/core/src/operators.rs crates/core/src/parallel.rs crates/core/src/properties.rs crates/core/src/scf.rs crates/core/src/system.rs
+
+/root/repo/target/release/deps/libqp_core-254abcf4c07ca7ae.rmeta: crates/core/src/lib.rs crates/core/src/dfpt.rs crates/core/src/dist.rs crates/core/src/kernels.rs crates/core/src/operators.rs crates/core/src/parallel.rs crates/core/src/properties.rs crates/core/src/scf.rs crates/core/src/system.rs
+
+crates/core/src/lib.rs:
+crates/core/src/dfpt.rs:
+crates/core/src/dist.rs:
+crates/core/src/kernels.rs:
+crates/core/src/operators.rs:
+crates/core/src/parallel.rs:
+crates/core/src/properties.rs:
+crates/core/src/scf.rs:
+crates/core/src/system.rs:

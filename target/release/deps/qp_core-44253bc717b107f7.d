@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/qp_core-44253bc717b107f7.d: crates/core/src/lib.rs crates/core/src/dfpt.rs crates/core/src/dist.rs crates/core/src/kernels.rs crates/core/src/operators.rs crates/core/src/parallel.rs crates/core/src/properties.rs crates/core/src/scf.rs crates/core/src/system.rs
+
+/root/repo/target/release/deps/libqp_core-44253bc717b107f7.rlib: crates/core/src/lib.rs crates/core/src/dfpt.rs crates/core/src/dist.rs crates/core/src/kernels.rs crates/core/src/operators.rs crates/core/src/parallel.rs crates/core/src/properties.rs crates/core/src/scf.rs crates/core/src/system.rs
+
+/root/repo/target/release/deps/libqp_core-44253bc717b107f7.rmeta: crates/core/src/lib.rs crates/core/src/dfpt.rs crates/core/src/dist.rs crates/core/src/kernels.rs crates/core/src/operators.rs crates/core/src/parallel.rs crates/core/src/properties.rs crates/core/src/scf.rs crates/core/src/system.rs
+
+crates/core/src/lib.rs:
+crates/core/src/dfpt.rs:
+crates/core/src/dist.rs:
+crates/core/src/kernels.rs:
+crates/core/src/operators.rs:
+crates/core/src/parallel.rs:
+crates/core/src/properties.rs:
+crates/core/src/scf.rs:
+crates/core/src/system.rs:

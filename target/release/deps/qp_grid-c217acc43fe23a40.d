@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/qp_grid-c217acc43fe23a40.d: crates/qp-grid/src/lib.rs crates/qp-grid/src/batch.rs crates/qp-grid/src/footprint.rs crates/qp-grid/src/mapping.rs crates/qp-grid/src/octree.rs
+
+/root/repo/target/release/deps/libqp_grid-c217acc43fe23a40.rlib: crates/qp-grid/src/lib.rs crates/qp-grid/src/batch.rs crates/qp-grid/src/footprint.rs crates/qp-grid/src/mapping.rs crates/qp-grid/src/octree.rs
+
+/root/repo/target/release/deps/libqp_grid-c217acc43fe23a40.rmeta: crates/qp-grid/src/lib.rs crates/qp-grid/src/batch.rs crates/qp-grid/src/footprint.rs crates/qp-grid/src/mapping.rs crates/qp-grid/src/octree.rs
+
+crates/qp-grid/src/lib.rs:
+crates/qp-grid/src/batch.rs:
+crates/qp-grid/src/footprint.rs:
+crates/qp-grid/src/mapping.rs:
+crates/qp-grid/src/octree.rs:

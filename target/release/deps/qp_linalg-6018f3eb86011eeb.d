@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/qp_linalg-6018f3eb86011eeb.d: crates/qp-linalg/src/lib.rs crates/qp-linalg/src/cholesky.rs crates/qp-linalg/src/csr.rs crates/qp-linalg/src/dense.rs crates/qp-linalg/src/eigen.rs crates/qp-linalg/src/vecops.rs
+
+/root/repo/target/release/deps/libqp_linalg-6018f3eb86011eeb.rlib: crates/qp-linalg/src/lib.rs crates/qp-linalg/src/cholesky.rs crates/qp-linalg/src/csr.rs crates/qp-linalg/src/dense.rs crates/qp-linalg/src/eigen.rs crates/qp-linalg/src/vecops.rs
+
+/root/repo/target/release/deps/libqp_linalg-6018f3eb86011eeb.rmeta: crates/qp-linalg/src/lib.rs crates/qp-linalg/src/cholesky.rs crates/qp-linalg/src/csr.rs crates/qp-linalg/src/dense.rs crates/qp-linalg/src/eigen.rs crates/qp-linalg/src/vecops.rs
+
+crates/qp-linalg/src/lib.rs:
+crates/qp-linalg/src/cholesky.rs:
+crates/qp-linalg/src/csr.rs:
+crates/qp-linalg/src/dense.rs:
+crates/qp-linalg/src/eigen.rs:
+crates/qp-linalg/src/vecops.rs:

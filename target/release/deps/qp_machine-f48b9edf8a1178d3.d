@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/qp_machine-f48b9edf8a1178d3.d: crates/qp-machine/src/lib.rs crates/qp-machine/src/calib.rs crates/qp-machine/src/cost.rs crates/qp-machine/src/kernel_cost.rs crates/qp-machine/src/machine.rs
+
+/root/repo/target/release/deps/libqp_machine-f48b9edf8a1178d3.rlib: crates/qp-machine/src/lib.rs crates/qp-machine/src/calib.rs crates/qp-machine/src/cost.rs crates/qp-machine/src/kernel_cost.rs crates/qp-machine/src/machine.rs
+
+/root/repo/target/release/deps/libqp_machine-f48b9edf8a1178d3.rmeta: crates/qp-machine/src/lib.rs crates/qp-machine/src/calib.rs crates/qp-machine/src/cost.rs crates/qp-machine/src/kernel_cost.rs crates/qp-machine/src/machine.rs
+
+crates/qp-machine/src/lib.rs:
+crates/qp-machine/src/calib.rs:
+crates/qp-machine/src/cost.rs:
+crates/qp-machine/src/kernel_cost.rs:
+crates/qp-machine/src/machine.rs:

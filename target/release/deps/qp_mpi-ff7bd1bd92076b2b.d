@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/qp_mpi-ff7bd1bd92076b2b.d: crates/qp-mpi/src/lib.rs crates/qp-mpi/src/collectives.rs crates/qp-mpi/src/comm.rs crates/qp-mpi/src/hierarchical.rs crates/qp-mpi/src/p2p.rs crates/qp-mpi/src/packed.rs crates/qp-mpi/src/shm.rs crates/qp-mpi/src/traffic.rs
+
+/root/repo/target/release/deps/libqp_mpi-ff7bd1bd92076b2b.rlib: crates/qp-mpi/src/lib.rs crates/qp-mpi/src/collectives.rs crates/qp-mpi/src/comm.rs crates/qp-mpi/src/hierarchical.rs crates/qp-mpi/src/p2p.rs crates/qp-mpi/src/packed.rs crates/qp-mpi/src/shm.rs crates/qp-mpi/src/traffic.rs
+
+/root/repo/target/release/deps/libqp_mpi-ff7bd1bd92076b2b.rmeta: crates/qp-mpi/src/lib.rs crates/qp-mpi/src/collectives.rs crates/qp-mpi/src/comm.rs crates/qp-mpi/src/hierarchical.rs crates/qp-mpi/src/p2p.rs crates/qp-mpi/src/packed.rs crates/qp-mpi/src/shm.rs crates/qp-mpi/src/traffic.rs
+
+crates/qp-mpi/src/lib.rs:
+crates/qp-mpi/src/collectives.rs:
+crates/qp-mpi/src/comm.rs:
+crates/qp-mpi/src/hierarchical.rs:
+crates/qp-mpi/src/p2p.rs:
+crates/qp-mpi/src/packed.rs:
+crates/qp-mpi/src/shm.rs:
+crates/qp-mpi/src/traffic.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/qp_trace-e5f17ca0dc8d8365.d: crates/qp-trace/src/lib.rs crates/qp-trace/src/export.rs crates/qp-trace/src/log.rs crates/qp-trace/src/metrics.rs crates/qp-trace/src/span.rs
+
+/root/repo/target/release/deps/libqp_trace-e5f17ca0dc8d8365.rlib: crates/qp-trace/src/lib.rs crates/qp-trace/src/export.rs crates/qp-trace/src/log.rs crates/qp-trace/src/metrics.rs crates/qp-trace/src/span.rs
+
+/root/repo/target/release/deps/libqp_trace-e5f17ca0dc8d8365.rmeta: crates/qp-trace/src/lib.rs crates/qp-trace/src/export.rs crates/qp-trace/src/log.rs crates/qp-trace/src/metrics.rs crates/qp-trace/src/span.rs
+
+crates/qp-trace/src/lib.rs:
+crates/qp-trace/src/export.rs:
+crates/qp-trace/src/log.rs:
+crates/qp-trace/src/metrics.rs:
+crates/qp-trace/src/span.rs:

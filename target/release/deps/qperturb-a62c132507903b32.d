@@ -1,0 +1,6 @@
+/root/repo/target/release/deps/qperturb-a62c132507903b32.d: crates/qp-cli/src/main.rs crates/qp-cli/src/control.rs
+
+/root/repo/target/release/deps/qperturb-a62c132507903b32: crates/qp-cli/src/main.rs crates/qp-cli/src/control.rs
+
+crates/qp-cli/src/main.rs:
+crates/qp-cli/src/control.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/release/deps/qperturb-e8c2519bc0b12d48.d: crates/qp-cli/src/main.rs crates/qp-cli/src/control.rs
+
+/root/repo/target/release/deps/qperturb-e8c2519bc0b12d48: crates/qp-cli/src/main.rs crates/qp-cli/src/control.rs
+
+crates/qp-cli/src/main.rs:
+crates/qp-cli/src/control.rs:

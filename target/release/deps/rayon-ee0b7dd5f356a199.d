@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rayon-ee0b7dd5f356a199.d: shims/rayon/src/lib.rs
+
+/root/repo/target/release/deps/librayon-ee0b7dd5f356a199.rlib: shims/rayon/src/lib.rs
+
+/root/repo/target/release/deps/librayon-ee0b7dd5f356a199.rmeta: shims/rayon/src/lib.rs
+
+shims/rayon/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/rot_probe-a29b36f71d94e5d7.d: crates/bench/src/bin/rot_probe.rs
+
+/root/repo/target/release/deps/rot_probe-a29b36f71d94e5d7: crates/bench/src/bin/rot_probe.rs
+
+crates/bench/src/bin/rot_probe.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/rot_probe-d58a2f0089b83feb.d: crates/bench/src/bin/rot_probe.rs
+
+/root/repo/target/release/deps/rot_probe-d58a2f0089b83feb: crates/bench/src/bin/rot_probe.rs
+
+crates/bench/src/bin/rot_probe.rs:

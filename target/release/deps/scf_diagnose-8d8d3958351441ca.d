@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/scf_diagnose-8d8d3958351441ca.d: crates/bench/src/bin/scf_diagnose.rs
+
+/root/repo/target/release/deps/scf_diagnose-8d8d3958351441ca: crates/bench/src/bin/scf_diagnose.rs
+
+crates/bench/src/bin/scf_diagnose.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/scf_diagnose-a6230a0535ee9fb0.d: crates/bench/src/bin/scf_diagnose.rs
+
+/root/repo/target/release/deps/scf_diagnose-a6230a0535ee9fb0: crates/bench/src/bin/scf_diagnose.rs
+
+crates/bench/src/bin/scf_diagnose.rs:

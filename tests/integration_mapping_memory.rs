@@ -30,7 +30,10 @@ fn memory_explosion_scenario_of_section_533() {
     // "approximately 16 GB": 1.6e10 bytes on the nose.
     assert_eq!(csr_bytes, 16_000_000_000);
     let m = qp_machine::hpc2();
-    assert!(!m.fits_memory(csr_bytes as usize), "must exceed 4 GB/process");
+    assert!(
+        !m.fits_memory(csr_bytes as usize),
+        "must exceed 4 GB/process"
+    );
 }
 
 #[test]
@@ -103,7 +106,10 @@ fn fig9a_ratio_reaches_two_orders_of_magnitude() {
     let prop = LocalityEnhancingMapping.assign(&batches, 256);
     let report = analyze(&s, &batches, &prop, 256, &basis, &cutoffs, 8.0);
     let ratio = report.global_csr_bytes as f64 / report.mean_dense_bytes();
-    assert!(ratio > 100.0, "ratio {ratio} should exceed 2 orders of magnitude");
+    assert!(
+        ratio > 100.0,
+        "ratio {ratio} should exceed 2 orders of magnitude"
+    );
     // And the raw CSR builder agrees with the report.
     assert_eq!(
         report.global_csr_bytes,

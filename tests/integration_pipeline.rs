@@ -6,9 +6,7 @@ use qp_chem::basis::BasisSettings;
 use qp_chem::grids::GridSettings;
 use qp_chem::structures::water;
 use qp_core::dfpt::{dfpt, dfpt_direction, DfptOptions};
-use qp_core::parallel::{
-    parallel_dfpt_direction, CollectiveScheme, MappingKind, ParallelConfig,
-};
+use qp_core::parallel::{parallel_dfpt_direction, CollectiveScheme, MappingKind, ParallelConfig};
 use qp_core::scf::{electronic_dipole, scf, ScfOptions};
 use qp_core::system::System;
 
@@ -135,7 +133,9 @@ fn scf_energy_is_variational_under_grid_refinement() {
         gs.n_radial = 20;
         gs.max_angular = 14;
         let sys = System::build(water(), BasisSettings::Light, &gs, 150, 2);
-        scf(&sys, &ScfOptions::default()).expect("SCF coarse").energy
+        scf(&sys, &ScfOptions::default())
+            .expect("SCF coarse")
+            .energy
     };
     let fine = {
         let mut gs = GridSettings::light();
@@ -179,17 +179,8 @@ fn polarizability_transforms_as_a_tensor_under_rotation() {
     let alpha_rot = run(rotated);
 
     // R α Rᵀ computed explicitly.
-    let r = qp_linalg::DMatrix::from_vec(
-        3,
-        3,
-        vec![c, -s, 0.0, s, c, 0.0, 0.0, 0.0, 1.0],
-    )
-    .unwrap();
-    let expected = r
-        .matmul(&alpha)
-        .unwrap()
-        .matmul(&r.transpose())
-        .unwrap();
+    let r = qp_linalg::DMatrix::from_vec(3, 3, vec![c, -s, 0.0, s, c, 0.0, 0.0, 0.0, 1.0]).unwrap();
+    let expected = r.matmul(&alpha).unwrap().matmul(&r.transpose()).unwrap();
     let dev = alpha_rot.max_abs_diff(&expected);
     // Our largest Lebedev rule is 50 points (degree 11); the response
     // integrands exceed that, so the tensor co-rotates only to ~10 %.

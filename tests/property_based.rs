@@ -115,10 +115,10 @@ proptest! {
             a * x * x + b * x + c
         }).collect();
         let cum = adams_moulton_cumulative(h, &f);
-        for k in 0..n {
+        for (k, &c_k) in cum.iter().enumerate().take(n) {
             let x = k as f64 * h;
             let exact = a * x * x * x / 3.0 + b * x * x / 2.0 + c * x;
-            prop_assert!((cum[k] - exact).abs() < 1e-9, "k = {}", k);
+            prop_assert!((c_k - exact).abs() < 1e-9, "k = {}", k);
         }
     }
 
@@ -217,5 +217,69 @@ proptest! {
         })
         .expect("spmd");
         prop_assert!(out.into_iter().all(|b| b));
+    }
+
+    // The metrics registry embedded in the traffic log is an exact mirror
+    // of the raw records: for any random sequence of collectives, the
+    // per-kind `mpi.collective.{calls,bytes}` counters equal the sums over
+    // the `TrafficRecord`s of that kind.
+    #[test]
+    fn traffic_metrics_mirror_records_for_random_collectives(
+        ops in prop::collection::vec((0u8..5, 1usize..32), 1..12),
+    ) {
+        use qp_mpi::CollectiveKind;
+
+        let ops2 = ops.clone();
+        let out = run_spmd(4, 2, move |c| {
+            for &(op, len) in &ops2 {
+                let data: Vec<f64> = (0..len).map(|i| i as f64).collect();
+                match op {
+                    0 => drop(c.allreduce(ReduceOp::Sum, &data)?),
+                    1 => drop(c.broadcast(0, data)?),
+                    2 => drop(c.allgather(&data)?),
+                    3 => c.barrier()?,
+                    _ => drop(c.reduce(ReduceOp::Max, 0, &data)?),
+                }
+            }
+            if c.rank() != 0 {
+                return Ok(Vec::new());
+            }
+            // Collectives synchronize, so after the loop every record for
+            // the sequence exists; rank 0 audits records vs. counters.
+            let records = c.traffic().snapshot();
+            let metrics = c.traffic().metrics();
+            let kinds = [
+                CollectiveKind::AllReduce,
+                CollectiveKind::Broadcast,
+                CollectiveKind::AllGather,
+                CollectiveKind::Barrier,
+            ];
+            let mut audit = Vec::new();
+            for kind in kinds {
+                let label = [("kind", kind.as_str())];
+                let rec_calls =
+                    records.iter().filter(|r| r.kind == kind).count() as u64;
+                let rec_bytes: u64 = records
+                    .iter()
+                    .filter(|r| r.kind == kind)
+                    .map(|r| r.bytes_per_rank as u64)
+                    .sum();
+                let m_calls = metrics
+                    .counter_value("mpi.collective.calls", &label)
+                    .unwrap_or(0);
+                let m_bytes = metrics
+                    .counter_value("mpi.collective.bytes", &label)
+                    .unwrap_or(0);
+                audit.push((kind.as_str(), rec_calls, rec_bytes, m_calls, m_bytes));
+            }
+            Ok(audit)
+        })
+        .expect("spmd");
+        for (_kind, rec_calls, rec_bytes, m_calls, m_bytes) in
+            out.into_iter().flatten()
+        {
+            prop_assert_eq!(rec_calls, m_calls);
+            prop_assert_eq!(rec_bytes, m_bytes);
+        }
     }
 }
