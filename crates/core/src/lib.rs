@@ -31,11 +31,13 @@ pub mod kernels;
 pub mod operators;
 pub mod parallel;
 pub mod properties;
+pub mod resil;
 pub mod scf;
 pub mod system;
 
 pub use dfpt::{dfpt, DfptOptions, DfptResult};
-pub use scf::{scf, ScfOptions, ScfResult};
+pub use resil::{parallel_dfpt_direction_resilient, ResilienceConfig, ResilientDirectionResult};
+pub use scf::{scf, scf_resumable, ScfOptions, ScfResult, ScfState};
 pub use system::System;
 
 /// Open a host-track span for one of the pipeline phases on the calling
@@ -58,6 +60,8 @@ pub enum CoreError {
     },
     /// Linear algebra failed underneath.
     Linalg(qp_linalg::LinalgError),
+    /// Checkpoint save/load failed (I/O, corruption, version mismatch).
+    Checkpoint(String),
 }
 
 impl From<qp_linalg::LinalgError> for CoreError {
@@ -78,6 +82,7 @@ impl std::fmt::Display for CoreError {
                 "{what} did not converge after {iterations} iterations (residual {residual:.3e})"
             ),
             CoreError::Linalg(e) => write!(f, "linear algebra error: {e}"),
+            CoreError::Checkpoint(e) => write!(f, "checkpoint error: {e}"),
         }
     }
 }

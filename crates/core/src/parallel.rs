@@ -76,12 +76,277 @@ pub struct ParallelDirectionResult {
 }
 
 /// Compute this rank's batch assignment (identical on every rank).
-fn assign_batches(system: &System, cfg: &ParallelConfig) -> Vec<usize> {
+pub(crate) fn assign_batches(system: &System, cfg: &ParallelConfig) -> Vec<usize> {
     match cfg.mapping {
         MappingKind::LoadBalancing => LoadBalancingMapping.assign(&system.batches, cfg.n_ranks),
         MappingKind::LocalityEnhancing => {
             LocalityEnhancingMapping.assign(&system.batches, cfg.n_ranks)
         }
+    }
+}
+
+/// Per-direction precomputation plus the full Fig. 1 iteration body,
+/// shared by the plain driver below and the supervised resilient driver in
+/// [`crate::resil`].
+pub(crate) struct DirWork<'a> {
+    system: &'a System,
+    ground: &'a ScfResult,
+    collectives: CollectiveScheme,
+    mixing: f64,
+    dir: usize,
+    dip: DMatrix,
+    fxc: Vec<f64>,
+    nb: usize,
+    n_occ: usize,
+    n_lm: usize,
+    row_len: usize,
+    natoms: usize,
+}
+
+impl<'a> DirWork<'a> {
+    pub(crate) fn new(
+        system: &'a System,
+        ground: &'a ScfResult,
+        dir: usize,
+        opts: &DfptOptions,
+        cfg: &ParallelConfig,
+    ) -> Self {
+        let n_lm = num_harmonics(system.lmax);
+        DirWork {
+            system,
+            ground,
+            collectives: cfg.collectives,
+            mixing: opts.mixing,
+            dir,
+            dip: operators::dipole_matrix(system, dir),
+            fxc: ground
+                .density
+                .iter()
+                .map(|&n| xc::f_xc(n.max(0.0)))
+                .collect(),
+            nb: system.n_basis(),
+            n_occ: system.n_occupied(),
+            n_lm,
+            row_len: system.grid.radial.len() * n_lm,
+            natoms: system.structure.len(),
+        }
+    }
+
+    pub(crate) fn nb(&self) -> usize {
+        self.nb
+    }
+
+    pub(crate) fn n_occ(&self) -> usize {
+        self.n_occ
+    }
+
+    /// The batch indices `assignment` maps to `rank`.
+    pub(crate) fn my_batches(assignment: &[usize], rank: usize) -> Vec<usize> {
+        assignment
+            .iter()
+            .enumerate()
+            .filter(|(_, &r)| r == rank)
+            .map(|(b, _)| b)
+            .collect()
+    }
+
+    /// One distributed DFPT iteration: Sumup → rho synthesis → Poisson →
+    /// `H¹` AllReduce → Sternheimer. Returns the mixed `(C¹, P¹)` and the
+    /// residual `‖ΔP¹‖`.
+    pub(crate) fn iteration(
+        &self,
+        comm: &qp_mpi::Comm,
+        my_batches: &[usize],
+        iter: usize,
+        c1: &DMatrix,
+        p1: &DMatrix,
+    ) -> std::result::Result<(DMatrix, DMatrix, f64), CommError> {
+        let system = self.system;
+        let (nb, n_occ, n_lm, row_len, natoms) =
+            (self.nb, self.n_occ, self.n_lm, self.row_len, self.natoms);
+        let c = &self.ground.orbitals;
+        let eps = &self.ground.eigenvalues;
+        let rank = comm.rank();
+        let mut iter_span = qp_trace::SpanGuard::begin(rank, qp_trace::Phase::Dfpt, "dfpt.iter");
+        if iter_span.is_recording() {
+            iter_span.arg("iter", iter).arg("dir", self.dir);
+        }
+        // ---- Sumup on own batches ----
+        let sumup_span = crate::phase_span(qp_trace::Phase::Sumup, "sumup.local_n1");
+        let mut local_n1: Vec<Vec<f64>> = Vec::with_capacity(my_batches.len());
+        for &b in my_batches {
+            let batch = &system.batches[b];
+            let table = &system.tables[b];
+            let nf = table.fn_indices.len();
+            let mut vals = vec![0.0; batch.points.len()];
+            for (pi, out) in vals.iter_mut().enumerate() {
+                let row = &table.values[pi * nf..(pi + 1) * nf];
+                let mut acc = 0.0;
+                for (a, &fa) in table.fn_indices.iter().enumerate() {
+                    if row[a] == 0.0 {
+                        continue;
+                    }
+                    for (bq, &fb) in table.fn_indices.iter().enumerate() {
+                        acc += p1[(fa, fb)] * row[a] * row[bq];
+                    }
+                }
+                *out = acc;
+            }
+            local_n1.push(vals);
+        }
+
+        drop(sumup_span);
+
+        // ---- Partial rho_multipole rows from own points ----
+        let rho_span = crate::phase_span(qp_trace::Phase::Rho, "rho.partial_rows");
+        let mut rows = vec![vec![0.0; row_len]; natoms];
+        let mut ylm = vec![0.0; n_lm];
+        let fourpi = 4.0 * std::f64::consts::PI;
+        for (bi, &b) in my_batches.iter().enumerate() {
+            let batch = &system.batches[b];
+            for (pi, pt) in batch.points.iter().enumerate() {
+                let gp = &system.grid.points[pt.grid_index as usize];
+                let ia = gp.atom as usize;
+                let center = system.structure.atoms[ia].position;
+                let d = [
+                    gp.position[0] - center[0],
+                    gp.position[1] - center[1],
+                    gp.position[2] - center[2],
+                ];
+                real_spherical_harmonics(system.lmax, d, &mut ylm);
+                let f = fourpi * gp.w_angular * gp.partition * local_n1[bi][pi];
+                let base = gp.shell as usize * n_lm;
+                for (lm, y) in ylm.iter().enumerate() {
+                    rows[ia][base + lm] += f * y;
+                }
+            }
+        }
+
+        drop(rho_span);
+
+        // ---- Synthesize rho_multipole across ranks ----
+        let synth_span = crate::phase_span(qp_trace::Phase::Rho, "rho.synthesize");
+        let reduced_rows: Vec<Vec<f64>> = match self.collectives {
+            CollectiveScheme::PerRow => {
+                let mut out = Vec::with_capacity(natoms);
+                for row in rows.iter() {
+                    out.push(comm.allreduce(ReduceOp::Sum, row)?);
+                }
+                out
+            }
+            CollectiveScheme::Packed => {
+                let mut packer = PackedAllReduce::new(comm, ReduceOp::Sum);
+                for (ia, row) in rows.iter().enumerate() {
+                    packer.push(&format!("rho_multipole:{ia}"), row.clone())?;
+                }
+                packer.flush()?;
+                (0..natoms)
+                    .map(|ia| {
+                        packer
+                            .take(&format!("rho_multipole:{ia}"))
+                            .ok_or(CommError::Mismatch("missing packed row"))
+                    })
+                    .collect::<std::result::Result<_, _>>()?
+            }
+            CollectiveScheme::PackedHierarchical => {
+                let packed: Vec<f64> = rows.iter().flat_map(|r| r.iter().copied()).collect();
+                let reduced = qp_mpi::hierarchical::hierarchical_allreduce(
+                    comm,
+                    "rho_multipole",
+                    ReduceOp::Sum,
+                    &packed,
+                )?;
+                reduced.chunks(row_len).map(|c| c.to_vec()).collect()
+            }
+        };
+
+        drop(synth_span);
+
+        // ---- Redundant Poisson solve (producer) on every rank ----
+        let poisson_span = crate::phase_span(qp_trace::Phase::Rho, "rho.poisson");
+        let moments = MultipoleMoments {
+            lmax: system.lmax,
+            n_lm,
+            moments: reduced_rows,
+        };
+        let hartree = solve_poisson(&system.structure, &system.grid, &moments);
+        drop(poisson_span);
+
+        // ---- Partial H1 from own batches ----
+        let h_span = crate::phase_span(qp_trace::Phase::H, "h1.partial");
+        let mut h1_partial = DMatrix::zeros(nb, nb);
+        for (bi, &b) in my_batches.iter().enumerate() {
+            let batch = &system.batches[b];
+            let table = &system.tables[b];
+            let nf = table.fn_indices.len();
+            for (pi, pt) in batch.points.iter().enumerate() {
+                let gi = pt.grid_index as usize;
+                let gp = &system.grid.points[gi];
+                let v1 =
+                    hartree.eval_atoms(gp.position, 0..natoms) + self.fxc[gi] * local_n1[bi][pi];
+                let w = gp.weight * v1;
+                if w == 0.0 {
+                    continue;
+                }
+                let row = &table.values[pi * nf..(pi + 1) * nf];
+                for a in 0..nf {
+                    if row[a] == 0.0 {
+                        continue;
+                    }
+                    let fa = table.fn_indices[a];
+                    for bq in 0..nf {
+                        let fb = table.fn_indices[bq];
+                        h1_partial[(fa, fb)] += w * row[a] * row[bq];
+                    }
+                }
+            }
+        }
+        let h1_flat = comm.allreduce(ReduceOp::Sum, h1_partial.as_slice())?;
+        let mut h1 = DMatrix::from_vec(nb, nb, h1_flat).expect("nb x nb");
+        h1.axpy(-1.0, &self.dip).expect("same dims");
+        drop(h_span);
+
+        // ---- Replicated Sternheimer update ----
+        let stern_span = crate::phase_span(qp_trace::Phase::Sternheimer, "sternheimer");
+        let h1_mo = c
+            .transpose()
+            .matmul(&h1)
+            .and_then(|m| m.matmul(c))
+            .expect("nb-square chain");
+        let mut c1_new = DMatrix::zeros(nb, n_occ);
+        for i in 0..n_occ {
+            for a in n_occ..nb {
+                let u_ai = h1_mo[(a, i)] / (eps[i] - eps[a]);
+                for mu in 0..nb {
+                    c1_new[(mu, i)] += c[(mu, a)] * u_ai;
+                }
+            }
+        }
+        let mut mixed = c1.clone();
+        mixed.scale(1.0 - self.mixing);
+        mixed.axpy(self.mixing, &c1_new).expect("same dims");
+        drop(stern_span);
+        let dm_span = crate::phase_span(qp_trace::Phase::Dm, "dm.p1");
+        let p1_new = response_density_matrix(c, &mixed, n_occ);
+        let residual = p1_new.max_abs_diff(p1);
+        drop(dm_span);
+        if iter_span.is_recording() {
+            iter_span.arg("residual", residual);
+        }
+        Ok((mixed, p1_new, residual))
+    }
+}
+
+/// Map a communication failure onto the core error type.
+pub(crate) fn comm_failure(e: CommError) -> CoreError {
+    CoreError::NoConvergence {
+        what: match e {
+            CommError::RankFailed => "parallel DFPT (rank failure)",
+            CommError::Timeout => "parallel DFPT (communication timeout)",
+            CommError::Mismatch(_) => "parallel DFPT (collective mismatch)",
+        },
+        iterations: 0,
+        residual: f64::NAN,
     }
 }
 
@@ -94,30 +359,12 @@ pub fn parallel_dfpt_direction(
     cfg: &ParallelConfig,
 ) -> Result<ParallelDirectionResult> {
     let assignment = assign_batches(system, cfg);
-    let nb = system.n_basis();
-    let n_occ = system.n_occupied();
-    let n_lm = num_harmonics(system.lmax);
-    let n_shells = system.grid.radial.len();
-    let row_len = n_shells * n_lm;
-    let natoms = system.structure.len();
-
-    let dip = operators::dipole_matrix(system, dir);
-    let fxc: Vec<f64> = ground
-        .density
-        .iter()
-        .map(|&n| xc::f_xc(n.max(0.0)))
-        .collect();
-    let c = &ground.orbitals;
-    let eps = &ground.eigenvalues;
+    let work = DirWork::new(system, ground, dir, opts, cfg);
+    let (nb, n_occ) = (work.nb(), work.n_occ());
 
     let outputs = run_spmd(cfg.n_ranks, cfg.ranks_per_node, |comm| {
         let rank = comm.rank();
-        let my_batches: Vec<usize> = assignment
-            .iter()
-            .enumerate()
-            .filter(|(_, &r)| r == rank)
-            .map(|(b, _)| b)
-            .collect();
+        let my_batches = DirWork::my_batches(&assignment, rank);
         let my_points: usize = my_batches.iter().map(|&b| system.batches[b].len()).sum();
 
         let mut c1 = DMatrix::zeros(nb, n_occ);
@@ -127,175 +374,9 @@ pub fn parallel_dfpt_direction(
 
         for iter in 1..=opts.max_iter {
             iterations = iter;
-            let mut iter_span =
-                qp_trace::SpanGuard::begin(rank, qp_trace::Phase::Dfpt, "dfpt.iter");
-            if iter_span.is_recording() {
-                iter_span.arg("iter", iter).arg("dir", dir);
-            }
-            // ---- Sumup on own batches ----
-            let sumup_span = crate::phase_span(qp_trace::Phase::Sumup, "sumup.local_n1");
-            let mut local_n1: Vec<Vec<f64>> = Vec::with_capacity(my_batches.len());
-            for &b in &my_batches {
-                let batch = &system.batches[b];
-                let table = &system.tables[b];
-                let nf = table.fn_indices.len();
-                let mut vals = vec![0.0; batch.points.len()];
-                for (pi, out) in vals.iter_mut().enumerate() {
-                    let row = &table.values[pi * nf..(pi + 1) * nf];
-                    let mut acc = 0.0;
-                    for (a, &fa) in table.fn_indices.iter().enumerate() {
-                        if row[a] == 0.0 {
-                            continue;
-                        }
-                        for (bq, &fb) in table.fn_indices.iter().enumerate() {
-                            acc += p1[(fa, fb)] * row[a] * row[bq];
-                        }
-                    }
-                    *out = acc;
-                }
-                local_n1.push(vals);
-            }
-
-            drop(sumup_span);
-
-            // ---- Partial rho_multipole rows from own points ----
-            let rho_span = crate::phase_span(qp_trace::Phase::Rho, "rho.partial_rows");
-            let mut rows = vec![vec![0.0; row_len]; natoms];
-            let mut ylm = vec![0.0; n_lm];
-            let fourpi = 4.0 * std::f64::consts::PI;
-            for (bi, &b) in my_batches.iter().enumerate() {
-                let batch = &system.batches[b];
-                for (pi, pt) in batch.points.iter().enumerate() {
-                    let gp = &system.grid.points[pt.grid_index as usize];
-                    let ia = gp.atom as usize;
-                    let center = system.structure.atoms[ia].position;
-                    let d = [
-                        gp.position[0] - center[0],
-                        gp.position[1] - center[1],
-                        gp.position[2] - center[2],
-                    ];
-                    real_spherical_harmonics(system.lmax, d, &mut ylm);
-                    let f = fourpi * gp.w_angular * gp.partition * local_n1[bi][pi];
-                    let base = gp.shell as usize * n_lm;
-                    for (lm, y) in ylm.iter().enumerate() {
-                        rows[ia][base + lm] += f * y;
-                    }
-                }
-            }
-
-            drop(rho_span);
-
-            // ---- Synthesize rho_multipole across ranks ----
-            let synth_span = crate::phase_span(qp_trace::Phase::Rho, "rho.synthesize");
-            let reduced_rows: Vec<Vec<f64>> = match cfg.collectives {
-                CollectiveScheme::PerRow => {
-                    let mut out = Vec::with_capacity(natoms);
-                    for row in rows.iter() {
-                        out.push(comm.allreduce(ReduceOp::Sum, row)?);
-                    }
-                    out
-                }
-                CollectiveScheme::Packed => {
-                    let mut packer = PackedAllReduce::new(comm, ReduceOp::Sum);
-                    for (ia, row) in rows.iter().enumerate() {
-                        packer.push(&format!("rho_multipole:{ia}"), row.clone())?;
-                    }
-                    packer.flush()?;
-                    (0..natoms)
-                        .map(|ia| {
-                            packer
-                                .take(&format!("rho_multipole:{ia}"))
-                                .ok_or(CommError::Mismatch("missing packed row"))
-                        })
-                        .collect::<std::result::Result<_, _>>()?
-                }
-                CollectiveScheme::PackedHierarchical => {
-                    let packed: Vec<f64> = rows.iter().flat_map(|r| r.iter().copied()).collect();
-                    let reduced = qp_mpi::hierarchical::hierarchical_allreduce(
-                        comm,
-                        "rho_multipole",
-                        ReduceOp::Sum,
-                        &packed,
-                    )?;
-                    reduced.chunks(row_len).map(|c| c.to_vec()).collect()
-                }
-            };
-
-            drop(synth_span);
-
-            // ---- Redundant Poisson solve (producer) on every rank ----
-            let poisson_span = crate::phase_span(qp_trace::Phase::Rho, "rho.poisson");
-            let moments = MultipoleMoments {
-                lmax: system.lmax,
-                n_lm,
-                moments: reduced_rows,
-            };
-            let hartree = solve_poisson(&system.structure, &system.grid, &moments);
-            drop(poisson_span);
-
-            // ---- Partial H1 from own batches ----
-            let h_span = crate::phase_span(qp_trace::Phase::H, "h1.partial");
-            let mut h1_partial = DMatrix::zeros(nb, nb);
-            for (bi, &b) in my_batches.iter().enumerate() {
-                let batch = &system.batches[b];
-                let table = &system.tables[b];
-                let nf = table.fn_indices.len();
-                for (pi, pt) in batch.points.iter().enumerate() {
-                    let gi = pt.grid_index as usize;
-                    let gp = &system.grid.points[gi];
-                    let v1 =
-                        hartree.eval_atoms(gp.position, 0..natoms) + fxc[gi] * local_n1[bi][pi];
-                    let w = gp.weight * v1;
-                    if w == 0.0 {
-                        continue;
-                    }
-                    let row = &table.values[pi * nf..(pi + 1) * nf];
-                    for a in 0..nf {
-                        if row[a] == 0.0 {
-                            continue;
-                        }
-                        let fa = table.fn_indices[a];
-                        for bq in 0..nf {
-                            let fb = table.fn_indices[bq];
-                            h1_partial[(fa, fb)] += w * row[a] * row[bq];
-                        }
-                    }
-                }
-            }
-            let h1_flat = comm.allreduce(ReduceOp::Sum, h1_partial.as_slice())?;
-            let mut h1 = DMatrix::from_vec(nb, nb, h1_flat).expect("nb x nb");
-            h1.axpy(-1.0, &dip).expect("same dims");
-            drop(h_span);
-
-            // ---- Replicated Sternheimer update ----
-            let stern_span = crate::phase_span(qp_trace::Phase::Sternheimer, "sternheimer");
-            let h1_mo = c
-                .transpose()
-                .matmul(&h1)
-                .and_then(|m| m.matmul(c))
-                .expect("nb-square chain");
-            let mut c1_new = DMatrix::zeros(nb, n_occ);
-            for i in 0..n_occ {
-                for a in n_occ..nb {
-                    let u_ai = h1_mo[(a, i)] / (eps[i] - eps[a]);
-                    for mu in 0..nb {
-                        c1_new[(mu, i)] += c[(mu, a)] * u_ai;
-                    }
-                }
-            }
-            let mut mixed = c1.clone();
-            mixed.scale(1.0 - opts.mixing);
-            mixed.axpy(opts.mixing, &c1_new).expect("same dims");
-            c1 = mixed;
-            drop(stern_span);
-            let dm_span = crate::phase_span(qp_trace::Phase::Dm, "dm.p1");
-            let p1_new = response_density_matrix(c, &c1, n_occ);
-            let residual = p1_new.max_abs_diff(&p1);
-            drop(dm_span);
-            p1 = p1_new;
-            if iter_span.is_recording() {
-                iter_span.arg("residual", residual);
-            }
+            let (c1_next, p1_next, residual) = work.iteration(comm, &my_batches, iter, &c1, &p1)?;
+            c1 = c1_next;
+            p1 = p1_next;
             if residual < opts.tol {
                 converged = true;
                 break;
@@ -309,14 +390,7 @@ pub fn parallel_dfpt_direction(
         };
         Ok((converged, iterations, p1.clone(), traffic, my_points))
     })
-    .map_err(|e| CoreError::NoConvergence {
-        what: match e {
-            CommError::RankFailed => "parallel DFPT (rank failure)",
-            CommError::Mismatch(_) => "parallel DFPT (collective mismatch)",
-        },
-        iterations: 0,
-        residual: f64::NAN,
-    })?;
+    .map_err(comm_failure)?;
 
     let (converged, iterations, p1, traffic, _) = outputs[0].clone();
     if !converged {

@@ -70,6 +70,24 @@ pub struct ScfResult {
     pub iterations: usize,
 }
 
+/// The loop-carried SCF state between iterations: everything needed to
+/// resume the cycle at `start_iter + 1` and replay the remaining
+/// iterations bit-exactly. Snapshotted by the checkpoint layer
+/// (`qp-resil`) and fed back through [`scf_resumable`].
+#[derive(Debug, Clone)]
+pub struct ScfState {
+    /// Completed SCF iterations.
+    pub start_iter: usize,
+    /// Kohn–Sham total energy at `start_iter` (diagnostic).
+    pub energy: f64,
+    /// The mixed density matrix seeding iteration `start_iter + 1`.
+    pub p_mat: DMatrix,
+    /// Pulay/DIIS input-density history.
+    pub diis_in: Vec<DMatrix>,
+    /// Pulay/DIIS residual history.
+    pub diis_res: Vec<DMatrix>,
+}
+
 /// Pulay/DIIS step: find `c` minimizing `‖Σ cᵢ Rᵢ‖` with `Σ cᵢ = 1`, then
 /// return `Σ cᵢ (Pᵢ + damping·Rᵢ)`. Returns `None` when the DIIS system is
 /// numerically singular (caller restarts the history).
@@ -119,6 +137,19 @@ pub fn electronic_dipole(system: &System, density: &[f64]) -> [f64; 3] {
 
 /// Run the ground-state SCF.
 pub fn scf(system: &System, opts: &ScfOptions) -> Result<ScfResult> {
+    scf_resumable(system, opts, None, &mut |_| {})
+}
+
+/// [`scf`] with checkpoint/restart hooks: `resume` seeds the loop from a
+/// previously captured [`ScfState`] (replaying the remaining iterations
+/// bit-exactly), and `on_iter` observes the loop-carried state after every
+/// non-converged iteration (the checkpoint layer snapshots it there).
+pub fn scf_resumable(
+    system: &System,
+    opts: &ScfOptions,
+    resume: Option<ScfState>,
+    on_iter: &mut dyn FnMut(&ScfState),
+) -> Result<ScfResult> {
     let mut scf_span =
         qp_trace::SpanGuard::begin(qp_trace::thread_rank(), qp_trace::Phase::Scf, "scf");
     if scf_span.is_recording() {
@@ -159,15 +190,19 @@ pub fn scf(system: &System, opts: &ScfOptions) -> Result<ScfResult> {
             }
         }
     };
-    let dec0 = generalized_symmetric_eigen(&h_core, &s_mat)?;
-    let occ0 = occupy(&dec0.eigenvalues);
-    let mut p_mat = operators::density_matrix_occ(&dec0.eigenvectors, &occ0);
+    let (start_iter, mut p_mat, mut diis_in, mut diis_res) = match resume {
+        Some(st) => (st.start_iter, st.p_mat, st.diis_in, st.diis_res),
+        None => {
+            let dec0 = generalized_symmetric_eigen(&h_core, &s_mat)?;
+            let occ0 = occupy(&dec0.eigenvalues);
+            let p0 = operators::density_matrix_occ(&dec0.eigenvectors, &occ0);
+            (0, p0, Vec::new(), Vec::new())
+        }
+    };
 
     let mut last: (qp_linalg::EigenDecomposition, f64, Vec<f64>);
     let mut residual = f64::INFINITY;
-    let mut diis_in: Vec<DMatrix> = Vec::new();
-    let mut diis_res: Vec<DMatrix> = Vec::new();
-    for iter in 1..=opts.max_iter {
+    for iter in (start_iter + 1)..=opts.max_iter {
         let mut iter_span =
             qp_trace::SpanGuard::begin(qp_trace::thread_rank(), qp_trace::Phase::Scf, "scf.iter");
         if iter_span.is_recording() {
@@ -282,6 +317,14 @@ pub fn scf(system: &System, opts: &ScfOptions) -> Result<ScfResult> {
             mixed.axpy(opts.mixing, &p_new)?;
             mixed
         };
+
+        on_iter(&ScfState {
+            start_iter: iter,
+            energy,
+            p_mat: p_mat.clone(),
+            diis_in: diis_in.clone(),
+            diis_res: diis_res.clone(),
+        });
     }
     Err(CoreError::NoConvergence {
         what: "ground-state SCF",

@@ -18,8 +18,13 @@ mod control;
 
 use qp_chem::basis::BasisSettings;
 use qp_chem::grids::GridSettings;
-use qp_core::{dfpt, properties, scf, DfptOptions, ScfOptions, System};
+use qp_core::parallel::{CollectiveScheme, MappingKind, ParallelConfig};
+use qp_core::resil::scf_checkpointed;
+use qp_core::{
+    dfpt, properties, scf, DfptOptions, ResilienceConfig, ScfOptions, ScfResult, System,
+};
 use qp_trace::{qp_error, qp_info, qp_warn};
+use std::path::PathBuf;
 use std::process::ExitCode;
 
 struct Args {
@@ -33,6 +38,12 @@ struct Args {
     skip_dfpt: bool,
     trace: Option<String>,
     metrics: Option<String>,
+    ranks: Option<usize>,
+    ranks_per_node: Option<usize>,
+    checkpoint_dir: Option<PathBuf>,
+    checkpoint_interval: usize,
+    restart: bool,
+    max_restarts: usize,
 }
 
 fn usage() -> ! {
@@ -55,9 +66,22 @@ options:
   --trace <out.json>       write a Chrome trace-event timeline on exit
   --metrics <out.json|csv> write the metrics registry snapshot on exit
 
+resilience (distributed DFPT + checkpoint/restart):
+  --ranks <N>              run DFPT over N in-process MPI ranks under a
+                           self-recovering supervisor
+  --ranks-per-node <M>     ranks per simulated node   (default: all on one)
+  --checkpoint-dir <dir>   mirror QPCK checkpoints of the SCF and DFPT
+                           state to <dir>
+  --checkpoint-interval <k>  checkpoint every k iterations  (default 5)
+  --restart                resume from the checkpoints in --checkpoint-dir
+  --max-restarts <n>       restart budget on rank failure (default 3)
+
 environment:
   QP_LOG=error|warn|info|debug   output verbosity (default info)
-  QP_TRACE=<path>, QP_METRICS=<path>   same as --trace / --metrics"
+  QP_TRACE=<path>, QP_METRICS=<path>   same as --trace / --metrics
+  QP_FAULT=<plan>   seeded deterministic fault injection, e.g.
+                    'seed=1;crash:rank=1,iter=3' — see qp-resil for the
+                    crash/stall/drop/corrupt grammar"
     );
     std::process::exit(2)
 }
@@ -74,6 +98,12 @@ fn parse_args() -> Args {
         skip_dfpt: false,
         trace: None,
         metrics: None,
+        ranks: None,
+        ranks_per_node: None,
+        checkpoint_dir: None,
+        checkpoint_interval: 5,
+        restart: false,
+        max_restarts: 3,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -123,6 +153,26 @@ fn parse_args() -> Args {
             "--no-dfpt" => args.skip_dfpt = true,
             "--trace" => args.trace = Some(value("--trace")),
             "--metrics" => args.metrics = Some(value("--metrics")),
+            "--ranks" => args.ranks = Some(value("--ranks").parse().unwrap_or_else(|_| usage())),
+            "--ranks-per-node" => {
+                args.ranks_per_node = Some(
+                    value("--ranks-per-node")
+                        .parse()
+                        .unwrap_or_else(|_| usage()),
+                )
+            }
+            "--checkpoint-dir" => {
+                args.checkpoint_dir = Some(PathBuf::from(value("--checkpoint-dir")))
+            }
+            "--checkpoint-interval" => {
+                args.checkpoint_interval = value("--checkpoint-interval")
+                    .parse()
+                    .unwrap_or_else(|_| usage())
+            }
+            "--restart" => args.restart = true,
+            "--max-restarts" => {
+                args.max_restarts = value("--max-restarts").parse().unwrap_or_else(|_| usage())
+            }
             "--help" | "-h" => usage(),
             other if other.starts_with('-') => {
                 qp_error!("unknown option '{other}'");
@@ -199,8 +249,45 @@ fn run(args: &Args) -> ExitCode {
         t0.elapsed()
     );
 
+    // Resilience layer: QP_FAULT injection, QPCK checkpoints, supervised
+    // restart. Any of the knobs routes DFPT through the distributed
+    // self-recovering driver.
+    let fault = match qp_resil::FaultPlan::from_env() {
+        Ok(f) => f,
+        Err(e) => {
+            qp_error!("QP_FAULT: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if args.restart && args.checkpoint_dir.is_none() {
+        qp_error!("--restart requires --checkpoint-dir");
+        return ExitCode::FAILURE;
+    }
+    if let Some(d) = &args.checkpoint_dir {
+        if let Err(e) = std::fs::create_dir_all(d) {
+            qp_error!("--checkpoint-dir {}: {e}", d.display());
+            return ExitCode::FAILURE;
+        }
+    }
+    let rcfg = ResilienceConfig {
+        checkpoint_dir: args.checkpoint_dir.clone(),
+        checkpoint_interval: args.checkpoint_interval,
+        max_restarts: args.max_restarts,
+        restart: args.restart,
+        fault: fault
+            .clone()
+            .map(|p| p as std::sync::Arc<dyn qp_resil::FaultHook>),
+        ..ResilienceConfig::default()
+    };
+    let checkpointing = args.checkpoint_dir.is_some();
+
     let t1 = std::time::Instant::now();
-    let ground = match scf(&system, &args.scf) {
+    let scf_out = if checkpointing {
+        scf_checkpointed(&system, &args.scf, &rcfg).map(|(g, stats)| (g, Some(stats)))
+    } else {
+        scf(&system, &args.scf).map(|g| (g, None))
+    };
+    let (ground, scf_stats): (ScfResult, Option<qp_resil::RecoveryStats>) = match scf_out {
         Ok(g) => g,
         Err(e) => {
             qp_error!("SCF failed: {e}");
@@ -217,6 +304,15 @@ fn run(args: &Args) -> ExitCode {
         ground.eigenvalues[n_occ],
         t1.elapsed()
     );
+    if let Some(stats) = &scf_stats {
+        if stats.checkpoints_written > 0 {
+            qp_info!(
+                "SCF checkpoints: {} written ({} bytes)",
+                stats.checkpoints_written,
+                stats.checkpoint_bytes
+            );
+        }
+    }
     let mu = properties::dipole_moment(&system, &ground);
     qp_info!("dipole: [{:.4}, {:.4}, {:.4}] a.u.", mu[0], mu[1], mu[2]);
 
@@ -224,35 +320,102 @@ fn run(args: &Args) -> ExitCode {
         return ExitCode::SUCCESS;
     }
 
+    let resilient_dfpt = args.ranks.is_some() || fault.is_some() || checkpointing;
     let t2 = std::time::Instant::now();
-    let resp = match dfpt(&system, &ground, &args.dfpt_opts) {
-        Ok(r) => r,
-        Err(e) => {
-            qp_error!("DFPT failed: {e}");
-            qp_error!("hint: near-metallic systems need a smaller --dfpt-mixing");
-            return ExitCode::FAILURE;
+    let (alpha, iterations) = if resilient_dfpt {
+        let n_ranks = args.ranks.unwrap_or(4);
+        let cfg = ParallelConfig {
+            n_ranks,
+            ranks_per_node: args.ranks_per_node.unwrap_or(n_ranks).min(n_ranks),
+            mapping: MappingKind::LocalityEnhancing,
+            collectives: CollectiveScheme::Packed,
+        };
+        qp_info!(
+            "DFPT: supervised, {} ranks ({} per node), checkpoint every {}, restart budget {}",
+            cfg.n_ranks,
+            cfg.ranks_per_node,
+            args.checkpoint_interval,
+            args.max_restarts
+        );
+        match dfpt_resilient(&system, &ground, &args.dfpt_opts, &cfg, &rcfg) {
+            Ok(out) => out,
+            Err(e) => {
+                qp_error!("DFPT failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        match dfpt(&system, &ground, &args.dfpt_opts) {
+            Ok(r) => (r.polarizability, r.iterations),
+            Err(e) => {
+                qp_error!("DFPT failed: {e}");
+                qp_error!("hint: near-metallic systems need a smaller --dfpt-mixing");
+                return ExitCode::FAILURE;
+            }
         }
     };
+    if let Some(plan) = &fault {
+        for ev in plan.events() {
+            qp_info!("injected fault fired: {ev}");
+        }
+    }
     qp_info!(
         "DFPT: {:?} iterations per direction  [{:.1?}]",
-        resp.iterations,
+        iterations,
         t2.elapsed()
     );
     qp_info!("polarizability tensor (Bohr^3):");
     for i in 0..3 {
         qp_info!(
             "  [ {:10.4} {:10.4} {:10.4} ]",
-            resp.polarizability[(i, 0)],
-            resp.polarizability[(i, 1)],
-            resp.polarizability[(i, 2)]
+            alpha[(i, 0)],
+            alpha[(i, 1)],
+            alpha[(i, 2)]
         );
     }
     qp_info!(
         "isotropic: {:.4} Bohr^3, anisotropy: {:.4} Bohr^3",
-        properties::isotropic_polarizability(&resp.polarizability),
-        properties::polarizability_anisotropy(&resp.polarizability)
+        properties::isotropic_polarizability(&alpha),
+        properties::polarizability_anisotropy(&alpha)
     );
     ExitCode::SUCCESS
+}
+
+/// All three field directions through the supervised distributed driver,
+/// with the recovery story reported on the way out.
+fn dfpt_resilient(
+    system: &System,
+    ground: &ScfResult,
+    opts: &DfptOptions,
+    cfg: &ParallelConfig,
+    rcfg: &ResilienceConfig,
+) -> Result<(qp_linalg::DMatrix, [usize; 3]), qp_core::CoreError> {
+    let dips: Vec<_> = (0..3)
+        .map(|i| qp_core::operators::dipole_matrix(system, i))
+        .collect();
+    let mut alpha = qp_linalg::DMatrix::zeros(3, 3);
+    let mut iterations = [0usize; 3];
+    let mut restarts = 0;
+    let mut checkpoints = 0;
+    for j in 0..3 {
+        let out = qp_core::parallel_dfpt_direction_resilient(system, ground, j, opts, cfg, rcfg)?;
+        for i in 0..3 {
+            alpha[(i, j)] = out.direction.p1.trace_product(&dips[i])?;
+        }
+        iterations[j] = out.direction.iterations;
+        restarts += out.stats.restarts;
+        checkpoints += out.stats.checkpoints_written;
+        for ev in &out.stats.events {
+            qp_warn!("direction {j}: {ev}");
+        }
+    }
+    if restarts > 0 {
+        qp_info!("recovered from {restarts} rank failure(s) via checkpoint restart");
+    }
+    if checkpoints > 0 {
+        qp_info!("DFPT checkpoints: {checkpoints} written");
+    }
+    Ok((alpha, iterations))
 }
 
 fn main() -> ExitCode {

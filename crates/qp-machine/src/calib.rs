@@ -68,3 +68,14 @@ pub const HPC2_NIC_CONTENTION: f64 = 2.2;
 pub const HPC2_MEM_PER_PROC: usize = 4 << 30;
 /// Per-process memory budget (bytes), HPC #1.
 pub const HPC1_MEM_PER_PROC: usize = 3 << 30;
+
+/// Parallel-filesystem (checkpoint storage) streaming bandwidth per job
+/// share (bytes/s). Lustre/GPFS-class burst-buffer-less write rates for a
+/// modest job allocation.
+pub const PFS_BANDWIDTH: f64 = 2.0e9;
+/// Parallel-filesystem metadata latency per open/close (s).
+pub const PFS_LATENCY: f64 = 2.0e-3;
+/// Scheduler/runtime overhead of re-establishing a world after a rank
+/// failure (s): failure detection, respawn, reconnect. Dominates small
+/// restarts.
+pub const RESPAWN_OVERHEAD: f64 = 5.0;

@@ -83,6 +83,26 @@ pub fn hierarchical_allreduce_time(m: &MachineModel, ranks: usize, bytes: usize)
     Some(local_update + inter + read_back)
 }
 
+/// Time to write one checkpoint of `bytes` from a `ranks`-wide job: quiesce
+/// (barrier), then rank 0 streams the replicated state to the parallel
+/// filesystem. Deterministic rank-ordered collectives keep state identical
+/// on all ranks, so a single writer suffices and the cost does not scale
+/// with `ranks` beyond the barrier.
+pub fn checkpoint_write_time(m: &MachineModel, ranks: usize, bytes: usize) -> f64 {
+    barrier_time(m, ranks) + crate::calib::PFS_LATENCY + bytes as f64 / crate::calib::PFS_BANDWIDTH
+}
+
+/// Time to recover a `ranks`-wide job from a checkpoint of `bytes`:
+/// failure detection + respawn overhead, checkpoint read-back, broadcast of
+/// the restored state to every rank, and a re-entry barrier.
+pub fn restart_time(m: &MachineModel, ranks: usize, bytes: usize) -> f64 {
+    crate::calib::RESPAWN_OVERHEAD
+        + crate::calib::PFS_LATENCY
+        + bytes as f64 / crate::calib::PFS_BANDWIDTH
+        + broadcast_time(m, ranks, bytes)
+        + barrier_time(m, ranks)
+}
+
 /// Time of a packed sequence: `calls` invocations carrying `total_bytes`
 /// altogether (vs. the baseline's per-invocation latency).
 pub fn packed_sequence_time(
@@ -156,6 +176,18 @@ mod tests {
         let t_one = packed_sequence_time(&m, 1024, 1, 512 * 8192);
         assert!(t_one < t_many);
         assert_eq!(packed_sequence_time(&m, 1024, 0, 0), 0.0);
+    }
+
+    #[test]
+    fn checkpoint_costs_scale_with_bytes() {
+        let m = hpc2();
+        let small = checkpoint_write_time(&m, 256, 1 << 20);
+        let large = checkpoint_write_time(&m, 256, 1 << 30);
+        assert!(large > small, "bigger state costs more to write");
+        // Restart pays respawn overhead on top of the read + broadcast, so
+        // it always exceeds the matching write.
+        assert!(restart_time(&m, 256, 1 << 20) > small);
+        assert!(restart_time(&m, 256, 1 << 20) >= crate::calib::RESPAWN_OVERHEAD);
     }
 
     #[test]

@@ -230,7 +230,15 @@ mod tests {
             let data = vec![0.0; 1 + c.rank()];
             c.allreduce(ReduceOp::Sum, &data)
         });
-        assert!(matches!(out, Err(CommError::Mismatch(_))));
+        // The first rank to detect the mismatch reports it; a peer may
+        // instead observe the resulting world poison as RankFailed.
+        assert!(
+            matches!(
+                out,
+                Err(CommError::Mismatch(_)) | Err(CommError::RankFailed)
+            ),
+            "{out:?}"
+        );
     }
 
     #[test]

@@ -8,11 +8,13 @@
 //! scheduling, which is what lets the test suite assert that the packed and
 //! hierarchical §3.2 paths produce *identical* results to the baseline.
 
+use crate::fault::{FaultDecision, SpmdOptions};
 use crate::traffic::{CollectiveKind, TrafficLog};
 use parking_lot::{Condvar, Mutex};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// Errors surfaced by the runtime.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -20,6 +22,10 @@ pub enum CommError {
     /// A rank panicked or aborted; every blocked collective unblocks with
     /// this error (MPI fatal-error semantics, §failure injection).
     RankFailed,
+    /// A blocking call exceeded its failure-detection deadline — the
+    /// expected peer most likely died or stalled without poisoning the
+    /// world. The caller can restart from a checkpoint.
+    Timeout,
     /// A collective was called with inconsistent arguments across ranks.
     Mismatch(&'static str),
 }
@@ -28,6 +34,9 @@ impl std::fmt::Display for CommError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             CommError::RankFailed => write!(f, "a participating rank failed"),
+            CommError::Timeout => {
+                write!(f, "communication deadline exceeded (peer dead or stalled)")
+            }
             CommError::Mismatch(what) => write!(f, "collective argument mismatch: {what}"),
         }
     }
@@ -72,20 +81,28 @@ impl Rendezvous {
         }
     }
 
-    /// Deposit `data` at `index`, wait for the full table.
+    /// Deposit `data` at `index`, wait for the full table. Waits are bounded
+    /// by `deadline`: a missing participant (dead or stalled rank that never
+    /// poisoned the world) surfaces as [`CommError::Timeout`] instead of a
+    /// hang.
     fn exchange(
         &self,
         index: usize,
         data: Vec<f64>,
         poisoned: &AtomicBool,
+        deadline: Duration,
     ) -> Result<Arc<Vec<Vec<f64>>>, CommError> {
+        let start = Instant::now();
         let mut st = self.state.lock();
         // Wait out a previous generation still distributing.
         while matches!(st.phase, Phase::Distributing) {
             if poisoned.load(Ordering::SeqCst) {
                 return Err(CommError::RankFailed);
             }
-            self.cond.wait(&mut st);
+            let remaining = deadline
+                .checked_sub(start.elapsed())
+                .ok_or(CommError::Timeout)?;
+            self.cond.wait_for(&mut st, remaining);
         }
         let my_gen = st.generation;
         if st.contributions[index].is_some() {
@@ -94,11 +111,15 @@ impl Rendezvous {
         st.contributions[index] = Some(data);
         st.arrived += 1;
         if st.arrived == self.size {
-            let table: Vec<Vec<f64>> = st
-                .contributions
-                .iter_mut()
-                .map(|c| c.take().expect("all arrived"))
-                .collect();
+            let mut table: Vec<Vec<f64>> = Vec::with_capacity(self.size);
+            for c in st.contributions.iter_mut() {
+                // `arrived == size` guarantees every slot is filled; a hole
+                // would mean corrupted rendezvous state — surface it as an
+                // error on this rank rather than aborting the process.
+                table.push(c.take().ok_or(CommError::Mismatch(
+                    "rendezvous contribution missing at publish",
+                ))?);
+            }
             st.published = Some(Arc::new(table));
             st.phase = Phase::Distributing;
             self.cond.notify_all();
@@ -107,13 +128,20 @@ impl Rendezvous {
                 if poisoned.load(Ordering::SeqCst) {
                     return Err(CommError::RankFailed);
                 }
-                self.cond.wait(&mut st);
+                let remaining = deadline
+                    .checked_sub(start.elapsed())
+                    .ok_or(CommError::Timeout)?;
+                self.cond.wait_for(&mut st, remaining);
             }
         }
         if poisoned.load(Ordering::SeqCst) {
             return Err(CommError::RankFailed);
         }
-        let table = st.published.as_ref().expect("published").clone();
+        let table = st
+            .published
+            .as_ref()
+            .ok_or(CommError::Mismatch("rendezvous table vanished before read"))?
+            .clone();
         st.consumed += 1;
         if st.consumed == self.size {
             // Reset for the next generation.
@@ -189,6 +217,7 @@ pub struct CommCore {
     windows: Mutex<HashMap<String, Arc<NodeWindow>>>,
     mailboxes: Arc<crate::p2p::Mailboxes>,
     poisoned: AtomicBool,
+    opts: SpmdOptions,
     /// Metered collective traffic.
     pub traffic: TrafficLog,
 }
@@ -262,6 +291,11 @@ impl Comm {
 
     /// Low-level group exchange: every rank of the group identified by `key`
     /// deposits `data` at `index`; all receive the ordered table.
+    ///
+    /// Never hangs and never panics on peer failure: a poisoned world
+    /// returns [`CommError::RankFailed`], an absent participant
+    /// [`CommError::Timeout`] after the configured collective deadline
+    /// (poisoning the world so every other blocked rank unblocks too).
     pub fn exchange(
         &self,
         key: &str,
@@ -269,11 +303,32 @@ impl Comm {
         index: usize,
         data: Vec<f64>,
     ) -> Result<Arc<Vec<Vec<f64>>>, CommError> {
+        if let Some(hook) = &self.core.opts.fault {
+            match hook.on_collective(self.rank, key) {
+                FaultDecision::Continue => {}
+                FaultDecision::Crash => {
+                    self.core.poison();
+                    return Err(CommError::RankFailed);
+                }
+                FaultDecision::Stall(d) => std::thread::sleep(d),
+            }
+        }
         let rv = self.core.rendezvous(key, group_size);
         if rv.size != group_size {
             return Err(CommError::Mismatch("group size changed for key"));
         }
-        rv.exchange(index, data, &self.core.poisoned)
+        let out = rv.exchange(
+            index,
+            data,
+            &self.core.poisoned,
+            self.core.opts.collective_timeout,
+        );
+        if matches!(out, Err(CommError::Timeout)) {
+            // Failure detection fired: declare the world dead so peers
+            // blocked on other rendezvous unblock promptly.
+            self.core.poison();
+        }
+        out
     }
 
     /// Get (or lazily create) this node's shared window under `key`.
@@ -295,6 +350,45 @@ impl Comm {
     /// blocking) on a collective gets [`CommError::RankFailed`].
     pub fn inject_failure(&self) {
         self.core.poison();
+    }
+
+    /// Driver-level fault hook point: call at iteration boundaries (e.g.
+    /// `comm.fault_point("dfpt.iter", k)`), so plans can crash or stall a
+    /// rank at a reproducible place in the computation. A no-op without an
+    /// installed hook; a `Crash` decision poisons the world and returns
+    /// [`CommError::RankFailed`] on this rank.
+    pub fn fault_point(&self, point: &str, index: u64) -> Result<(), CommError> {
+        if let Some(hook) = &self.core.opts.fault {
+            match hook.at_point(self.rank, point, index) {
+                FaultDecision::Continue => {}
+                FaultDecision::Crash => {
+                    let mut span = qp_trace::SpanGuard::begin(
+                        self.rank,
+                        qp_trace::Phase::Resil,
+                        "fault.crash",
+                    );
+                    if span.is_recording() {
+                        span.arg("point", point).arg("index", index);
+                    }
+                    self.core.poison();
+                    return Err(CommError::RankFailed);
+                }
+                FaultDecision::Stall(d) => {
+                    let mut span = qp_trace::SpanGuard::begin(
+                        self.rank,
+                        qp_trace::Phase::Resil,
+                        "fault.stall",
+                    );
+                    if span.is_recording() {
+                        span.arg("point", point)
+                            .arg("index", index)
+                            .arg("ms", d.as_millis() as u64);
+                    }
+                    std::thread::sleep(d);
+                }
+            }
+        }
+        Ok(())
     }
 
     pub(crate) fn record(&self, kind: CollectiveKind, ranks: usize, bytes_per_rank: usize) {
@@ -326,6 +420,10 @@ impl Comm {
     pub(crate) fn poison_flag(&self) -> &AtomicBool {
         &self.core.poisoned
     }
+
+    pub(crate) fn opts(&self) -> &SpmdOptions {
+        &self.core.opts
+    }
 }
 
 /// Run `f` as an SPMD program over `n_ranks` threads grouped into nodes of
@@ -338,7 +436,33 @@ where
     T: Send,
     F: Fn(&Comm) -> Result<T, CommError> + Sync,
 {
+    run_spmd_with(n_ranks, ranks_per_node, SpmdOptions::default(), f)
+}
+
+/// [`run_spmd`] with explicit [`SpmdOptions`]: fault-injection hook and
+/// failure-detection deadlines.
+///
+/// Failure semantics (MPI fatal-error model, restartable from outside):
+/// a rank that panics **or** returns an error poisons the world, so every
+/// peer blocked in (or later entering) a collective or `recv` gets
+/// [`CommError::RankFailed`] instead of hanging; a rank that silently
+/// disappears from a rendezvous is caught by the collective deadline and
+/// surfaces as [`CommError::Timeout`]. Supervised drivers catch either
+/// error and respawn the whole region from a checkpoint.
+pub fn run_spmd_with<T, F>(
+    n_ranks: usize,
+    ranks_per_node: usize,
+    opts: SpmdOptions,
+    f: F,
+) -> Result<Vec<T>, CommError>
+where
+    T: Send,
+    F: Fn(&Comm) -> Result<T, CommError> + Sync,
+{
     assert!(n_ranks >= 1 && ranks_per_node >= 1);
+    if let Some(hook) = &opts.fault {
+        hook.bind_world(n_ranks);
+    }
     let core = Arc::new(CommCore {
         size: n_ranks,
         ranks_per_node,
@@ -346,6 +470,7 @@ where
         windows: Mutex::new(HashMap::new()),
         mailboxes: crate::p2p::Mailboxes::new(),
         poisoned: AtomicBool::new(false),
+        opts,
         traffic: TrafficLog::new(),
     });
 
@@ -369,7 +494,15 @@ where
                     };
                     let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&comm)));
                     match out {
-                        Ok(r) => r,
+                        Ok(r) => {
+                            // An erroring rank is as dead as a panicking one
+                            // from its peers' point of view: poison so no
+                            // peer waits forever on its contributions.
+                            if r.is_err() {
+                                core.poison();
+                            }
+                            r
+                        }
                         Err(_) => {
                             core.poison();
                             Err(CommError::RankFailed)
@@ -474,6 +607,82 @@ mod tests {
             Ok(())
         });
         assert_eq!(out, Err(CommError::RankFailed));
+    }
+
+    #[test]
+    fn silent_desertion_times_out_collective() {
+        // A rank that leaves the region without poisoning the world: the
+        // collective deadline is the only failure detector, and it must
+        // fire in bounded time.
+        use std::time::{Duration, Instant};
+        let opts = crate::fault::SpmdOptions::default().with_timeout(Duration::from_millis(50));
+        let start = Instant::now();
+        let out = run_spmd_with(3, 3, opts, |c| {
+            if c.rank() == 2 {
+                return Ok(());
+            }
+            c.exchange("abandoned", 3, c.rank(), vec![0.0])?;
+            Ok(())
+        });
+        assert!(
+            matches!(out, Err(CommError::Timeout) | Err(CommError::RankFailed)),
+            "{out:?}"
+        );
+        assert!(start.elapsed() < Duration::from_secs(10), "bounded");
+    }
+
+    #[test]
+    fn erroring_rank_poisons_world() {
+        // A rank returning Err — without panicking or calling
+        // inject_failure — must still unblock peers stuck in collectives.
+        let out = run_spmd(3, 3, |c| {
+            if c.rank() == 2 {
+                return Err(CommError::Mismatch("simulated application error"));
+            }
+            c.exchange("err", 3, c.rank(), vec![0.0])?;
+            Ok(())
+        });
+        assert!(out.is_err(), "{out:?}");
+    }
+
+    #[test]
+    fn fault_point_crash_detected_by_peers() {
+        use crate::fault::{FaultDecision, FaultHook, SpmdOptions};
+
+        struct CrashAt {
+            rank: usize,
+            iter: u64,
+        }
+        impl FaultHook for CrashAt {
+            fn at_point(&self, rank: usize, _point: &str, index: u64) -> FaultDecision {
+                if rank == self.rank && index == self.iter {
+                    FaultDecision::Crash
+                } else {
+                    FaultDecision::Continue
+                }
+            }
+        }
+        let opts = SpmdOptions::with_fault(Arc::new(CrashAt { rank: 1, iter: 3 }));
+        let out = run_spmd_with(4, 2, opts, |c| {
+            let mut acc = 0.0;
+            for iter in 1..=5u64 {
+                c.fault_point("iter", iter)?;
+                let t = c.exchange("work", 4, c.rank(), vec![1.0])?;
+                acc += t.len() as f64;
+            }
+            Ok(acc)
+        });
+        assert_eq!(out, Err(CommError::RankFailed));
+    }
+
+    #[test]
+    fn fault_point_without_hook_is_noop() {
+        let out = run_spmd(2, 2, |c| {
+            c.fault_point("iter", 1)?;
+            Ok(c.rank())
+        })
+        .unwrap();
+        assert_eq!(out, vec![0, 1]);
     }
 
     #[test]

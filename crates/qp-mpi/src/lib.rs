@@ -18,16 +18,25 @@
 //! paths. Every collective is metered by [`traffic`] (bytes, calls, ranks),
 //! which is what the `qp-machine` cost model converts into simulated seconds
 //! for the Fig. 10 experiments.
+//!
+//! The runtime is **failure-aware** (the substrate of `qp-resil`): a rank
+//! that panics or errors poisons the world so peers unblock with
+//! [`CommError::RankFailed`]; blocking calls carry deadlines and surface a
+//! silently-dead peer as [`CommError::Timeout`]; and [`fault`] exposes the
+//! hook points (iteration boundaries, collective entry, p2p send) where a
+//! deterministic fault plan can crash, stall, drop, or corrupt.
 
 pub mod collectives;
 pub mod comm;
+pub mod fault;
 pub mod hierarchical;
 pub mod p2p;
 pub mod packed;
 pub mod shm;
 pub mod traffic;
 
-pub use comm::{run_spmd, Comm, CommError};
+pub use comm::{run_spmd, run_spmd_with, Comm, CommError};
+pub use fault::{FaultDecision, FaultHook, SpmdOptions};
 pub use traffic::{CollectiveKind, TrafficLog, TrafficRecord};
 
 /// Reduction operators supported by the collectives.

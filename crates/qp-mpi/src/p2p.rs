@@ -12,6 +12,7 @@ use parking_lot::{Condvar, Mutex};
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// One mailbox per (source, dest, tag).
 type Key = (usize, usize, u64);
@@ -36,7 +37,9 @@ impl Mailboxes {
         &self,
         key: Key,
         poisoned: &std::sync::atomic::AtomicBool,
+        deadline: Duration,
     ) -> Result<Vec<f64>, CommError> {
+        let start = Instant::now();
         let mut st = self.state.lock();
         loop {
             if let Some(queue) = st.get_mut(&key) {
@@ -47,7 +50,13 @@ impl Mailboxes {
             if poisoned.load(Ordering::SeqCst) {
                 return Err(CommError::RankFailed);
             }
-            self.cond.wait(&mut st);
+            // Bounded wait: a failed sender that never poisoned the world
+            // (crashed silently, or its message was dropped by fault
+            // injection) must not hang this rank forever.
+            let remaining = deadline
+                .checked_sub(start.elapsed())
+                .ok_or(CommError::Timeout)?;
+            self.cond.wait_for(&mut st, remaining);
         }
     }
 
@@ -58,7 +67,10 @@ impl Mailboxes {
 
 impl Comm {
     /// Send `data` to `dest` with `tag` (asynchronous, buffered).
-    pub fn send(&self, dest: usize, tag: u64, data: Vec<f64>) -> Result<(), CommError> {
+    ///
+    /// Fault injection may drop or corrupt the message in flight; a dropped
+    /// message surfaces on the receiver as [`CommError::Timeout`].
+    pub fn send(&self, dest: usize, tag: u64, mut data: Vec<f64>) -> Result<(), CommError> {
         if dest >= self.size() {
             return Err(CommError::Mismatch("send destination out of range"));
         }
@@ -68,19 +80,42 @@ impl Comm {
                 .arg("tag", tag)
                 .arg("bytes", data.len() * 8);
         }
+        if let Some(hook) = &self.opts().fault {
+            if !hook.on_send(self.rank(), dest, tag, &mut data) {
+                // Message lost on the wire: successful send on this side,
+                // nothing delivered.
+                if span.is_recording() {
+                    span.arg("dropped", 1u64);
+                }
+                return Ok(());
+            }
+        }
         self.mailboxes().post((self.rank(), dest, tag), data);
         Ok(())
     }
 
-    /// Receive the next message from `source` with `tag` (blocking).
+    /// Receive the next message from `source` with `tag`, blocking up to the
+    /// world's configured recv deadline (default 30 s; see
+    /// [`crate::fault::SpmdOptions`]), then failing with
+    /// [`CommError::Timeout`].
     pub fn recv(&self, source: usize, tag: u64) -> Result<Vec<f64>, CommError> {
+        self.recv_deadline(source, tag, self.opts().recv_timeout)
+    }
+
+    /// [`Comm::recv`] with an explicit per-call deadline.
+    pub fn recv_deadline(
+        &self,
+        source: usize,
+        tag: u64,
+        deadline: Duration,
+    ) -> Result<Vec<f64>, CommError> {
         if source >= self.size() {
             return Err(CommError::Mismatch("recv source out of range"));
         }
         let mut span = qp_trace::SpanGuard::begin(self.rank(), qp_trace::Phase::Comm, "recv");
-        let payload = self
-            .mailboxes()
-            .take((source, self.rank(), tag), self.poison_flag())?;
+        let payload =
+            self.mailboxes()
+                .take((source, self.rank(), tag), self.poison_flag(), deadline)?;
         if span.is_recording() {
             span.arg("source", source)
                 .arg("tag", tag)
@@ -200,5 +235,98 @@ mod tests {
             Ok(())
         });
         assert_eq!(out, Err(CommError::RankFailed));
+    }
+
+    #[test]
+    fn recv_times_out_without_sender() {
+        // A sender that dies without poisoning the world: the deadline, not
+        // channel disconnection, must unblock the receiver.
+        use crate::fault::SpmdOptions;
+        use std::time::{Duration, Instant};
+        let opts = SpmdOptions::default().with_timeout(Duration::from_millis(50));
+        let start = Instant::now();
+        let out = crate::comm::run_spmd_with(2, 2, opts, |c| {
+            if c.rank() == 0 {
+                c.recv(1, 42)?;
+            }
+            Ok(())
+        });
+        assert!(
+            matches!(out, Err(CommError::Timeout) | Err(CommError::RankFailed)),
+            "{out:?}"
+        );
+        assert!(start.elapsed() < Duration::from_secs(10), "bounded unblock");
+    }
+
+    #[test]
+    fn recv_deadline_is_per_call() {
+        use std::time::Duration;
+        let out = run_spmd(2, 2, |c| {
+            if c.rank() == 0 {
+                // No message for tag 7 ever arrives.
+                let r = c.recv_deadline(1, 7, Duration::from_millis(30));
+                assert_eq!(r, Err(CommError::Timeout));
+            }
+            Ok(())
+        });
+        // The timing-out rank returned Ok, so the world result is Ok.
+        out.unwrap();
+    }
+
+    #[test]
+    fn dropped_message_times_out_receiver() {
+        use crate::fault::{FaultHook, SpmdOptions};
+        use std::time::Duration;
+
+        struct DropAll;
+        impl FaultHook for DropAll {
+            fn on_send(&self, _: usize, _: usize, _: u64, _: &mut Vec<f64>) -> bool {
+                false
+            }
+        }
+        let opts = SpmdOptions::with_fault(std::sync::Arc::new(DropAll))
+            .with_timeout(Duration::from_millis(50));
+        let out = crate::comm::run_spmd_with(2, 2, opts, |c| {
+            if c.rank() == 1 {
+                c.send(0, 3, vec![1.0])?;
+                Ok(0.0)
+            } else {
+                c.recv(0, 3).map(|v| v[0])
+            }
+        });
+        assert!(matches!(
+            out,
+            Err(CommError::Timeout) | Err(CommError::RankFailed)
+        ));
+    }
+
+    #[test]
+    fn corrupted_message_is_delivered_mutated() {
+        use crate::fault::{FaultHook, SpmdOptions};
+
+        struct FlipSign;
+        impl FaultHook for FlipSign {
+            fn on_send(&self, _: usize, _: usize, _: u64, data: &mut Vec<f64>) -> bool {
+                for v in data.iter_mut() {
+                    *v = -*v;
+                }
+                true
+            }
+        }
+        let out = crate::comm::run_spmd_with(
+            2,
+            2,
+            SpmdOptions::with_fault(std::sync::Arc::new(FlipSign)),
+            |c| {
+                if c.rank() == 0 {
+                    c.send(1, 1, vec![2.0, 3.0])?;
+                    Ok(vec![])
+                } else {
+                    c.recv(0, 1)
+                }
+            },
+        )
+        .unwrap();
+        assert_eq!(out[1], vec![-2.0, -3.0]);
     }
 }

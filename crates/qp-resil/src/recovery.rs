@@ -1,0 +1,241 @@
+//! The recovery supervisor: retry a failed SPMD region from its last
+//! checkpoint, bounded by a restart budget, with the modeled cost of every
+//! checkpoint write and recovery charged to the `qp-machine` simulated
+//! clock.
+//!
+//! The in-process runtime makes failure cheap (threads, not nodes), so the
+//! *time* cost of resilience — what the checkpoint-interval ablation
+//! measures — is modeled, not measured: [`Supervisor::note_checkpoint`]
+//! charges [`checkpoint_write_time`] and each restart charges
+//! [`restart_time`], both emitted as spans on the machine's simulated
+//! timeline (`Phase::Resil`).
+//!
+//! [`checkpoint_write_time`]: qp_machine::cost::checkpoint_write_time
+//! [`restart_time`]: qp_machine::cost::restart_time
+
+use qp_machine::machine::MachineModel;
+use qp_mpi::CommError;
+
+/// What the supervisor is allowed to do and on which modeled machine.
+#[derive(Debug, Clone, Copy)]
+pub struct RecoveryPolicy {
+    /// Restart budget: attempts beyond `max_restarts + 1` surface the error.
+    pub max_restarts: usize,
+    /// Ranks of the supervised world (enters the modeled recovery cost).
+    pub ranks: usize,
+    /// Machine whose simulated clock is charged (`None` = no cost model).
+    pub machine: Option<MachineModel>,
+}
+
+impl Default for RecoveryPolicy {
+    fn default() -> Self {
+        RecoveryPolicy {
+            max_restarts: 3,
+            ranks: 1,
+            machine: None,
+        }
+    }
+}
+
+/// What happened during a supervised run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RecoveryStats {
+    /// Attempts performed (1 = fault-free).
+    pub attempts: usize,
+    /// Restarts performed (`attempts - 1` on success).
+    pub restarts: usize,
+    /// Checkpoints written.
+    pub checkpoints_written: usize,
+    /// Size of the most recent checkpoint (bytes).
+    pub checkpoint_bytes: usize,
+    /// Modeled seconds spent writing checkpoints.
+    pub sim_checkpoint_s: f64,
+    /// Modeled seconds spent recovering (respawn + restore).
+    pub sim_recovery_s: f64,
+    /// Human-readable log of failures and restarts, in order.
+    pub events: Vec<String>,
+}
+
+impl RecoveryStats {
+    /// Total modeled resilience overhead (checkpointing + recovery).
+    pub fn sim_overhead_s(&self) -> f64 {
+        self.sim_checkpoint_s + self.sim_recovery_s
+    }
+}
+
+/// Supervises one SPMD region: runs it, and on a *failure-class* error
+/// ([`CommError::RankFailed`] / [`CommError::Timeout`]) retries up to the
+/// policy's restart budget. The retried closure re-enters from the last
+/// checkpoint (that part is the caller's contract — the closure reads the
+/// shared checkpoint store on each attempt).
+pub struct Supervisor {
+    policy: RecoveryPolicy,
+    stats: RecoveryStats,
+    /// Cursor on the simulated timeline for emitted resil spans.
+    sim_clock_s: f64,
+}
+
+impl Supervisor {
+    /// A supervisor with the given policy and empty stats.
+    pub fn new(policy: RecoveryPolicy) -> Self {
+        Supervisor {
+            policy,
+            stats: RecoveryStats::default(),
+            sim_clock_s: 0.0,
+        }
+    }
+
+    /// Stats accumulated so far.
+    pub fn stats(&self) -> &RecoveryStats {
+        &self.stats
+    }
+
+    /// Consume the supervisor, yielding its stats.
+    pub fn into_stats(self) -> RecoveryStats {
+        self.stats
+    }
+
+    /// Record a checkpoint of `bytes` written by the supervised region and
+    /// charge its modeled write time.
+    pub fn note_checkpoint(&mut self, bytes: usize) {
+        self.stats.checkpoints_written += 1;
+        self.stats.checkpoint_bytes = bytes;
+        if let Some(m) = &self.policy.machine {
+            let dur = qp_machine::cost::checkpoint_write_time(m, self.policy.ranks, bytes);
+            self.stats.sim_checkpoint_s += dur;
+            m.sim_span(
+                0,
+                qp_trace::Phase::Resil,
+                "resil.checkpoint",
+                self.sim_clock_s,
+                dur,
+            );
+            self.sim_clock_s += dur;
+        }
+    }
+
+    /// Is `err` a failure the supervisor recovers from (as opposed to a
+    /// programming error it must surface)?
+    pub fn recoverable(err: &CommError) -> bool {
+        matches!(err, CommError::RankFailed | CommError::Timeout)
+    }
+
+    /// Run `attempt` (called with the 0-based attempt number) until it
+    /// succeeds, fails unrecoverably, or exhausts the restart budget.
+    pub fn run<T>(
+        &mut self,
+        mut attempt: impl FnMut(&mut Supervisor, usize) -> Result<T, CommError>,
+    ) -> Result<T, CommError> {
+        loop {
+            let n = self.stats.attempts;
+            self.stats.attempts += 1;
+            let mut span = qp_trace::SpanGuard::begin(0, qp_trace::Phase::Resil, "resil.attempt");
+            if span.is_recording() {
+                span.arg("attempt", n as u64);
+            }
+            match attempt(self, n) {
+                Ok(out) => return Ok(out),
+                Err(e)
+                    if Self::recoverable(&e) && self.stats.restarts < self.policy.max_restarts =>
+                {
+                    self.stats.restarts += 1;
+                    self.stats
+                        .events
+                        .push(format!("restart {} after {e}", self.stats.restarts));
+                    if let Some(m) = &self.policy.machine {
+                        let dur = qp_machine::cost::restart_time(
+                            m,
+                            self.policy.ranks,
+                            self.stats.checkpoint_bytes,
+                        );
+                        self.stats.sim_recovery_s += dur;
+                        m.sim_span(
+                            0,
+                            qp_trace::Phase::Resil,
+                            "resil.restart",
+                            self.sim_clock_s,
+                            dur,
+                        );
+                        self.sim_clock_s += dur;
+                    }
+                }
+                Err(e) => {
+                    self.stats.events.push(format!("gave up: {e}"));
+                    return Err(e);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn policy(max: usize) -> RecoveryPolicy {
+        RecoveryPolicy {
+            max_restarts: max,
+            ranks: 4,
+            machine: None,
+        }
+    }
+
+    #[test]
+    fn succeeds_after_transient_failures() {
+        let mut sup = Supervisor::new(policy(3));
+        let out = sup.run(|_, n| {
+            if n < 2 {
+                Err(CommError::RankFailed)
+            } else {
+                Ok(n)
+            }
+        });
+        assert_eq!(out, Ok(2));
+        assert_eq!(sup.stats().attempts, 3);
+        assert_eq!(sup.stats().restarts, 2);
+        assert_eq!(sup.stats().events.len(), 2);
+    }
+
+    #[test]
+    fn budget_exhaustion_surfaces_the_error() {
+        let mut sup = Supervisor::new(policy(2));
+        let out: Result<(), _> = sup.run(|_, _| Err(CommError::Timeout));
+        assert_eq!(out, Err(CommError::Timeout));
+        assert_eq!(sup.stats().attempts, 3, "1 try + 2 restarts");
+    }
+
+    #[test]
+    fn programming_errors_are_not_retried() {
+        let mut sup = Supervisor::new(policy(5));
+        let out: Result<(), _> = sup.run(|_, _| Err(CommError::Mismatch("bad lengths")));
+        assert!(matches!(out, Err(CommError::Mismatch(_))));
+        assert_eq!(sup.stats().attempts, 1);
+        assert_eq!(sup.stats().restarts, 0);
+    }
+
+    #[test]
+    fn modeled_costs_accumulate() {
+        let mut sup = Supervisor::new(RecoveryPolicy {
+            max_restarts: 1,
+            ranks: 256,
+            machine: Some(qp_machine::machine::hpc2()),
+        });
+        let out = sup.run(|sup, n| {
+            sup.note_checkpoint(8 << 20);
+            if n == 0 {
+                Err(CommError::RankFailed)
+            } else {
+                Ok(())
+            }
+        });
+        assert_eq!(out, Ok(()));
+        let st = sup.stats();
+        assert_eq!(st.checkpoints_written, 2);
+        assert!(st.sim_checkpoint_s > 0.0);
+        assert!(
+            st.sim_recovery_s >= qp_machine::calib::RESPAWN_OVERHEAD,
+            "restart pays at least the respawn overhead"
+        );
+        assert!(st.sim_overhead_s() > st.sim_recovery_s);
+    }
+}

@@ -38,6 +38,8 @@ pub enum Phase {
     Grid,
     /// File and exporter I/O.
     Io,
+    /// Resilience machinery: fault injection, checkpointing, recovery.
+    Resil,
     /// Anything else.
     Other,
 }
@@ -57,6 +59,7 @@ impl Phase {
             Phase::Kernel => "kernel",
             Phase::Grid => "grid",
             Phase::Io => "io",
+            Phase::Resil => "resil",
             Phase::Other => "other",
         }
     }
@@ -76,6 +79,7 @@ impl Phase {
             Phase::Kernel => "good",
             Phase::Grid => "bad",
             Phase::Io => "terrible",
+            Phase::Resil => "yellow",
             Phase::Other => "grey",
         }
     }

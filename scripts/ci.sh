@@ -12,4 +12,18 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== cargo test"
 cargo test -q --workspace
 
+echo "== fault-injection smoke matrix (qperturb + QP_FAULT)"
+cargo build -q --release -p qp-cli
+for plan in \
+    "seed=1;crash:rank=1,iter=2" \
+    "seed=2;crash:rank=0,iter=4" \
+    "seed=3;stall:rank=2,iter=3,ms=20;crash:rank=2,iter=5"; do
+  echo "-- QP_FAULT='$plan'"
+  ck_dir="$(mktemp -d)"
+  QP_LOG=warn QP_FAULT="$plan" ./target/release/qperturb --builtin water \
+      --grid coarse --ranks 4 --checkpoint-dir "$ck_dir" \
+      --checkpoint-interval 2
+  rm -rf "$ck_dir"
+done
+
 echo "CI green."

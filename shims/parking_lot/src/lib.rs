@@ -92,6 +92,25 @@ impl Condvar {
         take_mut(guard, |g| self.0.wait(g).unwrap_or_else(|e| e.into_inner()));
     }
 
+    /// Blocks until notified or `timeout` elapses, re-acquiring the guarded
+    /// lock either way. Mirrors `parking_lot::Condvar::wait_for`.
+    pub fn wait_for<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        timeout: std::time::Duration,
+    ) -> WaitTimeoutResult {
+        let mut timed_out = false;
+        take_mut(guard, |g| {
+            let (g, result) = self
+                .0
+                .wait_timeout(g, timeout)
+                .unwrap_or_else(|e| e.into_inner());
+            timed_out = result.timed_out();
+            g
+        });
+        WaitTimeoutResult(timed_out)
+    }
+
     /// Wakes one waiter.
     pub fn notify_one(&self) {
         self.0.notify_one();
@@ -100,6 +119,17 @@ impl Condvar {
     /// Wakes all waiters.
     pub fn notify_all(&self) {
         self.0.notify_all();
+    }
+}
+
+/// Result of a [`Condvar::wait_for`], mirroring `parking_lot`'s type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WaitTimeoutResult(bool);
+
+impl WaitTimeoutResult {
+    /// Whether the wait ended because the timeout elapsed.
+    pub fn timed_out(&self) -> bool {
+        self.0
     }
 }
 
@@ -155,6 +185,33 @@ mod tests {
         }
         h.join().unwrap();
         assert!(*started);
+    }
+
+    #[test]
+    fn condvar_wait_for_times_out() {
+        let m = Mutex::new(());
+        let cv = Condvar::new();
+        let mut g = m.lock();
+        let r = cv.wait_for(&mut g, std::time::Duration::from_millis(10));
+        assert!(r.timed_out());
+    }
+
+    #[test]
+    fn condvar_wait_for_notified() {
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let pair2 = pair.clone();
+        let h = std::thread::spawn(move || {
+            let (lock, cv) = &*pair2;
+            *lock.lock() = true;
+            cv.notify_all();
+        });
+        let (lock, cv) = &*pair;
+        let mut done = lock.lock();
+        while !*done {
+            let r = cv.wait_for(&mut done, std::time::Duration::from_secs(5));
+            assert!(!r.timed_out() || *done);
+        }
+        h.join().unwrap();
     }
 
     #[test]
