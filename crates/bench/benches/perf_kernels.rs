@@ -1,0 +1,114 @@
+//! Criterion microbenches for the qp-par substrate: blocked GEMM vs the
+//! legacy unblocked loop across sizes, the Householder eigensolver serial
+//! vs pooled, and the Sumup kernel with the basis-value cache cold vs warm.
+//!
+//! Run with `CRITERION_FULL=1 cargo bench -p qp-bench --bench perf_kernels`
+//! for the larger iteration budget; numbers are recorded in EXPERIMENTS.md.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qp_chem::basis::BasisSettings;
+use qp_chem::grids::GridSettings;
+use qp_chem::structures::ligand49;
+use qp_core::kernels::{sumup_phase, MatrixAccess};
+use qp_core::system::System;
+use qp_linalg::{symmetric_eigen, DMatrix};
+
+fn test_matrix(n: usize, seed: usize) -> DMatrix {
+    DMatrix::from_fn(n, n, |i, j| {
+        (((i * 31 + j * 7 + seed) % 97) as f64) / 97.0 - 0.5
+    })
+}
+
+fn bench_gemm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gemm");
+    for n in [64, 128, 256, 512, 768] {
+        let a = test_matrix(n, 0);
+        let b = test_matrix(n, 1);
+        group.bench_with_input(BenchmarkId::new("unblocked", n), &n, |bch, _| {
+            bch.iter(|| a.matmul_unblocked(std::hint::black_box(&b)).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("blocked", n), &n, |bch, _| {
+            bch.iter(|| a.matmul(std::hint::black_box(&b)).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("parallel", n), &n, |bch, _| {
+            bch.iter(|| a.par_matmul(std::hint::black_box(&b)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_eigen(c: &mut Criterion) {
+    let mut group = c.benchmark_group("eigen");
+    for n in [128, 256] {
+        let mut m = test_matrix(n, 2);
+        m.symmetrize();
+        for d in 0..n {
+            m[(d, d)] += 4.0; // diagonally dominant: well-separated spectrum
+        }
+        group.bench_with_input(BenchmarkId::new("serial", n), &n, |bch, _| {
+            let _lease = qp_par::ThreadLease::exactly(1);
+            bch.iter(|| symmetric_eigen(std::hint::black_box(&m)).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("pool-8", n), &n, |bch, _| {
+            let _lease = qp_par::ThreadLease::exactly(8);
+            bch.iter(|| symmetric_eigen(std::hint::black_box(&m)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn ligand_system() -> System {
+    let mut gs = GridSettings::coarse();
+    gs.n_radial = 8;
+    gs.max_angular = 6;
+    gs.min_angular = 6;
+    System::build(ligand49(), BasisSettings::Light, &gs, 150, 2)
+}
+
+fn bench_sumup_cache(c: &mut Criterion) {
+    let queue = qp_cl::CommandQueue::new(qp_cl::device::gcn_gpu());
+    let warm = ligand_system();
+    warm.warm_tables();
+    let nb = warm.n_basis();
+    let mut p = DMatrix::from_fn(nb, nb, |i, j| 0.05 * ((i + 2 * j) as f64).sin());
+    p.symmetrize();
+
+    let mut group = c.benchmark_group("sumup-basis-cache");
+    // Cold: a fresh System per iteration — every batch table is tabulated
+    // inside the timed region. Subtract the build-only baseline to isolate
+    // the tabulation cost the warm path avoids.
+    group.bench_function("build-only baseline", |b| {
+        b.iter(|| std::hint::black_box(ligand_system()))
+    });
+    group.bench_function("cold (tabulates every batch)", |b| {
+        b.iter(|| {
+            let sys = ligand_system();
+            sumup_phase(
+                &queue,
+                &sys,
+                std::hint::black_box(&p),
+                MatrixAccess::DenseLocal,
+            )
+        })
+    });
+    group.bench_function("warm (cache hits only)", |b| {
+        b.iter(|| {
+            sumup_phase(
+                &queue,
+                &warm,
+                std::hint::black_box(&p),
+                MatrixAccess::DenseLocal,
+            )
+        })
+    });
+    group.finish();
+}
+
+fn benches(c: &mut Criterion) {
+    bench_gemm(c);
+    bench_eigen(c);
+    bench_sumup_cache(c);
+}
+
+criterion_group!(perf_kernels, benches);
+criterion_main!(perf_kernels);

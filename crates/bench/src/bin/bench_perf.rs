@@ -1,0 +1,453 @@
+//! `bench_perf`: the workspace's end-to-end performance tracker.
+//!
+//! Runs fixed mini-workloads through the *real* pipeline — ligand-49
+//! SCF + DFPT and a polyethylene SCF + DFPT case — plus a GEMM throughput
+//! probe, and emits `BENCH_perf.json` so successive PRs accumulate a
+//! comparable perf trajectory.
+//!
+//! ```text
+//! cargo run --release -p qp-bench --bin bench_perf [--quick] [--out PATH]
+//! ```
+//!
+//! `--quick` shrinks every workload (water instead of the ligand, a
+//! 2-monomer polymer, GEMM at n = 256) for CI smoke runs. Thread count
+//! comes from the qp-par pool (`QP_THREADS` / available parallelism); each
+//! case also re-runs under a 1-thread lease so the JSON carries the
+//! end-to-end parallel speedup alongside the absolute times.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use qp_bench::workloads;
+use qp_chem::basis::BasisSettings;
+use qp_chem::grids::GridSettings;
+use qp_core::basis_cache::cache_counters;
+use qp_core::dfpt::{dfpt_direction, DfptOptions};
+use qp_core::scf::{scf, ScfOptions};
+use qp_core::system::System;
+use qp_linalg::DMatrix;
+use qp_trace::span::{set_enabled, take_events, Phase};
+
+struct CaseSpec {
+    name: &'static str,
+    build: fn() -> System,
+    scf: ScfOptions,
+    /// Field directions to converge (`1` = y); fewer keep quick mode cheap.
+    dfpt_dirs: &'static [usize],
+    dfpt: DfptOptions,
+}
+
+struct PhaseSeconds {
+    sumup: f64,
+    rho: f64,
+    h: f64,
+    sternheimer: f64,
+}
+
+struct CaseResult {
+    name: &'static str,
+    atoms: usize,
+    basis: usize,
+    points: usize,
+    scf_s: f64,
+    scf_iterations: usize,
+    dfpt_s: f64,
+    dfpt_dirs: usize,
+    alpha_diag: Vec<f64>,
+    phases: PhaseSeconds,
+    serial_total_s: f64,
+    parallel_total_s: f64,
+    cache_hits: u64,
+    cache_misses: u64,
+    cache_evictions: u64,
+}
+
+/// The statistics-grade ligand grid shared with `tests/determinism_threads.rs`.
+fn ligand_system() -> System {
+    let mut gs = GridSettings::coarse();
+    gs.n_radial = 8;
+    gs.max_angular = 6;
+    gs.min_angular = 6;
+    System::build(
+        workloads::ligand().structure,
+        BasisSettings::Light,
+        &gs,
+        150,
+        2,
+    )
+}
+
+fn polymer_system() -> System {
+    let mut gs = GridSettings::coarse();
+    gs.n_radial = 8;
+    gs.max_angular = 6;
+    gs.min_angular = 6;
+    // H(C2H4)4H: 26 atoms — big enough to spread over many grid batches.
+    System::build(
+        workloads::polymer(26).structure,
+        BasisSettings::Light,
+        &gs,
+        150,
+        2,
+    )
+}
+
+fn water_system() -> System {
+    let mut gs = GridSettings::light();
+    gs.n_radial = 16;
+    gs.max_angular = 14;
+    System::build(
+        qp_chem::structures::water(),
+        BasisSettings::Light,
+        &gs,
+        150,
+        2,
+    )
+}
+
+fn ligand_scf() -> ScfOptions {
+    ScfOptions {
+        max_iter: 80,
+        tol: 1e-6,
+        mixing: 0.1,
+        field: None,
+        smearing: Some(0.02),
+        pulay: Some(6),
+    }
+}
+
+fn cases(quick: bool) -> Vec<CaseSpec> {
+    if quick {
+        vec![
+            CaseSpec {
+                name: "water",
+                build: water_system,
+                scf: ScfOptions::default(),
+                dfpt_dirs: &[1],
+                dfpt: DfptOptions::default(),
+            },
+            CaseSpec {
+                name: "polyethylene-n2",
+                build: || {
+                    let mut gs = GridSettings::coarse();
+                    gs.n_radial = 8;
+                    gs.max_angular = 6;
+                    gs.min_angular = 6;
+                    System::build(
+                        workloads::polymer(14).structure,
+                        BasisSettings::Light,
+                        &gs,
+                        150,
+                        2,
+                    )
+                },
+                scf: ligand_scf(),
+                dfpt_dirs: &[1],
+                dfpt: DfptOptions {
+                    max_iter: 80,
+                    tol: 1e-5,
+                    mixing: 0.15,
+                },
+            },
+        ]
+    } else {
+        vec![
+            CaseSpec {
+                name: "ligand49",
+                build: ligand_system,
+                scf: ligand_scf(),
+                dfpt_dirs: &[0, 1, 2],
+                dfpt: DfptOptions {
+                    max_iter: 80,
+                    tol: 1e-5,
+                    mixing: 0.15,
+                },
+            },
+            CaseSpec {
+                name: "polyethylene-n4",
+                build: polymer_system,
+                scf: ligand_scf(),
+                dfpt_dirs: &[1],
+                dfpt: DfptOptions {
+                    max_iter: 80,
+                    tol: 1e-5,
+                    mixing: 0.15,
+                },
+            },
+        ]
+    }
+}
+
+/// SCF + DFPT once; returns (scf_s, scf_iters, dfpt_s, α_dd per converged dir).
+fn run_once(spec: &CaseSpec, sys: &System) -> (f64, usize, f64, Vec<f64>) {
+    let t0 = Instant::now();
+    let ground = scf(sys, &spec.scf).expect("SCF must converge for the bench workload");
+    let scf_s = t0.elapsed().as_secs_f64();
+    let t1 = Instant::now();
+    let mut alpha = Vec::new();
+    for &dir in spec.dfpt_dirs {
+        match dfpt_direction(sys, &ground, dir, &spec.dfpt) {
+            Ok(resp) => {
+                let dip = qp_core::operators::dipole_matrix(sys, dir);
+                alpha.push(resp.p1.trace_product(&dip).expect("square"));
+            }
+            Err(e) => {
+                eprintln!("  warning: {} direction {dir}: {e}", spec.name);
+                alpha.push(f64::NAN);
+            }
+        }
+    }
+    let dfpt_s = t1.elapsed().as_secs_f64();
+    (scf_s, ground.iterations, dfpt_s, alpha)
+}
+
+fn run_case(spec: &CaseSpec) -> CaseResult {
+    println!("case {} ...", spec.name);
+    let sys = (spec.build)();
+
+    // Serial reference for the end-to-end speedup.
+    let serial_total_s = {
+        let _lease = qp_par::ThreadLease::exactly(1);
+        let sys = (spec.build)(); // fresh basis cache: cold start, like a real run
+        let t = Instant::now();
+        let _ = run_once(spec, &sys);
+        t.elapsed().as_secs_f64()
+    };
+
+    // Instrumented parallel run: per-phase spans + cache counters.
+    let (h0, m0, e0) = cache_counters();
+    set_enabled(true);
+    let _ = take_events();
+    let t = Instant::now();
+    let (scf_s, scf_iterations, dfpt_s, alpha_diag) = run_once(spec, &sys);
+    let parallel_total_s = t.elapsed().as_secs_f64();
+    set_enabled(false);
+    let events = take_events();
+    let (h1, m1, e1) = cache_counters();
+
+    let phase_sum = |p: Phase| -> f64 {
+        events
+            .iter()
+            .filter(|ev| ev.phase == p)
+            .map(|ev| ev.dur_us / 1e6)
+            .sum()
+    };
+    CaseResult {
+        name: spec.name,
+        atoms: sys.structure.len(),
+        basis: sys.n_basis(),
+        points: sys.n_points(),
+        scf_s,
+        scf_iterations,
+        dfpt_s,
+        dfpt_dirs: spec.dfpt_dirs.len(),
+        alpha_diag,
+        phases: PhaseSeconds {
+            sumup: phase_sum(Phase::Sumup),
+            rho: phase_sum(Phase::Rho),
+            h: phase_sum(Phase::H),
+            sternheimer: phase_sum(Phase::Sternheimer),
+        },
+        serial_total_s,
+        parallel_total_s,
+        cache_hits: h1 - h0,
+        cache_misses: m1 - m0,
+        cache_evictions: e1 - e0,
+    }
+}
+
+struct GemmNumbers {
+    n: usize,
+    unblocked_gflops: f64,
+    blocked_gflops: f64,
+    parallel_gflops: f64,
+}
+
+fn time_best<F: FnMut()>(reps: usize, mut f: F) -> f64 {
+    (0..reps)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_secs_f64()
+        })
+        .fold(f64::INFINITY, f64::min)
+}
+
+fn gemm_numbers(n: usize) -> GemmNumbers {
+    let a = DMatrix::from_fn(n, n, |i, j| ((i * 31 + j * 7) % 97) as f64 / 97.0 - 0.5);
+    let b = DMatrix::from_fn(n, n, |i, j| ((i * 13 + j * 17) % 89) as f64 / 89.0 - 0.5);
+    let flops = 2.0 * (n as f64).powi(3);
+    let reps = 3;
+    let unblocked = time_best(reps, || {
+        std::hint::black_box(a.matmul_unblocked(&b).unwrap());
+    });
+    let blocked = time_best(reps, || {
+        std::hint::black_box(a.matmul(&b).unwrap());
+    });
+    let parallel = time_best(reps, || {
+        std::hint::black_box(a.par_matmul(&b).unwrap());
+    });
+    GemmNumbers {
+        n,
+        unblocked_gflops: flops / unblocked / 1e9,
+        blocked_gflops: flops / blocked / 1e9,
+        parallel_gflops: flops / parallel / 1e9,
+    }
+}
+
+fn json_f(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.6}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn emit_json(path: &str, quick: bool, gemm: &GemmNumbers, cases: &[CaseResult]) {
+    let mut s = String::new();
+    let threads = qp_par::active_threads();
+    let _ = writeln!(s, "{{");
+    let _ = writeln!(s, "  \"schema\": \"qp-bench-perf/v1\",");
+    let _ = writeln!(s, "  \"quick\": {quick},");
+    let _ = writeln!(s, "  \"pool_threads\": {threads},");
+    let _ = writeln!(s, "  \"gemm\": {{");
+    let _ = writeln!(s, "    \"n\": {},", gemm.n);
+    let _ = writeln!(
+        s,
+        "    \"unblocked_gflops\": {},",
+        json_f(gemm.unblocked_gflops)
+    );
+    let _ = writeln!(
+        s,
+        "    \"blocked_gflops\": {},",
+        json_f(gemm.blocked_gflops)
+    );
+    let _ = writeln!(
+        s,
+        "    \"parallel_gflops\": {},",
+        json_f(gemm.parallel_gflops)
+    );
+    let _ = writeln!(
+        s,
+        "    \"blocked_vs_unblocked\": {},",
+        json_f(gemm.blocked_gflops / gemm.unblocked_gflops)
+    );
+    let _ = writeln!(
+        s,
+        "    \"parallel_vs_unblocked\": {}",
+        json_f(gemm.parallel_gflops / gemm.unblocked_gflops)
+    );
+    let _ = writeln!(s, "  }},");
+    let _ = writeln!(s, "  \"cases\": [");
+    for (i, c) in cases.iter().enumerate() {
+        let total_lookups = c.cache_hits + c.cache_misses;
+        let hit_rate = if total_lookups > 0 {
+            c.cache_hits as f64 / total_lookups as f64
+        } else {
+            0.0
+        };
+        let alpha: Vec<String> = c.alpha_diag.iter().map(|&v| json_f(v)).collect();
+        let _ = writeln!(s, "    {{");
+        let _ = writeln!(s, "      \"name\": \"{}\",", c.name);
+        let _ = writeln!(
+            s,
+            "      \"atoms\": {}, \"basis\": {}, \"grid_points\": {},",
+            c.atoms, c.basis, c.points
+        );
+        let _ = writeln!(
+            s,
+            "      \"scf_s\": {}, \"scf_iterations\": {},",
+            json_f(c.scf_s),
+            c.scf_iterations
+        );
+        let _ = writeln!(
+            s,
+            "      \"dfpt_s\": {}, \"dfpt_directions\": {},",
+            json_f(c.dfpt_s),
+            c.dfpt_dirs
+        );
+        let _ = writeln!(s, "      \"alpha_diag\": [{}],", alpha.join(", "));
+        let _ = writeln!(s, "      \"phases_s\": {{");
+        let _ = writeln!(s, "        \"sumup\": {},", json_f(c.phases.sumup));
+        let _ = writeln!(s, "        \"rho\": {},", json_f(c.phases.rho));
+        let _ = writeln!(s, "        \"h\": {},", json_f(c.phases.h));
+        let _ = writeln!(
+            s,
+            "        \"sternheimer\": {}",
+            json_f(c.phases.sternheimer)
+        );
+        let _ = writeln!(s, "      }},");
+        let _ = writeln!(
+            s,
+            "      \"serial_total_s\": {}, \"parallel_total_s\": {}, \"e2e_speedup\": {},",
+            json_f(c.serial_total_s),
+            json_f(c.parallel_total_s),
+            json_f(c.serial_total_s / c.parallel_total_s)
+        );
+        let _ = writeln!(s, "      \"basis_cache\": {{");
+        let _ = writeln!(
+            s,
+            "        \"hits\": {}, \"misses\": {}, \"evictions\": {},",
+            c.cache_hits, c.cache_misses, c.cache_evictions
+        );
+        let _ = writeln!(s, "        \"hit_rate\": {}", json_f(hit_rate));
+        let _ = writeln!(s, "      }}");
+        let _ = writeln!(s, "    }}{}", if i + 1 < cases.len() { "," } else { "" });
+    }
+    let _ = writeln!(s, "  ]");
+    let _ = writeln!(s, "}}");
+    std::fs::write(path, &s).expect("write BENCH_perf.json");
+    println!("wrote {path}");
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_perf.json".to_string());
+
+    let threads = qp_par::active_threads();
+    println!(
+        "bench_perf: {} mode, {} pool thread(s)",
+        if quick { "quick" } else { "full" },
+        threads
+    );
+
+    let gemm = gemm_numbers(if quick { 256 } else { 512 });
+    println!(
+        "GEMM n={}: unblocked {:.2} GF/s, blocked {:.2} GF/s ({:.2}x), parallel {:.2} GF/s ({:.2}x)",
+        gemm.n,
+        gemm.unblocked_gflops,
+        gemm.blocked_gflops,
+        gemm.blocked_gflops / gemm.unblocked_gflops,
+        gemm.parallel_gflops,
+        gemm.parallel_gflops / gemm.unblocked_gflops,
+    );
+
+    let results: Vec<CaseResult> = cases(quick).iter().map(run_case).collect();
+    for c in &results {
+        let lookups = c.cache_hits + c.cache_misses;
+        println!(
+            "{}: scf {:.2}s/{} iters, dfpt {:.2}s/{} dirs, e2e {:.2}s (serial {:.2}s, {:.2}x), cache {:.1}% of {} lookups",
+            c.name,
+            c.scf_s,
+            c.scf_iterations,
+            c.dfpt_s,
+            c.dfpt_dirs,
+            c.parallel_total_s,
+            c.serial_total_s,
+            c.serial_total_s / c.parallel_total_s,
+            if lookups > 0 {
+                100.0 * c.cache_hits as f64 / lookups as f64
+            } else {
+                0.0
+            },
+            lookups,
+        );
+    }
+    emit_json(&out, quick, &gemm, &results);
+}

@@ -111,17 +111,12 @@ pub struct DirectionResponse {
 /// the **DM** phase.
 pub fn response_density_matrix(c: &DMatrix, c1: &DMatrix, n_occ: usize) -> DMatrix {
     let nb = c.rows();
-    let mut p1 = DMatrix::zeros(nb, nb);
-    for i in 0..n_occ {
-        for mu in 0..nb {
-            let c1_mu = c1[(mu, i)];
-            let c_mu = c[(mu, i)];
-            for nu in 0..nb {
-                p1[(mu, nu)] += 2.0 * (c1_mu * c[(nu, i)] + c_mu * c1[(nu, i)]);
-            }
-        }
-    }
-    p1
+    // P¹ = 2 (M + Mᵀ) with M = C¹_occ · C_occᵀ — one Level-3 product on the
+    // blocked parallel GEMM instead of the former per-orbital triple loop.
+    let c1_occ = DMatrix::from_fn(nb, n_occ, |mu, i| c1[(mu, i)]);
+    let c_occ_t = DMatrix::from_fn(n_occ, nb, |i, nu| c[(nu, i)]);
+    let m = c1_occ.par_matmul(&c_occ_t).expect("conforming dims");
+    DMatrix::from_fn(nb, nb, |mu, nu| 2.0 * (m[(mu, nu)] + m[(nu, mu)]))
 }
 
 /// Run the DFPT cycle for one Cartesian direction `dir`.

@@ -48,7 +48,7 @@ pub fn sumup_phase(
     let (per_batch, report) =
         queue.launch_map(&format!("sumup[{mode:?}]"), system.batches.len(), |ctx| {
             let batch = &system.batches[ctx.group_id];
-            let table = &system.tables[ctx.group_id];
+            let table = system.table(ctx.group_id);
             let nf = table.fn_indices.len();
             ctx.occupy_items(batch.points.len());
             let mut local = vec![0.0; batch.points.len()];
@@ -111,7 +111,7 @@ pub fn h_phase(
     let (blocks, report) =
         queue.launch_map(&format!("h1[{mode:?}]"), system.batches.len(), |ctx| {
             let batch = &system.batches[ctx.group_id];
-            let table = &system.tables[ctx.group_id];
+            let table = system.table(ctx.group_id);
             let nf = table.fn_indices.len();
             ctx.occupy_items(batch.points.len());
             let mut block = DMatrix::zeros(nf, nf);
@@ -145,7 +145,7 @@ pub fn h_phase(
 
     let mut h1 = DMatrix::zeros(nb, nb);
     for (bid, block) in blocks {
-        let table = &system.tables[bid];
+        let table = system.table(bid);
         for (a, &fa) in table.fn_indices.iter().enumerate() {
             for (b, &fb) in table.fn_indices.iter().enumerate().skip(a) {
                 h1[(fa, fb)] += block[(a, b)];

@@ -25,6 +25,7 @@
 // form for Cartesian components; the iterator rewrite obscures it.
 #![allow(clippy::needless_range_loop)]
 
+pub mod basis_cache;
 pub mod dfpt;
 pub mod dist;
 pub mod kernels;

@@ -34,13 +34,17 @@ pub fn dipole_matrix(system: &System, dir: usize) -> DMatrix {
 }
 
 /// Shared quadrature core: `M_μν = Σ_p w_p f(p) χ_μ(p) χ_ν(p)`.
+///
+/// Batch blocks assemble in parallel (each worker pulls its batch table
+/// from the basis cache); the global merge stays on the calling thread in
+/// batch order, keeping the reduction deterministic.
 fn weighted_product(system: &System, f: impl Fn(usize) -> f64 + Sync) -> DMatrix {
     let nb = system.n_basis();
-    let partials: Vec<DMatrix> = system
+    let partials: Vec<(std::sync::Arc<crate::system::BatchBasisTable>, DMatrix)> = system
         .batches
         .par_iter()
-        .zip(system.tables.par_iter())
-        .map(|(batch, table)| {
+        .map(|batch| {
+            let table = system.table(batch.id);
             let nf = table.fn_indices.len();
             let mut block = DMatrix::zeros(nf, nf);
             for (pi, pt) in batch.points.iter().enumerate() {
@@ -61,12 +65,12 @@ fn weighted_product(system: &System, f: impl Fn(usize) -> f64 + Sync) -> DMatrix
                     }
                 }
             }
-            block
+            (table, block)
         })
         .collect();
 
     let mut m = DMatrix::zeros(nb, nb);
-    for (table, block) in system.tables.iter().zip(partials.iter()) {
+    for (table, block) in partials.iter() {
         for (a, &fa) in table.fn_indices.iter().enumerate() {
             for (b, &fb) in table.fn_indices.iter().enumerate().skip(a) {
                 m[(fa, fb)] += block[(a, b)];
@@ -85,11 +89,11 @@ fn weighted_product(system: &System, f: impl Fn(usize) -> f64 + Sync) -> DMatrix
 /// Assemble the kinetic-energy matrix `T_μν = ½ ∫ ∇χ_μ·∇χ_ν`.
 pub fn kinetic(system: &System) -> DMatrix {
     let nb = system.n_basis();
-    let partials: Vec<DMatrix> = system
+    let partials: Vec<(std::sync::Arc<crate::system::BatchBasisTable>, DMatrix)> = system
         .batches
         .par_iter()
-        .zip(system.tables.par_iter())
-        .map(|(batch, table)| {
+        .map(|batch| {
+            let table = system.table(batch.id);
             let nf = table.fn_indices.len();
             let mut block = DMatrix::zeros(nf, nf);
             for (pi, pt) in batch.points.iter().enumerate() {
@@ -105,12 +109,12 @@ pub fn kinetic(system: &System) -> DMatrix {
                     }
                 }
             }
-            block
+            (table, block)
         })
         .collect();
 
     let mut m = DMatrix::zeros(nb, nb);
-    for (table, block) in system.tables.iter().zip(partials.iter()) {
+    for (table, block) in partials.iter() {
         for (a, &fa) in table.fn_indices.iter().enumerate() {
             for (b, &fb) in table.fn_indices.iter().enumerate().skip(a) {
                 m[(fa, fb)] += block[(a, b)];
@@ -152,24 +156,27 @@ pub fn density_matrix(orbitals: &DMatrix, n_occ: usize) -> DMatrix {
 
 /// Density matrix with explicit (possibly fractional) occupations
 /// (Eq. 6 with Fermi–Dirac `f_i`, Eq. 3).
+///
+/// Computed as the Level-3 product `P = A·Bᵀ` with `A_μa = f_a C_μa` and
+/// `B_νa = C_νa` over the occupied (f ≠ 0) columns, so the DM build runs on
+/// the blocked parallel GEMM.
 pub fn density_matrix_occ(orbitals: &DMatrix, occupations: &[f64]) -> DMatrix {
     let nb = orbitals.rows();
-    let mut p = DMatrix::zeros(nb, nb);
-    for (i, &f) in occupations.iter().enumerate() {
-        if f == 0.0 {
-            continue;
-        }
-        for mu in 0..nb {
-            let c_mu = orbitals[(mu, i)];
-            if c_mu == 0.0 {
-                continue;
-            }
-            for nu in 0..nb {
-                p[(mu, nu)] += f * c_mu * orbitals[(nu, i)];
-            }
-        }
+    let occ_idx: Vec<usize> = occupations
+        .iter()
+        .enumerate()
+        .filter(|&(_, &f)| f != 0.0)
+        .map(|(i, _)| i)
+        .collect();
+    if occ_idx.is_empty() {
+        return DMatrix::zeros(nb, nb);
     }
-    p
+    let m = occ_idx.len();
+    let scaled = DMatrix::from_fn(nb, m, |mu, a| {
+        occupations[occ_idx[a]] * orbitals[(mu, occ_idx[a])]
+    });
+    let plain = DMatrix::from_fn(m, nb, |a, nu| orbitals[(nu, occ_idx[a])]);
+    scaled.par_matmul(&plain).expect("conforming dims")
 }
 
 /// Fermi–Dirac occupations (Eq. 3): `f_i = 2/(1 + exp((ε_i − μ)/kT))` with

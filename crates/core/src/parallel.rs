@@ -176,7 +176,7 @@ impl<'a> DirWork<'a> {
         let mut local_n1: Vec<Vec<f64>> = Vec::with_capacity(my_batches.len());
         for &b in my_batches {
             let batch = &system.batches[b];
-            let table = &system.tables[b];
+            let table = system.table(b);
             let nf = table.fn_indices.len();
             let mut vals = vec![0.0; batch.points.len()];
             for (pi, out) in vals.iter_mut().enumerate() {
@@ -277,7 +277,7 @@ impl<'a> DirWork<'a> {
         let mut h1_partial = DMatrix::zeros(nb, nb);
         for (bi, &b) in my_batches.iter().enumerate() {
             let batch = &system.batches[b];
-            let table = &system.tables[b];
+            let table = system.table(b);
             let nf = table.fn_indices.len();
             for (pi, pt) in batch.points.iter().enumerate() {
                 let gi = pt.grid_index as usize;

@@ -5,12 +5,14 @@
 //! batch with cutoff pruning — the "two-level fine-grained parallelism,
 //! across batches and grid points" data layout of §4.1.
 
+use crate::basis_cache::BasisValueCache;
 use qp_chem::basis::{BasisSet, BasisSettings};
 use qp_chem::geometry::Structure;
 use qp_chem::grids::{GridSettings, IntegrationGrid};
 use qp_grid::batch::{batches_from_grid, Batch};
 use qp_linalg::vecops::dist3;
 use rayon::prelude::*;
+use std::sync::Arc;
 
 /// Per-batch table of basis-function values at the batch's grid points.
 #[derive(Debug, Clone)]
@@ -53,8 +55,11 @@ pub struct System {
     pub grid: IntegrationGrid,
     /// The grid's batches (grid-adapted cut-plane method).
     pub batches: Vec<Batch>,
-    /// Per-batch basis tables.
-    pub tables: Vec<BatchBasisTable>,
+    /// Lazily built, LRU-capped per-batch basis tables (see
+    /// [`crate::basis_cache`]). Grid points never move across SCF/DFPT
+    /// iterations, so each table is computed once and reused every
+    /// iteration.
+    cache: BasisValueCache,
     /// Multipole expansion order used by the Poisson solver.
     pub lmax: usize,
 }
@@ -71,16 +76,13 @@ impl System {
         let basis = BasisSet::build(&structure, basis_settings);
         let grid = IntegrationGrid::build(&structure, grid_settings);
         let batches = batches_from_grid(&grid, max_batch);
-        let tables: Vec<BatchBasisTable> = batches
-            .par_iter()
-            .map(|b| Self::tabulate_batch(&basis, b))
-            .collect();
+        let cache = BasisValueCache::from_env(batches.len());
         System {
             structure,
             basis,
             grid,
             batches,
-            tables,
+            cache,
             lmax,
         }
     }
@@ -94,6 +96,27 @@ impl System {
             200,
             4,
         )
+    }
+
+    /// The basis table for batch `bid`, from cache or freshly tabulated.
+    pub fn table(&self, bid: usize) -> Arc<BatchBasisTable> {
+        self.cache.get(bid, || {
+            Self::tabulate_batch(&self.basis, &self.batches[bid])
+        })
+    }
+
+    /// The underlying basis-value cache (hit rates, residency, capacity).
+    pub fn basis_cache(&self) -> &BasisValueCache {
+        &self.cache
+    }
+
+    /// Build every batch table up front, in parallel (the SCF driver does
+    /// this implicitly on its first assembly; benches use it explicitly to
+    /// separate cold from warm timings).
+    pub fn warm_tables(&self) {
+        (0..self.batches.len()).into_par_iter().for_each(|b| {
+            self.table(b);
+        });
     }
 
     fn tabulate_batch(basis: &BasisSet, batch: &Batch) -> BatchBasisTable {
@@ -159,8 +182,8 @@ impl System {
         let per_batch: Vec<(usize, Vec<f64>)> = self
             .batches
             .par_iter()
-            .zip(self.tables.par_iter())
-            .map(|(batch, table)| {
+            .map(|batch| {
+                let table = self.table(batch.id);
                 let nf = table.fn_indices.len();
                 let mut local = vec![0.0; batch.points.len()];
                 for (pi, local_n) in local.iter_mut().enumerate() {
@@ -209,18 +232,32 @@ mod tests {
     #[test]
     fn tables_cover_all_batches() {
         let s = small_system();
-        assert_eq!(s.tables.len(), s.batches.len());
-        for (b, t) in s.batches.iter().zip(s.tables.iter()) {
+        assert_eq!(s.basis_cache().len(), s.batches.len());
+        for b in s.batches.iter() {
+            let t = s.table(b.id);
             assert_eq!(t.values.len(), b.points.len() * t.fn_indices.len());
             assert!(!t.fn_indices.is_empty(), "water batches see some functions");
         }
     }
 
     #[test]
+    fn repeated_lookup_hits_cache() {
+        let s = small_system();
+        s.warm_tables();
+        let (h0, m0, _) = crate::basis_cache::cache_counters();
+        for b in s.batches.iter() {
+            s.table(b.id);
+        }
+        let (h1, m1, _) = crate::basis_cache::cache_counters();
+        assert_eq!(h1 - h0, s.batches.len() as u64, "all warm lookups hit");
+        assert_eq!(m1, m0, "no rebuild after warm-up");
+    }
+
+    #[test]
     fn tabulated_values_match_direct_evaluation() {
         let s = small_system();
         let b = &s.batches[0];
-        let t = &s.tables[0];
+        let t = s.table(0);
         for (pi, pt) in b.points.iter().enumerate().take(5) {
             for (ki, &fi) in t.fn_indices.iter().enumerate() {
                 let direct = s.basis.functions[fi].eval(pt.position);

@@ -3,10 +3,15 @@
 //! Mirrors the paper's execution model (§4.1): a launch enumerates
 //! work-groups (one per batch); the body processes one work-group's items
 //! and records its memory traffic on the shared [`KernelCounters`].
-//! Work-groups run in parallel on the rayon pool — data-parallel exactly
-//! like OpenCL work-groups, with Rust's data-race freedom standing in for
-//! the "only intra-work-group synchronization" rule (a kernel that needs a
-//! global barrier must split into two launches, as in the paper).
+//! Work-groups genuinely execute in parallel on the `qp-par` thread pool
+//! (via the rayon-compatible shim) — data-parallel exactly like OpenCL
+//! work-groups, with Rust's data-race freedom standing in for the "only
+//! intra-work-group synchronization" rule (a kernel that needs a global
+//! barrier must split into two launches, as in the paper). The shared
+//! [`KernelCounters`] are all atomics, and every count is a commutative
+//! integer sum, so launch totals are identical to serial execution for any
+//! thread count; per-group return values keep group order
+//! ([`CommandQueue::launch_map`]), so results are bit-identical too.
 
 use crate::counters::{KernelCounters, LaunchReport};
 use crate::device::DeviceProfile;
@@ -208,6 +213,35 @@ mod tests {
         let agg = q.aggregate("rho:");
         assert_eq!(agg.launches, 2);
         assert_eq!(agg.flops, 2 + 20);
+    }
+
+    #[test]
+    fn counter_totals_bit_identical_across_thread_counts() {
+        // Tentpole part 3: work-groups execute in parallel on the qp-par
+        // pool, but counter totals must match the serial path exactly.
+        let run = |threads: usize| {
+            let _lease = qp_par::ThreadLease::exactly(threads);
+            let q = CommandQueue::new(gcn_gpu());
+            let (vals, r) = q.launch_map("det", 64, |ctx| {
+                let g = ctx.group_id as u64;
+                ctx.counters.flop(3 * g + 1);
+                ctx.counters.read_offchip(g % 7);
+                ctx.counters.write_offchip(g % 5);
+                ctx.counters.move_onchip(g % 3);
+                ctx.occupy_items((ctx.group_id % 48) + 1);
+                g * g
+            });
+            (vals, r)
+        };
+        let (vals_1, r_1) = run(1);
+        let (vals_8, r_8) = run(8);
+        assert_eq!(vals_1, vals_8);
+        assert_eq!(r_1.flops, r_8.flops);
+        assert_eq!(r_1.offchip_reads, r_8.offchip_reads);
+        assert_eq!(r_1.offchip_writes, r_8.offchip_writes);
+        assert_eq!(r_1.onchip_words, r_8.onchip_words);
+        assert_eq!(r_1.active_items, r_8.active_items);
+        assert_eq!(r_1.lane_slots, r_8.lane_slots);
     }
 
     #[test]

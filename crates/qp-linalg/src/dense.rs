@@ -122,11 +122,60 @@ impl DMatrix {
         t
     }
 
-    /// `self * other` (serial, cache-blocked on the k loop ordering i-k-j).
+    /// `self * other` via the cache-blocked, register-tiled GEMM
+    /// ([`crate::gemm`]), executed serially. Branch-free on values — dense
+    /// inputs and sparse-ish inputs run the same flops (sparsity belongs to
+    /// the CSR path). Bit-identical to [`Self::par_matmul`].
     pub fn matmul(&self, other: &DMatrix) -> Result<DMatrix> {
         if self.cols != other.rows {
             return Err(LinalgError::DimensionMismatch {
                 op: "matmul",
+                dims: vec![self.rows, self.cols, other.rows, other.cols],
+            });
+        }
+        let mut out = DMatrix::zeros(self.rows, other.cols);
+        crate::gemm::gemm(
+            self.rows,
+            other.cols,
+            self.cols,
+            &self.data,
+            &other.data,
+            &mut out.data,
+            false,
+        );
+        Ok(out)
+    }
+
+    /// `self * other` via the same blocked GEMM, with MC row blocks fanned
+    /// out over the qp-par pool. Every C element accumulates in the same
+    /// fixed k-order as the serial path, so the result is bit-identical to
+    /// [`Self::matmul`] for any thread count.
+    pub fn par_matmul(&self, other: &DMatrix) -> Result<DMatrix> {
+        if self.cols != other.rows {
+            return Err(LinalgError::DimensionMismatch {
+                op: "par_matmul",
+                dims: vec![self.rows, self.cols, other.rows, other.cols],
+            });
+        }
+        let mut out = DMatrix::zeros(self.rows, other.cols);
+        crate::gemm::gemm(
+            self.rows,
+            other.cols,
+            self.cols,
+            &self.data,
+            &other.data,
+            &mut out.data,
+            true,
+        );
+        Ok(out)
+    }
+
+    /// The pre-blocking i-k-j triple loop (with its value-dependent
+    /// zero-skip), retained only as the baseline for the GEMM benchmarks.
+    pub fn matmul_unblocked(&self, other: &DMatrix) -> Result<DMatrix> {
+        if self.cols != other.rows {
+            return Err(LinalgError::DimensionMismatch {
+                op: "matmul_unblocked",
                 dims: vec![self.rows, self.cols, other.rows, other.cols],
             });
         }
@@ -148,35 +197,9 @@ impl DMatrix {
         Ok(out)
     }
 
-    /// `self * other` with the row loop parallelized via rayon.
-    pub fn par_matmul(&self, other: &DMatrix) -> Result<DMatrix> {
-        if self.cols != other.rows {
-            return Err(LinalgError::DimensionMismatch {
-                op: "par_matmul",
-                dims: vec![self.rows, self.cols, other.rows, other.cols],
-            });
-        }
-        let n = other.cols;
-        let mut out = DMatrix::zeros(self.rows, n);
-        out.data
-            .par_chunks_mut(n)
-            .enumerate()
-            .for_each(|(i, orow)| {
-                let arow = &self.data[i * self.cols..(i + 1) * self.cols];
-                for (k, &aik) in arow.iter().enumerate() {
-                    if aik == 0.0 {
-                        continue;
-                    }
-                    let brow = &other.data[k * n..(k + 1) * n];
-                    for j in 0..n {
-                        orow[j] += aik * brow[j];
-                    }
-                }
-            });
-        Ok(out)
-    }
-
-    /// Matrix-vector product `self * x`.
+    /// Matrix-vector product `self * x`, rows fanned out over the pool.
+    /// Each row's dot product runs in fixed k-order on one thread, so the
+    /// result is bit-identical for any thread count.
     pub fn matvec(&self, x: &[f64]) -> Result<Vec<f64>> {
         if x.len() != self.cols {
             return Err(LinalgError::DimensionMismatch {
@@ -185,6 +208,7 @@ impl DMatrix {
             });
         }
         Ok((0..self.rows)
+            .into_par_iter()
             .map(|i| {
                 self.row(i)
                     .iter()
@@ -193,6 +217,21 @@ impl DMatrix {
                     .sum::<f64>()
             })
             .collect())
+    }
+
+    /// Symmetric rank-k update `self += alpha * a * aᵀ` through the blocked
+    /// parallel GEMM (the density-matrix build `P = 2 C_occ C_occᵀ` is this
+    /// operation).
+    pub fn rank_k_update(&mut self, alpha: f64, a: &DMatrix) -> Result<()> {
+        if self.rows != a.rows || self.cols != a.rows {
+            return Err(LinalgError::DimensionMismatch {
+                op: "rank_k_update",
+                dims: vec![self.rows, self.cols, a.rows, a.cols],
+            });
+        }
+        let at = a.transpose();
+        let prod = a.par_matmul(&at)?;
+        self.axpy(alpha, &prod)
     }
 
     /// `self += alpha * other`.
@@ -336,6 +375,33 @@ mod tests {
     fn par_matmul_matches_serial() {
         let (a, b) = abc();
         assert_eq!(a.matmul(&b).unwrap(), a.par_matmul(&b).unwrap());
+    }
+
+    #[test]
+    fn par_matmul_bit_identical_at_scale() {
+        let _g = qp_par::ThreadLease::at_least(4);
+        let a = DMatrix::from_fn(150, 170, |i, j| ((i * 7 + j * 3) % 13) as f64 - 6.0);
+        let b = DMatrix::from_fn(170, 140, |i, j| ((i * 5 + j * 11) % 17) as f64 - 8.0);
+        assert_eq!(a.matmul(&b).unwrap(), a.par_matmul(&b).unwrap());
+    }
+
+    #[test]
+    fn blocked_matches_unblocked_numerically() {
+        let a = DMatrix::from_fn(37, 53, |i, j| (i as f64 - j as f64) * 0.01);
+        let b = DMatrix::from_fn(53, 29, |i, j| (i as f64 + j as f64).sin());
+        let blocked = a.matmul(&b).unwrap();
+        let unblocked = a.matmul_unblocked(&b).unwrap();
+        assert!(blocked.max_abs_diff(&unblocked) < 1e-10);
+    }
+
+    #[test]
+    fn rank_k_update_matches_explicit_product() {
+        let c = DMatrix::from_fn(9, 4, |i, j| (i * 4 + j) as f64 * 0.1 - 1.0);
+        let mut p = DMatrix::zeros(9, 9);
+        p.rank_k_update(2.0, &c).unwrap();
+        let mut expect = c.matmul(&c.transpose()).unwrap();
+        expect.scale(2.0);
+        assert!(p.max_abs_diff(&expect) < 1e-12);
     }
 
     #[test]

@@ -1,0 +1,239 @@
+//! Cache-blocked, register-tiled GEMM (the BLIS/GotoBLAS decomposition).
+//!
+//! `C += A·B` is decomposed into three cache-blocking loops (NC columns of
+//! B in L3, KC×NC packed B panel in L2, MC×KC packed A block in L1) around
+//! an MR×NR register microkernel over zero-padded packed panels. The same
+//! kernel serves `DMatrix::matmul` (serial) and `DMatrix::par_matmul`
+//! (parallel over MC row blocks): a given C element is owned by exactly one
+//! row block and accumulates its k-contributions in the same fixed order
+//! (ascending `pc` blocks, ascending `k` within a block) on every path, so
+//! serial and parallel results are **bit-identical** — the determinism
+//! contract the SCF/DFPT drivers and qp-resil's bit-exact recovery rely on.
+//!
+//! Dense means dense: there is no zero-skip branch anywhere (the old
+//! `matmul` skipped `aik == 0.0`, silently changing flop counts between
+//! dense and sparse-ish inputs); sparsity belongs to the CSR path.
+
+/// Rows of the packed A block held in L1/L2 per iteration.
+const MC: usize = 128;
+/// Depth of the packed panels (k-extent per blocking step).
+const KC: usize = 256;
+/// Columns of the packed B panel held in L2/L3 per iteration.
+const NC: usize = 1024;
+/// Microkernel register tile rows.
+const MR: usize = 4;
+/// Microkernel register tile columns.
+const NR: usize = 8;
+
+/// Pack the `mc × kc` block of `a` starting at `(ic, pc)` into MR-row
+/// strips: strip `ir` stores `a[ic+ir*MR+m][pc+k]` at `[k*MR + m]`,
+/// zero-padded where `ir*MR + m >= mc`.
+fn pack_a(a: &[f64], lda: usize, ic: usize, pc: usize, mc: usize, kc: usize, out: &mut Vec<f64>) {
+    let n_strips = mc.div_ceil(MR);
+    out.clear();
+    out.resize(n_strips * kc * MR, 0.0);
+    for ir in 0..n_strips {
+        let strip = &mut out[ir * kc * MR..(ir + 1) * kc * MR];
+        let m_eff = (mc - ir * MR).min(MR);
+        for m in 0..m_eff {
+            let row = &a[(ic + ir * MR + m) * lda + pc..][..kc];
+            for (k, &v) in row.iter().enumerate() {
+                strip[k * MR + m] = v;
+            }
+        }
+    }
+}
+
+/// Pack the `kc × nc` panel of `b` starting at `(pc, jc)` into NR-column
+/// strips: strip `jr` stores `b[pc+k][jc+jr*NR+n]` at `[k*NR + n]`,
+/// zero-padded where `jr*NR + n >= nc`.
+fn pack_b(b: &[f64], ldb: usize, pc: usize, jc: usize, kc: usize, nc: usize, out: &mut Vec<f64>) {
+    let n_strips = nc.div_ceil(NR);
+    out.clear();
+    out.resize(n_strips * kc * NR, 0.0);
+    for jr in 0..n_strips {
+        let strip = &mut out[jr * kc * NR..(jr + 1) * kc * NR];
+        let n_eff = (nc - jr * NR).min(NR);
+        for k in 0..kc {
+            let row = &b[(pc + k) * ldb + jc + jr * NR..][..n_eff];
+            strip[k * NR..k * NR + n_eff].copy_from_slice(row);
+        }
+    }
+}
+
+/// MR×NR register microkernel: `acc[m][n] += Σ_k ap[k*MR+m] · bp[k*NR+n]`
+/// over one packed-A strip and one packed-B strip of depth `kc`.
+#[inline]
+fn microkernel(ap: &[f64], bp: &[f64], kc: usize, acc: &mut [f64; MR * NR]) {
+    for k in 0..kc {
+        let av = &ap[k * MR..k * MR + MR];
+        let bv = &bp[k * NR..k * NR + NR];
+        for m in 0..MR {
+            let a = av[m];
+            let row = &mut acc[m * NR..m * NR + NR];
+            for n in 0..NR {
+                row[n] += a * bv[n];
+            }
+        }
+    }
+}
+
+/// One MC×KC block of A against the current packed-B panel, accumulating
+/// into the C rows owned by this block (disjoint across blocks — this is
+/// the parallel unit).
+#[allow(clippy::too_many_arguments)]
+fn macro_kernel(
+    a: &[f64],
+    lda: usize,
+    bp: &[f64],
+    c: *mut f64,
+    ldc: usize,
+    ic: usize,
+    jc: usize,
+    pc: usize,
+    mc: usize,
+    nc: usize,
+    kc: usize,
+) {
+    let mut ap = Vec::new();
+    pack_a(a, lda, ic, pc, mc, kc, &mut ap);
+    let m_strips = mc.div_ceil(MR);
+    let n_strips = nc.div_ceil(NR);
+    let mut acc = [0.0f64; MR * NR];
+    for jr in 0..n_strips {
+        let bstrip = &bp[jr * kc * NR..(jr + 1) * kc * NR];
+        let n_eff = (nc - jr * NR).min(NR);
+        for ir in 0..m_strips {
+            let astrip = &ap[ir * kc * MR..(ir + 1) * kc * MR];
+            let m_eff = (mc - ir * MR).min(MR);
+            acc.fill(0.0);
+            microkernel(astrip, bstrip, kc, &mut acc);
+            for m in 0..m_eff {
+                let ci = ic + ir * MR + m;
+                let cj = jc + jr * NR;
+                for n in 0..n_eff {
+                    // SAFETY: (ci, cj+n) lies inside this block's disjoint
+                    // row range [ic, ic+mc) — no other block writes it.
+                    unsafe {
+                        *c.add(ci * ldc + cj + n) += acc[m * NR + n];
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Raw-pointer wrapper so the parallel closure can write its disjoint C
+/// rows without aliasing checks the borrow checker cannot express.
+struct CPtr(*mut f64);
+unsafe impl Send for CPtr {}
+unsafe impl Sync for CPtr {}
+
+impl CPtr {
+    fn get(&self) -> *mut f64 {
+        self.0
+    }
+}
+
+/// `c += a·b` for row-major `a` (`m×k`), `b` (`k×n`), `c` (`m×n`).
+///
+/// `parallel` fans the MC row blocks out over the qp-par pool; the result
+/// is bit-identical either way (see module docs).
+pub fn gemm(m: usize, n: usize, k: usize, a: &[f64], b: &[f64], c: &mut [f64], parallel: bool) {
+    assert_eq!(a.len(), m * k);
+    assert_eq!(b.len(), k * n);
+    assert_eq!(c.len(), m * n);
+    if m == 0 || n == 0 || k == 0 {
+        return;
+    }
+    let n_row_blocks = m.div_ceil(MC);
+    let mut bp = Vec::new();
+    for jc in (0..n).step_by(NC) {
+        let nc = (n - jc).min(NC);
+        // Ascending pc keeps each C element's accumulation order fixed.
+        for pc in (0..k).step_by(KC) {
+            let kc = (k - pc).min(KC);
+            pack_b(b, n, pc, jc, kc, nc, &mut bp);
+            let cptr = CPtr(c.as_mut_ptr());
+            let run_block = |blk: usize| {
+                let ic = blk * MC;
+                let mc = (m - ic).min(MC);
+                macro_kernel(a, k, &bp, cptr.get(), n, ic, jc, pc, mc, nc, kc);
+            };
+            if parallel && n_row_blocks > 1 {
+                qp_par::for_each_index(n_row_blocks, run_block);
+            } else {
+                (0..n_row_blocks).for_each(run_block);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reference(m: usize, n: usize, k: usize, a: &[f64], b: &[f64]) -> Vec<f64> {
+        let mut c = vec![0.0; m * n];
+        for i in 0..m {
+            for p in 0..k {
+                for j in 0..n {
+                    c[i * n + j] += a[i * k + p] * b[p * n + j];
+                }
+            }
+        }
+        c
+    }
+
+    fn pseudo(seed: &mut u64) -> f64 {
+        *seed = seed
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        ((*seed >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+    }
+
+    #[test]
+    fn blocked_matches_reference_across_shapes() {
+        let mut seed = 7u64;
+        for &(m, n, k) in &[
+            (1, 1, 1),
+            (3, 5, 2),
+            (4, 8, 16),
+            (5, 9, 7),
+            (17, 33, 129),
+            (130, 70, 300),
+        ] {
+            let a: Vec<f64> = (0..m * k).map(|_| pseudo(&mut seed)).collect();
+            let b: Vec<f64> = (0..k * n).map(|_| pseudo(&mut seed)).collect();
+            let mut c = vec![0.0; m * n];
+            gemm(m, n, k, &a, &b, &mut c, false);
+            let r = reference(m, n, k, &a, &b);
+            for (x, y) in c.iter().zip(r.iter()) {
+                assert!((x - y).abs() < 1e-12 * (1.0 + y.abs()), "{m}x{n}x{k}");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_bit_identical_to_serial() {
+        let _g = qp_par::ThreadLease::at_least(4);
+        let mut seed = 99u64;
+        let (m, n, k) = (300, 257, 190);
+        let a: Vec<f64> = (0..m * k).map(|_| pseudo(&mut seed)).collect();
+        let b: Vec<f64> = (0..k * n).map(|_| pseudo(&mut seed)).collect();
+        let mut c_serial = vec![0.0; m * n];
+        let mut c_par = vec![0.0; m * n];
+        gemm(m, n, k, &a, &b, &mut c_serial, false);
+        gemm(m, n, k, &a, &b, &mut c_par, true);
+        assert_eq!(c_serial, c_par, "parallel GEMM must be bit-identical");
+    }
+
+    #[test]
+    fn accumulates_into_nonzero_c() {
+        let a = vec![1.0, 2.0, 3.0, 4.0];
+        let b = vec![1.0, 0.0, 0.0, 1.0];
+        let mut c = vec![10.0, 10.0, 10.0, 10.0];
+        gemm(2, 2, 2, &a, &b, &mut c, false);
+        assert_eq!(c, vec![11.0, 12.0, 13.0, 14.0]);
+    }
+}

@@ -26,6 +26,7 @@ pub mod cholesky;
 pub mod csr;
 pub mod dense;
 pub mod eigen;
+pub mod gemm;
 pub mod vecops;
 
 pub use cholesky::Cholesky;

@@ -1,0 +1,374 @@
+//! The persistent worker pool and the indexed parallel-region primitive.
+//!
+//! A *region* is one parallel loop: `n_items` split into chunks, executed
+//! by whoever claims them first (dynamic self-scheduling via one
+//! `fetch_add` per chunk). The submitting thread always participates, so a
+//! region finishes even with zero free workers; workers pick regions off a
+//! FIFO queue and help until each region is drained.
+
+use parking_lot::{Condvar, Mutex};
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
+
+/// Chunks a region is split into, per active thread. More chunks = better
+/// load balance, more scheduling traffic. 4 is the classic guided-lite
+/// compromise.
+const CHUNKS_PER_THREAD: usize = 4;
+
+type PanicPayload = Box<dyn std::any::Any + Send + 'static>;
+
+/// Erased `&dyn Fn(usize, usize)` (start, end of an item range) whose
+/// referent is guaranteed by [`run_region`] to outlive the region.
+struct RawJob(*const (dyn Fn(usize, usize) + Sync));
+unsafe impl Send for RawJob {}
+unsafe impl Sync for RawJob {}
+
+/// One in-flight parallel region.
+struct Region {
+    job: RawJob,
+    /// Total items; chunk `c` covers `[c*chunk, min((c+1)*chunk, n_items))`.
+    n_items: usize,
+    chunk: usize,
+    n_chunks: usize,
+    /// Next chunk to claim (fetch_add ticket).
+    next: AtomicUsize,
+    /// Chunks finished (executed or skipped after cancellation).
+    done: AtomicUsize,
+    /// Submitter's qp-trace rank, propagated to workers.
+    rank: usize,
+    /// Set on first panic: remaining chunks are skipped (still counted).
+    cancelled: AtomicBool,
+    panic: Mutex<Option<PanicPayload>>,
+    finished: Mutex<bool>,
+    finished_cv: Condvar,
+}
+
+impl Region {
+    /// Claim-and-execute loop: run chunks until none are left. Returns
+    /// whether this call finished the last chunk.
+    fn help(&self) {
+        loop {
+            let c = self.next.fetch_add(1, Ordering::AcqRel);
+            if c >= self.n_chunks {
+                return;
+            }
+            if !self.cancelled.load(Ordering::Acquire) {
+                let start = c * self.chunk;
+                let end = (start + self.chunk).min(self.n_items);
+                // SAFETY: run_region keeps the closure alive until every
+                // chunk is accounted for in `done`.
+                let job = unsafe { &*self.job.0 };
+                if let Err(p) = catch_unwind(AssertUnwindSafe(|| job(start, end))) {
+                    self.cancelled.store(true, Ordering::Release);
+                    let mut slot = self.panic.lock();
+                    if slot.is_none() {
+                        *slot = Some(p);
+                    }
+                }
+            }
+            // AcqRel: releases this chunk's output writes to whoever sees
+            // the final count, and acquires prior chunks' writes for the
+            // finisher.
+            if self.done.fetch_add(1, Ordering::AcqRel) + 1 == self.n_chunks {
+                let mut fin = self.finished.lock();
+                *fin = true;
+                self.finished_cv.notify_all();
+            }
+        }
+    }
+
+    fn drained(&self) -> bool {
+        self.next.load(Ordering::Acquire) >= self.n_chunks
+    }
+}
+
+/// The process-global pool.
+struct Pool {
+    queue: Mutex<VecDeque<Arc<Region>>>,
+    /// Signals queued work and limit changes to parked workers.
+    work_cv: Condvar,
+    /// Desired total parallelism (participating caller + active workers).
+    limit: AtomicUsize,
+    /// Workers spawned so far (monotonic; workers above `limit - 1` park).
+    spawned: Mutex<usize>,
+}
+
+static POOL: OnceLock<Pool> = OnceLock::new();
+
+fn pool() -> &'static Pool {
+    POOL.get_or_init(|| Pool {
+        queue: Mutex::new(VecDeque::new()),
+        work_cv: Condvar::new(),
+        limit: AtomicUsize::new(threads_from_env()),
+        spawned: Mutex::new(0),
+    })
+}
+
+/// Initial thread count: `QP_THREADS` if set and parseable (clamped to
+/// ≥ 1), else the machine's available parallelism.
+fn threads_from_env() -> usize {
+    if let Ok(v) = std::env::var("QP_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            return n.max(1);
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Current parallelism target (1 = everything runs inline on the caller).
+pub fn active_threads() -> usize {
+    pool().limit.load(Ordering::Relaxed).max(1)
+}
+
+/// Set the parallelism target, spawning workers if needed. Returns the
+/// previous value. Intended for tests and benches (`ThreadLease` is the
+/// RAII form); production sizing comes from `QP_THREADS`.
+pub fn set_active_threads(n: usize) -> usize {
+    let n = n.max(1);
+    let p = pool();
+    let prev = p.limit.swap(n, Ordering::Relaxed);
+    if n > 1 {
+        ensure_workers(p, n - 1);
+    }
+    // Wake parked workers so newly-activated indices re-check the limit.
+    p.work_cv.notify_all();
+    prev
+}
+
+/// RAII thread-count override for tests: restores the previous limit on
+/// drop.
+pub struct ThreadLease {
+    prev: usize,
+}
+
+impl ThreadLease {
+    /// Set the limit to exactly `n` for the lease's lifetime.
+    pub fn exactly(n: usize) -> Self {
+        ThreadLease {
+            prev: set_active_threads(n),
+        }
+    }
+
+    /// Raise the limit to at least `n` (never lowers it).
+    pub fn at_least(n: usize) -> Self {
+        let current = active_threads();
+        ThreadLease {
+            prev: set_active_threads(current.max(n)),
+        }
+    }
+}
+
+impl Drop for ThreadLease {
+    fn drop(&mut self) {
+        set_active_threads(self.prev);
+    }
+}
+
+fn ensure_workers(p: &'static Pool, wanted: usize) {
+    let mut spawned = p.spawned.lock();
+    while *spawned < wanted {
+        let index = *spawned;
+        std::thread::Builder::new()
+            .name(format!("qp-par-{index}"))
+            .spawn(move || worker_loop(index))
+            .expect("spawn qp-par worker");
+        *spawned += 1;
+    }
+}
+
+fn worker_loop(index: usize) {
+    let p = pool();
+    loop {
+        // Take (a handle to) the front unfinished region, parking while the
+        // queue is empty or this worker is above the active limit.
+        let region: Arc<Region> = {
+            let mut q = p.queue.lock();
+            loop {
+                while q.front().is_some_and(|r| r.drained()) {
+                    q.pop_front();
+                }
+                let active = index + 1 < p.limit.load(Ordering::Relaxed);
+                if active {
+                    if let Some(r) = q.front() {
+                        break r.clone();
+                    }
+                }
+                p.work_cv.wait(&mut q);
+            }
+        };
+        // Attribute everything executed here to the submitter's rank.
+        qp_trace::set_thread_rank(region.rank);
+        region.help();
+    }
+}
+
+/// Run `job(start, end)` over `n_items` split into chunks, in parallel on
+/// the pool. Blocks until every chunk has executed; panics from any chunk
+/// are re-raised here after the region drains (so borrowed data stays valid
+/// for the region's whole lifetime).
+pub fn run_region(n_items: usize, job: &(dyn Fn(usize, usize) + Sync)) {
+    if n_items == 0 {
+        return;
+    }
+    let threads = active_threads();
+    if threads <= 1 || n_items == 1 {
+        job(0, n_items);
+        return;
+    }
+    let chunk = n_items.div_ceil(threads * CHUNKS_PER_THREAD).max(1);
+    let n_chunks = n_items.div_ceil(chunk);
+    if n_chunks <= 1 {
+        job(0, n_items);
+        return;
+    }
+    let p = pool();
+    ensure_workers(p, threads - 1);
+    // SAFETY (lifetime erasure): the region is fully drained before this
+    // function returns — `done` reaches `n_chunks` and the finished flag is
+    // observed under its mutex — so no worker touches `job` after return.
+    let job_static: *const (dyn Fn(usize, usize) + Sync) =
+        unsafe { std::mem::transmute(job as *const (dyn Fn(usize, usize) + Sync)) };
+    let region = Arc::new(Region {
+        job: RawJob(job_static),
+        n_items,
+        chunk,
+        n_chunks,
+        next: AtomicUsize::new(0),
+        done: AtomicUsize::new(0),
+        rank: qp_trace::thread_rank(),
+        cancelled: AtomicBool::new(false),
+        panic: Mutex::new(None),
+        finished: Mutex::new(false),
+        finished_cv: Condvar::new(),
+    });
+    p.queue.lock().push_back(region.clone());
+    p.work_cv.notify_all();
+    // The caller always helps: the region completes even if every worker is
+    // busy elsewhere (and nested regions cannot deadlock).
+    region.help();
+    let mut fin = region.finished.lock();
+    while !*fin {
+        region.finished_cv.wait(&mut fin);
+    }
+    drop(fin);
+    let payload = region.panic.lock().take();
+    if let Some(p) = payload {
+        std::panic::resume_unwind(p);
+    }
+}
+
+/// Indexed parallel for: `f(i)` for every `i in 0..n`, chunked over the
+/// pool. Deterministic output placement is the caller's job (write to slot
+/// `i`); qp-par guarantees each index runs exactly once.
+pub fn for_each_index<F>(n: usize, f: F)
+where
+    F: Fn(usize) + Sync,
+{
+    run_region(n, &|start, end| {
+        for i in start..end {
+            f(i);
+        }
+    });
+}
+
+/// Potentially-parallel two-way fork-join (`rayon::join` stand-in): `a`
+/// and `b` may run concurrently; both have completed when this returns.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if active_threads() <= 1 {
+        return (a(), b());
+    }
+    let mut ra: Option<RA> = None;
+    let mut rb: Option<RB> = None;
+    {
+        let slot_a = Mutex::new(Some((a, &mut ra)));
+        let slot_b = Mutex::new(Some((b, &mut rb)));
+        run_region(2, &|start, end| {
+            for i in start..end {
+                if i == 0 {
+                    if let Some((f, out)) = slot_a.lock().take() {
+                        *out = Some(f());
+                    }
+                } else if let Some((f, out)) = slot_b.lock().take() {
+                    *out = Some(f());
+                }
+            }
+        });
+    }
+    (
+        ra.expect("join arm a completed"),
+        rb.expect("join arm b completed"),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn every_index_runs_exactly_once() {
+        let _g = ThreadLease::at_least(4);
+        let seen = Mutex::new(HashSet::new());
+        for_each_index(1000, |i| {
+            assert!(seen.lock().insert(i), "index {i} ran twice");
+        });
+        assert_eq!(seen.lock().len(), 1000);
+    }
+
+    #[test]
+    fn zero_and_one_item_regions() {
+        for_each_index(0, |_| panic!("must not run"));
+        let ran = AtomicUsize::new(0);
+        for_each_index(1, |i| {
+            assert_eq!(i, 0);
+            ran.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(ran.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn join_returns_both_results() {
+        let _g = ThreadLease::at_least(2);
+        let (a, b) = join(|| 6 * 7, || "ok".to_string());
+        assert_eq!(a, 42);
+        assert_eq!(b, "ok");
+    }
+
+    #[test]
+    fn lease_restores_previous_limit() {
+        let before = active_threads();
+        {
+            let _g = ThreadLease::exactly(before + 3);
+            assert_eq!(active_threads(), before + 3);
+        }
+        assert_eq!(active_threads(), before);
+    }
+
+    #[test]
+    fn worker_rank_attribution_propagates() {
+        let _g = ThreadLease::at_least(4);
+        qp_trace::set_thread_rank(7);
+        let ranks = Mutex::new(HashSet::new());
+        for_each_index(64, |_| {
+            ranks.lock().insert(qp_trace::thread_rank());
+            // Busy-wait a little so several threads participate.
+            std::hint::black_box((0..100).sum::<usize>());
+        });
+        qp_trace::set_thread_rank(0);
+        assert_eq!(
+            ranks.into_inner().into_iter().collect::<Vec<_>>(),
+            vec![7],
+            "all executors must carry the submitter's rank"
+        );
+    }
+}

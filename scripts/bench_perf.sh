@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+# End-to-end perf tracker: ligand SCF+DFPT, a polyethylene case, GEMM
+# throughput and basis-cache hit rates -> BENCH_perf.json.
+#
+#   scripts/bench_perf.sh            # full workloads, writes BENCH_perf.json
+#   scripts/bench_perf.sh --quick    # CI smoke (~1 s), writes nothing durable
+#
+# Thread count follows QP_THREADS (default: all cores). Extra flags are
+# passed through to the bench_perf binary (e.g. --out PATH).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build -q --release -p qp-bench --bin bench_perf
+exec ./target/release/bench_perf "$@"

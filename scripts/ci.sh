@@ -12,6 +12,12 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== cargo test"
 cargo test -q --workspace
 
+echo "== cargo test (QP_THREADS=4: parallel substrate leg)"
+QP_THREADS=4 cargo test -q --workspace
+
+echo "== perf smoke (bench_perf --quick)"
+bash scripts/bench_perf.sh --quick --out "$(mktemp)"
+
 echo "== fault-injection smoke matrix (qperturb + QP_FAULT)"
 cargo build -q --release -p qp-cli
 for plan in \

@@ -1,26 +1,102 @@
 //! Offline drop-in shim for the subset of the `rayon` API this workspace
-//! uses.
+//! uses, executing **genuinely in parallel** on the `qp-par` thread pool.
 //!
 //! The build environment has no registry access, so the real `rayon` cannot
 //! be fetched. This shim keeps the call sites unchanged (`par_iter`,
-//! `into_par_iter`, `par_chunks_mut`, …) but executes **sequentially on the
-//! calling thread**. That is semantically identical for this workspace:
-//! every parallel body is a pure data-parallel map whose results are
-//! deterministic and order-independent, and sequential execution keeps
-//! thread-local state (e.g. `qp-trace` rank attribution) on the caller.
+//! `into_par_iter`, `par_chunks_mut`, …) and forwards the work to
+//! [`qp_par`]'s chunk-self-scheduling pool. Item order is preserved
+//! everywhere (`map`/`collect` write item `i` to slot `i`), so results are
+//! bit-identical to sequential execution for the pure data-parallel bodies
+//! this workspace runs — the determinism contract `qp-resil` depends on.
 //!
-//! Swap the workspace dependency back to the real crate to restore host
-//! parallelism; no call site changes.
+//! Adaptors materialize their input up front (a `Vec` of items or
+//! references); that cost is negligible against the numeric bodies executed
+//! per item, and it is what makes dynamic chunk scheduling trivially
+//! deterministic.
 
 pub mod prelude {
     pub use super::{IntoParallelIterator, IntoParallelRefIterator, ParallelSliceOps};
 }
 
-/// `into_par_iter()` — sequential stand-in returning the std iterator.
+pub use qp_par::join;
+
+/// A materialized parallel iterator: items are collected, then terminal
+/// operations fan out over the `qp-par` pool.
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParIter<T> {
+    /// Pair item `i` with `other`'s item `i` (shorter side truncates,
+    /// matching `Iterator::zip`).
+    pub fn zip<U: Send>(self, other: ParIter<U>) -> ParIter<(T, U)> {
+        ParIter {
+            items: self.items.into_iter().zip(other.items).collect(),
+        }
+    }
+
+    /// Pair each item with its index.
+    pub fn enumerate(self) -> ParIter<(usize, T)> {
+        ParIter {
+            items: self.items.into_iter().enumerate().collect(),
+        }
+    }
+
+    /// Lazy map: `f` runs on pool workers at the terminal operation.
+    pub fn map<R, F>(self, f: F) -> ParMap<T, F>
+    where
+        R: Send,
+        F: Fn(T) -> R + Sync,
+    {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+
+    /// Run `f` on every item, in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(T) + Sync,
+    {
+        qp_par::for_each_vec(self.items, f);
+    }
+}
+
+/// A mapped parallel iterator awaiting its terminal operation.
+pub struct ParMap<T, F> {
+    items: Vec<T>,
+    f: F,
+}
+
+impl<T, R, F> ParMap<T, F>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    /// Evaluate the map in parallel, preserving item order.
+    pub fn collect<C: FromIterator<R>>(self) -> C {
+        qp_par::map_vec(self.items, self.f).into_iter().collect()
+    }
+
+    /// Run the mapped function for its side effects, in parallel.
+    pub fn for_each<G>(self, g: G)
+    where
+        G: Fn(R) + Sync,
+    {
+        let f = self.f;
+        qp_par::for_each_vec(self.items, |item| g(f(item)));
+    }
+}
+
+/// `into_par_iter()` on owned collections and ranges.
 pub trait IntoParallelIterator: IntoIterator + Sized {
-    /// Returns the plain sequential iterator.
-    fn into_par_iter(self) -> Self::IntoIter {
-        self.into_iter()
+    /// Materialize and wrap for parallel execution.
+    fn into_par_iter(self) -> ParIter<Self::Item> {
+        ParIter {
+            items: self.into_iter().collect(),
+        }
     }
 }
 
@@ -28,50 +104,49 @@ impl<T: IntoIterator + Sized> IntoParallelIterator for T {}
 
 /// `par_iter()` on collections that iterate by reference.
 pub trait IntoParallelRefIterator<'a> {
-    /// The sequential iterator type.
-    type Iter: Iterator;
-    /// Returns the plain sequential by-reference iterator.
-    fn par_iter(&'a self) -> Self::Iter;
+    /// The element type yielded by reference.
+    type Item: 'a;
+    /// Wrap the by-reference view for parallel execution.
+    fn par_iter(&'a self) -> ParIter<&'a Self::Item>;
 }
 
-impl<'a, T: 'a> IntoParallelRefIterator<'a> for [T] {
-    type Iter = std::slice::Iter<'a, T>;
-    fn par_iter(&'a self) -> Self::Iter {
-        self.iter()
+impl<'a, T: 'a + Sync> IntoParallelRefIterator<'a> for [T] {
+    type Item = T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
     }
 }
 
-impl<'a, T: 'a> IntoParallelRefIterator<'a> for Vec<T> {
-    type Iter = std::slice::Iter<'a, T>;
-    fn par_iter(&'a self) -> Self::Iter {
-        self.iter()
+impl<'a, T: 'a + Sync> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
     }
 }
 
 /// Mutable slice splitters (`par_chunks_mut`, `par_iter_mut`).
 pub trait ParallelSliceOps<T> {
-    /// Sequential stand-in for `par_chunks_mut`.
-    fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T>;
-    /// Sequential stand-in for `par_iter_mut`.
-    fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T>;
+    /// Disjoint mutable chunks of `chunk_size`, executed in parallel.
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<&mut [T]>;
+    /// Per-element mutable parallel iterator.
+    fn par_iter_mut(&mut self) -> ParIter<&mut T>;
 }
 
-impl<T> ParallelSliceOps<T> for [T] {
-    fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T> {
-        self.chunks_mut(chunk_size)
+impl<T: Send> ParallelSliceOps<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<&mut [T]> {
+        ParIter {
+            items: self.chunks_mut(chunk_size).collect(),
+        }
     }
-    fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T> {
-        self.iter_mut()
+    fn par_iter_mut(&mut self) -> ParIter<&mut T> {
+        ParIter {
+            items: self.iter_mut().collect(),
+        }
     }
-}
-
-/// Sequential stand-in for `rayon::join`: runs `a` then `b`.
-pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
-where
-    A: FnOnce() -> RA,
-    B: FnOnce() -> RB,
-{
-    (a(), b())
 }
 
 #[cfg(test)]
@@ -80,12 +155,14 @@ mod tests {
 
     #[test]
     fn range_into_par_iter_maps() {
+        let _g = qp_par::ThreadLease::at_least(4);
         let v: Vec<usize> = (0..5).into_par_iter().map(|i| i * 2).collect();
         assert_eq!(v, vec![0, 2, 4, 6, 8]);
     }
 
     #[test]
     fn slice_par_iter_zips() {
+        let _g = qp_par::ThreadLease::at_least(4);
         let a = vec![1, 2, 3];
         let b = vec![10, 20, 30];
         let s: Vec<i32> = a.par_iter().zip(b.par_iter()).map(|(x, y)| x + y).collect();
@@ -94,6 +171,7 @@ mod tests {
 
     #[test]
     fn par_chunks_mut_covers_slice() {
+        let _g = qp_par::ThreadLease::at_least(4);
         let mut v = vec![0usize; 7];
         v.par_chunks_mut(3).enumerate().for_each(|(i, chunk)| {
             for c in chunk {
@@ -101,5 +179,20 @@ mod tests {
             }
         });
         assert_eq!(v, vec![0, 0, 0, 1, 1, 1, 2]);
+    }
+
+    #[test]
+    fn map_collect_preserves_order_at_scale() {
+        let _g = qp_par::ThreadLease::at_least(8);
+        let v: Vec<usize> = (0..10_000).into_par_iter().map(|i| i * i).collect();
+        assert!(v.iter().enumerate().all(|(i, &x)| x == i * i));
+    }
+
+    #[test]
+    fn par_iter_mut_updates_in_place() {
+        let _g = qp_par::ThreadLease::at_least(4);
+        let mut v: Vec<i64> = (0..100).collect();
+        v.par_iter_mut().for_each(|x| *x *= 2);
+        assert_eq!(v[99], 198);
     }
 }

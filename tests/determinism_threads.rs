@@ -1,0 +1,122 @@
+//! Thread-count determinism: the qp-par substrate must produce *bit-identical*
+//! results at any thread count, because qp-resil's recovery guarantee replays
+//! iterations and compares checkpoints bit-exactly.
+//!
+//! Every parallel reduction in the stack merges partial results in a fixed
+//! order on the caller (never in completion order), and the blocked GEMM
+//! accumulates each `C` element over the same ascending k-blocks regardless
+//! of how row-blocks are scheduled. These tests pin that contract on the
+//! real pipeline: full SCF energy traces and DFPT polarizabilities for the
+//! water and 49-atom ligand workloads, run serially and on an 8-worker pool.
+//!
+//! Comparisons use `f64::to_bits` — not tolerances — so any reordering of
+//! floating-point sums fails loudly.
+
+use qp_chem::basis::BasisSettings;
+use qp_chem::grids::GridSettings;
+use qp_chem::structures::{ligand49, water};
+use qp_core::dfpt::{dfpt, dfpt_direction, DfptOptions};
+use qp_core::scf::{scf_resumable, ScfOptions};
+use qp_core::system::System;
+
+/// One workload's full observable output, as exact bit patterns.
+#[derive(Debug, PartialEq, Eq)]
+struct RunBits {
+    /// Per-iteration SCF total energy (the "energy trace").
+    scf_trace: Vec<u64>,
+    /// Final SCF energy.
+    energy: u64,
+    /// Polarizability entries (all 9, or the single probed α_yy).
+    alpha: Vec<u64>,
+}
+
+fn water_system() -> System {
+    let mut gs = GridSettings::light();
+    gs.n_radial = 24;
+    gs.max_angular = 26;
+    System::build(water(), BasisSettings::Light, &gs, 150, 2)
+}
+
+/// The ligand at a statistics-grade grid: big enough to exercise every
+/// phase kernel over 49 atoms / 145 basis functions, small enough for CI.
+fn ligand_system() -> System {
+    let mut gs = GridSettings::coarse();
+    gs.n_radial = 8;
+    gs.max_angular = 6;
+    gs.min_angular = 6;
+    System::build(ligand49(), BasisSettings::Light, &gs, 150, 2)
+}
+
+fn run_water(threads: usize) -> RunBits {
+    let _lease = qp_par::ThreadLease::exactly(threads);
+    let sys = water_system();
+    let mut trace = Vec::new();
+    let ground = scf_resumable(&sys, &ScfOptions::default(), None, &mut |st| {
+        trace.push(st.energy.to_bits());
+    })
+    .expect("SCF");
+    let resp = dfpt(&sys, &ground, &DfptOptions::default()).expect("DFPT");
+    let alpha = (0..3)
+        .flat_map(|i| (0..3).map(move |j| (i, j)))
+        .map(|(i, j)| resp.polarizability[(i, j)].to_bits())
+        .collect();
+    RunBits {
+        scf_trace: trace,
+        energy: ground.energy.to_bits(),
+        alpha,
+    }
+}
+
+fn run_ligand(threads: usize) -> RunBits {
+    let _lease = qp_par::ThreadLease::exactly(threads);
+    let sys = ligand_system();
+    let opts = ScfOptions {
+        max_iter: 80,
+        tol: 1e-6,
+        mixing: 0.1,
+        field: None,
+        smearing: Some(0.02),
+        pulay: Some(6),
+    };
+    let mut trace = Vec::new();
+    let ground = scf_resumable(&sys, &opts, None, &mut |st| {
+        trace.push(st.energy.to_bits());
+    })
+    .expect("ligand SCF");
+    // One field direction keeps the test inside the CI budget while still
+    // driving all four phase kernels (Sumup, Rho, H, DM) plus Sternheimer.
+    let resp = dfpt_direction(
+        &sys,
+        &ground,
+        1,
+        &DfptOptions {
+            max_iter: 80,
+            tol: 1e-5,
+            mixing: 0.15,
+        },
+    )
+    .expect("ligand DFPT-y");
+    let dip_y = qp_core::operators::dipole_matrix(&sys, 1);
+    let alpha_yy = resp.p1.trace_product(&dip_y).expect("square");
+    RunBits {
+        scf_trace: trace,
+        energy: ground.energy.to_bits(),
+        alpha: vec![alpha_yy.to_bits()],
+    }
+}
+
+#[test]
+fn water_pipeline_bit_identical_1_vs_8_threads() {
+    let serial = run_water(1);
+    let parallel = run_water(8);
+    assert!(!serial.scf_trace.is_empty(), "trace must record iterations");
+    assert_eq!(serial, parallel);
+}
+
+#[test]
+fn ligand_polarizability_bit_identical_1_vs_8_threads() {
+    let serial = run_ligand(1);
+    let parallel = run_ligand(8);
+    assert!(!serial.scf_trace.is_empty(), "trace must record iterations");
+    assert_eq!(serial, parallel);
+}
