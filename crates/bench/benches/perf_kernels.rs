@@ -1,6 +1,8 @@
 //! Criterion microbenches for the qp-par substrate: blocked GEMM vs the
 //! legacy unblocked loop across sizes, the Householder eigensolver serial
-//! vs pooled, and the Sumup kernel with the basis-value cache cold vs warm.
+//! vs pooled, the Sumup kernel with the basis-value cache cold vs warm, and
+//! the Sternheimer response build — O(n⁴) pair-loop vs the factored
+//! `C·W·Cᵀ` GEMM form.
 //!
 //! Run with `CRITERION_FULL=1 cargo bench -p qp-bench --bench perf_kernels`
 //! for the larger iteration budget; numbers are recorded in EXPERIMENTS.md.
@@ -9,6 +11,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use qp_chem::basis::BasisSettings;
 use qp_chem::grids::GridSettings;
 use qp_chem::structures::ligand49;
+use qp_core::dfpt::{sternheimer_response, sternheimer_response_pairwise};
 use qp_core::kernels::{sumup_phase, MatrixAccess};
 use qp_core::system::System;
 use qp_linalg::{symmetric_eigen, DMatrix};
@@ -104,10 +107,50 @@ fn bench_sumup_cache(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_sternheimer(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sternheimer");
+    for n in [64, 128, 256] {
+        let cmat = test_matrix(n, 3);
+        let eps: Vec<f64> = (0..n).map(|i| i as f64 * 0.1 - 2.0).collect();
+        // Half-filled Fermi-like occupations with a fractional frontier.
+        let occ: Vec<f64> = (0..n)
+            .map(|i| match (2 * i).cmp(&n) {
+                std::cmp::Ordering::Less => 2.0,
+                std::cmp::Ordering::Equal => 1.0,
+                std::cmp::Ordering::Greater => 0.0,
+            })
+            .collect();
+        let mut h1_mo = test_matrix(n, 4);
+        h1_mo.symmetrize();
+        group.bench_with_input(BenchmarkId::new("pair-loop", n), &n, |bch, _| {
+            bch.iter(|| {
+                sternheimer_response_pairwise(
+                    std::hint::black_box(&cmat),
+                    &eps,
+                    &occ,
+                    std::hint::black_box(&h1_mo),
+                )
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("gemm-form", n), &n, |bch, _| {
+            bch.iter(|| {
+                sternheimer_response(
+                    std::hint::black_box(&cmat),
+                    &eps,
+                    &occ,
+                    std::hint::black_box(&h1_mo),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
 fn benches(c: &mut Criterion) {
     bench_gemm(c);
     bench_eigen(c);
     bench_sumup_cache(c);
+    bench_sternheimer(c);
 }
 
 criterion_group!(perf_kernels, benches);

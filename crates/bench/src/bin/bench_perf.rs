@@ -6,14 +6,21 @@
 //! comparable perf trajectory.
 //!
 //! ```text
-//! cargo run --release -p qp-bench --bin bench_perf [--quick] [--out PATH]
+//! cargo run --release -p qp-bench --bin bench_perf [--quick] [--guard] [--out PATH]
 //! ```
 //!
 //! `--quick` shrinks every workload (water instead of the ligand, a
-//! 2-monomer polymer, GEMM at n = 256) for CI smoke runs. Thread count
-//! comes from the qp-par pool (`QP_THREADS` / available parallelism); each
-//! case also re-runs under a 1-thread lease so the JSON carries the
-//! end-to-end parallel speedup alongside the absolute times.
+//! 2-monomer polymer, GEMM at n = 256) for CI smoke runs. Each case runs
+//! two legs: a 1-thread serial reference and a parallel leg pinned to
+//! `QP_THREADS` (default: available parallelism, clamped to ≥ 2 so the
+//! fan-out is actually exercised even on single-core hosts); the run
+//! aborts if the parallel leg would end up single-threaded. The JSON
+//! carries both rows plus the end-to-end speedup.
+//!
+//! `--guard` adds the phase-regression check: one ligand-49 DFPT
+//! direction, failing the process if the Sternheimer phase takes more
+//! than a generous multiple of Sumup — the signature of the O(n⁴)
+//! pair-loop accidentally replacing the GEMM-form response build.
 
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -57,9 +64,29 @@ struct CaseResult {
     phases: PhaseSeconds,
     serial_total_s: f64,
     parallel_total_s: f64,
+    parallel_threads: usize,
     cache_hits: u64,
     cache_misses: u64,
     cache_evictions: u64,
+}
+
+/// Thread count for the parallel leg: `QP_THREADS` if set, else available
+/// parallelism — clamped to ≥ 2 so the leg genuinely fans out (on a
+/// single-core host that means oversubscription, which still exercises the
+/// parallel code paths and the determinism contract).
+fn parallel_leg_threads() -> usize {
+    let requested = std::env::var("QP_THREADS")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        });
+    if requested < 2 {
+        eprintln!("bench_perf: clamping parallel leg from {requested} to 2 threads");
+    }
+    requested.max(2)
 }
 
 /// The statistics-grade ligand grid shared with `tests/determinism_threads.rs`.
@@ -147,6 +174,7 @@ fn cases(quick: bool) -> Vec<CaseSpec> {
                     max_iter: 80,
                     tol: 1e-5,
                     mixing: 0.15,
+                    ..DfptOptions::default()
                 },
             },
         ]
@@ -161,6 +189,7 @@ fn cases(quick: bool) -> Vec<CaseSpec> {
                     max_iter: 80,
                     tol: 1e-5,
                     mixing: 0.15,
+                    ..DfptOptions::default()
                 },
             },
             CaseSpec {
@@ -172,6 +201,7 @@ fn cases(quick: bool) -> Vec<CaseSpec> {
                     max_iter: 80,
                     tol: 1e-5,
                     mixing: 0.15,
+                    ..DfptOptions::default()
                 },
             },
         ]
@@ -204,6 +234,7 @@ fn run_once(spec: &CaseSpec, sys: &System) -> (f64, usize, f64, Vec<f64>) {
 fn run_case(spec: &CaseSpec) -> CaseResult {
     println!("case {} ...", spec.name);
     let sys = (spec.build)();
+    let parallel_threads = parallel_leg_threads();
 
     // Serial reference for the end-to-end speedup.
     let serial_total_s = {
@@ -214,7 +245,18 @@ fn run_case(spec: &CaseSpec) -> CaseResult {
         t.elapsed().as_secs_f64()
     };
 
-    // Instrumented parallel run: per-phase spans + cache counters.
+    // Instrumented parallel run: per-phase spans + cache counters, pinned
+    // to the requested thread count.
+    let _lease = qp_par::ThreadLease::exactly(parallel_threads);
+    let active = qp_par::active_threads();
+    if active < 2 {
+        eprintln!(
+            "bench_perf: parallel leg for {} is running single-threaded \
+             ({active} active thread(s)); the speedup row would be a lie",
+            spec.name
+        );
+        std::process::exit(2);
+    }
     let (h0, m0, e0) = cache_counters();
     set_enabled(true);
     let _ = take_events();
@@ -250,9 +292,54 @@ fn run_case(spec: &CaseSpec) -> CaseResult {
         },
         serial_total_s,
         parallel_total_s,
+        parallel_threads,
         cache_hits: h1 - h0,
         cache_misses: m1 - m0,
         cache_evictions: e1 - e0,
+    }
+}
+
+/// The `--guard` phase-regression check: one ligand-49 DFPT direction
+/// with per-phase spans, failing if Sternheimer wall-time exceeds a
+/// generous multiple of the Sumup phase. The GEMM-form response build is
+/// two Level-3 products — far cheaper than Sumup's grid contraction — so
+/// tripping this bound means the O(n⁴) pair-loop (or something equally
+/// catastrophic) is back on the hot path.
+fn run_phase_guard() {
+    const FACTOR: f64 = 5.0;
+    const FLOOR_S: f64 = 0.05;
+    println!("phase guard: ligand49, 1 DFPT direction ...");
+    let sys = ligand_system();
+    let ground = scf(&sys, &ligand_scf()).expect("guard SCF converges");
+    set_enabled(true);
+    let _ = take_events();
+    let dfpt_opts = DfptOptions {
+        max_iter: 80,
+        tol: 1e-5,
+        mixing: 0.15,
+        ..DfptOptions::default()
+    };
+    dfpt_direction(&sys, &ground, 1, &dfpt_opts).expect("guard DFPT converges");
+    set_enabled(false);
+    let events = take_events();
+    let phase_sum = |p: Phase| -> f64 {
+        events
+            .iter()
+            .filter(|ev| ev.phase == p)
+            .map(|ev| ev.dur_us / 1e6)
+            .sum()
+    };
+    let sumup = phase_sum(Phase::Sumup);
+    let sternheimer = phase_sum(Phase::Sternheimer);
+    let limit = FACTOR * sumup.max(FLOOR_S);
+    println!("phase guard: sumup {sumup:.3}s, sternheimer {sternheimer:.3}s (limit {limit:.3}s)");
+    if sternheimer > limit {
+        eprintln!(
+            "bench_perf: Sternheimer phase regression — {sternheimer:.3}s exceeds \
+             {FACTOR}x max(sumup = {sumup:.3}s, {FLOOR_S}s); the O(n4) pair-loop \
+             is likely back on the hot path"
+        );
+        std::process::exit(3);
     }
 }
 
@@ -305,9 +392,13 @@ fn json_f(v: f64) -> String {
 
 fn emit_json(path: &str, quick: bool, gemm: &GemmNumbers, cases: &[CaseResult]) {
     let mut s = String::new();
-    let threads = qp_par::active_threads();
+    let threads = cases
+        .iter()
+        .map(|c| c.parallel_threads)
+        .max()
+        .unwrap_or_else(parallel_leg_threads);
     let _ = writeln!(s, "{{");
-    let _ = writeln!(s, "  \"schema\": \"qp-bench-perf/v1\",");
+    let _ = writeln!(s, "  \"schema\": \"qp-bench-perf/v2\",");
     let _ = writeln!(s, "  \"quick\": {quick},");
     let _ = writeln!(s, "  \"pool_threads\": {threads},");
     let _ = writeln!(s, "  \"gemm\": {{");
@@ -377,6 +468,19 @@ fn emit_json(path: &str, quick: bool, gemm: &GemmNumbers, cases: &[CaseResult]) 
             json_f(c.phases.sternheimer)
         );
         let _ = writeln!(s, "      }},");
+        let _ = writeln!(s, "      \"legs\": [");
+        let _ = writeln!(
+            s,
+            "        {{ \"threads\": 1, \"total_s\": {} }},",
+            json_f(c.serial_total_s)
+        );
+        let _ = writeln!(
+            s,
+            "        {{ \"threads\": {}, \"total_s\": {} }}",
+            c.parallel_threads,
+            json_f(c.parallel_total_s)
+        );
+        let _ = writeln!(s, "      ],");
         let _ = writeln!(
             s,
             "      \"serial_total_s\": {}, \"parallel_total_s\": {}, \"e2e_speedup\": {},",
@@ -403,6 +507,7 @@ fn emit_json(path: &str, quick: bool, gemm: &GemmNumbers, cases: &[CaseResult]) 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
+    let guard = args.iter().any(|a| a == "--guard");
     let out = args
         .iter()
         .position(|a| a == "--out")
@@ -410,12 +515,16 @@ fn main() {
         .cloned()
         .unwrap_or_else(|| "BENCH_perf.json".to_string());
 
-    let threads = qp_par::active_threads();
+    let threads = parallel_leg_threads();
     println!(
-        "bench_perf: {} mode, {} pool thread(s)",
+        "bench_perf: {} mode, parallel leg on {} pool thread(s)",
         if quick { "quick" } else { "full" },
         threads
     );
+
+    if guard {
+        run_phase_guard();
+    }
 
     let gemm = gemm_numbers(if quick { 256 } else { 512 });
     println!(
@@ -432,13 +541,14 @@ fn main() {
     for c in &results {
         let lookups = c.cache_hits + c.cache_misses;
         println!(
-            "{}: scf {:.2}s/{} iters, dfpt {:.2}s/{} dirs, e2e {:.2}s (serial {:.2}s, {:.2}x), cache {:.1}% of {} lookups",
+            "{}: scf {:.2}s/{} iters, dfpt {:.2}s/{} dirs, e2e {:.2}s on {} threads (serial {:.2}s, {:.2}x), cache {:.1}% of {} lookups",
             c.name,
             c.scf_s,
             c.scf_iterations,
             c.dfpt_s,
             c.dfpt_dirs,
             c.parallel_total_s,
+            c.parallel_threads,
             c.serial_total_s,
             c.serial_total_s / c.parallel_total_s,
             if lookups > 0 {

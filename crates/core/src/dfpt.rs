@@ -16,6 +16,7 @@
 //! polarizability is `α_IJ = ∫ r_I n¹_J = Tr[P¹_J D_I] > 0` for physical
 //! systems.
 
+use crate::mixing::{DfptMixer, MixState};
 use crate::operators;
 use crate::scf::ScfResult;
 use crate::system::System;
@@ -23,6 +24,30 @@ use crate::{CoreError, Result};
 use qp_chem::multipole::{solve_poisson, MultipoleMoments};
 use qp_chem::xc;
 use qp_linalg::DMatrix;
+use rayon::prelude::*;
+
+/// The symmetric Sternheimer weight matrix in the MO basis:
+///
+/// `W_pq = (f_p − f_q)/(ε_p − ε_q) · H¹(MO)_pq`, zero on the diagonal and
+/// on pairs with `f_p = f_q` (they do not respond). `W` is symmetric: the
+/// prefactor is even under `p ↔ q` and `H¹(MO)` is symmetric for a
+/// symmetric `H¹`. Built in O(n²).
+pub fn sternheimer_weights(eigenvalues: &[f64], occupations: &[f64], h1_mo: &DMatrix) -> DMatrix {
+    let nb = eigenvalues.len();
+    let mut w = DMatrix::zeros(nb, nb);
+    for p in 0..nb {
+        for q in (p + 1)..nb {
+            let df = occupations[p] - occupations[q];
+            if df.abs() < 1e-12 {
+                continue;
+            }
+            let wpq = df / (eigenvalues[p] - eigenvalues[q]) * h1_mo[(p, q)];
+            w[(p, q)] = wpq;
+            w[(q, p)] = wpq;
+        }
+    }
+    w
+}
 
 /// First-order response density matrix from the Sternheimer/CPKS pair
 /// formula with (possibly fractional) occupations:
@@ -35,7 +60,27 @@ use qp_linalg::DMatrix;
 /// respond). Since `f` is monotone in `ε`, `f_p ≠ f_q` implies
 /// `ε_p ≠ ε_q`, and near-degenerate pairs approach the bounded limit
 /// `df/dε`.
+///
+/// Evaluated in factored GEMM form: with the symmetric weight matrix `W`
+/// of [`sternheimer_weights`], the pair sum is algebraically
+/// `P¹ = C·W·Cᵀ` — two Level-3 products (O(n³)) instead of the O(n⁴)
+/// scalar pair-loop retained in [`sternheimer_response_pairwise`] as the
+/// test oracle.
 pub fn sternheimer_response(
+    c: &DMatrix,
+    eigenvalues: &[f64],
+    occupations: &[f64],
+    h1_mo: &DMatrix,
+) -> DMatrix {
+    let w = sternheimer_weights(eigenvalues, occupations, h1_mo);
+    let cw = c.par_matmul(&w).expect("conforming dims");
+    cw.par_matmul(&c.transpose()).expect("conforming dims")
+}
+
+/// The original O(n⁴) scalar pair-loop evaluation of the same formula —
+/// kept as the oracle for the GEMM-form [`sternheimer_response`] (property
+/// tests pin the two against each other, including degenerate spectra).
+pub fn sternheimer_response_pairwise(
     c: &DMatrix,
     eigenvalues: &[f64],
     occupations: &[f64],
@@ -72,8 +117,11 @@ pub struct DfptOptions {
     pub max_iter: usize,
     /// Convergence threshold on `‖ΔP¹‖` (max abs).
     pub tol: f64,
-    /// Linear mixing for `C¹`.
+    /// Mixing factor (linear factor, or DIIS damping + linear fallback).
     pub mixing: f64,
+    /// Self-consistency accelerator: plain linear mixing or Pulay/DIIS
+    /// extrapolation (the default, matching the SCF loop).
+    pub mixer: DfptMixer,
 }
 
 impl Default for DfptOptions {
@@ -82,6 +130,7 @@ impl Default for DfptOptions {
             max_iter: 60,
             tol: 1e-7,
             mixing: 0.6,
+            mixer: DfptMixer::Pulay { depth: 6 },
         }
     }
 }
@@ -119,6 +168,36 @@ pub fn response_density_matrix(c: &DMatrix, c1: &DMatrix, n_occ: usize) -> DMatr
     DMatrix::from_fn(nb, nb, |mu, nu| 2.0 * (m[(mu, nu)] + m[(nu, mu)]))
 }
 
+/// Direction-independent data the three field directions share: the
+/// dipole matrices, the xc kernel on the grid, and the transposed ground
+/// orbitals. [`dfpt`] builds this once; [`dfpt_direction`] builds it
+/// per-call for standalone use.
+pub struct DfptShared {
+    /// Dipole matrices `D_x, D_y, D_z`.
+    pub dips: Vec<DMatrix>,
+    /// `f_xc(n0)` at every grid point (Eq. 12).
+    pub fxc: Vec<f64>,
+    /// `Cᵀ` (for the MO transform of `H¹`).
+    pub c_t: DMatrix,
+}
+
+impl DfptShared {
+    /// Precompute the shared data from the converged ground state.
+    pub fn new(system: &System, ground: &ScfResult) -> Self {
+        DfptShared {
+            dips: (0..3)
+                .map(|d| operators::dipole_matrix(system, d))
+                .collect(),
+            fxc: ground
+                .density
+                .par_iter()
+                .map(|&n| xc::f_xc(n.max(0.0)))
+                .collect(),
+            c_t: ground.orbitals.transpose(),
+        }
+    }
+}
+
 /// Run the DFPT cycle for one Cartesian direction `dir`.
 pub fn dfpt_direction(
     system: &System,
@@ -126,19 +205,22 @@ pub fn dfpt_direction(
     dir: usize,
     opts: &DfptOptions,
 ) -> Result<DirectionResponse> {
-    let nb = system.n_basis();
-    let n_occ = system.n_occupied();
-    let dip = operators::dipole_matrix(system, dir);
-    // f_xc(n0) at every grid point (Eq. 12).
-    let fxc: Vec<f64> = ground
-        .density
-        .iter()
-        .map(|&n| xc::f_xc(n.max(0.0)))
-        .collect();
+    let shared = DfptShared::new(system, ground);
+    dfpt_direction_with(system, ground, &shared, dir, opts)
+}
 
+/// [`dfpt_direction`] against precomputed [`DfptShared`] data.
+pub fn dfpt_direction_with(
+    system: &System,
+    ground: &ScfResult,
+    shared: &DfptShared,
+    dir: usize,
+    opts: &DfptOptions,
+) -> Result<DirectionResponse> {
+    let nb = system.n_basis();
+    let dip = &shared.dips[dir];
     let c = &ground.orbitals;
     let eps = &ground.eigenvalues;
-    let _ = n_occ;
 
     let mut dir_span = qp_trace::SpanGuard::begin(
         qp_trace::thread_rank(),
@@ -152,6 +234,7 @@ pub fn dfpt_direction(
     let residual_gauge = qp_trace::global_metrics().gauge("dfpt.residual", &[("dir", dir_label)]);
 
     let mut p1 = DMatrix::zeros(nb, nb);
+    let mut mixer = MixState::new(opts.mixer, opts.mixing);
     let mut residual = f64::INFINITY;
 
     for iter in 1..=opts.max_iter {
@@ -173,12 +256,15 @@ pub fn dfpt_direction(
                 MultipoleMoments::compute(&system.structure, &system.grid, &n1, system.lmax);
             let hartree = solve_poisson(&system.structure, &system.grid, &moments);
             let natoms = system.structure.len();
-            system
-                .grid
-                .points
-                .iter()
-                .zip(n1.iter().zip(fxc.iter()))
-                .map(|(p, (&dn, &fx))| hartree.eval_atoms(p.position, 0..natoms) + fx * dn)
+            // Per-point potentials are independent; the index-ordered
+            // parallel map keeps the result bit-identical at any thread
+            // count.
+            (0..system.grid.points.len())
+                .into_par_iter()
+                .map(|gi| {
+                    let p = &system.grid.points[gi];
+                    hartree.eval_atoms(p.position, 0..natoms) + shared.fxc[gi] * n1[gi]
+                })
                 .collect()
         };
 
@@ -187,20 +273,18 @@ pub fn dfpt_direction(
             let _s = crate::phase_span(qp_trace::Phase::H, "h1.integrate");
             operators::potential_matrix(system, &v1)
         };
-        h1.axpy(-1.0, &dip)?;
+        h1.axpy(-1.0, dip)?;
 
-        // Sternheimer update in the MO basis (occupation-aware pair form —
+        // Sternheimer update in the MO basis (occupation-aware GEMM form —
         // handles both integer and Fermi-Dirac ground states).
         let p1_target = {
             let _s = crate::phase_span(qp_trace::Phase::Sternheimer, "sternheimer");
-            let h1_mo = c.transpose().matmul(&h1)?.matmul(c)?;
+            let h1_mo = shared.c_t.par_matmul(&h1)?.par_matmul(c)?;
             sternheimer_response(c, eps, &ground.occupations, &h1_mo)
         };
 
-        // Mix P¹ (DM phase).
-        let mut p1_new = p1.clone();
-        p1_new.scale(1.0 - opts.mixing);
-        p1_new.axpy(opts.mixing, &p1_target)?;
+        // Mix P¹ (DM phase): linear or Pulay/DIIS per `opts.mixer`.
+        let p1_new = mixer.step(&p1, &p1_target);
         residual = p1_new.max_abs_diff(&p1);
         residual_gauge.set(residual);
         if iter_span.is_recording() {
@@ -230,16 +314,21 @@ pub fn dfpt(system: &System, ground: &ScfResult, opts: &DfptOptions) -> Result<D
     let mut p1s = Vec::with_capacity(3);
     let mut iterations = [0usize; 3];
 
-    // Pre-build the three dipole matrices for the α contraction.
-    let dips: Vec<DMatrix> = (0..3)
-        .map(|d| operators::dipole_matrix(system, d))
-        .collect();
+    // Dipoles, f_xc and Cᵀ are direction-independent: build them once and
+    // share across the three directions (and the α contraction below).
+    let shared = DfptShared::new(system, ground);
 
     for j in 0..3 {
-        let resp = dfpt_direction(system, ground, j, opts)?;
-        for (i, dip_i) in dips.iter().enumerate() {
-            // α_IJ = ∫ r_I n¹_J = Tr[P¹_J D_I] (Eq. 13).
-            alpha[(i, j)] = resp.p1.trace_product(dip_i)?;
+        let resp = dfpt_direction_with(system, ground, &shared, j, opts)?;
+        // α_IJ = ∫ r_I n¹_J = Tr[P¹_J D_I] (Eq. 13) — the three row
+        // contractions are independent; merge in index order.
+        let col: Vec<f64> = shared
+            .dips
+            .par_iter()
+            .map(|dip_i| resp.p1.trace_product(dip_i).expect("conforming dims"))
+            .collect();
+        for (i, &a_ij) in col.iter().enumerate() {
+            alpha[(i, j)] = a_ij;
         }
         iterations[j] = resp.iterations;
         p1s.push(resp.p1);
@@ -326,33 +415,33 @@ mod tests {
         let ground = scf(&sys, &ScfOptions::default()).unwrap();
         let res = dfpt(&sys, &ground, &DfptOptions::default()).unwrap();
 
+        // α_iz via central difference of the electronic dipole under a
+        // z field: one ± pair of SCF solves covers all three components.
         let xi = 2e-3;
         let tight = ScfOptions {
             tol: 1e-10,
             ..ScfOptions::default()
         };
+        let plus = scf(
+            &sys,
+            &ScfOptions {
+                field: Some([0.0, 0.0, xi]),
+                ..tight
+            },
+        )
+        .unwrap();
+        let minus = scf(
+            &sys,
+            &ScfOptions {
+                field: Some([0.0, 0.0, -xi]),
+                ..tight
+            },
+        )
+        .unwrap();
+        let mu_p = electronic_dipole(&sys, &plus.density);
+        let mu_m = electronic_dipole(&sys, &minus.density);
         let mut fd = [0.0f64; 3];
         for (i, fd_i) in fd.iter_mut().enumerate() {
-            // α_iz via central difference of the electronic dipole under a
-            // z field.
-            let plus = scf(
-                &sys,
-                &ScfOptions {
-                    field: Some([0.0, 0.0, xi]),
-                    ..tight
-                },
-            )
-            .unwrap();
-            let minus = scf(
-                &sys,
-                &ScfOptions {
-                    field: Some([0.0, 0.0, -xi]),
-                    ..tight
-                },
-            )
-            .unwrap();
-            let mu_p = electronic_dipole(&sys, &plus.density);
-            let mu_m = electronic_dipole(&sys, &minus.density);
             *fd_i = (mu_p[i] - mu_m[i]) / (2.0 * xi);
         }
         for i in 0..3 {
@@ -400,7 +489,7 @@ mod sternheimer_tests {
         // the physical case (C^T H C with H symmetric IS symmetric... up to
         // the random C being full rank, it is). Use it directly.
         let occ: Vec<f64> = (0..nb).map(|i| if i < n_occ { 2.0 } else { 0.0 }).collect();
-        let pair = sternheimer_response(&c, &eps, &occ, &h1_mo);
+        let pair = sternheimer_response_pairwise(&c, &eps, &occ, &h1_mo);
 
         // Classic: C1_i = sum_a C_a H_ai/(eps_i - eps_a); P1 via Eq. 7.
         let mut c1 = DMatrix::zeros(nb, n_occ);
@@ -418,6 +507,13 @@ mod sternheimer_tests {
             "deviation {}",
             pair.max_abs_diff(&classic)
         );
+        // And the factored GEMM form agrees with both.
+        let gemm = sternheimer_response(&c, &eps, &occ, &h1_mo);
+        assert!(
+            gemm.max_abs_diff(&pair) < 1e-12,
+            "GEMM vs pairwise deviation {}",
+            gemm.max_abs_diff(&pair)
+        );
     }
 
     #[test]
@@ -429,6 +525,31 @@ mod sternheimer_tests {
         let h1 = DMatrix::from_fn(nb, nb, |i, j| (i + j) as f64);
         let p1 = sternheimer_response(&c, &eps, &occ, &h1);
         assert_eq!(p1.frobenius_norm(), 0.0);
+        let pair = sternheimer_response_pairwise(&c, &eps, &occ, &h1);
+        assert_eq!(pair.frobenius_norm(), 0.0);
+    }
+
+    #[test]
+    fn gemm_form_matches_pairwise_on_degenerate_spectrum() {
+        // Degenerate levels with equal occupations must be skipped by both
+        // paths; partially-occupied near-degenerate pairs go through the
+        // bounded (f_p − f_q)/(ε_p − ε_q) ratio.
+        let nb = 8;
+        let c = DMatrix::from_fn(nb, nb, |i, j| ((i * 5 + j * 3) as f64 * 0.41).sin());
+        let eps = vec![-2.0, -2.0, -1.0, -1.0 + 1e-9, 0.0, 0.5, 0.5, 3.0];
+        let occ = vec![2.0, 2.0, 1.7, 1.3, 0.6, 0.2, 0.2, 0.0];
+        let mut h1 = DMatrix::from_fn(nb, nb, |i, j| ((i as f64 - j as f64) * 0.9).cos());
+        h1.symmetrize();
+        let gemm = sternheimer_response(&c, &eps, &occ, &h1);
+        let pair = sternheimer_response_pairwise(&c, &eps, &occ, &h1);
+        // Near-degenerate weights blow the absolute scale up to ~1/gap, so
+        // compare relative to the result's own magnitude.
+        let scale = pair.frobenius_norm().max(1.0);
+        assert!(
+            gemm.max_abs_diff(&pair) < 1e-12 * scale,
+            "deviation {} at scale {scale}",
+            gemm.max_abs_diff(&pair)
+        );
     }
 
     #[test]

@@ -29,6 +29,7 @@ pub mod basis_cache;
 pub mod dfpt;
 pub mod dist;
 pub mod kernels;
+pub mod mixing;
 pub mod operators;
 pub mod parallel;
 pub mod properties;
@@ -37,6 +38,7 @@ pub mod scf;
 pub mod system;
 
 pub use dfpt::{dfpt, DfptOptions, DfptResult};
+pub use mixing::DfptMixer;
 pub use resil::{parallel_dfpt_direction_resilient, ResilienceConfig, ResilientDirectionResult};
 pub use scf::{scf, scf_resumable, ScfOptions, ScfResult, ScfState};
 pub use system::System;

@@ -17,6 +17,7 @@
 //! branches, so no extra control-flow synchronization is needed.
 
 use crate::dfpt::{response_density_matrix, DfptOptions};
+use crate::mixing::{DfptMixer, MixState};
 use crate::operators;
 use crate::scf::ScfResult;
 use crate::system::System;
@@ -93,14 +94,30 @@ pub(crate) struct DirWork<'a> {
     ground: &'a ScfResult,
     collectives: CollectiveScheme,
     mixing: f64,
+    mixer: DfptMixer,
     dir: usize,
     dip: DMatrix,
     fxc: Vec<f64>,
+    /// `Cᵀ` — the MO transform's left factor, built once per direction.
+    c_t: DMatrix,
+    /// The virtual-orbital columns `C_virt` (`nb × (nb − n_occ)`), the left
+    /// factor of the GEMM-form Sternheimer update.
+    c_virt: DMatrix,
     nb: usize,
     n_occ: usize,
     n_lm: usize,
     row_len: usize,
     natoms: usize,
+}
+
+/// The loop-carried state of one rank's DFPT direction: the mixed `C¹`,
+/// its `P¹`, and the mixer history. Identical on every rank at each
+/// iteration boundary (deterministic collectives), which is what makes
+/// rank 0's checkpoint of it a consistent global cut.
+pub(crate) struct DirState {
+    pub(crate) c1: DMatrix,
+    pub(crate) p1: DMatrix,
+    pub(crate) mixer: MixState,
 }
 
 impl<'a> DirWork<'a> {
@@ -112,11 +129,15 @@ impl<'a> DirWork<'a> {
         cfg: &ParallelConfig,
     ) -> Self {
         let n_lm = num_harmonics(system.lmax);
+        let nb = system.n_basis();
+        let n_occ = system.n_occupied();
+        let c = &ground.orbitals;
         DirWork {
             system,
             ground,
             collectives: cfg.collectives,
             mixing: opts.mixing,
+            mixer: opts.mixer,
             dir,
             dip: operators::dipole_matrix(system, dir),
             fxc: ground
@@ -124,20 +145,39 @@ impl<'a> DirWork<'a> {
                 .iter()
                 .map(|&n| xc::f_xc(n.max(0.0)))
                 .collect(),
-            nb: system.n_basis(),
-            n_occ: system.n_occupied(),
+            c_t: c.transpose(),
+            c_virt: DMatrix::from_fn(nb, nb - n_occ, |mu, a| c[(mu, n_occ + a)]),
+            nb,
+            n_occ,
             n_lm,
             row_len: system.grid.radial.len() * n_lm,
             natoms: system.structure.len(),
         }
     }
 
-    pub(crate) fn nb(&self) -> usize {
-        self.nb
+    /// Fresh loop state (zero `C¹`/`P¹`, empty mixer history).
+    pub(crate) fn initial_state(&self) -> DirState {
+        DirState {
+            c1: DMatrix::zeros(self.nb, self.n_occ),
+            p1: DMatrix::zeros(self.nb, self.nb),
+            mixer: MixState::new(self.mixer, self.mixing),
+        }
     }
 
-    pub(crate) fn n_occ(&self) -> usize {
-        self.n_occ
+    /// Loop state restored from a checkpoint (`C¹`, `P¹` and the DIIS
+    /// history as captured; the histories are empty for the linear mixer).
+    pub(crate) fn state_from(
+        &self,
+        c1: DMatrix,
+        p1: DMatrix,
+        diis_in: Vec<DMatrix>,
+        diis_res: Vec<DMatrix>,
+    ) -> DirState {
+        DirState {
+            c1,
+            p1,
+            mixer: MixState::with_history(self.mixer, self.mixing, diis_in, diis_res),
+        }
     }
 
     /// The batch indices `assignment` maps to `rank`.
@@ -151,16 +191,15 @@ impl<'a> DirWork<'a> {
     }
 
     /// One distributed DFPT iteration: Sumup → rho synthesis → Poisson →
-    /// `H¹` AllReduce → Sternheimer. Returns the mixed `(C¹, P¹)` and the
-    /// residual `‖ΔP¹‖`.
+    /// `H¹` AllReduce → Sternheimer. Advances `state` in place and returns
+    /// the residual `‖ΔP¹‖`.
     pub(crate) fn iteration(
         &self,
         comm: &qp_mpi::Comm,
         my_batches: &[usize],
         iter: usize,
-        c1: &DMatrix,
-        p1: &DMatrix,
-    ) -> std::result::Result<(DMatrix, DMatrix, f64), CommError> {
+        state: &mut DirState,
+    ) -> std::result::Result<f64, CommError> {
         let system = self.system;
         let (nb, n_occ, n_lm, row_len, natoms) =
             (self.nb, self.n_occ, self.n_lm, self.row_len, self.natoms);
@@ -171,30 +210,12 @@ impl<'a> DirWork<'a> {
         if iter_span.is_recording() {
             iter_span.arg("iter", iter).arg("dir", self.dir);
         }
-        // ---- Sumup on own batches ----
+        // ---- Sumup on own batches (GEMM form, see `System::batch_density`) ----
         let sumup_span = crate::phase_span(qp_trace::Phase::Sumup, "sumup.local_n1");
-        let mut local_n1: Vec<Vec<f64>> = Vec::with_capacity(my_batches.len());
-        for &b in my_batches {
-            let batch = &system.batches[b];
-            let table = system.table(b);
-            let nf = table.fn_indices.len();
-            let mut vals = vec![0.0; batch.points.len()];
-            for (pi, out) in vals.iter_mut().enumerate() {
-                let row = &table.values[pi * nf..(pi + 1) * nf];
-                let mut acc = 0.0;
-                for (a, &fa) in table.fn_indices.iter().enumerate() {
-                    if row[a] == 0.0 {
-                        continue;
-                    }
-                    for (bq, &fb) in table.fn_indices.iter().enumerate() {
-                        acc += p1[(fa, fb)] * row[a] * row[bq];
-                    }
-                }
-                *out = acc;
-            }
-            local_n1.push(vals);
-        }
-
+        let local_n1: Vec<Vec<f64>> = my_batches
+            .iter()
+            .map(|&b| system.batch_density(b, &state.p1))
+            .collect();
         drop(sumup_span);
 
         // ---- Partial rho_multipole rows from own points ----
@@ -306,34 +327,31 @@ impl<'a> DirWork<'a> {
         h1.axpy(-1.0, &self.dip).expect("same dims");
         drop(h_span);
 
-        // ---- Replicated Sternheimer update ----
+        // ---- Replicated Sternheimer update (GEMM form) ----
+        // C¹_i = Σ_a C_a H¹(MO)_ai/(ε_i − ε_a) is the Level-3 product
+        // C_virt · U with U_ai = H¹(MO)_{n_occ+a,i}/(ε_i − ε_{n_occ+a}).
         let stern_span = crate::phase_span(qp_trace::Phase::Sternheimer, "sternheimer");
-        let h1_mo = c
-            .transpose()
-            .matmul(&h1)
-            .and_then(|m| m.matmul(c))
+        let h1_mo = self
+            .c_t
+            .par_matmul(&h1)
+            .and_then(|m| m.par_matmul(c))
             .expect("nb-square chain");
-        let mut c1_new = DMatrix::zeros(nb, n_occ);
-        for i in 0..n_occ {
-            for a in n_occ..nb {
-                let u_ai = h1_mo[(a, i)] / (eps[i] - eps[a]);
-                for mu in 0..nb {
-                    c1_new[(mu, i)] += c[(mu, a)] * u_ai;
-                }
-            }
-        }
-        let mut mixed = c1.clone();
-        mixed.scale(1.0 - self.mixing);
-        mixed.axpy(self.mixing, &c1_new).expect("same dims");
+        let u = DMatrix::from_fn(nb - n_occ, n_occ, |a, i| {
+            h1_mo[(n_occ + a, i)] / (eps[i] - eps[n_occ + a])
+        });
+        let c1_new = self.c_virt.par_matmul(&u).expect("conforming dims");
+        let mixed = state.mixer.step(&state.c1, &c1_new);
         drop(stern_span);
         let dm_span = crate::phase_span(qp_trace::Phase::Dm, "dm.p1");
         let p1_new = response_density_matrix(c, &mixed, n_occ);
-        let residual = p1_new.max_abs_diff(p1);
+        let residual = p1_new.max_abs_diff(&state.p1);
         drop(dm_span);
         if iter_span.is_recording() {
             iter_span.arg("residual", residual);
         }
-        Ok((mixed, p1_new, residual))
+        state.c1 = mixed;
+        state.p1 = p1_new;
+        Ok(residual)
     }
 }
 
@@ -360,23 +378,19 @@ pub fn parallel_dfpt_direction(
 ) -> Result<ParallelDirectionResult> {
     let assignment = assign_batches(system, cfg);
     let work = DirWork::new(system, ground, dir, opts, cfg);
-    let (nb, n_occ) = (work.nb(), work.n_occ());
 
     let outputs = run_spmd(cfg.n_ranks, cfg.ranks_per_node, |comm| {
         let rank = comm.rank();
         let my_batches = DirWork::my_batches(&assignment, rank);
         let my_points: usize = my_batches.iter().map(|&b| system.batches[b].len()).sum();
 
-        let mut c1 = DMatrix::zeros(nb, n_occ);
-        let mut p1 = DMatrix::zeros(nb, nb);
+        let mut state = work.initial_state();
         let mut iterations = 0usize;
         let mut converged = false;
 
         for iter in 1..=opts.max_iter {
             iterations = iter;
-            let (c1_next, p1_next, residual) = work.iteration(comm, &my_batches, iter, &c1, &p1)?;
-            c1 = c1_next;
-            p1 = p1_next;
+            let residual = work.iteration(comm, &my_batches, iter, &mut state)?;
             if residual < opts.tol {
                 converged = true;
                 break;
@@ -388,7 +402,7 @@ pub fn parallel_dfpt_direction(
         } else {
             Vec::new()
         };
-        Ok((converged, iterations, p1.clone(), traffic, my_points))
+        Ok((converged, iterations, state.p1.clone(), traffic, my_points))
     })
     .map_err(comm_failure)?;
 

@@ -24,7 +24,6 @@ use crate::scf::{scf_resumable, ScfOptions, ScfResult, ScfState};
 use crate::system::System;
 use crate::{CoreError, Result};
 use parking_lot::Mutex;
-use qp_linalg::DMatrix;
 use qp_machine::machine::MachineModel;
 use qp_mpi::{run_spmd_with, CommError, FaultHook, SpmdOptions};
 use qp_resil::recovery::{RecoveryPolicy, RecoveryStats, Supervisor};
@@ -108,7 +107,6 @@ pub fn parallel_dfpt_direction_resilient(
 ) -> Result<ResilientDirectionResult> {
     let assignment = assign_batches(system, cfg);
     let work = DirWork::new(system, ground, dir, opts, cfg);
-    let (nb, n_occ) = (work.nb(), work.n_occ());
     let interval = rcfg.checkpoint_interval;
 
     let ck_path = rcfg
@@ -147,9 +145,17 @@ pub fn parallel_dfpt_direction_resilient(
             let my_batches = DirWork::my_batches(&assignment, rank);
             let my_points: usize = my_batches.iter().map(|&b| system.batches[b].len()).sum();
 
-            let (mut c1, mut p1, start_iter) = match &*store.lock() {
-                Some(ck) => (ck.c1.clone(), ck.p1.clone(), ck.iteration),
-                None => (DMatrix::zeros(nb, n_occ), DMatrix::zeros(nb, nb), 0),
+            let (mut state, start_iter) = match &*store.lock() {
+                Some(ck) => (
+                    work.state_from(
+                        ck.c1.clone(),
+                        ck.p1.clone(),
+                        ck.diis_in.clone(),
+                        ck.diis_res.clone(),
+                    ),
+                    ck.iteration,
+                ),
+                None => (work.initial_state(), 0),
             };
             let mut iterations = start_iter;
             let mut converged = false;
@@ -160,21 +166,21 @@ pub fn parallel_dfpt_direction_resilient(
                 // collectives.
                 comm.fault_point("dfpt.iter", iter as u64)?;
                 iterations = iter;
-                let (c1_next, p1_next, residual) =
-                    work.iteration(comm, &my_batches, iter, &c1, &p1)?;
-                c1 = c1_next;
-                p1 = p1_next;
+                let residual = work.iteration(comm, &my_batches, iter, &mut state)?;
                 if residual < opts.tol {
                     converged = true;
                     break;
                 }
                 if rank == 0 && interval > 0 && iter % interval == 0 {
+                    let (diis_in, diis_res) = state.mixer.history();
                     let ck = DfptCheckpoint {
                         dir,
                         iteration: iter,
-                        c1: c1.clone(),
-                        p1: p1.clone(),
+                        c1: state.c1.clone(),
+                        p1: state.p1.clone(),
                         residual,
+                        diis_in: diis_in.to_vec(),
+                        diis_res: diis_res.to_vec(),
                     };
                     written.lock().push(ck.to_bytes().len());
                     if let Some(p) = &ck_path {
@@ -192,7 +198,7 @@ pub fn parallel_dfpt_direction_resilient(
             } else {
                 Vec::new()
             };
-            Ok((converged, iterations, p1.clone(), traffic, my_points))
+            Ok((converged, iterations, state.p1.clone(), traffic, my_points))
         });
         for bytes in written.lock().drain(..) {
             sup.note_checkpoint(bytes);

@@ -6,12 +6,14 @@
 //! density → Hartree potential (multipole Poisson) → xc potential → `H` →
 //! generalized eigenproblem → new density — with linear mixing.
 
+use crate::mixing::pulay_extrapolate;
 use crate::operators;
 use crate::system::System;
 use crate::{CoreError, Result};
 use qp_chem::multipole::{solve_poisson, MultipoleMoments};
 use qp_chem::xc;
 use qp_linalg::{generalized_symmetric_eigen, DMatrix};
+use rayon::prelude::*;
 
 /// SCF options.
 #[derive(Debug, Clone, Copy)]
@@ -86,41 +88,6 @@ pub struct ScfState {
     pub diis_in: Vec<DMatrix>,
     /// Pulay/DIIS residual history.
     pub diis_res: Vec<DMatrix>,
-}
-
-/// Pulay/DIIS step: find `c` minimizing `‖Σ cᵢ Rᵢ‖` with `Σ cᵢ = 1`, then
-/// return `Σ cᵢ (Pᵢ + damping·Rᵢ)`. Returns `None` when the DIIS system is
-/// numerically singular (caller restarts the history).
-fn pulay_extrapolate(p_in: &[DMatrix], residuals: &[DMatrix], damping: f64) -> Option<DMatrix> {
-    let m = p_in.len();
-    // KKT system: [[B, 1], [1ᵀ, 0]] [c; λ] = [0; 1].
-    let mut kkt = DMatrix::zeros(m + 1, m + 1);
-    for i in 0..m {
-        for j in 0..m {
-            let dot: f64 = residuals[i]
-                .as_slice()
-                .iter()
-                .zip(residuals[j].as_slice().iter())
-                .map(|(a, b)| a * b)
-                .sum();
-            kkt[(i, j)] = dot;
-        }
-        kkt[(i, m)] = 1.0;
-        kkt[(m, i)] = 1.0;
-    }
-    let mut rhs = vec![0.0; m + 1];
-    rhs[m] = 1.0;
-    let sol = qp_linalg::dense::lu_solve(&kkt, &rhs).ok()?;
-    let mut p = DMatrix::zeros(p_in[0].rows(), p_in[0].cols());
-    for i in 0..m {
-        let c = sol[i];
-        if !c.is_finite() || c.abs() > 1e4 {
-            return None;
-        }
-        p.axpy(c, &p_in[i]).ok()?;
-        p.axpy(c * damping, &residuals[i]).ok()?;
-    }
-    Some(p)
 }
 
 /// Electronic dipole moment `∫ r_I n(r) d³r` for each Cartesian direction,
@@ -214,10 +181,12 @@ pub fn scf_resumable(
             MultipoleMoments::compute(&system.structure, &system.grid, &density, system.lmax);
         let hartree = solve_poisson(&system.structure, &system.grid, &moments);
         let natoms = system.structure.len();
+        // Each point's potential is independent; the index-ordered parallel
+        // map returns bit-identical values at any thread count.
         let v_h: Vec<f64> = system
             .grid
             .points
-            .iter()
+            .par_iter()
             .map(|p| hartree.eval_atoms(p.position, 0..natoms))
             .collect();
         let v_xc: Vec<f64> = density.iter().map(|&n| xc::v_xc(n.max(0.0))).collect();

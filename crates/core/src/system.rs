@@ -172,39 +172,47 @@ impl System {
         (self.n_electrons() as usize).div_ceil(2)
     }
 
+    /// Density at the points of batch `bid` from a density matrix, in GEMM
+    /// form: gather the batch-local block `P_loc`, compute `Y = X·P_loc`
+    /// with the blocked Level-3 kernel (`X` = the `np×nf` basis-value
+    /// table), then `n(p) = X_p · Y_p` per point.
+    ///
+    /// The GEMM runs serially here — callers fan out over batches, so the
+    /// per-batch work is the parallel grain — and both the kernel and the
+    /// final dot use a fixed accumulation order, keeping the result
+    /// bit-identical at any thread count.
+    pub fn batch_density(&self, bid: usize, p_mat: &qp_linalg::DMatrix) -> Vec<f64> {
+        let batch = &self.batches[bid];
+        let table = self.table(bid);
+        let nf = table.fn_indices.len();
+        let np = batch.points.len();
+        if nf == 0 {
+            return vec![0.0; np];
+        }
+        let p_loc = p_mat.gather_square(&table.fn_indices);
+        let mut y = vec![0.0; np * nf];
+        qp_linalg::gemm::gemm(np, nf, nf, &table.values, p_loc.as_slice(), &mut y, false);
+        (0..np)
+            .map(|pi| {
+                let row = &table.values[pi * nf..(pi + 1) * nf];
+                let yrow = &y[pi * nf..(pi + 1) * nf];
+                row.iter().zip(yrow.iter()).map(|(x, v)| x * v).sum()
+            })
+            .collect()
+    }
+
     /// Evaluate the density at every grid point from a density matrix
     /// (batch-local, pruned): `n(p) = Σ_{μν} P_{μν} χ_μ(p) χ_ν(p)`.
     ///
     /// This is the same contraction as the Sumup phase; this uninstrumented
-    /// version is used by the SCF loop.
+    /// version is used by the SCF loop. Batches fan out over the pool and
+    /// are merged in batch order.
     pub fn density_on_grid(&self, p_mat: &qp_linalg::DMatrix) -> Vec<f64> {
         let mut density = vec![0.0; self.grid.len()];
         let per_batch: Vec<(usize, Vec<f64>)> = self
             .batches
             .par_iter()
-            .map(|batch| {
-                let table = self.table(batch.id);
-                let nf = table.fn_indices.len();
-                let mut local = vec![0.0; batch.points.len()];
-                for (pi, local_n) in local.iter_mut().enumerate() {
-                    let row = &table.values[pi * nf..(pi + 1) * nf];
-                    let mut acc = 0.0;
-                    for (a, &fa) in table.fn_indices.iter().enumerate() {
-                        let va = row[a];
-                        if va == 0.0 {
-                            continue;
-                        }
-                        for (b, &fb) in table.fn_indices.iter().enumerate() {
-                            let vb = row[b];
-                            if vb != 0.0 {
-                                acc += p_mat[(fa, fb)] * va * vb;
-                            }
-                        }
-                    }
-                    *local_n = acc;
-                }
-                (batch.id, local)
-            })
+            .map(|batch| (batch.id, self.batch_density(batch.id, p_mat)))
             .collect();
         for (bid, local) in per_batch {
             let batch = &self.batches[bid];

@@ -13,9 +13,10 @@
 //! occupation_type   gaussian 0.01   # smearing width (Ha)
 //! DFPT          polarizability  # run the DFPT phase
 //! dfpt_sc_accuracy  1e-7
+//! dfpt_mixer        pulay 6     # DFPT SC accelerator: linear | pulay [depth]
 //! ```
 
-use qp_core::{DfptOptions, ScfOptions};
+use qp_core::{DfptMixer, DfptOptions, ScfOptions};
 
 /// Parsed control settings.
 #[derive(Debug, Clone)]
@@ -111,6 +112,20 @@ pub fn parse_control(text: &str) -> Result<Control, ControlError> {
             }
             "dfpt_sc_accuracy" => ctl.dfpt.tol = num(0)?,
             "dfpt_mixing" => ctl.dfpt.mixing = num(0)?,
+            "dfpt_mixer" => match args.first().copied().unwrap_or("") {
+                "linear" => ctl.dfpt.mixer = DfptMixer::Linear,
+                "pulay" => {
+                    ctl.dfpt.mixer = DfptMixer::Pulay {
+                        depth: args.get(1).and_then(|t| t.parse().ok()).unwrap_or(6),
+                    }
+                }
+                other => {
+                    return Err(ControlError::Malformed(
+                        idx + 1,
+                        format!("unknown dfpt_mixer '{other}'"),
+                    ))
+                }
+            },
             // Recognized FHI-aims keywords without an equivalent here.
             "relativistic" | "spin" | "k_grid" | "output" | "basis_threshold"
             | "sc_accuracy_eev" | "sc_accuracy_etot" => {
@@ -163,6 +178,17 @@ relativistic      atomic_zora scalar
     fn linear_mixer_disables_pulay() {
         let ctl = parse_control("mixer linear\n").unwrap();
         assert_eq!(ctl.scf.pulay, None);
+    }
+
+    #[test]
+    fn dfpt_mixer_keyword_selects_response_accelerator() {
+        let ctl = parse_control("dfpt_mixer linear\n").unwrap();
+        assert_eq!(ctl.dfpt.mixer, DfptMixer::Linear);
+        let ctl = parse_control("dfpt_mixer pulay 4\n").unwrap();
+        assert_eq!(ctl.dfpt.mixer, DfptMixer::Pulay { depth: 4 });
+        let ctl = parse_control("dfpt_mixer pulay\n").unwrap();
+        assert_eq!(ctl.dfpt.mixer, DfptMixer::Pulay { depth: 6 });
+        assert!(parse_control("dfpt_mixer broyden\n").is_err());
     }
 
     #[test]

@@ -5,12 +5,18 @@
 //! ```text
 //! offset  size  field
 //! 0       4     magic "QPCK"
-//! 4       4     format version (u32, currently 1)
+//! 4       4     format version (u32, currently 2)
 //! 8       1     kind (1 = SCF, 2 = DFPT)
 //! 9       8     payload length (u64)
 //! 17      8     FNV-1a 64 checksum of the payload
 //! 25      —     payload
 //! ```
+//!
+//! Version history: v1 carried `(dir, iteration, c1, p1, residual)` for
+//! DFPT; v2 appends the Pulay/DIIS mixer history (`diis_in`, `diis_res`)
+//! so a restarted direction replays the DIIS-accelerated sequence
+//! bit-exactly. Loads reject other versions (a v1 file cannot seed a v2
+//! mixer without silently changing the replayed trajectory).
 //!
 //! Matrices are encoded as `rows:u64, cols:u64, data:f64×(rows·cols)` with
 //! `f64::to_le_bytes`, so a save→load round trip is **bit-exact** — the
@@ -28,7 +34,7 @@ use qp_linalg::DMatrix;
 use std::path::Path;
 
 const MAGIC: [u8; 4] = *b"QPCK";
-const VERSION: u32 = 1;
+const VERSION: u32 = 2;
 const HEADER_LEN: usize = 4 + 4 + 1 + 8 + 8;
 
 const KIND_SCF: u8 = 1;
@@ -274,6 +280,10 @@ pub struct DfptCheckpoint {
     pub p1: DMatrix,
     /// `‖ΔP¹‖` at `iteration` (diagnostic only).
     pub residual: f64,
+    /// Pulay/DIIS mixer input history (empty under linear mixing).
+    pub diis_in: Vec<DMatrix>,
+    /// Pulay/DIIS mixer residual history (same length as `diis_in`).
+    pub diis_res: Vec<DMatrix>,
 }
 
 impl DfptCheckpoint {
@@ -285,6 +295,8 @@ impl DfptCheckpoint {
         e.put_matrix(&self.c1);
         e.put_matrix(&self.p1);
         e.put_f64(self.residual);
+        e.put_matrices(&self.diis_in);
+        e.put_matrices(&self.diis_res);
         frame(KIND_DFPT, &e.buf)
     }
 
@@ -297,6 +309,8 @@ impl DfptCheckpoint {
             c1: d.matrix()?,
             p1: d.matrix()?,
             residual: d.f64()?,
+            diis_in: d.matrices()?,
+            diis_res: d.matrices()?,
         };
         d.finish()?;
         Ok(out)
@@ -329,6 +343,8 @@ mod tests {
             c1: mat(2, 2, &[0.1, -0.2, 0.3, f64::MIN_POSITIVE]),
             p1: mat(2, 2, &[1.0, 2.0, 3.0, -4.0]),
             residual: 1.25e-5,
+            diis_in: vec![mat(2, 2, &[0.9, 0.8, 0.7, 0.6]), mat(2, 2, &[0.5; 4])],
+            diis_res: vec![mat(2, 2, &[1e-2; 4]), mat(2, 2, &[-1e-3, 1e-3, 0.0, 2e-3])],
         }
     }
 

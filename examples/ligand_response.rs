@@ -69,6 +69,7 @@ fn main() {
             // The smeared ligand is near-metallic (gap ~ 0.0085 Ha): the
             // self-consistent field feedback is strong, so mix gently.
             mixing: 0.05,
+            ..DfptOptions::default()
         },
     )
     .expect("DFPT converges");

@@ -5,10 +5,14 @@
 #   scripts/bench_perf.sh            # full workloads, writes BENCH_perf.json
 #   scripts/bench_perf.sh --quick    # CI smoke (~1 s), writes nothing durable
 #
-# Thread count follows QP_THREADS (default: all cores). Extra flags are
-# passed through to the bench_perf binary (e.g. --out PATH).
+# The parallel leg runs on QP_THREADS threads (default: all cores; the
+# binary clamps to >= 2 and aborts rather than record a single-threaded
+# "parallel" row). Extra flags are passed through to the bench_perf binary
+# (e.g. --out PATH, --guard for the Sternheimer phase-regression check).
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+export QP_THREADS="${QP_THREADS:-$(nproc)}"
 
 cargo build -q --release -p qp-bench --bin bench_perf
 exec ./target/release/bench_perf "$@"

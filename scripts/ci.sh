@@ -15,8 +15,11 @@ cargo test -q --workspace
 echo "== cargo test (QP_THREADS=4: parallel substrate leg)"
 QP_THREADS=4 cargo test -q --workspace
 
-echo "== perf smoke (bench_perf --quick)"
-bash scripts/bench_perf.sh --quick --out "$(mktemp)"
+echo "== Sternheimer GEMM/pair-loop equivalence (QP_THREADS=4)"
+QP_THREADS=4 cargo test -q -p qp-core sternheimer
+
+echo "== perf smoke + Sternheimer phase-regression guard (bench_perf --quick --guard)"
+bash scripts/bench_perf.sh --quick --guard --out "$(mktemp)"
 
 echo "== fault-injection smoke matrix (qperturb + QP_FAULT)"
 cargo build -q --release -p qp-cli

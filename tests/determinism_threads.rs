@@ -93,6 +93,7 @@ fn run_ligand(threads: usize) -> RunBits {
             max_iter: 80,
             tol: 1e-5,
             mixing: 0.15,
+            ..DfptOptions::default()
         },
     )
     .expect("ligand DFPT-y");

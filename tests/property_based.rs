@@ -283,3 +283,69 @@ proptest! {
         }
     }
 }
+
+// ---------------------------------------------------------------------------
+// GEMM-form Sternheimer vs the retained pair-loop oracle.
+//
+// `sternheimer_response` evaluates `P¹ = C·W·Cᵀ` through two Level-3
+// products; `sternheimer_response_pairwise` is the original O(n⁴) scalar
+// pair-loop. The two must agree to floating-point roundoff on arbitrary
+// spectra — including exactly degenerate levels (`f_p = f_q` pairs are
+// skipped by both) and near-degenerate pairs, where the weight
+// `(f_p − f_q)/(ε_p − ε_q)` approaches the bounded limit `df/dε`.
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn gemm_sternheimer_matches_pairwise_oracle(
+        // Each gap picks a regime by discriminant: exactly degenerate
+        // (0..3), near-degenerate (3..5), or well separated (5..10) —
+        // the shim has no `prop_oneof`, so weight the branches by hand.
+        raw_gaps in prop::collection::vec((0usize..10, 0.0f64..1.0), 3..11),
+        c_vals in prop::collection::vec(-1.0f64..1.0, 121),
+        h_vals in prop::collection::vec(-1.0f64..1.0, 121),
+        mu_frac in 0.1f64..0.9,
+        kt in 0.005f64..0.1,
+    ) {
+        let gaps: Vec<f64> = raw_gaps
+            .iter()
+            .map(|&(d, t)| match d {
+                0..=2 => 0.0,                      // exactly degenerate
+                3..=4 => 1e-9 + t * (1e-6 - 1e-9), // near-degenerate
+                _ => 0.01 + t * 0.99,              // well separated
+            })
+            .collect();
+        let nb = gaps.len() + 1;
+        let mut eps = vec![-1.0f64];
+        for g in &gaps {
+            eps.push(eps.last().unwrap() + g);
+        }
+        // Fermi–Dirac occupations: degenerate levels get exactly equal f,
+        // so the `f_p = f_q` skip fires identically in both forms.
+        let span = (eps[nb - 1] - eps[0]).max(1e-3);
+        let mu = eps[0] + mu_frac * span;
+        let occ: Vec<f64> = eps
+            .iter()
+            .map(|&e| 2.0 / (1.0 + ((e - mu) / kt).exp()))
+            .collect();
+        let c = DMatrix::from_fn(nb, nb, |i, j| c_vals[i * nb + j]);
+        let mut h1 = DMatrix::from_fn(nb, nb, |i, j| h_vals[i * nb + j]);
+        h1.symmetrize();
+
+        let gemm = qp_core::dfpt::sternheimer_response(&c, &eps, &occ, &h1);
+        let pair = qp_core::dfpt::sternheimer_response_pairwise(&c, &eps, &occ, &h1);
+
+        // Near-degenerate weights scale like 1/gap, so compare relative to
+        // the result's own magnitude.
+        let scale = pair.frobenius_norm().max(1.0);
+        let dev = gemm.max_abs_diff(&pair);
+        prop_assert!(
+            dev <= 1e-12 * scale,
+            "GEMM vs pairwise deviation {dev} at scale {scale} (nb = {nb})"
+        );
+
+        // Both forms produce a symmetric response for a symmetric H¹.
+        prop_assert!(gemm.max_abs_diff(&gemm.transpose()) <= 1e-11 * scale);
+    }
+}
