@@ -17,10 +17,22 @@
 //! aborts if the parallel leg would end up single-threaded. The JSON
 //! carries both rows plus the end-to-end speedup.
 //!
-//! `--guard` adds the phase-regression check: one ligand-49 DFPT
-//! direction, failing the process if the Sternheimer phase takes more
-//! than a generous multiple of Sumup — the signature of the O(n⁴)
-//! pair-loop accidentally replacing the GEMM-form response build.
+//! `--guard` adds three regression checks:
+//!
+//! 1. the phase check: one ligand-49 DFPT direction, failing the process
+//!    if the Sternheimer phase takes more than a generous multiple of
+//!    Sumup — the signature of the O(n⁴) pair-loop accidentally replacing
+//!    the GEMM-form response build (exit 3);
+//! 2. the end-to-end check: any case whose parallel leg is slower than
+//!    `serial × (1 + slack)` fails (exit 4). The slack comes from
+//!    `QP_BENCH_E2E_SLACK`, defaulting to 0.02 when the host has at least
+//!    as many cores as the parallel leg has threads and 0.25 when the leg
+//!    is oversubscribed (a 2-thread leg on a 1-core host *cannot* beat
+//!    serial; the guard then only catches pathological slowdowns);
+//! 3. the scheduling check: any case whose attributed
+//!    `scheduling_overhead_fraction` exceeds `QP_BENCH_SCHED_MAX`
+//!    (default 0.40) fails (exit 5) — the pool is burning more wall clock
+//!    on setup/queue/drain than the threshold allows.
 
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -30,9 +42,11 @@ use qp_chem::basis::BasisSettings;
 use qp_chem::grids::GridSettings;
 use qp_core::basis_cache::cache_counters;
 use qp_core::dfpt::{dfpt_direction, DfptOptions};
+use qp_core::profile::{attribute, Attribution};
 use qp_core::scf::{scf, ScfOptions};
 use qp_core::system::System;
 use qp_linalg::DMatrix;
+use qp_par::telemetry;
 use qp_trace::span::{set_enabled, take_events, Phase};
 
 struct CaseSpec {
@@ -49,6 +63,10 @@ struct PhaseSeconds {
     rho: f64,
     h: f64,
     sternheimer: f64,
+    /// DFPT wall time not covered by the four phase spans (mixing,
+    /// residual norms, span gaps) — explicit so the buckets sum to the
+    /// DFPT total instead of silently under-reporting.
+    other: f64,
 }
 
 struct CaseResult {
@@ -68,6 +86,7 @@ struct CaseResult {
     cache_hits: u64,
     cache_misses: u64,
     cache_evictions: u64,
+    attribution: Attribution,
 }
 
 /// Thread count for the parallel leg: `QP_THREADS` if set, else available
@@ -91,56 +110,20 @@ fn parallel_leg_threads() -> usize {
 
 /// The statistics-grade ligand grid shared with `tests/determinism_threads.rs`.
 fn ligand_system() -> System {
-    let mut gs = GridSettings::coarse();
-    gs.n_radial = 8;
-    gs.max_angular = 6;
-    gs.min_angular = 6;
-    System::build(
-        workloads::ligand().structure,
-        BasisSettings::Light,
-        &gs,
-        150,
-        2,
-    )
+    workloads::bench_ligand_system()
 }
 
 fn polymer_system() -> System {
-    let mut gs = GridSettings::coarse();
-    gs.n_radial = 8;
-    gs.max_angular = 6;
-    gs.min_angular = 6;
     // H(C2H4)4H: 26 atoms — big enough to spread over many grid batches.
-    System::build(
-        workloads::polymer(26).structure,
-        BasisSettings::Light,
-        &gs,
-        150,
-        2,
-    )
+    workloads::bench_polymer_system(26)
 }
 
 fn water_system() -> System {
-    let mut gs = GridSettings::light();
-    gs.n_radial = 16;
-    gs.max_angular = 14;
-    System::build(
-        qp_chem::structures::water(),
-        BasisSettings::Light,
-        &gs,
-        150,
-        2,
-    )
+    workloads::bench_water_system()
 }
 
 fn ligand_scf() -> ScfOptions {
-    ScfOptions {
-        max_iter: 80,
-        tol: 1e-6,
-        mixing: 0.1,
-        field: None,
-        smearing: Some(0.02),
-        pulay: Some(6),
-    }
+    workloads::bench_scf_options()
 }
 
 fn cases(quick: bool) -> Vec<CaseSpec> {
@@ -260,13 +243,18 @@ fn run_case(spec: &CaseSpec) -> CaseResult {
     let (h0, m0, e0) = cache_counters();
     set_enabled(true);
     let _ = take_events();
+    telemetry::set_enabled(true);
+    let _ = telemetry::take_records();
     let t = Instant::now();
     let (scf_s, scf_iterations, dfpt_s, alpha_diag) = run_once(spec, &sys);
     let parallel_total_s = t.elapsed().as_secs_f64();
     set_enabled(false);
+    telemetry::set_enabled(false);
     let events = take_events();
+    let records = telemetry::take_records();
     let (h1, m1, e1) = cache_counters();
 
+    let attribution = attribute(&records, parallel_total_s, parallel_threads);
     let phase_sum = |p: Phase| -> f64 {
         events
             .iter()
@@ -274,6 +262,10 @@ fn run_case(spec: &CaseSpec) -> CaseResult {
             .map(|ev| ev.dur_us / 1e6)
             .sum()
     };
+    let covered = phase_sum(Phase::Sumup)
+        + phase_sum(Phase::Rho)
+        + phase_sum(Phase::H)
+        + phase_sum(Phase::Sternheimer);
     CaseResult {
         name: spec.name,
         atoms: sys.structure.len(),
@@ -289,6 +281,7 @@ fn run_case(spec: &CaseSpec) -> CaseResult {
             rho: phase_sum(Phase::Rho),
             h: phase_sum(Phase::H),
             sternheimer: phase_sum(Phase::Sternheimer),
+            other: (dfpt_s - covered).max(0.0),
         },
         serial_total_s,
         parallel_total_s,
@@ -296,6 +289,97 @@ fn run_case(spec: &CaseSpec) -> CaseResult {
         cache_hits: h1 - h0,
         cache_misses: m1 - m0,
         cache_evictions: e1 - e0,
+        attribution,
+    }
+}
+
+/// Slack factor for the end-to-end guard: `parallel_total_s` may exceed
+/// `serial_total_s × (1 + slack)` before the guard trips. Oversubscribed
+/// hosts (fewer cores than parallel-leg threads) can never see speedup ≥ 1,
+/// so they get a loose default; override with `QP_BENCH_E2E_SLACK`.
+fn e2e_slack(parallel_threads: usize) -> f64 {
+    if let Some(s) = std::env::var("QP_BENCH_E2E_SLACK")
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+    {
+        return s;
+    }
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    if cores >= parallel_threads {
+        0.02
+    } else {
+        0.25
+    }
+}
+
+/// The `--guard` efficiency checks over the finished cases: the parallel
+/// leg must not be meaningfully slower than serial (exit 4), and the
+/// attributed scheduling overhead must stay under `QP_BENCH_SCHED_MAX`
+/// (default 0.40, exit 5). Cases whose serial reference is shorter than
+/// this floor skip the e2e check — at tens of milliseconds, timer noise
+/// exceeds any slack the guard could reasonably allow. The
+/// ratio-based scheduling-overhead check still applies to them.
+const E2E_MIN_SERIAL_S: f64 = 0.1;
+
+fn run_efficiency_guard(results: &[CaseResult]) {
+    let sched_max = std::env::var("QP_BENCH_SCHED_MAX")
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .unwrap_or(0.40);
+    for c in results {
+        let slack = e2e_slack(c.parallel_threads);
+        let limit = c.serial_total_s * (1.0 + slack);
+        println!(
+            "efficiency guard {}: parallel {:.3}s vs serial {:.3}s (limit {:.3}s), \
+             sched overhead {:.1}% (max {:.0}%), dominant {}",
+            c.name,
+            c.parallel_total_s,
+            c.serial_total_s,
+            limit,
+            100.0 * c.attribution.scheduling_overhead_fraction,
+            100.0 * sched_max,
+            c.attribution.dominant_cause,
+        );
+        if c.serial_total_s < E2E_MIN_SERIAL_S {
+            println!(
+                "efficiency guard {}: e2e check skipped (serial {:.3}s below \
+                 {:.1}s noise floor)",
+                c.name, c.serial_total_s, E2E_MIN_SERIAL_S,
+            );
+        } else if c.parallel_total_s > limit {
+            eprintln!(
+                "bench_perf: end-to-end regression on {} — the {}-thread leg took \
+                 {:.3}s against a {:.3}s serial reference (slack {:.0}%); attribution: \
+                 {:.1}% serial, {:.1}% scheduling overhead, {:.1}% imbalance, \
+                 {:.1}% useful",
+                c.name,
+                c.parallel_threads,
+                c.parallel_total_s,
+                c.serial_total_s,
+                100.0 * slack,
+                100.0 * c.attribution.serial_fraction,
+                100.0 * c.attribution.scheduling_overhead_fraction,
+                100.0 * c.attribution.imbalance_fraction,
+                100.0 * c.attribution.useful_parallel_fraction,
+            );
+            std::process::exit(4);
+        }
+        if c.attribution.scheduling_overhead_fraction > sched_max {
+            eprintln!(
+                "bench_perf: scheduling-overhead regression on {} — {:.1}% of the \
+                 parallel wall clock went to region setup/queue/drain (max {:.0}%); \
+                 setup {:.1}ms, queue-wait {:.1}ms over {} regions",
+                c.name,
+                100.0 * c.attribution.scheduling_overhead_fraction,
+                100.0 * sched_max,
+                c.attribution.setup_s * 1e3,
+                c.attribution.queue_wait_s * 1e3,
+                c.attribution.regions,
+            );
+            std::process::exit(5);
+        }
     }
 }
 
@@ -398,7 +482,7 @@ fn emit_json(path: &str, quick: bool, gemm: &GemmNumbers, cases: &[CaseResult]) 
         .max()
         .unwrap_or_else(parallel_leg_threads);
     let _ = writeln!(s, "{{");
-    let _ = writeln!(s, "  \"schema\": \"qp-bench-perf/v2\",");
+    let _ = writeln!(s, "  \"schema\": \"qp-bench-perf/v3\",");
     let _ = writeln!(s, "  \"quick\": {quick},");
     let _ = writeln!(s, "  \"pool_threads\": {threads},");
     let _ = writeln!(s, "  \"gemm\": {{");
@@ -464,8 +548,44 @@ fn emit_json(path: &str, quick: bool, gemm: &GemmNumbers, cases: &[CaseResult]) 
         let _ = writeln!(s, "        \"h\": {},", json_f(c.phases.h));
         let _ = writeln!(
             s,
-            "        \"sternheimer\": {}",
+            "        \"sternheimer\": {},",
             json_f(c.phases.sternheimer)
+        );
+        let _ = writeln!(s, "        \"other\": {}", json_f(c.phases.other));
+        let _ = writeln!(s, "      }},");
+        let a = &c.attribution;
+        let _ = writeln!(s, "      \"attribution\": {{");
+        let _ = writeln!(
+            s,
+            "        \"serial_fraction\": {},",
+            json_f(a.serial_fraction)
+        );
+        let _ = writeln!(
+            s,
+            "        \"scheduling_overhead_fraction\": {},",
+            json_f(a.scheduling_overhead_fraction)
+        );
+        let _ = writeln!(
+            s,
+            "        \"imbalance_fraction\": {},",
+            json_f(a.imbalance_fraction)
+        );
+        let _ = writeln!(
+            s,
+            "        \"useful_parallel_fraction\": {},",
+            json_f(a.useful_parallel_fraction)
+        );
+        let _ = writeln!(s, "        \"dominant_cause\": \"{}\",", a.dominant_cause);
+        let _ = writeln!(
+            s,
+            "        \"regions\": {}, \"inline_regions\": {}, \"nested_regions\": {},",
+            a.regions, a.inline_regions, a.nested_regions
+        );
+        let _ = writeln!(
+            s,
+            "        \"setup_s\": {}, \"queue_wait_s\": {}",
+            json_f(a.setup_s),
+            json_f(a.queue_wait_s)
         );
         let _ = writeln!(s, "      }},");
         let _ = writeln!(s, "      \"legs\": [");
@@ -538,6 +658,9 @@ fn main() {
     );
 
     let results: Vec<CaseResult> = cases(quick).iter().map(run_case).collect();
+    if guard {
+        run_efficiency_guard(&results);
+    }
     for c in &results {
         let lookups = c.cache_hits + c.cache_misses;
         println!(

@@ -1,0 +1,100 @@
+//! `profile_report`: the parallel-efficiency attribution report.
+//!
+//! Runs SCF + DFPT for one bench case twice — a 1-thread serial reference
+//! and an instrumented parallel leg — and explains where the parallel wall
+//! clock went: useful parallel work, scheduling overhead, load imbalance,
+//! and serial remainder (the four fractions sum to 1), plus per-phase span
+//! self-times with achieved GFLOP/s and arithmetic intensity.
+//!
+//! ```text
+//! cargo run --release -p qp-bench --bin profile_report -- \
+//!     [--case water|ligand49|polyethylene-n4] [--dirs N] [--out BASE]
+//! cargo run --release -p qp-bench --bin profile_report -- --validate FILE
+//! ```
+//!
+//! `--out BASE` writes `BASE.json` (the `qp-profile/v1` document) and
+//! `BASE.folded` (flamegraph-compatible collapsed stacks). `--validate`
+//! checks an existing report instead of running anything: well-formed JSON,
+//! all four fractions in `[0, 1]`, summing to 1 ± 0.02 — the CI smoke leg.
+
+use qp_bench::workloads;
+use qp_core::profile::{profile_case, validate_profile_json, ProfileOptions};
+use qp_core::system::System;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: profile_report [--case water|ligand49|polyethylene-n4] \
+         [--dirs N] [--threads N] [--out BASE]\n       profile_report --validate FILE"
+    );
+    std::process::exit(2)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let value = |flag: &str| -> Option<String> {
+        args.iter()
+            .position(|a| a == flag)
+            .map(|i| args.get(i + 1).cloned().unwrap_or_else(|| usage()))
+    };
+
+    if let Some(path) = value("--validate") {
+        let body = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            eprintln!("profile_report: {path}: {e}");
+            std::process::exit(2)
+        });
+        match validate_profile_json(&body) {
+            Ok(()) => {
+                println!("{path}: valid qp-profile/v1 report");
+                return;
+            }
+            Err(e) => {
+                eprintln!("profile_report: {path}: {e}");
+                std::process::exit(1)
+            }
+        }
+    }
+
+    let case = value("--case").unwrap_or_else(|| "ligand49".to_string());
+    let build: Box<dyn Fn() -> System> = match case.as_str() {
+        "water" => Box::new(workloads::bench_water_system),
+        "ligand49" => Box::new(workloads::bench_ligand_system),
+        "polyethylene-n4" => Box::new(|| workloads::bench_polymer_system(26)),
+        other => {
+            eprintln!("profile_report: unknown case '{other}'");
+            usage()
+        }
+    };
+
+    let n_dirs = value("--dirs")
+        .and_then(|s| s.parse::<usize>().ok())
+        .unwrap_or(if case == "water" { 1 } else { 3 })
+        .clamp(1, 3);
+    let mut opts = ProfileOptions {
+        dirs: (0..n_dirs).collect(),
+        scf: if case == "water" {
+            qp_core::ScfOptions::default()
+        } else {
+            workloads::bench_scf_options()
+        },
+        dfpt: workloads::bench_dfpt_options(),
+        ..ProfileOptions::new()
+    };
+    if let Some(t) = value("--threads").and_then(|s| s.parse::<usize>().ok()) {
+        opts.threads = t.max(2);
+    }
+
+    println!(
+        "profile_report: case {case}, {} direction(s), serial + {}-thread legs",
+        n_dirs, opts.threads
+    );
+    let report = profile_case(&case, build.as_ref(), &opts);
+    print!("{}", report.render_text());
+
+    if let Some(base) = value("--out") {
+        let json_path = format!("{base}.json");
+        let folded_path = format!("{base}.folded");
+        std::fs::write(&json_path, report.to_json()).expect("write profile JSON");
+        std::fs::write(&folded_path, &report.folded).expect("write collapsed stacks");
+        println!("wrote {json_path} and {folded_path}");
+    }
+}

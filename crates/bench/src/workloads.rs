@@ -83,6 +83,55 @@ pub fn ligand() -> Workload {
     }
 }
 
+/// The statistics-grade ligand-49 system shared by `bench_perf`,
+/// `profile_report` and `tests/determinism_threads.rs`.
+pub fn bench_ligand_system() -> qp_core::System {
+    let mut gs = GridSettings::coarse();
+    gs.n_radial = 8;
+    gs.max_angular = 6;
+    gs.min_angular = 6;
+    qp_core::System::build(ligand().structure, BasisSettings::Light, &gs, 150, 2)
+}
+
+/// A statistics-grade polyethylene chain at the given atom count (6n+2).
+pub fn bench_polymer_system(atoms: usize) -> qp_core::System {
+    let mut gs = GridSettings::coarse();
+    gs.n_radial = 8;
+    gs.max_angular = 6;
+    gs.min_angular = 6;
+    qp_core::System::build(polymer(atoms).structure, BasisSettings::Light, &gs, 150, 2)
+}
+
+/// The quick-mode water system (light grid, trimmed radial resolution).
+pub fn bench_water_system() -> qp_core::System {
+    let mut gs = qp_chem::grids::GridSettings::light();
+    gs.n_radial = 16;
+    gs.max_angular = 14;
+    qp_core::System::build(structures::water(), BasisSettings::Light, &gs, 150, 2)
+}
+
+/// The SCF settings every statistics-grade bench case converges with.
+pub fn bench_scf_options() -> qp_core::ScfOptions {
+    qp_core::ScfOptions {
+        max_iter: 80,
+        tol: 1e-6,
+        mixing: 0.1,
+        field: None,
+        smearing: Some(0.02),
+        pulay: Some(6),
+    }
+}
+
+/// The DFPT settings matching [`bench_scf_options`].
+pub fn bench_dfpt_options() -> qp_core::DfptOptions {
+    qp_core::DfptOptions {
+        max_iter: 80,
+        tol: 1e-5,
+        mixing: 0.15,
+        ..qp_core::DfptOptions::default()
+    }
+}
+
 /// Build the statistics grid + batches for a structure.
 pub fn stats_batches(structure: &Structure, max_batch: usize) -> (IntegrationGrid, Vec<Batch>) {
     let grid = IntegrationGrid::build(structure, &stats_grid_settings());

@@ -230,6 +230,9 @@ pub fn dfpt_direction_with(
     if dir_span.is_recording() {
         dir_span.arg("dir", dir).arg("basis", nb);
     }
+    // Work not covered by a finer phase_span (mixing, residual norms)
+    // lands in the "dfpt" bucket rather than "other".
+    let _label = qp_par::LabelGuard::set("dfpt");
     let dir_label = ["x", "y", "z"][dir.min(2)];
     let residual_gauge = qp_trace::global_metrics().gauge("dfpt.residual", &[("dir", dir_label)]);
 

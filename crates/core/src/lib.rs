@@ -32,6 +32,7 @@ pub mod kernels;
 pub mod mixing;
 pub mod operators;
 pub mod parallel;
+pub mod profile;
 pub mod properties;
 pub mod resil;
 pub mod scf;
@@ -39,14 +40,26 @@ pub mod system;
 
 pub use dfpt::{dfpt, DfptOptions, DfptResult};
 pub use mixing::DfptMixer;
+pub use profile::{profile_case, validate_profile_json, ProfileOptions, ProfileReport};
 pub use resil::{parallel_dfpt_direction_resilient, ResilienceConfig, ResilientDirectionResult};
 pub use scf::{scf, scf_resumable, ScfOptions, ScfResult, ScfState};
 pub use system::System;
 
 /// Open a host-track span for one of the pipeline phases on the calling
-/// rank's timeline (no-op unless tracing is enabled).
-pub(crate) fn phase_span(phase: qp_trace::Phase, name: &str) -> qp_trace::SpanGuard {
-    qp_trace::SpanGuard::begin(qp_trace::thread_rank(), phase, name)
+/// rank's timeline (no-op unless tracing is enabled), and label the thread
+/// so qp-par region records and qp-linalg roofline counters emitted while
+/// the guard lives are attributed to the same phase.
+pub(crate) fn phase_span(phase: qp_trace::Phase, name: &str) -> PhaseSpan {
+    PhaseSpan {
+        _span: qp_trace::SpanGuard::begin(qp_trace::thread_rank(), phase, name),
+        _label: qp_par::LabelGuard::set(phase.as_str()),
+    }
+}
+
+/// RAII pair tying a trace span to a qp-par phase label (see [`phase_span`]).
+pub(crate) struct PhaseSpan {
+    _span: qp_trace::SpanGuard,
+    _label: qp_par::LabelGuard,
 }
 
 /// Errors from the physics engine.

@@ -1,0 +1,762 @@
+//! Parallel-efficiency attribution: *why* a parallel run took as long as it
+//! did, not just how long.
+//!
+//! [`profile_case`] runs SCF + DFPT twice — a 1-thread serial reference and
+//! an instrumented parallel leg — and decomposes the parallel wall clock
+//! into four exhaustive, mutually exclusive buckets built from the qp-par
+//! [`RegionRecord`]s:
+//!
+//! * **useful parallel work** — mean per-thread busy time of each region
+//!   (`Σ busy / threads`): the part that actually scales;
+//! * **imbalance** — `max_busy − mean_busy` per region: threads idling at
+//!   region barriers while the slowest lane finishes;
+//! * **scheduling overhead** — `wall − max_busy` per region: enqueue/wakeup
+//!   latency, chunk-claim contention, drain; plus the raw `setup` and
+//!   `queue-wait` components reported alongside;
+//! * **serial remainder** — wall time outside any parallel region (including
+//!   regions that collapsed to inline execution).
+//!
+//! The four fractions sum to 1 by construction, so a report can *name* the
+//! dominant reason a case does not scale (for the tracked 0.91× ligand-49
+//! "speedup" on a 1-core host: scheduling overhead + imbalance from
+//! oversubscription, not a serial bottleneck). Per-phase rows pair span
+//! self-times with the qp-linalg roofline counters to show achieved GFLOP/s
+//! and arithmetic intensity where the flops actually run.
+
+use crate::dfpt::{dfpt_direction, DfptOptions};
+use crate::scf::{scf, ScfOptions};
+use crate::system::System;
+use qp_par::{RegionRecord, ThreadLease};
+use qp_trace::metrics::{MetricSample, MetricValue};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// What to run and how wide.
+pub struct ProfileOptions {
+    /// Parallel-leg thread count (the serial leg is always 1).
+    pub threads: usize,
+    /// Field directions to converge (e.g. `&[1]` for a quick case).
+    pub dirs: Vec<usize>,
+    /// Ground-state solver settings.
+    pub scf: ScfOptions,
+    /// Response solver settings.
+    pub dfpt: DfptOptions,
+}
+
+impl ProfileOptions {
+    /// Default profile: all three directions at the default thread count.
+    pub fn new() -> ProfileOptions {
+        ProfileOptions {
+            threads: default_profile_threads(),
+            dirs: vec![0, 1, 2],
+            scf: ScfOptions::default(),
+            dfpt: DfptOptions::default(),
+        }
+    }
+}
+
+impl Default for ProfileOptions {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Parallel-leg width: `QP_THREADS` if set, else available parallelism,
+/// clamped to ≥ 2 so the parallel machinery is actually exercised.
+pub fn default_profile_threads() -> usize {
+    std::env::var("QP_THREADS")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
+        .max(2)
+}
+
+/// One bar of the region grain-size histogram.
+#[derive(Debug, Clone)]
+pub struct GrainBucket {
+    /// Inclusive upper bound of the bucket (powers of two).
+    pub grain_le: usize,
+    /// Parallel (non-inline) regions whose grain fell in this bucket.
+    pub regions: usize,
+}
+
+/// The wall-clock decomposition of a parallel leg.
+#[derive(Debug, Clone)]
+pub struct Attribution {
+    /// Wall time outside any parallel region / total.
+    pub serial_fraction: f64,
+    /// Region setup + queue + drain latency / total.
+    pub scheduling_overhead_fraction: f64,
+    /// Barrier idling behind the slowest lane / total.
+    pub imbalance_fraction: f64,
+    /// Mean per-thread busy time / total.
+    pub useful_parallel_fraction: f64,
+    /// The largest non-useful bucket: `"serial-fraction"`,
+    /// `"scheduling-overhead"` or `"imbalance"`.
+    pub dominant_cause: &'static str,
+    /// Parallel (fanned-out, non-nested) regions.
+    pub regions: usize,
+    /// Regions that collapsed to inline execution.
+    pub inline_regions: usize,
+    /// Regions submitted from inside another region's chunk.
+    pub nested_regions: usize,
+    /// Total caller-side region setup, seconds.
+    pub setup_s: f64,
+    /// Total enqueue→first-claim latency, seconds.
+    pub queue_wait_s: f64,
+    /// Grain-size distribution of the parallel regions.
+    pub grain_histogram: Vec<GrainBucket>,
+}
+
+/// Decompose `parallel_total_s` of wall clock using the region records of
+/// the same run. Only top-level fanned-out regions participate: nested
+/// regions are part of their parent's busy time, and inline regions are
+/// serial time that never left the caller. The four fractions are
+/// normalized over their own sum, so they always total exactly 1; the
+/// denominator differs from `parallel_total_s` only by clock-skew clamps
+/// (components are individually clamped at ≥ 0).
+pub fn attribute(records: &[RegionRecord], parallel_total_s: f64, threads: usize) -> Attribution {
+    let threads = threads.max(1);
+    let mut region_wall_ns = 0u64;
+    let mut useful_ns = 0.0f64;
+    let mut imbalance_ns = 0.0f64;
+    let mut overhead_ns = 0.0f64;
+    let mut setup_ns = 0u64;
+    let mut queue_wait_ns = 0u64;
+    let mut regions = 0usize;
+    let mut inline_regions = 0usize;
+    let mut nested_regions = 0usize;
+    let mut grains: BTreeMap<usize, usize> = BTreeMap::new();
+
+    for r in records {
+        if r.nested {
+            nested_regions += 1;
+            continue;
+        }
+        if r.inline {
+            // Ran on the caller without fan-out: stays in the serial
+            // remainder (we don't subtract its wall below).
+            inline_regions += 1;
+            continue;
+        }
+        regions += 1;
+        region_wall_ns += r.wall_ns;
+        setup_ns += r.setup_ns;
+        queue_wait_ns += r.queue_wait_ns;
+        // Lanes that never claimed a chunk contribute 0 busy time but are
+        // still part of the mean: the region held `threads` lanes hostage.
+        let lanes = r.threads.max(1) as f64;
+        let mean = r.total_busy_ns() as f64 / lanes;
+        let max = r.max_busy_ns() as f64;
+        useful_ns += mean;
+        imbalance_ns += (max - mean).max(0.0);
+        overhead_ns += (r.wall_ns as f64 - max).max(0.0);
+        *grains
+            .entry(r.grain.max(1).next_power_of_two())
+            .or_insert(0) += 1;
+    }
+
+    let total_ns = parallel_total_s * 1e9;
+    let serial_ns = (total_ns - region_wall_ns as f64).max(0.0);
+    let denom = serial_ns + useful_ns + imbalance_ns + overhead_ns;
+    let denom = if denom > 0.0 { denom } else { 1.0 };
+
+    let serial_fraction = serial_ns / denom;
+    let scheduling_overhead_fraction = overhead_ns / denom;
+    let imbalance_fraction = imbalance_ns / denom;
+    let useful_parallel_fraction = useful_ns / denom;
+
+    let dominant_cause = if serial_fraction >= scheduling_overhead_fraction
+        && serial_fraction >= imbalance_fraction
+    {
+        "serial-fraction"
+    } else if scheduling_overhead_fraction >= imbalance_fraction {
+        "scheduling-overhead"
+    } else {
+        "imbalance"
+    };
+
+    let _ = threads; // width is carried by the records themselves
+    Attribution {
+        serial_fraction,
+        scheduling_overhead_fraction,
+        imbalance_fraction,
+        useful_parallel_fraction,
+        dominant_cause,
+        regions,
+        inline_regions,
+        nested_regions,
+        setup_s: setup_ns as f64 / 1e9,
+        queue_wait_s: queue_wait_ns as f64 / 1e9,
+        grain_histogram: grains
+            .into_iter()
+            .map(|(grain_le, regions)| GrainBucket { grain_le, regions })
+            .collect(),
+    }
+}
+
+/// One pipeline phase of the parallel leg: where the time went and what the
+/// flops achieved there.
+#[derive(Debug, Clone)]
+pub struct PhaseRow {
+    /// Phase tag (`"rho"`, `"sternheimer"`, ...).
+    pub phase: String,
+    /// Span **self** time: wall seconds exclusively inside this phase.
+    pub self_s: f64,
+    /// GEMM/matvec flops issued while a thread carried this label.
+    pub flops: u64,
+    /// Compulsory bytes of those calls.
+    pub bytes: u64,
+    /// Achieved flops / self time.
+    pub gflops: f64,
+    /// flops / bytes, the roofline x-coordinate.
+    pub intensity: f64,
+}
+
+/// A complete profile of one case.
+#[derive(Debug, Clone)]
+pub struct ProfileReport {
+    /// Case name.
+    pub case: String,
+    /// Parallel-leg thread count.
+    pub threads: usize,
+    /// Atoms in the structure.
+    pub atoms: usize,
+    /// Basis functions.
+    pub basis: usize,
+    /// 1-thread reference wall, seconds.
+    pub serial_total_s: f64,
+    /// Parallel-leg wall, seconds.
+    pub parallel_total_s: f64,
+    /// SCF wall within the parallel leg, seconds.
+    pub scf_s: f64,
+    /// DFPT wall within the parallel leg, seconds.
+    pub dfpt_s: f64,
+    /// The four-way wall-clock decomposition.
+    pub attribution: Attribution,
+    /// Per-phase self time + roofline, sorted by descending self time.
+    pub phases: Vec<PhaseRow>,
+    /// Flamegraph-compatible collapsed stacks of the parallel leg.
+    pub folded: String,
+}
+
+impl ProfileReport {
+    /// End-to-end speedup of the parallel leg over the serial reference.
+    pub fn speedup(&self) -> f64 {
+        self.serial_total_s / self.parallel_total_s
+    }
+
+    /// The report as `qp-profile/v1` JSON.
+    pub fn to_json(&self) -> String {
+        fn f(v: f64) -> String {
+            if v.is_finite() {
+                format!("{v:.6}")
+            } else {
+                "null".to_string()
+            }
+        }
+        let a = &self.attribution;
+        let mut s = String::new();
+        let _ = writeln!(s, "{{");
+        let _ = writeln!(s, "  \"schema\": \"qp-profile/v1\",");
+        let _ = writeln!(s, "  \"case\": \"{}\",", self.case);
+        let _ = writeln!(s, "  \"threads\": {},", self.threads);
+        let _ = writeln!(s, "  \"atoms\": {}, \"basis\": {},", self.atoms, self.basis);
+        let _ = writeln!(
+            s,
+            "  \"serial_total_s\": {}, \"parallel_total_s\": {}, \"e2e_speedup\": {},",
+            f(self.serial_total_s),
+            f(self.parallel_total_s),
+            f(self.speedup())
+        );
+        let _ = writeln!(
+            s,
+            "  \"scf_s\": {}, \"dfpt_s\": {},",
+            f(self.scf_s),
+            f(self.dfpt_s)
+        );
+        let _ = writeln!(s, "  \"attribution\": {{");
+        let _ = writeln!(s, "    \"serial_fraction\": {},", f(a.serial_fraction));
+        let _ = writeln!(
+            s,
+            "    \"scheduling_overhead_fraction\": {},",
+            f(a.scheduling_overhead_fraction)
+        );
+        let _ = writeln!(
+            s,
+            "    \"imbalance_fraction\": {},",
+            f(a.imbalance_fraction)
+        );
+        let _ = writeln!(
+            s,
+            "    \"useful_parallel_fraction\": {},",
+            f(a.useful_parallel_fraction)
+        );
+        let _ = writeln!(s, "    \"dominant_cause\": \"{}\",", a.dominant_cause);
+        let _ = writeln!(
+            s,
+            "    \"regions\": {}, \"inline_regions\": {}, \"nested_regions\": {},",
+            a.regions, a.inline_regions, a.nested_regions
+        );
+        let _ = writeln!(
+            s,
+            "    \"setup_s\": {}, \"queue_wait_s\": {},",
+            f(a.setup_s),
+            f(a.queue_wait_s)
+        );
+        let _ = writeln!(s, "    \"grain_histogram\": [");
+        for (i, b) in a.grain_histogram.iter().enumerate() {
+            let _ = writeln!(
+                s,
+                "      {{ \"grain_le\": {}, \"regions\": {} }}{}",
+                b.grain_le,
+                b.regions,
+                if i + 1 < a.grain_histogram.len() {
+                    ","
+                } else {
+                    ""
+                }
+            );
+        }
+        let _ = writeln!(s, "    ]");
+        let _ = writeln!(s, "  }},");
+        let _ = writeln!(s, "  \"phases\": [");
+        for (i, p) in self.phases.iter().enumerate() {
+            let _ = writeln!(
+                s,
+                "    {{ \"phase\": \"{}\", \"self_s\": {}, \"flops\": {}, \"bytes\": {}, \
+                 \"gflops\": {}, \"arithmetic_intensity\": {} }}{}",
+                p.phase,
+                f(p.self_s),
+                p.flops,
+                p.bytes,
+                f(p.gflops),
+                f(p.intensity),
+                if i + 1 < self.phases.len() { "," } else { "" }
+            );
+        }
+        let _ = writeln!(s, "  ]");
+        let _ = writeln!(s, "}}");
+        s
+    }
+
+    /// Human-readable decomposition, one screen.
+    pub fn render_text(&self) -> String {
+        let a = &self.attribution;
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "profile {}: {} atoms, {} basis fns, {} threads",
+            self.case, self.atoms, self.basis, self.threads
+        );
+        let _ = writeln!(
+            s,
+            "  serial {:.3}s  parallel {:.3}s  speedup {:.2}x  (scf {:.3}s, dfpt {:.3}s)",
+            self.serial_total_s,
+            self.parallel_total_s,
+            self.speedup(),
+            self.scf_s,
+            self.dfpt_s
+        );
+        let _ = writeln!(s, "  parallel wall decomposes as:");
+        let bar = |frac: f64| "#".repeat((frac * 40.0).round() as usize);
+        let _ = writeln!(
+            s,
+            "    useful parallel work  {:6.1}%  {}",
+            100.0 * a.useful_parallel_fraction,
+            bar(a.useful_parallel_fraction)
+        );
+        let _ = writeln!(
+            s,
+            "    serial remainder      {:6.1}%  {}",
+            100.0 * a.serial_fraction,
+            bar(a.serial_fraction)
+        );
+        let _ = writeln!(
+            s,
+            "    scheduling overhead   {:6.1}%  {}",
+            100.0 * a.scheduling_overhead_fraction,
+            bar(a.scheduling_overhead_fraction)
+        );
+        let _ = writeln!(
+            s,
+            "    load imbalance        {:6.1}%  {}",
+            100.0 * a.imbalance_fraction,
+            bar(a.imbalance_fraction)
+        );
+        let _ = writeln!(
+            s,
+            "  dominant non-useful bucket: {}  ({} regions, {} inline, {} nested; \
+             setup {:.1}ms, queue-wait {:.1}ms)",
+            a.dominant_cause,
+            a.regions,
+            a.inline_regions,
+            a.nested_regions,
+            a.setup_s * 1e3,
+            a.queue_wait_s * 1e3
+        );
+        if !a.grain_histogram.is_empty() {
+            let hist: Vec<String> = a
+                .grain_histogram
+                .iter()
+                .map(|b| format!("≤{}:{}", b.grain_le, b.regions))
+                .collect();
+            let _ = writeln!(s, "  region grains: {}", hist.join("  "));
+        }
+        let _ = writeln!(s, "  phase breakdown (span self-time + roofline):");
+        for p in &self.phases {
+            if p.flops > 0 {
+                let _ = writeln!(
+                    s,
+                    "    {:<12} {:8.3}s   {:8.2} GFLOP/s   {:6.2} flop/byte",
+                    p.phase, p.self_s, p.gflops, p.intensity
+                );
+            } else {
+                let _ = writeln!(s, "    {:<12} {:8.3}s", p.phase, p.self_s);
+            }
+        }
+        s
+    }
+}
+
+/// Counter reading for `name{phase=...}` from a snapshot, per phase label.
+fn counter_by_phase(snap: &[MetricSample], name: &str) -> BTreeMap<String, u64> {
+    let mut out = BTreeMap::new();
+    for s in snap {
+        if s.key.name != name {
+            continue;
+        }
+        if let MetricValue::Counter(v) = s.value {
+            let phase = s
+                .key
+                .labels
+                .iter()
+                .find(|(k, _)| k == "phase")
+                .map(|(_, v)| v.clone())
+                .unwrap_or_else(|| "other".to_string());
+            *out.entry(phase).or_insert(0) += v;
+        }
+    }
+    out
+}
+
+/// Run SCF + the requested DFPT directions; returns (scf_s, dfpt_s).
+fn run_pipeline(sys: &System, opts: &ProfileOptions) -> (f64, f64) {
+    let t0 = Instant::now();
+    let ground = scf(sys, &opts.scf).expect("profile SCF must converge");
+    let scf_s = t0.elapsed().as_secs_f64();
+    let t1 = Instant::now();
+    for &dir in &opts.dirs {
+        if let Err(e) = dfpt_direction(sys, &ground, dir, &opts.dfpt) {
+            eprintln!("profile: dfpt direction {dir}: {e}");
+        }
+    }
+    (scf_s, t1.elapsed().as_secs_f64())
+}
+
+/// Profile one case end to end: serial reference leg, then an instrumented
+/// parallel leg whose wall clock is decomposed by [`attribute`]. `build` is
+/// called once per leg so each starts with a cold basis cache, matching how
+/// `bench_perf` measures its legs.
+pub fn profile_case(
+    name: &str,
+    build: &dyn Fn() -> System,
+    opts: &ProfileOptions,
+) -> ProfileReport {
+    // ---- Serial reference: everything off, 1 thread. ----
+    let serial_total_s = {
+        let _lease = ThreadLease::exactly(1);
+        let sys = build();
+        let t = Instant::now();
+        run_pipeline(&sys, opts);
+        t.elapsed().as_secs_f64()
+    };
+
+    // ---- Instrumented parallel leg. ----
+    let _lease = ThreadLease::exactly(opts.threads);
+    let sys = build();
+    let atoms = sys.structure.len();
+    let basis = sys.n_basis();
+
+    let snap_before = qp_trace::global_metrics().snapshot();
+    qp_trace::set_enabled(true);
+    let _ = qp_trace::span::take_events();
+    qp_par::telemetry::set_enabled(true);
+    let _ = qp_par::telemetry::take_records();
+
+    let t = Instant::now();
+    let (scf_s, dfpt_s) = run_pipeline(&sys, opts);
+    let parallel_total_s = t.elapsed().as_secs_f64();
+
+    qp_par::telemetry::set_enabled(false);
+    qp_trace::set_enabled(false);
+    let records = qp_par::telemetry::take_records();
+    let events = qp_trace::span::take_events();
+    let snap_after = qp_trace::global_metrics().snapshot();
+
+    let attribution = attribute(&records, parallel_total_s, opts.threads);
+
+    // Per-phase rows: span self-time + roofline counter deltas.
+    let forest = qp_trace::build_forest(&events);
+    let self_us = qp_trace::self_time_by_phase(&forest);
+    let flops_before = counter_by_phase(&snap_before, "linalg.gemm.flops");
+    let flops_after = counter_by_phase(&snap_after, "linalg.gemm.flops");
+    let bytes_before = counter_by_phase(&snap_before, "linalg.gemm.bytes");
+    let bytes_after = counter_by_phase(&snap_after, "linalg.gemm.bytes");
+
+    let mut phase_names: Vec<String> = self_us.keys().map(|k| k.to_string()).collect();
+    for k in flops_after.keys() {
+        if !phase_names.contains(k) {
+            phase_names.push(k.clone());
+        }
+    }
+    let mut phases: Vec<PhaseRow> = phase_names
+        .into_iter()
+        .map(|phase| {
+            let self_s = self_us.get(phase.as_str()).copied().unwrap_or(0.0) / 1e6;
+            let delta = |after: &BTreeMap<String, u64>, before: &BTreeMap<String, u64>| {
+                after.get(&phase).copied().unwrap_or(0) - before.get(&phase).copied().unwrap_or(0)
+            };
+            let flops = delta(&flops_after, &flops_before);
+            let bytes = delta(&bytes_after, &bytes_before);
+            PhaseRow {
+                gflops: if self_s > 0.0 {
+                    flops as f64 / self_s / 1e9
+                } else {
+                    0.0
+                },
+                intensity: if bytes > 0 {
+                    flops as f64 / bytes as f64
+                } else {
+                    0.0
+                },
+                phase,
+                self_s,
+                flops,
+                bytes,
+            }
+        })
+        .collect();
+    phases.sort_by(|a, b| b.self_s.total_cmp(&a.self_s));
+
+    ProfileReport {
+        case: name.to_string(),
+        threads: opts.threads,
+        atoms,
+        basis,
+        serial_total_s,
+        parallel_total_s,
+        scf_s,
+        dfpt_s,
+        attribution,
+        phases,
+        folded: qp_trace::collapsed_stacks(&events),
+    }
+}
+
+/// Validate a `qp-profile/v1` JSON document: well-formed JSON, all four
+/// fractions present, each in `[0, 1]`, summing to 1 within ±0.02.
+pub fn validate_profile_json(body: &str) -> std::result::Result<(), String> {
+    qp_trace::validate_json(body).map_err(|e| format!("malformed JSON: {e}"))?;
+    if !body.contains("\"schema\": \"qp-profile/v1\"") {
+        return Err("missing qp-profile/v1 schema marker".to_string());
+    }
+    let field = |name: &str| -> std::result::Result<f64, String> {
+        let pat = format!("\"{name}\": ");
+        let at = body
+            .find(&pat)
+            .ok_or_else(|| format!("missing field {name}"))?;
+        let rest = &body[at + pat.len()..];
+        let end = rest
+            .find([',', '\n', '}'])
+            .ok_or_else(|| format!("unterminated field {name}"))?;
+        rest[..end]
+            .trim()
+            .parse::<f64>()
+            .map_err(|e| format!("field {name}: {e}"))
+    };
+    let names = [
+        "serial_fraction",
+        "scheduling_overhead_fraction",
+        "imbalance_fraction",
+        "useful_parallel_fraction",
+    ];
+    let mut sum = 0.0;
+    for name in names {
+        let v = field(name)?;
+        if !(0.0..=1.0).contains(&v) {
+            return Err(format!("{name} = {v} outside [0, 1]"));
+        }
+        sum += v;
+    }
+    if (sum - 1.0).abs() > 0.02 {
+        return Err(format!("fractions sum to {sum}, expected 1 ± 0.02"));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qp_par::LaneStats;
+
+    fn rec(
+        label: &'static str,
+        wall_ns: u64,
+        lanes: Vec<(u64, u64, u32)>,
+        inline: bool,
+        nested: bool,
+    ) -> RegionRecord {
+        let n_chunks = lanes.iter().map(|l| l.2 as usize).sum::<usize>().max(1);
+        RegionRecord {
+            label,
+            n_items: 100,
+            grain: 25,
+            n_chunks,
+            threads: 2,
+            inline,
+            nested,
+            setup_ns: 1_000,
+            queue_wait_ns: 500,
+            wall_ns,
+            lanes: lanes
+                .into_iter()
+                .map(|(lane, busy_ns, chunks)| LaneStats {
+                    lane,
+                    busy_ns,
+                    chunks,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn attribute_decomposes_exhaustively() {
+        // One region: wall 100µs, lanes 60µs + 20µs on 2 threads.
+        // mean = 40µs (useful), imbalance = 20µs, overhead = 40µs; the
+        // remaining 100µs of the 200µs total is serial.
+        let records = vec![rec(
+            "rho",
+            100_000,
+            vec![(0, 60_000, 2), (1, 20_000, 2)],
+            false,
+            false,
+        )];
+        let a = attribute(&records, 200e-6, 2);
+        assert!((a.useful_parallel_fraction - 0.2).abs() < 1e-9);
+        assert!((a.imbalance_fraction - 0.1).abs() < 1e-9);
+        assert!((a.scheduling_overhead_fraction - 0.2).abs() < 1e-9);
+        assert!((a.serial_fraction - 0.5).abs() < 1e-9);
+        let sum = a.serial_fraction
+            + a.scheduling_overhead_fraction
+            + a.imbalance_fraction
+            + a.useful_parallel_fraction;
+        assert!((sum - 1.0).abs() < 1e-12, "fractions must sum to 1");
+        assert_eq!(a.dominant_cause, "serial-fraction");
+        assert_eq!(a.regions, 1);
+        assert!((a.setup_s - 1e-6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn attribute_skips_inline_and_nested() {
+        let records = vec![
+            rec(
+                "rho",
+                50_000,
+                vec![(0, 25_000, 2), (1, 25_000, 2)],
+                false,
+                false,
+            ),
+            rec("sumup", 10_000, vec![(0, 10_000, 1)], true, false),
+            rec("rho", 5_000, vec![(1, 5_000, 1)], false, true),
+        ];
+        let a = attribute(&records, 100e-6, 2);
+        assert_eq!(a.regions, 1);
+        assert_eq!(a.inline_regions, 1);
+        assert_eq!(a.nested_regions, 1);
+        // Inline + nested walls stay in the serial remainder.
+        assert!((a.serial_fraction - 0.5).abs() < 1e-9);
+        assert!((a.useful_parallel_fraction - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn attribute_perfect_balance_has_no_imbalance() {
+        let records = vec![rec(
+            "h",
+            100_000,
+            vec![(0, 100_000, 2), (1, 100_000, 2)],
+            false,
+            false,
+        )];
+        let a = attribute(&records, 100e-6, 2);
+        assert!(a.imbalance_fraction.abs() < 1e-9);
+        assert!(a.scheduling_overhead_fraction.abs() < 1e-9);
+        assert!((a.useful_parallel_fraction - 1.0).abs() < 1e-9);
+        assert_eq!(a.dominant_cause, "serial-fraction"); // all zero: first wins
+    }
+
+    #[test]
+    fn attribute_empty_records_is_all_serial() {
+        let a = attribute(&[], 1.0, 4);
+        assert!((a.serial_fraction - 1.0).abs() < 1e-12);
+        assert_eq!(a.dominant_cause, "serial-fraction");
+        assert!(a.grain_histogram.is_empty());
+    }
+
+    #[test]
+    fn report_json_roundtrips_validation() {
+        let records = vec![rec(
+            "rho",
+            100_000,
+            vec![(0, 60_000, 2), (1, 20_000, 2)],
+            false,
+            false,
+        )];
+        let report = ProfileReport {
+            case: "synthetic".to_string(),
+            threads: 2,
+            atoms: 3,
+            basis: 13,
+            serial_total_s: 0.0002,
+            parallel_total_s: 0.0002,
+            scf_s: 0.0001,
+            dfpt_s: 0.0001,
+            attribution: attribute(&records, 200e-6, 2),
+            phases: vec![PhaseRow {
+                phase: "rho".to_string(),
+                self_s: 0.0001,
+                flops: 2_000_000,
+                bytes: 160_000,
+                gflops: 20.0,
+                intensity: 12.5,
+            }],
+            folded: "scf 100\n".to_string(),
+        };
+        let json = report.to_json();
+        validate_profile_json(&json).expect("synthetic report must validate");
+        assert!(report.render_text().contains("dominant non-useful bucket"));
+    }
+
+    #[test]
+    fn validation_rejects_bad_fractions() {
+        let good = "{\n  \"schema\": \"qp-profile/v1\",\n  \"serial_fraction\": 0.5,\n  \
+                    \"scheduling_overhead_fraction\": 0.3,\n  \"imbalance_fraction\": 0.1,\n  \
+                    \"useful_parallel_fraction\": 0.1\n}\n";
+        validate_profile_json(good).expect("balanced fractions validate");
+        let bad_sum = good.replace("0.5", "0.9");
+        assert!(validate_profile_json(&bad_sum).is_err());
+        let out_of_range = good
+            .replace("\"serial_fraction\": 0.5", "\"serial_fraction\": 1.5")
+            .replace(
+                "\"scheduling_overhead_fraction\": 0.3",
+                "\"scheduling_overhead_fraction\": -0.7",
+            );
+        assert!(validate_profile_json(&out_of_range).is_err());
+        assert!(validate_profile_json("{}").is_err());
+    }
+}

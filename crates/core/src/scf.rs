@@ -119,6 +119,9 @@ pub fn scf_resumable(
 ) -> Result<ScfResult> {
     let mut scf_span =
         qp_trace::SpanGuard::begin(qp_trace::thread_rank(), qp_trace::Phase::Scf, "scf");
+    // Regions and GEMMs launched anywhere in the SCF loop default to the
+    // "scf" phase bucket unless a finer phase_span overrides it.
+    let _label = qp_par::LabelGuard::set("scf");
     if scf_span.is_recording() {
         scf_span
             .arg("atoms", system.structure.len())

@@ -36,6 +36,7 @@ struct Args {
     scf: ScfOptions,
     dfpt_opts: DfptOptions,
     skip_dfpt: bool,
+    profile: Option<String>,
     trace: Option<String>,
     metrics: Option<String>,
     ranks: Option<usize>,
@@ -63,6 +64,10 @@ options:
   --dfpt-tol <x>           DFPT tolerance             (default 1e-7)
   --dfpt-mixing <x>        DFPT mixing                (default 0.6)
   --no-dfpt                stop after the ground state
+  --profile <base>         parallel-efficiency profile: run a 1-thread
+                           reference plus an instrumented parallel leg,
+                           print the wall-clock decomposition and write
+                           <base>.json + <base>.folded (flamegraph stacks)
   --trace <out.json>       write a Chrome trace-event timeline on exit
   --metrics <out.json|csv> write the metrics registry snapshot on exit
 
@@ -96,6 +101,7 @@ fn parse_args() -> Args {
         scf: ScfOptions::default(),
         dfpt_opts: DfptOptions::default(),
         skip_dfpt: false,
+        profile: None,
         trace: None,
         metrics: None,
         ranks: None,
@@ -151,6 +157,7 @@ fn parse_args() -> Args {
                 args.dfpt_opts.mixing = value("--dfpt-mixing").parse().unwrap_or_else(|_| usage())
             }
             "--no-dfpt" => args.skip_dfpt = true,
+            "--profile" => args.profile = Some(value("--profile")),
             "--trace" => args.trace = Some(value("--trace")),
             "--metrics" => args.metrics = Some(value("--metrics")),
             "--ranks" => args.ranks = Some(value("--ranks").parse().unwrap_or_else(|_| usage())),
@@ -239,6 +246,9 @@ fn run(args: &Args) -> ExitCode {
         structure.len(),
         structure.num_electrons()
     );
+    if let Some(base) = &args.profile {
+        return run_profile(args, structure, base);
+    }
     let t0 = std::time::Instant::now();
     let system = System::build(structure, args.basis, &args.grid, 200, 4);
     qp_info!(
@@ -378,6 +388,51 @@ fn run(args: &Args) -> ExitCode {
         properties::isotropic_polarizability(&alpha),
         properties::polarizability_anisotropy(&alpha)
     );
+    ExitCode::SUCCESS
+}
+
+/// `--profile <base>`: run the parallel-efficiency profiler on the loaded
+/// structure and write `<base>.json` (qp-profile/v1 attribution report) and
+/// `<base>.folded` (flamegraph-compatible collapsed stacks).
+fn run_profile(args: &Args, structure: qp_chem::geometry::Structure, base: &str) -> ExitCode {
+    let opts = qp_core::ProfileOptions {
+        dirs: if args.skip_dfpt {
+            Vec::new()
+        } else {
+            vec![0, 1, 2]
+        },
+        scf: args.scf,
+        dfpt: args.dfpt_opts,
+        ..qp_core::ProfileOptions::new()
+    };
+    let name = args
+        .builtin
+        .clone()
+        .or_else(|| args.input.clone())
+        .unwrap_or_else(|| "case".to_string());
+    qp_info!(
+        "profiling '{name}': serial reference + {}-thread instrumented leg",
+        opts.threads
+    );
+    let basis = args.basis;
+    let grid = args.grid;
+    let report = qp_core::profile_case(
+        &name,
+        &move || System::build(structure.clone(), basis, &grid, 200, 4),
+        &opts,
+    );
+    print!("{}", report.render_text());
+    let json_path = format!("{base}.json");
+    let folded_path = format!("{base}.folded");
+    if let Err(e) = std::fs::write(&json_path, report.to_json()) {
+        qp_error!("failed to write {json_path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    if let Err(e) = std::fs::write(&folded_path, &report.folded) {
+        qp_error!("failed to write {folded_path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    qp_info!("profile written to {json_path} and {folded_path}");
     ExitCode::SUCCESS
 }
 

@@ -207,6 +207,8 @@ impl DMatrix {
                 dims: vec![self.rows, self.cols, x.len()],
             });
         }
+        // A matvec is a degenerate GEMM (n = 1); same roofline books.
+        crate::gemm::record_roofline(self.rows, 1, self.cols);
         Ok((0..self.rows)
             .into_par_iter()
             .map(|i| {

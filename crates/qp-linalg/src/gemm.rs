@@ -146,6 +146,7 @@ pub fn gemm(m: usize, n: usize, k: usize, a: &[f64], b: &[f64], c: &mut [f64], p
     if m == 0 || n == 0 || k == 0 {
         return;
     }
+    record_roofline(m, n, k);
     let n_row_blocks = m.div_ceil(MC);
     let mut bp = Vec::new();
     for jc in (0..n).step_by(NC) {
@@ -167,6 +168,27 @@ pub fn gemm(m: usize, n: usize, k: usize, a: &[f64], b: &[f64], c: &mut [f64], p
             }
         }
     }
+}
+
+/// Roofline accounting: count this GEMM's flops and compulsory traffic
+/// against the submitting thread's phase label, so the profiler can report
+/// achieved GFLOP/s and arithmetic intensity per pipeline phase. The flop
+/// count is the algebraic `2mnk`; bytes are the compulsory reads/writes
+/// (`A + B` read, `C` read-modify-written), i.e. an upper bound on
+/// intensity, not measured cache traffic. Gated on the trace recorder:
+/// one relaxed load when profiling is off.
+pub(crate) fn record_roofline(m: usize, n: usize, k: usize) {
+    if !qp_trace::enabled() {
+        return;
+    }
+    let phase = qp_par::telemetry::current_label();
+    let labels: &[(&str, &str)] = &[("phase", phase)];
+    let reg = qp_trace::global_metrics();
+    reg.counter("linalg.gemm.flops", labels)
+        .add(2 * (m as u64) * (n as u64) * (k as u64));
+    reg.counter("linalg.gemm.bytes", labels)
+        .add(8 * ((m * k) as u64 + (k * n) as u64 + 2 * (m * n) as u64));
+    reg.counter("linalg.gemm.calls", labels).inc();
 }
 
 #[cfg(test)]

@@ -30,8 +30,10 @@
 //! the limit park; missing workers spawn on demand).
 
 pub mod pool;
+pub mod telemetry;
 
 pub use pool::{active_threads, for_each_index, join, set_active_threads, ThreadLease};
+pub use telemetry::{LabelGuard, LaneStats, RegionRecord};
 
 use std::mem::{ManuallyDrop, MaybeUninit};
 

@@ -6,11 +6,13 @@
 //! region finishes even with zero free workers; workers pick regions off a
 //! FIFO queue and help until each region is drained.
 
+use crate::telemetry::{self, LaneStats, RegionRecord};
 use parking_lot::{Condvar, Mutex};
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock};
+use std::time::Instant;
 
 /// Chunks a region is split into, per active thread. More chunks = better
 /// load balance, more scheduling traffic. 4 is the classic guided-lite
@@ -25,6 +27,46 @@ struct RawJob(*const (dyn Fn(usize, usize) + Sync));
 unsafe impl Send for RawJob {}
 unsafe impl Sync for RawJob {}
 
+/// Telemetry side-car for one region: set only while
+/// [`telemetry::enabled`] at submission time, `None` otherwise (the
+/// disabled hot path pays one `Option` branch per chunk).
+struct RegionStats {
+    /// Taken just before the region is enqueued.
+    enqueued: Instant,
+    /// Ns from enqueue to the first chunk claim (`u64::MAX` until then).
+    first_claim_ns: AtomicU64,
+    /// Per-lane busy/chunk tallies, updated per chunk *before* the chunk is
+    /// counted in `done`, so the submitter's final record sees every lane.
+    lanes: Mutex<Vec<LaneStats>>,
+}
+
+impl RegionStats {
+    fn new() -> RegionStats {
+        RegionStats {
+            enqueued: Instant::now(),
+            first_claim_ns: AtomicU64::new(u64::MAX),
+            lanes: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Credit `busy_ns` and one chunk to the calling thread's lane.
+    fn credit(&self, busy_ns: u64) {
+        let lane = telemetry::lane_id();
+        let mut lanes = self.lanes.lock();
+        match lanes.iter_mut().find(|l| l.lane == lane) {
+            Some(l) => {
+                l.busy_ns += busy_ns;
+                l.chunks += 1;
+            }
+            None => lanes.push(LaneStats {
+                lane,
+                busy_ns,
+                chunks: 1,
+            }),
+        }
+    }
+}
+
 /// One in-flight parallel region.
 struct Region {
     job: RawJob,
@@ -38,11 +80,17 @@ struct Region {
     done: AtomicUsize,
     /// Submitter's qp-trace rank, propagated to workers.
     rank: usize,
+    /// Submitter's phase label at submission, propagated to chunk
+    /// executors while telemetry records — so work done (and roofline
+    /// counters emitted) inside worker chunks lands in the right phase.
+    label: &'static str,
     /// Set on first panic: remaining chunks are skipped (still counted).
     cancelled: AtomicBool,
     panic: Mutex<Option<PanicPayload>>,
     finished: Mutex<bool>,
     finished_cv: Condvar,
+    /// Telemetry side-car (`None` when recording is off).
+    stats: Option<RegionStats>,
 }
 
 impl Region {
@@ -54,18 +102,35 @@ impl Region {
             if c >= self.n_chunks {
                 return;
             }
+            if let Some(st) = &self.stats {
+                if c == 0 {
+                    st.first_claim_ns
+                        .store(st.enqueued.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                }
+            }
             if !self.cancelled.load(Ordering::Acquire) {
                 let start = c * self.chunk;
                 let end = (start + self.chunk).min(self.n_items);
                 // SAFETY: run_region keeps the closure alive until every
                 // chunk is accounted for in `done`.
                 let job = unsafe { &*self.job.0 };
-                if let Err(p) = catch_unwind(AssertUnwindSafe(|| job(start, end))) {
+                let t0 = self.stats.as_ref().map(|_| Instant::now());
+                if let Err(p) = catch_unwind(AssertUnwindSafe(|| {
+                    let _depth = self.stats.as_ref().map(|_| telemetry::enter_chunk());
+                    let _label = self
+                        .stats
+                        .as_ref()
+                        .map(|_| telemetry::LabelGuard::set(self.label));
+                    job(start, end)
+                })) {
                     self.cancelled.store(true, Ordering::Release);
                     let mut slot = self.panic.lock();
                     if slot.is_none() {
                         *slot = Some(p);
                     }
+                }
+                if let (Some(t0), Some(st)) = (t0, &self.stats) {
+                    st.credit(t0.elapsed().as_nanos() as u64);
                 }
             }
             // AcqRel: releases this chunk's output writes to whoever sees
@@ -214,17 +279,25 @@ pub fn run_region(n_items: usize, job: &(dyn Fn(usize, usize) + Sync)) {
     if n_items == 0 {
         return;
     }
+    let recording = telemetry::enabled();
     let threads = active_threads();
     if threads <= 1 || n_items == 1 {
-        job(0, n_items);
+        run_inline(n_items, n_items, 1, threads, recording, job);
         return;
     }
     let chunk = n_items.div_ceil(threads * CHUNKS_PER_THREAD).max(1);
     let n_chunks = n_items.div_ceil(chunk);
     if n_chunks <= 1 {
-        job(0, n_items);
+        run_inline(n_items, chunk, n_chunks, threads, recording, job);
         return;
     }
+    let t_start = recording.then(Instant::now);
+    let nested = recording && telemetry::in_chunk();
+    let label = if recording {
+        telemetry::current_label()
+    } else {
+        "other"
+    };
     let p = pool();
     ensure_workers(p, threads - 1);
     // SAFETY (lifetime erasure): the region is fully drained before this
@@ -240,13 +313,16 @@ pub fn run_region(n_items: usize, job: &(dyn Fn(usize, usize) + Sync)) {
         next: AtomicUsize::new(0),
         done: AtomicUsize::new(0),
         rank: qp_trace::thread_rank(),
+        label,
         cancelled: AtomicBool::new(false),
         panic: Mutex::new(None),
         finished: Mutex::new(false),
         finished_cv: Condvar::new(),
+        stats: recording.then(RegionStats::new),
     });
     p.queue.lock().push_back(region.clone());
     p.work_cv.notify_all();
+    let setup_ns = t_start.map(|t| t.elapsed().as_nanos() as u64).unwrap_or(0);
     // The caller always helps: the region completes even if every worker is
     // busy elsewhere (and nested regions cannot deadlock).
     region.help();
@@ -259,6 +335,64 @@ pub fn run_region(n_items: usize, job: &(dyn Fn(usize, usize) + Sync)) {
     if let Some(p) = payload {
         std::panic::resume_unwind(p);
     }
+    if let (Some(t_start), Some(st)) = (t_start, &region.stats) {
+        // Every executed chunk credited its lane before being counted in
+        // `done`, so the lane list is complete once the region drains.
+        let fc = st.first_claim_ns.load(Ordering::Relaxed);
+        telemetry::record(RegionRecord {
+            label,
+            n_items,
+            grain: chunk,
+            n_chunks,
+            threads,
+            inline: false,
+            nested,
+            setup_ns,
+            queue_wait_ns: if fc == u64::MAX { 0 } else { fc },
+            wall_ns: t_start.elapsed().as_nanos() as u64,
+            lanes: std::mem::take(&mut *st.lanes.lock()),
+        });
+    }
+}
+
+/// Execute a region inline on the caller, recording it (as serial time)
+/// when telemetry is armed.
+fn run_inline(
+    n_items: usize,
+    grain: usize,
+    n_chunks: usize,
+    threads: usize,
+    recording: bool,
+    job: &(dyn Fn(usize, usize) + Sync),
+) {
+    if !recording {
+        job(0, n_items);
+        return;
+    }
+    let nested = telemetry::in_chunk();
+    let t0 = Instant::now();
+    {
+        let _depth = telemetry::enter_chunk();
+        job(0, n_items);
+    }
+    let wall_ns = t0.elapsed().as_nanos() as u64;
+    telemetry::record(RegionRecord {
+        label: telemetry::current_label(),
+        n_items,
+        grain,
+        n_chunks,
+        threads,
+        inline: true,
+        nested,
+        setup_ns: 0,
+        queue_wait_ns: 0,
+        wall_ns,
+        lanes: vec![LaneStats {
+            lane: telemetry::lane_id(),
+            busy_ns: wall_ns,
+            chunks: 1,
+        }],
+    });
 }
 
 /// Indexed parallel for: `f(i)` for every `i in 0..n`, chunked over the

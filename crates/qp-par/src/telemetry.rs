@@ -1,0 +1,219 @@
+//! Scheduling telemetry: one [`RegionRecord`] per parallel region.
+//!
+//! The pool's answer to "why is the 2-thread leg slower than serial": every
+//! region records its setup cost, queue wait, wall time, grain size and the
+//! per-lane busy time of every thread that executed chunks. From those a
+//! report can decompose a run's wall clock into useful parallel work,
+//! scheduling overhead, load imbalance, and uncovered serial time (see
+//! `qp_core::profile`).
+//!
+//! Cost model: when disabled (the default) the pool pays one relaxed atomic
+//! load per region and nothing else — no clock reads, no allocation. When
+//! enabled, each chunk pays two `Instant::now` reads and one short mutex
+//! push, a few hundred ns against chunks that exist to amortize multi-µs
+//! work; records land in a global sink directly (regions complete at a rate
+//! of at most a few thousand per second, so sink contention is noise, and a
+//! direct push means [`take_records`] never misses records buffered on
+//! parked worker threads).
+
+use parking_lot::Mutex;
+use std::cell::Cell;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+/// One thread's contribution to a region.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LaneStats {
+    /// Opaque per-thread ordinal (stable within a process run).
+    pub lane: u64,
+    /// Nanoseconds spent executing this region's chunks.
+    pub busy_ns: u64,
+    /// Chunks this lane executed.
+    pub chunks: u32,
+}
+
+/// One completed parallel region (or inline-executed would-be region).
+#[derive(Debug, Clone)]
+pub struct RegionRecord {
+    /// Phase label the submitting thread carried (see [`LabelGuard`]).
+    pub label: &'static str,
+    /// Items in the region.
+    pub n_items: usize,
+    /// Items per chunk (the grain size).
+    pub grain: usize,
+    /// Chunks the region was split into (1 for inline execution).
+    pub n_chunks: usize,
+    /// Parallelism target when the region was submitted.
+    pub threads: usize,
+    /// Executed inline on the caller (single-thread limit or too few chunks).
+    pub inline: bool,
+    /// Submitted from inside another region's chunk (its wall time is part
+    /// of the parent's busy time — attribution must skip it).
+    pub nested: bool,
+    /// Caller-side cost from region entry to enqueue+wakeup, ns.
+    pub setup_ns: u64,
+    /// Enqueue to first chunk claim anywhere, ns.
+    pub queue_wait_ns: u64,
+    /// Region entry to fully drained, ns (the caller's view).
+    pub wall_ns: u64,
+    /// Per-participating-thread busy time and chunk counts.
+    pub lanes: Vec<LaneStats>,
+}
+
+impl RegionRecord {
+    /// Total thread-time spent executing chunks.
+    pub fn total_busy_ns(&self) -> u64 {
+        self.lanes.iter().map(|l| l.busy_ns).sum()
+    }
+
+    /// Longest single lane (the region cannot finish before it).
+    pub fn max_busy_ns(&self) -> u64 {
+        self.lanes.iter().map(|l| l.busy_ns).max().unwrap_or(0)
+    }
+}
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static SINK: Mutex<Vec<RegionRecord>> = Mutex::new(Vec::new());
+static NEXT_LANE: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    static LANE: Cell<u64> = const { Cell::new(u64::MAX) };
+    static LABEL: Cell<&'static str> = const { Cell::new("other") };
+    static CHUNK_DEPTH: Cell<u32> = const { Cell::new(0) };
+}
+
+/// Is region recording armed?
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Arm or disarm region recording.
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Drain every record accumulated so far.
+pub fn take_records() -> Vec<RegionRecord> {
+    std::mem::take(&mut *SINK.lock())
+}
+
+/// This thread's stable lane ordinal (assigned on first use).
+pub fn lane_id() -> u64 {
+    LANE.with(|l| {
+        if l.get() == u64::MAX {
+            l.set(NEXT_LANE.fetch_add(1, Ordering::Relaxed));
+        }
+        l.get()
+    })
+}
+
+/// The phase label regions submitted from this thread inherit.
+pub fn current_label() -> &'static str {
+    LABEL.with(|l| l.get())
+}
+
+/// RAII phase label for the current thread: regions submitted (and GEMM
+/// flops recorded) while the guard lives are attributed to `label`;
+/// the previous label is restored on drop, so phases nest naturally.
+#[must_use = "the label reverts when the guard drops"]
+pub struct LabelGuard {
+    prev: &'static str,
+}
+
+impl LabelGuard {
+    /// Set the current thread's label for the guard's lifetime.
+    pub fn set(label: &'static str) -> LabelGuard {
+        LabelGuard {
+            prev: LABEL.with(|l| l.replace(label)),
+        }
+    }
+}
+
+impl Drop for LabelGuard {
+    fn drop(&mut self) {
+        LABEL.with(|l| l.set(self.prev));
+    }
+}
+
+/// Is the current thread inside a region chunk right now? (Only maintained
+/// while telemetry is enabled; used to flag nested submissions.)
+pub(crate) fn in_chunk() -> bool {
+    CHUNK_DEPTH.with(|d| d.get()) > 0
+}
+
+/// RAII chunk-depth marker (unwind-safe: panics in a chunk still restore).
+pub(crate) struct ChunkGuard(());
+
+pub(crate) fn enter_chunk() -> ChunkGuard {
+    CHUNK_DEPTH.with(|d| d.set(d.get() + 1));
+    ChunkGuard(())
+}
+
+impl Drop for ChunkGuard {
+    fn drop(&mut self) {
+        CHUNK_DEPTH.with(|d| d.set(d.get().saturating_sub(1)));
+    }
+}
+
+/// Sink a completed record.
+pub(crate) fn record(rec: RegionRecord) {
+    SINK.lock().push(rec);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn label_guard_nests_and_restores() {
+        assert_eq!(current_label(), "other");
+        {
+            let _a = LabelGuard::set("rho");
+            assert_eq!(current_label(), "rho");
+            {
+                let _b = LabelGuard::set("sumup");
+                assert_eq!(current_label(), "sumup");
+            }
+            assert_eq!(current_label(), "rho");
+        }
+        assert_eq!(current_label(), "other");
+    }
+
+    #[test]
+    fn lane_ids_are_stable_per_thread() {
+        let a = lane_id();
+        assert_eq!(a, lane_id());
+        let other = std::thread::spawn(lane_id).join().unwrap();
+        assert_ne!(a, other);
+    }
+
+    #[test]
+    fn record_helpers() {
+        let r = RegionRecord {
+            label: "x",
+            n_items: 10,
+            grain: 5,
+            n_chunks: 2,
+            threads: 2,
+            inline: false,
+            nested: false,
+            setup_ns: 10,
+            queue_wait_ns: 5,
+            wall_ns: 100,
+            lanes: vec![
+                LaneStats {
+                    lane: 0,
+                    busy_ns: 80,
+                    chunks: 1,
+                },
+                LaneStats {
+                    lane: 1,
+                    busy_ns: 20,
+                    chunks: 1,
+                },
+            ],
+        };
+        assert_eq!(r.total_busy_ns(), 100);
+        assert_eq!(r.max_busy_ns(), 80);
+    }
+}

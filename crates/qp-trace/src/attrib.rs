@@ -1,0 +1,278 @@
+//! Span attribution: exclusive-time (self-time) trees and collapsed stacks.
+//!
+//! A span's *duration* includes everything nested inside it, so summing
+//! durations per phase double-counts (an SCF iteration span contains its DM
+//! and Rho spans). This module rebuilds the nesting forest from closed
+//! [`SpanEvent`]s and charges each span only its **self time** — duration
+//! minus the durations of its direct children — which partitions wall time
+//! exactly: the self times of a (sub)tree sum to the root's duration.
+//!
+//! Nesting is reconstructed per `(rank, thread)` from timestamp containment;
+//! spans on different threads never nest into each other. Only `Track::Host`
+//! events participate — simulated-timeline spans are cost-model output, not
+//! measured wall time.
+
+use crate::span::{SpanEvent, Track};
+use std::collections::BTreeMap;
+
+/// One span in the reconstructed nesting forest.
+#[derive(Debug, Clone)]
+pub struct SpanNode {
+    /// Span name (as recorded).
+    pub name: String,
+    /// Phase tag, e.g. `"rho"` (see [`crate::Phase::as_str`]).
+    pub phase: &'static str,
+    /// Simulated rank the span was attributed to.
+    pub rank: usize,
+    /// Start, µs since the recorder epoch.
+    pub start_us: f64,
+    /// Inclusive duration, µs.
+    pub dur_us: f64,
+    /// Exclusive duration, µs: `dur_us` minus direct children's `dur_us`,
+    /// clamped at 0 (clock jitter can make children overshoot slightly).
+    pub self_us: f64,
+    /// Directly nested spans, in start order.
+    pub children: Vec<SpanNode>,
+}
+
+impl SpanNode {
+    fn new(ev: &SpanEvent) -> SpanNode {
+        SpanNode {
+            name: ev.name.clone(),
+            phase: ev.phase.as_str(),
+            rank: ev.rank,
+            start_us: ev.start_us,
+            dur_us: ev.dur_us,
+            self_us: ev.dur_us,
+            children: Vec::new(),
+        }
+    }
+
+    fn end_us(&self) -> f64 {
+        self.start_us + self.dur_us
+    }
+}
+
+/// Rebuild the nesting forest from closed host-track spans.
+///
+/// Roots are ordered by `(rank, thread, start)`; within a parent, children
+/// are in start order. A span becomes a child of the innermost same-thread
+/// span whose `[start, end]` interval contains it (with a small epsilon for
+/// clock jitter at the edges).
+pub fn build_forest(events: &[SpanEvent]) -> Vec<SpanNode> {
+    // Tolerance for "ends no later than parent": drop-order timing means a
+    // child's recorded end can exceed its parent's by the cost of a clock
+    // read or two.
+    const EDGE_EPS_US: f64 = 5.0;
+
+    // Group by (rank, thread): nesting is only meaningful within one thread,
+    // and rank keeps SPMD timelines apart even when rank threads are reused.
+    let mut groups: BTreeMap<(usize, u64), Vec<&SpanEvent>> = BTreeMap::new();
+    for ev in events {
+        if ev.track == Track::Host {
+            groups.entry((ev.rank, ev.thread)).or_default().push(ev);
+        }
+    }
+
+    let mut forest = Vec::new();
+    for (_, mut evs) in groups {
+        // Start ascending; ties broken longest-first so a parent that opened
+        // in the same clock tick as its child sorts before it.
+        evs.sort_by(|a, b| {
+            a.start_us
+                .total_cmp(&b.start_us)
+                .then(b.dur_us.total_cmp(&a.dur_us))
+        });
+        let mut stack: Vec<SpanNode> = Vec::new();
+        for ev in evs {
+            let node = SpanNode::new(ev);
+            // Pop completed ancestors: anything that ends before this span
+            // starts cannot contain it.
+            while let Some(top) = stack.last() {
+                if node.start_us < top.end_us() - EDGE_EPS_US.min(top.dur_us) {
+                    break;
+                }
+                attach(&mut stack, &mut forest);
+            }
+            stack.push(node);
+        }
+        while !stack.is_empty() {
+            attach(&mut stack, &mut forest);
+        }
+    }
+    forest
+}
+
+/// Pop the top of `stack` and attach it to its parent (or the forest),
+/// charging its duration against the parent's self time.
+fn attach(stack: &mut Vec<SpanNode>, forest: &mut Vec<SpanNode>) {
+    let done = stack.pop().expect("attach on empty stack");
+    match stack.last_mut() {
+        Some(parent) => {
+            parent.self_us = (parent.self_us - done.dur_us).max(0.0);
+            parent.children.push(done);
+        }
+        None => forest.push(done),
+    }
+}
+
+/// Total self time per phase tag, in µs, summed over the whole forest.
+/// Because self times partition each tree, the map's values sum to the
+/// roots' total duration.
+pub fn self_time_by_phase(forest: &[SpanNode]) -> BTreeMap<&'static str, f64> {
+    let mut acc = BTreeMap::new();
+    fn walk(node: &SpanNode, acc: &mut BTreeMap<&'static str, f64>) {
+        *acc.entry(node.phase).or_insert(0.0) += node.self_us;
+        for c in &node.children {
+            walk(c, acc);
+        }
+    }
+    for root in forest {
+        walk(root, &mut acc);
+    }
+    acc
+}
+
+/// Flamegraph-compatible collapsed stacks: one `a;b;c <self_us>` line per
+/// distinct call path, self time in integer µs, paths sorted for
+/// deterministic output. Feed straight into `flamegraph.pl` /
+/// `inferno-flamegraph`.
+pub fn collapsed_stacks(events: &[SpanEvent]) -> String {
+    let forest = build_forest(events);
+    let mut lines: BTreeMap<String, u64> = BTreeMap::new();
+    fn walk(node: &SpanNode, prefix: &str, lines: &mut BTreeMap<String, u64>) {
+        // Frame names must not contain the format's separators.
+        let frame = node.name.replace([';', ' '], "_");
+        let path = if prefix.is_empty() {
+            frame
+        } else {
+            format!("{prefix};{frame}")
+        };
+        *lines.entry(path.clone()).or_insert(0) += node.self_us.round().max(0.0) as u64;
+        for c in &node.children {
+            walk(c, &path, lines);
+        }
+    }
+    for root in &forest {
+        walk(root, "", &mut lines);
+    }
+    let mut out = String::new();
+    for (path, us) in lines {
+        out.push_str(&path);
+        out.push(' ');
+        out.push_str(&us.to_string());
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::Phase;
+
+    fn ev(name: &str, phase: Phase, thread: u64, start_us: f64, dur_us: f64) -> SpanEvent {
+        SpanEvent {
+            name: name.to_string(),
+            phase,
+            rank: 0,
+            thread,
+            track: Track::Host,
+            start_us,
+            dur_us,
+            args: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn parent_self_time_is_total_minus_children() {
+        // outer [0, 100] containing inner1 [10, 30] and inner2 [40, 90].
+        let events = vec![
+            ev("inner1", Phase::Dm, 0, 10.0, 20.0),
+            ev("outer", Phase::Scf, 0, 0.0, 100.0),
+            ev("inner2", Phase::Rho, 0, 40.0, 50.0),
+        ];
+        let forest = build_forest(&events);
+        assert_eq!(forest.len(), 1);
+        let outer = &forest[0];
+        assert_eq!(outer.name, "outer");
+        assert_eq!(outer.children.len(), 2);
+        assert_eq!(outer.children[0].name, "inner1");
+        assert_eq!(outer.children[1].name, "inner2");
+        // The satellite contract: self = total − Σ children.
+        assert!((outer.self_us - (100.0 - 20.0 - 50.0)).abs() < 1e-9);
+        assert!((outer.children[0].self_us - 20.0).abs() < 1e-9);
+
+        // Self times partition the tree: they sum to the root duration.
+        let by_phase = self_time_by_phase(&forest);
+        let total: f64 = by_phase.values().sum();
+        assert!((total - 100.0).abs() < 1e-9);
+        assert!((by_phase["scf"] - 30.0).abs() < 1e-9);
+        assert!((by_phase["dm"] - 20.0).abs() < 1e-9);
+        assert!((by_phase["rho"] - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn deep_nesting_chains_self_times() {
+        let events = vec![
+            ev("a", Phase::Scf, 0, 0.0, 100.0),
+            ev("b", Phase::Dfpt, 0, 10.0, 80.0),
+            ev("c", Phase::Sternheimer, 0, 20.0, 30.0),
+        ];
+        let forest = build_forest(&events);
+        assert_eq!(forest.len(), 1);
+        let a = &forest[0];
+        let b = &a.children[0];
+        let c = &b.children[0];
+        assert!((a.self_us - 20.0).abs() < 1e-9);
+        assert!((b.self_us - 50.0).abs() < 1e-9);
+        assert!((c.self_us - 30.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn threads_do_not_nest_into_each_other() {
+        // Identical intervals on two threads: two roots, not containment.
+        let events = vec![
+            ev("t0", Phase::Rho, 0, 0.0, 50.0),
+            ev("t1", Phase::Rho, 1, 0.0, 50.0),
+        ];
+        let forest = build_forest(&events);
+        assert_eq!(forest.len(), 2);
+        assert!(forest.iter().all(|n| n.children.is_empty()));
+    }
+
+    #[test]
+    fn simulated_track_is_excluded() {
+        let mut sim = ev("sim", Phase::Comm, 0, 0.0, 10.0);
+        sim.track = Track::Simulated;
+        let events = vec![sim, ev("host", Phase::Dm, 0, 0.0, 10.0)];
+        let forest = build_forest(&events);
+        assert_eq!(forest.len(), 1);
+        assert_eq!(forest[0].name, "host");
+    }
+
+    #[test]
+    fn sibling_spans_stay_siblings() {
+        // Back-to-back spans where the second starts exactly at the first's
+        // end must not become parent/child.
+        let events = vec![
+            ev("first", Phase::Dm, 0, 0.0, 10.0),
+            ev("second", Phase::Rho, 0, 10.0, 10.0),
+        ];
+        let forest = build_forest(&events);
+        assert_eq!(forest.len(), 2);
+    }
+
+    #[test]
+    fn collapsed_stacks_format_and_determinism() {
+        let events = vec![
+            ev("outer", Phase::Scf, 0, 0.0, 100.0),
+            ev("inner one", Phase::Dm, 0, 10.0, 20.0),
+            ev("inner one", Phase::Dm, 0, 40.0, 25.0),
+        ];
+        let folded = collapsed_stacks(&events);
+        // Repeated paths merge; spaces in names are sanitized.
+        assert_eq!(folded, "outer 55\nouter;inner_one 45\n");
+        assert_eq!(folded, collapsed_stacks(&events));
+    }
+}

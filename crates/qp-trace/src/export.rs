@@ -366,6 +366,7 @@ mod tests {
             name: name.to_string(),
             phase: Phase::Dm,
             rank,
+            thread: 0,
             track,
             start_us: 1.0,
             dur_us: 2.5,

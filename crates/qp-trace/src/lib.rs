@@ -16,6 +16,9 @@
 //! * [`metrics`] — labeled `Counter` / `Gauge` / `Histogram` registry with
 //!   structured snapshots; a process-global registry plus instantiable
 //!   per-subsystem ones (e.g. each `qp-mpi` world's traffic mirror).
+//! * [`attrib`] — span attribution: rebuilds the nesting forest from closed
+//!   spans, computes exclusive (self) time per span and per phase, and
+//!   emits flamegraph-compatible collapsed stacks.
 //! * [`export`] — Chrome trace-event JSON (loadable in Perfetto: one track
 //!   per rank, phase-colored spans, a second process for simulated time)
 //!   and flat JSON/CSV metrics dumps.
@@ -29,11 +32,13 @@
 //! notes `QP_METRICS=<path>`); [`finish`] writes the pending trace/metrics
 //! files. Binaries call the pair around their run; libraries only ever emit.
 
+pub mod attrib;
 pub mod export;
 pub mod log;
 pub mod metrics;
 pub mod span;
 
+pub use attrib::{build_forest, collapsed_stacks, self_time_by_phase, SpanNode};
 pub use export::{chrome_trace_json, metrics_csv, metrics_json, validate_json};
 pub use metrics::{global_metrics, Counter, Gauge, Histogram, MetricValue, MetricsRegistry};
 pub use span::{

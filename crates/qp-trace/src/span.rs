@@ -104,6 +104,9 @@ pub struct SpanEvent {
     pub phase: Phase,
     /// Simulated MPI rank the work belongs to (trace `tid`).
     pub rank: usize,
+    /// OS-thread ordinal the span was recorded on (nesting is only
+    /// meaningful within one thread — the tree builder groups by this).
+    pub thread: u64,
     /// Timeline this event belongs to (trace `pid`).
     pub track: Track,
     /// Start, in microseconds since the recorder epoch (host track) or
@@ -118,13 +121,25 @@ pub struct SpanEvent {
 static ENABLED: AtomicBool = AtomicBool::new(false);
 static SINK: Mutex<Vec<SpanEvent>> = Mutex::new(Vec::new());
 static EPOCH: OnceLock<Instant> = OnceLock::new();
+static NEXT_THREAD: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
 
 /// Events buffered per thread before draining into the global sink.
 const DRAIN_AT: usize = 256;
 
 thread_local! {
     static RANK: Cell<usize> = const { Cell::new(0) };
+    static THREAD: Cell<u64> = const { Cell::new(u64::MAX) };
     static BUFFER: RefCell<DrainOnExit> = const { RefCell::new(DrainOnExit(Vec::new())) };
+}
+
+/// Stable ordinal of the calling OS thread (assigned on first use).
+pub fn thread_ordinal() -> u64 {
+    THREAD.with(|t| {
+        if t.get() == u64::MAX {
+            t.set(NEXT_THREAD.fetch_add(1, Ordering::Relaxed));
+        }
+        t.get()
+    })
 }
 
 /// Thread-local buffer wrapper that flushes itself when the thread exits.
@@ -226,6 +241,7 @@ pub fn sim_span(
         name: name.into(),
         phase,
         rank,
+        thread: thread_ordinal(),
         track: Track::Simulated,
         start_us: start_s * 1e6,
         dur_us: dur_s * 1e6,
@@ -285,6 +301,7 @@ impl Drop for SpanGuard {
                 name: open.name,
                 phase: open.phase,
                 rank: open.rank,
+                thread: thread_ordinal(),
                 track: Track::Host,
                 start_us: open.start_us,
                 dur_us: (end - open.start_us).max(0.0),

@@ -21,6 +21,19 @@ QP_THREADS=4 cargo test -q -p qp-core sternheimer
 echo "== perf smoke + Sternheimer phase-regression guard (bench_perf --quick --guard)"
 bash scripts/bench_perf.sh --quick --guard --out "$(mktemp)"
 
+echo "== profile smoke: qperturb --profile on water (schema + artifact)"
+cargo build -q --release -p qp-cli -p qp-bench
+profile_dir="$(mktemp -d)"
+QP_LOG=warn ./target/release/qperturb --builtin water --grid coarse \
+    --profile "$profile_dir/profile_water"
+./target/release/profile_report --validate "$profile_dir/profile_water.json"
+test -s "$profile_dir/profile_water.folded" \
+    || { echo "collapsed-stack artifact missing or empty"; exit 1; }
+mkdir -p results
+cp "$profile_dir/profile_water.folded" results/profile_water.folded
+echo "-- archived results/profile_water.folded"
+rm -rf "$profile_dir"
+
 echo "== fault-injection smoke matrix (qperturb + QP_FAULT)"
 cargo build -q --release -p qp-cli
 for plan in \
