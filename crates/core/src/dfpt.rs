@@ -24,7 +24,6 @@ use crate::{CoreError, Result};
 use qp_chem::multipole::{solve_poisson, MultipoleMoments};
 use qp_chem::xc;
 use qp_linalg::DMatrix;
-use rayon::prelude::*;
 
 /// The symmetric Sternheimer weight matrix in the MO basis:
 ///
@@ -188,11 +187,11 @@ impl DfptShared {
             dips: (0..3)
                 .map(|d| operators::dipole_matrix(system, d))
                 .collect(),
-            fxc: ground
-                .density
-                .par_iter()
-                .map(|&n| xc::f_xc(n.max(0.0)))
-                .collect(),
+            fxc: {
+                let mut fxc = vec![0.0; ground.density.len()];
+                qp_par::fill_slice_hinted(&mut fxc, 60, |i| xc::f_xc(ground.density[i].max(0.0)));
+                fxc
+            },
             c_t: ground.orbitals.transpose(),
         }
     }
@@ -255,20 +254,36 @@ pub fn dfpt_direction_with(
         // Rho: response electrostatic potential (Eq. 9) + xc kernel (Eq. 12).
         let v1: Vec<f64> = {
             let _s = crate::phase_span(qp_trace::Phase::Rho, "rho.v1");
-            let moments =
-                MultipoleMoments::compute(&system.structure, &system.grid, &n1, system.lmax);
+            // The Hartree geometry plan caches the per-(point, atom)
+            // distances, harmonics and spline brackets across all DFPT
+            // iterations; planned and direct branches are bit-identical
+            // and the choice depends only on system size.
+            let plan = system.hartree_plan();
+            let moments = match plan.as_deref() {
+                Some(pl) => {
+                    MultipoleMoments::compute_planned(&system.structure, &system.grid, &n1, pl)
+                }
+                None => {
+                    MultipoleMoments::compute(&system.structure, &system.grid, &n1, system.lmax)
+                }
+            };
             let hartree = solve_poisson(&system.structure, &system.grid, &moments);
             let natoms = system.structure.len();
-            // Per-point potentials are independent; the index-ordered
-            // parallel map keeps the result bit-identical at any thread
-            // count.
-            (0..system.grid.points.len())
-                .into_par_iter()
-                .map(|gi| {
+            // Per-point potentials land in their own slots; the
+            // index-ordered parallel fill keeps the result bit-identical
+            // at any thread count.
+            let mut v1 = vec![0.0; system.grid.len()];
+            let est = (natoms * hartree.n_lm * 8).max(1) as u64;
+            match plan.as_deref() {
+                Some(pl) => qp_par::fill_slice_hinted(&mut v1, est, |gi| {
+                    hartree.eval_planned(pl, gi) + shared.fxc[gi] * n1[gi]
+                }),
+                None => qp_par::fill_slice_hinted(&mut v1, est, |gi| {
                     let p = &system.grid.points[gi];
                     hartree.eval_atoms(p.position, 0..natoms) + shared.fxc[gi] * n1[gi]
-                })
-                .collect()
+                }),
+            }
+            v1
         };
 
         // H: response Hamiltonian (Eqs. 10-11): induced part − r_J.
@@ -325,11 +340,11 @@ pub fn dfpt(system: &System, ground: &ScfResult, opts: &DfptOptions) -> Result<D
         let resp = dfpt_direction_with(system, ground, &shared, j, opts)?;
         // α_IJ = ∫ r_I n¹_J = Tr[P¹_J D_I] (Eq. 13) — the three row
         // contractions are independent; merge in index order.
-        let col: Vec<f64> = shared
-            .dips
-            .par_iter()
-            .map(|dip_i| resp.p1.trace_product(dip_i).expect("conforming dims"))
-            .collect();
+        let col: Vec<f64> = qp_par::map_vec((0..3).collect::<Vec<usize>>(), |i| {
+            resp.p1
+                .trace_product(&shared.dips[i])
+                .expect("conforming dims")
+        });
         for (i, &a_ij) in col.iter().enumerate() {
             alpha[(i, j)] = a_ij;
         }

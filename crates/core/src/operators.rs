@@ -12,7 +12,15 @@
 
 use crate::system::System;
 use qp_linalg::DMatrix;
-use rayon::prelude::*;
+
+/// Cost hint (ns) for assembling one batch block: the triangular update is
+/// `np·nf²/2` multiply-adds; assume a few per ns so tiny systems run the
+/// region inline while bench-scale batches fan out.
+fn batch_block_est(system: &System) -> u64 {
+    let avg_np = system.n_points() / system.batches.len().max(1);
+    let nb = system.n_basis();
+    ((avg_np * nb * nb) / 4).max(1) as u64
+}
 
 /// Assemble the overlap matrix.
 pub fn overlap(system: &System) -> DMatrix {
@@ -40,34 +48,36 @@ pub fn dipole_matrix(system: &System, dir: usize) -> DMatrix {
 /// batch order, keeping the reduction deterministic.
 fn weighted_product(system: &System, f: impl Fn(usize) -> f64 + Sync) -> DMatrix {
     let nb = system.n_basis();
-    let partials: Vec<(std::sync::Arc<crate::system::BatchBasisTable>, DMatrix)> = system
-        .batches
-        .par_iter()
-        .map(|batch| {
-            let table = system.table(batch.id);
-            let nf = table.fn_indices.len();
-            let mut block = DMatrix::zeros(nf, nf);
-            for (pi, pt) in batch.points.iter().enumerate() {
-                let w =
-                    system.grid.points[pt.grid_index as usize].weight * f(pt.grid_index as usize);
-                if w == 0.0 {
-                    continue;
-                }
-                let row = &table.values[pi * nf..(pi + 1) * nf];
-                for a in 0..nf {
-                    let va = row[a];
-                    if va == 0.0 {
+    let partials: Vec<(std::sync::Arc<crate::system::BatchBasisTable>, DMatrix)> =
+        qp_par::map_vec_hinted(
+            (0..system.batches.len()).collect::<Vec<usize>>(),
+            batch_block_est(system),
+            |bid| {
+                let batch = &system.batches[bid];
+                let table = system.table(batch.id);
+                let nf = table.fn_indices.len();
+                let mut block = DMatrix::zeros(nf, nf);
+                for (pi, pt) in batch.points.iter().enumerate() {
+                    let w = system.grid.points[pt.grid_index as usize].weight
+                        * f(pt.grid_index as usize);
+                    if w == 0.0 {
                         continue;
                     }
-                    let wa = w * va;
-                    for b in a..nf {
-                        block[(a, b)] += wa * row[b];
+                    let row = &table.values[pi * nf..(pi + 1) * nf];
+                    for a in 0..nf {
+                        let va = row[a];
+                        if va == 0.0 {
+                            continue;
+                        }
+                        let wa = w * va;
+                        for b in a..nf {
+                            block[(a, b)] += wa * row[b];
+                        }
                     }
                 }
-            }
-            (table, block)
-        })
-        .collect();
+                (table, block)
+            },
+        );
 
     let mut m = DMatrix::zeros(nb, nb);
     for (table, block) in partials.iter() {
@@ -89,29 +99,31 @@ fn weighted_product(system: &System, f: impl Fn(usize) -> f64 + Sync) -> DMatrix
 /// Assemble the kinetic-energy matrix `T_μν = ½ ∫ ∇χ_μ·∇χ_ν`.
 pub fn kinetic(system: &System) -> DMatrix {
     let nb = system.n_basis();
-    let partials: Vec<(std::sync::Arc<crate::system::BatchBasisTable>, DMatrix)> = system
-        .batches
-        .par_iter()
-        .map(|batch| {
-            let table = system.table(batch.id);
-            let nf = table.fn_indices.len();
-            let mut block = DMatrix::zeros(nf, nf);
-            for (pi, pt) in batch.points.iter().enumerate() {
-                let w = 0.5 * system.grid.points[pt.grid_index as usize].weight;
-                for a in 0..nf {
-                    let ga = table.gradient(pi, a);
-                    if ga == [0.0; 3] {
-                        continue;
-                    }
-                    for b in a..nf {
-                        let gb = table.gradient(pi, b);
-                        block[(a, b)] += w * (ga[0] * gb[0] + ga[1] * gb[1] + ga[2] * gb[2]);
+    let partials: Vec<(std::sync::Arc<crate::system::BatchBasisTable>, DMatrix)> =
+        qp_par::map_vec_hinted(
+            (0..system.batches.len()).collect::<Vec<usize>>(),
+            batch_block_est(system),
+            |bid| {
+                let batch = &system.batches[bid];
+                let table = system.table(batch.id);
+                let nf = table.fn_indices.len();
+                let mut block = DMatrix::zeros(nf, nf);
+                for (pi, pt) in batch.points.iter().enumerate() {
+                    let w = 0.5 * system.grid.points[pt.grid_index as usize].weight;
+                    for a in 0..nf {
+                        let ga = table.gradient(pi, a);
+                        if ga == [0.0; 3] {
+                            continue;
+                        }
+                        for b in a..nf {
+                            let gb = table.gradient(pi, b);
+                            block[(a, b)] += w * (ga[0] * gb[0] + ga[1] * gb[1] + ga[2] * gb[2]);
+                        }
                     }
                 }
-            }
-            (table, block)
-        })
-        .collect();
+                (table, block)
+            },
+        );
 
     let mut m = DMatrix::zeros(nb, nb);
     for (table, block) in partials.iter() {
@@ -132,19 +144,18 @@ pub fn kinetic(system: &System) -> DMatrix {
 /// The external (nuclear-attraction) potential at every grid point:
 /// `v_ext(p) = −Σ_I Z_I / |p − R_I|`.
 pub fn external_potential(system: &System) -> Vec<f64> {
-    system
-        .grid
-        .points
-        .par_iter()
-        .map(|p| {
-            let mut v = 0.0;
-            for atom in &system.structure.atoms {
-                let d = qp_linalg::vecops::dist3(p.position, atom.position);
-                v -= atom.element.z() as f64 / d.max(1e-10);
-            }
-            v
-        })
-        .collect()
+    let mut out = vec![0.0; system.n_points()];
+    let est = (system.structure.len() * 12).max(1) as u64;
+    qp_par::fill_slice_hinted(&mut out, est, |gi| {
+        let p = &system.grid.points[gi];
+        let mut v = 0.0;
+        for atom in &system.structure.atoms {
+            let d = qp_linalg::vecops::dist3(p.position, atom.position);
+            v -= atom.element.z() as f64 / d.max(1e-10);
+        }
+        v
+    });
+    out
 }
 
 /// Closed-shell density matrix from occupied orbitals:

@@ -138,9 +138,13 @@ pub fn attribute(records: &[RegionRecord], parallel_total_s: f64, threads: usize
             nested_regions += 1;
             continue;
         }
-        if r.inline {
-            // Ran on the caller without fan-out: stays in the serial
-            // remainder (we don't subtract its wall below).
+        if r.inline || r.caller_only {
+            // Ran on the caller without fan-out — whether it never left the
+            // caller (`inline`) or was enqueued but drained entirely by the
+            // submitter before any worker arrived (`caller_only`). Either
+            // way the work is de-facto serial: it stays in the serial
+            // remainder (we don't subtract its wall below), and its setup
+            // must not be billed as parallel scheduling overhead.
             inline_regions += 1;
             continue;
         }
@@ -620,6 +624,7 @@ mod tests {
             n_chunks,
             threads: 2,
             inline,
+            caller_only: inline,
             nested,
             setup_ns: 1_000,
             queue_wait_ns: 500,
@@ -682,6 +687,35 @@ mod tests {
         // Inline + nested walls stay in the serial remainder.
         assert!((a.serial_fraction - 0.5).abs() < 1e-9);
         assert!((a.useful_parallel_fraction - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn attribute_credits_caller_drained_regions_as_inline() {
+        // An enqueued region whose every chunk ran on the submitting thread
+        // is de-facto inline: its setup must not be billed as scheduling
+        // overhead and its wall stays in the serial remainder.
+        let mut caller_drained = rec("rho", 50_000, vec![(0, 50_000, 4)], false, false);
+        caller_drained.caller_only = true;
+        let records = vec![
+            caller_drained,
+            rec(
+                "h",
+                50_000,
+                vec![(0, 25_000, 2), (1, 25_000, 2)],
+                false,
+                false,
+            ),
+        ];
+        let a = attribute(&records, 150e-6, 2);
+        assert_eq!(
+            a.regions, 1,
+            "caller-only region must not count as parallel"
+        );
+        assert_eq!(a.inline_regions, 1);
+        // Only the genuinely-parallel region's setup is billed.
+        assert!((a.setup_s - 1e-6).abs() < 1e-12);
+        // Caller-only wall (50µs) + uncovered 50µs = 100µs serial of 150µs.
+        assert!((a.serial_fraction - 100.0 / 150.0).abs() < 1e-9);
     }
 
     #[test]

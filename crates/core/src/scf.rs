@@ -13,7 +13,6 @@ use crate::{CoreError, Result};
 use qp_chem::multipole::{solve_poisson, MultipoleMoments};
 use qp_chem::xc;
 use qp_linalg::{generalized_symmetric_eigen, DMatrix};
-use rayon::prelude::*;
 
 /// SCF options.
 #[derive(Debug, Clone, Copy)]
@@ -179,19 +178,31 @@ pub fn scf_resumable(
             iter_span.arg("iter", iter);
         }
         let density = system.density_on_grid(&p_mat);
-        // Hartree potential of the electron density.
-        let moments =
-            MultipoleMoments::compute(&system.structure, &system.grid, &density, system.lmax);
+        // Hartree potential of the electron density. The geometry plan
+        // (distances, harmonics, spline brackets per (point, atom)) is
+        // precomputed once per system; the planned and direct branches are
+        // bit-identical, and which one runs depends only on system size.
+        let plan = system.hartree_plan();
+        let moments = match plan.as_deref() {
+            Some(pl) => {
+                MultipoleMoments::compute_planned(&system.structure, &system.grid, &density, pl)
+            }
+            None => {
+                MultipoleMoments::compute(&system.structure, &system.grid, &density, system.lmax)
+            }
+        };
         let hartree = solve_poisson(&system.structure, &system.grid, &moments);
         let natoms = system.structure.len();
-        // Each point's potential is independent; the index-ordered parallel
-        // map returns bit-identical values at any thread count.
-        let v_h: Vec<f64> = system
-            .grid
-            .points
-            .par_iter()
-            .map(|p| hartree.eval_atoms(p.position, 0..natoms))
-            .collect();
+        // Each point's potential lands in its own slot; the index-ordered
+        // parallel fill returns bit-identical values at any thread count.
+        let mut v_h = vec![0.0; system.grid.len()];
+        let est = (natoms * hartree.n_lm * 8).max(1) as u64;
+        match plan.as_deref() {
+            Some(pl) => qp_par::fill_slice_hinted(&mut v_h, est, |ip| hartree.eval_planned(pl, ip)),
+            None => qp_par::fill_slice_hinted(&mut v_h, est, |ip| {
+                hartree.eval_atoms(system.grid.points[ip].position, 0..natoms)
+            }),
+        }
         let v_xc: Vec<f64> = density.iter().map(|&n| xc::v_xc(n.max(0.0))).collect();
         let v_eff: Vec<f64> = v_h.iter().zip(v_xc.iter()).map(|(a, b)| a + b).collect();
         let v_eff_mat = operators::potential_matrix(system, &v_eff);

@@ -9,10 +9,28 @@ use crate::basis_cache::BasisValueCache;
 use qp_chem::basis::{BasisSet, BasisSettings};
 use qp_chem::geometry::Structure;
 use qp_chem::grids::{GridSettings, IntegrationGrid};
+use qp_chem::multipole::HartreePlan;
 use qp_grid::batch::{batches_from_grid, Batch};
 use qp_linalg::vecops::dist3;
-use rayon::prelude::*;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
+
+/// Default cap on the Hartree-plan table size. The bench systems sit in the
+/// tens of MB; systems whose plan would exceed the cap silently use the
+/// direct (recompute-per-iteration) Hartree path instead. Override with
+/// `QP_HARTREE_PLAN_MAX_MB` (0 disables the plan entirely).
+const DEFAULT_PLAN_CAP_MB: usize = 256;
+
+fn plan_cap_bytes() -> usize {
+    static CAP: OnceLock<usize> = OnceLock::new();
+    *CAP.get_or_init(|| {
+        std::env::var("QP_HARTREE_PLAN_MAX_MB")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .unwrap_or(DEFAULT_PLAN_CAP_MB)
+            * 1024
+            * 1024
+    })
+}
 
 /// Per-batch table of basis-function values at the batch's grid points.
 #[derive(Debug, Clone)]
@@ -62,6 +80,9 @@ pub struct System {
     cache: BasisValueCache,
     /// Multipole expansion order used by the Poisson solver.
     pub lmax: usize,
+    /// Lazily built per-(point, atom) geometry tables for the Hartree
+    /// phases; `None` when the tables would exceed the size cap.
+    hartree_plan: OnceLock<Option<Arc<HartreePlan>>>,
 }
 
 impl System {
@@ -84,6 +105,7 @@ impl System {
             batches,
             cache,
             lmax,
+            hartree_plan: OnceLock::new(),
         }
     }
 
@@ -114,9 +136,35 @@ impl System {
     /// this implicitly on its first assembly; benches use it explicitly to
     /// separate cold from warm timings).
     pub fn warm_tables(&self) {
-        (0..self.batches.len()).into_par_iter().for_each(|b| {
+        // Tabulating a batch is radial-spline + harmonics work per
+        // (point, function) — always worth fanning out.
+        qp_par::for_each_index_hinted(self.batches.len(), 1_000_000, |b| {
             self.table(b);
         });
+    }
+
+    /// The Hartree geometry plan (per-point distances, harmonics, spline
+    /// brackets), built once on first use and shared by the SCF and DFPT
+    /// potential phases. Returns `None` when the tables would exceed
+    /// `QP_HARTREE_PLAN_MAX_MB` — the choice depends only on system size
+    /// and environment, never on the thread count, so both paths stay
+    /// deterministic.
+    pub fn hartree_plan(&self) -> Option<Arc<HartreePlan>> {
+        self.hartree_plan
+            .get_or_init(|| {
+                let est =
+                    HartreePlan::estimate_bytes(self.grid.len(), self.structure.len(), self.lmax);
+                if est <= plan_cap_bytes() && plan_cap_bytes() > 0 {
+                    Some(Arc::new(HartreePlan::build(
+                        &self.structure,
+                        &self.grid,
+                        self.lmax,
+                    )))
+                } else {
+                    None
+                }
+            })
+            .clone()
     }
 
     fn tabulate_batch(basis: &BasisSet, batch: &Batch) -> BatchBasisTable {
@@ -205,21 +253,40 @@ impl System {
     /// (batch-local, pruned): `n(p) = Σ_{μν} P_{μν} χ_μ(p) χ_ν(p)`.
     ///
     /// This is the same contraction as the Sumup phase; this uninstrumented
-    /// version is used by the SCF loop. Batches fan out over the pool and
-    /// are merged in batch order.
+    /// version is used by the SCF loop.
+    ///
+    /// Fused super-batch form: one region fans the batches out over the
+    /// pool, and each worker writes its batch's densities straight into the
+    /// shared output through the batch's grid indices — batches partition
+    /// the grid, so the write sets are disjoint and there is no per-batch
+    /// allocation or serial merge pass. The per-batch arithmetic is exactly
+    /// [`batch_density`](Self::batch_density) (the oracle the property
+    /// tests compare against), and every value lands in the same slot
+    /// regardless of scheduling, so the result is bit-identical at any
+    /// thread count.
     pub fn density_on_grid(&self, p_mat: &qp_linalg::DMatrix) -> Vec<f64> {
         let mut density = vec![0.0; self.grid.len()];
-        let per_batch: Vec<(usize, Vec<f64>)> = self
-            .batches
-            .par_iter()
-            .map(|batch| (batch.id, self.batch_density(batch.id, p_mat)))
-            .collect();
-        for (bid, local) in per_batch {
+        struct OutPtr(*mut f64);
+        unsafe impl Send for OutPtr {}
+        unsafe impl Sync for OutPtr {}
+        let out = OutPtr(density.as_mut_ptr());
+        // Cost hint: the batch GEMM dominates at 2·np·nf² flops; assume a
+        // few flops/ns so small systems run inline, bench systems fan out.
+        let avg_np = self.grid.len() / self.batches.len().max(1);
+        let nb = self.n_basis();
+        let est = ((avg_np * nb * nb) / 2).max(1) as u64;
+        let out = &out;
+        qp_par::for_each_index_hinted(self.batches.len(), est, |bid| {
+            let local = self.batch_density(bid, p_mat);
             let batch = &self.batches[bid];
             for (pi, &v) in local.iter().enumerate() {
-                density[batch.points[pi].grid_index as usize] = v;
+                // SAFETY: grid_index values are unique across all batches
+                // (batches partition the grid), so writes never alias.
+                unsafe {
+                    *out.0.add(batch.points[pi].grid_index as usize) = v;
+                }
             }
-        }
+        });
         density
     }
 }

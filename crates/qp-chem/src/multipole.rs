@@ -14,6 +14,135 @@ use crate::grids::IntegrationGrid;
 use crate::harmonics::{num_harmonics, real_spherical_harmonics};
 use crate::spline::CubicSpline;
 
+/// Precomputed per-(grid point, atom) geometry for the Hartree phases.
+///
+/// The grid and atom positions never change across SCF/DFPT iterations, so
+/// everything in `eval_atoms` that depends only on geometry — the
+/// point-to-atom distance, the spherical harmonics, and the radial-spline
+/// bracketing interval with its interpolation weights (shared by every lm
+/// channel, because all radial splines sit on the same knot vector) — can
+/// be computed once per system instead of once per iteration per point.
+/// Per iteration this removes the dominant `atan2`/Legendre/`sin`/`cos`
+/// work and all per-lm binary searches from the inner loop; what remains
+/// is a pure fused-multiply stream over the tables.
+///
+/// Every cached value is produced by the *identical* floating-point
+/// expressions the direct path uses, so plan-based evaluation is
+/// bit-identical to [`HartreeSolution::eval_atoms`] and
+/// [`MultipoleMoments::compute`].
+#[derive(Debug)]
+pub struct HartreePlan {
+    /// Expansion order the `ylm` table was built for.
+    pub lmax: usize,
+    /// `(lmax+1)²`.
+    pub n_lm: usize,
+    natoms: usize,
+    /// `r[ip*natoms + ia]`: distance from grid point `ip` to atom `ia`.
+    r: Vec<f64>,
+    /// Spline bracketing interval at `t = r.max(1e-6)` (valid while
+    /// `r <= r_outer`; u32 to halve the table).
+    k: Vec<u32>,
+    /// Interpolation weight `a` of [`CubicSpline::locate`] at `t`.
+    a: Vec<f64>,
+    /// Interpolation weight `b` of [`CubicSpline::locate`] at `t`.
+    b: Vec<f64>,
+    /// `ylm[(ip*natoms + ia)*n_lm + lm]`: real spherical harmonics of the
+    /// point-to-atom direction.
+    ylm: Vec<f64>,
+    /// Per-atom grid-point indices in grid order (the points partitioned
+    /// to that atom) — lets the moment accumulation parallelize over atoms
+    /// while preserving the serial accumulation order per atom.
+    atom_points: Vec<Vec<u32>>,
+}
+
+impl HartreePlan {
+    /// Build the plan for a structure/grid pair. Cost: one harmonics
+    /// evaluation and one binary search per (point, atom) — about one
+    /// iteration's worth of the work it then saves every iteration.
+    pub fn build(structure: &Structure, grid: &IntegrationGrid, lmax: usize) -> HartreePlan {
+        let n_lm = num_harmonics(lmax);
+        let natoms = structure.len();
+        let np = grid.points.len();
+        let radii = grid.radial.radii();
+        // Per-point rows computed in parallel (slot `ip` owns its row), then
+        // flattened in index order — deterministic at any thread count.
+        let rows = qp_par::map_vec((0..np).collect::<Vec<usize>>(), |ip| {
+            let p = &grid.points[ip];
+            let mut row_r = vec![0.0f64; natoms];
+            let mut row_k = vec![0u32; natoms];
+            let mut row_a = vec![0.0f64; natoms];
+            let mut row_b = vec![0.0f64; natoms];
+            let mut row_ylm = vec![0.0f64; natoms * n_lm];
+            for ia in 0..natoms {
+                let c = structure.atoms[ia].position;
+                // Same arithmetic as eval_atoms / compute: d, then r.
+                let d = [
+                    p.position[0] - c[0],
+                    p.position[1] - c[1],
+                    p.position[2] - c[2],
+                ];
+                let r = (d[0] * d[0] + d[1] * d[1] + d[2] * d[2]).sqrt();
+                row_r[ia] = r;
+                real_spherical_harmonics(lmax, d, &mut row_ylm[ia * n_lm..(ia + 1) * n_lm]);
+                let (k, a, b) = CubicSpline::locate(radii, r.max(1e-6));
+                row_k[ia] = k as u32;
+                row_a[ia] = a;
+                row_b[ia] = b;
+            }
+            (row_r, row_k, row_a, row_b, row_ylm)
+        });
+        let mut r = Vec::with_capacity(np * natoms);
+        let mut k = Vec::with_capacity(np * natoms);
+        let mut a = Vec::with_capacity(np * natoms);
+        let mut b = Vec::with_capacity(np * natoms);
+        let mut ylm = Vec::with_capacity(np * natoms * n_lm);
+        for (row_r, row_k, row_a, row_b, row_ylm) in rows {
+            r.extend_from_slice(&row_r);
+            k.extend_from_slice(&row_k);
+            a.extend_from_slice(&row_a);
+            b.extend_from_slice(&row_b);
+            ylm.extend_from_slice(&row_ylm);
+        }
+        let mut atom_points = vec![Vec::new(); natoms];
+        for (ip, p) in grid.points.iter().enumerate() {
+            atom_points[p.atom as usize].push(ip as u32);
+        }
+        HartreePlan {
+            lmax,
+            n_lm,
+            natoms,
+            r,
+            k,
+            a,
+            b,
+            ylm,
+            atom_points,
+        }
+    }
+
+    /// Number of atoms the plan covers.
+    pub fn natoms(&self) -> usize {
+        self.natoms
+    }
+
+    /// Heap footprint of the tables in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.r.len() * 8
+            + self.k.len() * 4
+            + self.a.len() * 8
+            + self.b.len() * 8
+            + self.ylm.len() * 8
+            + self.atom_points.iter().map(|v| v.len() * 4).sum::<usize>()
+    }
+
+    /// Estimated table size for a hypothetical plan (gate big systems
+    /// before paying the build).
+    pub fn estimate_bytes(np: usize, natoms: usize, lmax: usize) -> usize {
+        let n_lm = num_harmonics(lmax);
+        np * natoms * (8 + 4 + 8 + 8 + n_lm * 8) + np * 4
+    }
+}
+
 /// Cumulative integral `I_k = ∫_{x_0}^{x_k} f dx` on a uniformly spaced grid
 /// (spacing `h`) using the 3rd-order Adams–Moulton corrector
 /// `I_k = I_{k-1} + h/12 · (5 f_k + 8 f_{k-1} − f_{k-2})`, with a trapezoid
@@ -87,6 +216,51 @@ impl MultipoleMoments {
         }
     }
 
+    /// Plan-accelerated [`compute`](Self::compute): the harmonics come from
+    /// the [`HartreePlan`] tables and the per-atom accumulations run in
+    /// parallel. Bit-identical to `compute` because each grid point
+    /// contributes only to its own atom's moments (`p.atom`), the plan's
+    /// `atom_points` lists preserve grid order, and the scalar expression
+    /// `f * y` is unchanged — so every `moments[ia]` slot sees the exact
+    /// same additions in the exact same order as the serial loop.
+    pub fn compute_planned(
+        structure: &Structure,
+        grid: &IntegrationGrid,
+        density: &[f64],
+        plan: &HartreePlan,
+    ) -> Self {
+        assert_eq!(density.len(), grid.points.len());
+        assert_eq!(plan.natoms, structure.len());
+        let lmax = plan.lmax;
+        let n_lm = plan.n_lm;
+        let n_shells = grid.radial.len();
+        let fourpi = 4.0 * std::f64::consts::PI;
+        let natoms = plan.natoms;
+        // Per-atom moment rows are independent: parallelize over atoms.
+        // Each atom's accumulation walks its points in grid order, matching
+        // the serial loop's visit order for that atom exactly.
+        let moments = qp_par::map_vec((0..natoms).collect::<Vec<usize>>(), |ia| {
+            let mut row = vec![0.0f64; n_shells * n_lm];
+            for &ip32 in &plan.atom_points[ia] {
+                let ip = ip32 as usize;
+                let p = &grid.points[ip];
+                let base = p.shell as usize * n_lm;
+                let f = fourpi * p.w_angular * p.partition * density[ip];
+                let ylm = &plan.ylm[(ip * natoms + ia) * n_lm..(ip * natoms + ia + 1) * n_lm];
+                let dst = &mut row[base..base + n_lm];
+                for (m, y) in dst.iter_mut().zip(ylm.iter()) {
+                    *m += f * y;
+                }
+            }
+            row
+        });
+        MultipoleMoments {
+            lmax,
+            moments,
+            n_lm,
+        }
+    }
+
     /// Size in bytes of one atom's moment table (one "row" of
     /// `rho_multipole` in the paper's AllReduce packing discussion).
     pub fn row_bytes(&self) -> usize {
@@ -130,9 +304,12 @@ pub fn solve_poisson(
     let h = (radii[n_r - 1] / radii[0]).ln() / (n_r - 1) as f64;
     let fourpi = 4.0 * std::f64::consts::PI;
 
-    let mut splines = Vec::with_capacity(structure.len());
-    let mut tails = Vec::with_capacity(structure.len());
-    for mom in moments.moments.iter() {
+    // Atoms are independent: integrate each atom's (l, m) channels in
+    // parallel. map_vec returns results in index order and the per-atom
+    // arithmetic is untouched, so the solution is bit-identical to the
+    // serial sweep at any thread count.
+    let per_atom = qp_par::map_vec((0..moments.moments.len()).collect::<Vec<usize>>(), |ia| {
+        let mom = &moments.moments[ia];
         let mut atom_splines = Vec::with_capacity(n_lm);
         let mut atom_tails = Vec::with_capacity(n_lm);
         for lm in 0..n_lm {
@@ -161,6 +338,11 @@ pub fn solve_poisson(
             atom_tails.push(inner[n_r - 1]);
             atom_splines.push(CubicSpline::natural(radii.to_vec(), v));
         }
+        (atom_splines, atom_tails)
+    });
+    let mut splines = Vec::with_capacity(structure.len());
+    let mut tails = Vec::with_capacity(structure.len());
+    for (atom_splines, atom_tails) in per_atom {
         splines.push(atom_splines);
         tails.push(atom_tails);
     }
@@ -204,6 +386,38 @@ impl HartreeSolution {
     /// Evaluate summing all atoms.
     pub fn eval(&self, p: [f64; 3]) -> f64 {
         self.eval_atoms(p, 0..self.centers.len())
+    }
+
+    /// Plan-accelerated [`eval`](Self::eval) at grid point `ip`: distances,
+    /// harmonics, and the shared spline bracket come from the
+    /// [`HartreePlan`] tables instead of being recomputed. Atoms are summed
+    /// in ascending order and every scalar expression matches `eval_atoms`
+    /// exactly, so the result is bit-identical to `eval(grid.points[ip])`.
+    pub fn eval_planned(&self, plan: &HartreePlan, ip: usize) -> f64 {
+        debug_assert_eq!(plan.natoms, self.centers.len());
+        debug_assert_eq!(plan.lmax, self.lmax);
+        let fourpi = 4.0 * std::f64::consts::PI;
+        let natoms = plan.natoms;
+        let n_lm = self.n_lm;
+        let mut v = 0.0;
+        for ia in 0..natoms {
+            let idx = ip * natoms + ia;
+            let r = plan.r[idx];
+            let ylm = &plan.ylm[idx * n_lm..(idx + 1) * n_lm];
+            if r <= self.r_outer {
+                let (k, a, b) = (plan.k[idx] as usize, plan.a[idx], plan.b[idx]);
+                for lm in 0..n_lm {
+                    v += self.splines[ia][lm].eval_at(k, a, b) * ylm[lm];
+                }
+            } else {
+                for lm in 0..n_lm {
+                    let (l, _) = crate::harmonics::lm_from_index(lm);
+                    let pref = fourpi / (2.0 * l as f64 + 1.0);
+                    v += pref * self.tails[ia][lm] / r.powi(l as i32 + 1) * ylm[lm];
+                }
+            }
+        }
+        v
     }
 
     /// Total bytes of all spline tables — the `delta_v_hart_part_spl`
@@ -377,6 +591,53 @@ mod tests {
         // At the midpoint, each unit charge contributes erf-screened ~1/2.
         let v = sol.eval([2.0, 0.0, 0.0]);
         assert!((v - 1.0).abs() < 0.02, "midpoint potential {v}");
+    }
+
+    #[test]
+    fn planned_moments_and_eval_are_bit_identical_to_direct() {
+        // Two off-axis atoms so the harmonics, partition weights, and both
+        // spline/tail branches of the evaluator are all exercised.
+        let s2 = Structure::new(vec![
+            Atom::new(Element::O, [0.1, -0.2, 0.05]),
+            Atom::new(Element::H, [1.7, 0.4, -0.3]),
+        ]);
+        let grid = IntegrationGrid::build(&s2, &GridSettings::coarse());
+        let n: Vec<f64> = grid
+            .points
+            .iter()
+            .map(|p| {
+                let r1 = dist3(p.position, [0.1, -0.2, 0.05]);
+                (-0.8 * r1 * r1).exp() * (1.0 + 0.3 * p.position[0])
+            })
+            .collect();
+        let lmax = 3;
+        let plan = HartreePlan::build(&s2, &grid, lmax);
+        assert_eq!(plan.natoms(), 2);
+        assert!(plan.memory_bytes() > 0);
+
+        let direct = MultipoleMoments::compute(&s2, &grid, &n, lmax);
+        let planned = MultipoleMoments::compute_planned(&s2, &grid, &n, &plan);
+        for (ia, (d, p)) in direct
+            .moments
+            .iter()
+            .zip(planned.moments.iter())
+            .enumerate()
+        {
+            for (j, (dv, pv)) in d.iter().zip(p.iter()).enumerate() {
+                assert_eq!(
+                    dv.to_bits(),
+                    pv.to_bits(),
+                    "moment mismatch atom {ia} slot {j}"
+                );
+            }
+        }
+
+        let sol = solve_poisson(&s2, &grid, &direct);
+        for ip in (0..grid.points.len()).step_by(7) {
+            let d = sol.eval(grid.points[ip].position);
+            let p = sol.eval_planned(&plan, ip);
+            assert_eq!(d.to_bits(), p.to_bits(), "potential mismatch at point {ip}");
+        }
     }
 
     #[test]

@@ -97,6 +97,39 @@ impl CubicSpline {
             + ((a * a * a - a) * self.y2[k] + (b * b * b - b) * self.y2[k + 1]) * (h * h) / 6.0
     }
 
+    /// Locate the bracketing interval `k` and barycentric weights `(a, b)`
+    /// for `t` against a shared knot vector — the exact search and weight
+    /// arithmetic of [`eval`](Self::eval), factored out so that a family of
+    /// splines over the *same* knots (every radial channel of an atom) pays
+    /// one binary search instead of one per spline. Feed the result to
+    /// [`eval_at`](Self::eval_at); `eval_at(locate(knots, t)) == eval(t)`
+    /// bit for bit.
+    pub fn locate(knots: &[f64], t: f64) -> (usize, f64, f64) {
+        let n = knots.len();
+        let k = match knots.binary_search_by(|v| v.partial_cmp(&t).expect("finite knot")) {
+            Ok(i) => i.min(n - 2),
+            Err(0) => 0,
+            Err(i) if i >= n => n - 2,
+            Err(i) => i - 1,
+        };
+        let h = knots[k + 1] - knots[k];
+        let a = (knots[k + 1] - t) / h;
+        let b = (t - knots[k]) / h;
+        (k, a, b)
+    }
+
+    /// Evaluate from a prepared `(k, a, b)` triple (see
+    /// [`locate`](Self::locate)). The expression is identical to
+    /// [`eval`](Self::eval)'s, so results match bit for bit as long as the
+    /// triple was located against this spline's own knot vector.
+    #[inline]
+    pub fn eval_at(&self, k: usize, a: f64, b: f64) -> f64 {
+        let h = self.x[k + 1] - self.x[k];
+        a * self.y[k]
+            + b * self.y[k + 1]
+            + ((a * a * a - a) * self.y2[k] + (b * b * b - b) * self.y2[k + 1]) * (h * h) / 6.0
+    }
+
     /// Evaluate the first derivative at `t`.
     pub fn eval_deriv(&self, t: f64) -> f64 {
         let n = self.x.len();
@@ -183,6 +216,24 @@ mod tests {
         let y: Vec<f64> = x.iter().map(|t| t.sin()).collect();
         let s = CubicSpline::natural(x, y);
         assert!((s.integral() - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn locate_plus_eval_at_is_bit_identical_to_eval() {
+        let x: Vec<f64> = (0..40).map(|i| (i as f64 * 0.13).exp() * 0.01).collect();
+        let y: Vec<f64> = x.iter().map(|t| (t * 2.1).sin() / (1.0 + t)).collect();
+        let s = CubicSpline::natural(x.clone(), y);
+        // Inside, at knots, below the first knot, above the last knot.
+        let mut probes: Vec<f64> = (0..200).map(|i| i as f64 * 0.021 - 0.05).collect();
+        probes.extend_from_slice(&x);
+        for t in probes {
+            let (k, a, b) = CubicSpline::locate(&x, t);
+            assert_eq!(
+                s.eval_at(k, a, b).to_bits(),
+                s.eval(t).to_bits(),
+                "prepared eval must match direct eval at t = {t}"
+            );
+        }
     }
 
     #[test]

@@ -411,8 +411,10 @@ fn run_profile(args: &Args, structure: qp_chem::geometry::Structure, base: &str)
         .or_else(|| args.input.clone())
         .unwrap_or_else(|| "case".to_string());
     qp_info!(
-        "profiling '{name}': serial reference + {}-thread instrumented leg",
-        opts.threads
+        "profiling '{name}': serial reference + {}-thread instrumented leg \
+         ({} GEMM microkernel)",
+        opts.threads,
+        qp_linalg::gemm::active_microkernel()
     );
     let basis = args.basis;
     let grid = args.grid;

@@ -8,7 +8,6 @@
 //! `n¹(r)` / `H¹` phases.
 
 use crate::{LinalgError, Result};
-use rayon::prelude::*;
 
 /// A dense, row-major, `f64` matrix.
 #[derive(Debug, Clone, PartialEq)]
@@ -209,16 +208,18 @@ impl DMatrix {
         }
         // A matvec is a degenerate GEMM (n = 1); same roofline books.
         crate::gemm::record_roofline(self.rows, 1, self.cols);
-        Ok((0..self.rows)
-            .into_par_iter()
-            .map(|i| {
-                self.row(i)
-                    .iter()
-                    .zip(x.iter())
-                    .map(|(a, b)| a * b)
-                    .sum::<f64>()
-            })
-            .collect())
+        // One mul-add per column ≈ `cols` ns per row: small matvecs run
+        // inline via the grain-size heuristic instead of paying region
+        // setup for sub-setup-cost work.
+        let mut out = vec![0.0f64; self.rows];
+        qp_par::fill_slice_hinted(&mut out, self.cols as u64, |i| {
+            self.row(i)
+                .iter()
+                .zip(x.iter())
+                .map(|(a, b)| a * b)
+                .sum::<f64>()
+        });
+        Ok(out)
     }
 
     /// Symmetric rank-k update `self += alpha * a * aᵀ` through the blocked

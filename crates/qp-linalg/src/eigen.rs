@@ -9,7 +9,19 @@
 use crate::cholesky::Cholesky;
 use crate::dense::DMatrix;
 use crate::{LinalgError, Result};
-use rayon::prelude::*;
+
+/// Raw-pointer wrapper so a parallel row sweep can write its disjoint rows
+/// without aliasing checks the borrow checker cannot express (each row is
+/// touched by exactly one chunk executor).
+struct RowsPtr(*mut f64);
+unsafe impl Send for RowsPtr {}
+unsafe impl Sync for RowsPtr {}
+
+impl RowsPtr {
+    fn get(&self) -> *mut f64 {
+        self.0
+    }
+}
 
 /// Eigenvalues (ascending) and eigenvectors (columns) of a symmetric matrix.
 #[derive(Debug, Clone)]
@@ -33,6 +45,12 @@ pub struct EigenDecomposition {
 /// per element as the classic serial loop (the maps preserve index order
 /// and each row is updated by one thread), so the decomposition is
 /// bit-identical between 1 and N threads.
+///
+/// Each of the four per-column fan-outs carries a flop-count cost hint:
+/// at typical basis sizes (n ≈ 150) a single Householder step is a few
+/// tens of µs of O(n²) work — below the scheduling break-even — so the
+/// hints collapse the former ~4·n-region-per-factorization storm into
+/// inline execution, and only genuinely large matrices fan out.
 fn tridiagonalize(a: &DMatrix) -> (Vec<f64>, Vec<f64>, DMatrix) {
     let n = a.rows();
     let mut v = a.clone();
@@ -61,20 +79,20 @@ fn tridiagonalize(a: &DMatrix) -> (Vec<f64>, Vec<f64>, DMatrix) {
                 // it fans out as a read-only parallel map (the subsequent
                 // column-i writes are hoisted out, they never feed the g's).
                 let vrow_i = v.row(i).to_vec();
-                let g_vals: Vec<f64> = (0..=l)
-                    .into_par_iter()
-                    .map(|j| {
-                        let mut g = 0.0;
-                        let vrow_j = v.row(j);
-                        for k in 0..=j {
-                            g += vrow_j[k] * vrow_i[k];
-                        }
-                        for k in (j + 1)..=l {
-                            g += v[(k, j)] * vrow_i[k];
-                        }
-                        g
-                    })
-                    .collect();
+                let mut g_vals = vec![0.0f64; l + 1];
+                // ~(l+1) mul-adds per item ≈ that many ns: hint lets tiny
+                // columns run inline instead of paying region setup.
+                qp_par::fill_slice_hinted(&mut g_vals, (l + 1) as u64, |j| {
+                    let mut g = 0.0;
+                    let vrow_j = v.row(j);
+                    for k in 0..=j {
+                        g += vrow_j[k] * vrow_i[k];
+                    }
+                    for k in (j + 1)..=l {
+                        g += v[(k, j)] * vrow_i[k];
+                    }
+                    g
+                });
                 let mut tau = 0.0;
                 for (j, &g) in g_vals.iter().enumerate() {
                     v[(j, i)] = v[(i, j)] / h;
@@ -90,16 +108,19 @@ fn tridiagonalize(a: &DMatrix) -> (Vec<f64>, Vec<f64>, DMatrix) {
                 }
                 let vi: Vec<f64> = (0..=l).map(|j| v[(i, j)]).collect();
                 let cols = v.cols();
-                v.as_mut_slice()[..(l + 1) * cols]
-                    .par_chunks_mut(cols)
-                    .enumerate()
-                    .for_each(|(j, row)| {
-                        let f = vi[j];
-                        let g = e[j];
-                        for k in 0..=j {
-                            row[k] -= f * e[k] + g * vi[k];
-                        }
-                    });
+                let base = RowsPtr(v.as_mut_slice().as_mut_ptr());
+                qp_par::for_each_index_hinted(l + 1, l.div_ceil(2).max(1) as u64, |j| {
+                    // SAFETY: row `j` of the leading (l+1)×cols block is
+                    // written by exactly this index; `e` and `vi` are only
+                    // read.
+                    let row =
+                        unsafe { std::slice::from_raw_parts_mut(base.get().add(j * cols), cols) };
+                    let f = vi[j];
+                    let g = e[j];
+                    for k in 0..=j {
+                        row[k] -= f * e[k] + g * vi[k];
+                    }
+                });
             }
         } else {
             e[i] = v[(i, l)];
@@ -115,25 +136,25 @@ fn tridiagonalize(a: &DMatrix) -> (Vec<f64>, Vec<f64>, DMatrix) {
             // computes every g_j from pristine data (the serial loop also
             // read column j strictly before writing it); phase B applies the
             // rank-1 update row-wise so each row is owned by one thread.
-            let g_vals: Vec<f64> = (0..i)
-                .into_par_iter()
-                .map(|j| {
-                    let mut g = 0.0;
-                    for k in 0..i {
-                        g += v[(i, k)] * v[(k, j)];
-                    }
-                    g
-                })
-                .collect();
+            let mut g_vals = vec![0.0f64; i];
+            qp_par::fill_slice_hinted(&mut g_vals, i as u64, |j| {
+                let mut g = 0.0;
+                for k in 0..i {
+                    g += v[(i, k)] * v[(k, j)];
+                }
+                g
+            });
             let cols = v.cols();
-            v.as_mut_slice()[..i * cols]
-                .par_chunks_mut(cols)
-                .for_each(|row| {
-                    let vki = row[i];
-                    for (j, &g) in g_vals.iter().enumerate() {
-                        row[j] -= g * vki;
-                    }
-                });
+            let base = RowsPtr(v.as_mut_slice().as_mut_ptr());
+            qp_par::for_each_index_hinted(i, i as u64, |r| {
+                // SAFETY: row `r` of the leading i×cols block is written by
+                // exactly this index; `g_vals` is only read.
+                let row = unsafe { std::slice::from_raw_parts_mut(base.get().add(r * cols), cols) };
+                let vki = row[i];
+                for (j, &g) in g_vals.iter().enumerate() {
+                    row[j] -= g * vki;
+                }
+            });
         }
         d[i] = v[(i, i)];
         v[(i, i)] = 1.0;

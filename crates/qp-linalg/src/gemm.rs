@@ -13,6 +13,18 @@
 //! Dense means dense: there is no zero-skip branch anywhere (the old
 //! `matmul` skipped `aik == 0.0`, silently changing flop counts between
 //! dense and sparse-ish inputs); sparsity belongs to the CSR path.
+//!
+//! The MR×NR microkernel is runtime-dispatched: an AVX2 `std::arch` path
+//! on x86_64 hosts that support it, and the portable scalar loop
+//! everywhere else (`QP_GEMM_KERNEL=scalar|avx2|auto` overrides, and
+//! [`set_microkernel`] switches at runtime for tests/benches). The AVX2
+//! kernel deliberately uses separate `mul`/`add` — **no FMA** — and seeds
+//! its vector accumulators from `acc`, so every C element sees the exact
+//! same IEEE operation sequence as the scalar kernel: SIMD and scalar
+//! results are bit-identical, which keeps the determinism contract
+//! microkernel-independent.
+
+use std::sync::atomic::{AtomicU8, Ordering};
 
 /// Rows of the packed A block held in L1/L2 per iteration.
 const MC: usize = 128;
@@ -61,10 +73,91 @@ fn pack_b(b: &[f64], ldb: usize, pc: usize, jc: usize, kc: usize, nc: usize, out
     }
 }
 
-/// MR×NR register microkernel: `acc[m][n] += Σ_k ap[k*MR+m] · bp[k*NR+n]`
-/// over one packed-A strip and one packed-B strip of depth `kc`.
+/// Microkernel selector: resolved once from `QP_GEMM_KERNEL` + CPUID on
+/// first use, switchable afterwards via [`set_microkernel`].
+const KERNEL_UNINIT: u8 = 0;
+const KERNEL_SCALAR: u8 = 1;
+const KERNEL_AVX2: u8 = 2;
+
+static KERNEL: AtomicU8 = AtomicU8::new(KERNEL_UNINIT);
+
+#[cfg(target_arch = "x86_64")]
+fn avx2_available() -> bool {
+    std::is_x86_feature_detected!("avx2")
+}
+
+#[cfg(not(target_arch = "x86_64"))]
+fn avx2_available() -> bool {
+    false
+}
+
+fn resolve_kernel(choice: &str) -> u8 {
+    match choice {
+        "scalar" => KERNEL_SCALAR,
+        // "avx2" silently falls back when the host can't run it: an env
+        // override must never turn into an illegal-instruction crash.
+        "avx2" | "auto" | "" => {
+            if avx2_available() {
+                KERNEL_AVX2
+            } else {
+                KERNEL_SCALAR
+            }
+        }
+        _ => KERNEL_SCALAR,
+    }
+}
+
+fn kernel_kind() -> u8 {
+    let k = KERNEL.load(Ordering::Relaxed);
+    if k != KERNEL_UNINIT {
+        return k;
+    }
+    let choice = std::env::var("QP_GEMM_KERNEL").unwrap_or_default();
+    let resolved = resolve_kernel(choice.trim());
+    KERNEL.store(resolved, Ordering::Relaxed);
+    resolved
+}
+
+fn kernel_name(kind: u8) -> &'static str {
+    if kind == KERNEL_AVX2 {
+        "avx2"
+    } else {
+        "scalar"
+    }
+}
+
+/// Name of the microkernel GEMM calls currently dispatch to
+/// (`"avx2"` or `"scalar"`).
+pub fn active_microkernel() -> &'static str {
+    kernel_name(kernel_kind())
+}
+
+/// Force the microkernel (`"scalar"`, `"avx2"`, `"auto"`). Returns the
+/// kernel actually in effect; `Err` if `"avx2"` is requested on a host
+/// without it or the name is unknown. Safe to flip at any time — both
+/// kernels produce bit-identical results, so in-flight GEMMs are
+/// unaffected. Intended for tests and benches.
+pub fn set_microkernel(choice: &str) -> Result<&'static str, String> {
+    let kind = match choice {
+        "scalar" => KERNEL_SCALAR,
+        "avx2" => {
+            if !avx2_available() {
+                return Err("avx2 microkernel unavailable on this host".to_string());
+            }
+            KERNEL_AVX2
+        }
+        "auto" => resolve_kernel("auto"),
+        other => return Err(format!("unknown microkernel {other:?}")),
+    };
+    KERNEL.store(kind, Ordering::Relaxed);
+    Ok(kernel_name(kind))
+}
+
+/// MR×NR register microkernel (portable scalar form):
+/// `acc[m][n] += Σ_k ap[k*MR+m] · bp[k*NR+n]` over one packed-A strip and
+/// one packed-B strip of depth `kc`.
 #[inline]
-fn microkernel(ap: &[f64], bp: &[f64], kc: usize, acc: &mut [f64; MR * NR]) {
+fn microkernel_scalar(ap: &[f64], bp: &[f64], kc: usize, acc: &mut [f64; MR * NR]) {
     for k in 0..kc {
         let av = &ap[k * MR..k * MR + MR];
         let bv = &bp[k * NR..k * NR + NR];
@@ -76,6 +169,56 @@ fn microkernel(ap: &[f64], bp: &[f64], kc: usize, acc: &mut [f64; MR * NR]) {
             }
         }
     }
+}
+
+/// AVX2 form of the same kernel: each 4×8 tile is held in eight `__m256d`
+/// accumulators seeded from `acc` (not zero — a trailing `acc + 0.0`-style
+/// merge could flip signed-zero bits) and updated with separate
+/// `_mm256_mul_pd`/`_mm256_add_pd`. No FMA: fusing would change rounding
+/// versus the scalar kernel and break SIMD/scalar bit-identity. Per C
+/// element the operation sequence — ascending-`k` multiply, then add —
+/// is exactly the scalar kernel's, so the results match bit for bit.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn microkernel_avx2(ap: &[f64], bp: &[f64], kc: usize, acc: &mut [f64; MR * NR]) {
+    use std::arch::x86_64::*;
+    debug_assert!(ap.len() >= kc * MR);
+    debug_assert!(bp.len() >= kc * NR);
+    let pa = ap.as_ptr();
+    let pb = bp.as_ptr();
+    let pacc = acc.as_mut_ptr();
+    let mut c: [[__m256d; 2]; MR] = [[_mm256_setzero_pd(); 2]; MR];
+    for (m, cm) in c.iter_mut().enumerate() {
+        cm[0] = _mm256_loadu_pd(pacc.add(m * NR));
+        cm[1] = _mm256_loadu_pd(pacc.add(m * NR + 4));
+    }
+    for k in 0..kc {
+        let b0 = _mm256_loadu_pd(pb.add(k * NR));
+        let b1 = _mm256_loadu_pd(pb.add(k * NR + 4));
+        for (m, cm) in c.iter_mut().enumerate() {
+            let a = _mm256_set1_pd(*pa.add(k * MR + m));
+            cm[0] = _mm256_add_pd(cm[0], _mm256_mul_pd(a, b0));
+            cm[1] = _mm256_add_pd(cm[1], _mm256_mul_pd(a, b1));
+        }
+    }
+    for (m, cm) in c.iter().enumerate() {
+        _mm256_storeu_pd(pacc.add(m * NR), cm[0]);
+        _mm256_storeu_pd(pacc.add(m * NR + 4), cm[1]);
+    }
+}
+
+/// Dispatch one microkernel call to the active implementation.
+#[inline]
+fn microkernel(kind: u8, ap: &[f64], bp: &[f64], kc: usize, acc: &mut [f64; MR * NR]) {
+    #[cfg(target_arch = "x86_64")]
+    if kind == KERNEL_AVX2 {
+        // SAFETY: KERNEL_AVX2 is only ever selected after a positive
+        // `is_x86_feature_detected!("avx2")` check.
+        unsafe { microkernel_avx2(ap, bp, kc, acc) };
+        return;
+    }
+    let _ = kind;
+    microkernel_scalar(ap, bp, kc, acc);
 }
 
 /// One MC×KC block of A against the current packed-B panel, accumulating
@@ -97,6 +240,7 @@ fn macro_kernel(
 ) {
     let mut ap = Vec::new();
     pack_a(a, lda, ic, pc, mc, kc, &mut ap);
+    let kernel = kernel_kind();
     let m_strips = mc.div_ceil(MR);
     let n_strips = nc.div_ceil(NR);
     let mut acc = [0.0f64; MR * NR];
@@ -107,7 +251,7 @@ fn macro_kernel(
             let astrip = &ap[ir * kc * MR..(ir + 1) * kc * MR];
             let m_eff = (mc - ir * MR).min(MR);
             acc.fill(0.0);
-            microkernel(astrip, bstrip, kc, &mut acc);
+            microkernel(kernel, astrip, bstrip, kc, &mut acc);
             for m in 0..m_eff {
                 let ci = ic + ir * MR + m;
                 let cj = jc + jr * NR;
@@ -248,6 +392,41 @@ mod tests {
         gemm(m, n, k, &a, &b, &mut c_serial, false);
         gemm(m, n, k, &a, &b, &mut c_par, true);
         assert_eq!(c_serial, c_par, "parallel GEMM must be bit-identical");
+    }
+
+    #[test]
+    fn simd_and_scalar_microkernels_are_bit_identical() {
+        if set_microkernel("avx2").is_err() {
+            // Host without AVX2: dispatch already pins scalar; nothing to
+            // compare.
+            return;
+        }
+        let mut seed = 4242u64;
+        // Ragged shape: exercises the zero-padded strip tails too.
+        let (m, n, k) = (97, 61, 143);
+        let a: Vec<f64> = (0..m * k).map(|_| pseudo(&mut seed)).collect();
+        let b: Vec<f64> = (0..k * n).map(|_| pseudo(&mut seed)).collect();
+        let mut c_simd = vec![0.0; m * n];
+        gemm(m, n, k, &a, &b, &mut c_simd, false);
+        set_microkernel("scalar").unwrap();
+        let mut c_scalar = vec![0.0; m * n];
+        gemm(m, n, k, &a, &b, &mut c_scalar, false);
+        set_microkernel("auto").unwrap();
+        let same = c_simd
+            .iter()
+            .zip(c_scalar.iter())
+            .all(|(x, y)| x.to_bits() == y.to_bits());
+        assert!(same, "avx2 and scalar microkernels must agree bit-for-bit");
+    }
+
+    #[test]
+    fn microkernel_override_reports_active_kernel() {
+        assert_eq!(set_microkernel("scalar").unwrap(), "scalar");
+        assert!(set_microkernel("neon").is_err());
+        // Restore auto-dispatch for the rest of the suite.
+        let auto = set_microkernel("auto").unwrap();
+        assert!(auto == "avx2" || auto == "scalar");
+        assert_eq!(active_microkernel(), auto);
     }
 
     #[test]

@@ -32,7 +32,10 @@
 pub mod pool;
 pub mod telemetry;
 
-pub use pool::{active_threads, for_each_index, join, set_active_threads, ThreadLease};
+pub use pool::{
+    active_threads, for_each_index, for_each_index_hinted, inline_cutoff_ns, join,
+    region_allocations, run_region, run_region_hinted, set_active_threads, ThreadLease,
+};
 pub use telemetry::{LabelGuard, LaneStats, RegionRecord};
 
 use std::mem::{ManuallyDrop, MaybeUninit};
@@ -120,6 +123,48 @@ where
     });
 }
 
+/// [`map_vec`] with a per-item cost estimate (ns): sub-threshold maps run
+/// inline via the pool's grain-size heuristic instead of paying region
+/// setup.
+pub fn map_vec_hinted<T, R, F>(items: Vec<T>, est_item_ns: u64, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let est = est_item_ns.saturating_mul(n as u64);
+    if active_threads() <= 1 || n == 1 || est < inline_cutoff_ns() {
+        return items.into_iter().map(f).collect();
+    }
+    map_vec(items, f)
+}
+
+/// Fill `out[i] = f(i)` for every index, in parallel when the estimated
+/// cost justifies a region. Deterministic: index → slot, identical at any
+/// thread count. `Copy` bound keeps the overwrite drop-free.
+pub fn fill_slice_hinted<R, F>(out: &mut [R], est_item_ns: u64, f: F)
+where
+    R: Copy + Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let n = out.len();
+    if n == 0 {
+        return;
+    }
+    let out_ptr = SharedPtr(out.as_mut_ptr());
+    pool::run_region_hinted(n, est_item_ns, &|start, end| {
+        for i in start..end {
+            // SAFETY: `i` is claimed by exactly one chunk executor, so this
+            // write races with nothing; `R: Copy` means no drop is skipped.
+            unsafe { out_ptr.get().add(i).write(f(i)) };
+        }
+    });
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -171,6 +216,34 @@ mod tests {
             compute()
         };
         assert!(one.iter().zip(eight.iter()).all(|(a, b)| a == b));
+    }
+
+    #[test]
+    fn fill_slice_hinted_is_bit_identical_for_any_cost_hint() {
+        let _g = pool::ThreadLease::at_least(4);
+        let expect: Vec<f64> = (0..513).map(|i| (i as f64).sqrt().sin()).collect();
+        // 0 and 1 take the inline path, the huge hint takes the region path;
+        // both must produce the same bits in the same slots.
+        for est in [0u64, 1, 1_000_000] {
+            let mut out = vec![0.0f64; 513];
+            fill_slice_hinted(&mut out, est, |i| (i as f64).sqrt().sin());
+            assert!(
+                out.iter()
+                    .zip(expect.iter())
+                    .all(|(a, b)| a.to_bits() == b.to_bits()),
+                "hint {est} changed results"
+            );
+        }
+    }
+
+    #[test]
+    fn map_vec_hinted_preserves_order() {
+        let _g = pool::ThreadLease::at_least(4);
+        for est in [0u64, 1_000_000] {
+            let v: Vec<usize> = (0..500).collect();
+            let out = map_vec_hinted(v, est, |x| x * 7);
+            assert_eq!(out, (0..500).map(|x| x * 7).collect::<Vec<_>>());
+        }
     }
 
     #[test]

@@ -5,9 +5,22 @@
 //! `fetch_add` per chunk). The submitting thread always participates, so a
 //! region finishes even with zero free workers; workers pick regions off a
 //! FIFO queue and help until each region is drained.
+//!
+//! Two mechanisms keep small regions from drowning in scheduling cost:
+//!
+//! * **Grain-size heuristic** — callers that know their per-item cost use
+//!   the `_hinted` entry points; regions whose estimated serial time falls
+//!   below [`inline_cutoff_ns`] (`QP_PAR_INLINE_NS`, default 50 µs — the
+//!   approximate 2-thread break-even against the measured region setup
+//!   cost) run inline on the caller with no queue traffic and no setup.
+//! * **Reusable region shell** — each thread caches its last drained
+//!   `Region` allocation and re-arms it for the next submission when it
+//!   holds the only reference, so iteration-heavy phases (SCF/DFPT loops)
+//!   pay the region allocation once, not once per loop.
 
 use crate::telemetry::{self, LaneStats, RegionRecord};
 use parking_lot::{Condvar, Mutex};
+use std::cell::RefCell;
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -19,6 +32,13 @@ use std::time::Instant;
 /// compromise.
 const CHUNKS_PER_THREAD: usize = 4;
 
+/// Default estimated-serial-cost cutoff below which a *hinted* region runs
+/// inline. The profiled enqueue+wakeup cost is ~25-30 µs per region, so at
+/// 2 threads a region only breaks even once its serial work exceeds
+/// roughly `setup / (1 - 1/T - imbalance)` ≈ 70 µs; 50 µs errs slightly
+/// toward fan-out for the benefit of wider hosts.
+const DEFAULT_INLINE_CUTOFF_NS: u64 = 50_000;
+
 type PanicPayload = Box<dyn std::any::Any + Send + 'static>;
 
 /// Erased `&dyn Fn(usize, usize)` (start, end of an item range) whose
@@ -27,7 +47,7 @@ struct RawJob(*const (dyn Fn(usize, usize) + Sync));
 unsafe impl Send for RawJob {}
 unsafe impl Sync for RawJob {}
 
-/// Telemetry side-car for one region: set only while
+/// Telemetry side-car for one region run: set only while
 /// [`telemetry::enabled`] at submission time, `None` otherwise (the
 /// disabled hot path pays one `Option` branch per chunk).
 struct RegionStats {
@@ -67,60 +87,95 @@ impl RegionStats {
     }
 }
 
-/// One in-flight parallel region.
-struct Region {
+/// Per-run state of a region. Written by the submitter while it holds the
+/// *only* strong reference to the `Region` (fresh allocation or verified
+/// `Arc::strong_count == 1` reuse), then published to workers by the queue
+/// mutex: every worker locks the queue before it can clone the `Arc`, so
+/// the submitter's writes happen-before any worker read.
+struct RunFields {
     job: RawJob,
     /// Total items; chunk `c` covers `[c*chunk, min((c+1)*chunk, n_items))`.
     n_items: usize,
     chunk: usize,
     n_chunks: usize,
-    /// Next chunk to claim (fetch_add ticket).
-    next: AtomicUsize,
-    /// Chunks finished (executed or skipped after cancellation).
-    done: AtomicUsize,
     /// Submitter's qp-trace rank, propagated to workers.
     rank: usize,
     /// Submitter's phase label at submission, propagated to chunk
     /// executors while telemetry records — so work done (and roofline
     /// counters emitted) inside worker chunks lands in the right phase.
     label: &'static str,
+    /// Telemetry side-car (`None` when recording is off).
+    stats: Option<Arc<RegionStats>>,
+}
+
+/// One (re-armable) parallel region.
+struct Region {
+    /// Per-run fields; see [`RunFields`] for the publication argument.
+    run: Mutex<RunFields>,
+    /// Mirror of `run.n_chunks` for the lock-free `drained` check in the
+    /// worker loop.
+    queued: AtomicUsize,
+    /// Next chunk to claim (fetch_add ticket).
+    next: AtomicUsize,
+    /// Chunks finished (executed or skipped after cancellation).
+    done: AtomicUsize,
     /// Set on first panic: remaining chunks are skipped (still counted).
     cancelled: AtomicBool,
     panic: Mutex<Option<PanicPayload>>,
     finished: Mutex<bool>,
     finished_cv: Condvar,
-    /// Telemetry side-car (`None` when recording is off).
-    stats: Option<RegionStats>,
 }
 
 impl Region {
-    /// Claim-and-execute loop: run chunks until none are left. Returns
-    /// whether this call finished the last chunk.
+    fn fresh(fields: RunFields) -> Region {
+        let n_chunks = fields.n_chunks;
+        FRESH_REGIONS.fetch_add(1, Ordering::Relaxed);
+        Region {
+            run: Mutex::new(fields),
+            queued: AtomicUsize::new(n_chunks),
+            next: AtomicUsize::new(0),
+            done: AtomicUsize::new(0),
+            cancelled: AtomicBool::new(false),
+            panic: Mutex::new(None),
+            finished: Mutex::new(false),
+            finished_cv: Condvar::new(),
+        }
+    }
+
+    /// Claim-and-execute loop: run chunks until none are left.
     fn help(&self) {
+        let (job, n_items, chunk, n_chunks, label, stats) = {
+            let run = self.run.lock();
+            (
+                RawJob(run.job.0),
+                run.n_items,
+                run.chunk,
+                run.n_chunks,
+                run.label,
+                run.stats.clone(),
+            )
+        };
         loop {
             let c = self.next.fetch_add(1, Ordering::AcqRel);
-            if c >= self.n_chunks {
+            if c >= n_chunks {
                 return;
             }
-            if let Some(st) = &self.stats {
+            if let Some(st) = &stats {
                 if c == 0 {
                     st.first_claim_ns
                         .store(st.enqueued.elapsed().as_nanos() as u64, Ordering::Relaxed);
                 }
             }
             if !self.cancelled.load(Ordering::Acquire) {
-                let start = c * self.chunk;
-                let end = (start + self.chunk).min(self.n_items);
-                // SAFETY: run_region keeps the closure alive until every
+                let start = c * chunk;
+                let end = (start + chunk).min(n_items);
+                // SAFETY: the submitter keeps the closure alive until every
                 // chunk is accounted for in `done`.
-                let job = unsafe { &*self.job.0 };
-                let t0 = self.stats.as_ref().map(|_| Instant::now());
+                let job = unsafe { &*job.0 };
+                let t0 = stats.as_ref().map(|_| Instant::now());
                 if let Err(p) = catch_unwind(AssertUnwindSafe(|| {
-                    let _depth = self.stats.as_ref().map(|_| telemetry::enter_chunk());
-                    let _label = self
-                        .stats
-                        .as_ref()
-                        .map(|_| telemetry::LabelGuard::set(self.label));
+                    let _depth = stats.as_ref().map(|_| telemetry::enter_chunk());
+                    let _label = stats.as_ref().map(|_| telemetry::LabelGuard::set(label));
                     job(start, end)
                 })) {
                     self.cancelled.store(true, Ordering::Release);
@@ -129,14 +184,14 @@ impl Region {
                         *slot = Some(p);
                     }
                 }
-                if let (Some(t0), Some(st)) = (t0, &self.stats) {
+                if let (Some(t0), Some(st)) = (t0, &stats) {
                     st.credit(t0.elapsed().as_nanos() as u64);
                 }
             }
             // AcqRel: releases this chunk's output writes to whoever sees
             // the final count, and acquires prior chunks' writes for the
             // finisher.
-            if self.done.fetch_add(1, Ordering::AcqRel) + 1 == self.n_chunks {
+            if self.done.fetch_add(1, Ordering::AcqRel) + 1 == n_chunks {
                 let mut fin = self.finished.lock();
                 *fin = true;
                 self.finished_cv.notify_all();
@@ -145,8 +200,26 @@ impl Region {
     }
 
     fn drained(&self) -> bool {
-        self.next.load(Ordering::Acquire) >= self.n_chunks
+        self.next.load(Ordering::Acquire) >= self.queued.load(Ordering::Acquire)
     }
+}
+
+/// Fresh `Region` allocations since process start. Reuse of the per-thread
+/// shell keeps this far below the number of regions *run*; exposed so tests
+/// and diagnostics can verify the amortization actually happens.
+static FRESH_REGIONS: AtomicU64 = AtomicU64::new(0);
+
+/// Count of `Region` allocations so far (reused shells do not count).
+pub fn region_allocations() -> u64 {
+    FRESH_REGIONS.load(Ordering::Relaxed)
+}
+
+thread_local! {
+    /// The calling thread's cached region shell: the last region this
+    /// thread submitted and fully drained, kept for re-arming. `RefCell`
+    /// so a nested submission (from inside one of our own chunks) falls
+    /// back to a fresh allocation instead of aliasing the live shell.
+    static SHELL: RefCell<Option<Arc<Region>>> = const { RefCell::new(None) };
 }
 
 /// The process-global pool.
@@ -182,6 +255,18 @@ fn threads_from_env() -> usize {
     std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1)
+}
+
+/// Serial-cost cutoff for the hinted inline heuristic (`QP_PAR_INLINE_NS`,
+/// default [`DEFAULT_INLINE_CUTOFF_NS`]; `0` disables inlining-by-hint).
+pub fn inline_cutoff_ns() -> u64 {
+    static CUTOFF: OnceLock<u64> = OnceLock::new();
+    *CUTOFF.get_or_init(|| {
+        std::env::var("QP_PAR_INLINE_NS")
+            .ok()
+            .and_then(|v| v.trim().parse::<u64>().ok())
+            .unwrap_or(DEFAULT_INLINE_CUTOFF_NS)
+    })
 }
 
 /// Current parallelism target (1 = everything runs inline on the caller).
@@ -266,9 +351,38 @@ fn worker_loop(index: usize) {
             }
         };
         // Attribute everything executed here to the submitter's rank.
-        qp_trace::set_thread_rank(region.rank);
+        let rank = region.run.lock().rank;
+        qp_trace::set_thread_rank(rank);
         region.help();
     }
+}
+
+/// Take the calling thread's cached shell and re-arm it with `fields`, or
+/// allocate fresh when the shell is absent, busy (nested submission), or
+/// still referenced by a straggling worker / the queue.
+fn acquire_region(p: &'static Pool, fields: RunFields) -> Arc<Region> {
+    let cached = SHELL.with(|s| s.try_borrow_mut().ok().and_then(|mut slot| slot.take()));
+    if let Some(r) = cached {
+        if Arc::strong_count(&r) > 1 {
+            // Drained shells linger at the queue front until a worker next
+            // sweeps them; evict ours so the count can reach 1.
+            p.queue.lock().retain(|q| !Arc::ptr_eq(q, &r));
+        }
+        if Arc::strong_count(&r) == 1 {
+            // Sole owner: no worker or queue reference can observe the
+            // reset. The queue mutex publishes these writes on push.
+            let n_chunks = fields.n_chunks;
+            r.next.store(0, Ordering::Relaxed);
+            r.done.store(0, Ordering::Relaxed);
+            r.cancelled.store(false, Ordering::Relaxed);
+            *r.finished.lock() = false;
+            *r.panic.lock() = None;
+            *r.run.lock() = fields;
+            r.queued.store(n_chunks, Ordering::Relaxed);
+            return r;
+        }
+    }
+    Arc::new(Region::fresh(fields))
 }
 
 /// Run `job(start, end)` over `n_items` split into chunks, in parallel on
@@ -276,6 +390,18 @@ fn worker_loop(index: usize) {
 /// are re-raised here after the region drains (so borrowed data stays valid
 /// for the region's whole lifetime).
 pub fn run_region(n_items: usize, job: &(dyn Fn(usize, usize) + Sync)) {
+    run_region_impl(n_items, None, job)
+}
+
+/// [`run_region`] with a caller-supplied per-item cost estimate (ns). When
+/// the estimated serial time is below [`inline_cutoff_ns`] the region runs
+/// inline — no queue, no wakeup, no setup — which is a net win for regions
+/// cheaper than the scheduling round trip.
+pub fn run_region_hinted(n_items: usize, est_item_ns: u64, job: &(dyn Fn(usize, usize) + Sync)) {
+    run_region_impl(n_items, Some(est_item_ns), job)
+}
+
+fn run_region_impl(n_items: usize, est_item_ns: Option<u64>, job: &(dyn Fn(usize, usize) + Sync)) {
     if n_items == 0 {
         return;
     }
@@ -284,6 +410,15 @@ pub fn run_region(n_items: usize, job: &(dyn Fn(usize, usize) + Sync)) {
     if threads <= 1 || n_items == 1 {
         run_inline(n_items, n_items, 1, threads, recording, job);
         return;
+    }
+    // Grain-size heuristic: a region whose whole serial cost is below the
+    // scheduling round trip is cheaper to run right here.
+    if let Some(est) = est_item_ns {
+        let cutoff = inline_cutoff_ns();
+        if cutoff > 0 && est.saturating_mul(n_items as u64) < cutoff {
+            run_inline(n_items, n_items, 1, threads, recording, job);
+            return;
+        }
     }
     let chunk = n_items.div_ceil(threads * CHUNKS_PER_THREAD).max(1);
     let n_chunks = n_items.div_ceil(chunk);
@@ -305,21 +440,19 @@ pub fn run_region(n_items: usize, job: &(dyn Fn(usize, usize) + Sync)) {
     // observed under its mutex — so no worker touches `job` after return.
     let job_static: *const (dyn Fn(usize, usize) + Sync) =
         unsafe { std::mem::transmute(job as *const (dyn Fn(usize, usize) + Sync)) };
-    let region = Arc::new(Region {
-        job: RawJob(job_static),
-        n_items,
-        chunk,
-        n_chunks,
-        next: AtomicUsize::new(0),
-        done: AtomicUsize::new(0),
-        rank: qp_trace::thread_rank(),
-        label,
-        cancelled: AtomicBool::new(false),
-        panic: Mutex::new(None),
-        finished: Mutex::new(false),
-        finished_cv: Condvar::new(),
-        stats: recording.then(RegionStats::new),
-    });
+    let stats = recording.then(|| Arc::new(RegionStats::new()));
+    let region = acquire_region(
+        p,
+        RunFields {
+            job: RawJob(job_static),
+            n_items,
+            chunk,
+            n_chunks,
+            rank: qp_trace::thread_rank(),
+            label,
+            stats: stats.clone(),
+        },
+    );
     p.queue.lock().push_back(region.clone());
     p.work_cv.notify_all();
     let setup_ns = t_start.map(|t| t.elapsed().as_nanos() as u64).unwrap_or(0);
@@ -335,10 +468,15 @@ pub fn run_region(n_items: usize, job: &(dyn Fn(usize, usize) + Sync)) {
     if let Some(p) = payload {
         std::panic::resume_unwind(p);
     }
-    if let (Some(t_start), Some(st)) = (t_start, &region.stats) {
+    if let (Some(t_start), Some(st)) = (t_start, &stats) {
         // Every executed chunk credited its lane before being counted in
         // `done`, so the lane list is complete once the region drains.
         let fc = st.first_claim_ns.load(Ordering::Relaxed);
+        let lanes = std::mem::take(&mut *st.lanes.lock());
+        // A region the submitter drained single-handedly is de-facto
+        // inline work: no worker ever touched it, so its wall time belongs
+        // to the serial remainder, not to parallel setup.
+        let caller_only = lanes.len() == 1 && lanes[0].lane == telemetry::lane_id();
         telemetry::record(RegionRecord {
             label,
             n_items,
@@ -346,13 +484,20 @@ pub fn run_region(n_items: usize, job: &(dyn Fn(usize, usize) + Sync)) {
             n_chunks,
             threads,
             inline: false,
+            caller_only,
             nested,
             setup_ns,
             queue_wait_ns: if fc == u64::MAX { 0 } else { fc },
             wall_ns: t_start.elapsed().as_nanos() as u64,
-            lanes: std::mem::take(&mut *st.lanes.lock()),
+            lanes,
         });
     }
+    // Cache the drained shell for this thread's next submission.
+    SHELL.with(|s| {
+        if let Ok(mut slot) = s.try_borrow_mut() {
+            *slot = Some(region);
+        }
+    });
 }
 
 /// Execute a region inline on the caller, recording it (as serial time)
@@ -383,6 +528,7 @@ fn run_inline(
         n_chunks,
         threads,
         inline: true,
+        caller_only: true,
         nested,
         setup_ns: 0,
         queue_wait_ns: 0,
@@ -403,6 +549,20 @@ where
     F: Fn(usize) + Sync,
 {
     run_region(n, &|start, end| {
+        for i in start..end {
+            f(i);
+        }
+    });
+}
+
+/// [`for_each_index`] with a per-item cost estimate (ns) feeding the
+/// grain-size heuristic: sub-threshold loops run inline with zero
+/// scheduling cost.
+pub fn for_each_index_hinted<F>(n: usize, est_item_ns: u64, f: F)
+where
+    F: Fn(usize) + Sync,
+{
+    run_region_hinted(n, est_item_ns, &|start, end| {
         for i in start..end {
             f(i);
         }
@@ -468,6 +628,46 @@ mod tests {
             ran.fetch_add(1, Ordering::Relaxed);
         });
         assert_eq!(ran.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn hinted_regions_run_inline_below_cutoff_and_complete_above() {
+        let _g = ThreadLease::at_least(4);
+        // Tiny estimated cost -> inline, still every index exactly once.
+        let seen = Mutex::new(HashSet::new());
+        for_each_index_hinted(100, 1, |i| {
+            assert!(seen.lock().insert(i), "index {i} ran twice");
+        });
+        assert_eq!(seen.lock().len(), 100);
+        // Huge estimated cost -> scheduled path, same contract.
+        let seen = Mutex::new(HashSet::new());
+        for_each_index_hinted(100, 1_000_000, |i| {
+            assert!(seen.lock().insert(i), "index {i} ran twice");
+        });
+        assert_eq!(seen.lock().len(), 100);
+    }
+
+    #[test]
+    fn region_shell_is_reused_across_iterations() {
+        let _g = ThreadLease::exactly(4);
+        // Warm up: make sure this thread has a cached shell.
+        for_each_index(64, |i| {
+            std::hint::black_box(i);
+        });
+        let before = region_allocations();
+        for _ in 0..100 {
+            for_each_index(64, |i| {
+                std::hint::black_box(i);
+            });
+        }
+        let allocated = region_allocations() - before;
+        // Reuse is opportunistic (a straggling worker can hold the shell's
+        // Arc), but across 100 back-to-back regions the shell must be
+        // reused most of the time or the amortization is broken.
+        assert!(
+            allocated < 50,
+            "expected mostly-reused shells, got {allocated} fresh allocations in 100 regions"
+        );
     }
 
     #[test]

@@ -44,8 +44,16 @@ pub struct RegionRecord {
     pub n_chunks: usize,
     /// Parallelism target when the region was submitted.
     pub threads: usize,
-    /// Executed inline on the caller (single-thread limit or too few chunks).
+    /// Executed inline on the caller (single-thread limit, too few chunks,
+    /// or a cost hint below the grain-size cutoff) — never enqueued at all.
     pub inline: bool,
+    /// Every chunk ran on the submitting thread. True for all `inline`
+    /// records, and also for *enqueued* regions that the caller drained
+    /// before any worker arrived: those are de-facto serial work, and
+    /// attribution must not bill their wall time as parallel setup.
+    /// Unlike `inline`, this flag is timing-dependent (it reports what
+    /// actually happened, not what was requested).
+    pub caller_only: bool,
     /// Submitted from inside another region's chunk (its wall time is part
     /// of the parent's busy time — attribution must skip it).
     pub nested: bool,
@@ -93,8 +101,21 @@ pub fn set_enabled(on: bool) {
 }
 
 /// Drain every record accumulated so far.
+///
+/// Aggregation hygiene: `queue_wait_ns` uses a `u64::MAX` "never claimed"
+/// sentinel inside the pool. The pool clamps it when it builds a record,
+/// but any sentinel that slips through (e.g. a region drained entirely by
+/// the caller before workers ever saw it, or a re-armed shell recorded
+/// mid-reset) is clamped to zero here so it can never dominate summed
+/// statistics.
 pub fn take_records() -> Vec<RegionRecord> {
-    std::mem::take(&mut *SINK.lock())
+    let mut records = std::mem::take(&mut *SINK.lock());
+    for r in &mut records {
+        if r.queue_wait_ns == u64::MAX {
+            r.queue_wait_ns = 0;
+        }
+    }
+    records
 }
 
 /// This thread's stable lane ordinal (assigned on first use).
@@ -196,6 +217,7 @@ mod tests {
             n_chunks: 2,
             threads: 2,
             inline: false,
+            caller_only: false,
             nested: false,
             setup_ns: 10,
             queue_wait_ns: 5,
@@ -215,5 +237,33 @@ mod tests {
         };
         assert_eq!(r.total_busy_ns(), 100);
         assert_eq!(r.max_busy_ns(), 80);
+    }
+
+    #[test]
+    fn take_records_clamps_unclaimed_queue_wait_sentinel() {
+        let sentinel = RegionRecord {
+            label: "unclaimed",
+            n_items: 8,
+            grain: 4,
+            n_chunks: 2,
+            threads: 2,
+            inline: false,
+            caller_only: true,
+            nested: false,
+            setup_ns: 10,
+            queue_wait_ns: u64::MAX,
+            wall_ns: 100,
+            lanes: Vec::new(),
+        };
+        record(sentinel);
+        let drained: Vec<_> = take_records()
+            .into_iter()
+            .filter(|r| r.label == "unclaimed")
+            .collect();
+        assert_eq!(drained.len(), 1);
+        assert_eq!(
+            drained[0].queue_wait_ns, 0,
+            "u64::MAX first-claim sentinel must not leak into aggregation"
+        );
     }
 }

@@ -87,6 +87,10 @@ fn region_records_are_deterministic_and_complete() {
         .find(|r| r.n_items == 1)
         .expect("inline region recorded");
     assert!(inline.inline);
+    assert!(
+        inline.caller_only,
+        "inline records are by definition caller-only"
+    );
     assert_eq!(inline.label, "sumup");
     assert_eq!(inline.lanes.len(), 1);
 

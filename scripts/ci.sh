@@ -21,6 +21,11 @@ QP_THREADS=4 cargo test -q -p qp-core sternheimer
 echo "== perf smoke + Sternheimer phase-regression guard (bench_perf --quick --guard)"
 bash scripts/bench_perf.sh --quick --guard --out "$(mktemp)"
 
+echo "== regenerate BENCH_perf.json under the tightened e2e guard"
+# Full workloads with --guard: exits 4 whenever any case's parallel leg is
+# slower than its serial reference on a >= 2-core host (zero slack).
+QP_THREADS=2 bash scripts/bench_perf.sh --guard --out BENCH_perf.json
+
 echo "== profile smoke: qperturb --profile on water (schema + artifact)"
 cargo build -q --release -p qp-cli -p qp-bench
 profile_dir="$(mktemp -d)"

@@ -121,3 +121,24 @@ fn ligand_polarizability_bit_identical_1_vs_8_threads() {
     assert!(!serial.scf_trace.is_empty(), "trace must record iterations");
     assert_eq!(serial, parallel);
 }
+
+/// The SIMD microkernel must be an exact drop-in for the scalar one: the
+/// full ligand pipeline on an 8-worker pool (coarsened regions, fused
+/// density writes, planned Hartree evaluation) is compared bit-for-bit
+/// between the two GEMM microkernels. Safe to flip the global kernel here
+/// even with concurrent tests — both kernels produce identical bits, which
+/// is exactly what this test pins.
+#[test]
+fn ligand_pipeline_bit_identical_scalar_vs_simd_microkernel() {
+    qp_linalg::gemm::set_microkernel("scalar").expect("scalar kernel always available");
+    let scalar = run_ligand(8);
+    let simd = match qp_linalg::gemm::set_microkernel("avx2") {
+        Ok(_) => Some(run_ligand(8)),
+        Err(_) => None,
+    };
+    qp_linalg::gemm::set_microkernel("auto").expect("restore auto dispatch");
+    match simd {
+        Some(simd) => assert_eq!(scalar, simd),
+        None => eprintln!("host lacks AVX2; SIMD leg skipped (scalar leg still exercised)"),
+    }
+}

@@ -349,3 +349,74 @@ proptest! {
         prop_assert!(gemm.max_abs_diff(&gemm.transpose()) <= 1e-11 * scale);
     }
 }
+
+// ---------------------------------------------------------------------------
+// Fused super-batch density vs the per-batch oracle.
+//
+// `System::density_on_grid` fans the batches out as one coarsened region
+// whose workers write straight into the shared density vector;
+// `batch_density` is the per-batch oracle it must reproduce *bit for bit*
+// for any density matrix, at any thread count, on either GEMM microkernel.
+
+fn shared_density_system() -> &'static qp_core::System {
+    use std::sync::OnceLock;
+    static SYS: OnceLock<qp_core::System> = OnceLock::new();
+    SYS.get_or_init(|| {
+        let mut gs = qp_chem::grids::GridSettings::light();
+        gs.n_radial = 16;
+        gs.max_angular = 14;
+        qp_core::System::build(
+            qp_chem::structures::water(),
+            qp_chem::basis::BasisSettings::Light,
+            &gs,
+            40, // small batches → many regions → the fused path really fans out
+            2,
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn fused_density_bit_identical_to_per_batch_oracle(
+        seed in 0u64..u64::MAX,
+        threads_pick in 0usize..3,
+    ) {
+        let sys = shared_density_system();
+        let nb = sys.n_basis();
+        // Deterministic pseudo-random symmetric matrix from the seed
+        // (splitmix64), so each case probes a different density matrix
+        // without hauling nb² values through the strategy.
+        let mut state = seed;
+        let mut next = move || {
+            state = state.wrapping_add(0x9e3779b97f4a7c15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+            z ^= z >> 31;
+            (z as f64 / u64::MAX as f64) * 4.0 - 2.0
+        };
+        let mut p = DMatrix::from_fn(nb, nb, |_, _| next());
+        p.symmetrize();
+
+        let _lease = qp_par::ThreadLease::exactly([1, 2, 8][threads_pick]);
+        let fused = sys.density_on_grid(&p);
+
+        // Per-batch oracle: serial loop + merge by grid index.
+        let mut oracle = vec![0.0f64; sys.grid.len()];
+        for batch in sys.batches.iter() {
+            let local = sys.batch_density(batch.id, &p);
+            for (pi, &v) in local.iter().enumerate() {
+                oracle[batch.points[pi].grid_index as usize] = v;
+            }
+        }
+        prop_assert_eq!(fused.len(), oracle.len());
+        for (gi, (f, o)) in fused.iter().zip(oracle.iter()).enumerate() {
+            prop_assert!(
+                f.to_bits() == o.to_bits(),
+                "fused density diverged from the per-batch oracle at grid point {gi}"
+            );
+        }
+    }
+}
