@@ -17,12 +17,14 @@
 //! aborts if the parallel leg would end up single-threaded. The JSON
 //! carries both rows plus the end-to-end speedup.
 //!
-//! `--guard` adds three regression checks:
+//! `--guard` adds four regression checks:
 //!
 //! 1. the phase check: one ligand-49 DFPT direction, failing the process
 //!    if the Sternheimer phase takes more than a generous multiple of
 //!    Sumup — the signature of the O(n⁴) pair-loop accidentally replacing
-//!    the GEMM-form response build (exit 3);
+//!    the GEMM-form response build (exit 3) — or if the Rho phase exceeds
+//!    its own multiple of Sumup — region coarsening / fused super-batch
+//!    regression (exit 6);
 //! 2. the end-to-end check: any case whose parallel leg is slower than
 //!    `serial × (1 + slack)` fails (exit 4). The slack comes from
 //!    `QP_BENCH_E2E_SLACK`, defaulting to 0.0 on hosts with ≥ 2 physical
@@ -428,6 +430,23 @@ fn run_phase_guard() {
              is likely back on the hot path"
         );
         std::process::exit(3);
+    }
+    // Rho leg: the multipole Poisson solve sits between Sumup and H on the
+    // same grid data. Healthy profiles put it at a small multiple of Sumup
+    // (~2.8x on the reference host); the pre-coarsening regression ran it
+    // at ~14x. Guard with generous slack so only a structural regression
+    // (per-point region dispatch, lost fusion) trips it.
+    const RHO_FACTOR: f64 = 6.0;
+    let rho = phase_sum(Phase::Rho);
+    let rho_limit = RHO_FACTOR * sumup.max(FLOOR_S);
+    println!("phase guard: rho {rho:.3}s (limit {rho_limit:.3}s)");
+    if rho > rho_limit {
+        eprintln!(
+            "bench_perf: Rho phase regression — {rho:.3}s exceeds {RHO_FACTOR}x \
+             max(sumup = {sumup:.3}s, {FLOOR_S}s); region coarsening or the fused \
+             Rho super-batches have likely regressed"
+        );
+        std::process::exit(6);
     }
 }
 

@@ -155,6 +155,35 @@ pub struct DirectionResponse {
     pub iterations: usize,
 }
 
+/// The loop-carried state of one serial DFPT direction between iterations:
+/// everything needed to resume the Sternheimer self-consistency at
+/// `iteration + 1` and replay the remaining iterations **bit-exactly**
+/// (the mixer is deterministic in its inputs, so a resumed cycle walks the
+/// identical floating-point sequence). Snapshotted by the serving layer
+/// (`qp-serve`) into `QPCK` job checkpoints at preemption boundaries.
+#[derive(Debug, Clone)]
+pub struct DfptDirState {
+    /// Completed DFPT iterations.
+    pub iteration: usize,
+    /// Mixed response density matrix entering iteration `iteration + 1`.
+    pub p1: DMatrix,
+    /// `‖ΔP¹‖` at `iteration` (diagnostic only).
+    pub residual: f64,
+    /// Pulay/DIIS mixer input history (empty under linear mixing).
+    pub diis_in: Vec<DMatrix>,
+    /// Pulay/DIIS mixer residual history (same length as `diis_in`).
+    pub diis_res: Vec<DMatrix>,
+}
+
+/// Outcome of a preemptible DFPT direction run.
+pub enum DirOutcome {
+    /// The cycle converged; the physics result.
+    Converged(DirectionResponse),
+    /// The `on_iter` callback requested preemption; resume later by
+    /// passing this state back to [`dfpt_direction_preemptible`].
+    Preempted(DfptDirState),
+}
+
 /// Build `P¹` from ground-state and response coefficients (Eq. 7, f = 2):
 /// the **DM** phase.
 pub fn response_density_matrix(c: &DMatrix, c1: &DMatrix, n_occ: usize) -> DMatrix {
@@ -216,6 +245,30 @@ pub fn dfpt_direction_with(
     dir: usize,
     opts: &DfptOptions,
 ) -> Result<DirectionResponse> {
+    match dfpt_direction_preemptible(system, ground, shared, dir, opts, None, &mut |_| true)? {
+        DirOutcome::Converged(resp) => Ok(resp),
+        DirOutcome::Preempted(_) => unreachable!("callback never preempts"),
+    }
+}
+
+/// [`dfpt_direction_with`] with checkpoint/preemption hooks — the
+/// resumable-run entry point the serving layer drives.
+///
+/// `resume` seeds the cycle from a previously captured [`DfptDirState`];
+/// `on_iter` observes the loop-carried state after every non-converged
+/// iteration and returns `false` to preempt the run at that boundary. A
+/// preempted-then-resumed cycle replays the identical floating-point
+/// sequence as an uninterrupted one, so the converged `P¹` (and every
+/// polarizability element contracted from it) matches to the bit.
+pub fn dfpt_direction_preemptible(
+    system: &System,
+    ground: &ScfResult,
+    shared: &DfptShared,
+    dir: usize,
+    opts: &DfptOptions,
+    resume: Option<DfptDirState>,
+    on_iter: &mut dyn FnMut(&DfptDirState) -> bool,
+) -> Result<DirOutcome> {
     let nb = system.n_basis();
     let dip = &shared.dips[dir];
     let c = &ground.orbitals;
@@ -235,11 +288,21 @@ pub fn dfpt_direction_with(
     let dir_label = ["x", "y", "z"][dir.min(2)];
     let residual_gauge = qp_trace::global_metrics().gauge("dfpt.residual", &[("dir", dir_label)]);
 
-    let mut p1 = DMatrix::zeros(nb, nb);
-    let mut mixer = MixState::new(opts.mixer, opts.mixing);
+    let (start_iter, mut p1, mut mixer) = match resume {
+        Some(st) => (
+            st.iteration,
+            st.p1,
+            MixState::with_history(opts.mixer, opts.mixing, st.diis_in, st.diis_res),
+        ),
+        None => (
+            0,
+            DMatrix::zeros(nb, nb),
+            MixState::new(opts.mixer, opts.mixing),
+        ),
+    };
     let mut residual = f64::INFINITY;
 
-    for iter in 1..=opts.max_iter {
+    for iter in (start_iter + 1)..=opts.max_iter {
         let mut iter_span =
             qp_trace::SpanGuard::begin(qp_trace::thread_rank(), qp_trace::Phase::Dfpt, "dfpt.iter");
         if iter_span.is_recording() {
@@ -312,11 +375,23 @@ pub fn dfpt_direction_with(
 
         if residual < opts.tol {
             let n1 = system.density_on_grid(&p1);
-            return Ok(DirectionResponse {
+            return Ok(DirOutcome::Converged(DirectionResponse {
                 p1,
                 n1,
                 iterations: iter,
-            });
+            }));
+        }
+
+        let (diis_in, diis_res) = mixer.history();
+        let state = DfptDirState {
+            iteration: iter,
+            p1: p1.clone(),
+            residual,
+            diis_in: diis_in.to_vec(),
+            diis_res: diis_res.to_vec(),
+        };
+        if !on_iter(&state) {
+            return Ok(DirOutcome::Preempted(state));
         }
     }
     Err(CoreError::NoConvergence {

@@ -38,11 +38,13 @@ pub mod resil;
 pub mod scf;
 pub mod system;
 
-pub use dfpt::{dfpt, DfptOptions, DfptResult};
+pub use dfpt::{
+    dfpt, dfpt_direction_preemptible, DfptDirState, DfptOptions, DfptResult, DfptShared, DirOutcome,
+};
 pub use mixing::DfptMixer;
 pub use profile::{profile_case, validate_profile_json, ProfileOptions, ProfileReport};
 pub use resil::{parallel_dfpt_direction_resilient, ResilienceConfig, ResilientDirectionResult};
-pub use scf::{scf, scf_resumable, ScfOptions, ScfResult, ScfState};
+pub use scf::{scf, scf_preemptible, scf_resumable, ScfOptions, ScfOutcome, ScfResult, ScfState};
 pub use system::System;
 
 /// Open a host-track span for one of the pipeline phases on the calling

@@ -101,6 +101,15 @@ pub fn electronic_dipole(system: &System, density: &[f64]) -> [f64; 3] {
     mu
 }
 
+/// Outcome of a preemptible SCF run.
+pub enum ScfOutcome {
+    /// The cycle converged; the ground state.
+    Converged(ScfResult),
+    /// The `on_iter` callback requested preemption; resume later by
+    /// passing this state back to [`scf_preemptible`].
+    Preempted(ScfState),
+}
+
 /// Run the ground-state SCF.
 pub fn scf(system: &System, opts: &ScfOptions) -> Result<ScfResult> {
     scf_resumable(system, opts, None, &mut |_| {})
@@ -116,6 +125,27 @@ pub fn scf_resumable(
     resume: Option<ScfState>,
     on_iter: &mut dyn FnMut(&ScfState),
 ) -> Result<ScfResult> {
+    match scf_preemptible(system, opts, resume, &mut |st| {
+        on_iter(st);
+        true
+    })? {
+        ScfOutcome::Converged(res) => Ok(res),
+        ScfOutcome::Preempted(_) => unreachable!("callback never preempts"),
+    }
+}
+
+/// [`scf_resumable`] whose `on_iter` callback can additionally request
+/// preemption at an iteration boundary by returning `false` — the
+/// resumable-run entry point the serving layer (`qp-serve`) drives. The
+/// returned [`ScfState`] is exactly what a later call replays from, and
+/// the preempted-then-resumed cycle lands on the bit-identical ground
+/// state (the replay argument of `tests/integration_resilience.rs`).
+pub fn scf_preemptible(
+    system: &System,
+    opts: &ScfOptions,
+    resume: Option<ScfState>,
+    on_iter: &mut dyn FnMut(&ScfState) -> bool,
+) -> Result<ScfOutcome> {
     let mut scf_span =
         qp_trace::SpanGuard::begin(qp_trace::thread_rank(), qp_trace::Phase::Scf, "scf");
     // Regions and GEMMs launched anywhere in the SCF loop default to the
@@ -256,7 +286,7 @@ pub fn scf_resumable(
             energy_gauge.set(energy);
             // Final density consistent with the converged orbitals.
             let density = system.density_on_grid(&p_new);
-            return Ok(ScfResult {
+            return Ok(ScfOutcome::Converged(ScfResult {
                 energy,
                 eigenvalues: last.0.eigenvalues,
                 orbitals: last.0.eigenvectors,
@@ -265,7 +295,7 @@ pub fn scf_resumable(
                 density,
                 overlap: s_mat,
                 iterations: iter,
-            });
+            }));
         }
 
         // Mixing: Pulay/DIIS extrapolation over the residual history when
@@ -301,13 +331,16 @@ pub fn scf_resumable(
             mixed
         };
 
-        on_iter(&ScfState {
+        let state = ScfState {
             start_iter: iter,
             energy,
             p_mat: p_mat.clone(),
             diis_in: diis_in.clone(),
             diis_res: diis_res.clone(),
-        });
+        };
+        if !on_iter(&state) {
+            return Ok(ScfOutcome::Preempted(state));
+        }
     }
     Err(CoreError::NoConvergence {
         what: "ground-state SCF",

@@ -15,6 +15,7 @@
 //! write a Chrome trace-event timeline and a metrics dump on exit.
 
 mod control;
+mod serve_cli;
 
 use qp_chem::basis::BasisSettings;
 use qp_chem::grids::GridSettings;
@@ -45,6 +46,7 @@ struct Args {
     checkpoint_interval: usize,
     restart: bool,
     max_restarts: usize,
+    result_json: Option<String>,
 }
 
 fn usage() -> ! {
@@ -70,6 +72,18 @@ options:
                            <base>.json + <base>.folded (flamegraph stacks)
   --trace <out.json>       write a Chrome trace-event timeline on exit
   --metrics <out.json|csv> write the metrics registry snapshot on exit
+  --result-json <file>     write the run's result record (energy, dipole,
+                           polarizability) in the canonical JSON form —
+                           byte-comparable with 'qperturb submit --json'
+
+serving (see 'qperturb serve --help' pattern below):
+  qperturb serve [--addr A] [--state-dir D] [--workers N] [--slice-ms M]
+  qperturb submit [--addr A] (--builtin M | geometry file) [--tenant T]
+                  [--basis B] [--grid G] [--scf-tol X] [--dfpt-tol X]
+                  [--threads N] [--cache-bypass] [--no-wait] [--stream]
+                  [--json]
+  qperturb wait --job N [--addr A] [--stream]
+  qperturb stats | preempt --job N | shutdown   [--addr A]
 
 resilience (distributed DFPT + checkpoint/restart):
   --ranks <N>              run DFPT over N in-process MPI ranks under a
@@ -110,6 +124,7 @@ fn parse_args() -> Args {
         checkpoint_interval: 5,
         restart: false,
         max_restarts: 3,
+        result_json: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -177,6 +192,7 @@ fn parse_args() -> Args {
                     .unwrap_or_else(|_| usage())
             }
             "--restart" => args.restart = true,
+            "--result-json" => args.result_json = Some(value("--result-json")),
             "--max-restarts" => {
                 args.max_restarts = value("--max-restarts").parse().unwrap_or_else(|_| usage())
             }
@@ -327,6 +343,10 @@ fn run(args: &Args) -> ExitCode {
     qp_info!("dipole: [{:.4}, {:.4}, {:.4}] a.u.", mu[0], mu[1], mu[2]);
 
     if args.skip_dfpt {
+        if args.result_json.is_some() {
+            qp_error!("--result-json requires the DFPT phase (drop --no-dfpt)");
+            return ExitCode::FAILURE;
+        }
         return ExitCode::SUCCESS;
     }
 
@@ -388,6 +408,25 @@ fn run(args: &Args) -> ExitCode {
         properties::isotropic_polarizability(&alpha),
         properties::polarizability_anisotropy(&alpha)
     );
+    if let Some(path) = &args.result_json {
+        let isotropic = properties::isotropic_polarizability(&alpha);
+        let anisotropy = properties::polarizability_anisotropy(&alpha);
+        let record = qp_serve::JobResultData {
+            energy: ground.energy,
+            scf_iterations: ground.iterations,
+            dipole: mu,
+            alpha,
+            dfpt_iterations: iterations,
+            isotropic,
+            anisotropy,
+        };
+        let body = record.to_json().to_string() + "\n";
+        if let Err(e) = std::fs::write(path, body) {
+            qp_error!("failed to write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        qp_info!("result record written to {path}");
+    }
     ExitCode::SUCCESS
 }
 
@@ -476,6 +515,20 @@ fn dfpt_resilient(
 }
 
 fn main() -> ExitCode {
+    // Serving subcommands route around the classic single-run argument
+    // grammar entirely.
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if let Some(cmd) = argv.first().map(String::as_str) {
+        if matches!(
+            cmd,
+            "serve" | "submit" | "wait" | "stats" | "preempt" | "shutdown"
+        ) {
+            qp_trace::init_from_env();
+            let code = serve_cli::run(cmd, &argv[1..]);
+            finish_observability();
+            return code;
+        }
+    }
     let mut args = parse_args();
     // Environment hooks first, explicit flags override.
     qp_trace::init_from_env();

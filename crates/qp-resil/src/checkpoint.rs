@@ -39,6 +39,7 @@ const HEADER_LEN: usize = 4 + 4 + 1 + 8 + 8;
 
 const KIND_SCF: u8 = 1;
 const KIND_DFPT: u8 = 2;
+const KIND_JOB: u8 = 3;
 
 /// FNV-1a 64-bit checksum.
 fn fnv1a(bytes: &[u8]) -> u64 {
@@ -230,27 +231,35 @@ pub struct ScfCheckpoint {
 }
 
 impl ScfCheckpoint {
-    /// Serialize to the framed `QPCK` byte representation.
-    pub fn to_bytes(&self) -> Vec<u8> {
-        let mut e = Encoder::default();
+    fn encode_payload(&self, e: &mut Encoder) {
         e.put_usize(self.iteration);
         e.put_f64(self.energy);
         e.put_matrix(&self.p_mat);
         e.put_matrices(&self.diis_in);
         e.put_matrices(&self.diis_res);
+    }
+
+    fn decode_payload(d: &mut Decoder) -> Result<Self> {
+        Ok(ScfCheckpoint {
+            iteration: d.usize()?,
+            energy: d.f64()?,
+            p_mat: d.matrix()?,
+            diis_in: d.matrices()?,
+            diis_res: d.matrices()?,
+        })
+    }
+
+    /// Serialize to the framed `QPCK` byte representation.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut e = Encoder::default();
+        self.encode_payload(&mut e);
         frame(KIND_SCF, &e.buf)
     }
 
     /// Decode from framed bytes, verifying header and checksum.
     pub fn from_bytes(bytes: &[u8]) -> Result<Self> {
         let mut d = Decoder::new(unframe(bytes, KIND_SCF)?);
-        let out = ScfCheckpoint {
-            iteration: d.usize()?,
-            energy: d.f64()?,
-            p_mat: d.matrix()?,
-            diis_in: d.matrices()?,
-            diis_res: d.matrices()?,
-        };
+        let out = Self::decode_payload(&mut d)?;
         d.finish()?;
         Ok(out)
     }
@@ -327,6 +336,160 @@ impl DfptCheckpoint {
     }
 }
 
+/// A finished DFPT direction inside a [`JobCheckpoint`]: only the numbers
+/// that survive into the final answer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobDoneDirection {
+    /// DFPT iterations the direction took.
+    pub iterations: usize,
+    /// The direction's polarizability column `α_{·,J} = Tr[P¹_J D_I]`.
+    pub alpha_col: [f64; 3],
+}
+
+/// The in-flight DFPT direction of a preempted job: the serial analogue of
+/// [`DfptCheckpoint`] (the serial cycle mixes `P¹` directly, so there is no
+/// `C¹` to carry).
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobDirCheckpoint {
+    /// Cartesian direction (0 = x, 1 = y, 2 = z).
+    pub dir: usize,
+    /// Completed DFPT iterations.
+    pub iteration: usize,
+    /// `‖ΔP¹‖` at `iteration` (diagnostic only).
+    pub residual: f64,
+    /// Mixed response density matrix entering the next iteration.
+    pub p1: DMatrix,
+    /// Pulay/DIIS mixer input history (empty under linear mixing).
+    pub diis_in: Vec<DMatrix>,
+    /// Pulay/DIIS mixer residual history (same length as `diis_in`).
+    pub diis_res: Vec<DMatrix>,
+}
+
+impl JobDirCheckpoint {
+    fn encode_payload(&self, e: &mut Encoder) {
+        e.put_usize(self.dir);
+        e.put_usize(self.iteration);
+        e.put_f64(self.residual);
+        e.put_matrix(&self.p1);
+        e.put_matrices(&self.diis_in);
+        e.put_matrices(&self.diis_res);
+    }
+
+    fn decode_payload(d: &mut Decoder) -> Result<Self> {
+        Ok(JobDirCheckpoint {
+            dir: d.usize()?,
+            iteration: d.usize()?,
+            residual: d.f64()?,
+            p1: d.matrix()?,
+            diis_in: d.matrices()?,
+            diis_res: d.matrices()?,
+        })
+    }
+}
+
+/// The preempt/resume state of one *served* simulation job: where the
+/// request was interrupted, and everything needed to replay the remainder
+/// bit-exactly. This is the `QPCK` payload behind `qp-serve`'s
+/// checkpointed preemption — a job preempted at an iteration boundary (or
+/// killed with the whole server) resumes from this state and lands on the
+/// identical SCF energy and polarizability as an uninterrupted run.
+///
+/// Layout choices mirror the driver: the SCF seed is the *latest
+/// non-converged* [`ScfCheckpoint`] (resume replays the short tail of the
+/// ground-state cycle — determinism makes the replay exact); finished
+/// directions keep only their α columns; the in-flight direction carries
+/// its full mixer state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobCheckpoint {
+    /// Canonical content hash of the request this state belongs to
+    /// (rejected on resume if it does not match the job's request).
+    pub key: [u64; 2],
+    /// Latest captured SCF state (`None` = SCF had not yet reached its
+    /// first iteration boundary; resume recomputes from scratch).
+    pub scf: Option<ScfCheckpoint>,
+    /// Directions already converged, in direction order.
+    pub dirs_done: Vec<JobDoneDirection>,
+    /// The direction that was interrupted mid-cycle, if any.
+    pub cur_dir: Option<JobDirCheckpoint>,
+}
+
+impl JobCheckpoint {
+    /// Serialize to the framed `QPCK` byte representation.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut e = Encoder::default();
+        e.put_u64(self.key[0]);
+        e.put_u64(self.key[1]);
+        match &self.scf {
+            Some(scf) => {
+                e.put_u64(1);
+                scf.encode_payload(&mut e);
+            }
+            None => e.put_u64(0),
+        }
+        e.put_usize(self.dirs_done.len());
+        for d in &self.dirs_done {
+            e.put_usize(d.iterations);
+            for &a in &d.alpha_col {
+                e.put_f64(a);
+            }
+        }
+        match &self.cur_dir {
+            Some(cur) => {
+                e.put_u64(1);
+                cur.encode_payload(&mut e);
+            }
+            None => e.put_u64(0),
+        }
+        frame(KIND_JOB, &e.buf)
+    }
+
+    /// Decode from framed bytes, verifying header and checksum.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self> {
+        let mut d = Decoder::new(unframe(bytes, KIND_JOB)?);
+        let key = [d.u64()?, d.u64()?];
+        let scf = match d.u64()? {
+            0 => None,
+            1 => Some(ScfCheckpoint::decode_payload(&mut d)?),
+            _ => return Err(ResilError::Format("bad option tag")),
+        };
+        let n_done = d.counted(8 + 24)?;
+        let mut dirs_done = Vec::with_capacity(n_done);
+        for _ in 0..n_done {
+            let iterations = d.usize()?;
+            let mut alpha_col = [0.0; 3];
+            for a in &mut alpha_col {
+                *a = d.f64()?;
+            }
+            dirs_done.push(JobDoneDirection {
+                iterations,
+                alpha_col,
+            });
+        }
+        let cur_dir = match d.u64()? {
+            0 => None,
+            1 => Some(JobDirCheckpoint::decode_payload(&mut d)?),
+            _ => return Err(ResilError::Format("bad option tag")),
+        };
+        d.finish()?;
+        Ok(JobCheckpoint {
+            key,
+            scf,
+            dirs_done,
+            cur_dir,
+        })
+    }
+
+    /// Atomically write to `path` (temp file + rename).
+    pub fn save(&self, path: &Path) -> Result<()> {
+        atomic_write(path, &self.to_bytes())
+    }
+
+    /// Load and verify from `path`.
+    pub fn load(path: &Path) -> Result<Self> {
+        Self::from_bytes(&std::fs::read(path)?)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -375,6 +538,78 @@ mod tests {
         // The atomic-write temp file must not survive.
         assert!(!path.with_extension("tmp").exists());
         std::fs::remove_file(&path).unwrap();
+    }
+
+    fn sample_job() -> JobCheckpoint {
+        JobCheckpoint {
+            key: [0x1234_5678_9abc_def0, 0x0fed_cba9_8765_4321],
+            scf: Some(ScfCheckpoint {
+                iteration: 9,
+                energy: -75.123,
+                p_mat: mat(2, 2, &[1.0, 0.5, 0.5, 2.0]),
+                diis_in: vec![mat(2, 2, &[0.25; 4])],
+                diis_res: vec![mat(2, 2, &[1e-4; 4])],
+            }),
+            dirs_done: vec![JobDoneDirection {
+                iterations: 11,
+                alpha_col: [8.25, -0.001, f64::MIN_POSITIVE],
+            }],
+            cur_dir: Some(JobDirCheckpoint {
+                dir: 1,
+                iteration: 4,
+                residual: 3.5e-4,
+                p1: mat(2, 2, &[0.0, 1.0, 1.0, -2.0]),
+                diis_in: vec![mat(2, 2, &[0.125; 4]); 2],
+                diis_res: vec![mat(2, 2, &[-1e-5; 4]); 2],
+            }),
+        }
+    }
+
+    #[test]
+    fn job_round_trip_is_bit_exact() {
+        let ck = sample_job();
+        let back = JobCheckpoint::from_bytes(&ck.to_bytes()).unwrap();
+        assert_eq!(back, ck);
+        let a = back.dirs_done[0].alpha_col[2];
+        assert_eq!(a.to_bits(), f64::MIN_POSITIVE.to_bits());
+        // Sparse variants (no SCF seed, no in-flight direction) too.
+        let bare = JobCheckpoint {
+            scf: None,
+            cur_dir: None,
+            ..ck
+        };
+        assert_eq!(JobCheckpoint::from_bytes(&bare.to_bytes()).unwrap(), bare);
+    }
+
+    #[test]
+    fn job_file_round_trip_and_kind_isolation() {
+        let dir = std::env::temp_dir().join("qp_resil_job_ck_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("job.qpck");
+        let ck = sample_job();
+        ck.save(&path).unwrap();
+        assert_eq!(JobCheckpoint::load(&path).unwrap(), ck);
+        assert!(!path.with_extension("tmp").exists());
+        // The other readers must refuse a job checkpoint, and vice versa.
+        assert!(matches!(
+            ScfCheckpoint::from_bytes(&ck.to_bytes()),
+            Err(ResilError::Format(_))
+        ));
+        assert!(matches!(
+            JobCheckpoint::from_bytes(&sample_dfpt().to_bytes()),
+            Err(ResilError::Format(_))
+        ));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn job_corruption_and_truncation_detected() {
+        let bytes = sample_job().to_bytes();
+        let mut corrupt = bytes.clone();
+        let n = corrupt.len();
+        corrupt[n - 2] ^= 0x10;
+        assert!(JobCheckpoint::from_bytes(&corrupt).is_err());
+        assert!(JobCheckpoint::from_bytes(&bytes[..n - 9]).is_err());
     }
 
     #[test]

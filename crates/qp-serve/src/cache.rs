@@ -1,0 +1,132 @@
+//! The content-addressed result cache: canonical request → completed
+//! result, O(1) on repeats.
+//!
+//! Indexed by the 128-bit FNV pair over the canonical string; each bucket
+//! stores the full canonical string and compares it exactly before serving,
+//! so a hash collision degrades to a miss, never to a wrong answer. Safe to
+//! share across tenants because the key contains every physics input and
+//! the engine is deterministic — there is exactly one right answer per key.
+
+use crate::result::JobResultData;
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+#[derive(Default)]
+struct CacheInner {
+    map: HashMap<[u64; 2], Vec<(String, JobResultData)>>,
+    hits: u64,
+    misses: u64,
+    entries: usize,
+}
+
+/// Thread-safe result cache (interior mutability; one lock, short critical
+/// sections — the values are a few hundred bytes each).
+#[derive(Default)]
+pub struct ResultCache {
+    inner: Mutex<CacheInner>,
+}
+
+/// A snapshot of cache counters for the `stats` op.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups served from the cache.
+    pub hits: u64,
+    /// Lookups that fell through to the engine.
+    pub misses: u64,
+    /// Distinct results stored.
+    pub entries: usize,
+}
+
+impl ResultCache {
+    /// Fresh, empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Look up by key + canonical string. Counts a hit or a miss.
+    pub fn get(&self, key: [u64; 2], canonical: &str) -> Option<JobResultData> {
+        let mut inner = self.inner.lock().unwrap();
+        let found = inner
+            .map
+            .get(&key)
+            .and_then(|bucket| bucket.iter().find(|(c, _)| c == canonical))
+            .map(|(_, r)| r.clone());
+        if found.is_some() {
+            inner.hits += 1;
+        } else {
+            inner.misses += 1;
+        }
+        found
+    }
+
+    /// Store a completed result. Idempotent: re-inserting the same
+    /// canonical string replaces the entry (the engine is deterministic, so
+    /// the value is necessarily identical).
+    pub fn put(&self, key: [u64; 2], canonical: &str, result: JobResultData) {
+        let mut inner = self.inner.lock().unwrap();
+        let bucket = inner.map.entry(key).or_default();
+        match bucket.iter_mut().find(|(c, _)| c == canonical) {
+            Some((_, r)) => *r = result,
+            None => {
+                bucket.push((canonical.to_string(), result));
+                inner.entries += 1;
+            }
+        }
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> CacheStats {
+        let inner = self.inner.lock().unwrap();
+        CacheStats {
+            hits: inner.hits,
+            misses: inner.misses,
+            entries: inner.entries,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qp_linalg::DMatrix;
+
+    fn result(tag: f64) -> JobResultData {
+        JobResultData {
+            energy: tag,
+            scf_iterations: 1,
+            dipole: [0.0; 3],
+            alpha: DMatrix::zeros(3, 3),
+            dfpt_iterations: [1, 1, 1],
+            isotropic: 0.0,
+            anisotropy: 0.0,
+        }
+    }
+
+    #[test]
+    fn hit_miss_and_replace() {
+        let cache = ResultCache::new();
+        assert_eq!(cache.get([1, 2], "a"), None);
+        cache.put([1, 2], "a", result(1.0));
+        assert_eq!(cache.get([1, 2], "a").unwrap().energy, 1.0);
+        cache.put([1, 2], "a", result(1.0));
+        assert_eq!(
+            cache.stats(),
+            CacheStats {
+                hits: 1,
+                misses: 1,
+                entries: 1
+            }
+        );
+    }
+
+    #[test]
+    fn colliding_keys_with_different_canonicals_do_not_alias() {
+        let cache = ResultCache::new();
+        cache.put([7, 7], "physics-A", result(1.0));
+        cache.put([7, 7], "physics-B", result(2.0));
+        assert_eq!(cache.get([7, 7], "physics-A").unwrap().energy, 1.0);
+        assert_eq!(cache.get([7, 7], "physics-B").unwrap().energy, 2.0);
+        assert_eq!(cache.get([7, 7], "physics-C"), None);
+        assert_eq!(cache.stats().entries, 2);
+    }
+}

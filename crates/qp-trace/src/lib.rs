@@ -42,7 +42,8 @@ pub use attrib::{build_forest, collapsed_stacks, self_time_by_phase, SpanNode};
 pub use export::{chrome_trace_json, metrics_csv, metrics_json, validate_json};
 pub use metrics::{global_metrics, Counter, Gauge, Histogram, MetricValue, MetricsRegistry};
 pub use span::{
-    enabled, set_enabled, set_thread_rank, sim_span, thread_rank, Phase, SpanEvent, SpanGuard,
+    clear_span_observer, enabled, set_enabled, set_span_observer, set_thread_rank, sim_span,
+    thread_rank, Phase, SpanEvent, SpanGuard, SpanObserver,
 };
 
 use std::sync::Mutex;

@@ -119,9 +119,14 @@ pub struct SpanEvent {
 }
 
 static ENABLED: AtomicBool = AtomicBool::new(false);
+static OBSERVED: AtomicBool = AtomicBool::new(false);
 static SINK: Mutex<Vec<SpanEvent>> = Mutex::new(Vec::new());
+static OBSERVER: Mutex<Option<SpanObserver>> = Mutex::new(None);
 static EPOCH: OnceLock<Instant> = OnceLock::new();
 static NEXT_THREAD: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
+/// Callback invoked with every closed span while an observer is installed.
+pub type SpanObserver = std::sync::Arc<dyn Fn(&SpanEvent) + Send + Sync>;
 
 /// Events buffered per thread before draining into the global sink.
 const DRAIN_AT: usize = 256;
@@ -153,13 +158,34 @@ impl Drop for DrainOnExit {
     }
 }
 
-/// Is the recorder armed? Compile-time `false` under the `disabled` feature.
+/// Is the recorder armed? Compile-time `false` under the `disabled`
+/// feature. Spans are live when either the buffering recorder is enabled
+/// or a live observer is installed (observer-only mode records nothing —
+/// events stream to the callback and are dropped, so a long-running
+/// subscriber like the `qp-serve` progress streamer never grows the sink).
 #[inline]
 pub fn enabled() -> bool {
     if cfg!(feature = "disabled") {
         return false;
     }
-    ENABLED.load(Ordering::Relaxed)
+    ENABLED.load(Ordering::Relaxed) || OBSERVED.load(Ordering::Relaxed)
+}
+
+/// Install a live span observer: `f` is invoked synchronously with every
+/// span closed from now on (on the closing thread), whether or not the
+/// buffering recorder is enabled. Replaces any previous observer.
+pub fn set_span_observer(f: SpanObserver) {
+    *OBSERVER.lock().unwrap() = Some(f);
+    // Pin the epoch like set_enabled does, so observed timestamps are sane.
+    EPOCH.get_or_init(Instant::now);
+    OBSERVED.store(true, Ordering::Relaxed);
+}
+
+/// Remove the live span observer (span recording reverts to the
+/// `set_enabled` flag alone).
+pub fn clear_span_observer() {
+    OBSERVED.store(false, Ordering::Relaxed);
+    *OBSERVER.lock().unwrap() = None;
 }
 
 /// Arm or disarm the recorder at runtime.
@@ -187,6 +213,17 @@ fn now_us() -> f64 {
 }
 
 fn push_event(ev: SpanEvent) {
+    if OBSERVED.load(Ordering::Relaxed) {
+        let observer = OBSERVER.lock().unwrap().clone();
+        if let Some(f) = observer {
+            f(&ev);
+        }
+    }
+    // Buffer for export only when the recorder proper is enabled — an
+    // observer alone streams and drops.
+    if !ENABLED.load(Ordering::Relaxed) {
+        return;
+    }
     BUFFER.with(|b| {
         // Re-entrancy guard: if the TLS buffer is somehow borrowed (e.g. a
         // span closing inside a drain), drop the event rather than panic.
@@ -419,6 +456,58 @@ mod tests {
                     ("name", "dm_update".to_string())
                 ]
             );
+        });
+    }
+
+    #[test]
+    fn observer_streams_without_buffering() {
+        let _g = TEST_LOCK.lock().unwrap();
+        set_enabled(false);
+        let _ = take_events();
+        let seen = std::sync::Arc::new(Mutex::new(Vec::<String>::new()));
+        let sink = seen.clone();
+        set_span_observer(std::sync::Arc::new(move |ev: &SpanEvent| {
+            sink.lock()
+                .unwrap()
+                .push(format!("{}:{}", ev.rank, ev.name));
+        }));
+        {
+            let _s = SpanGuard::begin(9, Phase::Dfpt, "observed-only");
+        }
+        sim_span(2, Phase::Comm, "observed-sim", 0.0, 1.0, Vec::new());
+        clear_span_observer();
+        // The observer saw both events live...
+        assert_eq!(
+            *seen.lock().unwrap(),
+            vec!["9:observed-only".to_string(), "2:observed-sim".to_string()]
+        );
+        // ...but nothing was retained for export: observer-only mode must
+        // not grow the sink of a long-running process.
+        assert_eq!(retained_events(), 0);
+        assert!(take_events().is_empty());
+        // And once cleared, spans are inert again.
+        {
+            let _s = SpanGuard::begin(0, Phase::Dfpt, "after-clear");
+        }
+        assert!(seen.lock().unwrap().len() == 2);
+    }
+
+    #[test]
+    fn observer_and_recorder_compose() {
+        with_clean_recorder(|| {
+            let count = std::sync::Arc::new(std::sync::atomic::AtomicUsize::new(0));
+            let c = count.clone();
+            set_span_observer(std::sync::Arc::new(move |_ev: &SpanEvent| {
+                c.fetch_add(1, Ordering::Relaxed);
+            }));
+            {
+                let _s = SpanGuard::begin(1, Phase::Scf, "both-modes");
+            }
+            clear_span_observer();
+            assert_eq!(count.load(Ordering::Relaxed), 1);
+            let events = take_events();
+            assert_eq!(events.len(), 1, "recorder must still buffer when enabled");
+            assert_eq!(events[0].name, "both-modes");
         });
     }
 }

@@ -53,4 +53,51 @@ for plan in \
   rm -rf "$ck_dir"
 done
 
+echo "== serve smoke: served == direct bytes; kill -9 mid-job resumes bit-exactly"
+cargo build -q --release -p qp-cli
+serve_dir="$(mktemp -d)"
+scrape_addr() { # log-file -> bound address (the startup handshake line)
+  local log="$1" a=""
+  for _ in $(seq 1 100); do
+    a="$(sed -n 's/^qp-serve listening on //p' "$log" | head -n1)"
+    [ -n "$a" ] && { echo "$a"; return 0; }
+    sleep 0.1
+  done
+  echo "qp-serve did not report its address" >&2
+  cat "$log" >&2
+  return 1
+}
+QP_LOG=warn ./target/release/qperturb serve --addr 127.0.0.1:0 \
+    --state-dir "$serve_dir/state" > "$serve_dir/serve.log" 2>&1 &
+serve_pid=$!
+addr="$(scrape_addr "$serve_dir/serve.log")"
+QP_LOG=warn ./target/release/qperturb submit --addr "$addr" --builtin water \
+    --json > "$serve_dir/served.json"
+QP_LOG=warn ./target/release/qperturb --builtin water \
+    --result-json "$serve_dir/direct.json" > /dev/null
+cmp "$serve_dir/served.json" "$serve_dir/direct.json"
+echo "-- served water == direct water (byte-identical)"
+
+# Kill the server mid-job; the restarted server must re-admit the job from
+# its QPCK checkpoint and land on the direct-path bytes.
+job="$(QP_LOG=warn ./target/release/qperturb submit --addr "$addr" \
+    --builtin polymer:2 --no-wait --json | sed -n 's/.*"job": *\([0-9]*\).*/\1/p')"
+[ -n "$job" ] || { echo "no job id from --no-wait submit"; exit 1; }
+sleep 1
+kill -9 "$serve_pid" 2>/dev/null || true
+wait "$serve_pid" 2>/dev/null || true
+QP_LOG=warn ./target/release/qperturb serve --addr 127.0.0.1:0 \
+    --state-dir "$serve_dir/state" > "$serve_dir/serve2.log" 2>&1 &
+serve_pid=$!
+addr="$(scrape_addr "$serve_dir/serve2.log")"
+QP_LOG=warn ./target/release/qperturb wait --addr "$addr" --job "$job" \
+    > "$serve_dir/resumed.json"
+QP_LOG=warn ./target/release/qperturb --builtin polymer:2 \
+    --result-json "$serve_dir/direct_polymer.json" > /dev/null
+cmp "$serve_dir/resumed.json" "$serve_dir/direct_polymer.json"
+echo "-- killed-and-resumed polymer:2 == direct (byte-identical)"
+QP_LOG=warn ./target/release/qperturb shutdown --addr "$addr"
+wait "$serve_pid" 2>/dev/null || true
+rm -rf "$serve_dir"
+
 echo "CI green."

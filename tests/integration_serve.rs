@@ -1,0 +1,303 @@
+//! Integration tests for the qp-serve serving layer: protocol round trips
+//! over a real TCP socket, the tri-path bit-identity contract (cache =
+//! serial = parallel), checkpointed preemption, typed rejection of
+//! malformed input, and state-dir recovery.
+
+use qp_serve::json::{parse, Json};
+use qp_serve::{Client, ServeError, ServerConfig};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+
+fn water_request() -> Json {
+    parse(r#"{"molecule":{"builtin":"water"}}"#).unwrap()
+}
+
+fn start_server(state_dir: Option<std::path::PathBuf>) -> qp_serve::ServerHandle {
+    qp_serve::server::start(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        state_dir,
+        workers: 1,
+        slice: Duration::from_millis(250),
+    })
+    .expect("server starts")
+}
+
+fn tmp_dir(tag: &str) -> std::path::PathBuf {
+    let d = std::env::temp_dir().join(format!("qp-serve-test-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    std::fs::create_dir_all(&d).unwrap();
+    d
+}
+
+/// The headline invariant: the same request served cold, served from
+/// cache, computed directly in-process serially, and computed with a
+/// multi-thread pool all produce bit-identical polarizability and SCF
+/// energy.
+#[test]
+fn tri_path_results_are_bit_identical() {
+    let handle = start_server(None);
+    let addr = handle.addr().to_string();
+
+    let mut client = Client::connect(&addr).unwrap();
+    let cold = client.submit(water_request(), true, false, |_| {}).unwrap();
+    assert!(!cold.cached);
+    let cold_res = cold.result.expect("cold run returns a result");
+
+    let warm = client.submit(water_request(), true, false, |_| {}).unwrap();
+    assert!(warm.cached, "second identical submit must hit the cache");
+    let warm_res = warm.result.expect("cache hit returns a result");
+    assert_eq!(
+        warm_res.to_json().to_string(),
+        cold_res.to_json().to_string(),
+        "cached bytes differ from cold bytes"
+    );
+
+    handle.shutdown();
+    handle.join();
+
+    // Direct in-process reference, serial then multi-threaded.
+    let req = qp_serve::JobRequest::from_json(&water_request()).unwrap();
+    let flag = AtomicBool::new(false);
+    let direct = |threads: usize| {
+        let _lease = qp_par::ThreadLease::exactly(threads);
+        match qp_serve::run_job(&req, None, None, &flag, &mut |_line| {}).unwrap() {
+            qp_serve::EngineOutcome::Done(r) => r,
+            qp_serve::EngineOutcome::Preempted(_) => panic!("never preempted"),
+        }
+    };
+    let serial = direct(1);
+    let parallel = direct(3);
+    for (label, r) in [("serial", &serial), ("parallel", &parallel)] {
+        assert_eq!(
+            r.energy.to_bits(),
+            cold_res.energy.to_bits(),
+            "{label} SCF energy differs from served"
+        );
+        for i in 0..3 {
+            for j in 0..3 {
+                assert_eq!(
+                    r.alpha[(i, j)].to_bits(),
+                    cold_res.alpha[(i, j)].to_bits(),
+                    "{label} alpha[{i},{j}] differs from served"
+                );
+            }
+        }
+        assert_eq!(
+            r.to_json().to_string(),
+            cold_res.to_json().to_string(),
+            "{label} full record differs from served"
+        );
+    }
+}
+
+/// Preempting a run at iteration boundaries and resuming from its `QPCK`
+/// checkpoint must land on the identical bits as the uninterrupted run.
+#[test]
+fn preempt_resume_is_bit_exact() {
+    let req = qp_serve::JobRequest::from_json(&water_request()).unwrap();
+    let never = AtomicBool::new(false);
+    let uninterrupted = match qp_serve::run_job(&req, None, None, &never, &mut |_| {}).unwrap() {
+        qp_serve::EngineOutcome::Done(r) => r,
+        _ => panic!("uninterrupted run completes"),
+    };
+
+    // Preempt a few iterations into every pass until done; each pass
+    // resumes from the previous pass's checkpoint.
+    let dir = tmp_dir("preempt");
+    let ckpt = dir.join("job.qpck");
+    let mut resume: Option<qp_resil::JobCheckpoint> = None;
+    let mut passes = 0;
+    let resumed = loop {
+        passes += 1;
+        assert!(passes < 100, "preempt/resume loop did not converge");
+        let preempt = AtomicBool::new(false);
+        let mut lines_this_pass = 0usize;
+        let outcome = {
+            let mut progress = |_line: &str| {
+                lines_this_pass += 1;
+                if lines_this_pass >= 3 {
+                    preempt.store(true, Ordering::Relaxed);
+                }
+            };
+            qp_serve::run_job(&req, resume.take(), Some(&ckpt), &preempt, &mut progress).unwrap()
+        };
+        match outcome {
+            qp_serve::EngineOutcome::Done(r) => break r,
+            qp_serve::EngineOutcome::Preempted(c) => {
+                // The checkpoint round-trips through its on-disk form too.
+                let from_disk = qp_resil::JobCheckpoint::load(&ckpt).unwrap();
+                assert_eq!(from_disk, *c, "disk checkpoint differs from in-memory");
+                resume = Some(*c);
+            }
+        }
+    };
+    assert!(passes > 1, "test must actually preempt at least once");
+    assert_eq!(
+        resumed.to_json().to_string(),
+        uninterrupted.to_json().to_string(),
+        "preempted-then-resumed result differs from uninterrupted"
+    );
+    // The engine deletes its checkpoint on completion.
+    assert!(!ckpt.exists(), "completed job left a stale checkpoint");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Malformed input over the socket is rejected with a typed error reply
+/// and never reaches the engine; the connection stays usable afterwards.
+#[test]
+fn malformed_requests_get_typed_errors() {
+    let handle = start_server(None);
+    let addr = handle.addr().to_string();
+    let mut client = Client::connect(&addr).unwrap();
+
+    for bad in [
+        r#"{"molecule":{"builtin":"unobtanium"}}"#,
+        r#"{"molecule":{"xyz":"9999999999\nboom\n"}}"#,
+        r#"{"molecule":{"xyz":"1\nnan\nH NaN 0 0\n"}}"#,
+        r#"{"molecule":{"builtin":"water"},"scf":{"tol":-4}}"#,
+        r#"{"molecule":{"builtin":"water"},"threads":0}"#,
+        r#"{"molecule":{"builtin":"water"},"tenant":""}"#,
+    ] {
+        let err = client
+            .submit(parse(bad).unwrap(), true, false, |_| {})
+            .unwrap_err();
+        match err {
+            ServeError::Remote(msg) => {
+                assert!(msg.contains("bad request"), "{bad} -> {msg}")
+            }
+            other => panic!("{bad} -> unexpected {other}"),
+        }
+    }
+    // The same connection still serves good requests afterwards.
+    let ok = client.submit(water_request(), true, false, |_| {}).unwrap();
+    assert!(ok.result.is_some());
+
+    // Raw garbage lines get an error reply rather than a hangup.
+    {
+        use std::io::{BufRead, BufReader, Write};
+        let mut s = std::net::TcpStream::connect(&addr).unwrap();
+        writeln!(s, "this is not json").unwrap();
+        let mut line = String::new();
+        BufReader::new(s.try_clone().unwrap())
+            .read_line(&mut line)
+            .unwrap();
+        let v = parse(line.trim()).unwrap();
+        assert_eq!(v.get("ok").and_then(|b| b.as_bool()), Some(false));
+        assert!(v
+            .get("error")
+            .and_then(|e| e.as_str())
+            .unwrap()
+            .contains("malformed"));
+    }
+
+    handle.shutdown();
+    handle.join();
+}
+
+/// Cache stats and fair-share usage are visible through the stats op, and
+/// `cache: "bypass"` recomputes without serving from cache — landing on
+/// the identical bits anyway.
+#[test]
+fn stats_reflect_cache_and_tenants() {
+    let handle = start_server(None);
+    let addr = handle.addr().to_string();
+    let mut client = Client::connect(&addr).unwrap();
+
+    let r1 = parse(r#"{"tenant":"alice","molecule":{"builtin":"water"}}"#).unwrap();
+    let r2 = parse(r#"{"tenant":"bob","molecule":{"builtin":"water"}}"#).unwrap();
+    let bypass =
+        parse(r#"{"tenant":"bob","molecule":{"builtin":"water"},"cache":"bypass"}"#).unwrap();
+
+    let a = client.submit(r1, true, false, |_| {}).unwrap();
+    assert!(!a.cached);
+    // Different tenant, same physics: the cache is shared, because
+    // determinism means there is exactly one right answer per request.
+    let b = client.submit(r2, true, false, |_| {}).unwrap();
+    assert!(b.cached, "tenant identity must not fragment the cache");
+    let c = client.submit(bypass, true, false, |_| {}).unwrap();
+    assert!(!c.cached, "bypass must recompute");
+    assert_eq!(
+        c.result.unwrap().to_json().to_string(),
+        a.result.unwrap().to_json().to_string(),
+        "bypassed recompute must still reproduce the cached bits"
+    );
+
+    let stats = client.stats().unwrap();
+    let cache = stats.get("cache").unwrap();
+    assert_eq!(cache.get("hits").unwrap().as_usize(), Some(1));
+    assert_eq!(cache.get("entries").unwrap().as_usize(), Some(1));
+    let jobs = stats.get("jobs").unwrap();
+    assert_eq!(jobs.get("done").unwrap().as_usize(), Some(3));
+    assert_eq!(jobs.get("failed").unwrap().as_usize(), Some(0));
+    // Both tenants that actually consumed cpu appear in the usage ledger
+    // (alice's cold run, bob's bypass; bob's pure cache hit was free).
+    let usage = stats.get("usage").unwrap();
+    assert!(usage.get("alice").is_some(), "{stats:?}");
+    assert!(usage.get("bob").is_some(), "{stats:?}");
+
+    handle.shutdown();
+    handle.join();
+}
+
+/// Progress streaming delivers per-iteration lines (from the engine) and
+/// phase spans (from the qp-trace observer) while the job runs.
+#[test]
+fn progress_streams_engine_and_span_lines() {
+    let handle = start_server(None);
+    let addr = handle.addr().to_string();
+    let mut client = Client::connect(&addr).unwrap();
+
+    let mut lines = Vec::new();
+    let out = client
+        .submit(water_request(), true, true, |l| lines.push(l.to_string()))
+        .unwrap();
+    assert!(out.result.is_some());
+    assert!(
+        lines.iter().any(|l| l.starts_with("scf iter=")),
+        "missing engine scf progress: {lines:?}"
+    );
+    assert!(
+        lines.iter().any(|l| l.starts_with("dfpt dir=")),
+        "missing engine dfpt progress: {lines:?}"
+    );
+    assert!(
+        lines.iter().any(|l| l.starts_with("span phase=")),
+        "missing span-observer progress: {lines:?}"
+    );
+
+    handle.shutdown();
+    handle.join();
+}
+
+/// A server restarted on the same state dir recovers completed jobs into
+/// the cache (and keeps them addressable), so clients see the same bits
+/// across restarts.
+#[test]
+fn state_dir_recovery_reseeds_cache() {
+    let dir = tmp_dir("recovery");
+
+    // First server: run one job to completion.
+    let handle = start_server(Some(dir.clone()));
+    let addr = handle.addr().to_string();
+    let mut client = Client::connect(&addr).unwrap();
+    let first = client.submit(water_request(), true, false, |_| {}).unwrap();
+    let first_bytes = first.result.as_ref().unwrap().to_json().to_string();
+    handle.shutdown();
+    handle.join();
+
+    // Second server on the same state dir: the completed job must be
+    // cache-warm (a resubmit hits) and still addressable by id.
+    let handle = start_server(Some(dir.clone()));
+    let addr = handle.addr().to_string();
+    let mut client = Client::connect(&addr).unwrap();
+    let warm = client.submit(water_request(), true, false, |_| {}).unwrap();
+    assert!(warm.cached, "recovered state dir must re-seed the cache");
+    assert_eq!(warm.result.unwrap().to_json().to_string(), first_bytes);
+    let st = client.status(first.job).unwrap();
+    assert_eq!(st.get("state").and_then(|s| s.as_str()), Some("done"));
+    // Ids keep counting up from the recovered maximum.
+    assert!(warm.job > first.job);
+    handle.shutdown();
+    handle.join();
+    let _ = std::fs::remove_dir_all(&dir);
+}
