@@ -35,7 +35,21 @@
 //! 3. the scheduling check: any case whose attributed
 //!    `scheduling_overhead_fraction` exceeds `QP_BENCH_SCHED_MAX`
 //!    (default 0.40) fails (exit 5) — the pool is burning more wall clock
-//!    on setup/queue/drain than the threshold allows.
+//!    on setup/queue/drain than the threshold allows;
+//! 4. the weak-scaling checks over the polymer sweep (below): the fitted
+//!    log–log exponent of the screened per-cycle assembly cost must stay
+//!    under `QP_BENCH_SCALING_MAX` (default 1.75; exit 7), and screened
+//!    assembly must not lose to dense on the compact ligand-49 by more
+//!    than `QP_BENCH_SCREEN_SLACK` (default 0.25; exit 8).
+//!
+//! The polymer weak-scaling sweep runs H(C₂H₄)ₙH at n = 4…256 (quick:
+//! 4…16) through one cycle's worth of assembly phases — system build +
+//! tabulation, Sumup (density on grid), H (potential matrix), and the
+//! on-support density-matrix build — with cutoff-sphere screening on,
+//! plus a dense reference leg at small n. Each phase gets a fitted
+//! log–log exponent; `rho` (the multipole far field, O(n²) by
+//! construction) is measured and reported separately but excluded from
+//! the guarded end-to-end sum.
 
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -43,11 +57,14 @@ use std::time::Instant;
 use qp_bench::workloads;
 use qp_chem::basis::BasisSettings;
 use qp_chem::grids::GridSettings;
+use qp_chem::multipole::{solve_poisson, MultipoleMoments};
 use qp_core::basis_cache::cache_counters;
 use qp_core::dfpt::{dfpt_direction, DfptOptions};
+use qp_core::operators;
 use qp_core::profile::{attribute, Attribution};
 use qp_core::scf::{scf, ScfOptions};
 use qp_core::system::System;
+use qp_core::ScreeningMode;
 use qp_linalg::DMatrix;
 use qp_par::telemetry;
 use qp_trace::span::{set_enabled, take_events, Phase};
@@ -450,6 +467,347 @@ fn run_phase_guard() {
     }
 }
 
+/// One cycle's worth of assembly phases for a system: build + tabulation,
+/// Sumup, H and the density-matrix build. Everything the screening pass
+/// is supposed to make O(n); `rho` is tracked separately.
+struct AssemblyLeg {
+    build_s: f64,
+    sumup_s: f64,
+    h_s: f64,
+    dm_s: f64,
+}
+
+impl AssemblyLeg {
+    fn e2e_s(&self) -> f64 {
+        self.build_s + self.sumup_s + self.h_s + self.dm_s
+    }
+}
+
+struct SweepRow {
+    monomers: usize,
+    atoms: usize,
+    basis: usize,
+    points: usize,
+    /// Surviving fraction of the atom-pair matrix under screening.
+    pair_fill: f64,
+    screened: AssemblyLeg,
+    /// Multipole far-field potential rebuild (the DFPT Rho phase) —
+    /// O(n²) by construction, reported but not part of the guarded sum.
+    rho_s: Option<f64>,
+    /// Dense reference at small n (the O(n²)+ path gets infeasible fast).
+    dense: Option<AssemblyLeg>,
+}
+
+struct WeakScaling {
+    sizes: Vec<usize>,
+    rows: Vec<SweepRow>,
+    /// Fitted log–log exponents keyed by phase name.
+    exponents: Vec<(&'static str, f64)>,
+    /// Screened-vs-dense assembly wall time on the compact ligand-49.
+    ligand_screened_s: f64,
+    ligand_dense_s: f64,
+}
+
+/// Deterministic pseudo-orbital fill for the density-matrix probes.
+fn pseudo(i: usize, j: usize) -> f64 {
+    ((i * 31 + j * 7 + 13) % 101) as f64 / 101.0 - 0.5
+}
+
+/// Run one cycle's assembly phases on a freshly built system and time
+/// each. The Sumup/H/DM inputs are synthetic — their cost depends only on
+/// the screening structure, not the values.
+fn assembly_leg(build: impl Fn() -> System) -> (System, AssemblyLeg) {
+    let t = Instant::now();
+    let sys = build();
+    sys.warm_tables();
+    let build_s = t.elapsed().as_secs_f64();
+
+    let nb = sys.n_basis();
+    let p = DMatrix::from_fn(nb, nb, |i, j| if i == j { 1.0 } else { 0.0 });
+    let t = Instant::now();
+    let n1 = sys.density_on_grid(&p);
+    let sumup_s = t.elapsed().as_secs_f64();
+    std::hint::black_box(&n1);
+
+    let v = vec![0.3; sys.n_points()];
+    let t = Instant::now();
+    let h = operators::potential_matrix(&sys, &v);
+    let h_s = t.elapsed().as_secs_f64();
+    std::hint::black_box(&h);
+
+    let c = DMatrix::from_fn(nb, nb, pseudo);
+    let mut occ = vec![0.0; nb];
+    let nocc = sys.n_occupied().min(nb);
+    occ[..nocc].fill(2.0);
+    let t = Instant::now();
+    match sys.screen() {
+        Some(plan) => {
+            std::hint::black_box(operators::density_matrix_occ_blocks(plan, &c, &occ, true));
+        }
+        None => {
+            std::hint::black_box(operators::density_matrix_occ(&c, &occ));
+        }
+    }
+    let dm_s = t.elapsed().as_secs_f64();
+
+    (
+        sys,
+        AssemblyLeg {
+            build_s,
+            sumup_s,
+            h_s,
+            dm_s,
+        },
+    )
+}
+
+/// The DFPT Rho phase in isolation: multipole moments, radial Poisson
+/// solve, far-field potential on every grid point. Mirrors the phase body
+/// in `qp_core::dfpt` exactly.
+fn rho_seconds(sys: &System, n1: &[f64]) -> f64 {
+    let t = Instant::now();
+    let plan = sys.hartree_plan();
+    let moments = match plan.as_deref() {
+        Some(pl) => MultipoleMoments::compute_planned(&sys.structure, &sys.grid, n1, pl),
+        None => MultipoleMoments::compute(&sys.structure, &sys.grid, n1, sys.lmax),
+    };
+    let hartree = solve_poisson(&sys.structure, &sys.grid, &moments);
+    let natoms = sys.structure.len();
+    let mut v1 = vec![0.0; sys.grid.len()];
+    let est = (natoms * hartree.n_lm * 8).max(1) as u64;
+    match plan.as_deref() {
+        Some(pl) => qp_par::fill_slice_hinted(&mut v1, est, |gi| hartree.eval_planned(pl, gi)),
+        None => qp_par::fill_slice_hinted(&mut v1, est, |gi| {
+            let p = &sys.grid.points[gi];
+            hartree.eval_atoms(p.position, 0..natoms)
+        }),
+    }
+    std::hint::black_box(&v1);
+    t.elapsed().as_secs_f64()
+}
+
+/// Polymer system at `monomers` chain length on the sweep's coarse grid
+/// (the quick-case settings — the sweep measures scaling, not accuracy).
+fn sweep_system(monomers: usize, mode: ScreeningMode) -> System {
+    let mut gs = GridSettings::coarse();
+    gs.n_radial = 8;
+    gs.max_angular = 6;
+    gs.min_angular = 6;
+    System::build_with_screening(
+        workloads::polymer(6 * monomers + 2).structure,
+        BasisSettings::Light,
+        &gs,
+        150,
+        2,
+        mode,
+    )
+}
+
+/// Least-squares slope of ln(t) vs ln(n) — the weak-scaling exponent.
+fn loglog_exponent(points: &[(usize, f64)]) -> f64 {
+    let pts: Vec<(f64, f64)> = points
+        .iter()
+        .filter(|&&(_, t)| t > 0.0)
+        .map(|&(n, t)| ((n as f64).ln(), t.ln()))
+        .collect();
+    if pts.len() < 2 {
+        return f64::NAN;
+    }
+    let m = pts.len() as f64;
+    let (xm, ym) = (
+        pts.iter().map(|p| p.0).sum::<f64>() / m,
+        pts.iter().map(|p| p.1).sum::<f64>() / m,
+    );
+    let num: f64 = pts.iter().map(|p| (p.0 - xm) * (p.1 - ym)).sum();
+    let den: f64 = pts.iter().map(|p| (p.0 - xm) * (p.0 - xm)).sum();
+    num / den
+}
+
+fn run_weak_scaling(quick: bool) -> WeakScaling {
+    let (sizes, dense_max, rho_max): (Vec<usize>, usize, usize) = if quick {
+        (vec![4, 8, 16], 8, 16)
+    } else {
+        (vec![4, 8, 16, 32, 64, 128, 256], 32, 64)
+    };
+    let mut rows = Vec::new();
+    for &n in &sizes {
+        let (sys, screened) = assembly_leg(|| sweep_system(n, ScreeningMode::On));
+        let rho_s = (n <= rho_max).then(|| {
+            let n1 = vec![1e-3; sys.n_points()];
+            rho_seconds(&sys, &n1)
+        });
+        let pair_fill = sys.screen().map(|p| p.fill_ratio()).unwrap_or(1.0);
+        let dense =
+            (n <= dense_max).then(|| assembly_leg(|| sweep_system(n, ScreeningMode::Off)).1);
+        println!(
+            "weak-scaling n={n}: {} atoms, {} basis, fill {:.2}, screened e2e {:.3}s{}{}",
+            sys.structure.len(),
+            sys.n_basis(),
+            pair_fill,
+            screened.e2e_s(),
+            rho_s.map(|r| format!(", rho {r:.3}s")).unwrap_or_default(),
+            dense
+                .as_ref()
+                .map(|d| format!(", dense e2e {:.3}s", d.e2e_s()))
+                .unwrap_or_default(),
+        );
+        rows.push(SweepRow {
+            monomers: n,
+            atoms: sys.structure.len(),
+            basis: sys.n_basis(),
+            points: sys.n_points(),
+            pair_fill,
+            screened,
+            rho_s,
+            dense,
+        });
+    }
+
+    let phase_points = |f: &dyn Fn(&SweepRow) -> Option<f64>| -> Vec<(usize, f64)> {
+        rows.iter().filter_map(|r| Some((r.atoms, f(r)?))).collect()
+    };
+    let exponents = vec![
+        (
+            "build",
+            loglog_exponent(&phase_points(&|r| Some(r.screened.build_s))),
+        ),
+        (
+            "sumup",
+            loglog_exponent(&phase_points(&|r| Some(r.screened.sumup_s))),
+        ),
+        ("rho", loglog_exponent(&phase_points(&|r| r.rho_s))),
+        (
+            "h",
+            loglog_exponent(&phase_points(&|r| Some(r.screened.h_s))),
+        ),
+        (
+            "dm",
+            loglog_exponent(&phase_points(&|r| Some(r.screened.dm_s))),
+        ),
+        (
+            "e2e",
+            loglog_exponent(&phase_points(&|r| Some(r.screened.e2e_s()))),
+        ),
+        (
+            "dense_e2e",
+            loglog_exponent(&phase_points(&|r| r.dense.as_ref().map(AssemblyLeg::e2e_s))),
+        ),
+    ];
+    for (name, e) in &exponents {
+        println!("weak-scaling exponent {name}: {e:.2}");
+    }
+
+    // Compact-molecule sanity leg: ligand-49 is the worst case for
+    // screening (every sphere overlaps most others), so the screened
+    // per-cycle phases must stay within overhead-noise of dense there.
+    // Best-of-3 over warm tables — the one-time build is not the contract
+    // here, the per-iteration cost is.
+    println!("weak-scaling: ligand-49 screened-vs-dense leg ...");
+    let build_ligand = |mode: ScreeningMode| {
+        let sys = System::build_with_screening(
+            workloads::ligand().structure,
+            BasisSettings::Light,
+            &GridSettings::light(),
+            200,
+            4,
+            mode,
+        );
+        sys.warm_tables();
+        sys
+    };
+    let lig_on = build_ligand(ScreeningMode::On);
+    let lig_off = build_ligand(ScreeningMode::Off);
+    let nb = lig_on.n_basis();
+    let p = DMatrix::from_fn(nb, nb, |i, j| if i == j { 1.0 } else { 0.0 });
+    let v = vec![0.3; lig_on.n_points()];
+    let c = DMatrix::from_fn(nb, nb, pseudo);
+    let mut occ = vec![0.0; nb];
+    occ[..lig_on.n_occupied().min(nb)].fill(2.0);
+    let cycle = |sys: &System| {
+        std::hint::black_box(sys.density_on_grid(&p));
+        std::hint::black_box(operators::potential_matrix(sys, &v));
+        match sys.screen() {
+            Some(plan) => {
+                std::hint::black_box(operators::density_matrix_occ_blocks(plan, &c, &occ, true));
+            }
+            None => {
+                std::hint::black_box(operators::density_matrix_occ(&c, &occ));
+            }
+        }
+    };
+    // Interleave the reps so clock drift and cache state hit both legs
+    // equally; best-of-5 per leg.
+    let (mut ligand_screened_s, mut ligand_dense_s) = (f64::INFINITY, f64::INFINITY);
+    for _ in 0..5 {
+        let t = Instant::now();
+        cycle(&lig_on);
+        ligand_screened_s = ligand_screened_s.min(t.elapsed().as_secs_f64());
+        let t = Instant::now();
+        cycle(&lig_off);
+        ligand_dense_s = ligand_dense_s.min(t.elapsed().as_secs_f64());
+    }
+    println!(
+        "weak-scaling ligand-49 per-cycle assembly: screened {ligand_screened_s:.3}s vs dense {ligand_dense_s:.3}s ({:.2}x)",
+        ligand_screened_s / ligand_dense_s
+    );
+
+    WeakScaling {
+        sizes,
+        rows,
+        exponents,
+        ligand_screened_s,
+        ligand_dense_s,
+    }
+}
+
+/// The `--guard` weak-scaling checks: the screened per-cycle assembly
+/// cost must scale like O(n^x) with `x ≤ QP_BENCH_SCALING_MAX` (default
+/// 1.75 — past that the pair list or per-batch subsets have stopped
+/// pruning; exit 7), and screened assembly must not lose to dense on the
+/// compact ligand-49 beyond `QP_BENCH_SCREEN_SLACK` overhead (default
+/// 0.25; exit 8).
+fn run_scaling_guard(ws: &WeakScaling) {
+    let max_exp = std::env::var("QP_BENCH_SCALING_MAX")
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .unwrap_or(1.75);
+    let e2e = ws
+        .exponents
+        .iter()
+        .find(|(n, _)| *n == "e2e")
+        .map(|&(_, e)| e)
+        .unwrap_or(f64::NAN);
+    println!("scaling guard: screened e2e exponent {e2e:.2} (max {max_exp:.2})");
+    if !e2e.is_finite() || e2e > max_exp {
+        eprintln!(
+            "bench_perf: weak-scaling regression — the screened assembly sweep fits \
+             t = O(n^{e2e:.2}), above the {max_exp:.2} ceiling; cutoff screening has \
+             stopped delivering near-linear per-cycle cost"
+        );
+        std::process::exit(7);
+    }
+    let slack = std::env::var("QP_BENCH_SCREEN_SLACK")
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .unwrap_or(0.25);
+    let limit = ws.ligand_dense_s * (1.0 + slack);
+    println!(
+        "scaling guard: ligand-49 screened {:.3}s vs dense limit {:.3}s",
+        ws.ligand_screened_s, limit
+    );
+    if ws.ligand_screened_s > limit {
+        eprintln!(
+            "bench_perf: screening overhead regression — screened assembly on the \
+             compact ligand-49 took {:.3}s against a {:.3}s dense reference \
+             (slack {:.0}%); the screening pass is costing more than it prunes",
+            ws.ligand_screened_s,
+            ws.ligand_dense_s,
+            100.0 * slack,
+        );
+        std::process::exit(8);
+    }
+}
+
 struct GemmNumbers {
     n: usize,
     unblocked_gflops: f64,
@@ -497,7 +855,87 @@ fn json_f(v: f64) -> String {
     }
 }
 
-fn emit_json(path: &str, quick: bool, gemm: &GemmNumbers, cases: &[CaseResult]) {
+fn emit_assembly_leg(s: &mut String, indent: &str, leg: &AssemblyLeg) {
+    let _ = writeln!(
+        s,
+        "{indent}\"build_s\": {}, \"sumup_s\": {}, \"h_s\": {}, \"dm_s\": {}, \"e2e_s\": {}",
+        json_f(leg.build_s),
+        json_f(leg.sumup_s),
+        json_f(leg.h_s),
+        json_f(leg.dm_s),
+        json_f(leg.e2e_s())
+    );
+}
+
+fn emit_weak_scaling(s: &mut String, ws: &WeakScaling) {
+    let _ = writeln!(s, "  \"weak_scaling\": {{");
+    let _ = writeln!(
+        s,
+        "    \"workload\": \"H(C2H4)_nH, coarse grid (n_radial=8, angular=6), light basis\","
+    );
+    let sizes: Vec<String> = ws.sizes.iter().map(|n| n.to_string()).collect();
+    let _ = writeln!(s, "    \"monomers\": [{}],", sizes.join(", "));
+    let _ = writeln!(
+        s,
+        "    \"e2e_definition\": \"build + sumup + h + dm per cycle; rho excluded (multipole far field is O(n^2) by construction, reported separately)\","
+    );
+    let _ = writeln!(s, "    \"rows\": [");
+    for (i, r) in ws.rows.iter().enumerate() {
+        let _ = writeln!(s, "      {{");
+        let _ = writeln!(
+            s,
+            "        \"monomers\": {}, \"atoms\": {}, \"basis\": {}, \"grid_points\": {},",
+            r.monomers, r.atoms, r.basis, r.points
+        );
+        let _ = writeln!(s, "        \"pair_fill\": {},", json_f(r.pair_fill));
+        let _ = writeln!(s, "        \"screened\": {{");
+        emit_assembly_leg(s, "          ", &r.screened);
+        let _ = writeln!(s, "        }},");
+        let _ = writeln!(
+            s,
+            "        \"rho_s\": {},",
+            r.rho_s.map(json_f).unwrap_or_else(|| "null".into())
+        );
+        match &r.dense {
+            Some(d) => {
+                let _ = writeln!(s, "        \"dense\": {{");
+                emit_assembly_leg(s, "          ", d);
+                let _ = writeln!(s, "        }}");
+            }
+            None => {
+                let _ = writeln!(s, "        \"dense\": null");
+            }
+        }
+        let _ = writeln!(
+            s,
+            "      }}{}",
+            if i + 1 < ws.rows.len() { "," } else { "" }
+        );
+    }
+    let _ = writeln!(s, "    ],");
+    let _ = writeln!(s, "    \"fitted_exponents\": {{");
+    for (i, (name, e)) in ws.exponents.iter().enumerate() {
+        let _ = writeln!(
+            s,
+            "      \"{name}\": {}{}",
+            json_f(*e),
+            if i + 1 < ws.exponents.len() { "," } else { "" }
+        );
+    }
+    let _ = writeln!(s, "    }},");
+    let _ = writeln!(s, "    \"ligand49_assembly\": {{");
+    let _ = writeln!(
+        s,
+        "      \"screened_s\": {}, \"dense_s\": {}, \"ratio\": {}",
+        json_f(ws.ligand_screened_s),
+        json_f(ws.ligand_dense_s),
+        json_f(ws.ligand_screened_s / ws.ligand_dense_s)
+    );
+    let _ = writeln!(s, "    }}");
+    let _ = writeln!(s, "  }},");
+}
+
+fn emit_json(path: &str, quick: bool, gemm: &GemmNumbers, cases: &[CaseResult], ws: &WeakScaling) {
     let mut s = String::new();
     let threads = cases
         .iter()
@@ -505,9 +943,10 @@ fn emit_json(path: &str, quick: bool, gemm: &GemmNumbers, cases: &[CaseResult]) 
         .max()
         .unwrap_or_else(parallel_leg_threads);
     let _ = writeln!(s, "{{");
-    let _ = writeln!(s, "  \"schema\": \"qp-bench-perf/v3\",");
+    let _ = writeln!(s, "  \"schema\": \"qp-bench-perf/v4\",");
     let _ = writeln!(s, "  \"quick\": {quick},");
     let _ = writeln!(s, "  \"pool_threads\": {threads},");
+    emit_weak_scaling(&mut s, ws);
     let _ = writeln!(s, "  \"gemm\": {{");
     let _ = writeln!(s, "    \"n\": {},", gemm.n);
     let _ = writeln!(
@@ -686,6 +1125,16 @@ fn main() {
         gemm.parallel_gflops / gemm.unblocked_gflops,
     );
 
+    let ws = {
+        // The sweep measures the parallel assembly path at the leg's
+        // thread count, same as the cases.
+        let _lease = qp_par::ThreadLease::exactly(threads);
+        run_weak_scaling(quick)
+    };
+    if guard {
+        run_scaling_guard(&ws);
+    }
+
     let results: Vec<CaseResult> = cases(quick).iter().map(run_case).collect();
     if guard {
         run_efficiency_guard(&results);
@@ -711,5 +1160,5 @@ fn main() {
             lookups,
         );
     }
-    emit_json(&out, quick, &gemm, &results);
+    emit_json(&out, quick, &gemm, &results, &ws);
 }

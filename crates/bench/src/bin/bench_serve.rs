@@ -10,9 +10,16 @@
 //!   [`FULL_MIN_SPEEDUP`]× faster cold (quick mode: [`QUICK_MIN_SPEEDUP`]×)
 //!   or the bench exits 2 — the content-addressed cache is a headline
 //!   feature, not best-effort.
+//! * **large-job cold vs hit** — the polymer-bulk tenant's chain sweeps
+//!   (n = 32/64 monomers in full mode, 4/8 in `--quick`) submitted cold
+//!   and again as cache hits, so the latency profile of the screened
+//!   large-polymer scenario is on record next to the small-molecule
+//!   anchor.
 //! * **mixed traffic** — N requests drawn from a deterministic LCG over
 //!   (tenant × molecule) templates with repeats, replayed from several
 //!   concurrent client connections: req/s, p50/p99 latency, cache hit rate.
+//!   The large templates are pre-warmed by the previous phase, so the mix
+//!   exercises their cache-hit path under concurrency.
 //!
 //! Usage: `bench_serve [--quick] [--out BENCH_serve.json]`
 
@@ -28,6 +35,8 @@ const CLIENTS: usize = 4;
 struct Template {
     tenant: &'static str,
     request: String,
+    /// Large-polymer jobs get their own cold-vs-hit phase before the mix.
+    large: bool,
 }
 
 /// The bench-grade solver settings the statistics workloads converge with
@@ -47,9 +56,19 @@ fn bench_grade(tenant: &str, builtin: &str) -> String {
 
 /// The synthetic tenant mix: a ligand-screening tenant hammering one
 /// structure (cache-friendly), a polymer tenant sweeping chain lengths,
-/// and a QA tenant poking small molecules. Template 0 is the anchor.
+/// a polymer-bulk tenant running the screened large-chain scenario, and a
+/// QA tenant poking small molecules. Template 0 is the anchor.
 fn templates(quick: bool) -> Vec<Template> {
-    let t = |tenant: &'static str, request: String| Template { tenant, request };
+    let t = |tenant: &'static str, request: String| Template {
+        tenant,
+        request,
+        large: false,
+    };
+    let big = |tenant: &'static str, request: String| Template {
+        tenant,
+        request,
+        large: true,
+    };
     if quick {
         vec![
             t(
@@ -62,6 +81,8 @@ fn templates(quick: bool) -> Vec<Template> {
                 "qa",
                 r#"{"tenant":"qa","molecule":{"builtin":"water"},"scf":{"tol":1e-7}}"#.to_string(),
             ),
+            big("polymer-bulk", bench_grade("polymer-bulk", "polymer:4")),
+            big("polymer-bulk", bench_grade("polymer-bulk", "polymer:8")),
         ]
     } else {
         vec![
@@ -76,6 +97,8 @@ fn templates(quick: bool) -> Vec<Template> {
                 "qa",
                 r#"{"tenant":"qa","molecule":{"builtin":"water"},"scf":{"tol":1e-7}}"#.to_string(),
             ),
+            big("polymer-bulk", bench_grade("polymer-bulk", "polymer:32")),
+            big("polymer-bulk", bench_grade("polymer-bulk", "polymer:64")),
         ]
     }
 }
@@ -171,6 +194,53 @@ fn main() {
     let warm_bytes = warm.result.expect("result").to_json().to_string();
     assert_eq!(cold_bytes, warm_bytes, "cache served different bits");
 
+    // --- Large polymer jobs: cold vs cache hit -------------------------
+    // The screened large-chain scenario the polymer-bulk tenant runs;
+    // submitting them here also pre-warms the cache for the mixed phase.
+    struct LargeJob {
+        molecule: String,
+        cold_s: f64,
+        hit_s: f64,
+    }
+    let mut large_jobs: Vec<LargeJob> = Vec::new();
+    for t in tpl.iter().filter(|t| t.large) {
+        let req = parse(&t.request).unwrap();
+        let molecule = req
+            .get("molecule")
+            .and_then(|m| m.get("builtin"))
+            .and_then(|b| b.as_str())
+            .unwrap_or("?")
+            .to_string();
+        println!("large job {molecule}: cold solve ...");
+        let t0 = Instant::now();
+        let cold = client
+            .submit(parse(&t.request).unwrap(), true, false, |_| {})
+            .expect("large cold");
+        let cold_s = t0.elapsed().as_secs_f64();
+        assert!(!cold.cached, "first {molecule} submit must be a miss");
+        let t0 = Instant::now();
+        let warm = client
+            .submit(parse(&t.request).unwrap(), true, false, |_| {})
+            .expect("large warm");
+        let hit_s = t0.elapsed().as_secs_f64();
+        assert!(warm.cached, "second {molecule} submit must hit the cache");
+        let cold_bytes = cold.result.expect("result").to_json().to_string();
+        let warm_bytes = warm.result.expect("result").to_json().to_string();
+        assert_eq!(
+            cold_bytes, warm_bytes,
+            "large-job cache served different bits"
+        );
+        println!(
+            "large job {molecule}: cold {cold_s:.2}s, cache hit {hit_s:.4}s ({:.0}x)",
+            cold_s / hit_s.max(1e-9)
+        );
+        large_jobs.push(LargeJob {
+            molecule,
+            cold_s,
+            hit_s,
+        });
+    }
+
     // --- Mixed multi-tenant traffic ------------------------------------
     let order = schedule(n_requests, tpl.len());
     let chunks: Vec<Vec<usize>> = (0..CLIENTS)
@@ -260,6 +330,19 @@ fn main() {
     let _ = writeln!(s, "    \"min_speedup\": {},", json_f(min_speedup));
     let _ = writeln!(s, "    \"bit_identical\": true");
     let _ = writeln!(s, "  }},");
+    let _ = writeln!(s, "  \"large_jobs\": [");
+    for (i, j) in large_jobs.iter().enumerate() {
+        let _ = writeln!(
+            s,
+            "    {{ \"molecule\": \"{}\", \"cold_s\": {}, \"cache_hit_s\": {}, \"speedup\": {} }}{}",
+            j.molecule,
+            json_f(j.cold_s),
+            json_f(j.hit_s),
+            json_f(j.cold_s / j.hit_s.max(1e-9)),
+            if i + 1 < large_jobs.len() { "," } else { "" }
+        );
+    }
+    let _ = writeln!(s, "  ],");
     let _ = writeln!(s, "  \"mixed\": {{");
     let _ = writeln!(s, "    \"requests\": {n_requests},");
     let _ = writeln!(s, "    \"connections\": {CLIENTS},");

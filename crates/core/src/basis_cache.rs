@@ -5,10 +5,11 @@
 //! them are a pure function of the batch. The paper's §3.1 exploits exactly
 //! this invariance by sharing splines across co-located atoms; here we keep
 //! the whole per-batch table ([`BatchBasisTable`]) and rebuild it only on a
-//! miss. A byte cap (`QP_BASIS_CACHE_MB`, default unbounded) bounds
-//! residency with least-recently-used eviction; hit/miss/eviction counts
-//! are surfaced through `qp_trace::global_metrics` as
-//! `basis_cache_{hits,misses,evictions}`.
+//! miss. A byte cap (`QP_BASIS_CACHE_MB`, default scaled with the basis
+//! size — see [`default_cap_bytes`]) bounds residency with
+//! least-recently-used eviction; hit/miss/eviction counts and the running
+//! eviction rate are surfaced through `qp_trace::global_metrics` as
+//! `basis_cache_{hits,misses,evictions}` and `basis_cache_eviction_rate`.
 //!
 //! Determinism: a table's contents depend only on (basis, batch), never on
 //! cache state — eviction changes *when* values are recomputed, not what
@@ -25,6 +26,17 @@ use std::sync::{Arc, Mutex};
 fn table_bytes(t: &BatchBasisTable) -> usize {
     t.fn_indices.len() * std::mem::size_of::<usize>()
         + (t.values.len() + t.gradients.len()) * std::mem::size_of::<f64>()
+}
+
+/// Default residency cap when `QP_BASIS_CACHE_MB` is unset: a 256 MiB
+/// floor (small systems are effectively unbounded) growing 256 KiB per
+/// basis function, so large polymers keep their working set cached without
+/// letting full-residency tables (O(points × nb) per batch, O(nb²) overall
+/// unscreened) exhaust memory.
+pub fn default_cap_bytes(n_basis: usize) -> usize {
+    const FLOOR: usize = 256 * 1024 * 1024;
+    const PER_FN: usize = 256 * 1024;
+    FLOOR.max(n_basis.saturating_mul(PER_FN))
 }
 
 /// LRU-evicting, byte-capped cache of per-batch basis tables.
@@ -50,14 +62,15 @@ impl BasisValueCache {
         }
     }
 
-    /// Cache sized from the `QP_BASIS_CACHE_MB` environment variable
-    /// (absent or unparseable = unbounded).
-    pub fn from_env(n_batches: usize) -> Self {
+    /// Cache sized from the `QP_BASIS_CACHE_MB` environment variable;
+    /// absent or unparseable falls back to [`default_cap_bytes`] for
+    /// `n_basis` functions.
+    pub fn from_env(n_batches: usize, n_basis: usize) -> Self {
         let cap = std::env::var("QP_BASIS_CACHE_MB")
             .ok()
             .and_then(|v| v.trim().parse::<usize>().ok())
             .map(|mb| mb.saturating_mul(1024 * 1024))
-            .unwrap_or(usize::MAX);
+            .unwrap_or_else(|| default_cap_bytes(n_basis));
         Self::new(n_batches, cap)
     }
 
@@ -121,7 +134,12 @@ impl BasisValueCache {
             if let Some(t) = guard.take() {
                 self.resident_bytes
                     .fetch_sub(table_bytes(&t), Ordering::Relaxed);
-                metrics().evictions.inc();
+                let m = metrics();
+                m.evictions.inc();
+                // Rebuild churn: evictions per table build. ≳1 means the
+                // cap thrashes — every build evicts another live table.
+                m.eviction_rate
+                    .set(m.evictions.get() as f64 / m.misses.get().max(1) as f64);
             }
         }
     }
@@ -131,6 +149,7 @@ struct CacheMetrics {
     hits: qp_trace::Counter,
     misses: qp_trace::Counter,
     evictions: qp_trace::Counter,
+    eviction_rate: qp_trace::Gauge,
 }
 
 fn metrics() -> &'static CacheMetrics {
@@ -141,6 +160,7 @@ fn metrics() -> &'static CacheMetrics {
             hits: reg.counter("basis_cache_hits", &[]),
             misses: reg.counter("basis_cache_misses", &[]),
             evictions: reg.counter("basis_cache_evictions", &[]),
+            eviction_rate: reg.gauge("basis_cache_eviction_rate", &[]),
         }
     })
 }
@@ -149,6 +169,13 @@ fn metrics() -> &'static CacheMetrics {
 pub fn cache_counters() -> (u64, u64, u64) {
     let m = metrics();
     (m.hits.get(), m.misses.get(), m.evictions.get())
+}
+
+/// Evictions per table build since process start (the
+/// `basis_cache_eviction_rate` gauge): ≈0 when the cap holds the working
+/// set, ≳1 when every rebuild evicts another live table (thrashing).
+pub fn eviction_rate() -> f64 {
+    metrics().eviction_rate.get()
 }
 
 #[cfg(test)]
@@ -194,6 +221,30 @@ mod tests {
         cache.get(0, || toy_table(8));
         let (_, m1, _) = cache_counters();
         assert_eq!(m1 - m0, 1);
+    }
+
+    #[test]
+    fn default_cap_scales_with_basis_count() {
+        // Floor for small systems, linear growth past the crossover.
+        assert_eq!(default_cap_bytes(0), 256 * 1024 * 1024);
+        assert_eq!(default_cap_bytes(7), 256 * 1024 * 1024); // water
+        let crossover = 1024; // 1024 * 256 KiB == floor
+        assert_eq!(default_cap_bytes(crossover), 256 * 1024 * 1024);
+        // polymer:256 — 3586 basis functions.
+        assert_eq!(default_cap_bytes(3586), 3586 * 256 * 1024);
+        assert!(default_cap_bytes(usize::MAX) == usize::MAX); // saturates
+    }
+
+    #[test]
+    fn eviction_rate_gauge_tracks_churn() {
+        let one = table_bytes(&toy_table(8));
+        let cache = BasisValueCache::new(2, one + one / 2); // holds one table
+        cache.get(0, || toy_table(8));
+        cache.get(1, || toy_table(8)); // evicts 0
+                                       // Rate is global (shared across tests in this process): after at
+                                       // least one eviction it must be positive and at most 1 per miss.
+        let r = eviction_rate();
+        assert!(r > 0.0 && r <= 1.0, "rate {r}");
     }
 
     #[test]

@@ -76,6 +76,143 @@ pub fn sternheimer_response(
     cw.par_matmul(&c.transpose()).expect("conforming dims")
 }
 
+/// Occupation classes for screening: `(a, b)` where `[0, a)` is the
+/// longest prefix of `occupations` with spread `< 1e-12` (the fully /
+/// equally occupied manifold `O*`) and `[b, nb)` the analogous suffix
+/// (`V*`), clamped so the two never overlap.  Every pair inside one class
+/// has `|f_p − f_q| < 1e-12`, exactly the pairs [`sternheimer_weights`]
+/// skips — so `W` is *exactly* `0.0` on the `O*×O*` and `V*×V*` blocks,
+/// and `h1_mo` is never read there.  Computed by tracking min/max, no
+/// monotonicity assumed.
+fn occupation_classes(occupations: &[f64]) -> (usize, usize) {
+    let nb = occupations.len();
+    if nb == 0 {
+        return (0, 0);
+    }
+    const TOL: f64 = 1e-12;
+    let (mut lo, mut hi) = (occupations[0], occupations[0]);
+    let mut a = 1;
+    for (i, &f) in occupations.iter().enumerate().skip(1) {
+        lo = lo.min(f);
+        hi = hi.max(f);
+        if hi - lo < TOL {
+            a = i + 1;
+        } else {
+            break;
+        }
+    }
+    let (mut lo, mut hi) = (occupations[nb - 1], occupations[nb - 1]);
+    let mut b = nb - 1;
+    for i in (0..nb - 1).rev() {
+        lo = lo.min(occupations[i]);
+        hi = hi.max(occupations[i]);
+        if hi - lo < TOL {
+            b = i;
+        } else {
+            break;
+        }
+    }
+    (a, b.max(a))
+}
+
+/// Screened MO transform of the response Hamiltonian: `Cᵀ·H¹·C` with the
+/// `O*×O*` and `V*×V*` diagonal blocks skipped (left exactly `0.0`).
+/// [`sternheimer_weights`] checks `|f_p − f_q| < 1e-12` *before* reading
+/// `h1_mo[(p, q)]`, so the skipped blocks are never consumed; every
+/// computed entry is bit-identical to the dense transform (row/column
+/// restriction of a GEMM never changes an element's own k-chain).
+pub fn h1_mo_screened(c_t: &DMatrix, h1: &DMatrix, c: &DMatrix, occupations: &[f64]) -> DMatrix {
+    let x = c_t.par_matmul(h1).expect("conforming dims");
+    let nb = c.rows();
+    let (a, b) = occupation_classes(occupations);
+    let mut out = DMatrix::zeros(nb, nb);
+    // Per column class, the row range that survives: occupied columns
+    // pair only with rows outside O*, virtual columns with rows before V*.
+    for (c0, c1, r0, r1) in [(0, a, a, nb), (a, b, 0, nb), (b, nb, 0, b)] {
+        if c0 >= c1 || r0 >= r1 {
+            continue;
+        }
+        let (nr, nc) = (r1 - r0, c1 - c0);
+        let xs = x.as_slice();
+        let cs = c.as_slice();
+        // A' = X rows r0..r1 (contiguous in row-major storage).
+        let ap = &xs[r0 * nb..r1 * nb];
+        // B' = C columns c0..c1, packed (exact copies).
+        let mut bp = vec![0.0; nb * nc];
+        for r in 0..nb {
+            bp[r * nc..(r + 1) * nc].copy_from_slice(&cs[r * nb + c0..r * nb + c1]);
+        }
+        let mut tmp = vec![0.0; nr * nc];
+        qp_linalg::gemm::gemm(nr, nc, nb, ap, &bp, &mut tmp, true);
+        let os = out.as_mut_slice();
+        for r in 0..nr {
+            os[(r0 + r) * nb + c0..(r0 + r) * nb + c1].copy_from_slice(&tmp[r * nc..(r + 1) * nc]);
+        }
+    }
+    out
+}
+
+/// Screened evaluation of the `C·W` half of `P¹ = C·W·Cᵀ`: per column
+/// class of `W`, only the k-range that can hold nonzero weights is
+/// contracted (`O*` columns couple only to `k ≥ a`, `V*` columns only to
+/// `k < b`).  The skipped `k` terms are *exactly* `0.0` in `W`, and the
+/// restricted GEMM calls are issued one per [`qp_linalg::gemm::K_GROUP`]-
+/// aligned segment, reproducing the dense k-accumulation grouping — so
+/// the result is bit-identical to `c.par_matmul(&w)` at any size.
+fn cw_restricted(c: &DMatrix, w: &DMatrix, a: usize, b: usize) -> DMatrix {
+    const KG: usize = qp_linalg::gemm::K_GROUP;
+    let nb = c.rows();
+    let mut out = DMatrix::zeros(nb, nb);
+    for (c0, c1, k0, k1) in [(0, a, a, nb), (a, b, 0, nb), (b, nb, 0, b)] {
+        if c0 >= c1 {
+            continue;
+        }
+        let nc = c1 - c0;
+        let mut tmp = vec![0.0; nb * nc];
+        let (cs, ws) = (c.as_slice(), w.as_slice());
+        let mut k = k0;
+        while k < k1 {
+            // One call per K_GROUP-aligned segment intersected with
+            // [k0, k1): the dense path zeroes a fresh accumulator tile per
+            // segment, so this is the only regrouping that preserves bits.
+            let seg_end = ((k / KG + 1) * KG).min(k1);
+            let kk = seg_end - k;
+            let mut ap = vec![0.0; nb * kk];
+            for r in 0..nb {
+                ap[r * kk..(r + 1) * kk].copy_from_slice(&cs[r * nb + k..r * nb + seg_end]);
+            }
+            let mut bp = vec![0.0; kk * nc];
+            for r in 0..kk {
+                bp[r * nc..(r + 1) * nc].copy_from_slice(&ws[(k + r) * nb + c0..(k + r) * nb + c1]);
+            }
+            qp_linalg::gemm::gemm(nb, nc, kk, &ap, &bp, &mut tmp, true);
+            k = seg_end;
+        }
+        let os = out.as_mut_slice();
+        for r in 0..nb {
+            os[r * nb + c0..r * nb + c1].copy_from_slice(&tmp[r * nc..(r + 1) * nc]);
+        }
+    }
+    out
+}
+
+/// Screened [`sternheimer_response`]: identical bits, fewer flops.  The
+/// occupied and virtual manifolds do not couple to themselves, so the
+/// `C·W` contraction restricts each column class to its coupling k-range
+/// (following the sparse-response formulation of arXiv:2009.03551); the
+/// closing `·Cᵀ` product is dense and unchanged.
+pub fn sternheimer_response_screened(
+    c: &DMatrix,
+    eigenvalues: &[f64],
+    occupations: &[f64],
+    h1_mo: &DMatrix,
+) -> DMatrix {
+    let w = sternheimer_weights(eigenvalues, occupations, h1_mo);
+    let (a, b) = occupation_classes(occupations);
+    let cw = cw_restricted(c, &w, a, b);
+    cw.par_matmul(&c.transpose()).expect("conforming dims")
+}
+
 /// The original O(n⁴) scalar pair-loop evaluation of the same formula —
 /// kept as the oracle for the GEMM-form [`sternheimer_response`] (property
 /// tests pin the two against each other, including degenerate spectra).
@@ -357,11 +494,19 @@ pub fn dfpt_direction_preemptible(
         h1.axpy(-1.0, dip)?;
 
         // Sternheimer update in the MO basis (occupation-aware GEMM form —
-        // handles both integer and Fermi-Dirac ground states).
+        // handles both integer and Fermi-Dirac ground states).  With a
+        // screening plan active, the MO transform skips the non-coupling
+        // O*×O*/V*×V* blocks and C·W restricts each column class to its
+        // coupling k-range — bit-identical to the dense contraction.
         let p1_target = {
             let _s = crate::phase_span(qp_trace::Phase::Sternheimer, "sternheimer");
-            let h1_mo = shared.c_t.par_matmul(&h1)?.par_matmul(c)?;
-            sternheimer_response(c, eps, &ground.occupations, &h1_mo)
+            if system.screen().is_some() {
+                let h1_mo = h1_mo_screened(&shared.c_t, &h1, c, &ground.occupations);
+                sternheimer_response_screened(c, eps, &ground.occupations, &h1_mo)
+            } else {
+                let h1_mo = shared.c_t.par_matmul(&h1)?.par_matmul(c)?;
+                sternheimer_response(c, eps, &ground.occupations, &h1_mo)
+            }
         };
 
         // Mix P¹ (DM phase): linear or Pulay/DIIS per `opts.mixer`.
@@ -643,6 +788,90 @@ mod sternheimer_tests {
             "deviation {} at scale {scale}",
             gemm.max_abs_diff(&pair)
         );
+    }
+
+    /// The full screened Sternheimer pipeline (restricted MO transform +
+    /// class-restricted C·W) must reproduce the dense pipeline bit for
+    /// bit, including past the K_GROUP = 256 accumulation boundary.
+    #[test]
+    fn screened_pipeline_bit_identical_past_k_group() {
+        let nb = 300; // > K_GROUP, exercises the segment-aligned calls
+        let mut seed = 17u64;
+        let mut rnd = move || {
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((seed >> 33) as f64) / (u32::MAX as f64) - 0.5
+        };
+        let c = DMatrix::from_fn(nb, nb, |_, _| rnd());
+        let eps: Vec<f64> = (0..nb).map(|i| i as f64 * 0.03 - 4.0).collect();
+        // Occupied manifold, smeared frontier, virtual manifold.
+        let occ: Vec<f64> = (0..nb)
+            .map(|i| {
+                if i < 120 {
+                    2.0
+                } else if i < 130 {
+                    2.0 / (1.0 + (i as f64 - 125.0).exp())
+                } else {
+                    0.0
+                }
+            })
+            .collect();
+        let mut h1 = DMatrix::from_fn(nb, nb, |_, _| rnd());
+        h1.symmetrize();
+        let c_t = c.transpose();
+
+        let h1_mo_dense = c_t.par_matmul(&h1).unwrap().par_matmul(&c).unwrap();
+        let dense = sternheimer_response(&c, &eps, &occ, &h1_mo_dense);
+
+        let h1_mo_scr = h1_mo_screened(&c_t, &h1, &c, &occ);
+        let screened = sternheimer_response_screened(&c, &eps, &occ, &h1_mo_scr);
+
+        for (i, (d, s)) in dense.as_slice().iter().zip(screened.as_slice()).enumerate() {
+            assert_eq!(d.to_bits(), s.to_bits(), "entry {i}: {d} vs {s}");
+        }
+        // The screened MO transform really skipped work: the O*×O* block
+        // is exactly zero while the dense one is not.
+        let (a, _) = (120usize, 130usize);
+        assert_eq!(h1_mo_scr[(0, a - 1)], 0.0);
+        assert!(h1_mo_dense[(0, a - 1)] != 0.0);
+    }
+
+    /// Degenerate / uniform occupations: everything is one class, W = 0,
+    /// and both paths return exact zeros.
+    #[test]
+    fn screened_pipeline_uniform_occupations_all_zero() {
+        let nb = 12;
+        let c = DMatrix::from_fn(nb, nb, |i, j| ((i * 7 + j) as f64 * 0.3).sin());
+        let eps: Vec<f64> = (0..nb).map(|i| i as f64).collect();
+        let occ = vec![1.25; nb];
+        let mut h1 = DMatrix::from_fn(nb, nb, |i, j| ((i + 2 * j) as f64 * 0.7).cos());
+        h1.symmetrize();
+        let c_t = c.transpose();
+        let h1_mo = h1_mo_screened(&c_t, &h1, &c, &occ);
+        let screened = sternheimer_response_screened(&c, &eps, &occ, &h1_mo);
+        let dense = sternheimer_response(
+            &c,
+            &eps,
+            &occ,
+            &c_t.par_matmul(&h1).unwrap().par_matmul(&c).unwrap(),
+        );
+        for (d, s) in dense.as_slice().iter().zip(screened.as_slice()) {
+            assert_eq!(d.to_bits(), s.to_bits());
+        }
+        assert_eq!(screened.frobenius_norm(), 0.0);
+    }
+
+    #[test]
+    fn occupation_classes_cover_edge_cases() {
+        assert_eq!(occupation_classes(&[]), (0, 0));
+        assert_eq!(occupation_classes(&[2.0]), (1, 1));
+        assert_eq!(occupation_classes(&[2.0, 2.0, 0.0, 0.0]), (2, 2));
+        assert_eq!(occupation_classes(&[2.0, 2.0, 1.3, 0.0]), (2, 3));
+        // Uniform: one class; clamp keeps b >= a.
+        assert_eq!(occupation_classes(&[1.0, 1.0, 1.0]), (3, 3));
+        // Strictly varying: trivial one-element classes at both ends.
+        assert_eq!(occupation_classes(&[2.0, 1.5, 1.0, 0.5]), (1, 3));
     }
 
     #[test]

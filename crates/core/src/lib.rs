@@ -36,6 +36,7 @@ pub mod profile;
 pub mod properties;
 pub mod resil;
 pub mod scf;
+pub mod screening;
 pub mod system;
 
 pub use dfpt::{
@@ -45,6 +46,7 @@ pub use mixing::DfptMixer;
 pub use profile::{profile_case, validate_profile_json, ProfileOptions, ProfileReport};
 pub use resil::{parallel_dfpt_direction_resilient, ResilienceConfig, ResilientDirectionResult};
 pub use scf::{scf, scf_preemptible, scf_resumable, ScfOptions, ScfOutcome, ScfResult, ScfState};
+pub use screening::{ScreenPlan, ScreeningMode};
 pub use system::System;
 
 /// Open a host-track span for one of the pipeline phases on the calling

@@ -10,8 +10,11 @@
 //! The same `accumulate_potential` path assembles both the ground-state
 //! Hamiltonian and the DFPT response Hamiltonian `H¹` (phase **H**).
 
-use crate::system::System;
-use qp_linalg::DMatrix;
+use crate::screening::ScreenPlan;
+use crate::system::{BatchBasisTable, System};
+use qp_grid::Batch;
+use qp_linalg::{BlockSparseMatrix, DMatrix};
+use std::sync::Arc;
 
 /// Cost hint (ns) for assembling one batch block: the triangular update is
 /// `np·nf²/2` multiply-adds; assume a few per ns so tiny systems run the
@@ -41,44 +44,99 @@ pub fn dipole_matrix(system: &System, dir: usize) -> DMatrix {
     potential_matrix(system, &coords)
 }
 
-/// Shared quadrature core: `M_μν = Σ_p w_p f(p) χ_μ(p) χ_ν(p)`.
-///
-/// Batch blocks assemble in parallel (each worker pulls its batch table
-/// from the basis cache); the global merge stays on the calling thread in
-/// batch order, keeping the reduction deterministic.
-fn weighted_product(system: &System, f: impl Fn(usize) -> f64 + Sync) -> DMatrix {
-    let nb = system.n_basis();
-    let partials: Vec<(std::sync::Arc<crate::system::BatchBasisTable>, DMatrix)> =
-        qp_par::map_vec_hinted(
-            (0..system.batches.len()).collect::<Vec<usize>>(),
-            batch_block_est(system),
-            |bid| {
-                let batch = &system.batches[bid];
-                let table = system.table(batch.id);
-                let nf = table.fn_indices.len();
-                let mut block = DMatrix::zeros(nf, nf);
-                for (pi, pt) in batch.points.iter().enumerate() {
-                    let w = system.grid.points[pt.grid_index as usize].weight
-                        * f(pt.grid_index as usize);
-                    if w == 0.0 {
-                        continue;
-                    }
-                    let row = &table.values[pi * nf..(pi + 1) * nf];
-                    for a in 0..nf {
-                        let va = row[a];
-                        if va == 0.0 {
-                            continue;
-                        }
-                        let wa = w * va;
-                        for b in a..nf {
-                            block[(a, b)] += wa * row[b];
-                        }
-                    }
-                }
-                (table, block)
-            },
-        );
+/// Block-sparse overlap on the screening plan's pair support
+/// (`None` when the system has no plan).  `to_dense()` of the result is
+/// bit-identical to [`overlap`] on an unscreened system.
+pub fn overlap_blocks(system: &System) -> Option<BlockSparseMatrix> {
+    weighted_product_blocks(system, |_| 1.0)
+}
 
+/// Block-sparse local-potential matrix (see [`potential_matrix`]).
+pub fn potential_matrix_blocks(system: &System, v: &[f64]) -> Option<BlockSparseMatrix> {
+    assert_eq!(v.len(), system.n_points());
+    weighted_product_blocks(system, |gi| v[gi])
+}
+
+/// Block-sparse kinetic matrix (see [`kinetic`]).
+pub fn kinetic_blocks(system: &System) -> Option<BlockSparseMatrix> {
+    let plan = system.screen()?;
+    let partials = assemble_partials(system, |batch, table| kinetic_block(system, batch, table));
+    Some(merge_blocks(&partials, plan))
+}
+
+/// Per-batch contributions: each worker pulls its batch table from the
+/// basis cache and reduces the batch's points into one `nf × nf` upper
+/// triangle.  The merge (dense or block-sparse) stays on the calling
+/// thread in batch order, keeping the reduction deterministic.
+fn assemble_partials(
+    system: &System,
+    per_batch: impl Fn(&Batch, &BatchBasisTable) -> DMatrix + Sync,
+) -> Vec<(Arc<BatchBasisTable>, DMatrix)> {
+    qp_par::map_vec_hinted(
+        (0..system.batches.len()).collect::<Vec<usize>>(),
+        batch_block_est(system),
+        |bid| {
+            let batch = &system.batches[bid];
+            let table = system.table(batch.id);
+            let block = per_batch(batch, &table);
+            (table, block)
+        },
+    )
+}
+
+/// One batch's quadrature block `B_ab = Σ_p w_p f(p) χ_a(p) χ_b(p)`
+/// (upper triangle).
+fn weighted_block(
+    system: &System,
+    batch: &Batch,
+    table: &BatchBasisTable,
+    f: &(impl Fn(usize) -> f64 + Sync),
+) -> DMatrix {
+    let nf = table.fn_indices.len();
+    let mut block = DMatrix::zeros(nf, nf);
+    for (pi, pt) in batch.points.iter().enumerate() {
+        let w = system.grid.points[pt.grid_index as usize].weight * f(pt.grid_index as usize);
+        if w == 0.0 {
+            continue;
+        }
+        let row = &table.values[pi * nf..(pi + 1) * nf];
+        for a in 0..nf {
+            let va = row[a];
+            if va == 0.0 {
+                continue;
+            }
+            let wa = w * va;
+            for b in a..nf {
+                block[(a, b)] += wa * row[b];
+            }
+        }
+    }
+    block
+}
+
+/// One batch's kinetic block `B_ab = ½ Σ_p w_p ∇χ_a(p)·∇χ_b(p)`.
+fn kinetic_block(system: &System, batch: &Batch, table: &BatchBasisTable) -> DMatrix {
+    let nf = table.fn_indices.len();
+    let mut block = DMatrix::zeros(nf, nf);
+    for (pi, pt) in batch.points.iter().enumerate() {
+        let w = 0.5 * system.grid.points[pt.grid_index as usize].weight;
+        for a in 0..nf {
+            let ga = table.gradient(pi, a);
+            if ga == [0.0; 3] {
+                continue;
+            }
+            for b in a..nf {
+                let gb = table.gradient(pi, b);
+                block[(a, b)] += w * (ga[0] * gb[0] + ga[1] * gb[1] + ga[2] * gb[2]);
+            }
+        }
+    }
+    block
+}
+
+/// Dense merge: scatter every batch triangle into the global matrix in
+/// batch order, then mirror the upper triangle.
+fn merge_dense(partials: &[(Arc<BatchBasisTable>, DMatrix)], nb: usize) -> DMatrix {
     let mut m = DMatrix::zeros(nb, nb);
     for (table, block) in partials.iter() {
         for (a, &fa) in table.fn_indices.iter().enumerate() {
@@ -96,48 +154,163 @@ fn weighted_product(system: &System, f: impl Fn(usize) -> f64 + Sync) -> DMatrix
     m
 }
 
-/// Assemble the kinetic-energy matrix `T_μν = ½ ∫ ∇χ_μ·∇χ_ν`.
-pub fn kinetic(system: &System) -> DMatrix {
-    let nb = system.n_basis();
-    let partials: Vec<(std::sync::Arc<crate::system::BatchBasisTable>, DMatrix)> =
-        qp_par::map_vec_hinted(
-            (0..system.batches.len()).collect::<Vec<usize>>(),
-            batch_block_est(system),
-            |bid| {
-                let batch = &system.batches[bid];
-                let table = system.table(batch.id);
-                let nf = table.fn_indices.len();
-                let mut block = DMatrix::zeros(nf, nf);
-                for (pi, pt) in batch.points.iter().enumerate() {
-                    let w = 0.5 * system.grid.points[pt.grid_index as usize].weight;
-                    for a in 0..nf {
-                        let ga = table.gradient(pi, a);
-                        if ga == [0.0; 3] {
-                            continue;
-                        }
-                        for b in a..nf {
-                            let gb = table.gradient(pi, b);
-                            block[(a, b)] += w * (ga[0] * gb[0] + ga[1] * gb[1] + ga[2] * gb[2]);
-                        }
+/// Screened merge: identical batch/entry order to [`merge_dense`], but
+/// contributions landing outside the neighbor-pair support are skipped.
+/// Those contributions are *exactly* `±0.0` (both functions would need
+/// support at the same point, impossible for non-overlapping cutoff
+/// spheres), and adding `±0.0` to a `+0.0`-seeded accumulator never
+/// changes its bits — so `to_dense()` of the result reproduces the dense
+/// merge bit-for-bit.
+fn merge_blocks(
+    partials: &[(Arc<BatchBasisTable>, DMatrix)],
+    plan: &ScreenPlan,
+) -> BlockSparseMatrix {
+    let mut m = plan.empty_blocks();
+    for (table, block) in partials.iter() {
+        // One pair lookup per atom-run pair, not per element: the sorted
+        // atom-major index list splits into contiguous single-atom runs,
+        // and every (fa, fb) inside a run pair lands in the same block.
+        // Within a batch each (fa, fb) is scattered at most once, so
+        // regrouping the scatter order is bit-invisible; across batches
+        // the dense merge's batch order is preserved by the outer loop.
+        let runs = atom_runs(plan, &table.fn_indices);
+        for (ri, &(bi, sa, ea)) in runs.iter().enumerate() {
+            let ro = plan.partition.offset(bi);
+            for &(bj, sb, eb) in &runs[ri..] {
+                let Some(pair) = m.find(bi, bj) else { continue };
+                let (co, cs) = (plan.partition.offset(bj), plan.partition.size(bj));
+                let dst = m.block_mut(pair);
+                for a in sa..ea {
+                    let row = (table.fn_indices[a] - ro) * cs;
+                    let b0 = if bi == bj { a } else { sb };
+                    for b in b0..eb {
+                        dst[row + (table.fn_indices[b] - co)] += block[(a, b)];
                     }
                 }
-                (table, block)
-            },
-        );
-
-    let mut m = DMatrix::zeros(nb, nb);
-    for (table, block) in partials.iter() {
-        for (a, &fa) in table.fn_indices.iter().enumerate() {
-            for (b, &fb) in table.fn_indices.iter().enumerate().skip(a) {
-                m[(fa, fb)] += block[(a, b)];
             }
         }
     }
-    for i in 0..nb {
-        for j in (i + 1)..nb {
-            m[(j, i)] = m[(i, j)];
+    mirror_blocks(&mut m);
+    m
+}
+
+/// Contiguous single-atom runs `(atom, start, end)` of a batch's sorted
+/// atom-major function-index list.
+fn atom_runs(plan: &ScreenPlan, fn_indices: &[usize]) -> Vec<(usize, usize, usize)> {
+    let mut runs = Vec::new();
+    let mut s = 0;
+    while s < fn_indices.len() {
+        let atom = plan.fn_atom[fn_indices[s]] as usize;
+        let mut e = s + 1;
+        while e < fn_indices.len() && plan.fn_atom[fn_indices[e]] as usize == atom {
+            e += 1;
+        }
+        runs.push((atom, s, e));
+        s = e;
+    }
+    runs
+}
+
+/// Mirror the (globally) upper-triangular block contents: exact copies,
+/// matching the dense mirror loop.  Atom-major function order means a
+/// stored pair `(I, J)` with `I < J` sits entirely above the diagonal.
+fn mirror_blocks(m: &mut BlockSparseMatrix) {
+    let nblocks = m.partition().n_blocks();
+    for i in 0..nblocks {
+        let rs = m.partition().size(i);
+        // Diagonal block: mirror within.
+        if let Some(pair) = m.find(i, i) {
+            let blk = m.block_mut(pair);
+            for r in 0..rs {
+                for c in (r + 1)..rs {
+                    blk[c * rs + r] = blk[r * rs + c];
+                }
+            }
+        }
+        for j in (i + 1)..nblocks {
+            let Some(upper) = m.find(i, j) else { continue };
+            let lower = m.find(j, i).expect("neighbor list is symmetric");
+            let cs = m.partition().size(j);
+            let src = m.block(upper).to_vec();
+            let dst = m.block_mut(lower);
+            for r in 0..rs {
+                for c in 0..cs {
+                    dst[c * rs + r] = src[r * cs + c];
+                }
+            }
         }
     }
+}
+
+/// Shared quadrature core: `M_μν = Σ_p w_p f(p) χ_μ(p) χ_ν(p)`.
+///
+/// With a screening plan active the batch triangles scatter into the
+/// block-sparse support and densify at the end; without one they merge
+/// densely.  Both routes produce identical bytes (see [`merge_blocks`]).
+fn weighted_product(system: &System, f: impl Fn(usize) -> f64 + Sync) -> DMatrix {
+    let partials = assemble_partials(system, |batch, table| {
+        weighted_block(system, batch, table, &f)
+    });
+    match system.screen() {
+        Some(plan) => merge_blocks(&partials, plan).to_dense(),
+        None => merge_dense(&partials, system.n_basis()),
+    }
+}
+
+fn weighted_product_blocks(
+    system: &System,
+    f: impl Fn(usize) -> f64 + Sync,
+) -> Option<BlockSparseMatrix> {
+    let plan = system.screen()?;
+    let partials = assemble_partials(system, |batch, table| {
+        weighted_block(system, batch, table, &f)
+    });
+    Some(merge_blocks(&partials, plan))
+}
+
+/// Assemble the kinetic-energy matrix `T_μν = ½ ∫ ∇χ_μ·∇χ_ν`.
+pub fn kinetic(system: &System) -> DMatrix {
+    let partials = assemble_partials(system, |batch, table| kinetic_block(system, batch, table));
+    match system.screen() {
+        Some(plan) => merge_blocks(&partials, plan).to_dense(),
+        None => merge_dense(&partials, system.n_basis()),
+    }
+}
+
+/// Screened density-matrix build on the neighbor-pair support:
+/// `P_IJ = Σ_a f_a C_I,a C_J,aᵀ` evaluated only for stored pairs, at
+/// `O(pairs · block² · n_occ)` instead of the dense `O(n_basis² · n_occ)`.
+///
+/// The in-loop SCF density matrix stays dense (Pulay/DIIS mixes `P`
+/// itself, and masking would perturb the mixing history); this build is
+/// the large-polymer path where the dense product is the bottleneck.
+/// Deterministic at any thread count; entries match the masked dense
+/// [`density_matrix_occ`] to rounding (bitwise while
+/// `n_occ ≤ qp_linalg::gemm::K_GROUP`, i.e. one k-accumulation group).
+pub fn density_matrix_occ_blocks(
+    plan: &ScreenPlan,
+    orbitals: &DMatrix,
+    occupations: &[f64],
+    parallel: bool,
+) -> BlockSparseMatrix {
+    let nb = orbitals.rows();
+    let mut m = plan.empty_blocks();
+    let occ_idx: Vec<usize> = occupations
+        .iter()
+        .enumerate()
+        .filter(|&(_, &f)| f != 0.0)
+        .map(|(i, _)| i)
+        .collect();
+    if occ_idx.is_empty() {
+        return m;
+    }
+    let k = occ_idx.len();
+    let scaled = DMatrix::from_fn(nb, k, |mu, a| {
+        occupations[occ_idx[a]] * orbitals[(mu, occ_idx[a])]
+    });
+    let plain = DMatrix::from_fn(nb, k, |nu, a| orbitals[(nu, occ_idx[a])]);
+    m.rank_k_update_ab(&scaled, &plain, parallel)
+        .expect("partition matches orbitals");
     m
 }
 
@@ -301,6 +474,110 @@ mod tests {
             (tr_ps - s.n_electrons() as f64).abs() < 1e-8,
             "Tr[PS] = {tr_ps}"
         );
+    }
+
+    #[test]
+    fn screened_assembly_bit_identical_on_polymer() {
+        use crate::screening::ScreeningMode;
+        use qp_chem::structures::polyethylene;
+        let mut gs = GridSettings::light();
+        gs.n_radial = 14;
+        gs.max_angular = 14;
+        let structure = polyethylene(3);
+        let dense = System::build_with_screening(
+            structure.clone(),
+            BasisSettings::Light,
+            &gs,
+            150,
+            2,
+            ScreeningMode::Off,
+        );
+        let scr = System::build_with_screening(
+            structure,
+            BasisSettings::Light,
+            &gs,
+            150,
+            2,
+            ScreeningMode::On,
+        );
+        assert!(scr.screen().is_some() && dense.screen().is_none());
+        assert!(
+            scr.screen().unwrap().fill_ratio() < 1.0,
+            "polymer must actually screen pairs"
+        );
+        for (d, s, what) in [
+            (overlap(&dense), overlap(&scr), "overlap"),
+            (kinetic(&dense), kinetic(&scr), "kinetic"),
+            (dipole_matrix(&dense, 1), dipole_matrix(&scr, 1), "dipole"),
+        ] {
+            for (x, y) in d.as_slice().iter().zip(s.as_slice()) {
+                assert_eq!(x.to_bits(), y.to_bits(), "{what} differs");
+            }
+        }
+        // The block-sparse forms densify to the same bytes.
+        let ovb = overlap_blocks(&scr).unwrap().to_dense();
+        let ov = overlap(&dense);
+        for (x, y) in ov.as_slice().iter().zip(ovb.as_slice()) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+        let kb = kinetic_blocks(&scr).unwrap().to_dense();
+        let kd = kinetic(&dense);
+        for (x, y) in kd.as_slice().iter().zip(kb.as_slice()) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+        assert!(overlap_blocks(&dense).is_none());
+    }
+
+    #[test]
+    fn screened_density_matrix_matches_masked_dense() {
+        use crate::screening::ScreenPlan;
+        use qp_chem::structures::polyethylene;
+        let structure = polyethylene(4);
+        let basis = qp_chem::basis::BasisSet::build(&structure, BasisSettings::Light);
+        let plan = ScreenPlan::build(&structure, &basis);
+        let nb = basis.len();
+        let mut seed = 42u64;
+        let mut rnd = move || {
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((seed >> 33) as f64) / (u32::MAX as f64) - 0.5
+        };
+        let c = DMatrix::from_fn(nb, nb, |_, _| rnd());
+        let n_occ = 10;
+        let occ: Vec<f64> = (0..nb).map(|i| if i < n_occ { 2.0 } else { 0.0 }).collect();
+        let screened = density_matrix_occ_blocks(&plan, &c, &occ, false);
+        let par = density_matrix_occ_blocks(&plan, &c, &occ, true);
+        // Parallel sweep is bit-identical to serial.
+        for (s, p) in screened
+            .to_dense()
+            .as_slice()
+            .iter()
+            .zip(par.to_dense().as_slice())
+        {
+            assert_eq!(s.to_bits(), p.to_bits());
+        }
+        // On-support entries agree with the dense build; off-support are
+        // exactly +0.0 in the screened form.
+        let dense = density_matrix_occ(&c, &occ);
+        let sd = screened.to_dense();
+        for i in 0..nb {
+            for j in 0..nb {
+                let on = plan
+                    .neighbours
+                    .contains(plan.fn_atom[i] as usize, plan.fn_atom[j] as usize);
+                if on {
+                    assert!(
+                        (sd[(i, j)] - dense[(i, j)]).abs() < 1e-12 * dense[(i, j)].abs().max(1.0),
+                        "({i},{j}): {} vs {}",
+                        sd[(i, j)],
+                        dense[(i, j)]
+                    );
+                } else {
+                    assert_eq!(sd[(i, j)].to_bits(), 0.0f64.to_bits());
+                }
+            }
+        }
     }
 
     #[test]

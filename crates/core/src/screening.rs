@@ -1,0 +1,234 @@
+//! Sparsity-aware screening plan for operator assembly.
+//!
+//! [`ScreenPlan`] bundles the cutoff-sphere data structures from `qp-grid`
+//! with the basis-set bookkeeping the assembly kernels need:
+//!
+//! * the atom-pair [`NeighborList`] — the exact support of every assembled
+//!   operator matrix (overlap, kinetic, potential, dipole, `H¹`),
+//! * a [`BatchScreen`] cell list answering "which atoms reach this batch"
+//!   in O(neighbourhood) instead of the O(n_basis) linear scan,
+//! * the atom [`BlockPartition`] (each atom owns a contiguous run of basis
+//!   functions) that block-sparse operator matrices are stored over.
+//!
+//! **Bit-identity contract.** Screening never changes a single output bit:
+//!
+//! * The screened tabulation path returns the *same sorted function list*
+//!   as `BasisSet::functions_near` (same strict `<` predicate, atom-major
+//!   order), so every batch table is bytewise identical.
+//! * Entries of an assembled operator outside the neighbor-pair support
+//!   accumulate only exact `±0.0` terms.  An accumulator seeded at `+0.0`
+//!   stays `+0.0` under such additions (in round-to-nearest, exact
+//!   cancellation yields `+0.0` and `+0.0 + (−0.0) = +0.0`), so *skipping*
+//!   those additions — which is all the screened merge does — leaves every
+//!   on-support entry bit-identical and every off-support entry exactly
+//!   `+0.0`, matching what the dense path computes for it.
+
+use qp_chem::basis::BasisSet;
+use qp_chem::geometry::Structure;
+use qp_grid::{BatchScreen, NeighborList};
+use qp_linalg::{BlockPartition, BlockSparseMatrix};
+
+/// Structures at or above this many atoms turn screening on under
+/// [`ScreeningMode::Auto`].  Below it the neighbor list is ~dense and the
+/// plan is pure overhead; the choice is bit-invisible either way.
+pub const AUTO_MIN_ATOMS: usize = 16;
+
+/// User-facing screening control (`--screening on|off|auto`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ScreeningMode {
+    /// Always build and use the screening plan.
+    On,
+    /// Never screen; every path is the original dense scan.
+    Off,
+    /// Screen when the structure has at least [`AUTO_MIN_ATOMS`] atoms.
+    #[default]
+    Auto,
+}
+
+impl ScreeningMode {
+    /// Whether a structure of `natoms` atoms gets a screening plan.
+    pub fn enabled(self, natoms: usize) -> bool {
+        match self {
+            ScreeningMode::On => true,
+            ScreeningMode::Off => false,
+            ScreeningMode::Auto => natoms >= AUTO_MIN_ATOMS,
+        }
+    }
+}
+
+impl std::str::FromStr for ScreeningMode {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "on" => Ok(ScreeningMode::On),
+            "off" => Ok(ScreeningMode::Off),
+            "auto" => Ok(ScreeningMode::Auto),
+            other => Err(format!(
+                "invalid screening mode '{other}' (expected on|off|auto)"
+            )),
+        }
+    }
+}
+
+impl std::fmt::Display for ScreeningMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            ScreeningMode::On => "on",
+            ScreeningMode::Off => "off",
+            ScreeningMode::Auto => "auto",
+        })
+    }
+}
+
+/// The per-system screening plan: neighbor pairs, batch queries and the
+/// atom block partition.  Built once per [`crate::System`]; immutable and
+/// shared by every assembly phase.
+#[derive(Debug)]
+pub struct ScreenPlan {
+    /// Atom-pair support of every assembled operator.
+    pub neighbours: NeighborList,
+    /// Cell-list range queries for batch tabulation.
+    batch_screen: BatchScreen,
+    /// Atom blocks: atom `I` owns basis functions
+    /// `partition.offset(I)..partition.offset(I + 1)`.
+    pub partition: BlockPartition,
+    /// Owning atom of each basis function.
+    pub fn_atom: Vec<u32>,
+}
+
+impl ScreenPlan {
+    /// Build the plan for a structure and its basis.
+    pub fn build(structure: &Structure, basis: &BasisSet) -> Self {
+        let natoms = structure.len();
+        let sizes: Vec<usize> = (0..natoms)
+            .map(|a| basis.functions_of_atom(a).len())
+            .collect();
+        let mut fn_atom = vec![0u32; basis.len()];
+        for a in 0..natoms {
+            for i in basis.functions_of_atom(a) {
+                fn_atom[i] = a as u32;
+            }
+        }
+        ScreenPlan {
+            neighbours: NeighborList::build(structure),
+            batch_screen: BatchScreen::build(structure),
+            partition: BlockPartition::from_sizes(&sizes),
+            fn_atom,
+        }
+    }
+
+    /// Cell-accelerated equivalent of [`BasisSet::functions_near`]: the
+    /// indices of functions whose support reaches within `extra` of `p`,
+    /// ascending.  Identical output to the linear scan — every shell of an
+    /// atom shares the element cutoff, the predicate is the same strict
+    /// `<`, and atoms come back ascending in atom-major function order.
+    pub fn functions_near(&self, basis: &BasisSet, p: [f64; 3], extra: f64) -> Vec<usize> {
+        let atoms = self.batch_screen.atoms_near(p, extra);
+        let mut out = Vec::new();
+        for a in atoms {
+            out.extend(basis.functions_of_atom(a as usize));
+        }
+        out
+    }
+
+    /// A zeroed block-sparse matrix over the plan's pair support.
+    pub fn empty_blocks(&self) -> BlockSparseMatrix {
+        BlockSparseMatrix::zeros(
+            self.partition.clone(),
+            &self.neighbours.row_ptr,
+            &self.neighbours.cols,
+        )
+    }
+
+    /// Fraction of the dense pair space that survives screening.
+    pub fn fill_ratio(&self) -> f64 {
+        self.neighbours.fill_ratio()
+    }
+
+    /// Heap bytes held by the plan's index structures.
+    pub fn memory_bytes(&self) -> usize {
+        self.neighbours.memory_bytes() + self.fn_atom.len() * 4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qp_chem::basis::BasisSettings;
+    use qp_chem::structures::{polyethylene, water};
+
+    #[test]
+    fn mode_parsing_roundtrip() {
+        for (s, m) in [
+            ("on", ScreeningMode::On),
+            ("off", ScreeningMode::Off),
+            ("auto", ScreeningMode::Auto),
+        ] {
+            assert_eq!(s.parse::<ScreeningMode>().unwrap(), m);
+            assert_eq!(m.to_string(), s);
+        }
+        assert!("ON".parse::<ScreeningMode>().is_err());
+        assert!("always".parse::<ScreeningMode>().is_err());
+    }
+
+    #[test]
+    fn auto_threshold() {
+        assert!(!ScreeningMode::Auto.enabled(3));
+        assert!(ScreeningMode::Auto.enabled(AUTO_MIN_ATOMS));
+        assert!(ScreeningMode::On.enabled(1));
+        assert!(!ScreeningMode::Off.enabled(10_000));
+    }
+
+    #[test]
+    fn functions_near_matches_linear_scan() {
+        for structure in [water(), polyethylene(10)] {
+            let basis = BasisSet::build(&structure, BasisSettings::Light);
+            let plan = ScreenPlan::build(&structure, &basis);
+            let (lo, hi) = structure.bounding_box();
+            let mid = [
+                0.5 * (lo[0] + hi[0]),
+                0.5 * (lo[1] + hi[1]),
+                0.5 * (lo[2] + hi[2]),
+            ];
+            for p in [lo, mid, hi, [hi[0] + 3.0, hi[1], hi[2]]] {
+                for extra in [0.0, 0.8, 2.5] {
+                    assert_eq!(
+                        plan.functions_near(&basis, p, extra),
+                        basis.functions_near(p, extra),
+                        "p = {p:?}, extra = {extra}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn partition_covers_basis_atom_major() {
+        let s = polyethylene(6);
+        let basis = BasisSet::build(&s, BasisSettings::Light);
+        let plan = ScreenPlan::build(&s, &basis);
+        assert_eq!(plan.partition.n_blocks(), s.len());
+        assert_eq!(plan.partition.total(), basis.len());
+        for (i, &a) in plan.fn_atom.iter().enumerate() {
+            assert_eq!(a as usize, basis.atom_of(i));
+            let off = plan.partition.offset(a as usize);
+            assert!(i >= off && i < off + plan.partition.size(a as usize));
+        }
+    }
+
+    #[test]
+    fn empty_blocks_cover_neighbour_support() {
+        let s = polyethylene(8);
+        let basis = BasisSet::build(&s, BasisSettings::Light);
+        let plan = ScreenPlan::build(&s, &basis);
+        let m = plan.empty_blocks();
+        assert_eq!(m.nnz_blocks(), plan.neighbours.n_pairs());
+        for i in 0..s.len() {
+            for &j in plan.neighbours.neighbours(i) {
+                assert!(m.find(i, j as usize).is_some());
+            }
+        }
+        assert!(m.fill_ratio() < 1.0);
+    }
+}

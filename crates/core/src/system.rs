@@ -6,6 +6,7 @@
 //! across batches and grid points" data layout of §4.1.
 
 use crate::basis_cache::BasisValueCache;
+use crate::screening::{ScreenPlan, ScreeningMode};
 use qp_chem::basis::{BasisSet, BasisSettings};
 use qp_chem::geometry::Structure;
 use qp_chem::grids::{GridSettings, IntegrationGrid};
@@ -83,10 +84,14 @@ pub struct System {
     /// Lazily built per-(point, atom) geometry tables for the Hartree
     /// phases; `None` when the tables would exceed the size cap.
     hartree_plan: OnceLock<Option<Arc<HartreePlan>>>,
+    /// Cutoff-sphere screening plan (`Some` when screening is active).
+    /// Screening is bit-invisible: every screened path produces the same
+    /// bytes as the dense one (see [`crate::screening`]).
+    screen: Option<Arc<ScreenPlan>>,
 }
 
 impl System {
-    /// Build a system with explicit settings.
+    /// Build a system with explicit settings and [`ScreeningMode::Auto`].
     pub fn build(
         structure: Structure,
         basis_settings: BasisSettings,
@@ -94,10 +99,33 @@ impl System {
         max_batch: usize,
         lmax: usize,
     ) -> Self {
+        Self::build_with_screening(
+            structure,
+            basis_settings,
+            grid_settings,
+            max_batch,
+            lmax,
+            ScreeningMode::Auto,
+        )
+    }
+
+    /// [`System::build`] with explicit screening control
+    /// (`--screening on|off|auto`).
+    pub fn build_with_screening(
+        structure: Structure,
+        basis_settings: BasisSettings,
+        grid_settings: &GridSettings,
+        max_batch: usize,
+        lmax: usize,
+        mode: ScreeningMode,
+    ) -> Self {
         let basis = BasisSet::build(&structure, basis_settings);
         let grid = IntegrationGrid::build(&structure, grid_settings);
         let batches = batches_from_grid(&grid, max_batch);
-        let cache = BasisValueCache::from_env(batches.len());
+        let cache = BasisValueCache::from_env(batches.len(), basis.len());
+        let screen = mode
+            .enabled(structure.len())
+            .then(|| Arc::new(ScreenPlan::build(&structure, &basis)));
         System {
             structure,
             basis,
@@ -106,6 +134,7 @@ impl System {
             cache,
             lmax,
             hartree_plan: OnceLock::new(),
+            screen,
         }
     }
 
@@ -122,9 +151,13 @@ impl System {
 
     /// The basis table for batch `bid`, from cache or freshly tabulated.
     pub fn table(&self, bid: usize) -> Arc<BatchBasisTable> {
-        self.cache.get(bid, || {
-            Self::tabulate_batch(&self.basis, &self.batches[bid])
-        })
+        self.cache
+            .get(bid, || self.tabulate_batch(&self.batches[bid]))
+    }
+
+    /// The active screening plan, if any.
+    pub fn screen(&self) -> Option<&Arc<ScreenPlan>> {
+        self.screen.as_ref()
     }
 
     /// The underlying basis-value cache (hit rates, residency, capacity).
@@ -167,14 +200,20 @@ impl System {
             .clone()
     }
 
-    fn tabulate_batch(basis: &BasisSet, batch: &Batch) -> BatchBasisTable {
+    fn tabulate_batch(&self, batch: &Batch) -> BatchBasisTable {
+        let basis = &self.basis;
         // Prune: functions whose support reaches any point of the batch.
         let radius = batch
             .points
             .iter()
             .map(|p| dist3(p.position, batch.center))
             .fold(0.0, f64::max);
-        let fn_indices = basis.functions_near(batch.center, radius);
+        // The cell-list query returns exactly the linear scan's list (same
+        // strict predicate, same order), just in O(neighbourhood).
+        let fn_indices = match self.screen.as_deref() {
+            Some(plan) => plan.functions_near(basis, batch.center, radius),
+            None => basis.functions_near(batch.center, radius),
+        };
         let nf = fn_indices.len();
         let np = batch.points.len();
         let mut values = vec![0.0; np * nf];

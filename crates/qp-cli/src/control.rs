@@ -16,7 +16,7 @@
 //! dfpt_mixer        pulay 6     # DFPT SC accelerator: linear | pulay [depth]
 //! ```
 
-use qp_core::{DfptMixer, DfptOptions, ScfOptions};
+use qp_core::{DfptMixer, DfptOptions, ScfOptions, ScreeningMode};
 
 /// Parsed control settings.
 #[derive(Debug, Clone)]
@@ -27,6 +27,9 @@ pub struct Control {
     pub dfpt: DfptOptions,
     /// Whether a `DFPT` keyword requested the response calculation.
     pub run_dfpt: bool,
+    /// Cutoff-sphere screening control (`screening on|off|auto`;
+    /// bit-invisible, so `auto` is the safe default).
+    pub screening: ScreeningMode,
     /// Keywords we recognized but do not implement (reported to the user).
     pub ignored: Vec<String>,
 }
@@ -62,6 +65,7 @@ pub fn parse_control(text: &str) -> Result<Control, ControlError> {
         scf: ScfOptions::default(),
         dfpt: DfptOptions::default(),
         run_dfpt: false,
+        screening: ScreeningMode::Auto,
         ignored: Vec::new(),
     };
     for (idx, raw) in text.lines().enumerate() {
@@ -109,6 +113,14 @@ pub fn parse_control(text: &str) -> Result<Control, ControlError> {
                 if args.first() != Some(&"polarizability") {
                     ctl.ignored.push(format!("DFPT {}", args.join(" ")));
                 }
+            }
+            "screening" => {
+                ctl.screening = args
+                    .first()
+                    .copied()
+                    .unwrap_or("")
+                    .parse()
+                    .map_err(|e: String| ControlError::Malformed(idx + 1, e))?;
             }
             "dfpt_sc_accuracy" => ctl.dfpt.tol = num(0)?,
             "dfpt_mixing" => ctl.dfpt.mixing = num(0)?,
@@ -196,6 +208,20 @@ relativistic      atomic_zora scalar
         match parse_control("xc lda\nsc_accuracy_rho not_a_number\n") {
             Err(ControlError::Malformed(2, _)) => {}
             other => panic!("expected Malformed(2), got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn screening_keyword_parses_and_rejects() {
+        let ctl = parse_control("screening on\n").unwrap();
+        assert_eq!(ctl.screening, ScreeningMode::On);
+        let ctl = parse_control("screening off\n").unwrap();
+        assert_eq!(ctl.screening, ScreeningMode::Off);
+        let ctl = parse_control("xc lda\n").unwrap();
+        assert_eq!(ctl.screening, ScreeningMode::Auto);
+        match parse_control("screening sometimes\n") {
+            Err(ControlError::Malformed(1, msg)) => assert!(msg.contains("sometimes")),
+            other => panic!("expected Malformed, got {other:?}"),
         }
     }
 

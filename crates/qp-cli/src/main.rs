@@ -22,7 +22,8 @@ use qp_chem::grids::GridSettings;
 use qp_core::parallel::{CollectiveScheme, MappingKind, ParallelConfig};
 use qp_core::resil::scf_checkpointed;
 use qp_core::{
-    dfpt, properties, scf, DfptOptions, ResilienceConfig, ScfOptions, ScfResult, System,
+    dfpt, properties, scf, DfptOptions, ResilienceConfig, ScfOptions, ScfResult, ScreeningMode,
+    System,
 };
 use qp_trace::{qp_error, qp_info, qp_warn};
 use std::path::PathBuf;
@@ -47,6 +48,7 @@ struct Args {
     restart: bool,
     max_restarts: usize,
     result_json: Option<String>,
+    screening: ScreeningMode,
 }
 
 fn usage() -> ! {
@@ -66,6 +68,8 @@ options:
   --dfpt-tol <x>           DFPT tolerance             (default 1e-7)
   --dfpt-mixing <x>        DFPT mixing                (default 0.6)
   --no-dfpt                stop after the ground state
+  --screening <on|off|auto>  cutoff-sphere screened assembly (default auto:
+                           on from 16 atoms; bit-identical either way)
   --profile <base>         parallel-efficiency profile: run a 1-thread
                            reference plus an instrumented parallel leg,
                            print the wall-clock decomposition and write
@@ -125,6 +129,7 @@ fn parse_args() -> Args {
         restart: false,
         max_restarts: 3,
         result_json: None,
+        screening: ScreeningMode::Auto,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -172,6 +177,12 @@ fn parse_args() -> Args {
                 args.dfpt_opts.mixing = value("--dfpt-mixing").parse().unwrap_or_else(|_| usage())
             }
             "--no-dfpt" => args.skip_dfpt = true,
+            "--screening" => {
+                args.screening = value("--screening").parse().unwrap_or_else(|e: String| {
+                    qp_error!("{e}");
+                    usage()
+                })
+            }
             "--profile" => args.profile = Some(value("--profile")),
             "--trace" => args.trace = Some(value("--trace")),
             "--metrics" => args.metrics = Some(value("--metrics")),
@@ -266,7 +277,8 @@ fn run(args: &Args) -> ExitCode {
         return run_profile(args, structure, base);
     }
     let t0 = std::time::Instant::now();
-    let system = System::build(structure, args.basis, &args.grid, 200, 4);
+    let system =
+        System::build_with_screening(structure, args.basis, &args.grid, 200, 4, args.screening);
     qp_info!(
         "system: {} basis functions, {} grid points, {} batches  [{:.1?}]",
         system.n_basis(),
@@ -274,6 +286,14 @@ fn run(args: &Args) -> ExitCode {
         system.batches.len(),
         t0.elapsed()
     );
+    if let Some(plan) = system.screen() {
+        qp_info!(
+            "screening: {} of {} atom pairs survive ({:.1}% fill)",
+            plan.neighbours.n_pairs(),
+            system.structure.len() * system.structure.len(),
+            100.0 * plan.fill_ratio()
+        );
+    }
 
     // Resilience layer: QP_FAULT injection, QPCK checkpoints, supervised
     // restart. Any of the knobs routes DFPT through the distributed
@@ -552,6 +572,7 @@ fn main() -> ExitCode {
                 args.scf = ctl.scf;
                 args.dfpt_opts = ctl.dfpt;
                 args.skip_dfpt = !ctl.run_dfpt;
+                args.screening = ctl.screening;
                 for line in &ctl.ignored {
                     qp_warn!("control.in: ignoring '{line}'");
                 }

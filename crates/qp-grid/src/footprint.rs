@@ -43,6 +43,7 @@ pub fn per_atom_cutoff(structure: &Structure) -> Vec<f64> {
 }
 
 /// Uniform cell list over atom positions for point-to-atom range queries.
+#[derive(Debug)]
 pub struct AtomCells {
     cell: f64,
     origin: [f64; 3],

@@ -21,7 +21,9 @@ pub mod batch;
 pub mod footprint;
 pub mod mapping;
 pub mod octree;
+pub mod screening;
 
 pub use batch::{make_batches, Batch, BatchPoint};
 pub use footprint::{FootprintReport, RankFootprint};
 pub use mapping::{LoadBalancingMapping, LocalityEnhancingMapping, MortonMapping, TaskMapping};
+pub use screening::{BatchScreen, NeighborList};

@@ -279,6 +279,13 @@ impl CPtr {
     }
 }
 
+/// Depth of one k-accumulation group: each C element is accumulated as
+/// `c += chain(k-segment)` per ascending KC-aligned segment. Restricted
+/// contractions that skip exact-zero k ranges (the screened Sternheimer
+/// path) must align their gemm calls to this grid — a call per aligned
+/// segment reproduces the dense grouping and therefore the dense bits.
+pub const K_GROUP: usize = KC;
+
 /// `c += a·b` for row-major `a` (`m×k`), `b` (`k×n`), `c` (`m×n`).
 ///
 /// `parallel` fans the MC row blocks out over the qp-par pool; the result

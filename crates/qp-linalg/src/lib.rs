@@ -22,6 +22,7 @@
 //! Everything is `f64`; quantum-chemistry response properties are far too
 //! ill-conditioned for `f32`.
 
+pub mod block_sparse;
 pub mod cholesky;
 pub mod csr;
 pub mod dense;
@@ -29,6 +30,7 @@ pub mod eigen;
 pub mod gemm;
 pub mod vecops;
 
+pub use block_sparse::{BlockPartition, BlockSparseMatrix};
 pub use cholesky::Cholesky;
 pub use csr::CsrMatrix;
 pub use dense::DMatrix;

@@ -121,7 +121,14 @@ pub fn run_job(
 
     // Same build constants as the CLI direct path — part of the
     // bit-identity contract.
-    let system = System::build(req.structure.clone(), req.basis, &req.grid, 200, 4);
+    let system = System::build_with_screening(
+        req.structure.clone(),
+        req.basis,
+        &req.grid,
+        200,
+        4,
+        req.screening,
+    );
     progress(&format!(
         "system: {} basis functions, {} grid points",
         system.n_basis(),

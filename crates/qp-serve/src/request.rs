@@ -19,7 +19,7 @@ use crate::ServeError;
 use qp_chem::basis::BasisSettings;
 use qp_chem::geometry::Structure;
 use qp_chem::grids::GridSettings;
-use qp_core::{DfptOptions, ScfOptions};
+use qp_core::{DfptOptions, ScfOptions, ScreeningMode};
 use std::fmt::Write as _;
 
 /// Where the molecule comes from.
@@ -55,6 +55,9 @@ pub struct JobRequest {
     pub threads: Option<usize>,
     /// Skip the cache lookup (result is still stored).
     pub cache_bypass: bool,
+    /// Cutoff-sphere screening control. Execution knob: the screened path
+    /// is bit-identical to dense, so this is excluded from the cache key.
+    pub screening: ScreeningMode,
 }
 
 /// Guardrail on admitted structure size: the serial engine is O(N³) in
@@ -260,6 +263,15 @@ impl JobRequest {
             },
         };
 
+        let screening = match v.get("screening") {
+            None | Some(Json::Null) => ScreeningMode::Auto,
+            Some(s) => s
+                .as_str()
+                .ok_or_else(|| bad("screening must be a string"))?
+                .parse()
+                .map_err(bad)?,
+        };
+
         Ok(JobRequest {
             tenant,
             molecule,
@@ -270,6 +282,7 @@ impl JobRequest {
             dfpt,
             threads,
             cache_bypass,
+            screening,
         })
     }
 
@@ -416,7 +429,7 @@ mod tests {
     fn key_ignores_execution_knobs() {
         let a = req(r#"{"molecule":{"builtin":"water"}}"#).unwrap();
         let b = req(
-            r#"{"tenant":"other","molecule":{"builtin":"water"},"threads":4,"cache":"bypass"}"#,
+            r#"{"tenant":"other","molecule":{"builtin":"water"},"threads":4,"cache":"bypass","screening":"on"}"#,
         )
         .unwrap();
         assert_eq!(a.key(), b.key());
@@ -469,6 +482,19 @@ mod tests {
     }
 
     #[test]
+    fn large_polymer_is_admitted_and_screening_parses() {
+        // n=256 polyethylene (6n+2 = 1538 atoms) must clear MAX_ATOMS so the
+        // weak-scaling scenario is servable end to end.
+        let r = req(r#"{"molecule":{"builtin":"polymer:256"},"screening":"on"}"#).unwrap();
+        assert_eq!(r.structure.atoms.len(), 1538);
+        assert_eq!(r.screening, ScreeningMode::On);
+        let r = req(r#"{"molecule":{"builtin":"water"}}"#).unwrap();
+        assert_eq!(r.screening, ScreeningMode::Auto);
+        let r = req(r#"{"molecule":{"builtin":"water"},"screening":"off"}"#).unwrap();
+        assert_eq!(r.screening, ScreeningMode::Off);
+    }
+
+    #[test]
     fn malformed_requests_are_typed_errors() {
         for bad_req in [
             r#"{}"#,
@@ -483,6 +509,8 @@ mod tests {
             r#"{"molecule":{"builtin":"water"},"grid":{"preset":"ultrafine"}}"#,
             r#"{"molecule":{"xyz":"not an xyz file"}}"#,
             r#"{"molecule":{"builtin":"water"},"dfpt":{"max_iter":0}}"#,
+            r#"{"molecule":{"builtin":"water"},"screening":"sometimes"}"#,
+            r#"{"molecule":{"builtin":"water"},"screening":7}"#,
         ] {
             let e = req(bad_req).unwrap_err();
             assert!(matches!(e, ServeError::BadRequest(_)), "{bad_req} -> {e:?}");

@@ -23,8 +23,33 @@ bash scripts/bench_perf.sh --quick --guard --out "$(mktemp)"
 
 echo "== regenerate BENCH_perf.json under the tightened e2e guard"
 # Full workloads with --guard: exits 4 whenever any case's parallel leg is
-# slower than its serial reference on a >= 2-core host (zero slack).
+# slower than its serial reference on a >= 2-core host (zero slack). The
+# guard also covers the polymer weak-scaling sweep: exit 7 if the fitted
+# end-to-end assembly exponent exceeds QP_BENCH_SCALING_MAX, exit 8 if the
+# screened path loses to dense on ligand-49.
 QP_THREADS=2 bash scripts/bench_perf.sh --guard --out BENCH_perf.json
+
+echo "== archive weak-scaling rows (results/weak_scaling.json)"
+mkdir -p results
+jq '.weak_scaling' BENCH_perf.json > results/weak_scaling.json
+test -s results/weak_scaling.json
+echo "-- archived results/weak_scaling.json"
+
+echo "== screened vs dense: byte-identical result records (QP_THREADS=3)"
+cargo build -q --release -p qp-cli
+screen_dir="$(mktemp -d)"
+for mol in water polymer:8; do
+  tag="${mol/:/_}"
+  QP_LOG=warn QP_THREADS=3 ./target/release/qperturb --builtin "$mol" \
+      --grid coarse --screening on \
+      --result-json "$screen_dir/${tag}_on.json" > /dev/null
+  QP_LOG=warn QP_THREADS=3 ./target/release/qperturb --builtin "$mol" \
+      --grid coarse --screening off \
+      --result-json "$screen_dir/${tag}_off.json" > /dev/null
+  cmp "$screen_dir/${tag}_on.json" "$screen_dir/${tag}_off.json"
+  echo "-- $mol screened == dense (byte-identical)"
+done
+rm -rf "$screen_dir"
 
 echo "== profile smoke: qperturb --profile on water (schema + artifact)"
 cargo build -q --release -p qp-cli -p qp-bench

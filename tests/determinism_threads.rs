@@ -14,10 +14,11 @@
 
 use qp_chem::basis::BasisSettings;
 use qp_chem::grids::GridSettings;
-use qp_chem::structures::{ligand49, water};
+use qp_chem::structures::{ligand49, polyethylene, water};
 use qp_core::dfpt::{dfpt, dfpt_direction, DfptOptions};
 use qp_core::scf::{scf_resumable, ScfOptions};
 use qp_core::system::System;
+use qp_core::ScreeningMode;
 
 /// One workload's full observable output, as exact bit patterns.
 #[derive(Debug, PartialEq, Eq)]
@@ -120,6 +121,76 @@ fn ligand_polarizability_bit_identical_1_vs_8_threads() {
     let parallel = run_ligand(8);
     assert!(!serial.scf_trace.is_empty(), "trace must record iterations");
     assert_eq!(serial, parallel);
+}
+
+/// Full SCF + DFPT on a polyethylene trimer, screened vs dense, at 1, 2 and
+/// 8 threads. The screened assembly skips only contributions that are exactly
+/// ±0.0, so the entire pipeline — energy trace, final energy, polarizability
+/// element — must match the dense path bit-for-bit at every thread count, and
+/// all six runs must agree with each other.
+fn run_polymer(threads: usize, mode: ScreeningMode) -> RunBits {
+    let _lease = qp_par::ThreadLease::exactly(threads);
+    let mut gs = GridSettings::coarse();
+    gs.n_radial = 8;
+    gs.max_angular = 6;
+    gs.min_angular = 6;
+    // n = 3 monomers → 20 atoms: above the auto-screening threshold, small
+    // enough to run the six-run matrix inside the CI budget.
+    let sys =
+        System::build_with_screening(polyethylene(3), BasisSettings::Light, &gs, 150, 2, mode);
+    let opts = ScfOptions {
+        max_iter: 80,
+        tol: 1e-6,
+        mixing: 0.1,
+        field: None,
+        smearing: Some(0.02),
+        pulay: Some(6),
+    };
+    let mut trace = Vec::new();
+    let ground = scf_resumable(&sys, &opts, None, &mut |st| {
+        trace.push(st.energy.to_bits());
+    })
+    .expect("polymer SCF");
+    let resp = dfpt_direction(
+        &sys,
+        &ground,
+        2,
+        &DfptOptions {
+            max_iter: 80,
+            tol: 1e-5,
+            mixing: 0.15,
+            ..DfptOptions::default()
+        },
+    )
+    .expect("polymer DFPT-z");
+    let dip_z = qp_core::operators::dipole_matrix(&sys, 2);
+    let alpha_zz = resp.p1.trace_product(&dip_z).expect("square");
+    RunBits {
+        scf_trace: trace,
+        energy: ground.energy.to_bits(),
+        alpha: vec![alpha_zz.to_bits()],
+    }
+}
+
+#[test]
+fn polymer_screened_bit_identical_to_dense_at_1_2_8_threads() {
+    let reference = run_polymer(1, ScreeningMode::Off);
+    assert!(
+        !reference.scf_trace.is_empty(),
+        "trace must record iterations"
+    );
+    for threads in [1, 2, 8] {
+        assert_eq!(
+            reference,
+            run_polymer(threads, ScreeningMode::On),
+            "screened diverged from dense at {threads} threads"
+        );
+    }
+    assert_eq!(
+        reference,
+        run_polymer(8, ScreeningMode::Off),
+        "dense path not thread-deterministic"
+    );
 }
 
 /// The SIMD microkernel must be an exact drop-in for the scalar one: the

@@ -375,6 +375,143 @@ fn shared_density_system() -> &'static qp_core::System {
     })
 }
 
+// ---------------------------------------------------------------------------
+// Cutoff-sphere screening vs the dense path.
+//
+// The screened assembly route (neighbor-pair block scatter, per-batch
+// basis subsets, restricted Sternheimer contractions) must be
+// *bit-identical* to the dense path on any geometry: contributions it
+// skips are exactly ±0.0, and adding or dropping exact zeros never
+// changes a +0.0-seeded accumulator. Random geometries sweep from
+// pathological all-overlapping clusters (every cutoff sphere contains
+// every atom — screening prunes nothing) to stretched chains where most
+// pairs drop.
+
+fn random_structure(seed: u64, natoms: usize, spread: f64) -> qp_chem::geometry::Structure {
+    use qp_chem::elements::Element;
+    use qp_chem::geometry::{Atom, Structure};
+    let mut state = seed;
+    let mut next = move || {
+        state = state.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^= z >> 31;
+        z as f64 / u64::MAX as f64
+    };
+    let atoms = (0..natoms)
+        .map(|_| {
+            let e = match (next() * 3.0) as usize {
+                0 => Element::H,
+                1 => Element::C,
+                _ => Element::O,
+            };
+            Atom::new(
+                e,
+                [
+                    (next() - 0.5) * spread,
+                    (next() - 0.5) * spread,
+                    (next() - 0.5) * spread,
+                ],
+            )
+        })
+        .collect();
+    Structure::new(atoms)
+}
+
+fn screened_test_systems(structure: &qp_chem::geometry::Structure) -> [qp_core::System; 2] {
+    let mut gs = qp_chem::grids::GridSettings::coarse();
+    gs.n_radial = 6;
+    gs.max_angular = 6;
+    gs.min_angular = 6;
+    [qp_core::ScreeningMode::On, qp_core::ScreeningMode::Off].map(|mode| {
+        qp_core::System::build_with_screening(
+            structure.clone(),
+            qp_chem::basis::BasisSettings::Light,
+            &gs,
+            40,
+            2,
+            mode,
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    #[test]
+    fn screened_operators_bit_identical_on_random_geometries(
+        seed in 0u64..u64::MAX,
+        natoms in 4usize..10,
+        // 0 → every atom inside every cutoff sphere (worst case for the
+        // pruning logic, best stress for the ±0.0 argument); large →
+        // genuinely sparse pair structure.
+        spread in 0.0f64..40.0,
+        threads_pick in 0usize..3,
+    ) {
+        let structure = random_structure(seed, natoms, spread);
+        let [scr, dense] = screened_test_systems(&structure);
+        prop_assert!(scr.screen().is_some());
+        prop_assert!(dense.screen().is_none());
+
+        let _lease = qp_par::ThreadLease::exactly([1, 2, 8][threads_pick]);
+
+        let pairs = [
+            (qp_core::operators::overlap(&scr), qp_core::operators::overlap(&dense)),
+            (qp_core::operators::kinetic(&scr), qp_core::operators::kinetic(&dense)),
+            (qp_core::operators::dipole_matrix(&scr, 1), qp_core::operators::dipole_matrix(&dense, 1)),
+        ];
+        for (i, (a, b)) in pairs.iter().enumerate() {
+            for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
+                prop_assert!(x.to_bits() == y.to_bits(), "operator {i} diverged");
+            }
+        }
+
+        // Density on the grid with a random symmetric matrix.
+        let nb = scr.n_basis();
+        let mut state = seed ^ 0xdead_beef;
+        let mut next = move || {
+            state = state.wrapping_add(0x9e3779b97f4a7c15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+            (z ^ (z >> 31)) as f64 / u64::MAX as f64 - 0.5
+        };
+        let mut p = DMatrix::from_fn(nb, nb, |_, _| next());
+        p.symmetrize();
+        let rho_scr = scr.density_on_grid(&p);
+        let rho_dense = dense.density_on_grid(&p);
+        for (gi, (a, b)) in rho_scr.iter().zip(rho_dense.iter()).enumerate() {
+            prop_assert!(a.to_bits() == b.to_bits(), "density diverged at point {gi}");
+        }
+    }
+
+    #[test]
+    fn neighbor_list_symmetric_and_self_complete(
+        seed in 0u64..u64::MAX,
+        natoms in 1usize..20,
+        spread in 0.0f64..60.0,
+    ) {
+        let structure = random_structure(seed, natoms, spread);
+        let nl = qp_grid::screening::NeighborList::build(&structure);
+        prop_assert_eq!(nl.len(), natoms);
+        for i in 0..natoms {
+            // Every atom overlaps itself (cutoffs are positive)...
+            prop_assert!(nl.contains(i, i), "missing self pair {i}");
+            // ...and the strict `<` predicate is symmetric in (i, j).
+            for j in 0..natoms {
+                prop_assert_eq!(nl.contains(i, j), nl.contains(j, i));
+            }
+        }
+        // Sorted, in-range adjacency rows.
+        for i in 0..natoms {
+            let row = nl.neighbours(i);
+            prop_assert!(row.windows(2).all(|w| w[0] < w[1]));
+            prop_assert!(row.iter().all(|&j| (j as usize) < natoms));
+        }
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(8))]
 
