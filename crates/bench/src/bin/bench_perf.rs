@@ -38,18 +38,24 @@
 //!    on setup/queue/drain than the threshold allows;
 //! 4. the weak-scaling checks over the polymer sweep (below): the fitted
 //!    log–log exponent of the screened per-cycle assembly cost must stay
-//!    under `QP_BENCH_SCALING_MAX` (default 1.75; exit 7), and screened
+//!    under `QP_BENCH_SCALING_MAX` (default 1.75; exit 7), screened
 //!    assembly must not lose to dense on the compact ligand-49 by more
-//!    than `QP_BENCH_SCREEN_SLACK` (default 0.25; exit 8).
+//!    than `QP_BENCH_SCREEN_SLACK` (default 0.25; exit 8), and — on the
+//!    full sweep — the fitted tree-mode `rho` exponent must stay under
+//!    `QP_BENCH_RHO_MAX` (default 1.4; exit 9) and the blocks-path `dm`
+//!    exponent under `QP_BENCH_DM_MAX` (default 1.4; exit 10). Wherever
+//!    the direct-path Rho oracle runs alongside the tree, the two
+//!    potentials must agree within `QP_FARFIELD_TOL` (exit 11).
 //!
-//! The polymer weak-scaling sweep runs H(C₂H₄)ₙH at n = 4…256 (quick:
+//! The polymer weak-scaling sweep runs H(C₂H₄)ₙH at n = 4…1024 (quick:
 //! 4…16) through one cycle's worth of assembly phases — system build +
 //! tabulation, Sumup (density on grid), H (potential matrix), and the
-//! on-support density-matrix build — with cutoff-sphere screening on,
-//! plus a dense reference leg at small n. Each phase gets a fitted
-//! log–log exponent; `rho` (the multipole far field, O(n²) by
-//! construction) is measured and reported separately but excluded from
-//! the guarded end-to-end sum.
+//! density-matrix build (routed to the block-sparse path with localized
+//! pseudo-orbitals when `dm_blocks_preferred` holds, dense otherwise) —
+//! with cutoff-sphere screening on and the hierarchical far-field tree
+//! on, plus a dense reference leg and a direct-path Rho oracle at small
+//! n. Each phase gets a fitted log–log exponent; `e2e_full_s` is the
+//! per-cycle assembly sum *including* tree-mode Rho.
 
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -64,7 +70,8 @@ use qp_core::operators;
 use qp_core::profile::{attribute, Attribution};
 use qp_core::scf::{scf, ScfOptions};
 use qp_core::system::System;
-use qp_core::ScreeningMode;
+use qp_core::{FarFieldMode, ScreeningMode};
+use qp_grid::{farfield_tol, FarField};
 use qp_linalg::DMatrix;
 use qp_par::telemetry;
 use qp_trace::span::{set_enabled, take_events, Phase};
@@ -475,6 +482,8 @@ struct AssemblyLeg {
     sumup_s: f64,
     h_s: f64,
     dm_s: f64,
+    /// Whether the DM probe took the block-sparse (linear-scaling) path.
+    dm_blocks: bool,
 }
 
 impl AssemblyLeg {
@@ -491,11 +500,23 @@ struct SweepRow {
     /// Surviving fraction of the atom-pair matrix under screening.
     pair_fill: f64,
     screened: AssemblyLeg,
-    /// Multipole far-field potential rebuild (the DFPT Rho phase) —
-    /// O(n²) by construction, reported but not part of the guarded sum.
-    rho_s: Option<f64>,
+    /// Multipole far-field potential rebuild (the DFPT Rho phase) on the
+    /// hierarchical cluster tree — O(n log n), measured at every size.
+    rho_tree_s: f64,
+    /// Direct-path Rho oracle at small n (O(n²) by construction).
+    rho_direct_s: Option<f64>,
+    /// Max relative deviation of the tree potential from the direct
+    /// oracle over all grid points, where the oracle ran.
+    farfield_dev: Option<f64>,
     /// Dense reference at small n (the O(n²)+ path gets infeasible fast).
     dense: Option<AssemblyLeg>,
+}
+
+impl SweepRow {
+    /// Full per-cycle assembly cost including the tree-mode Rho rebuild.
+    fn e2e_full_s(&self) -> f64 {
+        self.screened.e2e_s() + self.rho_tree_s
+    }
 }
 
 struct WeakScaling {
@@ -535,20 +556,51 @@ fn assembly_leg(build: impl Fn() -> System) -> (System, AssemblyLeg) {
     let h_s = t.elapsed().as_secs_f64();
     std::hint::black_box(&h);
 
-    let c = DMatrix::from_fn(nb, nb, pseudo);
     let mut occ = vec![0.0; nb];
     let nocc = sys.n_occupied().min(nb);
     occ[..nocc].fill(2.0);
-    let t = Instant::now();
-    match sys.screen() {
+    // DM routing mirrors what `--screening auto` callers get: the
+    // block-sparse build only when the plan is large and sparse enough to
+    // win (`dm_blocks_preferred`), dense GEMM otherwise — the small-n
+    // screened-DM regression stays off the scorecard. The blocks probe
+    // uses *localized* pseudo-orbitals (column `a` supported on the
+    // neighbourhood of its home atom) through the a-priori-support entry
+    // point, so activity comes from the plan and the probe measures the
+    // `O(surviving blocks)` regime the linear-scaling build targets.
+    let (dm_s, dm_blocks) = match sys
+        .screen()
+        .filter(|plan| operators::dm_blocks_preferred(plan))
+    {
         Some(plan) => {
-            std::hint::black_box(operators::density_matrix_occ_blocks(plan, &c, &occ, true));
+            let fa = &plan.fn_atom;
+            // Filled by contiguous neighbour-block runs per row (not a
+            // per-element `contains`, whose binary searches dominate the
+            // untimed setup at large n).
+            let mut c = DMatrix::zeros(nb, nb);
+            for mu in 0..nb {
+                for &j in plan.neighbours.neighbours(fa[mu] as usize) {
+                    let (o, s) = (
+                        plan.partition.offset(j as usize),
+                        plan.partition.size(j as usize),
+                    );
+                    for a in o..o + s {
+                        c[(mu, a)] = pseudo(mu, a);
+                    }
+                }
+            }
+            let t = Instant::now();
+            std::hint::black_box(operators::density_matrix_occ_blocks_local(
+                plan, &c, &occ, fa, true,
+            ));
+            (t.elapsed().as_secs_f64(), true)
         }
         None => {
+            let c = DMatrix::from_fn(nb, nb, pseudo);
+            let t = Instant::now();
             std::hint::black_box(operators::density_matrix_occ(&c, &occ));
+            (t.elapsed().as_secs_f64(), false)
         }
-    }
-    let dm_s = t.elapsed().as_secs_f64();
+    };
 
     (
         sys,
@@ -557,14 +609,18 @@ fn assembly_leg(build: impl Fn() -> System) -> (System, AssemblyLeg) {
             sumup_s,
             h_s,
             dm_s,
+            dm_blocks,
         },
     )
 }
 
 /// The DFPT Rho phase in isolation: multipole moments, radial Poisson
 /// solve, far-field potential on every grid point. Mirrors the phase body
-/// in `qp_core::dfpt` exactly.
-fn rho_seconds(sys: &System, n1: &[f64]) -> f64 {
+/// in `qp_core::dfpt` exactly: the hierarchical cluster tree serves the
+/// far field when `use_tree` (the system must carry a tree), the direct
+/// per-atom sum otherwise. Returns the wall time and the potential so the
+/// sweep can hold the tree to the direct oracle.
+fn rho_potential(sys: &System, n1: &[f64], use_tree: bool) -> (f64, Vec<f64>) {
     let t = Instant::now();
     let plan = sys.hartree_plan();
     let moments = match plan.as_deref() {
@@ -575,31 +631,42 @@ fn rho_seconds(sys: &System, n1: &[f64]) -> f64 {
     let natoms = sys.structure.len();
     let mut v1 = vec![0.0; sys.grid.len()];
     let est = (natoms * hartree.n_lm * 8).max(1) as u64;
-    match plan.as_deref() {
-        Some(pl) => qp_par::fill_slice_hinted(&mut v1, est, |gi| hartree.eval_planned(pl, gi)),
-        None => qp_par::fill_slice_hinted(&mut v1, est, |gi| {
-            let p = &sys.grid.points[gi];
-            hartree.eval_atoms(p.position, 0..natoms)
-        }),
+    if use_tree {
+        let tree = sys
+            .farfield_tree()
+            .expect("tree-mode rho probe needs a cluster tree");
+        let far = FarField::aggregate(tree, &hartree, farfield_tol());
+        qp_par::fill_slice_hinted(&mut v1, est, |gi| {
+            far.eval(tree, &hartree, sys.grid.points[gi].position)
+        });
+    } else {
+        match plan.as_deref() {
+            Some(pl) => qp_par::fill_slice_hinted(&mut v1, est, |gi| hartree.eval_planned(pl, gi)),
+            None => qp_par::fill_slice_hinted(&mut v1, est, |gi| {
+                let p = &sys.grid.points[gi];
+                hartree.eval_atoms(p.position, 0..natoms)
+            }),
+        }
     }
     std::hint::black_box(&v1);
-    t.elapsed().as_secs_f64()
+    (t.elapsed().as_secs_f64(), v1)
 }
 
 /// Polymer system at `monomers` chain length on the sweep's coarse grid
 /// (the quick-case settings — the sweep measures scaling, not accuracy).
-fn sweep_system(monomers: usize, mode: ScreeningMode) -> System {
+fn sweep_system(monomers: usize, mode: ScreeningMode, farfield: FarFieldMode) -> System {
     let mut gs = GridSettings::coarse();
     gs.n_radial = 8;
     gs.max_angular = 6;
     gs.min_angular = 6;
-    System::build_with_screening(
+    System::build_with_modes(
         workloads::polymer(6 * monomers + 2).structure,
         BasisSettings::Light,
         &gs,
         150,
         2,
         mode,
+        farfield,
     )
 }
 
@@ -627,25 +694,48 @@ fn run_weak_scaling(quick: bool) -> WeakScaling {
     let (sizes, dense_max, rho_max): (Vec<usize>, usize, usize) = if quick {
         (vec![4, 8, 16], 8, 16)
     } else {
-        (vec![4, 8, 16, 32, 64, 128, 256], 32, 64)
+        (vec![4, 8, 16, 32, 64, 128, 256, 512, 1024], 32, 64)
     };
     let mut rows = Vec::new();
     for &n in &sizes {
-        let (sys, screened) = assembly_leg(|| sweep_system(n, ScreeningMode::On));
-        let rho_s = (n <= rho_max).then(|| {
-            let n1 = vec![1e-3; sys.n_points()];
-            rho_seconds(&sys, &n1)
-        });
+        let (sys, screened) =
+            assembly_leg(|| sweep_system(n, ScreeningMode::On, FarFieldMode::Tree));
+        let n1 = vec![1e-3; sys.n_points()];
+        let (rho_tree_s, v_tree) = rho_potential(&sys, &n1, true);
+        let (rho_direct_s, farfield_dev) = if n <= rho_max {
+            let (direct_s, v_direct) = rho_potential(&sys, &n1, false);
+            let dev = v_tree
+                .iter()
+                .zip(&v_direct)
+                .map(|(&vt, &vd)| (vt - vd).abs() / vd.abs().max(1.0))
+                .fold(0.0_f64, f64::max);
+            (Some(direct_s), Some(dev))
+        } else {
+            (None, None)
+        };
         let pair_fill = sys.screen().map(|p| p.fill_ratio()).unwrap_or(1.0);
-        let dense =
-            (n <= dense_max).then(|| assembly_leg(|| sweep_system(n, ScreeningMode::Off)).1);
+        let dense = (n <= dense_max)
+            .then(|| assembly_leg(|| sweep_system(n, ScreeningMode::Off, FarFieldMode::Direct)).1);
         println!(
-            "weak-scaling n={n}: {} atoms, {} basis, fill {:.2}, screened e2e {:.3}s{}{}",
+            "weak-scaling n={n}: {} atoms, {} basis, fill {:.2}, screened e2e {:.3}s, \
+             rho(tree) {rho_tree_s:.3}s, dm path {}{}{}",
             sys.structure.len(),
             sys.n_basis(),
             pair_fill,
             screened.e2e_s(),
-            rho_s.map(|r| format!(", rho {r:.3}s")).unwrap_or_default(),
+            if screened.dm_blocks {
+                "blocks"
+            } else {
+                "dense"
+            },
+            rho_direct_s
+                .map(|r| {
+                    format!(
+                        ", rho(direct) {r:.3}s (dev {:.2e})",
+                        farfield_dev.unwrap_or(f64::NAN)
+                    )
+                })
+                .unwrap_or_default(),
             dense
                 .as_ref()
                 .map(|d| format!(", dense e2e {:.3}s", d.e2e_s()))
@@ -658,13 +748,27 @@ fn run_weak_scaling(quick: bool) -> WeakScaling {
             points: sys.n_points(),
             pair_fill,
             screened,
-            rho_s,
+            rho_tree_s,
+            rho_direct_s,
+            farfield_dev,
             dense,
         });
     }
 
     let phase_points = |f: &dyn Fn(&SweepRow) -> Option<f64>| -> Vec<(usize, f64)> {
         rows.iter().filter_map(|r| Some((r.atoms, f(r)?))).collect()
+    };
+    // The dm exponent is fitted over the rows that actually ran the
+    // block-sparse path (the asymptotic regime the guard is about); when
+    // the sweep is too small to reach it — quick mode — fall back to the
+    // routed series so the fit stays defined.
+    let dm_points = {
+        let blocks = phase_points(&|r| r.screened.dm_blocks.then_some(r.screened.dm_s));
+        if blocks.len() >= 2 {
+            blocks
+        } else {
+            phase_points(&|r| Some(r.screened.dm_s))
+        }
     };
     let exponents = vec![
         (
@@ -675,18 +779,26 @@ fn run_weak_scaling(quick: bool) -> WeakScaling {
             "sumup",
             loglog_exponent(&phase_points(&|r| Some(r.screened.sumup_s))),
         ),
-        ("rho", loglog_exponent(&phase_points(&|r| r.rho_s))),
+        (
+            "rho",
+            loglog_exponent(&phase_points(&|r| Some(r.rho_tree_s))),
+        ),
+        (
+            "rho_direct",
+            loglog_exponent(&phase_points(&|r| r.rho_direct_s)),
+        ),
         (
             "h",
             loglog_exponent(&phase_points(&|r| Some(r.screened.h_s))),
         ),
-        (
-            "dm",
-            loglog_exponent(&phase_points(&|r| Some(r.screened.dm_s))),
-        ),
+        ("dm", loglog_exponent(&dm_points)),
         (
             "e2e",
             loglog_exponent(&phase_points(&|r| Some(r.screened.e2e_s()))),
+        ),
+        (
+            "e2e_full",
+            loglog_exponent(&phase_points(&|r| Some(r.e2e_full_s()))),
         ),
         (
             "dense_e2e",
@@ -726,7 +838,13 @@ fn run_weak_scaling(quick: bool) -> WeakScaling {
     let cycle = |sys: &System| {
         std::hint::black_box(sys.density_on_grid(&p));
         std::hint::black_box(operators::potential_matrix(sys, &v));
-        match sys.screen() {
+        // Same `--screening auto` DM routing as the sweep: the compact
+        // ligand never prefers the block-sparse build, so both legs take
+        // the dense GEMM here.
+        match sys
+            .screen()
+            .filter(|plan| operators::dm_blocks_preferred(plan))
+        {
             Some(plan) => {
                 std::hint::black_box(operators::density_matrix_occ_blocks(plan, &c, &occ, true));
             }
@@ -765,8 +883,12 @@ fn run_weak_scaling(quick: bool) -> WeakScaling {
 /// 1.75 — past that the pair list or per-batch subsets have stopped
 /// pruning; exit 7), and screened assembly must not lose to dense on the
 /// compact ligand-49 beyond `QP_BENCH_SCREEN_SLACK` overhead (default
-/// 0.25; exit 8).
-fn run_scaling_guard(ws: &WeakScaling) {
+/// 0.25; exit 8). On the full sweep the quadratic-wall guards also run:
+/// tree-mode `rho` exponent ≤ `QP_BENCH_RHO_MAX` (default 1.4; exit 9)
+/// and blocks-path `dm` exponent ≤ `QP_BENCH_DM_MAX` (default 1.4; exit
+/// 10). Wherever the direct Rho oracle ran, the tree potential must
+/// agree within `QP_FARFIELD_TOL` (exit 11) — quick mode included.
+fn run_scaling_guard(ws: &WeakScaling, quick: bool) {
     let max_exp = std::env::var("QP_BENCH_SCALING_MAX")
         .ok()
         .and_then(|s| s.parse::<f64>().ok())
@@ -805,6 +927,68 @@ fn run_scaling_guard(ws: &WeakScaling) {
             100.0 * slack,
         );
         std::process::exit(8);
+    }
+
+    // Far-field accuracy: everywhere the direct oracle ran, the tree
+    // potential must sit inside the hard QP_FARFIELD_TOL budget. Cheap
+    // and deterministic, so it runs in quick mode too.
+    let tol = farfield_tol();
+    let max_dev = ws
+        .rows
+        .iter()
+        .filter_map(|r| r.farfield_dev)
+        .fold(0.0_f64, f64::max);
+    println!("scaling guard: far-field max deviation {max_dev:.2e} (tol {tol:.1e})");
+    if max_dev > tol {
+        eprintln!(
+            "bench_perf: far-field accuracy regression — the tree-served Rho \
+             potential deviates from the direct oracle by {max_dev:.2e}, above \
+             the QP_FARFIELD_TOL = {tol:.1e} budget; the multipole translation \
+             or the acceptance criterion has lost precision"
+        );
+        std::process::exit(11);
+    }
+
+    if quick {
+        println!("scaling guard: rho/dm exponent checks skipped (quick sweep is too small)");
+        return;
+    }
+    let exponent = |name: &str| {
+        ws.exponents
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|&(_, e)| e)
+            .unwrap_or(f64::NAN)
+    };
+    let rho_max = std::env::var("QP_BENCH_RHO_MAX")
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .unwrap_or(1.4);
+    let rho = exponent("rho");
+    println!("scaling guard: tree-mode rho exponent {rho:.2} (max {rho_max:.2})");
+    if !rho.is_finite() || rho > rho_max {
+        eprintln!(
+            "bench_perf: Rho weak-scaling regression — the tree-mode multipole \
+             far field fits t = O(n^{rho:.2}), above the {rho_max:.2} ceiling; \
+             the hierarchical cluster tree has stopped delivering near-linear \
+             potential evaluation"
+        );
+        std::process::exit(9);
+    }
+    let dm_max = std::env::var("QP_BENCH_DM_MAX")
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .unwrap_or(1.4);
+    let dm = exponent("dm");
+    println!("scaling guard: blocks-path dm exponent {dm:.2} (max {dm_max:.2})");
+    if !dm.is_finite() || dm > dm_max {
+        eprintln!(
+            "bench_perf: DM weak-scaling regression — the block-sparse \
+             density-matrix build fits t = O(n^{dm:.2}), above the {dm_max:.2} \
+             ceiling; the k-segment truncation on the screened pair support \
+             has stopped delivering near-linear cost"
+        );
+        std::process::exit(10);
     }
 }
 
@@ -871,13 +1055,13 @@ fn emit_weak_scaling(s: &mut String, ws: &WeakScaling) {
     let _ = writeln!(s, "  \"weak_scaling\": {{");
     let _ = writeln!(
         s,
-        "    \"workload\": \"H(C2H4)_nH, coarse grid (n_radial=8, angular=6), light basis\","
+        "    \"workload\": \"H(C2H4)_nH, coarse grid (n_radial=8, angular=6), light basis, screening on, farfield tree\","
     );
     let sizes: Vec<String> = ws.sizes.iter().map(|n| n.to_string()).collect();
     let _ = writeln!(s, "    \"monomers\": [{}],", sizes.join(", "));
     let _ = writeln!(
         s,
-        "    \"e2e_definition\": \"build + sumup + h + dm per cycle; rho excluded (multipole far field is O(n^2) by construction, reported separately)\","
+        "    \"e2e_definition\": \"e2e_s = build + sumup + h + dm per cycle; e2e_full_s additionally includes the tree-mode rho (hierarchical multipole far field); rho_direct_s is the O(n^2) direct-path oracle at small n\","
     );
     let _ = writeln!(s, "    \"rows\": [");
     for (i, r) in ws.rows.iter().enumerate() {
@@ -893,9 +1077,35 @@ fn emit_weak_scaling(s: &mut String, ws: &WeakScaling) {
         let _ = writeln!(s, "        }},");
         let _ = writeln!(
             s,
-            "        \"rho_s\": {},",
-            r.rho_s.map(json_f).unwrap_or_else(|| "null".into())
+            "        \"dm_path\": \"{}\",",
+            if r.screened.dm_blocks {
+                "blocks"
+            } else {
+                "dense"
+            }
         );
+        let _ = writeln!(s, "        \"rho_tree_s\": {},", json_f(r.rho_tree_s));
+        let _ = writeln!(
+            s,
+            "        \"rho_direct_s\": {},",
+            r.rho_direct_s.map(json_f).unwrap_or_else(|| "null".into())
+        );
+        let _ = writeln!(
+            s,
+            "        \"farfield_dev\": {},",
+            // Deviations live at ~1e-9: scientific notation, not the
+            // fixed 6-decimal seconds format that would floor them to 0.
+            r.farfield_dev
+                .map(|d| {
+                    if d.is_finite() {
+                        format!("{d:e}")
+                    } else {
+                        "null".into()
+                    }
+                })
+                .unwrap_or_else(|| "null".into())
+        );
+        let _ = writeln!(s, "        \"e2e_full_s\": {},", json_f(r.e2e_full_s()));
         match &r.dense {
             Some(d) => {
                 let _ = writeln!(s, "        \"dense\": {{");
@@ -943,7 +1153,7 @@ fn emit_json(path: &str, quick: bool, gemm: &GemmNumbers, cases: &[CaseResult], 
         .max()
         .unwrap_or_else(parallel_leg_threads);
     let _ = writeln!(s, "{{");
-    let _ = writeln!(s, "  \"schema\": \"qp-bench-perf/v4\",");
+    let _ = writeln!(s, "  \"schema\": \"qp-bench-perf/v5\",");
     let _ = writeln!(s, "  \"quick\": {quick},");
     let _ = writeln!(s, "  \"pool_threads\": {threads},");
     emit_weak_scaling(&mut s, ws);
@@ -1132,7 +1342,7 @@ fn main() {
         run_weak_scaling(quick)
     };
     if guard {
-        run_scaling_guard(&ws);
+        run_scaling_guard(&ws, quick);
     }
 
     let results: Vec<CaseResult> = cases(quick).iter().map(run_case).collect();

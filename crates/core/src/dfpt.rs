@@ -333,6 +333,38 @@ pub fn response_density_matrix(c: &DMatrix, c1: &DMatrix, n_occ: usize) -> DMatr
     DMatrix::from_fn(nb, nb, |mu, nu| 2.0 * (m[(mu, nu)] + m[(nu, mu)]))
 }
 
+/// Linear-scaling [`response_density_matrix`] on the screened pair support
+/// (Shang et al., arXiv:2009.03551): `M = C¹_occ · C_occᵀ` visits only the
+/// surviving atom-pair blocks, and within each block only the
+/// `K_GROUP`-aligned occupied-index segments where both coefficient
+/// factors have support. For localized `C`/`C¹` (each occupied column
+/// confined to an atom neighbourhood) the cost is
+/// `O(surviving (pair, segment) blocks)` — linear in system size — instead
+/// of the dense `O(n_basis² · n_occ)`.
+///
+/// Bit-identity: the segment truncation skips only exact-`±0.0`
+/// contributions, and every surviving segment reproduces the dense GEMM's
+/// own `K_GROUP` accumulation grouping, so on-support entries match
+/// [`response_density_matrix`] bit for bit at any thread count;
+/// off-support entries (dropped by the masked product) come back as exact
+/// `+0.0`.
+pub fn response_density_matrix_screened(
+    plan: &crate::screening::ScreenPlan,
+    c: &DMatrix,
+    c1: &DMatrix,
+    n_occ: usize,
+    parallel: bool,
+) -> DMatrix {
+    let nb = c.rows();
+    let mut m = plan.empty_blocks();
+    let c1_occ = DMatrix::from_fn(nb, n_occ, |mu, i| c1[(mu, i)]);
+    let c_occ = DMatrix::from_fn(nb, n_occ, |nu, i| c[(nu, i)]);
+    m.rank_k_update_ab_screened(&c1_occ, &c_occ, parallel)
+        .expect("partition matches coefficients");
+    let md = m.to_dense();
+    DMatrix::from_fn(nb, nb, |mu, nu| 2.0 * (md[(mu, nu)] + md[(nu, mu)]))
+}
+
 /// Direction-independent data the three field directions share: the
 /// dipole matrices, the xc kernel on the grid, and the transposed ground
 /// orbitals. [`dfpt`] builds this once; [`dfpt_direction`] builds it
@@ -474,14 +506,26 @@ pub fn dfpt_direction_preemptible(
             // at any thread count.
             let mut v1 = vec![0.0; system.grid.len()];
             let est = (natoms * hartree.n_lm * 8).max(1) as u64;
-            match plan.as_deref() {
-                Some(pl) => qp_par::fill_slice_hinted(&mut v1, est, |gi| {
-                    hartree.eval_planned(pl, gi) + shared.fxc[gi] * n1[gi]
-                }),
-                None => qp_par::fill_slice_hinted(&mut v1, est, |gi| {
-                    let p = &system.grid.points[gi];
-                    hartree.eval_atoms(p.position, 0..natoms) + shared.fxc[gi] * n1[gi]
-                }),
+            // Tree mode serves the far field from aggregated cluster
+            // moments (QP_FARFIELD_TOL budget) instead of the O(natoms)
+            // per-point sum.
+            match system.farfield_tree() {
+                Some(tree) => {
+                    let far = qp_grid::FarField::aggregate(tree, &hartree, qp_grid::farfield_tol());
+                    qp_par::fill_slice_hinted(&mut v1, est, |gi| {
+                        far.eval(tree, &hartree, system.grid.points[gi].position)
+                            + shared.fxc[gi] * n1[gi]
+                    });
+                }
+                None => match plan.as_deref() {
+                    Some(pl) => qp_par::fill_slice_hinted(&mut v1, est, |gi| {
+                        hartree.eval_planned(pl, gi) + shared.fxc[gi] * n1[gi]
+                    }),
+                    None => qp_par::fill_slice_hinted(&mut v1, est, |gi| {
+                        let p = &system.grid.points[gi];
+                        hartree.eval_atoms(p.position, 0..natoms) + shared.fxc[gi] * n1[gi]
+                    }),
+                },
             }
             v1
         };
@@ -699,6 +743,74 @@ mod tests {
         let c1 = DMatrix::zeros(nb, 3);
         let p1 = response_density_matrix(&c, &c1, 3);
         assert_eq!(p1.frobenius_norm(), 0.0);
+    }
+}
+
+#[cfg(test)]
+mod screened_dm_proptests {
+    use super::*;
+    use crate::screening::ScreenPlan;
+    use proptest::prelude::*;
+    use qp_chem::basis::{BasisSet, BasisSettings};
+    use qp_chem::structures::polyethylene;
+    use qp_linalg::DMatrix;
+
+    // Random geometries (jittered polyethylene chains → random screened
+    // pair supports) with random coefficients: the screened response-DM
+    // must reproduce `response_density_matrix` bit for bit on the pair
+    // support — at 1, 2 and 8 pool threads — and emit exact +0.0 off it.
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(12))]
+
+        #[test]
+        fn screened_response_dm_bit_identical_across_thread_counts(
+            monomers in 3usize..6,
+            jitter in prop::collection::vec(-0.25f64..0.25, 3 * 40),
+            vals in prop::collection::vec(-1.0f64..1.0, 512),
+        ) {
+            let mut structure = polyethylene(monomers);
+            for (i, atom) in structure.atoms.iter_mut().enumerate() {
+                for d in 0..3 {
+                    atom.position[d] += jitter[(3 * i + d) % jitter.len()];
+                }
+            }
+            let basis = BasisSet::build(&structure, BasisSettings::Light);
+            let plan = ScreenPlan::build(&structure, &basis);
+            let nb = basis.len();
+            let v = |r: usize, c: usize| vals[(r * 131 + c * 17) % vals.len()];
+            let c_mat = DMatrix::from_fn(nb, nb, v);
+            let n_occ = (nb / 3).max(1);
+            let c1 = DMatrix::from_fn(nb, n_occ, |r, c| v(r + 7, c + 3));
+
+            let dense = response_density_matrix(&c_mat, &c1, n_occ);
+            let screened: Vec<DMatrix> = [1usize, 2, 8]
+                .iter()
+                .map(|&t| {
+                    let _lease = qp_par::ThreadLease::exactly(t);
+                    response_density_matrix_screened(&plan, &c_mat, &c1, n_occ, true)
+                })
+                .collect();
+            for s in &screened[1..] {
+                for (a, b) in screened[0].as_slice().iter().zip(s.as_slice()) {
+                    prop_assert_eq!(a.to_bits(), b.to_bits());
+                }
+            }
+            for i in 0..nb {
+                for j in 0..nb {
+                    let on = plan
+                        .neighbours
+                        .contains(plan.fn_atom[i] as usize, plan.fn_atom[j] as usize);
+                    if on {
+                        prop_assert_eq!(
+                            screened[0][(i, j)].to_bits(),
+                            dense[(i, j)].to_bits()
+                        );
+                    } else {
+                        prop_assert_eq!(screened[0][(i, j)].to_bits(), 0.0f64.to_bits());
+                    }
+                }
+            }
+        }
     }
 }
 

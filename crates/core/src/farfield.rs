@@ -1,0 +1,97 @@
+//! Far-field evaluation control for the Hartree potential phases.
+//!
+//! [`FarFieldMode`] mirrors [`crate::screening::ScreeningMode`]: a
+//! user-facing execution knob (`--farfield direct|tree|auto`) that never
+//! changes *what* is computed, only *how fast* the far part of the
+//! partitioned Hartree sum converges. The `direct` path is the oracle;
+//! `tree` serves atoms beyond the near radius from hierarchical cluster
+//! expansions (see `qp_grid::farfield`) within the `QP_FARFIELD_TOL`
+//! accuracy budget; `auto` picks `tree` only for structures large enough
+//! that the O(n²) direct sum is the dominant Rho cost.
+
+/// Structures at or above this many atoms use the cluster tree under
+/// [`FarFieldMode::Auto`]. Below it the direct sum is already cheap and —
+/// unlike screening — the tree path is *not* bit-identical (it is
+/// tolerance-bounded), so small systems keep the exact evaluator. All
+/// regression workloads (water = 3, ligand = 49, polymer:8 = 50 atoms)
+/// stay on the direct path under `auto`.
+pub const FARFIELD_AUTO_MIN_ATOMS: usize = 96;
+
+/// User-facing far-field control (`--farfield direct|tree|auto`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FarFieldMode {
+    /// Always the exact per-atom sum (the test oracle).
+    Direct,
+    /// Always serve the far field from the hierarchical cluster tree.
+    Tree,
+    /// Tree when the structure has at least [`FARFIELD_AUTO_MIN_ATOMS`]
+    /// atoms, direct otherwise.
+    #[default]
+    Auto,
+}
+
+impl FarFieldMode {
+    /// Whether a structure of `natoms` atoms evaluates its Hartree far
+    /// field through the cluster tree.
+    pub fn enabled(self, natoms: usize) -> bool {
+        match self {
+            FarFieldMode::Direct => false,
+            FarFieldMode::Tree => true,
+            FarFieldMode::Auto => natoms >= FARFIELD_AUTO_MIN_ATOMS,
+        }
+    }
+}
+
+impl std::str::FromStr for FarFieldMode {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "direct" => Ok(FarFieldMode::Direct),
+            "tree" => Ok(FarFieldMode::Tree),
+            "auto" => Ok(FarFieldMode::Auto),
+            other => Err(format!(
+                "invalid farfield mode '{other}' (expected direct|tree|auto)"
+            )),
+        }
+    }
+}
+
+impl std::fmt::Display for FarFieldMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            FarFieldMode::Direct => "direct",
+            FarFieldMode::Tree => "tree",
+            FarFieldMode::Auto => "auto",
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mode_parsing_roundtrip() {
+        for (s, m) in [
+            ("direct", FarFieldMode::Direct),
+            ("tree", FarFieldMode::Tree),
+            ("auto", FarFieldMode::Auto),
+        ] {
+            assert_eq!(s.parse::<FarFieldMode>().unwrap(), m);
+            assert_eq!(m.to_string(), s);
+        }
+        assert!("TREE".parse::<FarFieldMode>().is_err());
+        assert!("fmm".parse::<FarFieldMode>().is_err());
+    }
+
+    #[test]
+    fn auto_threshold_keeps_regression_workloads_direct() {
+        assert!(!FarFieldMode::Auto.enabled(3)); // water
+        assert!(!FarFieldMode::Auto.enabled(49)); // ligand
+        assert!(!FarFieldMode::Auto.enabled(50)); // polymer:8
+        assert!(FarFieldMode::Auto.enabled(FARFIELD_AUTO_MIN_ATOMS));
+        assert!(FarFieldMode::Tree.enabled(1));
+        assert!(!FarFieldMode::Direct.enabled(10_000));
+    }
+}

@@ -28,6 +28,7 @@
 pub mod basis_cache;
 pub mod dfpt;
 pub mod dist;
+pub mod farfield;
 pub mod kernels;
 pub mod mixing;
 pub mod operators;
@@ -42,6 +43,7 @@ pub mod system;
 pub use dfpt::{
     dfpt, dfpt_direction_preemptible, DfptDirState, DfptOptions, DfptResult, DfptShared, DirOutcome,
 };
+pub use farfield::{FarFieldMode, FARFIELD_AUTO_MIN_ATOMS};
 pub use mixing::DfptMixer;
 pub use profile::{profile_case, validate_profile_json, ProfileOptions, ProfileReport};
 pub use resil::{parallel_dfpt_direction_resilient, ResilienceConfig, ResilientDirectionResult};

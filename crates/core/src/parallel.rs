@@ -291,6 +291,16 @@ impl<'a> DirWork<'a> {
             moments: reduced_rows,
         };
         let hartree = solve_poisson(&system.structure, &system.grid, &moments);
+        // In tree mode the far part of the per-point Hartree sum is served
+        // from aggregated cluster moments (QP_FARFIELD_TOL budget); every
+        // rank aggregates from the same redundant Poisson solution, so the
+        // replicated potential stays rank-independent.
+        let far = system.farfield_tree().map(|tree| {
+            (
+                tree,
+                qp_grid::FarField::aggregate(tree, &hartree, qp_grid::farfield_tol()),
+            )
+        });
         drop(poisson_span);
 
         // ---- Partial H1 from own batches ----
@@ -303,8 +313,11 @@ impl<'a> DirWork<'a> {
             for (pi, pt) in batch.points.iter().enumerate() {
                 let gi = pt.grid_index as usize;
                 let gp = &system.grid.points[gi];
-                let v1 =
-                    hartree.eval_atoms(gp.position, 0..natoms) + self.fxc[gi] * local_n1[bi][pi];
+                let v_h = match &far {
+                    Some((tree, ff)) => ff.eval(tree, &hartree, gp.position),
+                    None => hartree.eval_atoms(gp.position, 0..natoms),
+                };
+                let v1 = v_h + self.fxc[gi] * local_n1[bi][pi];
                 let w = gp.weight * v1;
                 if w == 0.0 {
                     continue;

@@ -12,6 +12,7 @@ use crate::system::System;
 use crate::{CoreError, Result};
 use qp_chem::multipole::{solve_poisson, MultipoleMoments};
 use qp_chem::xc;
+use qp_grid::FarField;
 use qp_linalg::{generalized_symmetric_eigen, DMatrix};
 
 /// SCF options.
@@ -227,11 +228,25 @@ pub fn scf_preemptible(
         // parallel fill returns bit-identical values at any thread count.
         let mut v_h = vec![0.0; system.grid.len()];
         let est = (natoms * hartree.n_lm * 8).max(1) as u64;
-        match plan.as_deref() {
-            Some(pl) => qp_par::fill_slice_hinted(&mut v_h, est, |ip| hartree.eval_planned(pl, ip)),
-            None => qp_par::fill_slice_hinted(&mut v_h, est, |ip| {
-                hartree.eval_atoms(system.grid.points[ip].position, 0..natoms)
-            }),
+        // The hierarchical far field (when the mode enables it) replaces
+        // the O(natoms) per-point sum by near-set + cluster expansions,
+        // within the QP_FARFIELD_TOL budget; otherwise the planned and
+        // direct branches are bit-identical.
+        match system.farfield_tree() {
+            Some(tree) => {
+                let far = FarField::aggregate(tree, &hartree, qp_grid::farfield_tol());
+                qp_par::fill_slice_hinted(&mut v_h, est, |ip| {
+                    far.eval(tree, &hartree, system.grid.points[ip].position)
+                });
+            }
+            None => match plan.as_deref() {
+                Some(pl) => {
+                    qp_par::fill_slice_hinted(&mut v_h, est, |ip| hartree.eval_planned(pl, ip))
+                }
+                None => qp_par::fill_slice_hinted(&mut v_h, est, |ip| {
+                    hartree.eval_atoms(system.grid.points[ip].position, 0..natoms)
+                }),
+            },
         }
         let v_xc: Vec<f64> = density.iter().map(|&n| xc::v_xc(n.max(0.0))).collect();
         let v_eff: Vec<f64> = v_h.iter().zip(v_xc.iter()).map(|(a, b)| a + b).collect();

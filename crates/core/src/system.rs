@@ -6,14 +6,21 @@
 //! across batches and grid points" data layout of §4.1.
 
 use crate::basis_cache::BasisValueCache;
+use crate::farfield::FarFieldMode;
 use crate::screening::{ScreenPlan, ScreeningMode};
 use qp_chem::basis::{BasisSet, BasisSettings};
 use qp_chem::geometry::Structure;
 use qp_chem::grids::{GridSettings, IntegrationGrid};
 use qp_chem::multipole::HartreePlan;
 use qp_grid::batch::{batches_from_grid, Batch};
+use qp_grid::ClusterTree;
 use qp_linalg::vecops::dist3;
 use std::sync::{Arc, OnceLock};
+
+/// Atoms per leaf of the far-field cluster tree. Small enough that leaf
+/// clusters stay compact (tight radii → aggressive multipole acceptance),
+/// large enough that the tree has O(n/8) leaves.
+const CLUSTER_LEAF_MAX: usize = 8;
 
 /// Default cap on the Hartree-plan table size. The bench systems sit in the
 /// tens of MB; systems whose plan would exceed the cap silently use the
@@ -88,6 +95,11 @@ pub struct System {
     /// Screening is bit-invisible: every screened path produces the same
     /// bytes as the dense one (see [`crate::screening`]).
     screen: Option<Arc<ScreenPlan>>,
+    /// Far-field evaluation mode for the Hartree phases.
+    farfield: FarFieldMode,
+    /// Lazily built atom-cluster tree (geometry only, shared by every
+    /// Poisson solve); `Some` only when `farfield` enables the tree path.
+    cluster: OnceLock<Option<Arc<ClusterTree>>>,
 }
 
 impl System {
@@ -110,7 +122,7 @@ impl System {
     }
 
     /// [`System::build`] with explicit screening control
-    /// (`--screening on|off|auto`).
+    /// (`--screening on|off|auto`) and [`FarFieldMode::Auto`].
     pub fn build_with_screening(
         structure: Structure,
         basis_settings: BasisSettings,
@@ -118,6 +130,29 @@ impl System {
         max_batch: usize,
         lmax: usize,
         mode: ScreeningMode,
+    ) -> Self {
+        Self::build_with_modes(
+            structure,
+            basis_settings,
+            grid_settings,
+            max_batch,
+            lmax,
+            mode,
+            FarFieldMode::Auto,
+        )
+    }
+
+    /// [`System::build`] with explicit screening *and* far-field control
+    /// (`--screening on|off|auto`, `--farfield direct|tree|auto`).
+    #[allow(clippy::too_many_arguments)]
+    pub fn build_with_modes(
+        structure: Structure,
+        basis_settings: BasisSettings,
+        grid_settings: &GridSettings,
+        max_batch: usize,
+        lmax: usize,
+        mode: ScreeningMode,
+        farfield: FarFieldMode,
     ) -> Self {
         let basis = BasisSet::build(&structure, basis_settings);
         let grid = IntegrationGrid::build(&structure, grid_settings);
@@ -135,6 +170,8 @@ impl System {
             lmax,
             hartree_plan: OnceLock::new(),
             screen,
+            farfield,
+            cluster: OnceLock::new(),
         }
     }
 
@@ -158,6 +195,27 @@ impl System {
     /// The active screening plan, if any.
     pub fn screen(&self) -> Option<&Arc<ScreenPlan>> {
         self.screen.as_ref()
+    }
+
+    /// The far-field evaluation mode this system was built with.
+    pub fn farfield_mode(&self) -> FarFieldMode {
+        self.farfield
+    }
+
+    /// The atom-cluster tree for hierarchical far-field evaluation, built
+    /// once on first use. `None` when the mode resolves to the direct path
+    /// for this structure — the choice depends only on the mode and atom
+    /// count, never on thread count or timing.
+    pub fn farfield_tree(&self) -> Option<&Arc<ClusterTree>> {
+        self.cluster
+            .get_or_init(|| {
+                self.farfield.enabled(self.structure.len()).then(|| {
+                    let centers: Vec<[f64; 3]> =
+                        self.structure.atoms.iter().map(|a| a.position).collect();
+                    Arc::new(ClusterTree::build(&centers, CLUSTER_LEAF_MAX))
+                })
+            })
+            .as_ref()
     }
 
     /// The underlying basis-value cache (hit rates, residency, capacity).

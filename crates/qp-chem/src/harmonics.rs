@@ -114,6 +114,79 @@ pub fn ylm_vec(lmax: usize, dir: [f64; 3]) -> Vec<f64> {
     out
 }
 
+/// Normalization constants of the real harmonics, indexed `l*(l+1)/2 + m`
+/// for `0 ≤ m ≤ l ≤ LMAX_SUPPORTED` — the exact per-call constants of
+/// [`real_spherical_harmonics`], tabulated once.
+fn norm_table() -> &'static [f64] {
+    use std::sync::OnceLock;
+    static NORMS: OnceLock<Vec<f64>> = OnceLock::new();
+    NORMS.get_or_init(|| {
+        let lmax = LMAX_SUPPORTED;
+        let pidx = |l: usize, m: usize| l * (l + 1) / 2 + m;
+        let fourpi = 4.0 * std::f64::consts::PI;
+        let mut t = vec![0.0; (lmax + 1) * (lmax + 2) / 2];
+        for l in 0..=lmax {
+            t[pidx(l, 0)] = ((2 * l + 1) as f64 / fourpi).sqrt();
+            let mut fact_ratio = 1.0;
+            let mut cs_sign = 1.0;
+            for m in 1..=l {
+                fact_ratio /= ((l + m) * (l - m + 1)) as f64;
+                cs_sign = -cs_sign;
+                t[pidx(l, m)] = cs_sign
+                    * ((2 * l + 1) as f64 / fourpi * fact_ratio).sqrt()
+                    * std::f64::consts::SQRT_2;
+            }
+        }
+        t
+    })
+}
+
+/// Fast variant of [`real_spherical_harmonics`] for the hierarchical
+/// far-field hot loop: tabulated normalizations, stack-allocated Legendre
+/// workspace, and `cos(mφ)/sin(mφ)` by the complex rotation recurrence
+/// instead of 2·lmax·(lmax+1)/2 libm trig calls.
+///
+/// NOT bit-identical to the reference evaluator (the azimuthal recurrence
+/// rounds differently in the last ulp) — callers on a bit-identity contract
+/// (the direct Hartree path, grid tabulation) must keep using
+/// [`real_spherical_harmonics`]. Agreement is at the 1e-14 level, far
+/// inside the far-field accuracy budget; a test pins this.
+pub fn real_spherical_harmonics_fast(lmax: usize, dir: [f64; 3], out: &mut [f64]) {
+    assert!(lmax <= LMAX_SUPPORTED);
+    assert!(out.len() >= num_harmonics(lmax));
+    let r = (dir[0] * dir[0] + dir[1] * dir[1] + dir[2] * dir[2]).sqrt();
+    let (x, y, z) = if r > 0.0 {
+        (dir[0] / r, dir[1] / r, dir[2] / r)
+    } else {
+        (0.0, 0.0, 1.0)
+    };
+    let mut plm = [0.0f64; (LMAX_SUPPORTED + 1) * (LMAX_SUPPORTED + 2) / 2];
+    assoc_legendre_all(lmax, z, &mut plm);
+    let pidx = |l: usize, m: usize| l * (l + 1) / 2 + m;
+    let norms = norm_table();
+
+    let rho = (x * x + y * y).sqrt();
+    let (cphi, sphi) = if rho > 0.0 {
+        (x / rho, y / rho)
+    } else {
+        (1.0, 0.0)
+    };
+    for l in 0..=lmax {
+        out[lm_index(l, 0)] = norms[pidx(l, 0)] * plm[pidx(l, 0)];
+    }
+    let (mut cm, mut sm) = (1.0f64, 0.0f64); // cos(mφ), sin(mφ)
+    for m in 1..=lmax {
+        let (c, s) = (cm * cphi - sm * sphi, sm * cphi + cm * sphi);
+        cm = c;
+        sm = s;
+        for l in m..=lmax {
+            let np = norms[pidx(l, m)] * plm[pidx(l, m)];
+            out[lm_index(l, m as i64)] = np * cm;
+            out[lm_index(l, -(m as i64))] = np * sm;
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

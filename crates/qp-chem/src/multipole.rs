@@ -11,7 +11,7 @@
 
 use crate::geometry::Structure;
 use crate::grids::IntegrationGrid;
-use crate::harmonics::{num_harmonics, real_spherical_harmonics};
+use crate::harmonics::{lm_index, num_harmonics, real_spherical_harmonics};
 use crate::spline::CubicSpline;
 
 /// Precomputed per-(grid point, atom) geometry for the Hartree phases.
@@ -430,6 +430,235 @@ impl HartreeSolution {
     }
 }
 
+/// Far-field tail potential of a real-harmonic moment vector `q` about
+/// `center`, evaluated at `p` with the caller's harmonics buffer (length
+/// ≥ `(lmax+1)²`):
+/// `v(p) = Σ_lm 4π/(2l+1) · q_lm / r^{l+1} · Y_lm(p − center)` — the same
+/// analytic tail the `r > r_outer` branch of
+/// [`HartreeSolution::eval_atoms`] uses per atom, here for an arbitrary
+/// (e.g. cluster-aggregated) moment vector.
+pub fn multipole_tail(
+    q: &[f64],
+    lmax: usize,
+    center: [f64; 3],
+    p: [f64; 3],
+    ylm: &mut [f64],
+) -> f64 {
+    let fourpi = 4.0 * std::f64::consts::PI;
+    let d = [p[0] - center[0], p[1] - center[1], p[2] - center[2]];
+    let r = (d[0] * d[0] + d[1] * d[1] + d[2] * d[2]).sqrt();
+    real_spherical_harmonics(lmax, d, ylm);
+    let mut v = 0.0;
+    let mut inv_rl1 = 1.0 / r; // 1/r^{l+1}
+    for l in 0..=lmax {
+        let pref = fourpi / (2.0 * l as f64 + 1.0) * inv_rl1;
+        for m in -(l as i64)..=(l as i64) {
+            let lm = lm_index(l, m);
+            v += pref * q[lm] * ylm[lm];
+        }
+        inv_rl1 /= r;
+    }
+    v
+}
+
+/// [`multipole_tail`] on the fast harmonics path
+/// ([`crate::harmonics::real_spherical_harmonics_fast`]). Same contraction,
+/// not bit-identical in the last ulp — reserved for the hierarchical
+/// far-field hot loop, which is on a tolerance contract rather than a
+/// bit-identity one. The direct Hartree path must keep calling
+/// [`multipole_tail`].
+pub fn multipole_tail_fast(
+    q: &[f64],
+    lmax: usize,
+    center: [f64; 3],
+    p: [f64; 3],
+    ylm: &mut [f64],
+) -> f64 {
+    let fourpi = 4.0 * std::f64::consts::PI;
+    let d = [p[0] - center[0], p[1] - center[1], p[2] - center[2]];
+    let r = (d[0] * d[0] + d[1] * d[1] + d[2] * d[2]).sqrt();
+    crate::harmonics::real_spherical_harmonics_fast(lmax, d, ylm);
+    let mut v = 0.0;
+    let mut inv_rl1 = 1.0 / r; // 1/r^{l+1}
+    for l in 0..=lmax {
+        let pref = fourpi / (2.0 * l as f64 + 1.0) * inv_rl1;
+        let mut dot = 0.0;
+        for lm in l * l..(l + 1) * (l + 1) {
+            dot += q[lm] * ylm[lm];
+        }
+        v += pref * dot;
+        inv_rl1 /= r;
+    }
+    v
+}
+
+/// Translates real-harmonic multipole moment vectors between expansion
+/// centers — the M2M operation of the hierarchical far field.
+///
+/// Every atom's `tails[ia]` row in a [`HartreeSolution`] is an *ideal point
+/// multipole* of order `lmax_src` sitting at the atom center: beyond
+/// `r_outer` its potential is exactly
+/// `Σ_lm 4π/(2l+1)·q_lm/r^{l+1}·Y_lm`, and every moment above `lmax_src`
+/// is exactly zero. Re-expanding that potential about a cluster center is
+/// the classical solid-harmonic translation. With Racah-normalized complex
+/// regular solid harmonics `R_l^m(r) = sqrt(4π/(2l+1)) r^l Y_l^m(r̂)` and
+/// scaled complex moments `μ_l^m = sqrt(4π/(2l+1)) q^c_{l,m}`, the
+/// binomial addition theorem
+/// `R_L^M(u+v) = Σ_{l,m} sqrt(C(L+M,l+m) C(L−M,l−m)) R_l^m(u) R_{L−l}^{M−m}(v)`
+/// gives
+///
+/// ```text
+/// μ'_L^M(c) = Σ_{l ≤ min(L, lmax_src)} Σ_m sqrt(C(L+M, l+m) C(L−M, l−m))
+///             · μ_l^m · conj(R_{L−l}^{M−m}(t)),      t = a − c.
+/// ```
+///
+/// Because the source moments vanish identically above `lmax_src`, the
+/// translated moments are **exact** — the far field's only approximation
+/// is truncating the destination expansion at `lmax_dst`, which the
+/// cluster-acceptance criterion bounds by the accuracy budget. The largest
+/// binomial involved is `C(2·lmax_dst, lmax_dst)` (≈ 2.7e6 at
+/// `lmax_dst = 12`), comfortably exact in f64.
+#[derive(Debug)]
+pub struct MomentTranslator {
+    lmax_src: usize,
+    lmax_dst: usize,
+    /// `sqrt(C(n, k))`, row-major over `n, k ≤ 2·lmax_dst`.
+    sqrt_binom: Vec<f64>,
+}
+
+impl MomentTranslator {
+    /// Precompute the √-binomial table for translating order-`lmax_src`
+    /// sources into order-`lmax_dst` destination expansions.
+    pub fn new(lmax_src: usize, lmax_dst: usize) -> Self {
+        assert!(lmax_src <= lmax_dst);
+        let w = 2 * lmax_dst + 1;
+        let mut binom = vec![0.0f64; w * w];
+        for n in 0..w {
+            binom[n * w] = 1.0;
+            for k in 1..=n {
+                binom[n * w + k] = binom[(n - 1) * w + k - 1] + binom[(n - 1) * w + k];
+            }
+        }
+        MomentTranslator {
+            lmax_src,
+            lmax_dst,
+            sqrt_binom: binom.iter().map(|b| b.sqrt()).collect(),
+        }
+    }
+
+    /// Destination expansion order.
+    pub fn lmax_dst(&self) -> usize {
+        self.lmax_dst
+    }
+
+    /// Accumulate the real moments `src` (about `src_center`, order
+    /// `lmax_src`) into the real moment vector `dst` (about `dst_center`,
+    /// order `lmax_dst`, `(lmax_dst+1)²` slots, `+=`).
+    ///
+    /// The real↔complex conversions follow this crate's harmonic
+    /// convention (`Y^cos_{l,m} = (−1)^m √2 Re Y_l^m`,
+    /// `Y^sin_{l,m} = (−1)^m √2 Im Y_l^m`, stored at `lm_index(l, ±m)`),
+    /// so `Σ q_lm Y^real_lm = Σ q^c_{l,m} Y_l^m` with
+    /// `q^c_{l,m} = (−1)^m (a − ib)/√2` and `q^c_{l,−m} = (a + ib)/√2`.
+    pub fn translate(
+        &self,
+        src: &[f64],
+        src_center: [f64; 3],
+        dst_center: [f64; 3],
+        dst: &mut [f64],
+    ) {
+        let n_src = num_harmonics(self.lmax_src);
+        let n_dst = num_harmonics(self.lmax_dst);
+        assert!(src.len() >= n_src && dst.len() >= n_dst);
+        let fourpi = 4.0 * std::f64::consts::PI;
+        let inv_sqrt2 = std::f64::consts::FRAC_1_SQRT_2;
+
+        // Complex scaled source moments μ_l^m = sqrt(4π/(2l+1)) q^c_{l,m}.
+        let mut mu_re = vec![0.0; n_src];
+        let mut mu_im = vec![0.0; n_src];
+        for l in 0..=self.lmax_src {
+            let scale = (fourpi / (2.0 * l as f64 + 1.0)).sqrt();
+            mu_re[lm_index(l, 0)] = scale * src[lm_index(l, 0)];
+            let mut sign = 1.0;
+            for m in 1..=(l as i64) {
+                sign = -sign; // (−1)^m
+                let a = src[lm_index(l, m)] * inv_sqrt2 * scale;
+                let b = src[lm_index(l, -m)] * inv_sqrt2 * scale;
+                mu_re[lm_index(l, m)] = sign * a;
+                mu_im[lm_index(l, m)] = -sign * b;
+                mu_re[lm_index(l, -m)] = a;
+                mu_im[lm_index(l, -m)] = b;
+            }
+        }
+
+        // Complex regular solid harmonics R_j^k(t), t = src − dst center.
+        let t = [
+            src_center[0] - dst_center[0],
+            src_center[1] - dst_center[1],
+            src_center[2] - dst_center[2],
+        ];
+        let r = (t[0] * t[0] + t[1] * t[1] + t[2] * t[2]).sqrt();
+        let mut ylm = vec![0.0; n_dst];
+        real_spherical_harmonics(self.lmax_dst, t, &mut ylm);
+        let mut rr_re = vec![0.0; n_dst];
+        let mut rr_im = vec![0.0; n_dst];
+        let mut rpow = 1.0; // r^j; 0^0 = 1 keeps the t = 0 translation exact
+        for j in 0..=self.lmax_dst {
+            let scale = (fourpi / (2.0 * j as f64 + 1.0)).sqrt() * rpow;
+            rr_re[lm_index(j, 0)] = scale * ylm[lm_index(j, 0)];
+            let mut sign = 1.0;
+            for k in 1..=(j as i64) {
+                sign = -sign; // (−1)^k
+                let yc = ylm[lm_index(j, k)] * inv_sqrt2 * scale;
+                let ys = ylm[lm_index(j, -k)] * inv_sqrt2 * scale;
+                rr_re[lm_index(j, k)] = sign * yc;
+                rr_im[lm_index(j, k)] = sign * ys;
+                rr_re[lm_index(j, -k)] = yc;
+                rr_im[lm_index(j, -k)] = -ys;
+            }
+            rpow *= r;
+        }
+
+        // μ'_L^{−M} for M ≥ 0 (a real density determines the +M half), then
+        // straight back to real moments.
+        let w = 2 * self.lmax_dst + 1;
+        for ll in 0..=self.lmax_dst {
+            let inv_scale = ((2.0 * ll as f64 + 1.0) / fourpi).sqrt();
+            for mm in 0..=(ll as i64) {
+                let big_m = -mm;
+                let mut acc_re = 0.0;
+                let mut acc_im = 0.0;
+                for l in 0..=ll.min(self.lmax_src) {
+                    let j = ll - l;
+                    let lo = (-(l as i64)).max(big_m - j as i64);
+                    let hi = (l as i64).min(big_m + j as i64);
+                    for m in lo..=hi {
+                        let sb = self.sqrt_binom
+                            [(ll as i64 + big_m) as usize * w + (l as i64 + m) as usize]
+                            * self.sqrt_binom
+                                [(ll as i64 - big_m) as usize * w + (l as i64 - m) as usize];
+                        let s = lm_index(l, m);
+                        let rj = lm_index(j, big_m - m);
+                        // conj(R_j^{M−m}) = (re, −im).
+                        let (br, bi) = (rr_re[rj], -rr_im[rj]);
+                        acc_re += sb * (mu_re[s] * br - mu_im[s] * bi);
+                        acc_im += sb * (mu_re[s] * bi + mu_im[s] * br);
+                    }
+                }
+                let qr = acc_re * inv_scale;
+                let qi = acc_im * inv_scale;
+                if mm == 0 {
+                    dst[lm_index(ll, 0)] += qr;
+                } else {
+                    // q'^c_{L,−M} = (a + ib)/√2 ⇒ a = √2·Re, b = √2·Im.
+                    dst[lm_index(ll, mm)] += std::f64::consts::SQRT_2 * qr;
+                    dst[lm_index(ll, -mm)] += std::f64::consts::SQRT_2 * qi;
+                }
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -647,5 +876,85 @@ mod tests {
         let n = vec![0.0; grid.len()];
         let mom = MultipoleMoments::compute(&s, &grid, &n, 3);
         assert_eq!(mom.row_bytes(), grid.radial.len() * 16 * 8);
+    }
+
+    fn lcg_moments(lmax: usize, seed: u64) -> Vec<f64> {
+        let mut s = seed;
+        (0..num_harmonics(lmax))
+            .map(|_| {
+                s = s
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                ((s >> 33) as f64) / (u32::MAX as f64) - 0.5
+            })
+            .collect()
+    }
+
+    #[test]
+    fn translation_by_zero_is_identity() {
+        let lmax = 4;
+        let src = lcg_moments(lmax, 5);
+        let tr = MomentTranslator::new(lmax, 12);
+        let c = [1.3, -0.7, 2.1];
+        let mut dst = vec![0.0; num_harmonics(12)];
+        tr.translate(&src, c, c, &mut dst);
+        for lm in 0..num_harmonics(12) {
+            let expect = if lm < src.len() { src[lm] } else { 0.0 };
+            assert!(
+                (dst[lm] - expect).abs() < 1e-13,
+                "slot {lm}: {} vs {expect}",
+                dst[lm]
+            );
+        }
+    }
+
+    #[test]
+    fn translated_expansion_reproduces_tail_potential() {
+        // Random point multipoles translated to a common center must
+        // reproduce the summed tail potential at well-separated points to
+        // the (shift/dist)^{lmax_dst+1} truncation error.
+        let lmax_src = 3;
+        let lmax_dst = 12;
+        let tr = MomentTranslator::new(lmax_src, lmax_dst);
+        let centers = [[0.4, -0.3, 0.2], [-0.5, 0.6, -0.1], [0.1, 0.2, -0.6]];
+        let moments: Vec<Vec<f64>> = (0..3).map(|i| lcg_moments(lmax_src, 11 + i)).collect();
+        let dst_center = [0.0, 0.1, -0.05];
+        let mut agg = vec![0.0; num_harmonics(lmax_dst)];
+        for (c, q) in centers.iter().zip(moments.iter()) {
+            tr.translate(q, *c, dst_center, &mut agg);
+        }
+        let mut ylm = vec![0.0; num_harmonics(lmax_dst)];
+        for p in [[8.0, 3.0, -2.0], [-5.0, -6.0, 4.0], [0.5, 9.0, 7.5]] {
+            let direct: f64 = centers
+                .iter()
+                .zip(moments.iter())
+                .map(|(c, q)| multipole_tail(q, lmax_src, *c, p, &mut ylm))
+                .sum();
+            let tree = multipole_tail(&agg, lmax_dst, dst_center, p, &mut ylm);
+            assert!(
+                (tree - direct).abs() < 1e-11 * direct.abs().max(1.0),
+                "p = {p:?}: {tree} vs {direct}"
+            );
+        }
+    }
+
+    #[test]
+    fn tail_helper_matches_eval_atoms_tail_branch() {
+        // multipole_tail on one atom's tail row must agree with the tail
+        // branch of eval_atoms (same formula, different loop shape).
+        let s = single_atom();
+        let grid = IntegrationGrid::build(&s, &GridSettings::light());
+        let n = gaussian_density(&grid, [0.2, -0.1, 0.3], 1.5, 2.0);
+        let mom = MultipoleMoments::compute(&s, &grid, &n, 4);
+        let sol = solve_poisson(&s, &grid, &mom);
+        let mut ylm = vec![0.0; sol.n_lm];
+        for p in [[15.0, 2.0, -3.0], [-9.0, 11.0, 6.0]] {
+            let direct = sol.eval_atoms(p, [0usize]);
+            let tail = multipole_tail(&sol.tails[0], sol.lmax, sol.centers[0], p, &mut ylm);
+            assert!(
+                (tail - direct).abs() < 1e-14 * direct.abs().max(1.0),
+                "{tail} vs {direct}"
+            );
+        }
     }
 }

@@ -22,8 +22,8 @@ use qp_chem::grids::GridSettings;
 use qp_core::parallel::{CollectiveScheme, MappingKind, ParallelConfig};
 use qp_core::resil::scf_checkpointed;
 use qp_core::{
-    dfpt, properties, scf, DfptOptions, ResilienceConfig, ScfOptions, ScfResult, ScreeningMode,
-    System,
+    dfpt, properties, scf, DfptOptions, FarFieldMode, ResilienceConfig, ScfOptions, ScfResult,
+    ScreeningMode, System,
 };
 use qp_trace::{qp_error, qp_info, qp_warn};
 use std::path::PathBuf;
@@ -49,6 +49,7 @@ struct Args {
     max_restarts: usize,
     result_json: Option<String>,
     screening: ScreeningMode,
+    farfield: FarFieldMode,
 }
 
 fn usage() -> ! {
@@ -70,6 +71,10 @@ options:
   --no-dfpt                stop after the ground state
   --screening <on|off|auto>  cutoff-sphere screened assembly (default auto:
                            on from 16 atoms; bit-identical either way)
+  --farfield <direct|tree|auto>  Hartree far-field evaluation: exact
+                           per-atom sum or hierarchical cluster-tree
+                           multipoles within QP_FARFIELD_TOL (default
+                           auto: tree from 96 atoms)
   --profile <base>         parallel-efficiency profile: run a 1-thread
                            reference plus an instrumented parallel leg,
                            print the wall-clock decomposition and write
@@ -130,6 +135,7 @@ fn parse_args() -> Args {
         max_restarts: 3,
         result_json: None,
         screening: ScreeningMode::Auto,
+        farfield: FarFieldMode::Auto,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -179,6 +185,12 @@ fn parse_args() -> Args {
             "--no-dfpt" => args.skip_dfpt = true,
             "--screening" => {
                 args.screening = value("--screening").parse().unwrap_or_else(|e: String| {
+                    qp_error!("{e}");
+                    usage()
+                })
+            }
+            "--farfield" => {
+                args.farfield = value("--farfield").parse().unwrap_or_else(|e: String| {
                     qp_error!("{e}");
                     usage()
                 })
@@ -277,8 +289,15 @@ fn run(args: &Args) -> ExitCode {
         return run_profile(args, structure, base);
     }
     let t0 = std::time::Instant::now();
-    let system =
-        System::build_with_screening(structure, args.basis, &args.grid, 200, 4, args.screening);
+    let system = System::build_with_modes(
+        structure,
+        args.basis,
+        &args.grid,
+        200,
+        4,
+        args.screening,
+        args.farfield,
+    );
     qp_info!(
         "system: {} basis functions, {} grid points, {} batches  [{:.1?}]",
         system.n_basis(),
@@ -292,6 +311,15 @@ fn run(args: &Args) -> ExitCode {
             plan.neighbours.n_pairs(),
             system.structure.len() * system.structure.len(),
             100.0 * plan.fill_ratio()
+        );
+    }
+    if let Some(tree) = system.farfield_tree() {
+        qp_info!(
+            "farfield: hierarchical tree, {} cluster nodes over {} atoms \
+             (tol {:.1e})",
+            tree.nodes.len(),
+            tree.natoms(),
+            qp_grid::farfield_tol()
         );
     }
 

@@ -18,12 +18,14 @@
 #![allow(clippy::needless_range_loop)]
 
 pub mod batch;
+pub mod farfield;
 pub mod footprint;
 pub mod mapping;
 pub mod octree;
 pub mod screening;
 
 pub use batch::{make_batches, Batch, BatchPoint};
+pub use farfield::{farfield_tol, ClusterNode, ClusterTree, FarField};
 pub use footprint::{FootprintReport, RankFootprint};
 pub use mapping::{LoadBalancingMapping, LocalityEnhancingMapping, MortonMapping, TaskMapping};
 pub use screening::{BatchScreen, NeighborList};

@@ -121,13 +121,14 @@ pub fn run_job(
 
     // Same build constants as the CLI direct path — part of the
     // bit-identity contract.
-    let system = System::build_with_screening(
+    let system = System::build_with_modes(
         req.structure.clone(),
         req.basis,
         &req.grid,
         200,
         4,
         req.screening,
+        req.farfield,
     );
     progress(&format!(
         "system: {} basis functions, {} grid points",

@@ -19,7 +19,7 @@ use crate::ServeError;
 use qp_chem::basis::BasisSettings;
 use qp_chem::geometry::Structure;
 use qp_chem::grids::GridSettings;
-use qp_core::{DfptOptions, ScfOptions, ScreeningMode};
+use qp_core::{DfptOptions, FarFieldMode, ScfOptions, ScreeningMode};
 use std::fmt::Write as _;
 
 /// Where the molecule comes from.
@@ -58,6 +58,10 @@ pub struct JobRequest {
     /// Cutoff-sphere screening control. Execution knob: the screened path
     /// is bit-identical to dense, so this is excluded from the cache key.
     pub screening: ScreeningMode,
+    /// Hartree far-field evaluation control. Execution knob like
+    /// `screening`: the tree path agrees with direct within
+    /// `QP_FARFIELD_TOL`, so it is excluded from the cache key.
+    pub farfield: FarFieldMode,
 }
 
 /// Guardrail on admitted structure size: the serial engine is O(N³) in
@@ -272,6 +276,15 @@ impl JobRequest {
                 .map_err(bad)?,
         };
 
+        let farfield = match v.get("farfield") {
+            None | Some(Json::Null) => FarFieldMode::Auto,
+            Some(s) => s
+                .as_str()
+                .ok_or_else(|| bad("farfield must be a string"))?
+                .parse()
+                .map_err(bad)?,
+        };
+
         Ok(JobRequest {
             tenant,
             molecule,
@@ -283,6 +296,7 @@ impl JobRequest {
             threads,
             cache_bypass,
             screening,
+            farfield,
         })
     }
 
@@ -429,7 +443,7 @@ mod tests {
     fn key_ignores_execution_knobs() {
         let a = req(r#"{"molecule":{"builtin":"water"}}"#).unwrap();
         let b = req(
-            r#"{"tenant":"other","molecule":{"builtin":"water"},"threads":4,"cache":"bypass","screening":"on"}"#,
+            r#"{"tenant":"other","molecule":{"builtin":"water"},"threads":4,"cache":"bypass","screening":"on","farfield":"tree"}"#,
         )
         .unwrap();
         assert_eq!(a.key(), b.key());
@@ -495,6 +509,16 @@ mod tests {
     }
 
     #[test]
+    fn farfield_parses_and_defaults_to_auto() {
+        let r = req(r#"{"molecule":{"builtin":"water"}}"#).unwrap();
+        assert_eq!(r.farfield, FarFieldMode::Auto);
+        let r = req(r#"{"molecule":{"builtin":"water"},"farfield":"tree"}"#).unwrap();
+        assert_eq!(r.farfield, FarFieldMode::Tree);
+        let r = req(r#"{"molecule":{"builtin":"water"},"farfield":"direct"}"#).unwrap();
+        assert_eq!(r.farfield, FarFieldMode::Direct);
+    }
+
+    #[test]
     fn malformed_requests_are_typed_errors() {
         for bad_req in [
             r#"{}"#,
@@ -511,6 +535,8 @@ mod tests {
             r#"{"molecule":{"builtin":"water"},"dfpt":{"max_iter":0}}"#,
             r#"{"molecule":{"builtin":"water"},"screening":"sometimes"}"#,
             r#"{"molecule":{"builtin":"water"},"screening":7}"#,
+            r#"{"molecule":{"builtin":"water"},"farfield":"octree"}"#,
+            r#"{"molecule":{"builtin":"water"},"farfield":3}"#,
         ] {
             let e = req(bad_req).unwrap_err();
             assert!(matches!(e, ServeError::BadRequest(_)), "{bad_req} -> {e:?}");

@@ -26,7 +26,10 @@ echo "== regenerate BENCH_perf.json under the tightened e2e guard"
 # slower than its serial reference on a >= 2-core host (zero slack). The
 # guard also covers the polymer weak-scaling sweep: exit 7 if the fitted
 # end-to-end assembly exponent exceeds QP_BENCH_SCALING_MAX, exit 8 if the
-# screened path loses to dense on ligand-49.
+# screened path loses to dense on ligand-49, exit 9/10 if the tree-mode
+# Rho / screened-DM exponents exceed QP_BENCH_RHO_MAX/QP_BENCH_DM_MAX
+# (default 1.4), exit 11 if the tree far field deviates from the direct
+# oracle beyond QP_FARFIELD_TOL.
 QP_THREADS=2 bash scripts/bench_perf.sh --guard --out BENCH_perf.json
 
 echo "== archive weak-scaling rows (results/weak_scaling.json)"
@@ -50,6 +53,31 @@ for mol in water polymer:8; do
   echo "-- $mol screened == dense (byte-identical)"
 done
 rm -rf "$screen_dir"
+
+echo "== far field: tree-served polarizability vs the direct oracle (QP_THREADS=3)"
+# The tree far field is on a tolerance contract (QP_FARFIELD_TOL), not a
+# byte one: the full DFPT observable must land within 1e-6 Bohr^3 of the
+# --farfield direct record, which itself stays byte-stable (the default
+# auto route keeps these small systems on the direct path — covered by the
+# screening leg's cmp above).
+ff_dir="$(mktemp -d)"
+for mol in water polymer:8; do
+  tag="${mol/:/_}"
+  QP_LOG=warn QP_THREADS=3 ./target/release/qperturb --builtin "$mol" \
+      --grid coarse --farfield direct \
+      --result-json "$ff_dir/${tag}_direct.json" > /dev/null
+  QP_LOG=warn QP_THREADS=3 ./target/release/qperturb --builtin "$mol" \
+      --grid coarse --farfield tree \
+      --result-json "$ff_dir/${tag}_tree.json" > /dev/null
+  jq -e --slurpfile ref "$ff_dir/${tag}_direct.json" '
+      [.alpha[][]] as $t
+      | [$ref[0].alpha[][]] as $r
+      | [range($t | length) | (($t[.] - $r[.]) | if . < 0 then -. else . end)]
+      | max < 1e-6' "$ff_dir/${tag}_tree.json" > /dev/null \
+    || { echo "$mol: tree alpha deviates from direct by >= 1e-6"; exit 1; }
+  echo "-- $mol tree alpha == direct alpha (within 1e-6)"
+done
+rm -rf "$ff_dir"
 
 echo "== profile smoke: qperturb --profile on water (schema + artifact)"
 cargo build -q --release -p qp-cli -p qp-bench
